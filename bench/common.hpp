@@ -1,0 +1,40 @@
+// Shared plumbing for the figure/table harnesses: every binary regenerates
+// one table or figure from the paper's evaluation section, printing the
+// same rows/series the paper plots. Volume scale comes from STELLAR_SCALE
+// (default 0.2; 1.0 = the paper's full workload sizes).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "workloads/workloads.hpp"
+
+namespace stellar::bench {
+
+inline workloads::WorkloadOptions benchOptions() {
+  workloads::WorkloadOptions opt;
+  opt.ranks = 50;
+  opt.scale = workloads::benchScale();
+  return opt;
+}
+
+inline void printHeader(const std::string& title, const std::string& paperRef) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("(reproduces %s; STELLAR_SCALE=%s)\n", paperRef.c_str(),
+              util::formatDouble(workloads::benchScale(), 2).c_str());
+  std::printf("================================================================\n");
+}
+
+inline std::string fmt(double v, int decimals = 2) {
+  return util::formatDouble(v, decimals);
+}
+
+/// "12.34 ± 0.56" mean/CI cell.
+inline std::string meanCi(double mean, double ci, int decimals = 2) {
+  return fmt(mean, decimals) + " ± " + fmt(ci, decimals);
+}
+
+}  // namespace stellar::bench

@@ -1,0 +1,61 @@
+// Fig. 7: rule-set extrapolation — tune the three previously *unseen* real
+// applications with and without a global Rule Set accumulated from the
+// benchmark workloads only (§5.3.2).
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/harness.hpp"
+
+using namespace stellar;
+
+int main() {
+  bench::printHeader(
+      "Rule-set extrapolation to unseen real applications (per-iteration speedup)",
+      "Figure 7");
+
+  pfs::PfsSimulator sim;
+  const auto opt = bench::benchOptions();
+
+  // Rules come exclusively from the benchmark suite.
+  rules::RuleSet global;
+  for (const std::string& name : workloads::benchmarkNames()) {
+    const pfs::JobSpec job = workloads::byName(name, opt);
+    core::StellarOptions options;
+    options.seed = 7;
+    options.agent.seed = 7;
+    core::StellarEngine engine{sim, options};
+    (void)engine.tune(job, &global);
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\nglobal rule set from benchmarks: %zu rules\n\n", global.size());
+
+  for (const std::string& name : workloads::realAppNames()) {
+    const pfs::JobSpec job = workloads::byName(name, opt);
+    core::StellarOptions options;
+    options.seed = 42;
+
+    const core::TuningEvaluation without = core::evaluateTuning(sim, options, job, 8);
+    const core::TuningEvaluation with =
+        core::evaluateTuning(sim, options, job, 8, &global);
+
+    const auto seriesW = without.meanIterationSpeedups();
+    const auto seriesR = with.meanIterationSpeedups();
+    std::printf("--- %s ---\n", name.c_str());
+    util::Table table{{"iteration", "no rule set (speedup)", "with rule set (speedup)"}};
+    const std::size_t n = std::max(seriesW.size(), seriesR.size());
+    for (std::size_t k = 0; k < n; ++k) {
+      table.addRow({std::to_string(k),
+                    k < seriesW.size() ? bench::fmt(seriesW[k]) + "x" : "",
+                    k < seriesR.size() ? bench::fmt(seriesR[k]) + "x" : ""});
+    }
+    table.addRow({"attempts", bench::fmt(without.meanAttempts(), 1),
+                  bench::fmt(with.meanAttempts(), 1)});
+    std::printf("%s\n", table.render().c_str());
+  }
+  std::printf(
+      "Expected shape (paper): with the rule set, convergence is more stable\n"
+      "and early iterations avoid the near-default configurations that cold\n"
+      "starts explore.\n");
+  return 0;
+}

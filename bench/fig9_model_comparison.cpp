@@ -1,0 +1,40 @@
+// Fig. 9: tuning performance on IOR_16M with different LLMs acting as the
+// Tuning Agent (§5.5 labels the workload IOR_large; its large-transfer
+// workload is IOR_16M).
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/harness.hpp"
+
+using namespace stellar;
+
+int main() {
+  bench::printHeader("Tuning-agent model comparison on IOR_16M", "Figure 9");
+
+  pfs::PfsSimulator sim;
+  const pfs::JobSpec job = workloads::byName("IOR_16M", bench::benchOptions());
+  const core::RepeatedMeasure def = core::measureConfig(sim, job, pfs::PfsConfig{}, 8, 60);
+
+  util::Table table{{"tuning agent", "best wall time (s)", "speedup", "attempts"}};
+  table.addRow({"default config", bench::meanCi(def.summary.mean, def.summary.ci90),
+                "1.00x", "-"});
+  for (const llm::ModelProfile& model :
+       {llm::claude37Sonnet(), llm::gpt4o(), llm::llama31_70b()}) {
+    core::StellarOptions options;
+    options.seed = 42;
+    options.agent.model = model;
+    const core::TuningEvaluation eval = core::evaluateTuning(sim, options, job, 8);
+    const util::Summary best = eval.bestSummary();
+    table.addRow({model.name, bench::meanCi(best.mean, best.ci90),
+                  bench::fmt(def.summary.mean / best.mean) + "x",
+                  bench::fmt(eval.meanAttempts(), 1)});
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n\n%s\n", table.render().c_str());
+  std::printf(
+      "Expected shape (paper): all three models land similar near-optimal\n"
+      "configurations (paper reports up to 4.91x on this workload); weaker\n"
+      "models may take more cautious steps but converge within the budget.\n");
+  return 0;
+}

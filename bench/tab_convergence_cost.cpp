@@ -1,0 +1,112 @@
+// The iteration-cost comparison behind §1/§3: traditional black-box
+// autotuners need tens to hundreds of full application executions to reach
+// what STELLAR reaches within five attempts. Every objective evaluation is
+// one complete (simulated) application run — exactly the cost the paper
+// argues is prohibitive on production systems.
+#include <cstdio>
+
+#include "baselines/expert.hpp"
+#include "baselines/oracle.hpp"
+#include "common.hpp"
+#include "core/harness.hpp"
+#include "opt/optimizers.hpp"
+
+using namespace stellar;
+
+int main() {
+  bench::printHeader(
+      "Executions needed to reach near-optimal (within 10% of the expert reference)",
+      "Sections 1/3 iteration-cost claim");
+
+  pfs::PfsSimulator sim;
+  auto opt = bench::benchOptions();
+  // A reduced scale keeps the hundreds of baseline evaluations tractable;
+  // the search landscape shape is scale-invariant.
+  opt.scale = std::min(opt.scale, 0.05);
+
+  util::Table table{{"workload", "target (s)", "method", "best (s)",
+                     "execs to within 10%", "execs used"}};
+
+  for (const std::string& name : {std::string{"IOR_16M"}, std::string{"MDWorkbench_8K"}}) {
+    const pfs::JobSpec job = workloads::byName(name, opt);
+
+    // The paper's near-optimal reference is expert tuning (§5: "consistently
+    // achieve near-optimal performance (compared with expert tuning)").
+    // Coordinate descent seeded from the expert config refines it into the
+    // oracle row shown for context.
+    const core::RepeatedMeasure expert =
+        core::measureConfig(sim, job, baselines::expertConfig(name), 8, 700);
+    const double target = expert.summary.mean;
+
+    baselines::OracleOptions oracleOpts;
+    oracleOpts.maxSweeps = 2;
+    oracleOpts.candidatesPerParam = 5;
+    oracleOpts.start = baselines::expertConfig(name);
+    const baselines::OracleResult oracle = baselines::oracleSearch(sim, job, oracleOpts);
+    std::printf(".");
+    std::fflush(stdout);
+
+    std::size_t evals = 0;
+    const opt::Objective objective = [&](const pfs::PfsConfig& config) {
+      return sim.run(job, config, util::mix64(555, evals++)).wallSeconds;
+    };
+    const opt::SearchSpace space{sim.boundsContext()};
+    opt::OptOptions optOpts;
+    optOpts.maxEvaluations = 150;
+
+    struct Method {
+      const char* name;
+      opt::OptResult result;
+    };
+    std::vector<Method> methods;
+    evals = 0;
+    methods.push_back({"random search", opt::randomSearch(space, objective, optOpts)});
+    evals = 0;
+    methods.push_back(
+        {"simulated annealing", opt::simulatedAnnealing(space, objective, optOpts)});
+    evals = 0;
+    methods.push_back(
+        {"bayesian opt (GP+EI)", opt::bayesianOptimize(space, objective, optOpts)});
+    evals = 0;
+    methods.push_back(
+        {"heuristic controller", opt::heuristicController(space, objective, optOpts)});
+    std::printf(".");
+    std::fflush(stdout);
+
+    // STELLAR: executions = initial run + attempts.
+    core::StellarOptions stellarOpts;
+    stellarOpts.seed = 42;
+    const core::TuningEvaluation eval = core::evaluateTuning(sim, stellarOpts, job, 8);
+
+    table.addRow({name, bench::fmt(target), "expert (the paper's reference)",
+                  bench::fmt(target), "-", "-"});
+    table.addRow({name, "", "oracle (coord. descent from expert)",
+                  bench::fmt(oracle.seconds), "-", std::to_string(oracle.evaluations)});
+    for (const Method& m : methods) {
+      const std::size_t reach = m.result.evaluationsToReach(target, 1.10);
+      table.addRow({name, "", m.name, bench::fmt(m.result.bestSeconds),
+                    reach == 0 ? "not reached" : std::to_string(reach),
+                    std::to_string(m.result.history.size())});
+    }
+    double stellarExecs = 0.0;
+    double withinCount = 0.0;
+    for (const core::TuningRunResult& run : eval.runs) {
+      stellarExecs += 1.0 + static_cast<double>(run.attempts.size());
+      withinCount += run.bestSeconds <= target * 1.10 ? 1.0 : 0.0;
+    }
+    table.addRow({name, "", "STELLAR", bench::fmt(eval.bestSummary().mean),
+                  bench::fmt(stellarExecs / static_cast<double>(eval.runs.size()), 1) +
+                      " (in band in " +
+                      bench::fmt(100.0 * withinCount / eval.runs.size(), 0) +
+                      "% of runs)",
+                  bench::fmt(stellarExecs / static_cast<double>(eval.runs.size()), 1)});
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n\n%s\n", table.render().c_str());
+  std::printf(
+      "Expected shape (paper): the black-box methods need tens to hundreds\n"
+      "of full executions (or never reach the band); STELLAR spends a\n"
+      "single-digit number.\n");
+  return 0;
+}

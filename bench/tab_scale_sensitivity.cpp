@@ -1,0 +1,49 @@
+// §5.6 scale argument: "larger systems may even facilitate automated
+// tuning by exhibiting more pronounced performance responses to parameter
+// changes". This harness grows the storage side of the cluster (5 -> 10 ->
+// 20 OSTs) and measures how STELLAR's achievable speedup and convergence
+// respond. The engine re-derives parameter bounds (stripe_count max, etc.)
+// from the cluster automatically — the scale-invariance the paper claims.
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/harness.hpp"
+
+using namespace stellar;
+
+int main() {
+  bench::printHeader("Tuning response vs storage-system scale (IOR_16M)",
+                     "Section 5.6 scale discussion");
+
+  auto opt = bench::benchOptions();
+  opt.scale = std::min(opt.scale, 0.08);
+  const pfs::JobSpec job = workloads::byName("IOR_16M", opt);
+
+  util::Table table{{"OSTs", "default (s)", "STELLAR (s)", "speedup", "attempts"}};
+  for (const std::uint32_t ossNodes : {5u, 10u, 20u}) {
+    pfs::ClusterSpec cluster = pfs::defaultCluster();
+    cluster.ossNodes = ossNodes;
+    pfs::PfsSimulator sim{cluster};
+
+    const core::RepeatedMeasure def =
+        core::measureConfig(sim, job, pfs::PfsConfig{}, 8, 300 + ossNodes);
+
+    core::StellarOptions options;
+    options.seed = 42;
+    const core::TuningEvaluation eval = core::evaluateTuning(sim, options, job, 8);
+    const util::Summary best = eval.bestSummary();
+    table.addRow({std::to_string(ossNodes),
+                  bench::meanCi(def.summary.mean, def.summary.ci90),
+                  bench::meanCi(best.mean, best.ci90),
+                  bench::fmt(def.summary.mean / best.mean) + "x",
+                  bench::fmt(eval.meanAttempts(), 1)});
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n\n%s\n", table.render().c_str());
+  std::printf(
+      "Expected shape: wider striping headroom on larger storage systems\n"
+      "makes the default-vs-tuned gap *larger*, while the attempt count\n"
+      "stays flat — the tuning procedure is scale-invariant.\n");
+  return 0;
+}

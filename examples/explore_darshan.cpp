@@ -1,0 +1,53 @@
+// Darshan + dataframe + dfquery walkthrough: run a workload, characterize
+// it, and interrogate the resulting tables interactively-style with the
+// same query language the Analysis Agent uses.
+#include <cstdio>
+
+#include "darshan/recorder.hpp"
+#include "dataframe/from_darshan.hpp"
+#include "dfquery/eval.hpp"
+#include "pfs/simulator.hpp"
+#include "workloads/workloads.hpp"
+
+int main() {
+  using namespace stellar;
+
+  workloads::WorkloadOptions options;
+  options.ranks = 50;
+  options.scale = 0.05;
+  const pfs::JobSpec job = workloads::byName("IO500", options);
+
+  pfs::PfsSimulator simulator;
+  const pfs::RunResult run = simulator.run(job, pfs::PfsConfig{}, 1);
+
+  // Characterize the run the way Darshan would, then load it into tables.
+  const darshan::DarshanLog log = darshan::characterize(job, run);
+  std::printf("darshan log: %zu records, %.2f s runtime, %u procs\n\n",
+              log.records.size(), log.header.runTime, log.header.nprocs);
+
+  const df::DarshanTables tables = df::tablesFromLog(log);
+  const dfq::TableSet tableSet{{"posix", &tables.posix}};
+
+  const char* queries[] = {
+      "select count(*), sum(POSIX_BYTES_WRITTEN), sum(POSIX_BYTES_READ) from posix",
+      "select file, POSIX_BYTES_WRITTEN from posix "
+      "order by POSIX_BYTES_WRITTEN desc limit 5",
+      "select count(*) from posix where POSIX_FILE_SHARED_RANKS > 1",
+      "select POSIX_ACCESS1_ACCESS, sum(POSIX_ACCESS1_COUNT) from posix "
+      "group by POSIX_ACCESS1_ACCESS order by sum_POSIX_ACCESS1_COUNT desc limit 6",
+      "select sum(POSIX_STATS), sum(POSIX_OPENS), sum(POSIX_UNLINKS) from posix "
+      "where contains(file, 'mdt-easy')",
+  };
+  for (const char* query : queries) {
+    std::printf("dfquery> %s\n", query);
+    const df::DataFrame result = dfq::runQuery(query, tableSet);
+    std::printf("%s\n", result.toText(10).c_str());
+  }
+
+  // The serialized log round-trips, for archiving traces.
+  const std::string text = log.serialize();
+  const darshan::DarshanLog parsed = darshan::DarshanLog::parse(text);
+  std::printf("serialized log: %zu bytes, parses back to %zu records\n", text.size(),
+              parsed.records.size());
+  return 0;
+}

@@ -1,0 +1,72 @@
+// IO500-style per-phase reporting: the benchmark's phases are separated by
+// barriers, so their durations fall out of the simulator's barrier-release
+// times. Compares default vs expert vs a STELLAR-tuned configuration per
+// phase — showing *where* a static compromise wins and loses.
+#include <cstdio>
+#include <vector>
+
+#include "baselines/expert.hpp"
+#include "core/engine.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "workloads/workloads.hpp"
+
+int main() {
+  using namespace stellar;
+
+  workloads::WorkloadOptions options;
+  options.ranks = 50;
+  options.scale = 0.08;
+  const pfs::JobSpec job = workloads::byName("IO500", options);
+
+  // Phase names in generation order (each ends at one barrier; setup
+  // barriers produce near-zero "phases").
+  const std::vector<std::string> phaseNames = {
+      "ior-easy write", "mdtest-easy create", "ior-hard setup", "ior-hard write",
+      "mdtest-hard setup", "mdtest-hard create", "ior-easy read",
+      "mdtest-easy stat", "ior-hard read", "mdtest-hard stat+read", "deletes"};
+
+  pfs::PfsSimulator simulator;
+
+  core::StellarOptions stellar;
+  stellar.seed = 42;
+  stellar.agent.seed = 42;
+  core::StellarEngine engine{simulator, stellar};
+  const core::TuningRunResult tuned = engine.tune(job);
+
+  const pfs::RunResult defaultRun = simulator.run(job, pfs::PfsConfig{}, 7);
+  const pfs::RunResult expertRun =
+      simulator.run(job, baselines::expertConfig("IO500"), 7);
+  const pfs::RunResult tunedRun = simulator.run(job, tuned.bestConfig, 7);
+
+  const auto phaseDurations = [](const pfs::RunResult& run) {
+    std::vector<double> phases;
+    double previous = 0.0;
+    for (const double t : run.barrierTimes) {
+      phases.push_back(t - previous);
+      previous = t;
+    }
+    return phases;
+  };
+  const auto def = phaseDurations(defaultRun);
+  const auto expert = phaseDurations(expertRun);
+  const auto stellarPhases = phaseDurations(tunedRun);
+
+  util::Table table{{"phase", "default (s)", "expert (s)", "STELLAR (s)"}};
+  for (std::size_t i = 0; i < def.size(); ++i) {
+    if (def[i] < 0.005) {
+      continue;  // setup barriers
+    }
+    const std::string name =
+        i < phaseNames.size() ? phaseNames[i] : "phase " + std::to_string(i);
+    table.addRow({name, util::formatDouble(def[i], 3),
+                  i < expert.size() ? util::formatDouble(expert[i], 3) : "",
+                  i < stellarPhases.size() ? util::formatDouble(stellarPhases[i], 3)
+                                           : ""});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("total: default %.3f s, expert %.3f s, STELLAR %.3f s (%zu attempts)\n",
+              defaultRun.rawWallSeconds, expertRun.rawWallSeconds,
+              tunedRun.rawWallSeconds, tuned.attempts.size());
+  return 0;
+}

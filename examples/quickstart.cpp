@@ -1,0 +1,52 @@
+// Quickstart: tune one workload with STELLAR in ~20 lines.
+//
+//   $ ./quickstart [workload] [scale]
+//
+// Workloads: IOR_64K, IOR_16M, MDWorkbench_2K, MDWorkbench_8K, IO500,
+// AMReX, MACSio_512K, MACSio_16M (default IOR_16M).
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/engine.hpp"
+#include "util/units.hpp"
+#include "workloads/workloads.hpp"
+
+int main(int argc, char** argv) {
+  using namespace stellar;
+
+  const std::string workload = argc > 1 ? argv[1] : "IOR_16M";
+  workloads::WorkloadOptions options;
+  options.ranks = 50;
+  options.scale = argc > 2 ? std::atof(argv[2]) : 0.1;
+
+  // 1. Describe the application run (here: a bundled benchmark generator).
+  const pfs::JobSpec job = workloads::byName(workload, options);
+
+  // 2. A simulated Lustre-like cluster (5 OSS, 1 MDS, 5 client nodes).
+  pfs::PfsSimulator simulator;
+
+  // 3. Run one complete STELLAR tuning run.
+  core::StellarOptions stellar;
+  stellar.seed = 42;
+  core::StellarEngine engine{simulator, stellar};
+  const core::TuningRunResult result = engine.tune(job);
+
+  // 4. Inspect the outcome.
+  std::printf("workload: %s\n", result.workload.c_str());
+  std::printf("default config:  %s\n",
+              util::formatSeconds(result.defaultSeconds).c_str());
+  std::printf("best config:     %s  (%.2fx speedup, %zu attempts)\n",
+              util::formatSeconds(result.bestSeconds).c_str(), result.bestSpeedup(),
+              result.attempts.size());
+  std::printf("changed knobs:   %s\n",
+              result.bestConfig.diffAgainst(pfs::PfsConfig{}).c_str());
+  std::printf("stop reason:     %s\n", result.endReason.c_str());
+
+  std::printf("\nper-iteration wall time:\n");
+  for (std::size_t i = 0; i < result.iterationSeconds.size(); ++i) {
+    std::printf("  iteration %zu: %s%s\n", i,
+                util::formatSeconds(result.iterationSeconds[i]).c_str(),
+                i == 0 ? " (default)" : "");
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Rule-set lifecycle demo (§4.4 / §5.3): learn rules on the benchmark
+// suite, inspect the merged global Rule Set, then apply it to a
+// previously unseen application and compare against a cold start.
+#include <cstdio>
+
+#include "core/engine.hpp"
+#include "util/units.hpp"
+#include "workloads/workloads.hpp"
+
+int main() {
+  using namespace stellar;
+
+  workloads::WorkloadOptions options;
+  options.ranks = 50;
+  options.scale = 0.1;
+  pfs::PfsSimulator simulator;
+
+  // --- learn on the benchmarks ---------------------------------------------
+  rules::RuleSet global;
+  std::printf("=== accumulating rules over the benchmark suite ===\n");
+  for (const std::string& name : workloads::benchmarkNames()) {
+    core::StellarOptions stellar;
+    stellar.seed = 7;
+    stellar.agent.seed = 7;
+    core::StellarEngine engine{simulator, stellar};
+    const auto run = engine.tune(workloads::byName(name, options), &global);
+    std::printf("  %-16s %.2fx in %zu attempts -> %zu rules total\n",
+                name.c_str(), run.bestSpeedup(), run.attempts.size(), global.size());
+  }
+
+  std::printf("\n=== the global rule set (the paper's enforced JSON form) ===\n");
+  std::printf("%s\n", global.toJson().dump(2).c_str());
+
+  // --- apply to an unseen application ---------------------------------------
+  const pfs::JobSpec app = workloads::byName("AMReX", options);
+  core::StellarOptions stellar;
+  stellar.seed = 99;
+  stellar.agent.seed = 99;
+
+  core::StellarEngine cold{simulator, stellar};
+  const auto coldRun = cold.tune(app);
+
+  core::StellarEngine warm{simulator, stellar};
+  rules::RuleSet copy = global;
+  const auto warmRun = warm.tune(app, &copy);
+
+  std::printf("=== extrapolation to unseen AMReX ===\n");
+  std::printf("cold start: first attempt %s, best %s (%.2fx) in %zu attempts\n",
+              coldRun.iterationSeconds.size() > 1
+                  ? util::formatSeconds(coldRun.iterationSeconds[1]).c_str()
+                  : "-",
+              util::formatSeconds(coldRun.bestSeconds).c_str(), coldRun.bestSpeedup(),
+              coldRun.attempts.size());
+  std::printf("with rules: first attempt %s, best %s (%.2fx) in %zu attempts\n",
+              warmRun.iterationSeconds.size() > 1
+                  ? util::formatSeconds(warmRun.iterationSeconds[1]).c_str()
+                  : "-",
+              util::formatSeconds(warmRun.bestSeconds).c_str(), warmRun.bestSpeedup(),
+              warmRun.attempts.size());
+  return 0;
+}

@@ -1,0 +1,217 @@
+// stellar_cli — command-line front end for the whole engine.
+//
+//   stellar_cli extract
+//       Run the offline RAG parameter extraction and print the result.
+//   stellar_cli tune <workload> [options]
+//       One complete tuning run; prints the summary (and optionally the
+//       full Fig. 10-style transcript).
+//   stellar_cli suite [options]
+//       Tune the five benchmark workloads in sequence, accumulating the
+//       global rule set (persisted with --rules).
+//   stellar_cli workloads
+//       List available workload names.
+//
+// Options:
+//   --scale <0..1]      workload volume scale            (default 0.1)
+//   --seed <n>          run seed                         (default 42)
+//   --model <name>      tuning-agent model profile       (default claude-3.7-sonnet)
+//   --rules <file>      load/save the global rule set JSON
+//   --scope user|system tuning scope (§5.6)              (default system)
+//   --transcript        print the full agent transcript
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/offline_extractor.hpp"
+#include "util/file.hpp"
+#include "util/units.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace stellar;
+
+struct CliOptions {
+  double scale = 0.1;
+  std::uint64_t seed = 42;
+  std::string model = "claude-3.7-sonnet";
+  std::string rulesFile;
+  bool userScope = false;
+  bool transcript = false;
+};
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: stellar_cli <extract|tune|suite|workloads> [args]\n"
+               "  tune <workload> [--scale S] [--seed N] [--model NAME]\n"
+               "       [--rules FILE] [--scope user|system] [--transcript]\n"
+               "  suite [--scale S] [--seed N] [--rules FILE]\n");
+  std::exit(2);
+}
+
+CliOptions parseOptions(const std::vector<std::string>& args, std::size_t start) {
+  CliOptions opts;
+  for (std::size_t i = start; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= args.size()) {
+        usage();
+      }
+      return args[++i];
+    };
+    if (arg == "--scale") {
+      opts.scale = std::atof(value().c_str());
+    } else if (arg == "--seed") {
+      opts.seed = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (arg == "--model") {
+      opts.model = value();
+    } else if (arg == "--rules") {
+      opts.rulesFile = value();
+    } else if (arg == "--scope") {
+      const std::string scope = value();
+      if (scope == "user") {
+        opts.userScope = true;
+      } else if (scope != "system") {
+        usage();
+      }
+    } else if (arg == "--transcript") {
+      opts.transcript = true;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      usage();
+    }
+  }
+  return opts;
+}
+
+core::StellarOptions engineOptions(const CliOptions& cli) {
+  core::StellarOptions options;
+  options.seed = cli.seed;
+  options.agent.seed = cli.seed;
+  options.agent.model = llm::profileByName(cli.model);
+  options.scope = cli.userScope ? core::TuningScope::UserAccessible
+                                : core::TuningScope::SystemWide;
+  return options;
+}
+
+rules::RuleSet loadRules(const CliOptions& cli) {
+  if (!cli.rulesFile.empty() && util::fileExists(cli.rulesFile)) {
+    rules::RuleSet set = rules::RuleSet::loadFile(cli.rulesFile);
+    std::printf("loaded %zu rules from %s\n", set.size(), cli.rulesFile.c_str());
+    return set;
+  }
+  return {};
+}
+
+void saveRules(const CliOptions& cli, const rules::RuleSet& set) {
+  if (!cli.rulesFile.empty()) {
+    set.saveFile(cli.rulesFile);
+    std::printf("saved %zu rules to %s\n", set.size(), cli.rulesFile.c_str());
+  }
+}
+
+void printRun(const core::TuningRunResult& run, bool withTranscript) {
+  std::printf("workload:      %s\n", run.workload.c_str());
+  std::printf("default:       %s\n", util::formatSeconds(run.defaultSeconds).c_str());
+  std::printf("best:          %s  (%.2fx, %zu attempts)\n",
+              util::formatSeconds(run.bestSeconds).c_str(), run.bestSpeedup(),
+              run.attempts.size());
+  std::printf("changed knobs: %s\n",
+              run.bestConfig.diffAgainst(pfs::PfsConfig{}).c_str());
+  std::printf("stop reason:   %s\n", run.endReason.c_str());
+  const llm::UsageTotals tokens = run.meter.totals();
+  std::printf("llm usage:     %zu calls, %zu in / %zu out tokens (%.0f%% cached)\n",
+              tokens.calls, tokens.inputTokens, tokens.outputTokens,
+              tokens.cacheHitRate() * 100);
+  if (withTranscript) {
+    std::printf("\n--- transcript ---\n%s", run.transcript.render().c_str());
+  }
+}
+
+int cmdExtract() {
+  manual::SystemFacts facts;
+  const core::ExtractionResult result = core::OfflineExtractor{}.run(facts);
+  std::printf("indexed %zu chunks; extracted %zu tunables (precision %.2f, "
+              "recall %.2f)\n\n",
+              result.chunksIndexed, result.tunables.size(), result.precision(),
+              result.recall());
+  for (const core::ExtractedParam& p : result.tunables) {
+    std::printf("%-34s [%lld, %lld]  (%s .. %s)\n", p.name.c_str(),
+                static_cast<long long>(p.knowledge.minValue),
+                static_cast<long long>(p.knowledge.maxValue), p.minExpr.c_str(),
+                p.maxExpr.c_str());
+  }
+  return 0;
+}
+
+int cmdTune(const std::string& workload, const CliOptions& cli) {
+  workloads::WorkloadOptions wopts;
+  wopts.ranks = 50;
+  wopts.scale = cli.scale;
+  const pfs::JobSpec job = workloads::byName(workload, wopts);
+
+  pfs::PfsSimulator simulator;
+  core::StellarEngine engine{simulator, engineOptions(cli)};
+  rules::RuleSet global = loadRules(cli);
+  const core::TuningRunResult run = engine.tune(job, &global);
+  printRun(run, cli.transcript);
+  saveRules(cli, global);
+  return 0;
+}
+
+int cmdSuite(const CliOptions& cli) {
+  workloads::WorkloadOptions wopts;
+  wopts.ranks = 50;
+  wopts.scale = cli.scale;
+  pfs::PfsSimulator simulator;
+  rules::RuleSet global = loadRules(cli);
+  for (const std::string& name : workloads::benchmarkNames()) {
+    core::StellarEngine engine{simulator, engineOptions(cli)};
+    const core::TuningRunResult run =
+        engine.tune(workloads::byName(name, wopts), &global);
+    std::printf("%-16s %.2fx in %zu attempts (rules now: %zu)\n", name.c_str(),
+                run.bestSpeedup(), run.attempts.size(), global.size());
+  }
+  saveRules(cli, global);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args{argv + 1, argv + argc};
+  if (args.empty()) {
+    usage();
+  }
+  const std::string& command = args[0];
+  try {
+    if (command == "extract") {
+      return cmdExtract();
+    }
+    if (command == "workloads") {
+      for (const auto& name : stellar::workloads::benchmarkNames()) {
+        std::printf("%s\n", name.c_str());
+      }
+      for (const auto& name : stellar::workloads::realAppNames()) {
+        std::printf("%s\n", name.c_str());
+      }
+      return 0;
+    }
+    if (command == "tune") {
+      if (args.size() < 2) {
+        usage();
+      }
+      return cmdTune(args[1], parseOptions(args, 2));
+    }
+    if (command == "suite") {
+      return cmdSuite(parseOptions(args, 1));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  usage();
+}

@@ -1,0 +1,262 @@
+#include "agents/analysis_agent.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "dfquery/eval.hpp"
+#include "util/strings.hpp"
+#include "util/units.hpp"
+
+namespace stellar::agents {
+
+namespace {
+constexpr std::uint64_t kSmallFileThreshold = 1 * util::kMiB;
+}
+
+const char* followUpQuestionText(FollowUpQuestion q) noexcept {
+  switch (q) {
+    case FollowUpQuestion::FileSizeDistribution:
+      return "What is the distribution of file sizes (min/median/max), and how "
+             "many files are involved?";
+    case FollowUpQuestion::MetaToDataRatio:
+      return "What is the ratio of metadata operations to data operations?";
+    case FollowUpQuestion::AccessPattern:
+      return "What are the dominant access sizes and how sequential are the "
+             "accesses?";
+    case FollowUpQuestion::RankBalance:
+      return "Is the I/O balanced across ranks, or do few ranks dominate?";
+    case FollowUpQuestion::SharingStructure:
+      return "Are files shared across ranks or private to single ranks?";
+  }
+  return "?";
+}
+
+AnalysisAgent::AnalysisAgent(const df::DarshanTables& tables, llm::ModelProfile profile,
+                             llm::TokenMeter& meter, Transcript& transcript)
+    : tables_(tables), profile_(std::move(profile)), meter_(meter),
+      transcript_(transcript) {}
+
+df::DataFrame AnalysisAgent::run(const std::string& query) {
+  const dfq::TableSet tableSet{{"posix", &tables_.posix}};
+  df::DataFrame result = dfq::runQuery(query, tableSet);
+  queries_.push_back(query);
+  transcript_.add("analysis-agent", "executed query",
+                  query + "\n" + result.toText(8));
+  // One inference call per code-execution round, OpenInterpreter-style:
+  // the prompt re-sends the fixed context plus the growing query/result
+  // history, so most input tokens resolve from the prompt cache (§5.7).
+  if (history_.empty()) {
+    history_ = "You are an I/O analysis agent.\n" + tables_.headerText + "\n" +
+               tables_.columnDescriptions + tables_.posix.toText(30);
+  }
+  meter_.recordCall("analysis-agent", history_, query + "\n" + result.toText(8));
+  history_ += query + "\n" + result.toText(8);
+  return result;
+}
+
+IoReport AnalysisAgent::initialReport() {
+  IoReport report;
+
+  // --- the agent's query program ------------------------------------------
+  const df::DataFrame volume = run(
+      "select sum(POSIX_BYTES_READ), sum(POSIX_BYTES_WRITTEN), count(*) from posix");
+  const double bytesRead = *df::asNumber(volume.at("sum_POSIX_BYTES_READ", 0));
+  const double bytesWritten = *df::asNumber(volume.at("sum_POSIX_BYTES_WRITTEN", 0));
+  const double files = *df::asNumber(volume.at("count_rows", 0));
+
+  const df::DataFrame ops = run(
+      "select sum(POSIX_READS), sum(POSIX_WRITES), sum(POSIX_OPENS), "
+      "sum(POSIX_STATS), sum(POSIX_UNLINKS), sum(POSIX_OPENS_CREATE), "
+      "sum(POSIX_MODE_CLOSE) from posix");
+  const double reads = *df::asNumber(ops.at("sum_POSIX_READS", 0));
+  const double writes = *df::asNumber(ops.at("sum_POSIX_WRITES", 0));
+  const double opens = *df::asNumber(ops.at("sum_POSIX_OPENS", 0));
+  const double stats = *df::asNumber(ops.at("sum_POSIX_STATS", 0));
+  const double unlinks = *df::asNumber(ops.at("sum_POSIX_UNLINKS", 0));
+  const double closes = *df::asNumber(ops.at("sum_POSIX_MODE_CLOSE", 0));
+
+  const df::DataFrame seq = run(
+      "select sum(POSIX_SEQ_READS), sum(POSIX_SEQ_WRITES) from posix");
+  const double seqOps = *df::asNumber(seq.at("sum_POSIX_SEQ_READS", 0)) +
+                        *df::asNumber(seq.at("sum_POSIX_SEQ_WRITES", 0));
+
+  const df::DataFrame shared = run(
+      "select sum(POSIX_BYTES_READ), sum(POSIX_BYTES_WRITTEN) from posix "
+      "where POSIX_FILE_SHARED_RANKS > 1");
+  const double sharedBytes = *df::asNumber(shared.at("sum_POSIX_BYTES_READ", 0)) +
+                             *df::asNumber(shared.at("sum_POSIX_BYTES_WRITTEN", 0));
+
+  const df::DataFrame small = run(
+      "select count(*) from posix where POSIX_MAX_BYTE_WRITTEN < " +
+      std::to_string(kSmallFileThreshold) + " and POSIX_MAX_BYTE_WRITTEN > 0");
+  const double smallFiles = *df::asNumber(small.at("count_rows", 0));
+
+  const df::DataFrame sizes = run(
+      "select POSIX_ACCESS1_ACCESS, POSIX_ACCESS1_COUNT from posix "
+      "where POSIX_ACCESS1_COUNT > 0 order by POSIX_ACCESS1_COUNT desc limit 200");
+  // Byte-weighted mode of the common access sizes across records: the
+  // access size that moves the most data is what the data-path tuning
+  // should target (a count-weighted mode would let tiny header writes
+  // outvote the bulk transfers).
+  std::map<std::int64_t, double> sizeWeight;
+  for (std::size_t r = 0; r < sizes.rowCount(); ++r) {
+    const auto size = *df::asNumber(sizes.at("POSIX_ACCESS1_ACCESS", r));
+    const auto count = *df::asNumber(sizes.at("POSIX_ACCESS1_COUNT", r));
+    sizeWeight[static_cast<std::int64_t>(size)] += count * size;
+  }
+  std::int64_t dominant = 0;
+  double dominantWeight = -1;
+  for (const auto& [size, weight] : sizeWeight) {
+    if (weight > dominantWeight) {
+      dominant = size;
+      dominantWeight = weight;
+    }
+  }
+
+  const df::DataFrame largest = run(
+      "select max(POSIX_MAX_BYTE_WRITTEN) from posix");
+  const double largestFile = *df::asNumber(largest.at("max_POSIX_MAX_BYTE_WRITTEN", 0));
+
+  // --- synthesize the report ------------------------------------------------
+  const double dataOps = reads + writes;
+  const double metaOps = opens + stats + unlinks + closes;
+  const double totalBytes = bytesRead + bytesWritten;
+
+  rules::WorkloadContext& ctx = report.context;
+  ctx.metaOpShare = metaOps + dataOps > 0 ? metaOps / (metaOps + dataOps) : 0.0;
+  ctx.readShare = totalBytes > 0 ? bytesRead / totalBytes : 0.0;
+  ctx.sequentialShare = dataOps > 0 ? std::min(1.0, seqOps / dataOps) : 0.0;
+  ctx.sharedFileShare = totalBytes > 0 ? sharedBytes / totalBytes : 0.0;
+  ctx.smallFileShare = files > 0 ? smallFiles / files : 0.0;
+  ctx.dominantAccessSize = static_cast<std::uint64_t>(std::max<std::int64_t>(0, dominant));
+  ctx.fileCount = static_cast<std::uint64_t>(files);
+  ctx.totalBytes = static_cast<std::uint64_t>(totalBytes);
+
+  report.fileCount = ctx.fileCount;
+  report.totalBytes = ctx.totalBytes;
+  report.largestFileBytes = static_cast<std::uint64_t>(largestFile);
+  report.metaOps = static_cast<std::uint64_t>(metaOps);
+  report.dataOps = static_cast<std::uint64_t>(dataOps);
+
+  std::string& text = report.text;
+  text += "I/O Report (from " + std::to_string(queries_.size()) + " analyses of the "
+          "Darshan dataframes)\n";
+  text += "- Files accessed: " + std::to_string(ctx.fileCount) + ", largest " +
+          util::formatBytes(report.largestFileBytes) + ".\n";
+  text += "- Data moved: " + util::formatBytes(ctx.totalBytes) + " (" +
+          util::formatDouble(ctx.readShare * 100, 0) + "% read).\n";
+  text += "- Operation mix: " + std::to_string(report.metaOps) + " metadata ops vs " +
+          std::to_string(report.dataOps) + " data ops (" +
+          util::formatDouble(ctx.metaOpShare * 100, 0) + "% metadata).\n";
+  text += "- Access pattern: dominant access size " +
+          util::formatBytes(ctx.dominantAccessSize) + ", " +
+          util::formatDouble(ctx.sequentialShare * 100, 0) + "% sequential.\n";
+  text += "- Sharing: " + util::formatDouble(ctx.sharedFileShare * 100, 0) +
+          "% of bytes go to files shared by multiple ranks; " +
+          util::formatDouble(ctx.smallFileShare * 100, 0) + "% of files are under " +
+          util::formatBytes(kSmallFileThreshold) + ".\n";
+  if (ctx.metaOpShare > 0.5) {
+    text += "- Assessment: this application is metadata-intensive; per-file "
+            "costs (creates, stats, opens, unlinks, lock traffic) dominate.\n";
+  } else if (ctx.sequentialShare > 0.6 && ctx.dominantAccessSize >= util::kMiB) {
+    text += "- Assessment: this application streams large sequential records; "
+            "aggregate bandwidth to the OSTs is the limiting factor.\n";
+  } else if (ctx.dominantAccessSize > 0 && ctx.dominantAccessSize < util::kMiB) {
+    text += "- Assessment: this application issues many small or random "
+            "records; per-RPC efficiency and request concurrency dominate.\n";
+  } else {
+    text += "- Assessment: mixed I/O behaviour; expect phase-dependent "
+            "bottlenecks.\n";
+  }
+
+  // Final synthesis call: the whole analysis history plus the report.
+  meter_.recordCall("analysis-agent", history_, report.text);
+  history_ += report.text;
+
+  transcript_.add("analysis-agent", "I/O report", report.text);
+  return report;
+}
+
+std::string AnalysisAgent::answerFollowUp(FollowUpQuestion question) {
+  transcript_.add("tuning-agent", "follow-up question", followUpQuestionText(question));
+  std::string answer;
+  switch (question) {
+    case FollowUpQuestion::FileSizeDistribution: {
+      const df::DataFrame dist = run(
+          "select min(POSIX_MAX_BYTE_WRITTEN), mean(POSIX_MAX_BYTE_WRITTEN), "
+          "max(POSIX_MAX_BYTE_WRITTEN), count(*) from posix "
+          "where POSIX_MAX_BYTE_WRITTEN > 0");
+      answer = "File sizes: min " +
+               util::formatBytes(static_cast<std::uint64_t>(
+                   *df::asNumber(dist.at("min_POSIX_MAX_BYTE_WRITTEN", 0)))) +
+               ", mean " +
+               util::formatBytes(static_cast<std::uint64_t>(
+                   *df::asNumber(dist.at("mean_POSIX_MAX_BYTE_WRITTEN", 0)))) +
+               ", max " +
+               util::formatBytes(static_cast<std::uint64_t>(
+                   *df::asNumber(dist.at("max_POSIX_MAX_BYTE_WRITTEN", 0)))) +
+               " across " +
+               std::to_string(static_cast<std::int64_t>(
+                   *df::asNumber(dist.at("count_rows", 0)))) +
+               " written files.";
+      break;
+    }
+    case FollowUpQuestion::MetaToDataRatio: {
+      const df::DataFrame r = run(
+          "select sum(POSIX_OPENS), sum(POSIX_STATS), sum(POSIX_UNLINKS), "
+          "sum(POSIX_READS), sum(POSIX_WRITES) from posix");
+      const double meta = *df::asNumber(r.at("sum_POSIX_OPENS", 0)) +
+                          *df::asNumber(r.at("sum_POSIX_STATS", 0)) +
+                          *df::asNumber(r.at("sum_POSIX_UNLINKS", 0));
+      const double data = *df::asNumber(r.at("sum_POSIX_READS", 0)) +
+                          *df::asNumber(r.at("sum_POSIX_WRITES", 0));
+      answer = "Metadata-to-data operation ratio: " +
+               util::formatDouble(data > 0 ? meta / data : meta, 2) + " (" +
+               util::formatDouble(meta, 0) + " metadata ops, " +
+               util::formatDouble(data, 0) + " data ops).";
+      break;
+    }
+    case FollowUpQuestion::AccessPattern: {
+      const df::DataFrame r = run(
+          "select POSIX_ACCESS1_ACCESS, sum(POSIX_ACCESS1_COUNT) from posix "
+          "group by POSIX_ACCESS1_ACCESS order by sum_POSIX_ACCESS1_COUNT desc "
+          "limit 5");
+      answer = "Top access sizes by frequency:\n" + r.toText(5);
+      break;
+    }
+    case FollowUpQuestion::RankBalance: {
+      const df::DataFrame r = run(
+          "select rank, sum(POSIX_BYTES_READ), sum(POSIX_BYTES_WRITTEN) from posix "
+          "where rank >= 0 group by rank order by sum_POSIX_BYTES_WRITTEN desc "
+          "limit 5");
+      answer = r.rowCount() == 0
+                   ? "All I/O goes to shared records; per-rank byte counts are "
+                     "balanced by construction of the collective pattern."
+                   : "Heaviest per-rank private-file I/O:\n" + r.toText(5);
+      break;
+    }
+    case FollowUpQuestion::SharingStructure: {
+      const df::DataFrame r = run(
+          "select count(*), max(POSIX_FILE_SHARED_RANKS) from posix "
+          "where POSIX_FILE_SHARED_RANKS > 1");
+      const auto sharedFiles =
+          static_cast<std::int64_t>(*df::asNumber(r.at("count_rows", 0)));
+      answer = sharedFiles == 0
+                   ? "No files are shared: every file is accessed by exactly one "
+                     "rank (file-per-process)."
+                   : std::to_string(sharedFiles) + " files are accessed by multiple "
+                     "ranks (up to " +
+                     util::formatDouble(
+                         *df::asNumber(r.at("max_POSIX_FILE_SHARED_RANKS", 0)), 0) +
+                     " ranks on one file).";
+      break;
+    }
+  }
+  meter_.recordCall("analysis-agent", history_ + followUpQuestionText(question), answer);
+  history_ += std::string{followUpQuestionText(question)} + "\n" + answer + "\n";
+  transcript_.add("analysis-agent", "follow-up answer", answer);
+  return answer;
+}
+
+}  // namespace stellar::agents

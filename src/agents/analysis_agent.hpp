@@ -1,0 +1,50 @@
+// The Analysis Agent (§4.3.1): a code-executing agent that inspects the
+// Darshan dataframes, characterizes the application's I/O behaviour, and
+// answers targeted follow-ups from the Tuning Agent.
+//
+// Where the paper's agent plans and executes Python through
+// OpenInterpreter, this agent plans and executes dfquery programs: every
+// analysis it performs is a real query against the real tables, recorded
+// verbatim in the transcript, so the "what did the agent look at" trail is
+// exactly as inspectable as the paper's.
+#pragma once
+
+#include "agents/io_report.hpp"
+#include "agents/transcript.hpp"
+#include "dataframe/from_darshan.hpp"
+#include "llm/model_profile.hpp"
+#include "llm/token_meter.hpp"
+
+namespace stellar::agents {
+
+class AnalysisAgent {
+ public:
+  AnalysisAgent(const df::DarshanTables& tables, llm::ModelProfile profile,
+                llm::TokenMeter& meter, Transcript& transcript);
+
+  /// The high-level characterization task: runs its query program and
+  /// synthesizes the I/O Report.
+  [[nodiscard]] IoReport initialReport();
+
+  /// Runs the extra analysis for one follow-up and returns the answer
+  /// text (also logged to the transcript).
+  [[nodiscard]] std::string answerFollowUp(FollowUpQuestion question);
+
+  /// Every query executed so far (the agent's "code").
+  [[nodiscard]] const std::vector<std::string>& queriesRun() const noexcept {
+    return queries_;
+  }
+
+ private:
+  /// Executes one dfquery, logging it and its result.
+  [[nodiscard]] df::DataFrame run(const std::string& query);
+
+  const df::DarshanTables& tables_;
+  llm::ModelProfile profile_;
+  llm::TokenMeter& meter_;
+  Transcript& transcript_;
+  std::vector<std::string> queries_;
+  std::string history_;  ///< growing conversation context (token accounting)
+};
+
+}  // namespace stellar::agents

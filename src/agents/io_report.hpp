@@ -1,0 +1,37 @@
+// The I/O Report the Analysis Agent produces and the follow-up question
+// taxonomy the Tuning Agent draws from (§4.3's minor loop).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "rules/rules.hpp"
+
+namespace stellar::agents {
+
+struct IoReport {
+  /// Feature signature (doubles as the Tuning Context for learned rules).
+  rules::WorkloadContext context;
+  /// The prose report handed to the Tuning Agent.
+  std::string text;
+  /// Convenience aggregates the heuristics key on.
+  std::uint64_t fileCount = 0;
+  std::uint64_t totalBytes = 0;
+  std::uint64_t largestFileBytes = 0;
+  double medianFileBytes = 0.0;
+  std::uint64_t metaOps = 0;
+  std::uint64_t dataOps = 0;
+};
+
+/// What the Tuning Agent can ask the Analysis Agent (the Analysis? tool).
+enum class FollowUpQuestion {
+  FileSizeDistribution,
+  MetaToDataRatio,
+  AccessPattern,
+  RankBalance,
+  SharingStructure,
+};
+
+[[nodiscard]] const char* followUpQuestionText(FollowUpQuestion q) noexcept;
+
+}  // namespace stellar::agents

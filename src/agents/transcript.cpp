@@ -1,0 +1,28 @@
+#include "agents/transcript.hpp"
+
+namespace stellar::agents {
+
+void Transcript::add(std::string actor, std::string title, std::string body) {
+  events_.push_back(TranscriptEvent{std::move(actor), std::move(title), std::move(body)});
+}
+
+std::string Transcript::render() const {
+  std::string out;
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const TranscriptEvent& e = events_[i];
+    out += "[" + std::to_string(i + 1) + "] " + e.actor + " — " + e.title + "\n";
+    // Indent the body for readability.
+    std::string body = e.body;
+    std::string indented = "    ";
+    for (const char c : body) {
+      indented.push_back(c);
+      if (c == '\n') {
+        indented += "    ";
+      }
+    }
+    out += indented + "\n\n";
+  }
+  return out;
+}
+
+}  // namespace stellar::agents

@@ -1,0 +1,33 @@
+// Ordered event log of a tuning run — the material behind the paper's
+// Fig. 10 case study. Every agent decision, tool call, analysis answer,
+// and run outcome lands here with its actor tag.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace stellar::agents {
+
+struct TranscriptEvent {
+  std::string actor;  ///< "analysis-agent", "tuning-agent", "system"
+  std::string title;  ///< short event name ("I/O report", "attempt 2", ...)
+  std::string body;
+};
+
+class Transcript {
+ public:
+  void add(std::string actor, std::string title, std::string body);
+
+  [[nodiscard]] const std::vector<TranscriptEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+
+  /// Fig. 10-style rendering: timeline of actor-tagged blocks.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<TranscriptEvent> events_;
+};
+
+}  // namespace stellar::agents

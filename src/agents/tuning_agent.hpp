@@ -1,0 +1,170 @@
+// The Tuning Agent (§4.3.2): primary controller of the iterative tuning
+// loop. Each turn it selects one of the paper's three tools — ask the
+// Analysis Agent a follow-up (Analysis?), generate and run a new
+// configuration (Configuration Runner), or stop (End Tuning?) — and
+// documents the rationale for every parameter it changes.
+//
+// Decision mechanics. The agent compiles a plan of *move groups*
+// (hypotheses) from, in priority order: matched rules from the global Rule
+// Set, then a workload-conditioned playbook derived from the I/O Report and
+// its per-parameter knowledge. Knowledge governs correctness exactly as in
+// the paper's ablations: grounded (RAG) knowledge yields the documented
+// semantics; memory-recalled knowledge may be hallucinated, producing
+// misguided moves (e.g. widening stripes "to distribute small files") or
+// out-of-range values that fail validation. The model's reasoning quality
+// softens or defers moves stochastically (seeded), which is what separates
+// the Fig. 9 model profiles.
+//
+// Feedback policy mirrors §4.3.2: improvements are kept and pursued more
+// aggressively; regressions are reverted and the next hypothesis is tried;
+// the agent ends when expected marginal gain is low after a clear win.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "agents/io_report.hpp"
+#include "agents/transcript.hpp"
+#include "llm/knowledge.hpp"
+#include "llm/model_profile.hpp"
+#include "llm/token_meter.hpp"
+#include "pfs/params.hpp"
+#include "rules/rules.hpp"
+#include "util/rng.hpp"
+
+namespace stellar::agents {
+
+struct TuningAgentOptions {
+  llm::ModelProfile model = llm::claude37Sonnet();
+  /// Ablation flags (Fig. 8): without analysis there is no I/O report;
+  /// without descriptions the agent reasons from memory-recalled (possibly
+  /// hallucinated) semantics even when ranges are grounded.
+  bool useAnalysis = true;
+  bool useDescriptions = true;
+  int maxAttempts = 5;       ///< the paper's 5-configuration cap
+  double minGain = 0.03;     ///< relative improvement considered real
+  std::uint64_t seed = 1;
+};
+
+/// One configuration trial.
+struct Attempt {
+  pfs::PfsConfig config;
+  double seconds = 0.0;
+  bool valid = true;
+  std::string rationale;
+  std::string error;
+};
+
+/// A tried move whose outcome was negative (used for rule pruning §4.4.2).
+struct NegativeFinding {
+  std::string parameter;
+  rules::Direction direction;
+};
+
+class TuningAgent {
+ public:
+  enum class ActionKind { AskAnalysis, RunConfig, EndTuning };
+
+  struct Action {
+    ActionKind kind = ActionKind::EndTuning;
+    FollowUpQuestion question = FollowUpQuestion::FileSizeDistribution;
+    pfs::PfsConfig config;
+    std::string rationale;
+  };
+
+  TuningAgent(TuningAgentOptions options,
+              std::map<std::string, llm::ParamKnowledge> knowledge,
+              pfs::BoundsContext bounds, const rules::RuleSet* globalRules,
+              llm::TokenMeter& meter, Transcript& transcript);
+
+  /// Feeds the initial (default-config) execution. `report` is null in the
+  /// No-Analysis ablation.
+  void observeInitialRun(const IoReport* report, double defaultSeconds,
+                         const pfs::PfsConfig& defaultConfig);
+
+  /// The agent's next tool call.
+  [[nodiscard]] Action decide();
+
+  /// Result channels for the tools.
+  void observeAnalysisAnswer(FollowUpQuestion question, const std::string& answer);
+  void observeRunResult(double seconds, bool valid, const std::string& error);
+
+  [[nodiscard]] const std::vector<Attempt>& attempts() const noexcept {
+    return attempts_;
+  }
+  [[nodiscard]] const pfs::PfsConfig& bestConfig() const noexcept { return bestConfig_; }
+  [[nodiscard]] double bestSeconds() const noexcept { return bestSeconds_; }
+  [[nodiscard]] double defaultSeconds() const noexcept { return defaultSeconds_; }
+
+  /// Reflect & Summarize (§4.4): distills the run into general rules.
+  [[nodiscard]] std::vector<rules::Rule> reflectAndSummarize() const;
+
+  /// Tried-and-regressed directions, for pruning rule alternatives.
+  [[nodiscard]] const std::vector<NegativeFinding>& negativeFindings() const noexcept {
+    return negativeFindings_;
+  }
+
+ private:
+  struct Move {
+    std::string param;
+    rules::Direction direction = rules::Direction::SetValue;
+    std::int64_t value = 0;  ///< resolved target (what gets written)
+    std::string rationale;
+    bool fromRule = false;
+    bool misguided = false;  ///< generated from hallucinated semantics
+  };
+  struct MoveGroup {
+    std::vector<Move> moves;
+    std::string hypothesis;
+  };
+
+  void buildPlan();
+  void planFromRules(std::vector<std::string>& covered);
+  void planMetadataPlaybook(const std::vector<std::string>& covered, bool aggressive);
+  void planLargeSequentialPlaybook(const std::vector<std::string>& covered,
+                                   bool aggressive);
+  void planSmallRandomPlaybook(const std::vector<std::string>& covered);
+
+  /// Applies knowledge gating + reasoning-quality softening to a raw move.
+  [[nodiscard]] std::optional<Move> shapeMove(Move move);
+  /// The misguided variant produced by hallucinated semantics.
+  [[nodiscard]] Move misguidedMove(const std::string& param);
+
+  [[nodiscard]] std::int64_t believedMax(const std::string& param) const;
+  [[nodiscard]] std::int64_t believedMin(const std::string& param) const;
+  [[nodiscard]] pfs::PfsConfig synthesize(const MoveGroup& group,
+                                          std::string& rationaleOut) const;
+  void recordPromptedCall(const std::string& output);
+
+  TuningAgentOptions opts_;
+  std::map<std::string, llm::ParamKnowledge> knowledge_;
+  pfs::BoundsContext bounds_;
+  const rules::RuleSet* globalRules_;
+  llm::TokenMeter& meter_;
+  Transcript& transcript_;
+  util::Rng rng_;
+
+  std::optional<IoReport> report_;
+  pfs::PfsConfig defaultConfig_;
+  double defaultSeconds_ = 0.0;
+
+  std::vector<MoveGroup> plan_;
+  std::size_t nextGroup_ = 0;
+  std::vector<FollowUpQuestion> pendingQuestions_;
+
+  std::vector<Attempt> attempts_;
+  pfs::PfsConfig bestConfig_;
+  double bestSeconds_ = 0.0;
+  std::optional<MoveGroup> inFlight_;  ///< the group being trialed
+  std::optional<MoveGroup> repairGroup_;
+
+  std::vector<NegativeFinding> negativeFindings_;
+  std::vector<MoveGroup> succeededGroups_;
+  std::string knowledgeDump_;  ///< static prompt section (token accounting)
+  std::string analysisNotes_;  ///< accumulated follow-up answers (context)
+};
+
+}  // namespace stellar::agents

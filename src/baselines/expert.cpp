@@ -1,0 +1,140 @@
+#include "baselines/expert.hpp"
+
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace stellar::baselines {
+
+namespace {
+
+pfs::PfsConfig iorLargeSequential() {
+  pfs::PfsConfig cfg;
+  cfg.stripe_count = -1;
+  cfg.stripe_size = 16 * util::kMiB;
+  cfg.osc_max_pages_per_rpc = 4096;
+  cfg.osc_max_rpcs_in_flight = 32;
+  cfg.osc_max_dirty_mb = 512;
+  cfg.llite_max_read_ahead_mb = 1024;
+  cfg.llite_max_read_ahead_per_file_mb = 512;
+  return cfg;
+}
+
+pfs::PfsConfig iorSmallRandom() {
+  pfs::PfsConfig cfg;
+  cfg.stripe_count = -1;
+  cfg.stripe_size = 1 * util::kMiB;
+  cfg.osc_max_rpcs_in_flight = 64;
+  cfg.osc_max_dirty_mb = 256;
+  return cfg;
+}
+
+pfs::PfsConfig mdworkbench() {
+  pfs::PfsConfig cfg;
+  cfg.ldlm_lru_size = 400000;
+  cfg.llite_statahead_max = 2048;
+  cfg.mdc_max_rpcs_in_flight = 64;
+  cfg.mdc_max_mod_rpcs_in_flight = 63;
+  cfg.osc_max_rpcs_in_flight = 32;
+  return cfg;
+}
+
+pfs::PfsConfig io500() {
+  // A static compromise across the IOR-Easy/Hard and MDTest phases.
+  pfs::PfsConfig cfg;
+  cfg.stripe_count = -1;
+  cfg.stripe_size = 4 * util::kMiB;
+  cfg.osc_max_pages_per_rpc = 2048;
+  cfg.osc_max_rpcs_in_flight = 32;
+  cfg.osc_max_dirty_mb = 256;
+  cfg.llite_max_read_ahead_mb = 512;
+  cfg.llite_max_read_ahead_per_file_mb = 256;
+  cfg.llite_statahead_max = 1024;
+  cfg.mdc_max_rpcs_in_flight = 64;
+  cfg.mdc_max_mod_rpcs_in_flight = 63;
+  cfg.ldlm_lru_size = 200000;
+  return cfg;
+}
+
+pfs::PfsConfig amrex() {
+  pfs::PfsConfig cfg;
+  cfg.stripe_count = -1;
+  cfg.stripe_size = 8 * util::kMiB;
+  cfg.osc_max_pages_per_rpc = 4096;
+  cfg.osc_max_rpcs_in_flight = 32;
+  cfg.osc_max_dirty_mb = 1024;  // compute phases overlap the flush
+  return cfg;
+}
+
+pfs::PfsConfig macsio(bool large) {
+  pfs::PfsConfig cfg;
+  // File-per-process: one OST per file is fine; concurrency and dirty
+  // budget carry the load.
+  cfg.stripe_count = 1;
+  cfg.stripe_size = large ? 16 * util::kMiB : 1 * util::kMiB;
+  cfg.osc_max_pages_per_rpc = large ? 4096 : 1024;
+  cfg.osc_max_rpcs_in_flight = 32;
+  cfg.osc_max_dirty_mb = 512;
+  return cfg;
+}
+
+}  // namespace
+
+pfs::PfsConfig expertConfig(const std::string& workload) {
+  if (workload == "IOR_16M") {
+    return iorLargeSequential();
+  }
+  if (workload == "IOR_64K") {
+    return iorSmallRandom();
+  }
+  if (workload == "MDWorkbench_2K" || workload == "MDWorkbench_8K") {
+    return mdworkbench();
+  }
+  if (workload == "IO500") {
+    return io500();
+  }
+  if (workload == "AMReX") {
+    return amrex();
+  }
+  if (workload == "MACSio_512K") {
+    return macsio(false);
+  }
+  if (workload == "MACSio_16M") {
+    return macsio(true);
+  }
+  throw std::invalid_argument("no expert configuration for workload: " + workload);
+}
+
+std::string expertRationale(const std::string& workload) {
+  if (workload == "IOR_16M") {
+    return "Large sequential shared-file I/O: stripe across all OSTs, 16 MiB "
+           "stripes aligned to the transfer size, maximal RPCs, deep "
+           "write-back, and generous readahead for the read phase.";
+  }
+  if (workload == "IOR_64K") {
+    return "Random 64 KiB records to a shared file: spread the file across "
+           "all OSTs and raise in-flight RPCs; large RPCs and readahead do "
+           "not apply to random small records.";
+  }
+  if (workload == "MDWorkbench_2K" || workload == "MDWorkbench_8K") {
+    return "Metadata benchmark over many small files: size the lock LRU over "
+           "the working set, pipeline stat scans with stat-ahead, and raise "
+           "metadata RPC concurrency.";
+  }
+  if (workload == "IO500") {
+    return "Multi-phase mix: compromise stripe size, high data and metadata "
+           "concurrency, working-set-sized lock cache.";
+  }
+  if (workload == "AMReX") {
+    return "Bursty checkpoint writes into few shared level files with "
+           "compute between dumps: wide striping, big RPCs, and a deep dirty "
+           "budget so the flush overlaps computation.";
+  }
+  if (workload == "MACSio_512K" || workload == "MACSio_16M") {
+    return "File-per-process dumps: single-stripe files spread by layout "
+           "round-robin, large RPCs for the object sizes, deep write-back.";
+  }
+  throw std::invalid_argument("no expert rationale for workload: " + workload);
+}
+
+}  // namespace stellar::baselines

@@ -1,0 +1,21 @@
+// The human-expert baseline of Fig. 5: per-workload configurations an
+// experienced Lustre administrator would write given the benchmark
+// description and full Darshan traces (the paper gave its expert exactly
+// that, with unbounded time).
+#pragma once
+
+#include <string>
+
+#include "pfs/params.hpp"
+
+namespace stellar::baselines {
+
+/// Expert configuration for a workload by canonical name (IOR_64K,
+/// IOR_16M, MDWorkbench_2K, MDWorkbench_8K, IO500, AMReX, MACSio_512K,
+/// MACSio_16M). Throws std::invalid_argument for unknown names.
+[[nodiscard]] pfs::PfsConfig expertConfig(const std::string& workload);
+
+/// The expert's written rationale (used in reports/examples).
+[[nodiscard]] std::string expertRationale(const std::string& workload);
+
+}  // namespace stellar::baselines

@@ -1,0 +1,91 @@
+#include "baselines/oracle.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace stellar::baselines {
+
+std::vector<std::int64_t> candidateValues(const pfs::PfsSimulator& simulator,
+                                          const pfs::PfsConfig& current,
+                                          const std::string& param, std::size_t count) {
+  const auto bounds = pfs::paramBounds(param, current, simulator.boundsContext());
+  std::vector<std::int64_t> values;
+  if (!bounds) {
+    return values;
+  }
+  if (param == "lov.stripe_count") {
+    // Small discrete domain: enumerate.
+    for (std::int64_t v = bounds->min; v <= bounds->max; ++v) {
+      if (v != 0) {
+        values.push_back(v);
+      }
+    }
+    return values;
+  }
+  // Log-spaced grid from min..max (positive domains), always including the
+  // endpoints and the current value.
+  const double lo = static_cast<double>(std::max<std::int64_t>(bounds->min, 1));
+  const double hi = static_cast<double>(std::max<std::int64_t>(bounds->max, 1));
+  values.push_back(bounds->min);
+  if (hi > lo && count > 2) {
+    for (std::size_t i = 1; i + 1 < count; ++i) {
+      const double t = static_cast<double>(i) / static_cast<double>(count - 1);
+      values.push_back(static_cast<std::int64_t>(
+          std::llround(std::exp(std::log(lo) + t * (std::log(hi) - std::log(lo))))));
+    }
+  }
+  values.push_back(bounds->max);
+  if (const auto cur = current.get(param)) {
+    values.push_back(std::clamp(*cur, bounds->min, bounds->max));
+  }
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  return values;
+}
+
+OracleResult oracleSearch(const pfs::PfsSimulator& simulator, const pfs::JobSpec& job,
+                          const OracleOptions& options) {
+  // The oracle compares candidates on the *noise-free* simulated time with
+  // one fixed seed: an oracle corrupted by run-to-run noise accepts lucky
+  // draws and rejects real single-knob gains, making it a beatable "floor".
+  const auto evaluate = [&](const pfs::PfsConfig& cfg) {
+    return simulator.run(job, cfg, options.seed).rawWallSeconds;
+  };
+
+  OracleResult best;
+  best.config = pfs::clampConfig(options.start, simulator.boundsContext());
+  best.seconds = evaluate(best.config);
+  best.evaluations = 1;
+
+  for (std::size_t sweep = 0; sweep < options.maxSweeps; ++sweep) {
+    bool improved = false;
+    for (const std::string& param : pfs::PfsConfig::tunableNames()) {
+      for (const std::int64_t value :
+           candidateValues(simulator, best.config, param, options.candidatesPerParam)) {
+        pfs::PfsConfig candidate = best.config;
+        if (!candidate.set(param, value)) {
+          continue;
+        }
+        candidate = pfs::clampConfig(candidate, simulator.boundsContext());
+        if (candidate == best.config) {
+          continue;
+        }
+        const double seconds = evaluate(candidate);
+        ++best.evaluations;
+        if (seconds < best.seconds) {
+          best.seconds = seconds;
+          best.config = candidate;
+          improved = true;
+        }
+      }
+    }
+    if (!improved) {
+      break;
+    }
+  }
+  return best;
+}
+
+}  // namespace stellar::baselines

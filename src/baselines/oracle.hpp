@@ -1,0 +1,45 @@
+// Oracle search: coordinate descent over the 13-knob space on the
+// simulator, giving the near-optimal reference EXPERIMENTS.md compares
+// against. It is *not* something the paper's authors could run on real
+// hardware — each evaluation is a full application execution — which is
+// precisely the cost argument that motivates STELLAR.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pfs/job.hpp"
+#include "pfs/simulator.hpp"
+
+namespace stellar::baselines {
+
+struct OracleResult {
+  pfs::PfsConfig config;
+  double seconds = 0.0;
+  std::size_t evaluations = 0;
+};
+
+struct OracleOptions {
+  std::size_t maxSweeps = 2;        ///< passes of coordinate descent
+  std::size_t candidatesPerParam = 5;
+  std::uint64_t seed = 7;
+  /// Starting point. Coordinate descent cannot discover improvements that
+  /// need two knobs to move jointly (e.g. mdc.max_rpcs_in_flight with its
+  /// dependent max_mod_rpcs_in_flight), so seeding from a strong config
+  /// (the expert's) yields a proper near-optimal reference.
+  pfs::PfsConfig start{};
+};
+
+/// Coordinate-descent search minimizing simulated wall time, starting from
+/// the default configuration. Deterministic for a given seed.
+[[nodiscard]] OracleResult oracleSearch(const pfs::PfsSimulator& simulator,
+                                        const pfs::JobSpec& job,
+                                        const OracleOptions& options = {});
+
+/// The log-spaced candidate values coordinate descent sweeps for `param`.
+[[nodiscard]] std::vector<std::int64_t> candidateValues(const pfs::PfsSimulator& simulator,
+                                                        const pfs::PfsConfig& current,
+                                                        const std::string& param,
+                                                        std::size_t count);
+
+}  // namespace stellar::baselines

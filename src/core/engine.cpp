@@ -1,0 +1,190 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "darshan/recorder.hpp"
+#include "dataframe/from_darshan.hpp"
+#include "util/strings.hpp"
+
+namespace stellar::core {
+
+StellarEngine::StellarEngine(pfs::PfsSimulator simulator, StellarOptions options)
+    : simulator_(std::move(simulator)), options_(std::move(options)) {}
+
+const ExtractionResult& StellarEngine::extraction() const {
+  if (!extraction_) {
+    manual::SystemFacts facts;
+    facts.clientRamMb = simulator_.cluster().clientRamMb();
+    facts.ostCount = simulator_.cluster().totalOsts();
+    extraction_ = OfflineExtractor{}.run(facts);
+  }
+  return *extraction_;
+}
+
+std::map<std::string, llm::ParamKnowledge> StellarEngine::buildKnowledge() const {
+  std::map<std::string, llm::ParamKnowledge> knowledge;
+  manual::SystemFacts facts;
+  facts.clientRamMb = simulator_.cluster().clientRamMb();
+  facts.ostCount = simulator_.cluster().totalOsts();
+
+  // In user scope the agent only knows about (and can only set) the
+  // parameters an unprivileged user controls.
+  const auto inScope = [this](const std::string& name) {
+    if (options_.scope == TuningScope::SystemWide) {
+      return true;
+    }
+    const manual::ParamFact* fact = manual::findParamFact(name);
+    return fact != nullptr && fact->userAccessible;
+  };
+
+  if (options_.useRagExtraction) {
+    for (const ExtractedParam& param : extraction().tunables) {
+      if (!inScope(param.name)) {
+        continue;
+      }
+      llm::ParamKnowledge k = param.knowledge;
+      if (!options_.agent.useDescriptions) {
+        // No-Descriptions ablation (§5.4): the grounded value ranges are
+        // kept, but the semantic understanding falls back to model memory
+        // — hallucination-prone.
+        const manual::ParamFact* fact = manual::findParamFact(param.name);
+        if (fact != nullptr) {
+          // Without any description the model has nothing to anchor its
+          // semantics on, so recall is substantially more hallucination
+          // prone than an ordinary memory lookup.
+          llm::ModelProfile blinded = options_.agent.model;
+          blinded.hallucinationRate =
+              std::max(0.25, blinded.hallucinationRate * 4.0);
+          llm::ParamKnowledge recalled = llm::recallFromMemory(
+              *fact, blinded, facts, options_.seed ^ 0xD15AB1EDULL);
+          recalled.minValue = k.minValue;  // ranges stay grounded
+          recalled.maxValue = k.maxValue;
+          if (recalled.corruption == llm::CorruptionKind::WrongRange) {
+            // A range corruption is moot when ranges are grounded; what is
+            // lost is the description.
+            recalled.corruption = llm::CorruptionKind::WrongDefinition;
+          }
+          k = recalled;
+        }
+      }
+      knowledge.emplace(param.name, std::move(k));
+    }
+    return knowledge;
+  }
+
+  // No-RAG path: everything, descriptions and ranges, comes from memory.
+  for (const std::string& name : manual::groundTruthTunables()) {
+    const manual::ParamFact* fact = manual::findParamFact(name);
+    if (fact == nullptr || !inScope(name)) {
+      continue;
+    }
+    knowledge.emplace(
+        name, llm::recallFromMemory(*fact, options_.agent.model, facts, options_.seed));
+  }
+  return knowledge;
+}
+
+TuningRunResult StellarEngine::tune(const pfs::JobSpec& job,
+                                    rules::RuleSet* globalRules) {
+  TuningRunResult result;
+  result.workload = job.name;
+
+  const pfs::PfsConfig defaultConfig{};
+  const std::uint64_t seedBase = util::mix64(options_.seed, 0x7E57);
+
+  // --- initial run with the default configuration --------------------------
+  const pfs::RunResult initial = simulator_.run(job, defaultConfig, seedBase);
+  result.defaultSeconds = initial.wallSeconds;
+  result.iterationSeconds.push_back(initial.wallSeconds);
+  result.transcript.add("system", "initial run",
+                        "default configuration: " +
+                            util::formatSeconds(initial.wallSeconds));
+
+  // --- Darshan -> dataframes -> Analysis Agent ------------------------------
+  std::optional<df::DarshanTables> tables;
+  std::optional<agents::AnalysisAgent> analysis;
+  const agents::IoReport* reportPtr = nullptr;
+  if (options_.agent.useAnalysis) {
+    const darshan::DarshanLog log = darshan::characterize(job, initial, seedBase);
+    tables = df::tablesFromLog(log);
+    analysis.emplace(*tables, options_.analysisModel, result.meter, result.transcript);
+    result.report = analysis->initialReport();
+    result.hasReport = true;
+    reportPtr = &result.report;
+  } else {
+    result.transcript.add("system", "ablation",
+                          "Analysis Agent removed: no I/O report available.");
+  }
+
+  // --- Tuning Agent tool loop -----------------------------------------------
+  agents::TuningAgent agent{options_.agent, buildKnowledge(),
+                            simulator_.boundsContext(), globalRules, result.meter,
+                            result.transcript};
+  agent.observeInitialRun(reportPtr, initial.wallSeconds, defaultConfig);
+
+  // Guard: tool loop is bounded by attempts + questions + repairs.
+  const int maxToolCalls = options_.agent.maxAttempts * 2 + 8;
+  for (int call = 0; call < maxToolCalls; ++call) {
+    const agents::TuningAgent::Action action = agent.decide();
+    if (action.kind == agents::TuningAgent::ActionKind::EndTuning) {
+      result.endReason = action.rationale;
+      break;
+    }
+    if (action.kind == agents::TuningAgent::ActionKind::AskAnalysis) {
+      if (analysis) {
+        const std::string answer = analysis->answerFollowUp(action.question);
+        agent.observeAnalysisAnswer(action.question, answer);
+      } else {
+        agent.observeAnalysisAnswer(action.question, "(no analysis agent available)");
+      }
+      continue;
+    }
+    // Configuration Runner tool: validate, then execute on the system.
+    const auto problems = pfs::validateConfig(action.config, simulator_.boundsContext());
+    if (!problems.empty()) {
+      agent.observeRunResult(0.0, false, util::join(problems, "; "));
+      result.iterationSeconds.push_back(result.iterationSeconds.back());
+      continue;
+    }
+    const pfs::RunResult run = simulator_.run(
+        job, action.config, util::mix64(seedBase, result.iterationSeconds.size()));
+    agent.observeRunResult(run.wallSeconds, true, {});
+    result.iterationSeconds.push_back(run.wallSeconds);
+  }
+  if (result.endReason.empty()) {
+    result.endReason = "attempt budget exhausted";
+  }
+
+  result.attempts = agent.attempts();
+  result.bestConfig = agent.bestConfig();
+  result.bestSeconds = agent.bestSeconds();
+
+  // --- Reflect & Summarize ---------------------------------------------------
+  result.learnedRules = agent.reflectAndSummarize();
+  if (!result.learnedRules.empty()) {
+    rules::RuleSet learnedSet;
+    for (const rules::Rule& rule : result.learnedRules) {
+      learnedSet.add(rule);
+    }
+    result.transcript.add("tuning-agent", "Reflect & Summarize",
+                          learnedSet.toJson().dump(2));
+  }
+  if (globalRules != nullptr) {
+    // Outcome pruning first (§4.4.2: alternatives that failed are dropped),
+    // then merge the new rules.
+    if (result.hasReport) {
+      for (const agents::NegativeFinding& finding : agent.negativeFindings()) {
+        (void)globalRules->dropNegative(finding.parameter, result.report.context,
+                                        finding.direction);
+      }
+    }
+    const std::string mergeReport = globalRules->merge(result.learnedRules);
+    if (!mergeReport.empty()) {
+      result.transcript.add("tuning-agent", "rule set merge", mergeReport);
+    }
+  }
+  return result;
+}
+
+}  // namespace stellar::core

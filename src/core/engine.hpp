@@ -1,0 +1,88 @@
+// StellarEngine: the complete online tuning loop of Fig. 1 — initial run,
+// Darshan characterization, Analysis Agent report, Tuning Agent tool loop
+// (Analysis? / Configuration Runner / End Tuning?), and Reflect & Summarize
+// into the global Rule Set.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "agents/analysis_agent.hpp"
+#include "agents/transcript.hpp"
+#include "agents/tuning_agent.hpp"
+#include "core/offline_extractor.hpp"
+#include "llm/token_meter.hpp"
+#include "pfs/simulator.hpp"
+#include "rules/rules.hpp"
+
+namespace stellar::core {
+
+/// Deployment scope (§5.6): production HPC users usually lack root, so the
+/// engine can restrict itself to parameters an unprivileged user can set
+/// (per-file layout via lfs setstripe).
+enum class TuningScope {
+  SystemWide,      ///< all 13 tunables (the paper's CloudLab setting)
+  UserAccessible,  ///< only user-settable parameters (future-work mode)
+};
+
+struct StellarOptions {
+  agents::TuningAgentOptions agent;            ///< tuning-agent model + ablations
+  llm::ModelProfile analysisModel = llm::gpt4o();
+  /// When false, parameter knowledge comes from model memory instead of
+  /// the RAG extraction (the hallucination-prone path of Fig. 2/Fig. 8).
+  bool useRagExtraction = true;
+  TuningScope scope = TuningScope::SystemWide;
+  std::uint64_t seed = 1;
+};
+
+/// One complete Tuning Run (the paper's unit of evaluation).
+struct TuningRunResult {
+  std::string workload;
+  double defaultSeconds = 0.0;
+  /// wall time per iteration: index 0 = initial default run, then each
+  /// configuration attempt in order (the x-axes of Figs. 6/7).
+  std::vector<double> iterationSeconds;
+  std::vector<agents::Attempt> attempts;
+  pfs::PfsConfig bestConfig;
+  double bestSeconds = 0.0;
+  std::string endReason;
+  std::vector<rules::Rule> learnedRules;
+  bool hasReport = false;
+  agents::IoReport report;
+  agents::Transcript transcript;
+  llm::TokenMeter meter;
+
+  [[nodiscard]] double bestSpeedup() const noexcept {
+    return bestSeconds > 0 ? defaultSeconds / bestSeconds : 0.0;
+  }
+};
+
+class StellarEngine {
+ public:
+  StellarEngine(pfs::PfsSimulator simulator, StellarOptions options);
+
+  /// Runs one complete tuning run on `job`. When `globalRules` is given,
+  /// matched rules steer the first configuration and the learned rules are
+  /// merged back (with §4.4.2 conflict resolution + outcome pruning).
+  [[nodiscard]] TuningRunResult tune(const pfs::JobSpec& job,
+                                     rules::RuleSet* globalRules = nullptr);
+
+  /// The (cached) offline extraction shared by all runs of this engine.
+  [[nodiscard]] const ExtractionResult& extraction() const;
+
+  [[nodiscard]] const pfs::PfsSimulator& simulator() const noexcept {
+    return simulator_;
+  }
+  [[nodiscard]] const StellarOptions& options() const noexcept { return options_; }
+
+ private:
+  [[nodiscard]] std::map<std::string, llm::ParamKnowledge> buildKnowledge() const;
+
+  pfs::PfsSimulator simulator_;
+  StellarOptions options_;
+  mutable std::optional<ExtractionResult> extraction_;
+};
+
+}  // namespace stellar::core

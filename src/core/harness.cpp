@@ -1,0 +1,102 @@
+#include "core/harness.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace stellar::core {
+
+RepeatedMeasure measureConfig(const pfs::PfsSimulator& simulator, const pfs::JobSpec& job,
+                              const pfs::PfsConfig& config, std::size_t repeats,
+                              std::uint64_t seedBase) {
+  RepeatedMeasure measure;
+  measure.samples.assign(repeats, 0.0);
+  util::ThreadPool pool;
+  pool.parallelFor(repeats, [&](std::size_t i) {
+    measure.samples[i] =
+        simulator.run(job, config, util::mix64(seedBase, i)).wallSeconds;
+  });
+  measure.summary = util::summarize(measure.samples);
+  return measure;
+}
+
+util::Summary TuningEvaluation::bestSummary() const {
+  std::vector<double> xs;
+  xs.reserve(runs.size());
+  for (const TuningRunResult& run : runs) {
+    xs.push_back(run.bestSeconds);
+  }
+  return util::summarize(xs);
+}
+
+util::Summary TuningEvaluation::defaultSummary() const {
+  std::vector<double> xs;
+  xs.reserve(runs.size());
+  for (const TuningRunResult& run : runs) {
+    xs.push_back(run.defaultSeconds);
+  }
+  return util::summarize(xs);
+}
+
+std::vector<double> TuningEvaluation::meanIterationSpeedups() const {
+  std::size_t maxIters = 0;
+  for (const TuningRunResult& run : runs) {
+    maxIters = std::max(maxIters, run.iterationSeconds.size());
+  }
+  std::vector<double> speedups;
+  for (std::size_t k = 0; k < maxIters; ++k) {
+    double total = 0.0;
+    for (const TuningRunResult& run : runs) {
+      // Runs that ended earlier hold their best-so-far value; speedup of
+      // iteration k is default/bestUpToK (the paper's per-iteration plots
+      // track the best configuration found so far).
+      double bestUpToK = run.iterationSeconds.front();
+      for (std::size_t i = 1; i <= k && i < run.iterationSeconds.size(); ++i) {
+        bestUpToK = std::min(bestUpToK, run.iterationSeconds[i]);
+      }
+      if (k >= run.iterationSeconds.size()) {
+        bestUpToK = std::min(bestUpToK, run.bestSeconds);
+      }
+      total += run.defaultSeconds / bestUpToK;
+    }
+    speedups.push_back(total / static_cast<double>(runs.size()));
+  }
+  return speedups;
+}
+
+double TuningEvaluation::meanAttempts() const {
+  if (runs.empty()) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (const TuningRunResult& run : runs) {
+    total += static_cast<double>(run.attempts.size());
+  }
+  return total / static_cast<double>(runs.size());
+}
+
+TuningEvaluation evaluateTuning(const pfs::PfsSimulator& simulator,
+                                const StellarOptions& options, const pfs::JobSpec& job,
+                                std::size_t repeats, const rules::RuleSet* globalRules) {
+  TuningEvaluation evaluation;
+  evaluation.runs.resize(repeats);
+  util::ThreadPool pool;
+  pool.parallelFor(repeats, [&](std::size_t i) {
+    StellarOptions perRun = options;
+    perRun.seed = util::mix64(options.seed, 0xE0A1 + i);
+    perRun.agent.seed = perRun.seed;
+    StellarEngine engine{simulator, perRun};
+    if (globalRules != nullptr) {
+      // Copy so concurrent runs cannot mutate the shared set; accumulation
+      // scenarios thread a single RuleSet through sequential calls instead.
+      rules::RuleSet localRules = *globalRules;
+      evaluation.runs[i] = engine.tune(job, &localRules);
+    } else {
+      evaluation.runs[i] = engine.tune(job, nullptr);
+    }
+  });
+  return evaluation;
+}
+
+}  // namespace stellar::core

@@ -1,0 +1,52 @@
+// Experiment harness: the paper's measurement protocol — every case runs
+// eight times (fresh file system each run, implicit in the simulator) and
+// figures report means with 90% confidence intervals.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "pfs/simulator.hpp"
+#include "util/stats.hpp"
+
+namespace stellar::core {
+
+struct RepeatedMeasure {
+  util::Summary summary;
+  std::vector<double> samples;
+};
+
+/// Runs `job` under `config` `repeats` times with distinct seeds; repeats
+/// execute in parallel (each simulation is independent and deterministic).
+[[nodiscard]] RepeatedMeasure measureConfig(const pfs::PfsSimulator& simulator,
+                                            const pfs::JobSpec& job,
+                                            const pfs::PfsConfig& config,
+                                            std::size_t repeats = 8,
+                                            std::uint64_t seedBase = 1000);
+
+/// A full STELLAR evaluation of one workload: `repeats` independent tuning
+/// runs (per the paper's averaging), each with its own seed. Rule-set state
+/// is NOT shared across the repeats — pass `globalRules` explicitly for the
+/// accumulation scenarios.
+struct TuningEvaluation {
+  std::vector<TuningRunResult> runs;
+
+  /// Mean/CI of the best-configuration wall time across runs.
+  [[nodiscard]] util::Summary bestSummary() const;
+  /// Mean/CI of the default wall time across runs.
+  [[nodiscard]] util::Summary defaultSummary() const;
+  /// Mean speedup of iteration k over the default (Figs. 6/7 series);
+  /// runs that ended before iteration k contribute their final value.
+  [[nodiscard]] std::vector<double> meanIterationSpeedups() const;
+  [[nodiscard]] double meanAttempts() const;
+};
+
+[[nodiscard]] TuningEvaluation evaluateTuning(const pfs::PfsSimulator& simulator,
+                                              const StellarOptions& options,
+                                              const pfs::JobSpec& job,
+                                              std::size_t repeats = 8,
+                                              const rules::RuleSet* globalRules = nullptr);
+
+}  // namespace stellar::core

@@ -1,0 +1,175 @@
+#include "darshan/log.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace stellar::darshan {
+
+namespace {
+
+const std::vector<std::string> kCounterNames = {
+    "POSIX_OPENS",
+    "POSIX_FILENOS",
+    "POSIX_READS",
+    "POSIX_WRITES",
+    "POSIX_SEQ_READS",
+    "POSIX_SEQ_WRITES",
+    "POSIX_BYTES_READ",
+    "POSIX_BYTES_WRITTEN",
+    "POSIX_MAX_BYTE_READ",
+    "POSIX_MAX_BYTE_WRITTEN",
+    "POSIX_STATS",
+    "POSIX_FSYNCS",
+    "POSIX_UNLINKS",
+    "POSIX_OPENS_CREATE",
+    "POSIX_MODE_CLOSE",
+    "POSIX_ACCESS1_ACCESS",
+    "POSIX_ACCESS1_COUNT",
+    "POSIX_ACCESS2_ACCESS",
+    "POSIX_ACCESS2_COUNT",
+    "POSIX_ACCESS3_ACCESS",
+    "POSIX_ACCESS3_COUNT",
+    "POSIX_ACCESS4_ACCESS",
+    "POSIX_ACCESS4_COUNT",
+    "POSIX_SIZE_READ_MIN",
+    "POSIX_SIZE_READ_MAX",
+    "POSIX_FILE_SHARED_RANKS",
+};
+
+const std::vector<std::string> kFcounterNames = {
+    "POSIX_F_READ_TIME",
+    "POSIX_F_WRITE_TIME",
+    "POSIX_F_META_TIME",
+};
+
+}  // namespace
+
+const std::vector<std::string>& counterNames() { return kCounterNames; }
+const std::vector<std::string>& fcounterNames() { return kFcounterNames; }
+
+std::string counterDescription(std::string_view name) {
+  if (name == "POSIX_OPENS") return "number of open operations on the file";
+  if (name == "POSIX_FILENOS") return "number of distinct file descriptors used";
+  if (name == "POSIX_READS") return "number of read operations";
+  if (name == "POSIX_WRITES") return "number of write operations";
+  if (name == "POSIX_SEQ_READS") return "reads immediately following the previous read offset";
+  if (name == "POSIX_SEQ_WRITES") return "writes immediately following the previous write offset";
+  if (name == "POSIX_BYTES_READ") return "total bytes read from the file";
+  if (name == "POSIX_BYTES_WRITTEN") return "total bytes written to the file";
+  if (name == "POSIX_MAX_BYTE_READ") return "highest byte offset read";
+  if (name == "POSIX_MAX_BYTE_WRITTEN") return "highest byte offset written (proxy for file size)";
+  if (name == "POSIX_STATS") return "number of stat operations";
+  if (name == "POSIX_FSYNCS") return "number of fsync operations";
+  if (name == "POSIX_UNLINKS") return "number of unlink operations";
+  if (name == "POSIX_OPENS_CREATE") return "opens that created the file";
+  if (name == "POSIX_MODE_CLOSE") return "number of close operations";
+  if (name == "POSIX_ACCESS1_ACCESS") return "most common access size in bytes";
+  if (name == "POSIX_ACCESS1_COUNT") return "occurrences of the most common access size";
+  if (name == "POSIX_ACCESS2_ACCESS") return "2nd most common access size in bytes";
+  if (name == "POSIX_ACCESS2_COUNT") return "occurrences of the 2nd most common access size";
+  if (name == "POSIX_ACCESS3_ACCESS") return "3rd most common access size in bytes";
+  if (name == "POSIX_ACCESS3_COUNT") return "occurrences of the 3rd most common access size";
+  if (name == "POSIX_ACCESS4_ACCESS") return "4th most common access size in bytes";
+  if (name == "POSIX_ACCESS4_COUNT") return "occurrences of the 4th most common access size";
+  if (name == "POSIX_SIZE_READ_MIN") return "smallest access size observed";
+  if (name == "POSIX_SIZE_READ_MAX") return "largest access size observed";
+  if (name == "POSIX_FILE_SHARED_RANKS") return "number of distinct ranks that accessed the file";
+  if (name == "POSIX_F_READ_TIME") return "cumulative seconds ranks were blocked reading this file";
+  if (name == "POSIX_F_WRITE_TIME") return "cumulative seconds ranks were blocked writing this file";
+  if (name == "POSIX_F_META_TIME") return "cumulative seconds ranks spent in metadata operations on this file";
+  return "undocumented counter";
+}
+
+std::optional<std::int64_t> Record::counter(std::string_view name) const {
+  for (const auto& [k, v] : counters) {
+    if (k == name) {
+      return v;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<double> Record::fcounter(std::string_view name) const {
+  for (const auto& [k, v] : fcounters) {
+    if (k == name) {
+      return v;
+    }
+  }
+  return std::nullopt;
+}
+
+std::string DarshanLog::serialize() const {
+  std::ostringstream out;
+  out << "# darshan log (stellar reproduction)\n";
+  out << "# exe: " << header.exe << "\n";
+  out << "# nprocs: " << header.nprocs << "\n";
+  out << "# run time: " << header.runTime << "\n";
+  out << "# jobid: " << header.jobId << "\n";
+  for (const Record& rec : records) {
+    out << "FILE\t" << rec.rank << "\t" << rec.fileName << "\n";
+    for (const auto& [k, v] : rec.counters) {
+      out << "C\t" << k << "\t" << v << "\n";
+    }
+    for (const auto& [k, v] : rec.fcounters) {
+      out << "F\t" << k << "\t" << v << "\n";
+    }
+  }
+  return out.str();
+}
+
+DarshanLog DarshanLog::parse(const std::string& text) {
+  DarshanLog log;
+  Record* current = nullptr;
+  std::istringstream in{text};
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    if (line[0] == '#') {
+      const auto colon = line.find(':');
+      if (colon == std::string::npos) {
+        continue;
+      }
+      const std::string key{util::trim(line.substr(1, colon - 1))};
+      const std::string value{util::trim(line.substr(colon + 1))};
+      if (key == "exe") {
+        log.header.exe = value;
+      } else if (key == "nprocs") {
+        log.header.nprocs = static_cast<std::uint32_t>(std::stoul(value));
+      } else if (key == "run time") {
+        log.header.runTime = std::stod(value);
+      } else if (key == "jobid") {
+        log.header.jobId = std::stoull(value);
+      }
+      continue;
+    }
+    const auto fields = util::split(line, '\t');
+    if (fields.size() != 3) {
+      throw std::runtime_error("malformed darshan log line: " + line);
+    }
+    if (fields[0] == "FILE") {
+      log.records.emplace_back();
+      current = &log.records.back();
+      current->rank = static_cast<std::int32_t>(std::stol(fields[1]));
+      current->fileName = fields[2];
+    } else if (fields[0] == "C") {
+      if (current == nullptr) {
+        throw std::runtime_error("counter before FILE record");
+      }
+      current->counters.emplace_back(fields[1], std::stoll(fields[2]));
+    } else if (fields[0] == "F") {
+      if (current == nullptr) {
+        throw std::runtime_error("fcounter before FILE record");
+      }
+      current->fcounters.emplace_back(fields[1], std::stod(fields[2]));
+    } else {
+      throw std::runtime_error("unknown darshan log line kind: " + fields[0]);
+    }
+  }
+  return log;
+}
+
+}  // namespace stellar::darshan

@@ -1,0 +1,59 @@
+// Darshan-style I/O characterization log.
+//
+// Mirrors the structure the paper's preprocessing step consumes (§4.1,
+// §4.3.1): a job header plus per-file records of module counters. Counter
+// names follow real Darshan's POSIX module conventions so the Analysis
+// Agent's queries read like analyses of genuine darshan-parser output.
+// Records for files accessed by several ranks are shared records
+// (rank == -1), exactly as Darshan reduces them.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace stellar::darshan {
+
+/// Header block (subset of a real Darshan log header).
+struct LogHeader {
+  std::string exe;          ///< workload name, stands in for the exe path
+  std::uint32_t nprocs = 0;
+  double runTime = 0.0;     ///< job wall time, seconds
+  std::uint64_t jobId = 0;
+};
+
+/// One per-file record: integer counters + floating-point counters.
+struct Record {
+  std::string fileName;
+  std::int32_t rank = -1;  ///< -1 = shared across ranks (Darshan reduced)
+  std::vector<std::pair<std::string, std::int64_t>> counters;
+  std::vector<std::pair<std::string, double>> fcounters;
+
+  [[nodiscard]] std::optional<std::int64_t> counter(std::string_view name) const;
+  [[nodiscard]] std::optional<double> fcounter(std::string_view name) const;
+};
+
+struct DarshanLog {
+  LogHeader header;
+  std::vector<Record> records;
+
+  /// Serializes in a darshan-parser-like text format.
+  [[nodiscard]] std::string serialize() const;
+
+  /// Parses the text format back; throws std::runtime_error on malformed
+  /// input.
+  [[nodiscard]] static DarshanLog parse(const std::string& text);
+};
+
+/// The integer counter names every record carries, in order.
+[[nodiscard]] const std::vector<std::string>& counterNames();
+
+/// The floating-point counter names every record carries, in order.
+[[nodiscard]] const std::vector<std::string>& fcounterNames();
+
+/// Human-readable description of each counter, used as the "column
+/// description" sidecar the Analysis Agent receives (§4.3.1).
+[[nodiscard]] std::string counterDescription(std::string_view name);
+
+}  // namespace stellar::darshan

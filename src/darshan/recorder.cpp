@@ -1,0 +1,80 @@
+#include "darshan/recorder.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+
+namespace stellar::darshan {
+
+DarshanLog characterize(const pfs::JobSpec& job, const pfs::RunResult& result,
+                        std::uint64_t jobId) {
+  DarshanLog log;
+  log.header.exe = job.name;
+  log.header.nprocs = job.rankCount();
+  log.header.runTime = result.wallSeconds;
+  log.header.jobId = jobId;
+  log.records.reserve(result.files.size());
+
+  for (pfs::FileId f = 0; f < result.files.size(); ++f) {
+    const pfs::FileStats& fs = result.files[f];
+    const bool touched = fs.opens + fs.creates + fs.stats + fs.unlinks + fs.readOps +
+                             fs.writeOps >
+                         0;
+    if (!touched) {
+      continue;
+    }
+    Record rec;
+    rec.fileName = job.files[f].name;
+    const int sharedRanks = std::popcount(fs.rankMask);
+    rec.rank = sharedRanks > 1 ? -1
+                               : static_cast<std::int32_t>(std::countr_zero(
+                                     fs.rankMask == 0 ? 1 : fs.rankMask));
+
+    const auto add = [&rec](const char* name, std::int64_t v) {
+      rec.counters.emplace_back(name, v);
+    };
+    add("POSIX_OPENS", fs.opens + fs.creates);
+    add("POSIX_FILENOS", sharedRanks);
+    add("POSIX_READS", fs.readOps);
+    add("POSIX_WRITES", fs.writeOps);
+    add("POSIX_SEQ_READS", fs.seqReads);
+    add("POSIX_SEQ_WRITES", fs.seqWrites);
+    add("POSIX_BYTES_READ", static_cast<std::int64_t>(fs.bytesRead));
+    add("POSIX_BYTES_WRITTEN", static_cast<std::int64_t>(fs.bytesWritten));
+    add("POSIX_MAX_BYTE_READ",
+        static_cast<std::int64_t>(fs.bytesRead > 0 ? fs.maxOffset : 0));
+    add("POSIX_MAX_BYTE_WRITTEN", static_cast<std::int64_t>(fs.maxOffset));
+    add("POSIX_STATS", fs.stats);
+    add("POSIX_FSYNCS", fs.fsyncs);
+    add("POSIX_UNLINKS", fs.unlinks);
+    add("POSIX_OPENS_CREATE", fs.creates);
+    add("POSIX_MODE_CLOSE", fs.closes);
+
+    // Access-size histogram (top-4), ordered by frequency.
+    std::array<std::size_t, 4> order{0, 1, 2, 3};
+    std::sort(order.begin(), order.end(), [&fs](std::size_t a, std::size_t b) {
+      return fs.accessCount[a] > fs.accessCount[b];
+    });
+    for (std::size_t i = 0; i < 4; ++i) {
+      const std::string prefix = "POSIX_ACCESS" + std::to_string(i + 1);
+      rec.counters.emplace_back(prefix + "_ACCESS",
+                                static_cast<std::int64_t>(fs.accessSize[order[i]]));
+      rec.counters.emplace_back(prefix + "_COUNT",
+                                static_cast<std::int64_t>(fs.accessCount[order[i]]));
+    }
+
+    add("POSIX_SIZE_READ_MIN",
+        fs.minAccess == ~std::uint64_t{0} ? 0 : static_cast<std::int64_t>(fs.minAccess));
+    add("POSIX_SIZE_READ_MAX", static_cast<std::int64_t>(fs.maxAccess));
+    add("POSIX_FILE_SHARED_RANKS", sharedRanks);
+
+    rec.fcounters.emplace_back("POSIX_F_READ_TIME", fs.readTime);
+    rec.fcounters.emplace_back("POSIX_F_WRITE_TIME", fs.writeTime);
+    rec.fcounters.emplace_back("POSIX_F_META_TIME", fs.metaTime);
+
+    log.records.push_back(std::move(rec));
+  }
+  return log;
+}
+
+}  // namespace stellar::darshan

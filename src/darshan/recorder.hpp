@@ -1,0 +1,17 @@
+// Builds a DarshanLog from a simulated run — the "lightweight,
+// no-modification" characterization step the paper relies on (§2.1.2).
+#pragma once
+
+#include "darshan/log.hpp"
+#include "pfs/job.hpp"
+#include "pfs/simulator.hpp"
+
+namespace stellar::darshan {
+
+/// Characterizes one run. Files with no activity are skipped (Darshan only
+/// records opened files); files touched by >1 rank become shared records.
+[[nodiscard]] DarshanLog characterize(const pfs::JobSpec& job,
+                                      const pfs::RunResult& result,
+                                      std::uint64_t jobId = 0);
+
+}  // namespace stellar::darshan

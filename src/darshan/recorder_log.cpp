@@ -1,0 +1,232 @@
+#include "darshan/recorder_log.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace stellar::darshan {
+
+namespace {
+
+const char* functionName(pfs::OpKind kind) {
+  switch (kind) {
+    case pfs::OpKind::Mkdir: return "mkdir";
+    case pfs::OpKind::Create: return "creat";
+    case pfs::OpKind::Open: return "open";
+    case pfs::OpKind::Close: return "close";
+    case pfs::OpKind::Write: return "write";
+    case pfs::OpKind::Read: return "read";
+    case pfs::OpKind::Stat: return "stat";
+    case pfs::OpKind::Unlink: return "unlink";
+    case pfs::OpKind::Fsync: return "fsync";
+    case pfs::OpKind::Barrier: return "MPI_Barrier";
+    case pfs::OpKind::Compute: return "compute";
+  }
+  return "?";
+}
+
+}  // namespace
+
+RecorderLog recorderTrace(const pfs::JobSpec& job, const pfs::RunResult& result) {
+  RecorderLog log;
+  log.nprocs = job.rankCount();
+  log.runTime = result.wallSeconds;
+  std::size_t totalOps = 0;
+  for (const auto& program : job.ranks) {
+    totalOps += program.size();
+  }
+  log.events.reserve(totalOps);
+
+  for (pfs::RankId r = 0; r < job.rankCount(); ++r) {
+    const auto& program = job.ranks[r];
+    const double finish =
+        r < result.ranks.size() ? result.ranks[r].finishTime : result.wallSeconds;
+    const double step =
+        program.empty() ? 0.0 : finish / static_cast<double>(program.size());
+    for (std::size_t i = 0; i < program.size(); ++i) {
+      const pfs::IoOp& op = program[i];
+      if (op.kind == pfs::OpKind::Compute || op.kind == pfs::OpKind::Barrier) {
+        continue;  // Recorder's POSIX layer does not log these
+      }
+      RecorderEvent event;
+      event.rank = static_cast<std::int32_t>(r);
+      event.function = functionName(op.kind);
+      if (op.kind == pfs::OpKind::Mkdir) {
+        event.fileName = job.dirs[op.dir].name;
+      } else if (op.file != pfs::kInvalidFile) {
+        event.fileName = job.files[op.file].name;
+      }
+      event.offset = op.offset;
+      event.size = op.size;
+      event.startTime = step * static_cast<double>(i);
+      log.events.push_back(std::move(event));
+    }
+  }
+  return log;
+}
+
+std::string RecorderLog::serialize() const {
+  std::ostringstream out;
+  out << "# recorder trace\n";
+  out << "# nprocs: " << nprocs << "\n";
+  out << "# run time: " << runTime << "\n";
+  for (const RecorderEvent& e : events) {
+    out << e.rank << "\t" << e.function << "\t" << e.fileName << "\t" << e.offset
+        << "\t" << e.size << "\t" << e.startTime << "\n";
+  }
+  return out.str();
+}
+
+RecorderLog RecorderLog::parse(const std::string& text) {
+  RecorderLog log;
+  std::istringstream in{text};
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    if (line[0] == '#') {
+      const auto colon = line.find(':');
+      if (colon == std::string::npos) {
+        continue;
+      }
+      const std::string key{util::trim(line.substr(1, colon - 1))};
+      const std::string value{util::trim(line.substr(colon + 1))};
+      if (key == "nprocs") {
+        log.nprocs = static_cast<std::uint32_t>(std::stoul(value));
+      } else if (key == "run time") {
+        log.runTime = std::stod(value);
+      }
+      continue;
+    }
+    const auto fields = util::split(line, '\t');
+    if (fields.size() != 6) {
+      throw std::runtime_error("malformed recorder line: " + line);
+    }
+    RecorderEvent event;
+    event.rank = static_cast<std::int32_t>(std::stol(fields[0]));
+    event.function = fields[1];
+    event.fileName = fields[2];
+    event.offset = std::stoull(fields[3]);
+    event.size = std::stoull(fields[4]);
+    event.startTime = std::stod(fields[5]);
+    log.events.push_back(std::move(event));
+  }
+  return log;
+}
+
+DarshanLog aggregateRecorder(const RecorderLog& recorder) {
+  struct PerFile {
+    std::int64_t opens = 0, creates = 0, closes = 0, stats = 0, unlinks = 0,
+                 fsyncs = 0, reads = 0, writes = 0;
+    std::int64_t bytesRead = 0, bytesWritten = 0;
+    std::int64_t seqReads = 0, seqWrites = 0;
+    std::uint64_t maxOffset = 0;
+    std::uint64_t minAccess = ~std::uint64_t{0};
+    std::uint64_t maxAccess = 0;
+    std::map<std::uint64_t, std::int64_t> accessCounts;
+    std::map<std::int32_t, std::uint64_t> lastReadEnd;   // per rank
+    std::map<std::int32_t, std::uint64_t> lastWriteEnd;  // per rank
+    std::map<std::int32_t, bool> ranks;
+  };
+  // Ordered by name for deterministic record order.
+  std::map<std::string, PerFile> files;
+
+  for (const RecorderEvent& e : recorder.events) {
+    if (e.function == "mkdir" || e.fileName.empty()) {
+      continue;
+    }
+    PerFile& f = files[e.fileName];
+    f.ranks[e.rank] = true;
+    if (e.function == "creat") {
+      ++f.creates;
+      ++f.opens;
+    } else if (e.function == "open") {
+      ++f.opens;
+    } else if (e.function == "close") {
+      ++f.closes;
+    } else if (e.function == "stat") {
+      ++f.stats;
+    } else if (e.function == "unlink") {
+      ++f.unlinks;
+    } else if (e.function == "fsync") {
+      ++f.fsyncs;
+    } else if (e.function == "write" || e.function == "read") {
+      const bool isWrite = e.function == "write";
+      auto& lastEnd = isWrite ? f.lastWriteEnd[e.rank] : f.lastReadEnd[e.rank];
+      const bool sequential = e.offset == lastEnd && (lastEnd != 0 || e.offset == 0);
+      lastEnd = e.offset + e.size;
+      if (isWrite) {
+        ++f.writes;
+        f.bytesWritten += static_cast<std::int64_t>(e.size);
+        f.seqWrites += sequential ? 1 : 0;
+      } else {
+        ++f.reads;
+        f.bytesRead += static_cast<std::int64_t>(e.size);
+        f.seqReads += sequential ? 1 : 0;
+      }
+      f.maxOffset = std::max(f.maxOffset, e.offset + e.size);
+      f.minAccess = std::min(f.minAccess, e.size);
+      f.maxAccess = std::max(f.maxAccess, e.size);
+      ++f.accessCounts[e.size];
+    }
+  }
+
+  DarshanLog log;
+  log.header.exe = "(recorder aggregation)";
+  log.header.nprocs = recorder.nprocs;
+  log.header.runTime = recorder.runTime;
+  for (const auto& [name, f] : files) {
+    Record rec;
+    rec.fileName = name;
+    rec.rank = f.ranks.size() > 1 ? -1 : f.ranks.begin()->first;
+    const auto add = [&rec](const char* counter, std::int64_t v) {
+      rec.counters.emplace_back(counter, v);
+    };
+    add("POSIX_OPENS", f.opens);
+    add("POSIX_FILENOS", static_cast<std::int64_t>(f.ranks.size()));
+    add("POSIX_READS", f.reads);
+    add("POSIX_WRITES", f.writes);
+    add("POSIX_SEQ_READS", f.seqReads);
+    add("POSIX_SEQ_WRITES", f.seqWrites);
+    add("POSIX_BYTES_READ", f.bytesRead);
+    add("POSIX_BYTES_WRITTEN", f.bytesWritten);
+    add("POSIX_MAX_BYTE_READ",
+        f.reads > 0 ? static_cast<std::int64_t>(f.maxOffset) : 0);
+    add("POSIX_MAX_BYTE_WRITTEN", static_cast<std::int64_t>(f.maxOffset));
+    add("POSIX_STATS", f.stats);
+    add("POSIX_FSYNCS", f.fsyncs);
+    add("POSIX_UNLINKS", f.unlinks);
+    add("POSIX_OPENS_CREATE", f.creates);
+    add("POSIX_MODE_CLOSE", f.closes);
+
+    // Top-4 access sizes by count, most frequent first.
+    std::vector<std::pair<std::uint64_t, std::int64_t>> sizes{f.accessCounts.begin(),
+                                                              f.accessCounts.end()};
+    std::stable_sort(sizes.begin(), sizes.end(),
+                     [](const auto& a, const auto& b) { return a.second > b.second; });
+    for (std::size_t i = 0; i < 4; ++i) {
+      const std::string prefix = "POSIX_ACCESS" + std::to_string(i + 1);
+      const std::uint64_t size = i < sizes.size() ? sizes[i].first : 0;
+      const std::int64_t count = i < sizes.size() ? sizes[i].second : 0;
+      rec.counters.emplace_back(prefix + "_ACCESS", static_cast<std::int64_t>(size));
+      rec.counters.emplace_back(prefix + "_COUNT", count);
+    }
+    add("POSIX_SIZE_READ_MIN",
+        f.minAccess == ~std::uint64_t{0} ? 0 : static_cast<std::int64_t>(f.minAccess));
+    add("POSIX_SIZE_READ_MAX", static_cast<std::int64_t>(f.maxAccess));
+    add("POSIX_FILE_SHARED_RANKS", static_cast<std::int64_t>(f.ranks.size()));
+
+    // Timing counters cannot be recovered from the op stream.
+    for (const auto& name2 : fcounterNames()) {
+      rec.fcounters.emplace_back(name2, 0.0);
+    }
+    log.records.push_back(std::move(rec));
+  }
+  return log;
+}
+
+}  // namespace stellar::darshan

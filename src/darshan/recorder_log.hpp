@@ -1,0 +1,53 @@
+// Recorder-style per-operation trace (§4.3.1: the preprocessing "can be
+// replicated for other tracing frameworks such as Recorder").
+//
+// Where Darshan keeps per-file counters, Recorder logs every I/O operation
+// with rank, timestamps, offset, and size. This module produces such a
+// trace for a simulated run and aggregates it back into the exact
+// dataframe schema the Analysis Agent consumes — demonstrating that the
+// analysis pipeline is trace-source agnostic: only the aggregation step
+// changes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "darshan/log.hpp"
+#include "pfs/job.hpp"
+#include "pfs/simulator.hpp"
+
+namespace stellar::darshan {
+
+/// One traced operation (Recorder's function-call record, simplified).
+struct RecorderEvent {
+  std::int32_t rank = 0;
+  std::string function;  ///< "open", "write", "read", "stat", ...
+  std::string fileName;
+  std::uint64_t offset = 0;
+  std::uint64_t size = 0;
+  double startTime = 0.0;  ///< seconds from job start (approximate)
+};
+
+struct RecorderLog {
+  std::uint32_t nprocs = 0;
+  double runTime = 0.0;
+  std::vector<RecorderEvent> events;
+
+  /// Tab-separated text form (one event per line), parseable back.
+  [[nodiscard]] std::string serialize() const;
+  [[nodiscard]] static RecorderLog parse(const std::string& text);
+};
+
+/// Produces the per-op trace of a run. Timestamps are approximated by
+/// spreading each rank's operations over its measured execution time (the
+/// tuner consumes pattern features, not exact timings).
+[[nodiscard]] RecorderLog recorderTrace(const pfs::JobSpec& job,
+                                        const pfs::RunResult& result);
+
+/// Aggregates a Recorder trace into Darshan-equivalent per-file records —
+/// the alternative front end to df::tablesFromLog. Timing counters
+/// (POSIX_F_*) are not derivable from the op stream and are left at zero.
+[[nodiscard]] DarshanLog aggregateRecorder(const RecorderLog& recorder);
+
+}  // namespace stellar::darshan

@@ -1,0 +1,48 @@
+#include "dataframe/from_darshan.hpp"
+
+namespace stellar::df {
+
+DarshanTables tablesFromLog(const darshan::DarshanLog& log) {
+  DarshanTables tables;
+
+  DataFrame& posix = tables.posix;
+  posix.addColumn("file", ColumnType::String);
+  posix.addColumn("rank", ColumnType::Int64);
+  for (const auto& name : darshan::counterNames()) {
+    posix.addColumn(name, ColumnType::Int64);
+  }
+  for (const auto& name : darshan::fcounterNames()) {
+    posix.addColumn(name, ColumnType::Double);
+  }
+
+  for (const auto& rec : log.records) {
+    std::vector<Value> row;
+    row.reserve(2 + darshan::counterNames().size() + darshan::fcounterNames().size());
+    row.emplace_back(rec.fileName);
+    row.emplace_back(static_cast<std::int64_t>(rec.rank));
+    for (const auto& name : darshan::counterNames()) {
+      row.emplace_back(rec.counter(name).value_or(0));
+    }
+    for (const auto& name : darshan::fcounterNames()) {
+      row.emplace_back(rec.fcounter(name).value_or(0.0));
+    }
+    posix.appendRow(row);
+  }
+
+  tables.headerText = "exe: " + log.header.exe +
+                      "\nnprocs: " + std::to_string(log.header.nprocs) +
+                      "\nrun_time_s: " + std::to_string(log.header.runTime);
+
+  std::string& desc = tables.columnDescriptions;
+  desc += "file: path of the file the record describes\n";
+  desc += "rank: MPI rank that accessed the file, or -1 for shared records\n";
+  for (const auto& name : darshan::counterNames()) {
+    desc += name + ": " + darshan::counterDescription(name) + "\n";
+  }
+  for (const auto& name : darshan::fcounterNames()) {
+    desc += name + ": " + darshan::counterDescription(name) + "\n";
+  }
+  return tables;
+}
+
+}  // namespace stellar::df

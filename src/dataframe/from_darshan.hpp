@@ -1,0 +1,25 @@
+// The preprocessing step of Figure 1: Darshan log -> dataframes plus a
+// column-description sidecar, the exact inputs the Analysis Agent receives.
+#pragma once
+
+#include <string>
+
+#include "darshan/log.hpp"
+#include "dataframe/dataframe.hpp"
+
+namespace stellar::df {
+
+/// The tables extracted from one Darshan log.
+struct DarshanTables {
+  /// One row per file record; columns: file, rank, shared_ranks, then all
+  /// POSIX counters and fcounters.
+  DataFrame posix;
+  /// Free-text header string variable, as the preprocessing script loads.
+  std::string headerText;
+  /// Column-description sidecar (one "name: description" line per column).
+  std::string columnDescriptions;
+};
+
+[[nodiscard]] DarshanTables tablesFromLog(const darshan::DarshanLog& log);
+
+}  // namespace stellar::df

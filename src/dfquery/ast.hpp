@@ -1,0 +1,65 @@
+// AST for dfquery.
+//
+// Grammar:
+//   query    := SELECT selList FROM ident [WHERE expr]
+//               [GROUP BY ident] [ORDER BY ident [ASC|DESC]] [LIMIT number]
+//   selList  := '*' | selItem (',' selItem)*
+//   selItem  := agg '(' ident ')' | ident
+//   agg      := sum | mean | avg | min | max | count
+//   expr     := orE ; orE := andE (OR andE)* ; andE := notE (AND notE)*
+//   notE     := NOT notE | cmp
+//   cmp      := add (('='|'=='|'!='|'<'|'<='|'>'|'>=') add)?
+//   add      := mul (('+'|'-') mul)*
+//   mul      := unary (('*'|'/') unary)*
+//   unary    := '-' unary | primary
+//   primary  := number | string | ident | ident '(' args ')' | '(' expr ')'
+// Functions in expressions: contains(column, "substr").
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dataframe/dataframe.hpp"
+
+namespace stellar::dfq {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind {
+  NumberLit,
+  StringLit,
+  ColumnRef,
+  Unary,   // op: "-", "not"
+  Binary,  // op: arithmetic, comparison, "and", "or"
+  Call,    // fn: "contains"
+};
+
+struct Expr {
+  ExprKind kind;
+  double number = 0.0;
+  std::string text;  ///< string literal / column name / operator / fn name
+  std::vector<ExprPtr> args;
+};
+
+struct SelectItem {
+  std::optional<df::DataFrame::Agg> agg;  ///< nullopt = plain column
+  std::string column;                      ///< "*" only valid with Count
+};
+
+struct Query {
+  std::vector<SelectItem> select;  ///< empty = SELECT *
+  std::string table;
+  ExprPtr where;                   ///< may be null
+  std::optional<std::string> groupBy;
+  std::optional<std::string> orderBy;
+  bool orderDescending = false;
+  std::optional<std::size_t> limit;
+};
+
+/// Parses one query; throws QueryError.
+[[nodiscard]] Query parseQuery(std::string_view text);
+
+}  // namespace stellar::dfq

@@ -1,0 +1,210 @@
+#include "dfquery/eval.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dfquery/lexer.hpp"
+
+namespace stellar::dfq {
+
+namespace {
+
+double truthiness(const df::Value& v) {
+  if (const auto n = df::asNumber(v)) {
+    return *n != 0.0 ? 1.0 : 0.0;
+  }
+  if (const auto* s = std::get_if<std::string>(&v)) {
+    return s->empty() ? 0.0 : 1.0;
+  }
+  return 0.0;
+}
+
+double compare(const df::Value& a, const df::Value& b, const std::string& op) {
+  // String comparison when both sides are strings; numeric otherwise.
+  const auto* sa = std::get_if<std::string>(&a);
+  const auto* sb = std::get_if<std::string>(&b);
+  int cmp = 0;
+  if (sa != nullptr && sb != nullptr) {
+    cmp = sa->compare(*sb) < 0 ? -1 : (*sa == *sb ? 0 : 1);
+  } else {
+    const auto na = df::asNumber(a);
+    const auto nb = df::asNumber(b);
+    if (!na || !nb) {
+      throw QueryError("cannot compare string with number");
+    }
+    cmp = *na < *nb ? -1 : (*na == *nb ? 0 : 1);
+  }
+  if (op == "==") return cmp == 0 ? 1.0 : 0.0;
+  if (op == "!=") return cmp != 0 ? 1.0 : 0.0;
+  if (op == "<") return cmp < 0 ? 1.0 : 0.0;
+  if (op == "<=") return cmp <= 0 ? 1.0 : 0.0;
+  if (op == ">") return cmp > 0 ? 1.0 : 0.0;
+  if (op == ">=") return cmp >= 0 ? 1.0 : 0.0;
+  throw QueryError("unknown comparison: " + op);
+}
+
+}  // namespace
+
+df::Value evaluateExpr(const Expr& expr, const df::DataFrame& frame, std::size_t row) {
+  switch (expr.kind) {
+    case ExprKind::NumberLit:
+      return expr.number;
+    case ExprKind::StringLit:
+      return expr.text;
+    case ExprKind::ColumnRef:
+      return frame.at(expr.text, row);
+    case ExprKind::Unary: {
+      const df::Value v = evaluateExpr(*expr.args[0], frame, row);
+      if (expr.text == "-") {
+        const auto n = df::asNumber(v);
+        if (!n) {
+          throw QueryError("unary '-' on non-numeric value");
+        }
+        return -*n;
+      }
+      return truthiness(v) == 0.0 ? 1.0 : 0.0;  // not
+    }
+    case ExprKind::Binary: {
+      const std::string& op = expr.text;
+      if (op == "and") {
+        if (truthiness(evaluateExpr(*expr.args[0], frame, row)) == 0.0) {
+          return 0.0;  // short circuit
+        }
+        return truthiness(evaluateExpr(*expr.args[1], frame, row));
+      }
+      if (op == "or") {
+        if (truthiness(evaluateExpr(*expr.args[0], frame, row)) != 0.0) {
+          return 1.0;
+        }
+        return truthiness(evaluateExpr(*expr.args[1], frame, row));
+      }
+      const df::Value a = evaluateExpr(*expr.args[0], frame, row);
+      const df::Value b = evaluateExpr(*expr.args[1], frame, row);
+      if (op == "==" || op == "!=" || op == "<" || op == "<=" || op == ">" ||
+          op == ">=") {
+        return compare(a, b, op);
+      }
+      const auto na = df::asNumber(a);
+      const auto nb = df::asNumber(b);
+      if (!na || !nb) {
+        throw QueryError("arithmetic on non-numeric values");
+      }
+      if (op == "+") return *na + *nb;
+      if (op == "-") return *na - *nb;
+      if (op == "*") return *na * *nb;
+      if (op == "/") {
+        if (*nb == 0.0) {
+          throw QueryError("division by zero in query expression");
+        }
+        return *na / *nb;
+      }
+      throw QueryError("unknown operator: " + op);
+    }
+    case ExprKind::Call: {
+      if (expr.text == "contains") {
+        if (expr.args.size() != 2) {
+          throw QueryError("contains() expects (column, substring)");
+        }
+        const df::Value hay = evaluateExpr(*expr.args[0], frame, row);
+        const df::Value needle = evaluateExpr(*expr.args[1], frame, row);
+        const auto* hs = std::get_if<std::string>(&hay);
+        const auto* ns = std::get_if<std::string>(&needle);
+        if (hs == nullptr || ns == nullptr) {
+          throw QueryError("contains() expects string arguments");
+        }
+        return hs->find(*ns) != std::string::npos ? 1.0 : 0.0;
+      }
+      throw QueryError("unknown function in expression: " + expr.text);
+    }
+  }
+  throw QueryError("corrupt expression node");
+}
+
+df::DataFrame runQuery(const Query& query, const TableSet& tables) {
+  const auto tableIt = tables.find(query.table);
+  if (tableIt == tables.end()) {
+    throw QueryError("unknown table: " + query.table);
+  }
+  const df::DataFrame& source = *tableIt->second;
+
+  // WHERE
+  df::DataFrame filtered =
+      query.where == nullptr
+          ? source
+          : source.filter([&query](const df::DataFrame& frame, std::size_t row) {
+              return df::asNumber(evaluateExpr(*query.where, frame, row))
+                         .value_or(0.0) != 0.0;
+            });
+
+  const bool hasAggregates =
+      std::any_of(query.select.begin(), query.select.end(),
+                  [](const SelectItem& item) { return item.agg.has_value(); });
+
+  df::DataFrame result;
+  if (hasAggregates && query.groupBy) {
+    std::vector<std::pair<df::DataFrame::Agg, std::string>> aggs;
+    for (const SelectItem& item : query.select) {
+      if (!item.agg) {
+        if (item.column != *query.groupBy) {
+          throw QueryError("non-aggregated column '" + item.column +
+                           "' must be the GROUP BY key");
+        }
+        continue;  // key column is always included
+      }
+      // count(*) counts rows; implement via counting the key column.
+      aggs.emplace_back(*item.agg,
+                        item.column == "*" ? *query.groupBy : item.column);
+    }
+    result = filtered.groupBy(*query.groupBy, aggs);
+  } else if (hasAggregates) {
+    // Single-row aggregate result.
+    result = df::DataFrame{};
+    std::vector<df::Value> row;
+    for (const SelectItem& item : query.select) {
+      if (!item.agg) {
+        throw QueryError("cannot mix aggregates and plain columns without GROUP BY");
+      }
+      const std::string column = item.column == "*" ? std::string{} : item.column;
+      const std::string name =
+          std::string{df::aggName(*item.agg)} + "_" +
+          (item.column == "*" ? "rows" : item.column);
+      result.addColumn(name, df::ColumnType::Double);
+      double value = 0.0;
+      switch (*item.agg) {
+        case df::DataFrame::Agg::Sum: value = filtered.sum(column); break;
+        case df::DataFrame::Agg::Mean: value = filtered.mean(column); break;
+        case df::DataFrame::Agg::Min: value = filtered.minValue(column); break;
+        case df::DataFrame::Agg::Max: value = filtered.maxValue(column); break;
+        case df::DataFrame::Agg::Count:
+          value = item.column == "*" ? static_cast<double>(filtered.rowCount())
+                                     : static_cast<double>(filtered.count(column));
+          break;
+      }
+      row.emplace_back(value);
+    }
+    result.appendRow(row);
+  } else if (query.select.empty()) {
+    result = std::move(filtered);  // SELECT *
+  } else {
+    std::vector<std::string> columns;
+    columns.reserve(query.select.size());
+    for (const SelectItem& item : query.select) {
+      columns.push_back(item.column);
+    }
+    result = filtered.select(columns);
+  }
+
+  if (query.orderBy) {
+    result = result.sortBy(*query.orderBy, query.orderDescending);
+  }
+  if (query.limit) {
+    result = result.head(*query.limit);
+  }
+  return result;
+}
+
+df::DataFrame runQuery(std::string_view text, const TableSet& tables) {
+  return runQuery(parseQuery(text), tables);
+}
+
+}  // namespace stellar::dfq

@@ -1,0 +1,27 @@
+// Query evaluation against a set of named dataframes.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "dataframe/dataframe.hpp"
+#include "dfquery/ast.hpp"
+
+namespace stellar::dfq {
+
+/// Named tables visible to queries (e.g. {"posix", <darshan table>}).
+using TableSet = std::map<std::string, const df::DataFrame*>;
+
+/// Evaluates an expression for one row; numbers are doubles, strings
+/// compare lexically, booleans are numbers (0/1). Throws QueryError on
+/// unknown columns or type misuse.
+[[nodiscard]] df::Value evaluateExpr(const Expr& expr, const df::DataFrame& frame,
+                                     std::size_t row);
+
+/// Runs a parsed query. Throws QueryError on unknown tables/columns.
+[[nodiscard]] df::DataFrame runQuery(const Query& query, const TableSet& tables);
+
+/// Parses and runs.
+[[nodiscard]] df::DataFrame runQuery(std::string_view text, const TableSet& tables);
+
+}  // namespace stellar::dfq

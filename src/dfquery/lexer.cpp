@@ -1,0 +1,100 @@
+#include "dfquery/lexer.hpp"
+
+#include <cctype>
+
+#include "util/strings.hpp"
+
+namespace stellar::dfq {
+
+bool Token::isKeyword(std::string_view kw) const {
+  return kind == TokenKind::Identifier &&
+         util::toLower(text) == util::toLower(std::string{kw});
+}
+
+std::vector<Token> tokenize(std::string_view query) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  const auto peek = [&](std::size_t ahead = 0) -> char {
+    return i + ahead < query.size() ? query[i + ahead] : '\0';
+  };
+
+  while (i < query.size()) {
+    const char c = query[i];
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    Token token;
+    token.offset = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      std::size_t start = i;
+      while (i < query.size() &&
+             (std::isalnum(static_cast<unsigned char>(query[i])) != 0 ||
+              query[i] == '_' || query[i] == '.')) {
+        ++i;
+      }
+      token.kind = TokenKind::Identifier;
+      token.text = std::string{query.substr(start, i - start)};
+    } else if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+               (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))) != 0)) {
+      std::size_t start = i;
+      while (i < query.size() &&
+             (std::isdigit(static_cast<unsigned char>(query[i])) != 0 ||
+              query[i] == '.' || query[i] == 'e' || query[i] == 'E' ||
+              ((query[i] == '+' || query[i] == '-') && i > start &&
+               (query[i - 1] == 'e' || query[i - 1] == 'E')))) {
+        ++i;
+      }
+      token.kind = TokenKind::Number;
+      token.text = std::string{query.substr(start, i - start)};
+      try {
+        token.number = std::stod(token.text);
+      } catch (const std::exception&) {
+        throw QueryError("invalid number '" + token.text + "' at offset " +
+                         std::to_string(start));
+      }
+    } else if (c == '\'' || c == '"') {
+      const char quote = c;
+      ++i;
+      std::string text;
+      while (i < query.size() && query[i] != quote) {
+        text.push_back(query[i]);
+        ++i;
+      }
+      if (i >= query.size()) {
+        throw QueryError("unterminated string literal at offset " +
+                         std::to_string(token.offset));
+      }
+      ++i;  // closing quote
+      token.kind = TokenKind::String;
+      token.text = std::move(text);
+    } else {
+      // Multi-char operators first.
+      static const std::string_view kTwoChar[] = {"==", "!=", "<=", ">="};
+      token.kind = TokenKind::Symbol;
+      bool matched = false;
+      for (const auto op : kTwoChar) {
+        if (query.substr(i, 2) == op) {
+          token.text = std::string{op};
+          i += 2;
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        static const std::string kOneChar = "()*,+-/=<>";
+        if (kOneChar.find(c) == std::string::npos) {
+          throw QueryError(std::string("unexpected character '") + c +
+                           "' at offset " + std::to_string(i));
+        }
+        token.text = std::string(1, c);
+        ++i;
+      }
+    }
+    tokens.push_back(std::move(token));
+  }
+  tokens.push_back(Token{TokenKind::End, "", 0.0, query.size()});
+  return tokens;
+}
+
+}  // namespace stellar::dfq

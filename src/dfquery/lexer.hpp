@@ -1,0 +1,45 @@
+// Tokenizer for the dfquery language — the small SQL-ish analysis language
+// the Analysis Agent "writes and executes" over the Darshan dataframes
+// (the paper's agent emits Pandas code; this reproduction gives it a real,
+// parseable, executable equivalent).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace stellar::dfq {
+
+class QueryError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class TokenKind {
+  Identifier,  ///< column/table names, keywords (case-insensitive)
+  Number,
+  String,      ///< 'quoted' or "quoted"
+  Symbol,      ///< ( ) , * + - / = == != < <= > >=
+  End,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::End;
+  std::string text;     ///< identifiers lower-cased? no: original, keyword
+                        ///< matching is case-insensitive separately
+  double number = 0.0;
+  std::size_t offset = 0;
+
+  [[nodiscard]] bool isKeyword(std::string_view kw) const;
+  [[nodiscard]] bool isSymbol(std::string_view s) const {
+    return kind == TokenKind::Symbol && text == s;
+  }
+};
+
+/// Tokenizes the full query; throws QueryError on bad characters or
+/// unterminated strings. The final token is always End.
+[[nodiscard]] std::vector<Token> tokenize(std::string_view query);
+
+}  // namespace stellar::dfq

@@ -1,0 +1,280 @@
+#include <utility>
+
+#include "dfquery/ast.hpp"
+#include "dfquery/lexer.hpp"
+#include "util/strings.hpp"
+
+namespace stellar::dfq {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Query run() {
+    Query query;
+    expectKeyword("select");
+    parseSelectList(query);
+    expectKeyword("from");
+    query.table = expectIdentifier("table name");
+    if (peek().isKeyword("where")) {
+      ++pos_;
+      query.where = parseExpr();
+    }
+    if (peek().isKeyword("group")) {
+      ++pos_;
+      expectKeyword("by");
+      query.groupBy = expectIdentifier("group-by column");
+    }
+    if (peek().isKeyword("order")) {
+      ++pos_;
+      expectKeyword("by");
+      query.orderBy = expectIdentifier("order-by column");
+      if (peek().isKeyword("asc")) {
+        ++pos_;
+      } else if (peek().isKeyword("desc")) {
+        ++pos_;
+        query.orderDescending = true;
+      }
+    }
+    if (peek().isKeyword("limit")) {
+      ++pos_;
+      const Token& t = peek();
+      if (t.kind != TokenKind::Number || t.number < 0) {
+        fail("LIMIT expects a non-negative number");
+      }
+      query.limit = static_cast<std::size_t>(t.number);
+      ++pos_;
+    }
+    if (peek().kind != TokenKind::End) {
+      fail("unexpected trailing input: '" + peek().text + "'");
+    }
+    return query;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw QueryError("query parse error at offset " + std::to_string(peek().offset) +
+                     ": " + what);
+  }
+
+  const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+
+  void expectKeyword(std::string_view kw) {
+    if (!peek().isKeyword(kw)) {
+      fail("expected keyword '" + std::string{kw} + "', got '" + peek().text + "'");
+    }
+    ++pos_;
+  }
+
+  std::string expectIdentifier(const std::string& what) {
+    if (peek().kind != TokenKind::Identifier) {
+      fail("expected " + what);
+    }
+    return tokens_[pos_++].text;
+  }
+
+  bool consumeSymbol(std::string_view s) {
+    if (peek().isSymbol(s)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  static std::optional<df::DataFrame::Agg> aggFromName(const std::string& name) {
+    const std::string lower = util::toLower(name);
+    if (lower == "sum") return df::DataFrame::Agg::Sum;
+    if (lower == "mean" || lower == "avg") return df::DataFrame::Agg::Mean;
+    if (lower == "min") return df::DataFrame::Agg::Min;
+    if (lower == "max") return df::DataFrame::Agg::Max;
+    if (lower == "count") return df::DataFrame::Agg::Count;
+    return std::nullopt;
+  }
+
+  void parseSelectList(Query& query) {
+    if (consumeSymbol("*")) {
+      return;  // SELECT * => empty select list
+    }
+    while (true) {
+      SelectItem item;
+      const std::string first = expectIdentifier("column or aggregate");
+      if (peek().isSymbol("(")) {
+        const auto agg = aggFromName(first);
+        if (!agg) {
+          fail("unknown aggregate function: " + first);
+        }
+        ++pos_;  // '('
+        item.agg = agg;
+        if (consumeSymbol("*")) {
+          if (*agg != df::DataFrame::Agg::Count) {
+            fail("only count(*) accepts '*'");
+          }
+          item.column = "*";
+        } else {
+          item.column = expectIdentifier("aggregate argument column");
+        }
+        if (!consumeSymbol(")")) {
+          fail("expected ')' after aggregate argument");
+        }
+      } else {
+        item.column = first;
+      }
+      query.select.push_back(std::move(item));
+      if (!consumeSymbol(",")) {
+        break;
+      }
+    }
+  }
+
+  ExprPtr makeBinary(std::string op, ExprPtr lhs, ExprPtr rhs) {
+    auto node = std::make_unique<Expr>();
+    node->kind = ExprKind::Binary;
+    node->text = std::move(op);
+    node->args.push_back(std::move(lhs));
+    node->args.push_back(std::move(rhs));
+    return node;
+  }
+
+  ExprPtr parseExpr() { return parseOr(); }
+
+  ExprPtr parseOr() {
+    ExprPtr lhs = parseAnd();
+    while (peek().isKeyword("or")) {
+      ++pos_;
+      lhs = makeBinary("or", std::move(lhs), parseAnd());
+    }
+    return lhs;
+  }
+
+  ExprPtr parseAnd() {
+    ExprPtr lhs = parseNot();
+    while (peek().isKeyword("and")) {
+      ++pos_;
+      lhs = makeBinary("and", std::move(lhs), parseNot());
+    }
+    return lhs;
+  }
+
+  ExprPtr parseNot() {
+    if (peek().isKeyword("not")) {
+      ++pos_;
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::Unary;
+      node->text = "not";
+      node->args.push_back(parseNot());
+      return node;
+    }
+    return parseComparison();
+  }
+
+  ExprPtr parseComparison() {
+    ExprPtr lhs = parseAdditive();
+    static const std::string_view kOps[] = {"==", "!=", "<=", ">=", "=", "<", ">"};
+    for (const auto op : kOps) {
+      if (peek().isSymbol(op)) {
+        ++pos_;
+        // Normalize '=' to '=='.
+        return makeBinary(op == "=" ? "==" : std::string{op}, std::move(lhs),
+                          parseAdditive());
+      }
+    }
+    return lhs;
+  }
+
+  ExprPtr parseAdditive() {
+    ExprPtr lhs = parseMultiplicative();
+    while (peek().isSymbol("+") || peek().isSymbol("-")) {
+      const std::string op = tokens_[pos_++].text;
+      lhs = makeBinary(op, std::move(lhs), parseMultiplicative());
+    }
+    return lhs;
+  }
+
+  ExprPtr parseMultiplicative() {
+    ExprPtr lhs = parseUnary();
+    while (peek().isSymbol("*") || peek().isSymbol("/")) {
+      const std::string op = tokens_[pos_++].text;
+      lhs = makeBinary(op, std::move(lhs), parseUnary());
+    }
+    return lhs;
+  }
+
+  ExprPtr parseUnary() {
+    if (peek().isSymbol("-")) {
+      ++pos_;
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::Unary;
+      node->text = "-";
+      node->args.push_back(parseUnary());
+      return node;
+    }
+    return parsePrimary();
+  }
+
+  ExprPtr parsePrimary() {
+    const Token& t = peek();
+    if (t.kind == TokenKind::Number) {
+      ++pos_;
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::NumberLit;
+      node->number = t.number;
+      return node;
+    }
+    if (t.kind == TokenKind::String) {
+      ++pos_;
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::StringLit;
+      node->text = t.text;
+      return node;
+    }
+    if (t.isSymbol("(")) {
+      ++pos_;
+      ExprPtr inner = parseExpr();
+      if (!consumeSymbol(")")) {
+        fail("expected ')'");
+      }
+      return inner;
+    }
+    if (t.kind == TokenKind::Identifier) {
+      const std::string name = tokens_[pos_++].text;
+      if (peek().isSymbol("(")) {
+        ++pos_;  // '('
+        auto node = std::make_unique<Expr>();
+        node->kind = ExprKind::Call;
+        node->text = util::toLower(name);
+        if (!peek().isSymbol(")")) {
+          node->args.push_back(parseExpr());
+          while (consumeSymbol(",")) {
+            node->args.push_back(parseExpr());
+          }
+        }
+        if (!consumeSymbol(")")) {
+          fail("expected ')' after function arguments");
+        }
+        return node;
+      }
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::ColumnRef;
+      node->text = name;
+      return node;
+    }
+    fail("expected expression, got '" + t.text + "'");
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Query parseQuery(std::string_view text) {
+  Parser parser{tokenize(text)};
+  return parser.run();
+}
+
+}  // namespace stellar::dfq

@@ -1,0 +1,142 @@
+#include "llm/knowledge.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expr.hpp"
+#include "util/rng.hpp"
+
+namespace stellar::llm {
+
+namespace {
+
+std::uint64_t hashName(std::string_view s, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (const char c : s) {
+    h = util::mix64(h, static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
+  }
+  return h;
+}
+
+/// Resolver for range expressions: system facts plus other parameters'
+/// *default* values (good enough for offline resolution; the online tuner
+/// re-evaluates dependent bounds against the live config through
+/// pfs::paramBounds).
+std::optional<double> resolveSymbol(std::string_view name,
+                                    const manual::SystemFacts& facts) {
+  if (const auto v = facts.resolve(name)) {
+    return v;
+  }
+  if (const manual::ParamFact* other = manual::findParamFact(name)) {
+    return static_cast<double>(other->defaultValue);
+  }
+  return std::nullopt;
+}
+
+std::string wrongDefinitionFor(const manual::ParamFact& fact, std::uint64_t h) {
+  // Plausible-but-wrong mechanisms, the style Fig. 2 illustrates (e.g.
+  // describing statahead_max as an attribute-cache size).
+  static const char* templates[] = {
+      "Controls the size of the client attribute cache used to satisfy "
+      "repeated metadata lookups without contacting the server.",
+      "Sets the number of background scanning threads the client spawns to "
+      "prefetch directory contents into memory.",
+      "Determines how many outstanding lock revocations a server tolerates "
+      "before throttling the client.",
+      "Specifies the granularity at which the client aggregates dirty pages "
+      "before handing them to the network layer.",
+      "Distributes the files of a directory more evenly across all storage "
+      "targets, improving balance for small files.",
+  };
+  const auto pick = h % (sizeof(templates) / sizeof(templates[0]));
+  return std::string{templates[pick]} + " (recalled for " + fact.name + ")";
+}
+
+}  // namespace
+
+const char* corruptionName(CorruptionKind kind) noexcept {
+  switch (kind) {
+    case CorruptionKind::None: return "none";
+    case CorruptionKind::WrongRange: return "wrong-range";
+    case CorruptionKind::WrongDefinition: return "wrong-definition";
+    case CorruptionKind::FlippedDirection: return "flipped-direction";
+  }
+  return "?";
+}
+
+ResolvedRange resolveRange(const manual::ParamFact& fact,
+                           const manual::SystemFacts& facts) {
+  const auto resolver = [&facts](std::string_view name) {
+    return resolveSymbol(name, facts);
+  };
+  ResolvedRange range;
+  range.min = fact.minExpr.empty()
+                  ? 0
+                  : static_cast<std::int64_t>(
+                        std::llround(util::evaluateExpression(fact.minExpr, resolver)));
+  range.max = fact.maxExpr.empty()
+                  ? range.min
+                  : static_cast<std::int64_t>(
+                        std::llround(util::evaluateExpression(fact.maxExpr, resolver)));
+  return range;
+}
+
+ParamKnowledge groundedKnowledge(const manual::ParamFact& fact,
+                                 const manual::SystemFacts& facts) {
+  const ResolvedRange range = resolveRange(fact, facts);
+  ParamKnowledge k;
+  k.param = fact.name;
+  k.description = fact.description;
+  k.ioImpact = fact.ioImpact;
+  k.minValue = range.min;
+  k.maxValue = range.max;
+  k.defaultValue = fact.defaultValue;
+  k.source = KnowledgeSource::RagExtraction;
+  k.corruption = CorruptionKind::None;
+  return k;
+}
+
+ParamKnowledge recallFromMemory(const manual::ParamFact& fact,
+                                const ModelProfile& profile,
+                                const manual::SystemFacts& facts, std::uint64_t salt) {
+  ParamKnowledge k = groundedKnowledge(fact, facts);
+  k.source = KnowledgeSource::ModelMemory;
+
+  // Deterministic per (model, parameter, salt): the same model gives the
+  // same wrong answer when asked twice — the behaviour Fig. 2 shows.
+  const std::uint64_t h =
+      hashName(fact.name, hashName(profile.name, util::mix64(0xFAC7, salt)));
+  util::Rng rng{h};
+  if (!rng.chance(profile.hallucinationRate * 3.0)) {
+    // Well-known parameter: recalled accurately. The 3x multiplier models
+    // domain-specific parameters being rarer in training data than the
+    // average fact (the paper's premise for why PFS tuning hallucinates).
+    return k;
+  }
+
+  const double kindDraw = rng.uniform();
+  if (kindDraw < 0.45) {
+    k.corruption = CorruptionKind::WrongRange;
+    // Believed max off by a large factor in either direction (Fig. 2: all
+    // three models report the wrong maximum for statahead_max).
+    const double factor = rng.chance(0.5) ? rng.uniform(2.5, 16.0)
+                                          : 1.0 / rng.uniform(2.5, 16.0);
+    k.maxValue = std::max<std::int64_t>(
+        k.minValue + 1,
+        static_cast<std::int64_t>(static_cast<double>(k.maxValue) * factor));
+  } else if (kindDraw < 0.8) {
+    k.corruption = CorruptionKind::WrongDefinition;
+    k.description = wrongDefinitionFor(fact, rng.next());
+    k.ioImpact =
+        "Believed to improve performance whenever the value is increased.";
+  } else {
+    k.corruption = CorruptionKind::FlippedDirection;
+    k.ioImpact =
+        "(recalled, inverted) The benefit direction of this parameter is "
+        "misremembered: the model believes the opposite adjustment of the "
+        "documented one helps.";
+  }
+  return k;
+}
+
+}  // namespace stellar::llm

@@ -1,0 +1,70 @@
+#include "llm/model_profile.hpp"
+
+#include <stdexcept>
+
+namespace stellar::llm {
+
+ModelProfile claude37Sonnet() {
+  return ModelProfile{.name = "claude-3.7-sonnet",
+                      .reasoningQuality = 0.95,
+                      .hallucinationRate = 0.06,
+                      .usdPerMInput = 3.0,
+                      .usdPerMCachedInput = 0.3,
+                      .usdPerMOutput = 15.0,
+                      .latencyPerCall = 2.5};
+}
+
+ModelProfile gpt4o() {
+  return ModelProfile{.name = "gpt-4o",
+                      .reasoningQuality = 0.90,
+                      .hallucinationRate = 0.10,
+                      .usdPerMInput = 2.5,
+                      .usdPerMCachedInput = 1.25,
+                      .usdPerMOutput = 10.0,
+                      .latencyPerCall = 1.8};
+}
+
+ModelProfile llama31_70b() {
+  return ModelProfile{.name = "llama-3.1-70b-instruct",
+                      .reasoningQuality = 0.82,
+                      .hallucinationRate = 0.18,
+                      .usdPerMInput = 0.9,
+                      .usdPerMCachedInput = 0.9,
+                      .usdPerMOutput = 0.9,
+                      .latencyPerCall = 1.2};
+}
+
+ModelProfile gpt45() {
+  return ModelProfile{.name = "gpt-4.5",
+                      .reasoningQuality = 0.93,
+                      .hallucinationRate = 0.08,
+                      .usdPerMInput = 75.0,
+                      .usdPerMCachedInput = 37.5,
+                      .usdPerMOutput = 150.0,
+                      .latencyPerCall = 3.5};
+}
+
+ModelProfile gemini25pro() {
+  return ModelProfile{.name = "gemini-2.5-pro",
+                      .reasoningQuality = 0.92,
+                      .hallucinationRate = 0.09,
+                      .usdPerMInput = 1.25,
+                      .usdPerMCachedInput = 0.31,
+                      .usdPerMOutput = 10.0,
+                      .latencyPerCall = 2.0};
+}
+
+ModelProfile profileByName(const std::string& name) {
+  for (const ModelProfile& profile : allProfiles()) {
+    if (profile.name == name) {
+      return profile;
+    }
+  }
+  throw std::invalid_argument("unknown model profile: " + name);
+}
+
+std::vector<ModelProfile> allProfiles() {
+  return {claude37Sonnet(), gpt4o(), llama31_70b(), gpt45(), gemini25pro()};
+}
+
+}  // namespace stellar::llm

@@ -1,0 +1,49 @@
+// Model profiles for the simulated LLMs.
+//
+// The paper runs STELLAR with Claude-3.7-Sonnet, GPT-4o, and
+// Llama-3.1-70B-Instruct (§5.5). This reproduction replaces API calls with
+// a deterministic inference engine whose *failure modes* are governed by
+// two per-model scalars: reasoning quality (how often decision points pick
+// the best-supported option) and hallucination rate (how often a parameter
+// fact recalled from "pretrained memory" is corrupted). Cost/latency
+// figures reproduce the paper's §5.7 accounting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace stellar::llm {
+
+struct ModelProfile {
+  std::string name;
+  /// Probability a reasoning step picks the best-supported decision.
+  double reasoningQuality = 0.9;
+  /// Probability a parameter fact recalled without retrieval grounding is
+  /// corrupted (plausible-but-wrong).
+  double hallucinationRate = 0.1;
+  /// API pricing, USD per million tokens.
+  double usdPerMInput = 3.0;
+  double usdPerMCachedInput = 0.3;
+  double usdPerMOutput = 15.0;
+  /// Seconds of inference latency per call (paper: "a few seconds").
+  double latencyPerCall = 2.0;
+};
+
+/// The Tuning Agent default in every headline experiment.
+[[nodiscard]] ModelProfile claude37Sonnet();
+/// The Analysis Agent / extraction default.
+[[nodiscard]] ModelProfile gpt4o();
+/// The small open-weights comparison point of Fig. 9.
+[[nodiscard]] ModelProfile llama31_70b();
+/// An older model used by the offline extractor in the paper (Fig. 2 notes
+/// RAG extraction runs on GPT-4o); kept distinct for the hallucination demo.
+[[nodiscard]] ModelProfile gpt45();
+[[nodiscard]] ModelProfile gemini25pro();
+
+/// Lookup by name; throws std::invalid_argument for unknown models.
+[[nodiscard]] ModelProfile profileByName(const std::string& name);
+
+/// All profiles the benches iterate over.
+[[nodiscard]] std::vector<ModelProfile> allProfiles();
+
+}  // namespace stellar::llm

@@ -1,0 +1,70 @@
+#include "llm/token_meter.hpp"
+
+#include <algorithm>
+
+#include "rag/tokenizer.hpp"
+
+namespace stellar::llm {
+
+CallRecord TokenMeter::recordCall(const std::string& conversation,
+                                  const std::string& prompt, const std::string& output) {
+  CallRecord record;
+  record.conversation = conversation;
+  record.inputTokens = rag::approxTokenCount(prompt);
+  record.outputTokens = rag::approxTokenCount(output);
+
+  auto& last = lastPrompt_[conversation];
+  // Longest common prefix with the previous prompt in this conversation is
+  // served from the provider's prompt cache.
+  const std::size_t common = [&] {
+    const std::size_t n = std::min(last.size(), prompt.size());
+    std::size_t i = 0;
+    while (i < n && last[i] == prompt[i]) {
+      ++i;
+    }
+    return i;
+  }();
+  record.cachedTokens =
+      std::min(record.inputTokens, rag::approxTokenCount(prompt.substr(0, common)));
+  last = prompt;
+
+  calls_.push_back(record);
+  return record;
+}
+
+UsageTotals TokenMeter::totals(const std::string& conversation) const {
+  UsageTotals totals;
+  for (const CallRecord& call : calls_) {
+    if (!conversation.empty() && call.conversation != conversation) {
+      continue;
+    }
+    ++totals.calls;
+    totals.inputTokens += call.inputTokens;
+    totals.cachedTokens += call.cachedTokens;
+    totals.outputTokens += call.outputTokens;
+  }
+  return totals;
+}
+
+double TokenMeter::estimateCostUsd(const ModelProfile& profile,
+                                   const std::string& conversation) const {
+  const UsageTotals t = totals(conversation);
+  const double fresh = static_cast<double>(t.inputTokens - t.cachedTokens);
+  const double cached = static_cast<double>(t.cachedTokens);
+  const double output = static_cast<double>(t.outputTokens);
+  return (fresh * profile.usdPerMInput + cached * profile.usdPerMCachedInput +
+          output * profile.usdPerMOutput) /
+         1e6;
+}
+
+double TokenMeter::estimateLatencySeconds(const ModelProfile& profile,
+                                          const std::string& conversation) const {
+  return static_cast<double>(totals(conversation).calls) * profile.latencyPerCall;
+}
+
+void TokenMeter::reset() {
+  calls_.clear();
+  lastPrompt_.clear();
+}
+
+}  // namespace stellar::llm

@@ -1,0 +1,244 @@
+#include "manual/manual_text.hpp"
+
+#include <array>
+
+#include "manual/param_facts.hpp"
+#include "util/rng.hpp"
+
+namespace stellar::manual {
+
+namespace {
+
+// Deterministic pseudo-prose: enough plausible administrator-manual text to
+// make retrieval non-trivial. Every paragraph is assembled from rotating
+// sentence fragments so the corpus has variety without shipping megabytes
+// of literal strings.
+std::string fillerParagraph(std::uint64_t seed, std::string_view topic) {
+  static const std::array<const char*, 10> openers = {
+      "In production deployments, ",
+      "Administrators should note that ",
+      "During recovery, ",
+      "When the cluster is under heavy load, ",
+      "For historical reasons, ",
+      "On clusters with mixed hardware generations, ",
+      "Before upgrading, ",
+      "In the default configuration, ",
+      "When diagnosing slow jobs, ",
+      "After a failover event, ",
+  };
+  static const std::array<const char*, 10> middles = {
+      "the %T subsystem coordinates with the management server to exchange "
+      "configuration updates, and each client applies them lazily on its next "
+      "reconnection cycle",
+      "the %T layer records per-target statistics that can be sampled from the "
+      "proc interface without interrupting service",
+      "requests traverse the %T stack in submission order unless a scheduling "
+      "policy reorders them for fairness across clients",
+      "the %T component negotiates feature bits at connect time, so mixed "
+      "version clusters degrade gracefully to the common subset",
+      "memory registered by the %T layer for bulk transfers is pinned for the "
+      "lifetime of the RPC and returned to the allocator on completion",
+      "the %T module batches small state changes into a single transaction to "
+      "bound journal pressure on the backing filesystem",
+      "timeouts in the %T path are adaptive: the client tracks observed service "
+      "latencies and widens its estimates under congestion",
+      "the %T service threads are partitioned across CPU partitions so cache "
+      "locality is preserved for request processing",
+      "log records emitted by the %T layer are rate limited to protect the "
+      "console during error storms",
+      "the %T connection state machine distinguishes transient network faults "
+      "from server restarts and only replays transactions for the latter",
+  };
+  static const std::array<const char*, 6> closers = {
+      " This behaviour is intentional and requires no administrator action.",
+      " Sites with unusual workloads may wish to monitor this closely.",
+      " See the troubleshooting chapter for the relevant diagnostic counters.",
+      " The defaults are appropriate for the vast majority of installations.",
+      " Changing unrelated parameters does not influence this mechanism.",
+      " This subsystem was substantially reworked in the current release.",
+  };
+
+  std::uint64_t s = seed;
+  std::string out;
+  const int sentences = 3 + static_cast<int>(util::splitmix64(s) % 3);
+  for (int i = 0; i < sentences; ++i) {
+    const auto o = util::splitmix64(s) % openers.size();
+    const auto m = util::splitmix64(s) % middles.size();
+    const auto c = util::splitmix64(s) % closers.size();
+    std::string sentence = std::string{openers[o]} + middles[m] + ".";
+    // Substitute the topic into the %T placeholder.
+    const auto pos = sentence.find("%T");
+    if (pos != std::string::npos) {
+      sentence.replace(pos, 2, topic);
+    }
+    out += sentence;
+    if (i + 1 == sentences) {
+      out += closers[c];
+    }
+    out += " ";
+  }
+  out += "\n\n";
+  return out;
+}
+
+std::string parameterSection(const ParamFact& fact) {
+  std::string text;
+  text += parameterSectionMarker(fact.name) + "\n";
+  text += "Exposure: " + fact.procPath + (fact.writable ? " (writable)" : " (read-only)") +
+          "\n\n";
+  text += fact.description + "\n\n";
+  text += fact.ioImpact + "\n\n";
+  text += "Default: " + std::to_string(fact.defaultValue) +
+          (fact.unit.empty() ? "" : " " + fact.unit) + "\n";
+  if (!fact.minExpr.empty()) {
+    text += "Minimum: " + fact.minExpr + "\n";
+  }
+  if (!fact.maxExpr.empty()) {
+    text += "Maximum: " + fact.maxExpr + "\n";
+  }
+  text += "\nTo change the value at runtime, write the desired setting to the "
+          "proc file shown above, or use the administration utility with the "
+          "parameter's canonical name " + fact.name + ". The change takes "
+          "effect for subsequently issued operations.\n\n";
+  return text;
+}
+
+std::vector<ManualSection> buildSections() {
+  std::vector<ManualSection> sections;
+
+  const auto addChapter = [&sections](std::string title, std::string body) {
+    sections.push_back(ManualSection{std::move(title), std::move(body)});
+  };
+
+  // --- front matter and distractor chapters --------------------------------
+  std::string intro = "StellarFS Operations Manual\n\n";
+  intro += "StellarFS is a parallel file system composed of a management "
+           "server (MGS), a metadata server (MDS) hosting one metadata target "
+           "(MDT), and a set of object storage servers (OSS), each hosting "
+           "object storage targets (OSTs). Clients mount the file system and "
+           "perform data I/O directly against the OSTs while metadata "
+           "operations are served by the MDS.\n\n";
+  for (int i = 0; i < 6; ++i) {
+    intro += fillerParagraph(1000 + i, "connection");
+  }
+  addChapter("Introduction", std::move(intro));
+
+  std::string arch = "Architecture Overview\n\n";
+  arch += "Files are divided into stripes distributed across OSTs according "
+          "to the file layout. The client-side object storage client (OSC) "
+          "manages bulk data RPCs per OST, the metadata client (MDC) manages "
+          "metadata RPCs, the llite layer implements the VFS interface "
+          "including readahead and stat-ahead, and the lock manager (LDLM) "
+          "caches distributed locks on the client.\n\n";
+  for (int i = 0; i < 8; ++i) {
+    arch += fillerParagraph(2000 + i, "layout");
+  }
+  addChapter("Architecture", std::move(arch));
+
+  std::string recovery = "Recovery and Failover\n\n";
+  for (int i = 0; i < 10; ++i) {
+    recovery += fillerParagraph(3000 + i, "recovery");
+  }
+  recovery += "Note that recovery behaviour is unrelated to tuning parameters "
+              "such as stripe_count or max_dirty_mb; those settings are "
+              "preserved across failover.\n\n";
+  addChapter("Recovery", std::move(recovery));
+
+  std::string quota = "Quotas and Space Management\n\n";
+  for (int i = 0; i < 8; ++i) {
+    quota += fillerParagraph(4000 + i, "quota");
+  }
+  addChapter("Quotas", std::move(quota));
+
+  std::string network = "Networking\n\n";
+  for (int i = 0; i < 8; ++i) {
+    network += fillerParagraph(5000 + i, "network");
+  }
+  addChapter("Networking", std::move(network));
+
+  // --- parameter reference chapters, grouped by subsystem ------------------
+  const auto subsystemOf = [](const std::string& name) {
+    return name.substr(0, name.find('.'));
+  };
+  const std::vector<std::pair<std::string, std::string>> subsystems = {
+      {"lov", "File Layout and Striping (lov)"},
+      {"osc", "Object Storage Client Tuning (osc)"},
+      {"llite", "Client VFS Layer Tuning (llite)"},
+      {"mdc", "Metadata Client Tuning (mdc)"},
+      {"ldlm", "Lock Manager Tuning (ldlm)"},
+      {"ost", "Object Storage Target Settings (ost)"},
+      {"mds", "Metadata Server Settings (mds)"},
+      {"mgs", "Management Server Settings (mgs)"},
+  };
+  std::uint64_t fillerSeed = 9000;
+  for (const auto& [prefix, title] : subsystems) {
+    std::string body = title + "\n\n";
+    body += fillerParagraph(fillerSeed++, prefix);
+    for (const ParamFact& fact : allParamFacts()) {
+      if (subsystemOf(fact.name) != prefix) {
+        continue;
+      }
+      if (fact.category == ParamCategory::Undocumented) {
+        continue;  // the manual is silent about these, by design
+      }
+      body += parameterSection(fact);
+      body += fillerParagraph(fillerSeed++, prefix);
+    }
+    addChapter(title, std::move(body));
+  }
+
+  // --- troubleshooting: mentions parameters casually (distractors) ---------
+  std::string trouble = "Troubleshooting\n\n";
+  trouble += "Slow sequential reads are most often caused by disabled or "
+             "undersized readahead; confirm llite.max_read_ahead_mb before "
+             "investigating the network. Slow creates in file-per-process "
+             "workloads usually trace back to wide default striping or an "
+             "overloaded MDS rather than to osc settings. If clients stall "
+             "writing, inspect dirty-cache occupancy against osc.max_dirty_mb. "
+             "Lock cancel storms often indicate an undersized ldlm.lru_size "
+             "for the job's working set.\n\n";
+  for (int i = 0; i < 10; ++i) {
+    trouble += fillerParagraph(6000 + i, "diagnostic");
+  }
+  addChapter("Troubleshooting", std::move(trouble));
+
+  std::string glossary = "Glossary\n\n";
+  glossary += "OST: object storage target, the unit of data storage. OSS: the "
+              "server hosting OSTs. MDT: metadata target. MDS: metadata "
+              "server. OSC: per-OST client component. MDC: metadata client "
+              "component. LDLM: the distributed lock manager. RPC: remote "
+              "procedure call. Stripe: the unit of file layout across "
+              "OSTs.\n\n";
+  for (int i = 0; i < 4; ++i) {
+    glossary += fillerParagraph(7000 + i, "glossary");
+  }
+  addChapter("Glossary", std::move(glossary));
+
+  return sections;
+}
+
+}  // namespace
+
+const std::vector<ManualSection>& manualSections() {
+  static const std::vector<ManualSection> sections = buildSections();
+  return sections;
+}
+
+const std::string& fullManualText() {
+  static const std::string text = [] {
+    std::string out;
+    for (const ManualSection& section : manualSections()) {
+      out += "CHAPTER: " + section.title + "\n\n";
+      out += section.text;
+      out += "\n";
+    }
+    return out;
+  }();
+  return text;
+}
+
+std::string parameterSectionMarker(std::string_view name) {
+  return "Parameter: " + std::string{name};
+}
+
+}  // namespace stellar::manual

@@ -1,0 +1,32 @@
+// Synthetic administrator manual generator.
+//
+// Stands in for the 600-page Lustre Operations Manual (§4.2.1): a large
+// prose document in which each *documented* parameter has one authoritative
+// section, surrounded by chapters of architecture, recovery, quota, and
+// networking material that act as retrieval distractors. The RAG pipeline
+// must locate the right section to produce accurate parameter facts; the
+// no-RAG baselines answer from (possibly hallucinated) model memory.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace stellar::manual {
+
+struct ManualSection {
+  std::string title;
+  std::string text;
+};
+
+/// All sections of the manual, in document order.
+[[nodiscard]] const std::vector<ManualSection>& manualSections();
+
+/// The entire manual as one string (what gets chunked and embedded).
+[[nodiscard]] const std::string& fullManualText();
+
+/// The marker line that opens a parameter's authoritative section
+/// ("Parameter: <name>"); the extraction step keys on it.
+[[nodiscard]] std::string parameterSectionMarker(std::string_view name);
+
+}  // namespace stellar::manual

@@ -1,0 +1,161 @@
+#include <algorithm>
+#include <cmath>
+
+#include "opt/linalg.hpp"
+#include "opt/optimizers.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace stellar::opt {
+
+namespace {
+
+constexpr double kLengthScale = 0.35;
+constexpr double kNoise = 1e-4;
+constexpr std::size_t kInitialDesign = 6;
+constexpr std::size_t kAcquisitionCandidates = 256;
+
+double rbf(std::span<const double> a, std::span<const double> b) {
+  double d2 = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    d2 += d * d;
+  }
+  return std::exp(-d2 / (2.0 * kLengthScale * kLengthScale));
+}
+
+double normalCdf(double z) {
+  return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+double normalPdf(double z) {
+  return std::exp(-0.5 * z * z) / std::sqrt(2.0 * M_PI);
+}
+
+struct Gp {
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;       // standardized
+  double yMean = 0.0;
+  double yStd = 1.0;
+  Matrix chol;
+  std::vector<double> alpha;    // K^-1 y
+
+  void fit(const std::vector<std::vector<double>>& points,
+           const std::vector<double>& raw) {
+    xs = points;
+    yMean = util::mean(raw);
+    yStd = std::max(1e-9, util::stddev(raw));
+    ys.resize(raw.size());
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      ys[i] = (raw[i] - yMean) / yStd;
+    }
+    const std::size_t n = xs.size();
+    Matrix k(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        k.at(i, j) = rbf(xs[i], xs[j]) + (i == j ? kNoise : 0.0);
+      }
+    }
+    chol = cholesky(k);
+    alpha = choleskySolve(chol, ys);
+  }
+
+  /// Predictive mean (raw units) and standard deviation (standardized).
+  std::pair<double, double> predict(std::span<const double> x) const {
+    const std::size_t n = xs.size();
+    std::vector<double> kstar(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      kstar[i] = rbf(x, xs[i]);
+    }
+    double mean = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      mean += kstar[i] * alpha[i];
+    }
+    const std::vector<double> v = forwardSolve(chol, kstar);
+    double var = 1.0 + kNoise;
+    for (const double vi : v) {
+      var -= vi * vi;
+    }
+    var = std::max(var, 1e-12);
+    return {mean * yStd + yMean, std::sqrt(var) * yStd};
+  }
+};
+
+}  // namespace
+
+OptResult bayesianOptimize(const SearchSpace& space, const Objective& objective,
+                           const OptOptions& options) {
+  OptResult result;
+  util::Rng rng{options.seed};
+
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+
+  const auto evaluate = [&](std::vector<double> x) {
+    const pfs::PfsConfig config = space.decode(x);
+    const double seconds = objective(config);
+    if (result.history.empty() || seconds < result.bestSeconds) {
+      result.bestSeconds = seconds;
+      result.bestConfig = config;
+    }
+    result.history.push_back(result.bestSeconds);
+    xs.push_back(std::move(x));
+    ys.push_back(seconds);
+  };
+
+  // Initial space-filling design (random; the default config is included
+  // because tuners always know the incumbent).
+  evaluate(space.encode(pfs::PfsConfig{}));
+  for (std::size_t i = 1; i < std::min(kInitialDesign, options.maxEvaluations); ++i) {
+    std::vector<double> x(space.dims());
+    for (double& v : x) {
+      v = rng.uniform();
+    }
+    evaluate(std::move(x));
+  }
+
+  Gp gp;
+  while (result.history.size() < options.maxEvaluations) {
+    gp.fit(xs, ys);
+    const double best = *std::min_element(ys.begin(), ys.end());
+
+    // Acquisition: expected improvement over random + local candidates.
+    std::vector<double> bestCandidate;
+    double bestEi = -1.0;
+    for (std::size_t c = 0; c < kAcquisitionCandidates; ++c) {
+      std::vector<double> x(space.dims());
+      if (c % 4 == 0 && !xs.empty()) {
+        // Local perturbation of the incumbent.
+        const std::vector<double>& incumbent =
+            xs[static_cast<std::size_t>(std::min_element(ys.begin(), ys.end()) -
+                                        ys.begin())];
+        for (std::size_t d = 0; d < x.size(); ++d) {
+          x[d] = std::clamp(incumbent[d] + rng.normal(0.0, 0.1), 0.0, 1.0);
+        }
+      } else {
+        for (double& v : x) {
+          v = rng.uniform();
+        }
+      }
+      const auto [mean, sd] = gp.predict(x);
+      const double z = (best - mean) / std::max(sd, 1e-12);
+      const double ei = (best - mean) * normalCdf(z) + sd * normalPdf(z);
+      if (ei > bestEi) {
+        bestEi = ei;
+        bestCandidate = std::move(x);
+      }
+    }
+    if (bestCandidate.empty()) {
+      // Acquisition degenerated (all candidates non-finite or non-positive
+      // EI): fall back to exploration so the budget is never wasted.
+      bestCandidate.resize(space.dims());
+      for (double& v : bestCandidate) {
+        v = rng.uniform();
+      }
+    }
+    evaluate(std::move(bestCandidate));
+  }
+  return result;
+}
+
+}  // namespace stellar::opt

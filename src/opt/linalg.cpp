@@ -1,0 +1,69 @@
+#include "opt/linalg.hpp"
+
+#include <cmath>
+
+namespace stellar::opt {
+
+Matrix cholesky(const Matrix& a) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n) {
+    throw std::runtime_error("cholesky: matrix not square");
+  }
+  Matrix l(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = a.at(i, j);
+      for (std::size_t k = 0; k < j; ++k) {
+        sum -= l.at(i, k) * l.at(j, k);
+      }
+      if (i == j) {
+        if (sum <= 0.0) {
+          throw std::runtime_error("cholesky: matrix not positive definite");
+        }
+        l.at(i, j) = std::sqrt(sum);
+      } else {
+        l.at(i, j) = sum / l.at(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+std::vector<double> forwardSolve(const Matrix& l, const std::vector<double>& b) {
+  const std::size_t n = l.rows();
+  if (b.size() != n) {
+    throw std::runtime_error("forwardSolve: size mismatch");
+  }
+  std::vector<double> y(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) {
+      sum -= l.at(i, k) * y[k];
+    }
+    y[i] = sum / l.at(i, i);
+  }
+  return y;
+}
+
+std::vector<double> backwardSolve(const Matrix& l, const std::vector<double>& y) {
+  const std::size_t n = l.rows();
+  if (y.size() != n) {
+    throw std::runtime_error("backwardSolve: size mismatch");
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double sum = y[i];
+    for (std::size_t k = i + 1; k < n; ++k) {
+      sum -= l.at(k, i) * x[k];
+    }
+    x[i] = sum / l.at(i, i);
+  }
+  return x;
+}
+
+std::vector<double> choleskySolve(const Matrix& l, const std::vector<double>& b) {
+  return backwardSolve(l, forwardSolve(l, b));
+}
+
+}  // namespace stellar::opt

@@ -1,0 +1,47 @@
+// Minimal dense linear algebra for the Gaussian-process optimizer:
+// symmetric positive-definite solves via Cholesky.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace stellar::opt {
+
+/// Row-major square matrix.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols),
+      data_(rows * cols, 0.0) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Cholesky factor L (lower) of a symmetric positive-definite matrix;
+/// throws std::runtime_error if the matrix is not SPD.
+[[nodiscard]] Matrix cholesky(const Matrix& a);
+
+/// Solves L y = b (forward substitution), L lower-triangular.
+[[nodiscard]] std::vector<double> forwardSolve(const Matrix& l,
+                                               const std::vector<double>& b);
+
+/// Solves L^T x = y (backward substitution).
+[[nodiscard]] std::vector<double> backwardSolve(const Matrix& l,
+                                                const std::vector<double>& y);
+
+/// Solves A x = b given the Cholesky factor of A.
+[[nodiscard]] std::vector<double> choleskySolve(const Matrix& l,
+                                                const std::vector<double>& b);
+
+}  // namespace stellar::opt

@@ -1,0 +1,139 @@
+#include "opt/optimizers.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace stellar::opt {
+
+std::size_t OptResult::evaluationsToReach(double target, double factor) const {
+  for (std::size_t i = 0; i < history.size(); ++i) {
+    if (history[i] <= target * factor) {
+      return i + 1;
+    }
+  }
+  return 0;
+}
+
+namespace {
+
+void recordEvaluation(OptResult& result, const pfs::PfsConfig& config, double seconds) {
+  if (result.history.empty() || seconds < result.bestSeconds) {
+    result.bestSeconds = seconds;
+    result.bestConfig = config;
+  }
+  result.history.push_back(result.bestSeconds);
+}
+
+std::vector<double> randomPoint(util::Rng& rng, std::size_t dims) {
+  std::vector<double> x(dims);
+  for (double& v : x) {
+    v = rng.uniform();
+  }
+  return x;
+}
+
+}  // namespace
+
+OptResult randomSearch(const SearchSpace& space, const Objective& objective,
+                       const OptOptions& options) {
+  OptResult result;
+  util::Rng rng{options.seed};
+  for (std::size_t i = 0; i < options.maxEvaluations; ++i) {
+    const pfs::PfsConfig config = space.decode(randomPoint(rng, space.dims()));
+    recordEvaluation(result, config, objective(config));
+  }
+  return result;
+}
+
+OptResult simulatedAnnealing(const SearchSpace& space, const Objective& objective,
+                             const OptOptions& options) {
+  OptResult result;
+  util::Rng rng{options.seed};
+
+  std::vector<double> current = space.encode(pfs::PfsConfig{});
+  pfs::PfsConfig currentConfig = space.decode(current);
+  double currentCost = objective(currentConfig);
+  recordEvaluation(result, currentConfig, currentCost);
+
+  const double t0 = 0.30;  // relative-cost temperature scale
+  for (std::size_t i = 1; i < options.maxEvaluations; ++i) {
+    const double progress =
+        static_cast<double>(i) / static_cast<double>(options.maxEvaluations);
+    const double temperature = t0 * (1.0 - progress) + 1e-3;
+
+    std::vector<double> proposal = current;
+    // Perturb 1-3 coordinates with gaussian steps shrinking over time.
+    const int k = 1 + static_cast<int>(rng.uniformInt(0, 2));
+    for (int j = 0; j < k; ++j) {
+      const auto dim = static_cast<std::size_t>(
+          rng.uniformInt(0, static_cast<std::int64_t>(space.dims()) - 1));
+      proposal[dim] =
+          std::clamp(proposal[dim] + rng.normal(0.0, 0.15 + 0.25 * temperature), 0.0, 1.0);
+    }
+    const pfs::PfsConfig config = space.decode(proposal);
+    const double cost = objective(config);
+    recordEvaluation(result, config, cost);
+
+    const double delta = (cost - currentCost) / std::max(1e-9, currentCost);
+    if (delta <= 0.0 || rng.chance(std::exp(-delta / temperature))) {
+      current = std::move(proposal);
+      currentConfig = config;
+      currentCost = cost;
+    }
+  }
+  return result;
+}
+
+OptResult heuristicController(const SearchSpace& space, const Objective& objective,
+                              const OptOptions& options) {
+  OptResult result;
+  util::Rng rng{options.seed};
+
+  // ASCAR-style: a fixed rule table of multiplicative steps per parameter,
+  // applied one at a time; a step that helps is kept and retried, a step
+  // that hurts is inverted once, then the controller moves on. This is the
+  // classic workload-agnostic heuristic whose convergence the ML-based
+  // literature criticizes.
+  pfs::PfsConfig current;
+  double currentCost = objective(current);
+  recordEvaluation(result, current, currentCost);
+
+  const auto names = space.names();
+  std::size_t evals = 1;
+  std::size_t paramIdx = 0;
+  double step = 2.0;
+  bool inverted = false;
+  while (evals < options.maxEvaluations) {
+    const std::string& name = names[paramIdx % names.size()];
+    pfs::PfsConfig candidate = current;
+    const auto value = candidate.get(name).value_or(1);
+    const auto next = static_cast<std::int64_t>(
+        std::llround(static_cast<double>(std::max<std::int64_t>(value, 1)) *
+                     (inverted ? 1.0 / step : step)));
+    (void)candidate.set(name, next);
+    candidate = pfs::clampConfig(candidate, pfs::BoundsContext{});
+    const double cost = objective(candidate);
+    recordEvaluation(result, candidate, cost);
+    ++evals;
+
+    if (cost < currentCost * 0.995) {
+      current = candidate;
+      currentCost = cost;
+      inverted = false;  // keep pushing the same direction next visit
+    } else if (!inverted) {
+      inverted = true;  // try the opposite direction once
+      continue;
+    } else {
+      inverted = false;
+      ++paramIdx;  // give up on this knob for this round
+    }
+    if (rng.chance(0.1)) {
+      ++paramIdx;  // occasional rotation mimics the controller's scheduling
+    }
+  }
+  return result;
+}
+
+}  // namespace stellar::opt

@@ -1,0 +1,55 @@
+// Traditional black-box autotuners — the iteration-hungry methods the
+// paper contrasts STELLAR against (§1, §3.1): random search, simulated
+// annealing, GP Bayesian optimization (SAPPHIRE-style), and an
+// ASCAR-style heuristic hill climber.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "opt/search_space.hpp"
+#include "pfs/params.hpp"
+
+namespace stellar::opt {
+
+/// Wall seconds for a configuration (lower is better). One call = one full
+/// application execution — the expensive thing the paper counts.
+using Objective = std::function<double(const pfs::PfsConfig&)>;
+
+struct OptResult {
+  pfs::PfsConfig bestConfig;
+  double bestSeconds = 0.0;
+  /// best-so-far after each evaluation (index 0 = first evaluation).
+  std::vector<double> history;
+
+  /// First evaluation index (1-based) whose best-so-far is within
+  /// `factor` of `target` seconds; 0 when never reached.
+  [[nodiscard]] std::size_t evaluationsToReach(double target, double factor) const;
+};
+
+struct OptOptions {
+  std::size_t maxEvaluations = 200;
+  std::uint64_t seed = 5;
+};
+
+[[nodiscard]] OptResult randomSearch(const SearchSpace& space, const Objective& objective,
+                                     const OptOptions& options = {});
+
+[[nodiscard]] OptResult simulatedAnnealing(const SearchSpace& space,
+                                           const Objective& objective,
+                                           const OptOptions& options = {});
+
+/// GP surrogate (RBF kernel) with expected-improvement acquisition.
+[[nodiscard]] OptResult bayesianOptimize(const SearchSpace& space,
+                                         const Objective& objective,
+                                         const OptOptions& options = {});
+
+/// ASCAR-style rule controller: fixed step rules per parameter, hill
+/// climbing one parameter at a time in reaction to measured throughput.
+[[nodiscard]] OptResult heuristicController(const SearchSpace& space,
+                                            const Objective& objective,
+                                            const OptOptions& options = {});
+
+}  // namespace stellar::opt

@@ -1,0 +1,92 @@
+#include "opt/search_space.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace stellar::opt {
+
+SearchSpace::SearchSpace(pfs::BoundsContext bounds)
+    : bounds_(bounds), names_(pfs::PfsConfig::tunableNames()) {}
+
+std::size_t SearchSpace::dims() const noexcept {
+  return names_.size();
+}
+
+pfs::PfsConfig SearchSpace::decode(std::span<const double> x) const {
+  if (x.size() != names_.size()) {
+    throw std::invalid_argument("SearchSpace::decode: dimension mismatch");
+  }
+  pfs::PfsConfig cfg;
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    const std::string& name = names_[i];
+    const double t = std::clamp(x[i], 0.0, 1.0);
+    const auto bounds = pfs::paramBounds(name, cfg, bounds_);
+    if (!bounds) {
+      continue;
+    }
+    std::int64_t value = 0;
+    if (name == "lov.stripe_count") {
+      // Discrete domain {-1, 1..ostCount}: linear bucketing.
+      const std::int64_t options = bounds_.ostCount + 1;
+      const auto bucket = static_cast<std::int64_t>(t * static_cast<double>(options));
+      const std::int64_t idx = std::min(bucket, options - 1);
+      value = idx == 0 ? -1 : idx;
+    } else {
+      const double lo = static_cast<double>(std::max<std::int64_t>(bounds->min, 1));
+      const double hi = static_cast<double>(std::max<std::int64_t>(bounds->max, 1));
+      if (bounds->min <= 0) {
+        // Domains including 0 (readahead, statahead, lru): reserve the
+        // bottom 10% of the axis for 0, log-scale the rest.
+        if (t < 0.1) {
+          value = bounds->min;
+        } else {
+          const double tt = (t - 0.1) / 0.9;
+          value = static_cast<std::int64_t>(
+              std::llround(std::exp(std::log(1.0) + tt * (std::log(hi)))));
+        }
+      } else {
+        value = static_cast<std::int64_t>(
+            std::llround(std::exp(std::log(lo) + t * (std::log(hi) - std::log(lo)))));
+      }
+    }
+    (void)cfg.set(name, value);
+  }
+  return pfs::clampConfig(cfg, bounds_);
+}
+
+std::vector<double> SearchSpace::encode(const pfs::PfsConfig& config) const {
+  std::vector<double> x(names_.size(), 0.0);
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    const std::string& name = names_[i];
+    const auto value = config.get(name);
+    const auto bounds = pfs::paramBounds(name, config, bounds_);
+    if (!value || !bounds) {
+      continue;
+    }
+    if (name == "lov.stripe_count") {
+      const std::int64_t options = bounds_.ostCount + 1;
+      const std::int64_t idx = *value == -1 ? 0 : std::clamp<std::int64_t>(*value, 1, bounds_.ostCount);
+      x[i] = (static_cast<double>(idx) + 0.5) / static_cast<double>(options);
+      continue;
+    }
+    const double lo = static_cast<double>(std::max<std::int64_t>(bounds->min, 1));
+    const double hi = static_cast<double>(std::max<std::int64_t>(bounds->max, 1));
+    const double v = static_cast<double>(std::max<std::int64_t>(*value, 1));
+    if (bounds->min <= 0) {
+      if (*value <= 0) {
+        x[i] = 0.05;
+      } else if (hi <= 1.0) {
+        x[i] = 1.0;  // degenerate domain {0, 1}
+      } else {
+        x[i] = 0.1 + 0.9 * (std::log(v) / std::log(hi));
+      }
+    } else if (hi > lo) {
+      x[i] = (std::log(v) - std::log(lo)) / (std::log(hi) - std::log(lo));
+    }
+    x[i] = std::clamp(x[i], 0.0, 1.0);
+  }
+  return x;
+}
+
+}  // namespace stellar::opt

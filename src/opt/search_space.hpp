@@ -1,0 +1,37 @@
+// Normalized search space over the 13 tunables for the traditional
+// autotuner baselines (random search, simulated annealing, GP Bayesian
+// optimization, heuristic hill climbing). Each parameter maps to [0, 1]
+// on a log scale (linear for the small discrete stripe_count domain);
+// decoding clamps dependent bounds so every decoded config is valid.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "pfs/params.hpp"
+
+namespace stellar::opt {
+
+class SearchSpace {
+ public:
+  explicit SearchSpace(pfs::BoundsContext bounds);
+
+  [[nodiscard]] std::size_t dims() const noexcept;
+  [[nodiscard]] const std::vector<std::string>& names() const noexcept {
+    return names_;
+  }
+
+  /// x in [0,1]^dims -> valid configuration.
+  [[nodiscard]] pfs::PfsConfig decode(std::span<const double> x) const;
+
+  /// Configuration -> normalized point (inverse of decode up to rounding).
+  [[nodiscard]] std::vector<double> encode(const pfs::PfsConfig& config) const;
+
+ private:
+  pfs::BoundsContext bounds_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace stellar::opt

@@ -1,0 +1,953 @@
+#include "pfs/client.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <memory>
+
+namespace stellar::pfs {
+
+namespace {
+
+/// Initial readahead window before doubling (Linux/Lustre-style ramp-up).
+constexpr std::uint64_t kInitialRaWindow = 256 * 1024;
+
+/// Extent-lock conflict probability scale for shared-file writes.
+constexpr double kConflictAlphaRandom = 0.25;
+constexpr double kConflictAlphaSequential = 0.04;
+
+/// Upper bound on statahead scan length (safety, not a tunable).
+constexpr std::size_t kMaxScanLength = 1 << 20;
+
+using DoneFn = std::shared_ptr<std::function<void()>>;
+
+DoneFn wrap(std::function<void()> fn) {
+  return std::make_shared<std::function<void()>>(std::move(fn));
+}
+
+}  // namespace
+
+ClientRuntime::ClientRuntime(sim::SimEngine& engine, const ClusterSpec& cluster,
+                             const PfsConfig& config, const JobSpec& job)
+    : engine_(engine), cluster_(cluster), config_(config), job_(job) {
+  const std::uint32_t totalOsts = cluster.totalOsts();
+
+  osts_.reserve(totalOsts);
+  for (std::uint32_t i = 0; i < totalOsts; ++i) {
+    osts_.push_back(std::make_unique<OstModel>(engine_, cluster_, i));
+  }
+  mds_ = std::make_unique<MdsModel>(engine_, cluster_);
+
+  nodes_.resize(cluster.clientNodes);
+  for (std::uint32_t n = 0; n < cluster.clientNodes; ++n) {
+    NodeState& node = nodes_[n];
+    node.nic = std::make_unique<sim::ServiceCenter>(engine_, "client" + std::to_string(n) + ".nic", 1);
+    node.oscLimiter.reserve(totalOsts);
+    node.dirty.resize(totalOsts);
+    node.pending.resize(totalOsts);
+    node.pendingBytes.assign(totalOsts, 0);
+    for (std::uint32_t o = 0; o < totalOsts; ++o) {
+      node.oscLimiter.push_back(std::make_unique<sim::FlowLimiter>(
+          engine_, static_cast<std::uint32_t>(config_.osc_max_rpcs_in_flight)));
+      node.dirty[o].setBudget(static_cast<std::uint64_t>(config_.osc_max_dirty_mb) *
+                              util::kMiB);
+    }
+    node.mdcLimiter = std::make_unique<sim::FlowLimiter>(
+        engine_, static_cast<std::uint32_t>(config_.mdc_max_rpcs_in_flight));
+    node.modLimiter = std::make_unique<sim::FlowLimiter>(
+        engine_, static_cast<std::uint32_t>(config_.mdc_max_mod_rpcs_in_flight));
+    node.locks.configure(static_cast<std::size_t>(config_.ldlm_lru_size),
+                         static_cast<double>(config_.ldlm_lru_max_age));
+    node.locks.setEvictionHandler(
+        [&node](FileId file) { node.pageValid.erase(file); });
+    node.readahead.setBudget(static_cast<std::uint64_t>(config_.llite_max_read_ahead_mb) *
+                             util::kMiB);
+  }
+
+  const std::uint32_t rankCount = job.rankCount();
+  ranks_.resize(rankCount);
+  for (std::uint32_t r = 0; r < rankCount; ++r) {
+    ranks_[r].id = r;
+    // Block distribution of ranks over nodes, as mpirun -bynode would not;
+    // IOR-style launches place consecutive ranks on the same node.
+    ranks_[r].node = r / std::max<std::uint32_t>(1, cluster.ranksPerNode) %
+                     cluster.clientNodes;
+  }
+
+  files_.resize(job.files.size());
+  for (FileId f = 0; f < files_.size(); ++f) {
+    files_[f].layout = makeLayout(f);
+  }
+  fileStats_.resize(job.files.size());
+  rankStats_.resize(rankCount);
+}
+
+ClientRuntime::~ClientRuntime() = default;
+
+FileLayout ClientRuntime::makeLayout(FileId file) const {
+  FileLayout layout;
+  const std::uint32_t totalOsts = cluster_.totalOsts();
+  const std::int64_t requested = config_.stripe_count;
+  layout.stripeCount = requested < 0
+                           ? totalOsts
+                           : static_cast<std::uint32_t>(std::clamp<std::int64_t>(
+                                 requested, 1, totalOsts));
+  layout.stripeSize = static_cast<std::uint64_t>(std::max<std::int64_t>(
+      config_.stripe_size, 64 * 1024));
+  // Lustre's allocator picks starting OSTs by weighted free-space/QoS, not
+  // a perfect round robin; with few files the resulting placement skew is
+  // real and is one reason wider striping helps file-per-process workloads.
+  // A hash reproduces that skew deterministically.
+  layout.firstOst = static_cast<std::uint32_t>(util::mix64(file, 0x057A11) % totalOsts);
+  layout.totalOsts = totalOsts;
+  return layout;
+}
+
+std::uint64_t ClientRuntime::rpcBytes() const noexcept {
+  return static_cast<std::uint64_t>(std::max<std::int64_t>(config_.osc_max_pages_per_rpc, 1)) *
+         util::kPageSize;
+}
+
+void ClientRuntime::start() {
+  for (RankState& rank : ranks_) {
+    engine_.scheduleAt(0.0, [this, &rank] { advance(rank); });
+  }
+}
+
+// ------------------------------------------------------------- execution --
+
+void ClientRuntime::advance(RankState& r) {
+  const std::vector<IoOp>& program = job_.ranks[r.id];
+  while (r.ip < program.size()) {
+    const IoOp& op = program[r.ip];
+
+    // Blocking-capable ops first spend any accrued local CPU time so the
+    // simulated clock reflects client-side work without per-op events.
+    const bool mayBlock = op.kind != OpKind::Write && op.kind != OpKind::Close &&
+                          op.kind != OpKind::Compute;
+    if (mayBlock && r.accrued > 0.0) {
+      const double dt = r.accrued;
+      r.accrued = 0.0;
+      engine_.scheduleAfter(dt, [this, &r] { advance(r); });
+      return;
+    }
+
+    switch (op.kind) {
+      case OpKind::Compute: {
+        const double dt = op.seconds + r.accrued;
+        r.accrued = 0.0;
+        rankStats_[r.id].computeTime += op.seconds;
+        ++r.ip;
+        engine_.scheduleAfter(dt, [this, &r] { advance(r); });
+        return;
+      }
+      case OpKind::Barrier: {
+        blockRank(r, OpKind::Barrier);
+        ++barrierArrived_;
+        if (barrierArrived_ == ranks_.size()) {
+          barrierArrived_ = 0;
+          barrierTimes_.push_back(engine_.now());
+          for (RankState& other : ranks_) {
+            engine_.scheduleAfter(0.0, [this, &other] { resumeRank(other); });
+          }
+        }
+        return;
+      }
+      case OpKind::Close: {
+        execCloseLocal(r, op);
+        ++r.ip;
+        break;
+      }
+      case OpKind::Write: {
+        if (!execWrite(r, op)) {
+          return;
+        }
+        ++r.ip;
+        break;
+      }
+      case OpKind::Read: {
+        if (!execRead(r, op)) {
+          return;
+        }
+        ++r.ip;
+        break;
+      }
+      case OpKind::Stat: {
+        if (!execStat(r, op)) {
+          return;
+        }
+        ++r.ip;
+        break;
+      }
+      case OpKind::Mkdir:
+      case OpKind::Create:
+      case OpKind::Open:
+      case OpKind::Unlink:
+      case OpKind::Fsync: {
+        if (!execMeta(r, op)) {
+          return;
+        }
+        ++r.ip;
+        break;
+      }
+    }
+  }
+
+  if (r.accrued > 0.0) {
+    const double dt = r.accrued;
+    r.accrued = 0.0;
+    engine_.scheduleAfter(dt, [this, &r] { advance(r); });
+    return;
+  }
+  rankFinished(r);
+}
+
+void ClientRuntime::blockRank(RankState& r, OpKind kind) {
+  r.blockStart = engine_.now();
+  r.blockKind = kind;
+}
+
+void ClientRuntime::resumeRank(RankState& r) {
+  const double delta = engine_.now() - r.blockStart;
+  const IoOp& op = job_.ranks[r.id][r.ip];
+  RankStats& rs = rankStats_[r.id];
+  FileStats* fs = op.file != kInvalidFile && op.file < fileStats_.size()
+                      ? &fileStats_[op.file]
+                      : nullptr;
+
+  switch (r.blockKind) {
+    case OpKind::Read: {
+      rs.readTime += delta;
+      if (fs != nullptr) {
+        fs->readTime += delta;
+      }
+      // Consume the cached portions of the range we just read.
+      nodes_[r.node].readahead.consume(op.file, op.offset, op.offset + op.size);
+      FdState& fd = r.fds[op.file];
+      fd.lastReadEnd = op.offset + op.size;
+      fd.everRead = true;
+      break;
+    }
+    case OpKind::Write: {
+      rs.writeTime += delta;
+      if (fs != nullptr) {
+        fs->writeTime += delta;
+      }
+      // Re-enter execWrite to finish remaining segments.
+      advance(r);
+      return;
+    }
+    case OpKind::Barrier:
+      break;
+    case OpKind::Fsync:
+      rs.writeTime += delta;
+      if (fs != nullptr) {
+        fs->writeTime += delta;
+      }
+      break;
+    default: {  // metadata kinds
+      rs.metaTime += delta;
+      if (fs != nullptr) {
+        fs->metaTime += delta;
+      }
+      break;
+    }
+  }
+
+  ++r.ip;
+  advance(r);
+}
+
+void ClientRuntime::completeOneWait(RankState& r) {
+  assert(r.pendingWaits > 0);
+  if (--r.pendingWaits == 0) {
+    resumeRank(r);
+  }
+}
+
+void ClientRuntime::rankFinished(RankState& r) {
+  if (r.done) {
+    return;
+  }
+  r.done = true;
+  rankStats_[r.id].finishTime = engine_.now();
+  ++doneRanks_;
+  if (doneRanks_ == ranks_.size()) {
+    flushAllNodes();
+  }
+}
+
+// -------------------------------------------------------------- metadata --
+
+bool ClientRuntime::execMeta(RankState& r, const IoOp& op) {
+  NodeState& node = nodes_[r.node];
+  const double syscall = cluster_.clientSyscallCost;
+
+  switch (op.kind) {
+    case OpKind::Mkdir: {
+      blockRank(r, OpKind::Mkdir);
+      r.pendingWaits = 1;
+      submitMeta(r.node, MetaOpKind::Mkdir, 1, true, [this, &r] { completeOneWait(r); });
+      return false;
+    }
+    case OpKind::Create: {
+      FileState& f = files_[op.file];
+      FileStats& fs = fileStats_[op.file];
+      ++fs.creates;
+      fs.rankMask |= 1ULL << (r.id % 64);
+      f.layout = makeLayout(op.file);
+      blockRank(r, OpKind::Create);
+      r.pendingWaits = 1;
+      submitMeta(r.node, MetaOpKind::Create, f.layout.stripeCount, true,
+                 [this, &r, &f, file = op.file] {
+                   f.exists = true;
+                   cacheLock(ranks_[r.id].node, file);
+                   NodeState& n = nodes_[r.node];
+                   ++n.openCount[file];
+                   r.fds[file].open = true;
+                   completeOneWait(r);
+                 });
+      return false;
+    }
+    case OpKind::Open: {
+      FileStats& fs = fileStats_[op.file];
+      ++fs.opens;
+      fs.rankMask |= 1ULL << (r.id % 64);
+      if (lockCached(r.node, op.file)) {
+        // Cached open lock: the open is satisfied from the client cache.
+        r.accrued += syscall;
+        ++node.openCount[op.file];
+        r.fds[op.file].open = true;
+        return true;
+      }
+      blockRank(r, OpKind::Open);
+      r.pendingWaits = 1;
+      submitMeta(r.node, MetaOpKind::Open, 1, false, [this, &r, file = op.file] {
+        cacheLock(r.node, file);
+        ++nodes_[r.node].openCount[file];
+        r.fds[file].open = true;
+        completeOneWait(r);
+      });
+      return false;
+    }
+    case OpKind::Unlink: {
+      FileState& f = files_[op.file];
+      FileStats& fs = fileStats_[op.file];
+      ++fs.unlinks;
+      fs.rankMask |= 1ULL << (r.id % 64);
+      // Discard this node's pending dirty segments for the file.
+      for (std::uint32_t ost = 0; ost < node.pending.size(); ++ost) {
+        auto& vec = node.pending[ost];
+        std::uint64_t discarded = 0;
+        std::erase_if(vec, [&](const PendingSeg& seg) {
+          if (seg.file == op.file) {
+            discarded += seg.length;
+            return true;
+          }
+          return false;
+        });
+        if (discarded > 0) {
+          node.pendingBytes[ost] -= std::min(node.pendingBytes[ost], discarded);
+          node.dirty[ost].release(discarded);
+        }
+      }
+      for (auto& waiter : node.readahead.dropFile(op.file)) {
+        engine_.scheduleAfter(0.0, std::move(waiter));
+      }
+      node.locks.erase(op.file);
+      node.pageValid.erase(op.file);
+      blockRank(r, OpKind::Unlink);
+      r.pendingWaits = 1;
+      submitMeta(r.node, MetaOpKind::Unlink, f.layout.stripeCount, true,
+                 [this, &r, &f] {
+                   f.exists = false;
+                   f.size = 0;
+                   f.writerNodeMask = 0;
+                   completeOneWait(r);
+                 });
+      return false;
+    }
+    case OpKind::Fsync: {
+      FileStats& fs = fileStats_[op.file];
+      ++fs.fsyncs;
+      for (std::uint32_t ost = 0; ost < node.pending.size(); ++ost) {
+        flushPending(r.node, ost, op.file);
+      }
+      const auto it = node.flushInFlight.find(op.file);
+      if (it == node.flushInFlight.end() || it->second == 0) {
+        r.accrued += syscall;
+        return true;
+      }
+      blockRank(r, OpKind::Fsync);
+      r.pendingWaits = 1;
+      node.fsyncWaiters[op.file].push_back([this, &r] { completeOneWait(r); });
+      return false;
+    }
+    default:
+      return true;
+  }
+}
+
+bool ClientRuntime::execStat(RankState& r, const IoOp& op) {
+  NodeState& node = nodes_[r.node];
+  FileStats& fs = fileStats_[op.file];
+  ++fs.stats;
+  fs.rankMask |= 1ULL << (r.id % 64);
+
+  // Valid cached lock => attributes served from the client cache.
+  if (lockCached(r.node, op.file)) {
+    r.accrued += cluster_.clientSyscallCost;
+    return true;
+  }
+
+  if (config_.llite_statahead_max > 0) {
+    // Consume a statahead entry if the pipeline has (or will have) one.
+    const auto entry = r.statEntries.find(r.ip);
+    if (entry != r.statEntries.end()) {
+      if (entry->second) {  // ready
+        ++counters_.stataheadServed;
+        r.statEntries.erase(entry);
+        r.accrued += cluster_.clientSyscallCost;
+        return true;
+      }
+      // In flight: wait for it.
+      blockRank(r, OpKind::Stat);
+      r.waitingOnStat = r.ip;
+      return false;
+    }
+    if (r.scan && r.ip >= r.scan->nextToIssue && r.ip < r.scan->endIndex) {
+      // The rank outran the statahead pipeline (possible under reordered
+      // completions); skip the pipeline for this entry and stat it
+      // synchronously, as the real statahead thread would be bypassed.
+      r.scan->nextToIssue = r.ip + 1;
+    } else {
+      maybeStartScan(r);
+    }
+    const auto started = r.statEntries.find(r.ip);
+    if (started != r.statEntries.end()) {
+      if (started->second) {
+        ++counters_.stataheadServed;
+        r.statEntries.erase(started);
+        r.accrued += cluster_.clientSyscallCost;
+        return true;
+      }
+      blockRank(r, OpKind::Stat);
+      r.waitingOnStat = r.ip;
+      return false;
+    }
+  }
+
+  // Plain synchronous stat RPC.
+  blockRank(r, OpKind::Stat);
+  r.pendingWaits = 1;
+  (void)node;
+  submitMeta(r.node, MetaOpKind::Stat, 1, false, [this, &r, file = op.file] {
+    cacheLock(r.node, file);
+    completeOneWait(r);
+  });
+  return false;
+}
+
+void ClientRuntime::maybeStartScan(RankState& r) {
+  const std::vector<IoOp>& program = job_.ranks[r.id];
+  // A scan starts when at least two consecutive Stat ops lie ahead
+  // (the statahead thread triggers on a detected stat pattern).
+  if (r.ip + 1 >= program.size() || program[r.ip + 1].kind != OpKind::Stat) {
+    return;
+  }
+  std::size_t end = r.ip;
+  while (end < program.size() && program[end].kind == OpKind::Stat &&
+         end - r.ip < kMaxScanLength) {
+    ++end;
+  }
+  r.scan = StataheadScan{r.ip, end, 0};
+  pumpStatahead(r);
+}
+
+void ClientRuntime::pumpStatahead(RankState& r) {
+  if (!r.scan) {
+    return;
+  }
+  StataheadScan& scan = *r.scan;
+  const std::vector<IoOp>& program = job_.ranks[r.id];
+  const auto window = static_cast<std::uint32_t>(config_.llite_statahead_max);
+  while (scan.inFlight < window && scan.nextToIssue < scan.endIndex) {
+    const std::size_t idx = scan.nextToIssue++;
+    const FileId file = program[idx].file;
+    if (nodes_[r.node].locks.touch(file, engine_.now())) {
+      // Already covered by a cached lock; mark ready with no RPC.
+      ++counters_.lockHits;
+      r.statEntries[idx] = true;
+      continue;
+    }
+    ++counters_.lockMisses;
+    r.statEntries[idx] = false;
+    ++scan.inFlight;
+    submitMeta(r.node, MetaOpKind::Stat, 1, false, [this, &r, idx, file] {
+      cacheLock(r.node, file);
+      auto it = r.statEntries.find(idx);
+      if (it != r.statEntries.end()) {
+        it->second = true;
+      }
+      if (r.scan) {
+        --r.scan->inFlight;
+        if (r.scan->nextToIssue >= r.scan->endIndex && r.scan->inFlight == 0) {
+          r.scan.reset();
+        }
+      }
+      // Refill the pipeline *before* waking the rank so the rank never
+      // outruns the statahead window on resume.
+      pumpStatahead(r);
+      if (r.waitingOnStat && *r.waitingOnStat == idx) {
+        r.waitingOnStat.reset();
+        ++counters_.stataheadServed;
+        r.statEntries.erase(idx);
+        resumeRank(r);
+      }
+    });
+  }
+  if (r.scan && scan.nextToIssue >= scan.endIndex && scan.inFlight == 0) {
+    r.scan.reset();
+  }
+}
+
+void ClientRuntime::submitMeta(std::uint32_t nodeIdx, MetaOpKind kind,
+                               std::uint32_t stripeCount, bool modifying,
+                               std::function<void()> onDone) {
+  ++counters_.metaRpcs;
+  NodeState& node = nodes_[nodeIdx];
+  const double latency = cluster_.network.messageLatency;
+  const DoneFn done = wrap(std::move(onDone));
+
+  const auto issue = [this, &node, kind, stripeCount, modifying, latency, done] {
+    node.mdcLimiter->acquire([this, &node, kind, stripeCount, modifying, latency, done] {
+      engine_.scheduleAfter(latency, [this, &node, kind, stripeCount, modifying, latency,
+                                      done] {
+        mds_->submit(kind, stripeCount, [this, &node, modifying, latency, done] {
+          engine_.scheduleAfter(latency, [&node, modifying, done] {
+            node.mdcLimiter->release();
+            if (modifying) {
+              node.modLimiter->release();
+            }
+            (*done)();
+          });
+        });
+      });
+    });
+  };
+
+  if (modifying) {
+    node.modLimiter->acquire(issue);
+  } else {
+    issue();
+  }
+}
+
+// ------------------------------------------------------------------ data --
+
+bool ClientRuntime::execWrite(RankState& r, const IoOp& op) {
+  FileState& f = files_[op.file];
+  FileStats& fs = fileStats_[op.file];
+  NodeState& node = nodes_[r.node];
+
+  if (!r.segmentsValid) {
+    r.segments = mapExtent(f.layout, op.offset, op.size);
+    r.segIndex = 0;
+    r.segmentsValid = true;
+
+    ++fs.writeOps;
+    fs.bytesWritten += op.size;
+    fs.recordAccess(op.size);
+    fs.minAccess = std::min(fs.minAccess, op.size);
+    fs.maxAccess = std::max(fs.maxAccess, op.size);
+    fs.maxOffset = std::max(fs.maxOffset, op.offset + op.size);
+    fs.rankMask |= 1ULL << (r.id % 64);
+    rankStats_[r.id].bytesWritten += op.size;
+
+    FdState& fd = r.fds[op.file];
+    const bool sequential =
+        (op.offset == fd.lastWriteEnd && fd.lastWriteEnd != 0) || op.offset == 0;
+    if (sequential) {
+      ++fs.seqWrites;
+    }
+    fd.lastWriteEnd = op.offset + op.size;
+
+    double cost = cluster_.clientSyscallCost;
+    if (config_.osc_checksums) {
+      cost += cluster_.checksumCostPerByte * static_cast<double>(op.size);
+    }
+    r.accrued += cost;
+    rankStats_[r.id].writeTime += cost;
+    fs.writeTime += cost;
+
+    // Extent-lock conflicts on shared files written from several nodes.
+    const std::uint64_t nodeBit = 1ULL << r.node;
+    const std::uint64_t others = f.writerNodeMask & ~nodeBit;
+    f.writerNodeMask |= nodeBit;
+    node.pageValid.insert(op.file);
+    f.size = std::max(f.size, op.offset + op.size);
+    if (others != 0) {
+      const int k = std::popcount(f.writerNodeMask);
+      const double alpha = sequential ? kConflictAlphaSequential : kConflictAlphaRandom;
+      const double p = alpha * static_cast<double>(k - 1) / static_cast<double>(k);
+      if (engine_.rng().chance(p)) {
+        ++counters_.extentConflicts;
+        r.accrued += cluster_.extentLockConflictCost;
+        rankStats_[r.id].writeTime += cluster_.extentLockConflictCost;
+        fs.writeTime += cluster_.extentLockConflictCost;
+      }
+    }
+  }
+
+  while (r.segIndex < r.segments.size()) {
+    const ObjectExtent& seg = r.segments[r.segIndex];
+    DirtyTracker& dirty = node.dirty[seg.ost];
+    if (r.reservedSegment || dirty.tryReserve(seg.length)) {
+      r.reservedSegment = false;
+      node.pending[seg.ost].push_back(PendingSeg{op.file, seg.objectOffset, seg.length});
+      node.pendingBytes[seg.ost] += seg.length;
+      ++r.segIndex;
+      if (node.pendingBytes[seg.ost] >= rpcBytes()) {
+        flushPending(r.node, seg.ost);
+      }
+      continue;
+    }
+    // No dirty budget: push current pending data out and wait for space.
+    flushPending(r.node, seg.ost);
+    blockRank(r, OpKind::Write);
+    dirty.waitForSpace(seg.length, [this, &r] {
+      // The waiter's reservation is already charged; mark it so the
+      // re-entered execWrite records the segment without re-reserving.
+      r.reservedSegment = true;
+      engine_.scheduleAfter(0.0, [this, &r] { resumeRank(r); });
+    });
+    return false;
+  }
+
+  r.segmentsValid = false;
+  return true;
+}
+
+void ClientRuntime::flushPending(std::uint32_t nodeIdx, std::uint32_t ost, FileId onlyFile) {
+  NodeState& node = nodes_[nodeIdx];
+  auto& pendingVec = node.pending[ost];
+  if (pendingVec.empty()) {
+    return;
+  }
+
+  std::vector<PendingSeg> selected;
+  if (onlyFile == kInvalidFile) {
+    selected = std::move(pendingVec);
+    pendingVec.clear();
+    node.pendingBytes[ost] = 0;
+  } else {
+    std::uint64_t taken = 0;
+    std::vector<PendingSeg> keep;
+    keep.reserve(pendingVec.size());
+    for (PendingSeg& seg : pendingVec) {
+      if (seg.file == onlyFile) {
+        taken += seg.length;
+        selected.push_back(seg);
+      } else {
+        keep.push_back(seg);
+      }
+    }
+    pendingVec = std::move(keep);
+    node.pendingBytes[ost] -= std::min(node.pendingBytes[ost], taken);
+  }
+  if (selected.empty()) {
+    return;
+  }
+
+  // Coalesce contiguous same-file segments, then cut into RPC-sized bulks.
+  std::sort(selected.begin(), selected.end(), [](const PendingSeg& a, const PendingSeg& b) {
+    if (a.file != b.file) {
+      return a.file < b.file;
+    }
+    return a.objectOffset < b.objectOffset;
+  });
+
+  const std::uint64_t maxRpc = rpcBytes();
+  std::size_t i = 0;
+  while (i < selected.size()) {
+    FileId file = selected[i].file;
+    std::uint64_t begin = selected[i].objectOffset;
+    std::uint64_t end = begin + selected[i].length;
+    std::size_t j = i + 1;
+    while (j < selected.size() && selected[j].file == file &&
+           selected[j].objectOffset == end) {
+      end += selected[j].length;
+      ++j;
+    }
+    // Emit RPCs for [begin, end).
+    std::uint64_t pos = begin;
+    while (pos < end) {
+      const std::uint64_t len = std::min(maxRpc, end - pos);
+      issueWriteRpc(nodeIdx, ost, file, pos, len);
+      pos += len;
+    }
+    i = j;
+  }
+}
+
+void ClientRuntime::flushAllNodes() {
+  for (std::uint32_t n = 0; n < nodes_.size(); ++n) {
+    for (std::uint32_t o = 0; o < nodes_[n].pending.size(); ++o) {
+      flushPending(n, o);
+    }
+  }
+}
+
+void ClientRuntime::issueWriteRpc(std::uint32_t nodeIdx, std::uint32_t ost, FileId file,
+                                  std::uint64_t objectOffset, std::uint64_t bytes) {
+  ++counters_.dataRpcs;
+  NodeState& node = nodes_[nodeIdx];
+  ++node.flushInFlight[file];
+  const double latency = cluster_.network.messageLatency;
+  const double wireTime = static_cast<double>(bytes) / cluster_.network.nicBandwidth;
+
+  node.oscLimiter[ost]->acquire([this, &node, ost, file, objectOffset, bytes, latency,
+                                 wireTime] {
+    node.nic->submit(wireTime, [this, &node, ost, file, objectOffset, bytes, latency] {
+      engine_.scheduleAfter(latency, [this, &node, ost, file, objectOffset, bytes,
+                                      latency] {
+        osts_[ost]->submitBulk(file, objectOffset, bytes, /*isWrite=*/true,
+                               [this, &node, ost, file, bytes, latency] {
+          engine_.scheduleAfter(latency, [this, &node, ost, file, bytes] {
+            node.oscLimiter[ost]->release();
+            node.dirty[ost].release(bytes);
+            auto it = node.flushInFlight.find(file);
+            if (it != node.flushInFlight.end() && it->second > 0) {
+              --it->second;
+              if (it->second == 0) {
+                auto wit = node.fsyncWaiters.find(file);
+                if (wit != node.fsyncWaiters.end()) {
+                  auto waiters = std::move(wit->second);
+                  node.fsyncWaiters.erase(wit);
+                  for (auto& w : waiters) {
+                    w();
+                  }
+                }
+              }
+            }
+          });
+        });
+      });
+    });
+  });
+}
+
+void ClientRuntime::issueReadRpc(std::uint32_t nodeIdx, std::uint32_t ost, FileId file,
+                                 std::uint64_t objectOffset, std::uint64_t bytes,
+                                 std::function<void()> onDone) {
+  ++counters_.dataRpcs;
+  NodeState& node = nodes_[nodeIdx];
+  const double latency = cluster_.network.messageLatency;
+  const double wireTime = static_cast<double>(bytes) / cluster_.network.nicBandwidth;
+  const DoneFn done = wrap(std::move(onDone));
+
+  node.oscLimiter[ost]->acquire([this, &node, ost, file, objectOffset, bytes, latency,
+                                 wireTime, done] {
+    engine_.scheduleAfter(latency, [this, &node, ost, file, objectOffset, bytes, latency,
+                                    wireTime, done] {
+      osts_[ost]->submitBulk(file, objectOffset, bytes, /*isWrite=*/false,
+                             [this, &node, ost, wireTime, latency, done] {
+        // Response data crosses the client NIC too.
+        node.nic->submit(wireTime, [this, &node, ost, latency, done] {
+          engine_.scheduleAfter(latency, [&node, ost, done] {
+            node.oscLimiter[ost]->release();
+            (*done)();
+          });
+        });
+      });
+    });
+  });
+}
+
+bool ClientRuntime::execRead(RankState& r, const IoOp& op) {
+  FileState& f = files_[op.file];
+  FileStats& fs = fileStats_[op.file];
+  NodeState& node = nodes_[r.node];
+  FdState& fd = r.fds[op.file];
+
+  ++fs.readOps;
+  fs.bytesRead += op.size;
+  fs.recordAccess(op.size);
+  fs.minAccess = std::min(fs.minAccess, op.size);
+  fs.maxAccess = std::max(fs.maxAccess, op.size);
+  fs.rankMask |= 1ULL << (r.id % 64);
+  rankStats_[r.id].bytesRead += op.size;
+
+  const bool sequential = fd.everRead && op.offset == fd.lastReadEnd;
+  if (sequential) {
+    ++fs.seqReads;
+  }
+
+  double cost = cluster_.clientSyscallCost;
+  if (config_.osc_checksums) {
+    cost += cluster_.checksumCostPerByte * static_cast<double>(op.size);
+  }
+  r.accrued += cost;
+  rankStats_[r.id].readTime += cost;
+  fs.readTime += cost;
+
+  // Page-cache hit: a file written solely by this node whose pages never
+  // lost their protecting lock serves reads locally (Lustre drops the
+  // pages when the DLM lock is evicted or expires).
+  const std::uint64_t nodeBit = 1ULL << r.node;
+  if (f.writerNodeMask == nodeBit && node.pageValid.contains(op.file) &&
+      node.locks.touch(op.file, engine_.now())) {
+    ++counters_.lockHits;
+    counters_.pageCacheHitBytes += op.size;
+    fd.lastReadEnd = op.offset + op.size;
+    fd.everRead = true;
+    return true;
+  }
+
+  const std::uint64_t wholeBytes =
+      static_cast<std::uint64_t>(config_.llite_max_read_ahead_whole_mb) * util::kMiB;
+  const std::uint64_t perFileBytes =
+      static_cast<std::uint64_t>(config_.llite_max_read_ahead_per_file_mb) * util::kMiB;
+  const bool raEnabled = config_.llite_max_read_ahead_mb > 0 && perFileBytes > 0;
+
+  const std::uint64_t readEnd = op.offset + op.size;
+  const std::uint64_t knownSize = std::max(f.size, fs.maxOffset);
+
+  // Hit accounting *before* this read triggers any new fetches.
+  Coverage before = node.readahead.query(op.file, op.offset, readEnd);
+  std::uint64_t missingBytes = 0;
+  for (const auto& [b, e] : before.missing) {
+    missingBytes += e - b;
+  }
+  counters_.readaheadHitBytes += op.size - std::min(op.size, missingBytes);
+  counters_.readaheadMissBytes += missingBytes;
+
+  if (raEnabled && (sequential || !fd.everRead)) {
+    std::uint64_t desiredEnd = readEnd;
+    if (!fd.everRead && knownSize > 0 && knownSize <= wholeBytes) {
+      desiredEnd = std::max(desiredEnd, knownSize);
+    } else if (sequential) {
+      fd.raWindow = std::min(std::max<std::uint64_t>(kInitialRaWindow, fd.raWindow * 2),
+                             perFileBytes);
+      desiredEnd = readEnd + fd.raWindow;
+    } else {
+      fd.raWindow = kInitialRaWindow;
+      desiredEnd = readEnd + fd.raWindow;
+    }
+    if (knownSize > 0) {
+      desiredEnd = std::min(desiredEnd, std::max(knownSize, readEnd));
+    }
+    prefetchRange(r, op.file, op.offset, desiredEnd);
+  }
+
+  // Whatever remains uncovered after prefetch goes out as sync reads.
+  Coverage cov = node.readahead.query(op.file, op.offset, readEnd);
+  std::uint32_t waits = 0;
+  for (const auto& [b, e] : cov.missing) {
+    for (const ObjectExtent& piece : mapExtent(f.layout, b, e - b)) {
+      std::uint64_t pos = 0;
+      while (pos < piece.length) {
+        const std::uint64_t len = std::min(rpcBytes(), piece.length - pos);
+        ++waits;
+        issueReadRpc(r.node, piece.ost, op.file, piece.objectOffset + pos, len,
+                     [this, &r] { completeOneWait(r); });
+        pos += len;
+      }
+    }
+  }
+  for (CacheChunk* chunk : cov.pending) {
+    ++waits;
+    chunk->waiters.push_back([this, &r] { completeOneWait(r); });
+  }
+
+  if (waits == 0) {
+    node.readahead.consume(op.file, op.offset, readEnd);
+    fd.lastReadEnd = readEnd;
+    fd.everRead = true;
+    return true;
+  }
+  blockRank(r, OpKind::Read);
+  r.pendingWaits = waits;
+  return false;
+}
+
+void ClientRuntime::prefetchRange(RankState& r, FileId file, std::uint64_t begin,
+                                  std::uint64_t end) {
+  if (end <= begin) {
+    return;
+  }
+  NodeState& node = nodes_[r.node];
+  const FileState& f = files_[file];
+  Coverage cov = node.readahead.query(file, begin, end);
+  for (const auto& [b, e] : cov.missing) {
+    for (const ObjectExtent& piece : mapExtent(f.layout, b, e - b)) {
+      std::uint64_t pos = 0;
+      while (pos < piece.length) {
+        const std::uint64_t len = std::min(rpcBytes(), piece.length - pos);
+        if (node.readahead.freeBudget() < len) {
+          return;  // global readahead budget exhausted
+        }
+        const std::uint64_t chunkBegin = piece.fileOffset + pos;
+        (void)node.readahead.insertPending(file, chunkBegin, chunkBegin + len);
+        issueReadRpc(r.node, piece.ost, file, piece.objectOffset + pos, len,
+                     [this, nodeIdx = r.node, file, chunkBegin] {
+                       NodeState& n = nodes_[nodeIdx];
+                       CacheChunk* chunk = n.readahead.find(file, chunkBegin);
+                       if (chunk == nullptr) {
+                         return;  // dropped (close/unlink) while in flight
+                       }
+                       n.readahead.markReady(chunk);
+                       auto waiters = std::move(chunk->waiters);
+                       chunk->waiters.clear();
+                       for (auto& w : waiters) {
+                         w();
+                       }
+                     });
+        pos += len;
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------------ misc --
+
+void ClientRuntime::execCloseLocal(RankState& r, const IoOp& op) {
+  NodeState& node = nodes_[r.node];
+  FileStats& fs = fileStats_[op.file];
+  ++fs.closes;
+  r.accrued += cluster_.clientSyscallCost;
+
+  FdState& fd = r.fds[op.file];
+  fd.open = false;
+  fd.raWindow = 0;
+
+  auto it = node.openCount.find(op.file);
+  if (it != node.openCount.end() && it->second > 0) {
+    --it->second;
+    if (it->second == 0) {
+      for (auto& waiter : node.readahead.dropFile(op.file)) {
+        engine_.scheduleAfter(0.0, std::move(waiter));
+      }
+    }
+  }
+  // Note: close does NOT flush dirty data. Lustre's background writeout
+  // period is far longer than these workloads; dirty pages stay cached
+  // until budget pressure, fsync, or job end — and an unlink before that
+  // simply discards them (which is why MDWorkbench is metadata-bound).
+}
+
+bool ClientRuntime::lockCached(std::uint32_t nodeIdx, FileId file) {
+  const bool hit = nodes_[nodeIdx].locks.touch(file, engine_.now());
+  if (hit) {
+    ++counters_.lockHits;
+  } else {
+    ++counters_.lockMisses;
+  }
+  return hit;
+}
+
+void ClientRuntime::cacheLock(std::uint32_t nodeIdx, FileId file) {
+  nodes_[nodeIdx].locks.insert(file, engine_.now());
+}
+
+}  // namespace stellar::pfs

@@ -1,0 +1,286 @@
+// Client-side runtime: executes every rank's I/O program against the
+// simulated file system, honoring all 13 tunable parameters.
+//
+// Mechanisms (each maps to a manual-documented Lustre behaviour):
+//  - striping via FileLayout (lov.stripe_count / stripe_size)
+//  - write-back caching with per-(node,OST) dirty budgets (osc.max_dirty_mb)
+//  - RPC formation: pending dirty segments are coalesced into bulk RPCs of
+//    at most osc.max_pages_per_rpc pages
+//  - per-(node,OST) in-flight caps (osc.max_rpcs_in_flight)
+//  - sequential readahead with window doubling, per-file cap, whole-file
+//    prefetch, and a per-node budget (llite.max_read_ahead_*)
+//  - metadata RPCs through per-node caps (mdc.max_rpcs_in_flight /
+//    max_mod_rpcs_in_flight) to the MDS model
+//  - stat-ahead pipelining of directory stat scans (llite.statahead_max)
+//  - DLM lock caching (ldlm.lru_size / lru_max_age): a cached inode lock
+//    makes re-stat/re-open local and keeps written pages usable as page
+//    cache for private files
+//  - extent-lock conflicts on shared-file writes (fixed model, see
+//    DESIGN.md)
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "pfs/client_cache.hpp"
+#include "pfs/job.hpp"
+#include "pfs/layout.hpp"
+#include "pfs/mds.hpp"
+#include "pfs/ost.hpp"
+#include "pfs/params.hpp"
+#include "pfs/topology.hpp"
+#include "sim/engine.hpp"
+#include "sim/flow_limiter.hpp"
+#include "sim/service_center.hpp"
+
+namespace stellar::pfs {
+
+/// Per-file counters accumulated during a run (Darshan's source data).
+struct FileStats {
+  std::uint64_t bytesRead = 0;
+  std::uint64_t bytesWritten = 0;
+  std::uint32_t readOps = 0;
+  std::uint32_t writeOps = 0;
+  std::uint32_t seqReads = 0;
+  std::uint32_t seqWrites = 0;
+  std::uint32_t opens = 0;
+  std::uint32_t creates = 0;
+  std::uint32_t stats = 0;
+  std::uint32_t unlinks = 0;
+  std::uint32_t fsyncs = 0;
+  std::uint32_t closes = 0;
+  std::uint64_t minAccess = ~std::uint64_t{0};
+  std::uint64_t maxAccess = 0;
+  std::uint64_t maxOffset = 0;   ///< high-water mark => file size
+  std::uint64_t rankMask = 0;    ///< bitmask of ranks that touched the file
+
+  /// Top-4 distinct access sizes with counts (Darshan's ACCESS1..4);
+  /// fixed-size to stay allocation-free across hundreds of thousands of
+  /// files. Saturating: a 5th distinct size replaces the rarest slot.
+  std::array<std::uint64_t, 4> accessSize{};
+  std::array<std::uint32_t, 4> accessCount{};
+
+  void recordAccess(std::uint64_t size) noexcept {
+    std::size_t weakest = 0;
+    for (std::size_t i = 0; i < accessSize.size(); ++i) {
+      if (accessSize[i] == size) {
+        ++accessCount[i];
+        return;
+      }
+      if (accessCount[i] == 0) {
+        accessSize[i] = size;
+        accessCount[i] = 1;
+        return;
+      }
+      if (accessCount[i] < accessCount[weakest]) {
+        weakest = i;
+      }
+    }
+    accessSize[weakest] = size;
+    accessCount[weakest] = 1;
+  }
+
+  /// Most frequent access size (0 if no I/O).
+  [[nodiscard]] std::uint64_t commonAccessSize() const noexcept {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < accessSize.size(); ++i) {
+      if (accessCount[i] > accessCount[best]) {
+        best = i;
+      }
+    }
+    return accessCount[best] == 0 ? 0 : accessSize[best];
+  }
+  double readTime = 0.0;         ///< rank-blocked time attributed to reads
+  double writeTime = 0.0;
+  double metaTime = 0.0;
+};
+
+/// Per-rank counters.
+struct RankStats {
+  double finishTime = 0.0;
+  double readTime = 0.0;
+  double writeTime = 0.0;
+  double metaTime = 0.0;
+  double computeTime = 0.0;
+  std::uint64_t bytesRead = 0;
+  std::uint64_t bytesWritten = 0;
+};
+
+/// Whole-run counters beyond per-file/per-rank stats.
+struct RunCounters {
+  std::uint64_t dataRpcs = 0;
+  std::uint64_t metaRpcs = 0;
+  std::uint64_t lockHits = 0;
+  std::uint64_t lockMisses = 0;
+  std::uint64_t readaheadHitBytes = 0;
+  std::uint64_t readaheadMissBytes = 0;
+  std::uint64_t pageCacheHitBytes = 0;
+  std::uint64_t stataheadServed = 0;
+  std::uint64_t extentConflicts = 0;
+  std::uint64_t events = 0;
+};
+
+class ClientRuntime {
+ public:
+  ClientRuntime(sim::SimEngine& engine, const ClusterSpec& cluster,
+                const PfsConfig& config, const JobSpec& job);
+  ~ClientRuntime();
+
+  ClientRuntime(const ClientRuntime&) = delete;
+  ClientRuntime& operator=(const ClientRuntime&) = delete;
+
+  /// Schedules every rank's program at t=0. Call engine.run() afterwards.
+  void start();
+
+  [[nodiscard]] bool allRanksDone() const noexcept { return doneRanks_ == ranks_.size(); }
+  [[nodiscard]] const std::vector<FileStats>& fileStats() const noexcept { return fileStats_; }
+  [[nodiscard]] const std::vector<RankStats>& rankStats() const noexcept { return rankStats_; }
+  [[nodiscard]] const RunCounters& counters() const noexcept { return counters_; }
+
+  /// Simulated time at which each global barrier released, in order.
+  /// Multi-phase workloads (IO500, MDWorkbench rounds) separate their
+  /// phases with barriers, so consecutive differences are phase durations.
+  [[nodiscard]] const std::vector<double>& barrierTimes() const noexcept {
+    return barrierTimes_;
+  }
+
+ private:
+  // ---- internal state ----------------------------------------------------
+  struct FdState {
+    bool open = false;
+    bool everRead = false;
+    std::uint64_t lastReadEnd = 0;
+    std::uint64_t lastWriteEnd = 0;
+    std::uint64_t raWindow = 0;
+  };
+
+  struct StataheadScan {
+    std::size_t nextToIssue = 0;
+    std::size_t endIndex = 0;  ///< exclusive op index
+    std::uint32_t inFlight = 0;
+  };
+
+  struct RankState {
+    RankId id = 0;
+    std::uint32_t node = 0;
+    std::size_t ip = 0;            ///< instruction pointer into program
+    std::size_t segIndex = 0;      ///< progress within current op's extents
+    std::vector<ObjectExtent> segments;
+    bool segmentsValid = false;
+    /// Set when a dirty-space waiter admitted the current segment's
+    /// reservation; execWrite must consume it without re-reserving.
+    bool reservedSegment = false;
+    double accrued = 0.0;          ///< local CPU time not yet spent
+    std::uint32_t pendingWaits = 0;///< outstanding completions blocking us
+    double blockStart = 0.0;
+    OpKind blockKind = OpKind::Barrier;
+    bool done = false;
+    std::unordered_map<FileId, FdState> fds;
+    // statahead: op index -> ready?  (absent = not issued)
+    std::unordered_map<std::size_t, bool> statEntries;
+    std::optional<StataheadScan> scan;
+    std::optional<std::size_t> waitingOnStat;
+  };
+
+  struct PendingSeg {
+    FileId file;
+    std::uint64_t objectOffset;
+    std::uint64_t length;
+  };
+
+  struct NodeState {
+    std::unique_ptr<sim::ServiceCenter> nic;
+    std::vector<std::unique_ptr<sim::FlowLimiter>> oscLimiter;  // per OST
+    std::vector<DirtyTracker> dirty;                            // per OST
+    std::vector<std::vector<PendingSeg>> pending;               // per OST
+    std::vector<std::uint64_t> pendingBytes;                    // per OST
+    std::unique_ptr<sim::FlowLimiter> mdcLimiter;
+    std::unique_ptr<sim::FlowLimiter> modLimiter;
+    LockLru locks;
+    ReadAheadCache readahead;
+    std::unordered_map<FileId, std::uint32_t> flushInFlight;
+    std::unordered_map<FileId, std::vector<std::function<void()>>> fsyncWaiters;
+    std::unordered_map<FileId, std::uint32_t> openCount;  // open FDs on node
+    /// Files whose written pages are still cached on this node. Set on
+    /// write; cleared when the protecting DLM lock leaves the LRU (via
+    /// the eviction handler) or on unlink.
+    std::unordered_set<FileId> pageValid;
+  };
+
+  struct FileState {
+    FileLayout layout;
+    bool exists = false;
+    std::uint64_t size = 0;
+    std::uint64_t writerNodeMask = 0;
+  };
+
+  // ---- execution ---------------------------------------------------------
+  void advance(RankState& rank);
+  void blockRank(RankState& rank, OpKind kind);
+  void resumeRank(RankState& rank);
+  void completeOneWait(RankState& rank);
+  void rankFinished(RankState& rank);
+
+  /// True if the op was fully handled locally (advance continues the
+  /// loop); false if the rank blocked.
+  bool execMeta(RankState& rank, const IoOp& op);
+  bool execWrite(RankState& rank, const IoOp& op);
+  bool execRead(RankState& rank, const IoOp& op);
+  bool execStat(RankState& rank, const IoOp& op);
+  void execCloseLocal(RankState& rank, const IoOp& op);
+
+  // statahead helpers
+  void maybeStartScan(RankState& rank);
+  void pumpStatahead(RankState& rank);
+
+  // metadata plumbing
+  void submitMeta(std::uint32_t node, MetaOpKind kind, std::uint32_t stripeCount,
+                  bool modifying, std::function<void()> onDone);
+
+  // data plumbing
+  [[nodiscard]] std::uint64_t rpcBytes() const noexcept;
+  void acceptWriteSegment(RankState& rank, FileId file, const ObjectExtent& seg);
+  void flushPending(std::uint32_t node, std::uint32_t ost, FileId onlyFile = kInvalidFile);
+  void flushAllNodes();
+  void issueWriteRpc(std::uint32_t node, std::uint32_t ost, FileId file,
+                     std::uint64_t objectOffset, std::uint64_t bytes);
+  void issueReadRpc(std::uint32_t node, std::uint32_t ost, FileId file,
+                    std::uint64_t objectOffset, std::uint64_t bytes,
+                    std::function<void()> onDone);
+
+  // readahead
+  void prefetchRange(RankState& rank, FileId file, std::uint64_t begin, std::uint64_t end);
+
+  // lock / page-cache
+  [[nodiscard]] bool lockCached(std::uint32_t node, FileId file);
+  void cacheLock(std::uint32_t node, FileId file);
+
+  [[nodiscard]] FileLayout makeLayout(FileId file) const;
+
+  sim::SimEngine& engine_;
+  const ClusterSpec& cluster_;
+  PfsConfig config_;
+  const JobSpec& job_;
+
+  std::vector<std::unique_ptr<OstModel>> osts_;
+  std::unique_ptr<MdsModel> mds_;
+  std::vector<NodeState> nodes_;
+  std::vector<RankState> ranks_;
+  std::vector<FileState> files_;
+
+  std::vector<FileStats> fileStats_;
+  std::vector<RankStats> rankStats_;
+  RunCounters counters_;
+
+  std::uint32_t barrierArrived_ = 0;
+  std::uint32_t doneRanks_ = 0;
+  std::vector<double> barrierTimes_;
+};
+
+}  // namespace stellar::pfs

@@ -1,0 +1,234 @@
+#include "pfs/client_cache.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace stellar::pfs {
+
+// ---------------------------------------------------------------- Dirty --
+
+bool DirtyTracker::tryReserve(std::uint64_t bytes) {
+  if (bytes > budget_) {
+    // Oversized single write: admit only when nothing else is dirty so it
+    // can make progress (mirrors Lustre forcing sync writeout).
+    if (dirty_ == 0 && waiters_.empty()) {
+      dirty_ = bytes;
+      return true;
+    }
+    return false;
+  }
+  if (dirty_ + bytes <= budget_ && waiters_.empty()) {
+    dirty_ += bytes;
+    return true;
+  }
+  return false;
+}
+
+void DirtyTracker::waitForSpace(std::uint64_t bytes, std::function<void()> onSpace) {
+  waiters_.push_back(Waiter{bytes, std::move(onSpace)});
+}
+
+void DirtyTracker::release(std::uint64_t bytes) {
+  dirty_ = bytes >= dirty_ ? 0 : dirty_ - bytes;
+  admitWaiters();
+}
+
+void DirtyTracker::admitWaiters() {
+  while (!waiters_.empty()) {
+    Waiter& head = waiters_.front();
+    const bool oversized = head.bytes > budget_;
+    if (oversized ? dirty_ != 0 : dirty_ + head.bytes > budget_) {
+      return;
+    }
+    dirty_ += head.bytes;
+    auto onSpace = std::move(head.onSpace);
+    waiters_.pop_front();
+    onSpace();
+  }
+}
+
+// ------------------------------------------------------------ Readahead --
+
+Coverage ReadAheadCache::query(FileId file, std::uint64_t begin, std::uint64_t end) {
+  Coverage cov;
+  auto fileIt = files_.find(file);
+  std::uint64_t cursor = begin;
+  if (fileIt != files_.end()) {
+    ChunkMap& chunks = fileIt->second;
+    // First chunk whose begin > cursor, then step back to check overlap.
+    auto it = chunks.upper_bound(cursor);
+    if (it != chunks.begin()) {
+      --it;
+      if (it->second.end <= cursor) {
+        ++it;
+      }
+    }
+    for (; it != chunks.end() && it->second.begin < end; ++it) {
+      CacheChunk& chunk = it->second;
+      if (chunk.begin > cursor) {
+        cov.missing.emplace_back(cursor, chunk.begin);
+      }
+      if (!chunk.ready) {
+        cov.pending.push_back(&chunk);
+      }
+      cursor = std::max(cursor, chunk.end);
+    }
+  }
+  if (cursor < end) {
+    cov.missing.emplace_back(cursor, end);
+  }
+  return cov;
+}
+
+CacheChunk* ReadAheadCache::insertPending(FileId file, std::uint64_t begin,
+                                          std::uint64_t end) {
+  assert(end > begin);
+  CacheChunk chunk;
+  chunk.begin = begin;
+  chunk.end = end;
+  outstanding_ += end - begin;
+  auto [it, inserted] = files_[file].emplace(begin, std::move(chunk));
+  assert(inserted);
+  (void)inserted;
+  return &it->second;
+}
+
+void ReadAheadCache::markReady(CacheChunk* chunk) {
+  chunk->ready = true;
+  // Waiters are fired by the owner after markReady (it needs to reschedule
+  // them as simulation events); nothing else to do here.
+}
+
+void ReadAheadCache::consume(FileId file, std::uint64_t begin, std::uint64_t end) {
+  auto fileIt = files_.find(file);
+  if (fileIt == files_.end()) {
+    return;
+  }
+  ChunkMap& chunks = fileIt->second;
+  auto it = chunks.upper_bound(begin);
+  if (it != chunks.begin()) {
+    --it;
+    if (it->second.end <= begin) {
+      ++it;
+    }
+  }
+  while (it != chunks.end() && it->second.begin < end) {
+    CacheChunk& chunk = it->second;
+    const std::uint64_t lo = std::max(begin, chunk.begin);
+    const std::uint64_t hi = std::min(end, chunk.end);
+    if (hi > lo) {
+      const std::uint64_t newConsumed =
+          std::max(chunk.consumed, hi - chunk.begin);  // streaming: high-water mark
+      const std::uint64_t delta = newConsumed - chunk.consumed;
+      chunk.consumed = newConsumed;
+      outstanding_ = delta >= outstanding_ ? 0 : outstanding_ - delta;
+    }
+    if (chunk.ready && chunk.consumed >= chunk.end - chunk.begin) {
+      it = chunks.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (chunks.empty()) {
+    files_.erase(fileIt);
+  }
+}
+
+std::vector<std::function<void()>> ReadAheadCache::dropFile(FileId file) {
+  std::vector<std::function<void()>> orphans;
+  auto fileIt = files_.find(file);
+  if (fileIt == files_.end()) {
+    return orphans;
+  }
+  for (auto& [begin, chunk] : fileIt->second) {
+    (void)begin;
+    const std::uint64_t span = chunk.end - chunk.begin;
+    const std::uint64_t unconsumed = span - std::min(span, chunk.consumed);
+    outstanding_ = unconsumed >= outstanding_ ? 0 : outstanding_ - unconsumed;
+    for (auto& waiter : chunk.waiters) {
+      orphans.push_back(std::move(waiter));
+    }
+  }
+  files_.erase(fileIt);
+  return orphans;
+}
+
+CacheChunk* ReadAheadCache::find(FileId file, std::uint64_t begin) {
+  auto fileIt = files_.find(file);
+  if (fileIt == files_.end()) {
+    return nullptr;
+  }
+  auto it = fileIt->second.find(begin);
+  return it == fileIt->second.end() ? nullptr : &it->second;
+}
+
+std::size_t ReadAheadCache::chunkCount(FileId file) const {
+  const auto it = files_.find(file);
+  return it == files_.end() ? 0 : it->second.size();
+}
+
+// ----------------------------------------------------------------- Lock --
+
+LockLru::LockLru(std::size_t capacity, double maxAge) {
+  configure(capacity, maxAge);
+}
+
+void LockLru::configure(std::size_t capacity, double maxAge) {
+  capacity_ = capacity == 0 ? kDynamicCapacity : capacity;
+  maxAge_ = maxAge;
+  while (order_.size() > capacity_) {
+    evict(order_.back().file);
+  }
+}
+
+void LockLru::evict(FileId file) {
+  const auto it = index_.find(file);
+  if (it == index_.end()) {
+    return;
+  }
+  order_.erase(it->second);
+  index_.erase(it);
+  if (onEvict_) {
+    onEvict_(file);
+  }
+}
+
+bool LockLru::touch(FileId file, double now) {
+  const auto it = index_.find(file);
+  if (it == index_.end()) {
+    ++misses_;
+    return false;
+  }
+  if (now - it->second->acquiredAt > maxAge_) {
+    // Expired: behaves as a miss and the stale entry (plus the pages it
+    // protected) is dropped.
+    evict(file);
+    ++misses_;
+    return false;
+  }
+  // Refresh recency; lock use extends residency.
+  order_.splice(order_.begin(), order_, it->second);
+  it->second->acquiredAt = now;
+  ++hits_;
+  return true;
+}
+
+void LockLru::insert(FileId file, double now) {
+  const auto it = index_.find(file);
+  if (it != index_.end()) {
+    it->second->acquiredAt = now;
+    order_.splice(order_.begin(), order_, it->second);
+    return;
+  }
+  order_.push_front(Entry{file, now});
+  index_[file] = order_.begin();
+  while (order_.size() > capacity_) {
+    evict(order_.back().file);
+  }
+}
+
+void LockLru::erase(FileId file) {
+  evict(file);
+}
+
+}  // namespace stellar::pfs

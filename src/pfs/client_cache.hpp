@@ -1,0 +1,183 @@
+// Client-side cache state machines, factored out of the client model so
+// they can be unit-tested in isolation:
+//
+//  - DirtyTracker  : per client-OST write-back budget (osc.max_dirty_mb)
+//  - ReadAheadCache: per-client prefetch store with a global budget
+//                    (llite.max_read_ahead_mb) and chunk readiness/waiters
+//  - LockLru       : per-client DLM lock cache (ldlm.lru_size/lru_max_age)
+//
+// These run in *simulated* time; waiter callbacks are invoked by the owner
+// (pfs/client.cpp) when simulated events complete.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <list>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "pfs/job.hpp"
+
+namespace stellar::pfs {
+
+/// Write-back budget for one (client node, OST) pair. Writers consume
+/// budget synchronously; completed flush RPCs return it and wake waiters.
+class DirtyTracker {
+ public:
+  explicit DirtyTracker(std::uint64_t budgetBytes = 0) : budget_(budgetBytes) {}
+
+  void setBudget(std::uint64_t bytes) noexcept { budget_ = bytes; }
+  [[nodiscard]] std::uint64_t budget() const noexcept { return budget_; }
+  [[nodiscard]] std::uint64_t dirtyBytes() const noexcept { return dirty_; }
+  [[nodiscard]] std::uint64_t freeBytes() const noexcept {
+    return dirty_ >= budget_ ? 0 : budget_ - dirty_;
+  }
+
+  /// Tries to reserve `bytes`; on success dirties them immediately.
+  /// Oversized requests (> budget) are admitted when the tracker is empty,
+  /// so a single write larger than the whole budget cannot deadlock.
+  [[nodiscard]] bool tryReserve(std::uint64_t bytes);
+
+  /// Queues a waiter needing `bytes`; owner must call `admitWaiters` after
+  /// every `release` (done internally) — the callback fires at most once.
+  void waitForSpace(std::uint64_t bytes, std::function<void()> onSpace);
+
+  /// Returns `bytes` of budget (flush RPC completed) and admits waiters
+  /// FIFO while their reservations fit.
+  void release(std::uint64_t bytes);
+
+  [[nodiscard]] std::size_t waiterCount() const noexcept { return waiters_.size(); }
+
+ private:
+  struct Waiter {
+    std::uint64_t bytes;
+    std::function<void()> onSpace;
+  };
+
+  void admitWaiters();
+
+  std::uint64_t budget_ = 0;
+  std::uint64_t dirty_ = 0;
+  std::deque<Waiter> waiters_;
+};
+
+/// One prefetched (or in-flight) contiguous range of a file.
+struct CacheChunk {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;        ///< exclusive
+  std::uint64_t consumed = 0;   ///< bytes of [begin,end) already read back
+  bool ready = false;           ///< RPC completed, data present
+  std::vector<std::function<void()>> waiters;
+};
+
+/// Result of a coverage query for a wanted range.
+struct Coverage {
+  /// Sub-ranges with no chunk at all (must be fetched).
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> missing;
+  /// Chunks overlapping the range that are still in flight.
+  std::vector<CacheChunk*> pending;
+  [[nodiscard]] bool fullyReady() const noexcept {
+    return missing.empty() && pending.empty();
+  }
+};
+
+/// Per-client readahead store. `outstanding` counts prefetched bytes not
+/// yet consumed; prefetch admission is bounded by the budget.
+class ReadAheadCache {
+ public:
+  explicit ReadAheadCache(std::uint64_t budgetBytes = 0) : budget_(budgetBytes) {}
+
+  void setBudget(std::uint64_t bytes) noexcept { budget_ = bytes; }
+  [[nodiscard]] std::uint64_t budget() const noexcept { return budget_; }
+  [[nodiscard]] std::uint64_t outstanding() const noexcept { return outstanding_; }
+  [[nodiscard]] std::uint64_t freeBudget() const noexcept {
+    return outstanding_ >= budget_ ? 0 : budget_ - outstanding_;
+  }
+
+  /// Coverage of [begin,end) for `file`.
+  [[nodiscard]] Coverage query(FileId file, std::uint64_t begin, std::uint64_t end);
+
+  /// Registers an in-flight prefetch chunk; consumes budget. The chunk
+  /// must not overlap existing chunks (callers fetch only missing ranges).
+  CacheChunk* insertPending(FileId file, std::uint64_t begin, std::uint64_t end);
+
+  /// Marks a chunk ready and fires its waiters (callers drain via owner).
+  void markReady(CacheChunk* chunk);
+
+  /// Consumes [begin,end): erases fully-consumed chunks, refunds budget.
+  void consume(FileId file, std::uint64_t begin, std::uint64_t end);
+
+  /// Drops all chunks of a file (close/unlink); refunds their unconsumed
+  /// bytes. Returns any waiters that were attached to dropped in-flight
+  /// chunks so the owner can fire them (treating the data as unavailable
+  /// but the waiter as unblocked).
+  [[nodiscard]] std::vector<std::function<void()>> dropFile(FileId file);
+
+  /// Looks up the chunk starting exactly at `begin`, or nullptr. RPC
+  /// completions resolve their chunk through this instead of holding a
+  /// pointer, so a drop between issue and completion is benign.
+  [[nodiscard]] CacheChunk* find(FileId file, std::uint64_t begin);
+
+  [[nodiscard]] std::size_t chunkCount(FileId file) const;
+
+ private:
+  using ChunkMap = std::map<std::uint64_t, CacheChunk>;  // key: begin
+  std::unordered_map<FileId, ChunkMap> files_;
+  std::uint64_t budget_ = 0;
+  std::uint64_t outstanding_ = 0;
+};
+
+/// DLM lock LRU with capacity and TTL semantics. Losing a lock (capacity
+/// eviction, TTL expiry, or explicit erase) drops the pages it protected;
+/// owners observe that through the eviction handler.
+class LockLru {
+ public:
+  using EvictionHandler = std::function<void(FileId)>;
+  /// capacity 0 selects "dynamic" sizing, modeled as kDynamicCapacity
+  /// (the server's lock volume shrinks client caches under load; see the
+  /// manual module's ldlm chapter).
+  static constexpr std::size_t kDynamicCapacity = 2000;
+
+  explicit LockLru(std::size_t capacity = 0, double maxAge = 3900.0);
+
+  void configure(std::size_t capacity, double maxAge);
+
+  /// Invoked with the file id whenever a lock leaves the cache.
+  void setEvictionHandler(EvictionHandler handler) { onEvict_ = std::move(handler); }
+
+  /// True if a valid (unexpired) lock for `file` is cached; refreshes its
+  /// recency and timestamp on hit. On miss the caller pays the lock RPC
+  /// and then calls `insert`.
+  [[nodiscard]] bool touch(FileId file, double now);
+
+  /// Caches a lock acquired at `now`, evicting LRU entries over capacity.
+  void insert(FileId file, double now);
+
+  /// Drops the lock (unlink / revoke).
+  void erase(FileId file);
+
+  [[nodiscard]] std::size_t size() const noexcept { return order_.size(); }
+  [[nodiscard]] std::size_t effectiveCapacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+
+ private:
+  struct Entry {
+    FileId file;
+    double acquiredAt;
+  };
+
+  void evict(FileId file);
+
+  std::size_t capacity_;
+  double maxAge_;
+  EvictionHandler onEvict_;
+  std::list<Entry> order_;  // front = most recent
+  std::unordered_map<FileId, std::list<Entry>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace stellar::pfs

@@ -1,0 +1,62 @@
+#include "pfs/job.hpp"
+
+namespace stellar::pfs {
+
+DirId JobSpec::addDir(std::string name) {
+  dirs.push_back(DirDecl{std::move(name)});
+  return static_cast<DirId>(dirs.size() - 1);
+}
+
+FileId JobSpec::addFile(std::string name, DirId dir) {
+  files.push_back(FileDecl{std::move(name), dir});
+  return static_cast<FileId>(files.size() - 1);
+}
+
+std::uint64_t JobSpec::totalOps() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& program : ranks) {
+    total += program.size();
+  }
+  return total;
+}
+
+std::vector<std::string> JobSpec::validate() const {
+  std::vector<std::string> problems;
+  if (ranks.empty()) {
+    problems.emplace_back("job has no ranks");
+  }
+  for (std::size_t r = 0; r < ranks.size(); ++r) {
+    if (ranks[r].empty()) {
+      problems.push_back("rank " + std::to_string(r) + " has an empty program");
+    }
+    for (const IoOp& op : ranks[r]) {
+      const bool needsFile = op.kind == OpKind::Create || op.kind == OpKind::Open ||
+                             op.kind == OpKind::Close || op.kind == OpKind::Write ||
+                             op.kind == OpKind::Read || op.kind == OpKind::Stat ||
+                             op.kind == OpKind::Unlink || op.kind == OpKind::Fsync;
+      if (needsFile && op.file >= files.size()) {
+        problems.push_back("rank " + std::to_string(r) + " references invalid file id " +
+                           std::to_string(op.file));
+      }
+      if (op.kind == OpKind::Mkdir && op.dir >= dirs.size()) {
+        problems.push_back("rank " + std::to_string(r) + " references invalid dir id " +
+                           std::to_string(op.dir));
+      }
+      if ((op.kind == OpKind::Write || op.kind == OpKind::Read) && op.size == 0) {
+        problems.push_back("rank " + std::to_string(r) + " has zero-size I/O op");
+      }
+      if (op.kind == OpKind::Compute && op.seconds < 0.0) {
+        problems.push_back("rank " + std::to_string(r) + " has negative compute time");
+      }
+    }
+  }
+  for (const FileDecl& f : files) {
+    if (f.dir >= dirs.size()) {
+      problems.push_back("file '" + f.name + "' references invalid dir id " +
+                         std::to_string(f.dir));
+    }
+  }
+  return problems;
+}
+
+}  // namespace stellar::pfs

@@ -1,0 +1,93 @@
+// Job description consumed by the simulator: a set of files/directories and
+// one I/O program (op stream) per MPI rank. Workload generators in
+// src/workloads emit JobSpecs; the simulator executes them and the Darshan
+// recorder characterizes them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stellar::pfs {
+
+using FileId = std::uint32_t;
+using DirId = std::uint32_t;
+using RankId = std::uint32_t;
+
+inline constexpr FileId kInvalidFile = ~FileId{0};
+
+enum class OpKind : std::uint8_t {
+  Mkdir,     ///< create directory `dir`
+  Create,    ///< create + open file `file`
+  Open,      ///< open existing file `file`
+  Close,     ///< close file `file`
+  Write,     ///< write [offset, offset+size) of `file`
+  Read,      ///< read [offset, offset+size) of `file`
+  Stat,      ///< stat file `file`
+  Unlink,    ///< remove file `file`
+  Fsync,     ///< flush this rank's dirty data for `file`
+  Barrier,   ///< synchronize all ranks (MPI_Barrier)
+  Compute,   ///< spend `seconds` of local compute time
+};
+
+struct IoOp {
+  OpKind kind = OpKind::Barrier;
+  FileId file = kInvalidFile;
+  DirId dir = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t size = 0;
+  double seconds = 0.0;  ///< Compute only
+
+  [[nodiscard]] static IoOp mkdir(DirId dir) { return {OpKind::Mkdir, kInvalidFile, dir, 0, 0, 0}; }
+  [[nodiscard]] static IoOp create(FileId f) { return {OpKind::Create, f, 0, 0, 0, 0}; }
+  [[nodiscard]] static IoOp open(FileId f) { return {OpKind::Open, f, 0, 0, 0, 0}; }
+  [[nodiscard]] static IoOp close(FileId f) { return {OpKind::Close, f, 0, 0, 0, 0}; }
+  [[nodiscard]] static IoOp write(FileId f, std::uint64_t off, std::uint64_t size) {
+    return {OpKind::Write, f, 0, off, size, 0};
+  }
+  [[nodiscard]] static IoOp read(FileId f, std::uint64_t off, std::uint64_t size) {
+    return {OpKind::Read, f, 0, off, size, 0};
+  }
+  [[nodiscard]] static IoOp stat(FileId f) { return {OpKind::Stat, f, 0, 0, 0, 0}; }
+  [[nodiscard]] static IoOp unlink(FileId f) { return {OpKind::Unlink, f, 0, 0, 0, 0}; }
+  [[nodiscard]] static IoOp fsync(FileId f) { return {OpKind::Fsync, f, 0, 0, 0, 0}; }
+  [[nodiscard]] static IoOp barrier() { return {OpKind::Barrier, kInvalidFile, 0, 0, 0, 0}; }
+  [[nodiscard]] static IoOp compute(double seconds) {
+    return {OpKind::Compute, kInvalidFile, 0, 0, 0, seconds};
+  }
+};
+
+struct FileDecl {
+  std::string name;   ///< path-like name, for the Darshan record
+  DirId dir = 0;      ///< containing directory
+};
+
+struct DirDecl {
+  std::string name;
+};
+
+/// A complete job: file/dir declarations plus one op program per rank.
+struct JobSpec {
+  std::string name;                     ///< e.g. "IOR_16M"
+  std::vector<DirDecl> dirs{DirDecl{"/"}};  ///< index = DirId; dir 0 is the root
+  std::vector<FileDecl> files;          ///< index = FileId
+  std::vector<std::vector<IoOp>> ranks; ///< index = RankId
+
+  /// Registers a directory, returning its id. Dir 0 (root) pre-exists.
+  DirId addDir(std::string name);
+  /// Registers a file in `dir`, returning its id.
+  FileId addFile(std::string name, DirId dir = 0);
+
+  [[nodiscard]] std::uint32_t rankCount() const noexcept {
+    return static_cast<std::uint32_t>(ranks.size());
+  }
+
+  /// Total ops across ranks; used for sanity checks and progress stats.
+  [[nodiscard]] std::uint64_t totalOps() const noexcept;
+
+  /// Structural validation: op file/dir ids in range, reads/writes have
+  /// nonzero size, every rank program is non-empty. Returns violations.
+  [[nodiscard]] std::vector<std::string> validate() const;
+};
+
+}  // namespace stellar::pfs

@@ -1,0 +1,42 @@
+#include "pfs/layout.hpp"
+
+#include <algorithm>
+
+namespace stellar::pfs {
+
+std::vector<ObjectExtent> mapExtent(const FileLayout& layout, std::uint64_t offset,
+                                    std::uint64_t length) {
+  std::vector<ObjectExtent> pieces;
+  if (length == 0) {
+    return pieces;
+  }
+  const std::uint64_t ss = layout.stripeSize;
+  std::uint64_t pos = offset;
+  std::uint64_t remaining = length;
+  while (remaining > 0) {
+    const std::uint64_t stripe = pos / ss;
+    const std::uint64_t withinStripe = pos % ss;
+    const std::uint64_t pieceLen = std::min(remaining, ss - withinStripe);
+
+    ObjectExtent piece;
+    piece.ost = layout.ostForStripe(stripe);
+    // Object-local layout: stripe column c of the file stores its stripes
+    // back to back, so object offset = (stripe / stripeCount) * ss + within.
+    piece.objectOffset = (stripe / layout.stripeCount) * ss + withinStripe;
+    piece.length = pieceLen;
+    piece.fileOffset = pos;
+    pieces.push_back(piece);
+
+    pos += pieceLen;
+    remaining -= pieceLen;
+  }
+  return pieces;
+}
+
+std::uint64_t objectOffsetFor(const FileLayout& layout, std::uint64_t fileOffset) noexcept {
+  const std::uint64_t stripe = fileOffset / layout.stripeSize;
+  const std::uint64_t within = fileOffset % layout.stripeSize;
+  return (stripe / layout.stripeCount) * layout.stripeSize + within;
+}
+
+}  // namespace stellar::pfs

@@ -1,0 +1,44 @@
+// Metadata server model: a pool of service threads with per-op-kind costs,
+// congestion latency under backlog, and deterministic jitter.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "pfs/topology.hpp"
+#include "sim/engine.hpp"
+#include "sim/service_center.hpp"
+
+namespace stellar::pfs {
+
+enum class MetaOpKind : std::uint8_t { Create, Open, Stat, Unlink, Mkdir, Lock, Close };
+
+[[nodiscard]] const char* metaOpName(MetaOpKind kind) noexcept;
+
+class MdsModel {
+ public:
+  MdsModel(sim::SimEngine& engine, const ClusterSpec& cluster);
+
+  MdsModel(const MdsModel&) = delete;
+  MdsModel& operator=(const MdsModel&) = delete;
+
+  /// Submits a metadata RPC that has arrived at the server.
+  /// `stripeCount` scales create/unlink cost (object allocation/destroy
+  /// on each stripe target).
+  void submit(MetaOpKind kind, std::uint32_t stripeCount, std::function<void()> onDone);
+
+  [[nodiscard]] std::uint64_t opsServed() const noexcept { return opsServed_; }
+  [[nodiscard]] double busyTime() const noexcept { return threads_.busyTime(); }
+
+  void reset() noexcept { opsServed_ = 0; }
+
+ private:
+  [[nodiscard]] double baseCost(MetaOpKind kind) const noexcept;
+
+  sim::SimEngine& engine_;
+  const ClusterSpec& cluster_;
+  sim::ServiceCenter threads_;
+  std::uint64_t opsServed_ = 0;
+};
+
+}  // namespace stellar::pfs

@@ -1,0 +1,68 @@
+#include "pfs/ost.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace stellar::pfs {
+
+OstModel::OstModel(sim::SimEngine& engine, const ClusterSpec& cluster, std::uint32_t index)
+    : engine_(engine),
+      cluster_(cluster),
+      index_(index),
+      nic_(engine, "ost" + std::to_string(index) + ".nic", 1),
+      positioning_(engine, "ost" + std::to_string(index) + ".pos",
+                   cluster.disk.queueDepth),
+      transfer_(engine, "ost" + std::to_string(index) + ".xfer", 1) {}
+
+void OstModel::submitBulk(std::uint64_t objectKey, std::uint64_t objectOffset,
+                          std::uint64_t bytes, bool isWrite, std::function<void()> onDone) {
+  ++rpcsServed_;
+  bytesServed_ += bytes;
+
+  // Wire time across the server NIC (shared by every client talking to
+  // this OSS), then positioning, then the serialized media transfer.
+  const double wireTime = static_cast<double>(bytes) / cluster_.network.nicBandwidth;
+  nic_.submit(wireTime, [this, objectKey, objectOffset, bytes, isWrite,
+                         onDone = std::move(onDone)]() mutable {
+    const DiskSpec& disk = cluster_.disk;
+
+    // Seek detection per object: contiguous with the previous access?
+    bool contiguous = false;
+    const auto it = lastEnd_.find(objectKey);
+    if (it != lastEnd_.end() && it->second == objectOffset) {
+      contiguous = true;
+    }
+    lastEnd_[objectKey] = objectOffset + bytes;
+    if (!contiguous) {
+      ++seeks_;
+    }
+
+    double positioning = disk.positioningOverhead + (contiguous ? 0.0 : disk.seekPenalty);
+    // Congestion: a deep backlog adds latency (bounded, so throughput
+    // saturates rather than collapsing).
+    positioning += disk.congestionPenalty *
+                   static_cast<double>(std::min<std::size_t>(positioning_.queuedRequests(), 64));
+    positioning *= engine_.rng().uniform(0.9, 1.1);
+
+    double transferTime = static_cast<double>(bytes) / disk.sequentialBandwidth +
+                          disk.transferOverhead;
+    // Writes commit through the journal with a small extra cost.
+    if (isWrite) {
+      transferTime += 0.02e-3;
+    }
+    transferTime *= engine_.rng().uniform(0.95, 1.05);
+
+    positioning_.submit(positioning, [this, transferTime, onDone = std::move(onDone)]() mutable {
+      transfer_.submit(transferTime, std::move(onDone));
+    });
+  });
+}
+
+void OstModel::reset() {
+  lastEnd_.clear();
+  rpcsServed_ = 0;
+  bytesServed_ = 0;
+  seeks_ = 0;
+}
+
+}  // namespace stellar::pfs

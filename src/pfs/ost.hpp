@@ -1,0 +1,53 @@
+// Object storage target model: a server NIC in front of a disk with
+// bounded efficient concurrency, per-object contiguity tracking (seek
+// penalties), and congestion latency past the efficient queue depth.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "pfs/topology.hpp"
+#include "sim/engine.hpp"
+#include "sim/service_center.hpp"
+
+namespace stellar::pfs {
+
+class OstModel {
+ public:
+  OstModel(sim::SimEngine& engine, const ClusterSpec& cluster, std::uint32_t index);
+
+  OstModel(const OstModel&) = delete;
+  OstModel& operator=(const OstModel&) = delete;
+
+  /// Submits a bulk data RPC that has *arrived at the server*. `objectKey`
+  /// identifies the backing object (file id works: one object per file per
+  /// OST); `objectOffset` is object-local. Calls onDone when the server
+  /// has completed the transfer + disk work.
+  void submitBulk(std::uint64_t objectKey, std::uint64_t objectOffset,
+                  std::uint64_t bytes, bool isWrite, std::function<void()> onDone);
+
+  [[nodiscard]] std::uint32_t index() const noexcept { return index_; }
+  [[nodiscard]] std::uint64_t rpcsServed() const noexcept { return rpcsServed_; }
+  [[nodiscard]] std::uint64_t bytesServed() const noexcept { return bytesServed_; }
+  [[nodiscard]] std::uint64_t seeks() const noexcept { return seeks_; }
+  [[nodiscard]] double diskBusyTime() const noexcept { return transfer_.busyTime(); }
+
+  /// Resets per-run statistics and contiguity state (remount semantics).
+  void reset();
+
+ private:
+  sim::SimEngine& engine_;
+  const ClusterSpec& cluster_;
+  std::uint32_t index_;
+  sim::ServiceCenter nic_;          ///< server-side link, FIFO store-and-forward
+  sim::ServiceCenter positioning_;  ///< queueDepth-way seek/setup stage
+  sim::ServiceCenter transfer_;     ///< serialized media bandwidth stage
+  /// Last accessed end offset per object, for seek detection.
+  std::unordered_map<std::uint64_t, std::uint64_t> lastEnd_;
+  std::uint64_t rpcsServed_ = 0;
+  std::uint64_t bytesServed_ = 0;
+  std::uint64_t seeks_ = 0;
+};
+
+}  // namespace stellar::pfs

@@ -1,0 +1,106 @@
+// The tunable-parameter surface of the simulated parallel file system.
+//
+// These are the 13 runtime-tunable, performance-relevant parameters that
+// STELLAR's offline RAG extraction selects for Lustre (§4.2.2 of the
+// paper); the simulated file system honors each of them mechanically (see
+// pfs/client.cpp, pfs/ost.cpp, pfs/mds.cpp). The *candidate* parameter
+// universe (including binary, non-runtime, undocumented, and
+// non-performance parameters that the extractor must filter out) lives in
+// src/manual/param_facts.*.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace stellar::pfs {
+
+/// Runtime configuration applied to one tuning run. Field semantics match
+/// the Lustre parameters of the same name; see DESIGN.md §4.
+struct PfsConfig {
+  /// Number of OSTs a new file is striped across; -1 = all available OSTs.
+  std::int64_t stripe_count = 1;
+  /// Stripe width in bytes (Lustre: 64KiB..4GiB, power-of-two preferred).
+  std::int64_t stripe_size = 1 << 20;
+  /// Max concurrent data RPCs per client-OST pair.
+  std::int64_t osc_max_rpcs_in_flight = 8;
+  /// Max pages (4 KiB) per bulk RPC; bounds RPC payload size.
+  std::int64_t osc_max_pages_per_rpc = 256;
+  /// Per client-OST dirty write-back budget, MiB.
+  std::int64_t osc_max_dirty_mb = 32;
+  /// Client-wide readahead budget, MiB.
+  std::int64_t llite_max_read_ahead_mb = 64;
+  /// Per-file readahead window cap, MiB (<= half the client-wide budget).
+  std::int64_t llite_max_read_ahead_per_file_mb = 32;
+  /// Files at most this many MiB are prefetched whole on first read.
+  std::int64_t llite_max_read_ahead_whole_mb = 2;
+  /// Max async stat-ahead entries during directory scans; 0 disables.
+  std::int64_t llite_statahead_max = 32;
+  /// Max concurrent metadata RPCs per client.
+  std::int64_t mdc_max_rpcs_in_flight = 8;
+  /// Max concurrent *modifying* metadata RPCs per client
+  /// (< mdc_max_rpcs_in_flight).
+  std::int64_t mdc_max_mod_rpcs_in_flight = 7;
+  /// Client DLM lock LRU capacity; 0 = dynamic sizing (modest under load).
+  std::int64_t ldlm_lru_size = 0;
+  /// Seconds an unused lock stays cached.
+  std::int64_t ldlm_lru_max_age = 3900;
+
+  /// Non-tunable functional switch (data-integrity tradeoff; excluded from
+  /// the tuning surface per §4.2.2 but honored by the simulator: checksums
+  /// add per-byte CPU cost).
+  bool osc_checksums = false;
+
+  [[nodiscard]] bool operator==(const PfsConfig&) const = default;
+
+  /// Generic access by parameter name (the canonical dotted names, e.g.
+  /// "osc.max_rpcs_in_flight"). Returns false for unknown names.
+  [[nodiscard]] bool set(std::string_view name, std::int64_t value);
+  [[nodiscard]] std::optional<std::int64_t> get(std::string_view name) const;
+
+  /// All 13 tunable parameter names, canonical order.
+  [[nodiscard]] static const std::vector<std::string>& tunableNames();
+
+  [[nodiscard]] util::Json toJson() const;
+  [[nodiscard]] static PfsConfig fromJson(const util::Json& json);
+
+  /// Human-readable one-line diff against another config ("stripe_count:
+  /// 1 -> -1, ..."); empty if equal. Used in tuning transcripts.
+  [[nodiscard]] std::string diffAgainst(const PfsConfig& base) const;
+};
+
+/// Hard validity ranges for each tunable given the running system
+/// (dependent bounds resolved against facts like client RAM). Violations
+/// are what the paper's "No value ranges" failure mode produces.
+struct ParamBounds {
+  std::int64_t min = 0;
+  std::int64_t max = 0;
+};
+
+/// System facts needed to resolve dependent bounds; see pfs::ClusterSpec
+/// for where the canonical values come from.
+struct BoundsContext {
+  std::int64_t clientRamMb = 196 * 1024;
+  std::int64_t ostCount = 5;
+};
+
+/// Returns the valid range of `name` under `ctx`, resolving dependent
+/// bounds (e.g. max_read_ahead_per_file_mb <= max_read_ahead_mb / 2)
+/// against the *other values in cfg*. nullopt for unknown names.
+[[nodiscard]] std::optional<ParamBounds> paramBounds(std::string_view name,
+                                                     const PfsConfig& cfg,
+                                                     const BoundsContext& ctx);
+
+/// Validates every field; returns the list of violations (empty = valid).
+[[nodiscard]] std::vector<std::string> validateConfig(const PfsConfig& cfg,
+                                                      const BoundsContext& ctx);
+
+/// Clamps every field into its valid range (dependent bounds applied in
+/// dependency order).
+[[nodiscard]] PfsConfig clampConfig(PfsConfig cfg, const BoundsContext& ctx);
+
+}  // namespace stellar::pfs

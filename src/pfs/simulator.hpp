@@ -1,0 +1,58 @@
+// PfsSimulator: the run(job, config, seed) facade the rest of the system
+// (tuning engine, baselines, benches) uses. One call simulates a complete
+// application execution on a freshly mounted file system — the paper's
+// between-runs hygiene (delete data, drop caches, remount, settle) is
+// implicit because every run constructs fresh state.
+#pragma once
+
+#include <cstdint>
+
+#include "pfs/client.hpp"
+#include "pfs/job.hpp"
+#include "pfs/params.hpp"
+#include "pfs/topology.hpp"
+
+namespace stellar::pfs {
+
+/// Everything a run produces. `wallSeconds` includes the multiplicative
+/// run-to-run noise; `rawWallSeconds` is the noise-free simulated time
+/// (useful for calibration tests).
+struct RunResult {
+  double wallSeconds = 0.0;
+  double rawWallSeconds = 0.0;
+  std::vector<FileStats> files;
+  std::vector<RankStats> ranks;
+  RunCounters counters;
+  /// Release time of each global barrier: consecutive differences are the
+  /// durations of a multi-phase workload's phases (IO500-style reporting).
+  std::vector<double> barrierTimes;
+
+  /// Aggregate convenience metrics.
+  [[nodiscard]] double totalBytesRead() const noexcept;
+  [[nodiscard]] double totalBytesWritten() const noexcept;
+  [[nodiscard]] double aggregateBandwidth() const noexcept;  ///< bytes/s
+};
+
+class PfsSimulator {
+ public:
+  explicit PfsSimulator(ClusterSpec cluster = defaultCluster(),
+                        double noiseSigma = 0.04)
+      : cluster_(std::move(cluster)), noiseSigma_(noiseSigma) {}
+
+  [[nodiscard]] const ClusterSpec& cluster() const noexcept { return cluster_; }
+
+  /// Bounds context for validating configs against this cluster.
+  [[nodiscard]] BoundsContext boundsContext() const noexcept;
+
+  /// Simulates one complete run. Throws std::invalid_argument when the
+  /// config is out of range (the same failure the paper reports when the
+  /// agent proposes invalid values) or the job is malformed.
+  [[nodiscard]] RunResult run(const JobSpec& job, const PfsConfig& config,
+                              std::uint64_t seed) const;
+
+ private:
+  ClusterSpec cluster_;
+  double noiseSigma_;
+};
+
+}  // namespace stellar::pfs

@@ -1,0 +1,9 @@
+#include "pfs/topology.hpp"
+
+namespace stellar::pfs {
+
+ClusterSpec defaultCluster() {
+  return ClusterSpec{};
+}
+
+}  // namespace stellar::pfs

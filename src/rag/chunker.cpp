@@ -1,0 +1,57 @@
+#include "rag/chunker.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace stellar::rag {
+
+namespace {
+
+/// Word spans (begin, end offsets) in the original text, so chunk text
+/// preserves original spacing/newlines between the first and last word.
+std::vector<std::pair<std::size_t, std::size_t>> wordSpans(std::string_view text) {
+  std::vector<std::pair<std::size_t, std::size_t>> spans;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])) != 0) {
+      ++i;
+    }
+    const std::size_t begin = i;
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])) == 0) {
+      ++i;
+    }
+    if (i > begin) {
+      spans.emplace_back(begin, i);
+    }
+  }
+  return spans;
+}
+
+}  // namespace
+
+std::vector<Chunk> chunkDocument(std::string_view text, const ChunkerOptions& options) {
+  if (options.chunkTokens == 0 || options.overlapTokens >= options.chunkTokens) {
+    throw std::invalid_argument("chunker: overlap must be smaller than chunk size");
+  }
+  const auto spans = wordSpans(text);
+  std::vector<Chunk> chunks;
+  if (spans.empty()) {
+    return chunks;
+  }
+  const std::size_t step = options.chunkTokens - options.overlapTokens;
+  for (std::size_t start = 0; start < spans.size(); start += step) {
+    const std::size_t end = std::min(start + options.chunkTokens, spans.size());
+    Chunk chunk;
+    chunk.index = chunks.size();
+    chunk.firstToken = start;
+    chunk.text = std::string{
+        text.substr(spans[start].first, spans[end - 1].second - spans[start].first)};
+    chunks.push_back(std::move(chunk));
+    if (end == spans.size()) {
+      break;
+    }
+  }
+  return chunks;
+}
+
+}  // namespace stellar::rag

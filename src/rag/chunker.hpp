@@ -1,0 +1,29 @@
+// Document chunker: fixed-size word windows with overlap, mirroring the
+// paper's LlamaIndex defaults (1024-token chunks, 20-token overlap, §4.2.2).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace stellar::rag {
+
+struct Chunk {
+  std::string text;
+  std::size_t index = 0;       ///< position in the document
+  std::size_t firstToken = 0;  ///< word offset of the chunk start
+};
+
+struct ChunkerOptions {
+  std::size_t chunkTokens = 1024;
+  std::size_t overlapTokens = 20;
+};
+
+/// Splits `text` into overlapping chunks. Word boundaries are preserved;
+/// the final chunk may be shorter. Throws std::invalid_argument if the
+/// overlap is not smaller than the chunk size.
+[[nodiscard]] std::vector<Chunk> chunkDocument(std::string_view text,
+                                               const ChunkerOptions& options = {});
+
+}  // namespace stellar::rag

@@ -1,0 +1,87 @@
+#include "rag/embedder.hpp"
+
+#include <cmath>
+
+#include "rag/tokenizer.hpp"
+#include "util/rng.hpp"
+
+namespace stellar::rag {
+
+HashedTfIdfEmbedder::HashedTfIdfEmbedder(std::size_t dimensions, std::uint64_t seed)
+    : dims_(dimensions == 0 ? 1 : dimensions), seed_(seed) {}
+
+void HashedTfIdfEmbedder::fit(const std::vector<std::string>& corpus) {
+  documents_ = corpus.size();
+  documentFrequency_.clear();
+  for (const std::string& doc : corpus) {
+    // Count each term once per document.
+    std::unordered_map<std::string, bool> seen;
+    for (const std::string& term : tokenizeWords(doc)) {
+      if (!seen.emplace(term, true).second) {
+        continue;
+      }
+      ++documentFrequency_[term];
+    }
+  }
+}
+
+std::size_t HashedTfIdfEmbedder::slot(std::string_view term) const {
+  std::uint64_t h = seed_;
+  for (const char c : term) {
+    h = util::mix64(h, static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
+  }
+  return static_cast<std::size_t>(h % dims_);
+}
+
+double HashedTfIdfEmbedder::idf(const std::string& term) const {
+  if (documents_ == 0) {
+    return 1.0;
+  }
+  const auto it = documentFrequency_.find(term);
+  const double df = it == documentFrequency_.end() ? 0.0 : it->second;
+  // Smoothed IDF; unseen terms get the maximum weight.
+  return std::log((1.0 + static_cast<double>(documents_)) / (1.0 + df)) + 1.0;
+}
+
+std::vector<float> HashedTfIdfEmbedder::embed(std::string_view text) const {
+  std::vector<float> vec(dims_, 0.0F);
+  // Sublinear TF weighting.
+  std::unordered_map<std::string, std::uint32_t> tf;
+  for (const std::string& term : tokenizeWords(text)) {
+    ++tf[term];
+  }
+  for (const auto& [term, count] : tf) {
+    const double weight = (1.0 + std::log(static_cast<double>(count))) * idf(term);
+    // Signed hashing reduces collision bias.
+    std::uint64_t h = seed_ ^ 0xABCDEF12ULL;
+    for (const char c : term) {
+      h = util::mix64(h, static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
+    }
+    const float sign = (h & 1) != 0 ? 1.0F : -1.0F;
+    vec[slot(term)] += sign * static_cast<float>(weight);
+  }
+  // L2 normalize.
+  double norm = 0.0;
+  for (const float v : vec) {
+    norm += static_cast<double>(v) * v;
+  }
+  if (norm > 0.0) {
+    const auto inv = static_cast<float>(1.0 / std::sqrt(norm));
+    for (float& v : vec) {
+      v *= inv;
+    }
+  }
+  return vec;
+}
+
+double HashedTfIdfEmbedder::cosine(const std::vector<float>& a,
+                                   const std::vector<float>& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  double dot = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+  }
+  return dot;  // inputs are L2-normalized
+}
+
+}  // namespace stellar::rag

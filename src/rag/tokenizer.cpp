@@ -1,0 +1,59 @@
+#include "rag/tokenizer.hpp"
+
+#include <cctype>
+
+namespace stellar::rag {
+
+std::vector<std::string> tokenizeWords(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  const auto isWordChar = [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' || c == '.';
+  };
+  for (const char c : text) {
+    if (isWordChar(c)) {
+      current.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if (!current.empty()) {
+      // Trim trailing dots (sentence punctuation) but keep interior dots.
+      while (!current.empty() && current.back() == '.') {
+        current.pop_back();
+      }
+      if (!current.empty()) {
+        tokens.push_back(std::move(current));
+      }
+      current.clear();
+    }
+  }
+  if (!current.empty()) {
+    while (!current.empty() && current.back() == '.') {
+      current.pop_back();
+    }
+    if (!current.empty()) {
+      tokens.push_back(std::move(current));
+    }
+  }
+  return tokens;
+}
+
+std::size_t approxTokenCount(std::string_view text) {
+  // Rough BPE approximation: 1 token per short word, extra tokens for long
+  // words (BPE splits them), computed without allocation.
+  std::size_t tokens = 0;
+  std::size_t wordLen = 0;
+  for (const char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      if (wordLen > 0) {
+        tokens += 1 + wordLen / 7;
+        wordLen = 0;
+      }
+    } else {
+      ++wordLen;
+    }
+  }
+  if (wordLen > 0) {
+    tokens += 1 + wordLen / 7;
+  }
+  return tokens;
+}
+
+}  // namespace stellar::rag

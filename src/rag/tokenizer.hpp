@@ -1,0 +1,18 @@
+// Word-level tokenizer for the RAG pipeline: lower-cased alphanumeric
+// terms (dots and underscores kept inside words so parameter names like
+// osc.max_rpcs_in_flight stay single tokens).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace stellar::rag {
+
+[[nodiscard]] std::vector<std::string> tokenizeWords(std::string_view text);
+
+/// Approximate "LLM token" count used for chunk sizing and the token
+/// accounting in src/llm (≈ one token per word piece, punctuation merged).
+[[nodiscard]] std::size_t approxTokenCount(std::string_view text);
+
+}  // namespace stellar::rag

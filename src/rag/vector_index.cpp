@@ -1,0 +1,46 @@
+#include "rag/vector_index.hpp"
+
+#include <algorithm>
+
+namespace stellar::rag {
+
+VectorIndex::VectorIndex(HashedTfIdfEmbedder embedder) : embedder_(std::move(embedder)) {}
+
+void VectorIndex::buildFromDocument(std::string_view document,
+                                    const ChunkerOptions& options) {
+  chunks_ = chunkDocument(document, options);
+  std::vector<std::string> corpus;
+  corpus.reserve(chunks_.size());
+  for (const Chunk& chunk : chunks_) {
+    corpus.push_back(chunk.text);
+  }
+  embedder_.fit(corpus);
+  vectors_.clear();
+  vectors_.reserve(chunks_.size());
+  for (const Chunk& chunk : chunks_) {
+    vectors_.push_back(embedder_.embed(chunk.text));
+  }
+}
+
+std::vector<RetrievedChunk> VectorIndex::query(std::string_view text,
+                                               std::size_t topK) const {
+  const std::vector<float> qvec = embedder_.embed(text);
+  std::vector<RetrievedChunk> scored;
+  scored.reserve(chunks_.size());
+  for (std::size_t i = 0; i < chunks_.size(); ++i) {
+    scored.push_back(
+        RetrievedChunk{&chunks_[i], HashedTfIdfEmbedder::cosine(qvec, vectors_[i])});
+  }
+  const std::size_t k = std::min(topK, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + static_cast<std::ptrdiff_t>(k),
+                    scored.end(), [](const RetrievedChunk& a, const RetrievedChunk& b) {
+                      if (a.score != b.score) {
+                        return a.score > b.score;
+                      }
+                      return a.chunk->index < b.chunk->index;
+                    });
+  scored.resize(k);
+  return scored;
+}
+
+}  // namespace stellar::rag

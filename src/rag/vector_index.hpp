@@ -1,0 +1,40 @@
+// In-memory vector index: embed + store chunks, retrieve top-K by cosine.
+// Plays LlamaIndex's role in the paper's offline phase.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rag/chunker.hpp"
+#include "rag/embedder.hpp"
+
+namespace stellar::rag {
+
+struct RetrievedChunk {
+  const Chunk* chunk = nullptr;
+  double score = 0.0;
+};
+
+class VectorIndex {
+ public:
+  explicit VectorIndex(HashedTfIdfEmbedder embedder = HashedTfIdfEmbedder{});
+
+  /// Chunks the document, fits the embedder on the chunks, embeds and
+  /// stores them. Replaces any previous content.
+  void buildFromDocument(std::string_view document, const ChunkerOptions& options = {});
+
+  [[nodiscard]] std::size_t size() const noexcept { return chunks_.size(); }
+  [[nodiscard]] const std::vector<Chunk>& chunks() const noexcept { return chunks_; }
+
+  /// Top-K chunks by cosine similarity, highest first. K is clamped to the
+  /// index size. Deterministic tie-break by chunk index.
+  [[nodiscard]] std::vector<RetrievedChunk> query(std::string_view text,
+                                                  std::size_t topK) const;
+
+ private:
+  HashedTfIdfEmbedder embedder_;
+  std::vector<Chunk> chunks_;
+  std::vector<std::vector<float>> vectors_;
+};
+
+}  // namespace stellar::rag

@@ -1,0 +1,47 @@
+#include "sim/engine.hpp"
+
+#include <utility>
+
+namespace stellar::sim {
+
+void SimEngine::scheduleAt(SimTime at, std::function<void()> fn) {
+  if (at < now_) {
+    at = now_;
+  }
+  queue_.push(Event{at, nextSeq_++, std::move(fn)});
+}
+
+void SimEngine::scheduleAfter(SimTime delay, std::function<void()> fn) {
+  if (delay < 0.0) {
+    delay = 0.0;
+  }
+  scheduleAt(now_ + delay, std::move(fn));
+}
+
+SimTime SimEngine::run() {
+  while (!queue_.empty()) {
+    // The queue stores const refs; move the callable out before popping.
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.at;
+    ++processed_;
+    event.fn();
+  }
+  return now_;
+}
+
+SimTime SimEngine::runUntil(SimTime limit) {
+  while (!queue_.empty() && queue_.top().at <= limit) {
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.at;
+    ++processed_;
+    event.fn();
+  }
+  if (now_ < limit && queue_.empty()) {
+    now_ = limit;
+  }
+  return now_;
+}
+
+}  // namespace stellar::sim

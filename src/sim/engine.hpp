@@ -1,0 +1,71 @@
+// Discrete-event simulation engine.
+//
+// Single-threaded and fully deterministic: events firing at equal
+// timestamps are ordered by insertion sequence, so a given (workload,
+// config, seed) triple always produces the identical event trace. The PFS
+// model in src/pfs builds client/server state machines on top of this.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace stellar::sim {
+
+/// Simulated time in seconds.
+using SimTime = double;
+
+class SimEngine {
+ public:
+  explicit SimEngine(std::uint64_t seed = 1) : rng_(seed) {}
+
+  SimEngine(const SimEngine&) = delete;
+  SimEngine& operator=(const SimEngine&) = delete;
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedules `fn` at absolute time `at` (clamped to now).
+  void scheduleAt(SimTime at, std::function<void()> fn);
+
+  /// Schedules `fn` after `delay` seconds (clamped to non-negative).
+  void scheduleAfter(SimTime delay, std::function<void()> fn);
+
+  /// Runs until the event queue drains. Returns the final clock value.
+  SimTime run();
+
+  /// Runs while events exist and now() <= limit; returns final clock.
+  SimTime runUntil(SimTime limit);
+
+  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+  [[nodiscard]] std::uint64_t eventsProcessed() const noexcept { return processed_; }
+
+  /// Deterministic per-engine random stream (service jitter, lock
+  /// conflict sampling). Seeded from the run seed.
+  [[nodiscard]] util::Rng& rng() noexcept { return rng_; }
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.at != b.at) {
+        return a.at > b.at;
+      }
+      return a.seq > b.seq;  // FIFO among simultaneous events
+    }
+  };
+
+  SimTime now_ = 0.0;
+  std::uint64_t nextSeq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  util::Rng rng_;
+};
+
+}  // namespace stellar::sim

@@ -1,0 +1,49 @@
+// Counting semaphore in simulated time.
+//
+// Models Lustre's in-flight RPC caps: osc.max_rpcs_in_flight bounds data
+// RPCs per client-OST pair, mdc.max_rpcs_in_flight / max_mod_rpcs_in_flight
+// bound metadata RPCs per client. Acquirers queue FIFO; release wakes the
+// head of the queue in the same simulated instant.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "sim/engine.hpp"
+
+namespace stellar::sim {
+
+class FlowLimiter {
+ public:
+  FlowLimiter(SimEngine& engine, std::uint32_t limit);
+
+  FlowLimiter(const FlowLimiter&) = delete;
+  FlowLimiter& operator=(const FlowLimiter&) = delete;
+
+  /// Runs `onAcquired` as soon as a token is available (possibly now).
+  void acquire(std::function<void()> onAcquired);
+
+  /// Returns one token; wakes the oldest waiter if any.
+  void release();
+
+  /// Changes the limit (used when a tuning iteration applies a new
+  /// config); newly-freed headroom admits queued waiters immediately.
+  void setLimit(std::uint32_t limit);
+
+  [[nodiscard]] std::uint32_t limit() const noexcept { return limit_; }
+  [[nodiscard]] std::uint32_t inFlight() const noexcept { return inFlight_; }
+  [[nodiscard]] std::size_t waiters() const noexcept { return waiting_.size(); }
+  [[nodiscard]] std::uint64_t peakInFlight() const noexcept { return peak_; }
+
+ private:
+  void admitWaiters();
+
+  SimEngine& engine_;
+  std::uint32_t limit_;
+  std::uint32_t inFlight_ = 0;
+  std::uint64_t peak_ = 0;
+  std::deque<std::function<void()>> waiting_;
+};
+
+}  // namespace stellar::sim

@@ -1,0 +1,43 @@
+#include "sim/service_center.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace stellar::sim {
+
+ServiceCenter::ServiceCenter(SimEngine& engine, std::string name, std::uint32_t servers)
+    : engine_(engine), name_(std::move(name)), servers_(std::max<std::uint32_t>(1, servers)) {}
+
+void ServiceCenter::submit(SimTime serviceTime, std::function<void()> onDone) {
+  ++submitted_;
+  if (serviceTime < 0.0) {
+    serviceTime = 0.0;
+  }
+  if (busy_ < servers_) {
+    startService(Request{serviceTime, std::move(onDone)});
+  } else {
+    waiting_.push_back(Request{serviceTime, std::move(onDone)});
+    peakQueue_ = std::max(peakQueue_, waiting_.size());
+  }
+}
+
+void ServiceCenter::startService(Request request) {
+  ++busy_;
+  busyTime_ += request.serviceTime;
+  // Capture the completion by value; `this` outlives the engine run in all
+  // usage (the PfsSimulator owns both engine and centers).
+  engine_.scheduleAfter(request.serviceTime,
+                        [this, onDone = std::move(request.onDone)]() mutable {
+                          --busy_;
+                          if (!waiting_.empty()) {
+                            Request next = std::move(waiting_.front());
+                            waiting_.pop_front();
+                            startService(std::move(next));
+                          }
+                          if (onDone) {
+                            onDone();
+                          }
+                        });
+}
+
+}  // namespace stellar::sim

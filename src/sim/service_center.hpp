@@ -1,0 +1,67 @@
+// FIFO multi-server service center.
+//
+// Models any resource that serves one request per "server" at a time with
+// queueing: an OST's disk spindles / server threads, the MDS service
+// threads, or a network link (1 server, service time = bytes/bandwidth).
+//
+// Beyond a configurable efficient queue depth, additional *contention
+// latency* per request can be layered on by the owner (see pfs::OstModel),
+// which yields the saturation/diminishing-returns behaviour the paper's
+// Tuning Agent observes when raising concurrency knobs.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "sim/engine.hpp"
+
+namespace stellar::sim {
+
+class ServiceCenter {
+ public:
+  /// name is used in diagnostics; servers >= 1.
+  ServiceCenter(SimEngine& engine, std::string name, std::uint32_t servers);
+
+  ServiceCenter(const ServiceCenter&) = delete;
+  ServiceCenter& operator=(const ServiceCenter&) = delete;
+
+  /// Enqueues a request that occupies one server for `serviceTime`
+  /// seconds and invokes `onDone` at completion.
+  void submit(SimTime serviceTime, std::function<void()> onDone);
+
+  [[nodiscard]] std::uint32_t busyServers() const noexcept { return busy_; }
+  [[nodiscard]] std::size_t queuedRequests() const noexcept { return waiting_.size(); }
+
+  /// Total requests admitted (served + in service + waiting).
+  [[nodiscard]] std::uint64_t totalSubmitted() const noexcept { return submitted_; }
+
+  /// Aggregate busy time across servers; busyTime()/elapsed/servers gives
+  /// utilization. Used by tests to check conservation of work.
+  [[nodiscard]] double busyTime() const noexcept { return busyTime_; }
+
+  /// Time-weighted average queue length is not tracked; peak queue is.
+  [[nodiscard]] std::size_t peakQueue() const noexcept { return peakQueue_; }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ private:
+  struct Request {
+    SimTime serviceTime;
+    std::function<void()> onDone;
+  };
+
+  void startService(Request request);
+
+  SimEngine& engine_;
+  std::string name_;
+  std::uint32_t servers_;
+  std::uint32_t busy_ = 0;
+  std::deque<Request> waiting_;
+  std::uint64_t submitted_ = 0;
+  double busyTime_ = 0.0;
+  std::size_t peakQueue_ = 0;
+};
+
+}  // namespace stellar::sim

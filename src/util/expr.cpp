@@ -1,0 +1,282 @@
+#include "util/expr.hpp"
+
+#include <cctype>
+#include <cmath>
+
+namespace stellar::util {
+
+class ExprParser {
+ public:
+  explicit ExprParser(std::string_view text, Expr& out) : text_(text), out_(out) {}
+
+  void run() {
+    parseExpr();
+    skipWhitespace();
+    if (pos_ != text_.size()) {
+      throw ExprError("unexpected trailing characters in expression: " +
+                      std::string{text_});
+    }
+  }
+
+ private:
+  void skipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void parseExpr() {
+    parseTerm();
+    while (true) {
+      if (consume('+')) {
+        parseTerm();
+        emit(Expr::Op::Add);
+      } else if (consume('-')) {
+        parseTerm();
+        emit(Expr::Op::Sub);
+      } else {
+        return;
+      }
+    }
+  }
+
+  void parseTerm() {
+    parseFactor();
+    while (true) {
+      if (consume('*')) {
+        parseFactor();
+        emit(Expr::Op::Mul);
+      } else if (consume('/')) {
+        parseFactor();
+        emit(Expr::Op::Div);
+      } else {
+        return;
+      }
+    }
+  }
+
+  void parseFactor() {
+    skipWhitespace();
+    if (pos_ >= text_.size()) {
+      throw ExprError("unexpected end of expression: " + std::string{text_});
+    }
+    const char c = text_[pos_];
+    if (c == '(') {
+      ++pos_;
+      parseExpr();
+      if (!consume(')')) {
+        throw ExprError("missing ')' in expression: " + std::string{text_});
+      }
+      return;
+    }
+    if (c == '-') {
+      ++pos_;
+      parseFactor();
+      emit(Expr::Op::Neg);
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 || c == '.') {
+      parseNumber();
+      return;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      parseIdentOrCall();
+      return;
+    }
+    throw ExprError(std::string("unexpected character '") + c + "' in expression: " +
+                    std::string{text_});
+  }
+
+  void parseNumber() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      // Permit exponent sign directly after e/E.
+      if ((text_[pos_] == 'e' || text_[pos_] == 'E') && pos_ + 1 < text_.size() &&
+          (text_[pos_ + 1] == '+' || text_[pos_ + 1] == '-')) {
+        ++pos_;
+      }
+      ++pos_;
+    }
+    const std::string token{text_.substr(start, pos_ - start)};
+    try {
+      out_.program_.push_back({Expr::Op::PushConst, std::stod(token), 0});
+    } catch (const std::exception&) {
+      throw ExprError("invalid number '" + token + "' in expression");
+    }
+  }
+
+  void parseIdentOrCall() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '_' || text_[pos_] == '.')) {
+      ++pos_;
+    }
+    const std::string name{text_.substr(start, pos_ - start)};
+    if (consume('(')) {
+      int argc = 0;
+      if (!consume(')')) {
+        do {
+          parseExpr();
+          ++argc;
+        } while (consume(','));
+        if (!consume(')')) {
+          throw ExprError("missing ')' after arguments of " + name);
+        }
+      }
+      emitCall(name, argc);
+      return;
+    }
+    // Plain variable reference.
+    std::uint32_t index = 0;
+    for (; index < out_.variables_.size(); ++index) {
+      if (out_.variables_[index] == name) {
+        break;
+      }
+    }
+    if (index == out_.variables_.size()) {
+      out_.variables_.push_back(name);
+    }
+    out_.program_.push_back({Expr::Op::PushVar, 0.0, index});
+  }
+
+  void emitCall(const std::string& name, int argc) {
+    const auto requireArgs = [&](int n) {
+      if (argc != n) {
+        throw ExprError(name + " expects " + std::to_string(n) + " argument(s)");
+      }
+    };
+    if (name == "min") {
+      requireArgs(2);
+      emit(Expr::Op::Min);
+    } else if (name == "max") {
+      requireArgs(2);
+      emit(Expr::Op::Max);
+    } else if (name == "floor") {
+      requireArgs(1);
+      emit(Expr::Op::Floor);
+    } else if (name == "ceil") {
+      requireArgs(1);
+      emit(Expr::Op::Ceil);
+    } else if (name == "log2") {
+      requireArgs(1);
+      emit(Expr::Op::Log2);
+    } else {
+      throw ExprError("unknown function: " + name);
+    }
+  }
+
+  void emit(Expr::Op op) { out_.program_.push_back({op, 0.0, 0}); }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  Expr& out_;
+};
+
+Expr Expr::parse(std::string_view text) {
+  Expr expr;
+  expr.text_ = std::string{text};
+  ExprParser parser{text, expr};
+  parser.run();
+  return expr;
+}
+
+double Expr::evaluate(const SymbolResolver& resolver) const {
+  std::vector<double> stack;
+  stack.reserve(8);
+  const auto pop = [&stack]() {
+    const double v = stack.back();
+    stack.pop_back();
+    return v;
+  };
+  for (const Step& step : program_) {
+    switch (step.op) {
+      case Op::PushConst:
+        stack.push_back(step.constant);
+        break;
+      case Op::PushVar: {
+        const std::string& name = variables_[step.varIndex];
+        const auto value = resolver ? resolver(name) : std::nullopt;
+        if (!value) {
+          throw ExprError("unresolved variable: " + name);
+        }
+        stack.push_back(*value);
+        break;
+      }
+      case Op::Add: {
+        const double b = pop();
+        stack.back() += b;
+        break;
+      }
+      case Op::Sub: {
+        const double b = pop();
+        stack.back() -= b;
+        break;
+      }
+      case Op::Mul: {
+        const double b = pop();
+        stack.back() *= b;
+        break;
+      }
+      case Op::Div: {
+        const double b = pop();
+        if (b == 0.0) {
+          throw ExprError("division by zero in: " + text_);
+        }
+        stack.back() /= b;
+        break;
+      }
+      case Op::Neg:
+        stack.back() = -stack.back();
+        break;
+      case Op::Min: {
+        const double b = pop();
+        stack.back() = std::min(stack.back(), b);
+        break;
+      }
+      case Op::Max: {
+        const double b = pop();
+        stack.back() = std::max(stack.back(), b);
+        break;
+      }
+      case Op::Floor:
+        stack.back() = std::floor(stack.back());
+        break;
+      case Op::Ceil:
+        stack.back() = std::ceil(stack.back());
+        break;
+      case Op::Log2:
+        if (stack.back() <= 0.0) {
+          throw ExprError("log2 of non-positive value in: " + text_);
+        }
+        stack.back() = std::log2(stack.back());
+        break;
+    }
+  }
+  if (stack.size() != 1) {
+    throw ExprError("malformed expression program: " + text_);
+  }
+  return stack.back();
+}
+
+double Expr::evaluateConstant() const {
+  return evaluate([](std::string_view) -> std::optional<double> { return std::nullopt; });
+}
+
+double evaluateExpression(std::string_view text, const SymbolResolver& resolver) {
+  return Expr::parse(text).evaluate(resolver);
+}
+
+}  // namespace stellar::util

@@ -1,0 +1,88 @@
+// Arithmetic expression evaluator for *dependent* parameter ranges.
+//
+// §4.2.2 of the paper: some parameter bounds depend on other parameters or
+// on hardware facts (e.g. the maximum of llite.max_read_ahead_per_file_mb
+// is half of llite.max_read_ahead_mb, whose maximum is half of client RAM).
+// The offline extractor emits such bounds as expression strings; the online
+// tuner evaluates them against live system values through this module.
+//
+// Grammar (classic recursive descent):
+//   expr    := term (('+' | '-') term)*
+//   term    := factor (('*' | '/') factor)*
+//   factor  := NUMBER | IDENT | IDENT '(' args ')' | '(' expr ')' | '-' factor
+//   args    := expr (',' expr)*
+// Identifiers are resolved through a caller-supplied symbol table; the
+// functions min, max, floor, ceil, log2 are built in.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace stellar::util {
+
+class ExprError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Resolves a free identifier to its numeric value; return nullopt to make
+/// evaluation fail with a named-variable error.
+using SymbolResolver = std::function<std::optional<double>(std::string_view)>;
+
+/// Parsed expression; parse once, evaluate against many symbol tables.
+class Expr {
+ public:
+  /// Parses the expression text; throws ExprError on syntax errors.
+  [[nodiscard]] static Expr parse(std::string_view text);
+
+  /// Evaluates; throws ExprError on unresolved identifiers or division by 0.
+  [[nodiscard]] double evaluate(const SymbolResolver& resolver) const;
+
+  /// Convenience: evaluate an expression with no free variables.
+  [[nodiscard]] double evaluateConstant() const;
+
+  /// Free identifiers referenced by the expression (deduplicated).
+  [[nodiscard]] const std::vector<std::string>& variables() const noexcept {
+    return variables_;
+  }
+
+  [[nodiscard]] const std::string& text() const noexcept { return text_; }
+
+ private:
+  // Compact postfix program; each step is either push-constant,
+  // push-variable, or apply-operation.
+  enum class Op : std::uint8_t {
+    PushConst,
+    PushVar,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Neg,
+    Min,
+    Max,
+    Floor,
+    Ceil,
+    Log2,
+  };
+  struct Step {
+    Op op;
+    double constant = 0.0;
+    std::uint32_t varIndex = 0;
+  };
+
+  std::string text_;
+  std::vector<Step> program_;
+  std::vector<std::string> variables_;
+
+  friend class ExprParser;
+};
+
+/// One-shot helper: parse and evaluate.
+[[nodiscard]] double evaluateExpression(std::string_view text, const SymbolResolver& resolver);
+
+}  // namespace stellar::util

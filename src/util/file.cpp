@@ -1,0 +1,37 @@
+#include "util/file.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace stellar::util {
+
+std::string readFile(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) {
+    throw std::runtime_error("cannot read file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    throw std::runtime_error("error while reading file: " + path);
+  }
+  return buffer.str();
+}
+
+void writeFile(const std::string& path, const std::string& contents) {
+  std::ofstream out{path, std::ios::binary | std::ios::trunc};
+  if (!out) {
+    throw std::runtime_error("cannot open file for writing: " + path);
+  }
+  out << contents;
+  if (!out) {
+    throw std::runtime_error("error while writing file: " + path);
+  }
+}
+
+bool fileExists(const std::string& path) {
+  return std::ifstream{path}.good();
+}
+
+}  // namespace stellar::util

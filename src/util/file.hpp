@@ -1,0 +1,16 @@
+// Minimal whole-file I/O helpers (rule-set persistence, trace archiving).
+#pragma once
+
+#include <string>
+
+namespace stellar::util {
+
+/// Reads an entire file; throws std::runtime_error if unreadable.
+[[nodiscard]] std::string readFile(const std::string& path);
+
+/// Writes (truncating) an entire file; throws std::runtime_error on error.
+void writeFile(const std::string& path, const std::string& contents);
+
+[[nodiscard]] bool fileExists(const std::string& path);
+
+}  // namespace stellar::util

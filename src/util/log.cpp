@@ -1,0 +1,43 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace stellar::util {
+
+namespace {
+std::atomic<LogLevel> gLevel{LogLevel::Warn};
+std::mutex gWriteMutex;
+
+const char* levelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void setLogLevel(LogLevel level) noexcept {
+  gLevel.store(level, std::memory_order_relaxed);
+}
+
+LogLevel logLevel() noexcept {
+  return gLevel.load(std::memory_order_relaxed);
+}
+
+void logLine(LogLevel level, std::string_view component, std::string_view message) {
+  if (static_cast<int>(level) < static_cast<int>(logLevel())) {
+    return;
+  }
+  const std::lock_guard<std::mutex> lock{gWriteMutex};
+  std::fprintf(stderr, "[%s] %.*s: %.*s\n", levelName(level),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace stellar::util

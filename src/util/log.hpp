@@ -1,0 +1,41 @@
+// Leveled logger. Agent transcripts (Fig 10) are emitted through a separate
+// transcript facility in src/agents; this logger covers diagnostics only.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace stellar::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Process-global minimum level; defaults to Warn so tests/benches stay quiet.
+void setLogLevel(LogLevel level) noexcept;
+[[nodiscard]] LogLevel logLevel() noexcept;
+
+/// Writes one formatted line to stderr if `level` passes the filter.
+void logLine(LogLevel level, std::string_view component, std::string_view message);
+
+/// Stream-style helper: LogStream{LogLevel::Info, "pfs"} << "x=" << x;
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+  ~LogStream() { logLine(level_, component_, buffer_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    buffer_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream buffer_;
+};
+
+}  // namespace stellar::util

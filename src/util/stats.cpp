@@ -1,0 +1,132 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace stellar::util {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (const double x : xs) {
+    total += x;
+  }
+  return total / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) {
+    return 0.0;
+  }
+  const double m = mean(xs);
+  double accum = 0.0;
+  for (const double x : xs) {
+    const double d = x - m;
+    accum += d * d;
+  }
+  return accum / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) {
+  return std::sqrt(variance(xs));
+}
+
+double median(std::vector<double> xs) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  std::sort(xs.begin(), xs.end());
+  const std::size_t n = xs.size();
+  if (n % 2 == 1) {
+    return xs[n / 2];
+  }
+  return 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  if (p <= 0.0) {
+    return *std::min_element(xs.begin(), xs.end());
+  }
+  if (p >= 100.0) {
+    return *std::max_element(xs.begin(), xs.end());
+  }
+  std::sort(xs.begin(), xs.end());
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+namespace {
+// Two-sided 90% Student-t critical values by degrees of freedom (1..30).
+constexpr double kT90[] = {
+    6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833, 1.812,
+    1.796, 1.782, 1.771, 1.761, 1.753, 1.746, 1.740, 1.734, 1.729, 1.725,
+    1.721, 1.717, 1.714, 1.711, 1.708, 1.706, 1.703, 1.701, 1.699, 1.697};
+
+double t90(std::size_t dof) {
+  if (dof == 0) {
+    return 0.0;
+  }
+  if (dof <= 30) {
+    return kT90[dof - 1];
+  }
+  return 1.645;  // normal approximation
+}
+}  // namespace
+
+double confidenceInterval90(std::span<const double> xs) {
+  const std::size_t n = xs.size();
+  if (n < 2) {
+    return 0.0;
+  }
+  const double se = stddev(xs) / std::sqrt(static_cast<double>(n));
+  return t90(n - 1) * se;
+}
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.n = xs.size();
+  if (xs.empty()) {
+    return s;
+  }
+  s.mean = mean(xs);
+  s.ci90 = confidenceInterval90(xs);
+  s.min = *std::min_element(xs.begin(), xs.end());
+  s.max = *std::max_element(xs.begin(), xs.end());
+  return s;
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument("pearson: size mismatch");
+  }
+  if (xs.size() < 2) {
+    return 0.0;
+  }
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) {
+    return 0.0;
+  }
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace stellar::util

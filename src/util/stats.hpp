@@ -1,0 +1,40 @@
+// Summary statistics used by the experiment harness.
+//
+// The paper reports the mean of eight repeats with a 90% confidence
+// interval; confidenceInterval90 reproduces that (Student-t based).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace stellar::util {
+
+[[nodiscard]] double mean(std::span<const double> xs);
+[[nodiscard]] double variance(std::span<const double> xs);  // sample (n-1)
+[[nodiscard]] double stddev(std::span<const double> xs);
+[[nodiscard]] double median(std::vector<double> xs);  // by value: sorts a copy
+
+/// Linear-interpolation percentile, p in [0, 100].
+[[nodiscard]] double percentile(std::vector<double> xs, double p);
+
+/// Half-width of the two-sided 90% confidence interval of the mean,
+/// using Student-t critical values (exact table for small n, normal
+/// approximation beyond). Returns 0 for n < 2.
+[[nodiscard]] double confidenceInterval90(std::span<const double> xs);
+
+/// Mean and CI bundled; what every figure harness reports per bar/point.
+struct Summary {
+  double mean = 0.0;
+  double ci90 = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t n = 0;
+};
+
+[[nodiscard]] Summary summarize(std::span<const double> xs);
+
+/// Pearson correlation; used in tests to validate monotone responses.
+[[nodiscard]] double pearson(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace stellar::util

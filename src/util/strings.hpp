@@ -1,0 +1,33 @@
+// Small string helpers shared across modules (parsers, the RAG tokenizer,
+// the report writers). Kept allocation-conscious: views in, strings out
+// only where ownership is needed.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace stellar::util {
+
+[[nodiscard]] std::string toLower(std::string_view s);
+[[nodiscard]] std::string_view trim(std::string_view s);
+[[nodiscard]] bool startsWith(std::string_view s, std::string_view prefix);
+[[nodiscard]] bool endsWith(std::string_view s, std::string_view suffix);
+[[nodiscard]] bool containsIgnoreCase(std::string_view haystack, std::string_view needle);
+
+/// Splits on a single delimiter character; empty fields preserved.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char delim);
+
+/// Splits on any whitespace run; no empty fields.
+[[nodiscard]] std::vector<std::string> splitWhitespace(std::string_view s);
+
+[[nodiscard]] std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Replaces every occurrence of `from` with `to`.
+[[nodiscard]] std::string replaceAll(std::string_view s, std::string_view from,
+                                     std::string_view to);
+
+/// printf-style double formatting with fixed decimals.
+[[nodiscard]] std::string formatDouble(double v, int decimals);
+
+}  // namespace stellar::util

@@ -1,0 +1,78 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+
+namespace stellar::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::addRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::string out;
+  const auto emitRow = [&](const std::vector<std::string>& row) {
+    out += "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : headers_[c];
+      out += " " + cell + std::string(widths[c] - cell.size(), ' ') + " |";
+    }
+    out += "\n";
+  };
+
+  emitRow(headers_);
+  out += "|";
+  for (const std::size_t w : widths) {
+    out += std::string(w + 2, '-') + "|";
+  }
+  out += "\n";
+  for (const auto& row : rows_) {
+    emitRow(row);
+  }
+  return out;
+}
+
+std::string Table::renderCsv() const {
+  std::string out;
+  const auto emitRow = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) {
+        out += ",";
+      }
+      const std::string& cell = row[c];
+      if (cell.find(',') != std::string::npos || cell.find('"') != std::string::npos) {
+        out += '"';
+        for (const char ch : cell) {
+          if (ch == '"') {
+            out += "\"\"";
+          } else {
+            out += ch;
+          }
+        }
+        out += '"';
+      } else {
+        out += cell;
+      }
+    }
+    out += "\n";
+  };
+  emitRow(headers_);
+  for (const auto& row : rows_) {
+    emitRow(row);
+  }
+  return out;
+}
+
+}  // namespace stellar::util

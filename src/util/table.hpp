@@ -1,0 +1,30 @@
+// ASCII table renderer used by the figure/table harnesses in bench/ to
+// print the rows the paper's plots report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace stellar::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; short rows are padded with empty cells.
+  void addRow(std::vector<std::string> cells);
+
+  /// Renders with column-aligned pipes and a header separator.
+  [[nodiscard]] std::string render() const;
+
+  /// Renders as comma-separated values (quotes cells containing commas).
+  [[nodiscard]] std::string renderCsv() const;
+
+  [[nodiscard]] std::size_t rowCount() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace stellar::util

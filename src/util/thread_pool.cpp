@@ -1,0 +1,55 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace stellar::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    stopping_ = true;
+  }
+  available_.notify_all();
+  for (auto& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::workerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock{mutex_};
+      available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stopping and drained
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallelFor(std::size_t count, const std::function<void(std::size_t)>& fn) {
+  std::vector<std::future<void>> pending;
+  pending.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    pending.push_back(submit([&fn, i] { fn(i); }));
+  }
+  for (auto& f : pending) {
+    f.get();
+  }
+}
+
+}  // namespace stellar::util

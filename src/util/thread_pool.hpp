@@ -1,0 +1,57 @@
+// Fixed-size worker pool used by the experiment harness to run the
+// independent repeats of a configuration (the paper averages 8 runs per
+// case) in parallel. Simulations themselves are single-threaded and
+// deterministic; parallelism lives only at the repeat/sweep level, so
+// results are identical regardless of worker count.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace stellar::util {
+
+class ThreadPool {
+ public:
+  /// threads == 0 selects hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Schedules a task; the returned future rethrows task exceptions.
+  template <typename F>
+  [[nodiscard]] auto submit(F&& task) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto packaged = std::make_shared<std::packaged_task<R()>>(std::forward<F>(task));
+    std::future<R> result = packaged->get_future();
+    {
+      const std::lock_guard<std::mutex> lock{mutex_};
+      queue_.emplace_back([packaged] { (*packaged)(); });
+    }
+    available_.notify_one();
+    return result;
+  }
+
+  /// Runs fn(i) for i in [0, count) across the pool and waits for all.
+  void parallelFor(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+  [[nodiscard]] std::size_t threadCount() const noexcept { return workers_.size(); }
+
+ private:
+  void workerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable available_;
+  bool stopping_ = false;
+};
+
+}  // namespace stellar::util

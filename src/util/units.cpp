@@ -1,0 +1,40 @@
+#include "util/units.hpp"
+
+#include <cstdio>
+
+namespace stellar::util {
+
+std::string formatBytes(std::uint64_t bytes) {
+  const char* suffix = "B";
+  double value = static_cast<double>(bytes);
+  if (bytes >= kTiB) {
+    value /= static_cast<double>(kTiB);
+    suffix = "TiB";
+  } else if (bytes >= kGiB) {
+    value /= static_cast<double>(kGiB);
+    suffix = "GiB";
+  } else if (bytes >= kMiB) {
+    value /= static_cast<double>(kMiB);
+    suffix = "MiB";
+  } else if (bytes >= kKiB) {
+    value /= static_cast<double>(kKiB);
+    suffix = "KiB";
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.1f %s", value, suffix);
+  return buf;
+}
+
+std::string formatSeconds(double seconds) {
+  char buf[48];
+  if (seconds >= 1.0) {
+    std::snprintf(buf, sizeof buf, "%.2f s", seconds);
+  } else if (seconds >= 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.2f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f us", seconds * 1e6);
+  }
+  return buf;
+}
+
+}  // namespace stellar::util

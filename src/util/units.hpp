@@ -1,0 +1,26 @@
+// Byte-size and time units used throughout the STELLAR reproduction.
+//
+// All byte quantities in the codebase are IEC (powers of two) because that
+// is what Lustre's tunables use (e.g. max_dirty_mb is in MiB).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace stellar::util {
+
+inline constexpr std::uint64_t kKiB = 1024ULL;
+inline constexpr std::uint64_t kMiB = 1024ULL * kKiB;
+inline constexpr std::uint64_t kGiB = 1024ULL * kMiB;
+inline constexpr std::uint64_t kTiB = 1024ULL * kGiB;
+
+/// Lustre client page size; RPC sizes are expressed in pages of this size.
+inline constexpr std::uint64_t kPageSize = 4 * kKiB;
+
+/// Renders a byte count as a short human-readable string ("64.0 KiB").
+[[nodiscard]] std::string formatBytes(std::uint64_t bytes);
+
+/// Renders a duration in seconds as "123.4 s" / "56.7 ms" as appropriate.
+[[nodiscard]] std::string formatSeconds(double seconds);
+
+}  // namespace stellar::util

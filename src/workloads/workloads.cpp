@@ -1,0 +1,538 @@
+#include "workloads/workloads.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace stellar::workloads {
+
+using pfs::FileId;
+using pfs::IoOp;
+using pfs::JobSpec;
+using util::kKiB;
+using util::kMiB;
+
+namespace {
+
+std::uint64_t scaled(std::uint64_t value, double scale, std::uint64_t minimum = 1) {
+  const auto v = static_cast<std::uint64_t>(static_cast<double>(value) * scale);
+  return std::max(minimum, v);
+}
+
+void requireOptions(const WorkloadOptions& opt) {
+  if (opt.ranks == 0) {
+    throw std::invalid_argument("workload needs at least one rank");
+  }
+  if (opt.scale <= 0.0 || opt.scale > 1.0) {
+    throw std::invalid_argument("workload scale must be in (0, 1]");
+  }
+}
+
+/// Shared-file IOR: rank 0 creates, everyone else opens after a barrier.
+void emitSharedOpen(JobSpec& job, FileId file) {
+  for (std::uint32_t r = 0; r < job.rankCount(); ++r) {
+    if (r == 0) {
+      job.ranks[r].push_back(IoOp::create(file));
+    }
+    job.ranks[r].push_back(IoOp::barrier());
+    if (r != 0) {
+      job.ranks[r].push_back(IoOp::open(file));
+    }
+  }
+}
+
+/// IOR write or read phase over a shared file. Each rank covers
+/// [blockBase, blockBase+blockBytes) in `xferBytes` transfers, randomly
+/// permuted when `randomOrder` (IOR -z), sequential otherwise. Read phases
+/// shift each rank's block by one *node* worth of ranks so the page cache
+/// never serves them (IOR -C reorderTasks).
+void emitIorPhase(JobSpec& job, FileId file, std::uint64_t blockBytes,
+                  std::uint64_t xferBytes, std::uint32_t segments, bool isWrite,
+                  bool randomOrder, std::uint32_t rankShift, util::Rng& rng) {
+  const std::uint32_t ranks = job.rankCount();
+  const std::uint64_t segmentSpan = blockBytes * ranks;
+  for (std::uint32_t r = 0; r < ranks; ++r) {
+    const std::uint32_t effRank = (r + rankShift) % ranks;
+    const std::uint64_t xfersPerBlock = blockBytes / xferBytes;
+    std::vector<std::uint64_t> order(xfersPerBlock);
+    std::iota(order.begin(), order.end(), 0);
+    for (std::uint32_t seg = 0; seg < segments; ++seg) {
+      const std::uint64_t base =
+          static_cast<std::uint64_t>(seg) * segmentSpan + effRank * blockBytes;
+      if (randomOrder) {
+        util::Rng perRank{util::mix64(rng.next(), r)};
+        perRank.shuffle(order);
+      }
+      for (const std::uint64_t i : order) {
+        const std::uint64_t offset = base + i * xferBytes;
+        job.ranks[r].push_back(isWrite ? IoOp::write(file, offset, xferBytes)
+                                       : IoOp::read(file, offset, xferBytes));
+      }
+    }
+    if (isWrite) {
+      job.ranks[r].push_back(IoOp::fsync(file));
+    }
+    job.ranks[r].push_back(IoOp::barrier());
+  }
+}
+
+JobSpec iorCommon(const std::string& name, std::uint64_t blockBytes,
+                  std::uint64_t xferBytes, std::uint32_t segments, bool randomOrder,
+                  const WorkloadOptions& opt) {
+  requireOptions(opt);
+  JobSpec job;
+  job.name = name;
+  job.ranks.resize(opt.ranks);
+  const FileId shared = job.addFile("/ior/testfile");
+
+  util::Rng rng{opt.seed};
+  emitSharedOpen(job, shared);
+  emitIorPhase(job, shared, blockBytes, xferBytes, segments, /*isWrite=*/true,
+               randomOrder, /*rankShift=*/0, rng);
+  // Read back with ranks shifted by one node (10 ranks) to defeat caching.
+  const std::uint32_t shift = std::max<std::uint32_t>(1, opt.ranks / 5);
+  emitIorPhase(job, shared, blockBytes, xferBytes, segments, /*isWrite=*/false,
+               randomOrder, shift, rng);
+  for (std::uint32_t r = 0; r < opt.ranks; ++r) {
+    job.ranks[r].push_back(IoOp::close(shared));
+  }
+  return job;
+}
+
+}  // namespace
+
+JobSpec ior64k(const WorkloadOptions& opt) {
+  // Paper: each process writes/reads one 128 MiB block with 64 KiB random
+  // transfers to a shared file.
+  const std::uint64_t block = scaled(128 * kMiB, opt.scale, 64 * kKiB);
+  const std::uint64_t xfer = 64 * kKiB;
+  return iorCommon("IOR_64K", std::max(block / xfer, std::uint64_t{1}) * xfer, xfer, 1,
+                   /*randomOrder=*/true, opt);
+}
+
+JobSpec ior16m(const WorkloadOptions& opt) {
+  // Paper: three 128 MiB blocks per process with sequential 16 MiB
+  // transfers to a shared file. Blocks keep at least four transfers so
+  // the stream stays recognizably sequential at reduced scale.
+  const std::uint64_t xfer = 16 * kMiB;
+  const std::uint64_t block = std::max(scaled(128 * kMiB, opt.scale, 4 * xfer) / xfer,
+                                       std::uint64_t{4}) *
+                              xfer;
+  return iorCommon("IOR_16M", block, xfer, 3, /*randomOrder=*/false, opt);
+}
+
+JobSpec mdworkbench(std::uint64_t fileBytes, const WorkloadOptions& opt) {
+  requireOptions(opt);
+  JobSpec job;
+  job.name = fileBytes >= 8 * kKiB ? "MDWorkbench_8K" : "MDWorkbench_2K";
+  if (fileBytes != 2 * kKiB && fileBytes != 8 * kKiB) {
+    job.name = "MDWorkbench_" + std::to_string(fileBytes / kKiB) + "K";
+  }
+  job.ranks.resize(opt.ranks);
+
+  // Paper: 10 directories per process, 400 files each, three rounds of
+  // (create+write+close | stat | open+read+close | unlink) per file. The
+  // phases are grouped across files, as MDWorkbench's precreate/benchmark
+  // structure runs them.
+  const std::uint32_t dirsPerRank = 10;
+  const auto filesPerDir = static_cast<std::uint32_t>(scaled(400, opt.scale, 4));
+  const std::uint32_t rounds = 3;
+
+  std::vector<std::vector<FileId>> rankFiles(opt.ranks);
+  for (std::uint32_t r = 0; r < opt.ranks; ++r) {
+    for (std::uint32_t d = 0; d < dirsPerRank; ++d) {
+      const pfs::DirId dir = job.addDir("/mdw/rank" + std::to_string(r) + "/dir" +
+                                        std::to_string(d));
+      job.ranks[r].push_back(IoOp::mkdir(dir));
+      for (std::uint32_t f = 0; f < filesPerDir; ++f) {
+        rankFiles[r].push_back(job.addFile(
+            "/mdw/rank" + std::to_string(r) + "/dir" + std::to_string(d) + "/file" +
+                std::to_string(f),
+            dir));
+      }
+    }
+  }
+
+  for (std::uint32_t round = 0; round < rounds; ++round) {
+    for (std::uint32_t r = 0; r < opt.ranks; ++r) {
+      auto& prog = job.ranks[r];
+      for (const FileId f : rankFiles[r]) {
+        prog.push_back(IoOp::create(f));
+        prog.push_back(IoOp::write(f, 0, fileBytes));
+        prog.push_back(IoOp::close(f));
+      }
+      prog.push_back(IoOp::barrier());
+      for (const FileId f : rankFiles[r]) {
+        prog.push_back(IoOp::stat(f));
+      }
+      prog.push_back(IoOp::barrier());
+      for (const FileId f : rankFiles[r]) {
+        prog.push_back(IoOp::open(f));
+        prog.push_back(IoOp::read(f, 0, fileBytes));
+        prog.push_back(IoOp::close(f));
+      }
+      prog.push_back(IoOp::barrier());
+      for (const FileId f : rankFiles[r]) {
+        prog.push_back(IoOp::unlink(f));
+      }
+      prog.push_back(IoOp::barrier());
+    }
+  }
+  return job;
+}
+
+JobSpec io500(const WorkloadOptions& opt) {
+  requireOptions(opt);
+  JobSpec job;
+  job.name = "IO500";
+  job.ranks.resize(opt.ranks);
+  util::Rng rng{opt.seed};
+
+  // --- declarations -------------------------------------------------------
+  // IOR-Easy: file per process, large sequential transfers.
+  std::vector<FileId> easyFiles;
+  easyFiles.reserve(opt.ranks);
+  for (std::uint32_t r = 0; r < opt.ranks; ++r) {
+    easyFiles.push_back(job.addFile("/io500/ior-easy/rank" + std::to_string(r)));
+  }
+  // IOR-Hard: one shared file, small unaligned transfers (47008 bytes).
+  const FileId hardFile = job.addFile("/io500/ior-hard/file");
+  // MDTest-Easy: empty files, per-rank dirs; MDTest-Hard: 3901-byte files
+  // in one shared dir.
+  const auto easyCount = static_cast<std::uint32_t>(scaled(300, opt.scale, 4));
+  const auto hardCount = static_cast<std::uint32_t>(scaled(200, opt.scale, 4));
+  std::vector<std::vector<FileId>> mdtEasy(opt.ranks);
+  std::vector<std::vector<FileId>> mdtHard(opt.ranks);
+  const pfs::DirId hardDir = job.addDir("/io500/mdt-hard");
+  std::vector<pfs::DirId> easyDirs;
+  for (std::uint32_t r = 0; r < opt.ranks; ++r) {
+    easyDirs.push_back(job.addDir("/io500/mdt-easy/rank" + std::to_string(r)));
+    for (std::uint32_t f = 0; f < easyCount; ++f) {
+      mdtEasy[r].push_back(job.addFile(
+          "/io500/mdt-easy/rank" + std::to_string(r) + "/f" + std::to_string(f),
+          easyDirs[r]));
+    }
+    for (std::uint32_t f = 0; f < hardCount; ++f) {
+      mdtHard[r].push_back(job.addFile(
+          "/io500/mdt-hard/r" + std::to_string(r) + "_f" + std::to_string(f), hardDir));
+    }
+  }
+
+  // Minimums keep the phase balance representative at small scales: the
+  // paper's IO500 is dominated by its IOR phases, so the data volume must
+  // not shrink below the point where metadata ops overwhelm the mix.
+  const std::uint64_t easyXfer = 1 * kMiB;
+  const std::uint64_t easyBlock =
+      std::max(scaled(64 * kMiB, opt.scale, 16 * kMiB) / easyXfer, std::uint64_t{1}) *
+      easyXfer;
+  const std::uint64_t hardXfer = 47008;  // IOR-hard's deliberately awkward size
+  const auto hardXfers = static_cast<std::uint32_t>(scaled(512, opt.scale, 96));
+  const std::uint64_t mdtHardBytes = 3901;
+
+  const auto barrierAll = [&job] {
+    for (auto& prog : job.ranks) {
+      prog.push_back(IoOp::barrier());
+    }
+  };
+
+  // --- phase 1: ior-easy write (file per process, sequential) -------------
+  for (std::uint32_t r = 0; r < opt.ranks; ++r) {
+    auto& prog = job.ranks[r];
+    prog.push_back(IoOp::create(easyFiles[r]));
+    for (std::uint64_t off = 0; off < easyBlock; off += easyXfer) {
+      prog.push_back(IoOp::write(easyFiles[r], off, easyXfer));
+    }
+    prog.push_back(IoOp::fsync(easyFiles[r]));
+    prog.push_back(IoOp::close(easyFiles[r]));
+  }
+  barrierAll();
+
+  // --- phase 2: mdtest-easy create (empty files) ---------------------------
+  for (std::uint32_t r = 0; r < opt.ranks; ++r) {
+    auto& prog = job.ranks[r];
+    prog.push_back(IoOp::mkdir(easyDirs[r]));
+    for (const FileId f : mdtEasy[r]) {
+      prog.push_back(IoOp::create(f));
+      prog.push_back(IoOp::close(f));
+    }
+  }
+  barrierAll();
+
+  // --- phase 3: ior-hard write (shared file, interleaved small writes) ----
+  for (std::uint32_t r = 0; r < opt.ranks; ++r) {
+    if (r == 0) {
+      job.ranks[r].push_back(IoOp::create(hardFile));
+    }
+  }
+  barrierAll();
+  for (std::uint32_t r = 0; r < opt.ranks; ++r) {
+    auto& prog = job.ranks[r];
+    if (r != 0) {
+      prog.push_back(IoOp::open(hardFile));
+    }
+    // Strided layout: write i goes to (i * ranks + rank) * xfer.
+    for (std::uint32_t i = 0; i < hardXfers; ++i) {
+      const std::uint64_t offset =
+          (static_cast<std::uint64_t>(i) * opt.ranks + r) * hardXfer;
+      prog.push_back(IoOp::write(hardFile, offset, hardXfer));
+    }
+    prog.push_back(IoOp::fsync(hardFile));
+  }
+  barrierAll();
+
+  // --- phase 4: mdtest-hard create (small files, shared dir) --------------
+  for (std::uint32_t r = 0; r < opt.ranks; ++r) {
+    if (r == 0) {
+      job.ranks[r].push_back(IoOp::mkdir(hardDir));
+    }
+  }
+  barrierAll();
+  for (std::uint32_t r = 0; r < opt.ranks; ++r) {
+    auto& prog = job.ranks[r];
+    for (const FileId f : mdtHard[r]) {
+      prog.push_back(IoOp::create(f));
+      prog.push_back(IoOp::write(f, 0, mdtHardBytes));
+      prog.push_back(IoOp::close(f));
+    }
+  }
+  barrierAll();
+
+  // --- phase 5: ior-easy read (shifted by a node) --------------------------
+  const std::uint32_t shift = std::max<std::uint32_t>(1, opt.ranks / 5);
+  for (std::uint32_t r = 0; r < opt.ranks; ++r) {
+    auto& prog = job.ranks[r];
+    const FileId f = easyFiles[(r + shift) % opt.ranks];
+    prog.push_back(IoOp::open(f));
+    for (std::uint64_t off = 0; off < easyBlock; off += easyXfer) {
+      prog.push_back(IoOp::read(f, off, easyXfer));
+    }
+    prog.push_back(IoOp::close(f));
+  }
+  barrierAll();
+
+  // --- phase 6: mdtest-easy stat -------------------------------------------
+  for (std::uint32_t r = 0; r < opt.ranks; ++r) {
+    auto& prog = job.ranks[r];
+    for (const FileId f : mdtEasy[(r + shift) % opt.ranks]) {
+      prog.push_back(IoOp::stat(f));
+    }
+  }
+  barrierAll();
+
+  // --- phase 7: ior-hard read (random order over the strided records) -----
+  for (std::uint32_t r = 0; r < opt.ranks; ++r) {
+    auto& prog = job.ranks[r];
+    const std::uint32_t effRank = (r + shift) % opt.ranks;
+    std::vector<std::uint32_t> order(hardXfers);
+    std::iota(order.begin(), order.end(), 0);
+    util::Rng perRank{util::mix64(rng.next(), r)};
+    perRank.shuffle(order);
+    for (const std::uint32_t i : order) {
+      const std::uint64_t offset =
+          (static_cast<std::uint64_t>(i) * opt.ranks + effRank) * hardXfer;
+      prog.push_back(IoOp::read(hardFile, offset, hardXfer));
+    }
+    prog.push_back(IoOp::close(hardFile));
+  }
+  barrierAll();
+
+  // --- phase 8: mdtest-hard stat + read ------------------------------------
+  for (std::uint32_t r = 0; r < opt.ranks; ++r) {
+    auto& prog = job.ranks[r];
+    for (const FileId f : mdtHard[(r + shift) % opt.ranks]) {
+      prog.push_back(IoOp::stat(f));
+    }
+    for (const FileId f : mdtHard[(r + shift) % opt.ranks]) {
+      prog.push_back(IoOp::open(f));
+      prog.push_back(IoOp::read(f, 0, mdtHardBytes));
+      prog.push_back(IoOp::close(f));
+    }
+  }
+  barrierAll();
+
+  // --- phase 9: deletes -----------------------------------------------------
+  for (std::uint32_t r = 0; r < opt.ranks; ++r) {
+    auto& prog = job.ranks[r];
+    for (const FileId f : mdtEasy[r]) {
+      prog.push_back(IoOp::unlink(f));
+    }
+    for (const FileId f : mdtHard[r]) {
+      prog.push_back(IoOp::unlink(f));
+    }
+    prog.push_back(IoOp::unlink(easyFiles[r]));
+  }
+  barrierAll();
+
+  return job;
+}
+
+JobSpec amrex(const WorkloadOptions& opt) {
+  requireOptions(opt);
+  JobSpec job;
+  job.name = "AMReX";
+  job.ranks.resize(opt.ranks);
+
+  // AMReX plotfile pattern: per checkpoint, ranks funnel their FABs into a
+  // bounded set of shared level files (nfiles=8 by default in AMReX's
+  // VisMF); each rank appends a large contiguous chunk. Compute phases
+  // separate the dumps.
+  const std::uint32_t plots = 3;
+  const std::uint32_t levels = 3;
+  const std::uint32_t nfiles = 8;
+  const std::uint64_t chunk =
+      std::max(scaled(32 * kMiB, opt.scale, 2 * kMiB) / (256 * kKiB), std::uint64_t{1}) *
+      256 * kKiB;
+  // Compute scales with the mesh (and hence with the data volume) so the
+  // compute/I-O balance stays representative at reduced scale.
+  const double computeSeconds = std::max(0.05, 0.5 * opt.scale);
+
+  for (std::uint32_t p = 0; p < plots; ++p) {
+    const pfs::DirId plotDir = job.addDir("/amrex/plt" + std::to_string(p));
+    const FileId header = job.addFile("/amrex/plt" + std::to_string(p) + "/Header",
+                                      plotDir);
+    std::vector<std::vector<FileId>> levelFiles(levels);
+    for (std::uint32_t l = 0; l < levels; ++l) {
+      for (std::uint32_t f = 0; f < nfiles; ++f) {
+        levelFiles[l].push_back(job.addFile("/amrex/plt" + std::to_string(p) +
+                                                "/Level_" + std::to_string(l) +
+                                                "/Cell_D_" + std::to_string(f),
+                                            plotDir));
+      }
+    }
+
+    for (std::uint32_t r = 0; r < opt.ranks; ++r) {
+      auto& prog = job.ranks[r];
+      prog.push_back(IoOp::compute(computeSeconds));
+      if (r == 0) {
+        prog.push_back(IoOp::mkdir(plotDir));
+        prog.push_back(IoOp::create(header));
+        prog.push_back(IoOp::write(header, 0, 24 * kKiB));
+        prog.push_back(IoOp::close(header));
+        for (std::uint32_t l = 0; l < levels; ++l) {
+          for (const FileId f : levelFiles[l]) {
+            prog.push_back(IoOp::create(f));
+            prog.push_back(IoOp::close(f));
+          }
+        }
+      }
+      prog.push_back(IoOp::barrier());
+      // Each rank writes its FAB chunk into its assigned level files; the
+      // coarser levels shrink by 4x per level (AMR refinement ratio 2 in
+      // 2D).
+      for (std::uint32_t l = 0; l < levels; ++l) {
+        const FileId f = levelFiles[l][r % nfiles];
+        const std::uint64_t levelChunk = std::max<std::uint64_t>(chunk >> (2 * l),
+                                                                 64 * kKiB);
+        const std::uint64_t offset = (r / nfiles) * levelChunk;
+        prog.push_back(IoOp::open(f));
+        prog.push_back(IoOp::write(f, offset, levelChunk));
+        prog.push_back(IoOp::fsync(f));
+        prog.push_back(IoOp::close(f));
+      }
+      prog.push_back(IoOp::barrier());
+    }
+  }
+  return job;
+}
+
+JobSpec macsio(std::uint64_t objectBytes, const WorkloadOptions& opt) {
+  requireOptions(opt);
+  JobSpec job;
+  job.name = objectBytes >= 16 * kMiB ? "MACSio_16M" : "MACSio_512K";
+  job.ranks.resize(opt.ranks);
+  util::Rng rng{opt.seed};
+
+  // MACSio MIF mode: each rank owns one file per dump and writes its mesh
+  // parts as a sequence of objects whose sizes vary around the nominal
+  // part size (MACSio's -part_size with load imbalance).
+  const std::uint32_t dumps = 2;
+  // At least four objects per dump so the object-stream structure (and the
+  // create/write op balance) survives volume scaling.
+  const std::uint64_t perRankBytes = scaled(96 * kMiB, opt.scale, 4 * objectBytes);
+  const auto objects = static_cast<std::uint32_t>(
+      std::max<std::uint64_t>(1, perRankBytes / objectBytes));
+
+  for (std::uint32_t d = 0; d < dumps; ++d) {
+    const pfs::DirId dir = job.addDir("/macsio/dump" + std::to_string(d));
+    for (std::uint32_t r = 0; r < opt.ranks; ++r) {
+      auto& prog = job.ranks[r];
+      const FileId f = job.addFile("/macsio/dump" + std::to_string(d) + "/part" +
+                                       std::to_string(r) + ".silo",
+                                   dir);
+      if (r == 0) {
+        prog.push_back(IoOp::mkdir(dir));
+      }
+      prog.push_back(IoOp::barrier());
+      prog.push_back(IoOp::compute(0.2));
+      prog.push_back(IoOp::create(f));
+      std::uint64_t offset = 0;
+      util::Rng perRank{util::mix64(rng.next(), r)};
+      for (std::uint32_t o = 0; o < objects; ++o) {
+        // Object size jitter: +/-25% around nominal, 4 KiB aligned.
+        const double factor = perRank.uniform(0.75, 1.25);
+        std::uint64_t size = static_cast<std::uint64_t>(
+                                 static_cast<double>(objectBytes) * factor) /
+                             util::kPageSize * util::kPageSize;
+        size = std::max<std::uint64_t>(size, util::kPageSize);
+        prog.push_back(IoOp::write(f, offset, size));
+        offset += size;
+      }
+      prog.push_back(IoOp::fsync(f));
+      prog.push_back(IoOp::close(f));
+      prog.push_back(IoOp::barrier());
+    }
+  }
+  return job;
+}
+
+JobSpec byName(const std::string& name, const WorkloadOptions& opt) {
+  if (name == "IOR_64K") {
+    return ior64k(opt);
+  }
+  if (name == "IOR_16M") {
+    return ior16m(opt);
+  }
+  if (name == "MDWorkbench_2K") {
+    return mdworkbench(2 * kKiB, opt);
+  }
+  if (name == "MDWorkbench_8K") {
+    return mdworkbench(8 * kKiB, opt);
+  }
+  if (name == "IO500") {
+    return io500(opt);
+  }
+  if (name == "AMReX") {
+    return amrex(opt);
+  }
+  if (name == "MACSio_512K") {
+    return macsio(512 * kKiB, opt);
+  }
+  if (name == "MACSio_16M") {
+    return macsio(16 * kMiB, opt);
+  }
+  throw std::invalid_argument("unknown workload: " + name);
+}
+
+std::vector<std::string> benchmarkNames() {
+  return {"IOR_64K", "IOR_16M", "MDWorkbench_2K", "MDWorkbench_8K", "IO500"};
+}
+
+std::vector<std::string> realAppNames() {
+  return {"AMReX", "MACSio_512K", "MACSio_16M"};
+}
+
+double benchScale() {
+  if (const char* env = std::getenv("STELLAR_SCALE")) {
+    const double v = std::atof(env);
+    if (v > 0.0 && v <= 1.0) {
+      return v;
+    }
+  }
+  return 0.12;
+}
+
+}  // namespace stellar::workloads

@@ -1,0 +1,58 @@
+// Workload generators reproducing the paper's evaluation applications
+// (§5.1.2-§5.1.3):
+//
+//   IOR_64K        random 64 KiB transfers to one shared file
+//   IOR_16M        sequential 16 MiB transfers to one shared file
+//   MDWorkbench_2K metadata benchmark over 2 KiB files
+//   MDWorkbench_8K metadata benchmark over 8 KiB files
+//   IO500          the multi-phase IOR-Easy/Hard + MDTest-Easy/Hard mix
+//   AMReX          block-structured AMR plotfile I/O kernel (shared level
+//                  files, large contiguous chunks, interleaved compute)
+//   MACSio_512K    MIF-mode multi-physics proxy, 512 KiB objects
+//   MACSio_16M     MIF-mode multi-physics proxy, 16 MiB objects
+//
+// All generators take a `scale` in (0, 1] that shrinks data/file volume
+// proportionally so the discrete-event simulation stays fast; the I/O
+// *pattern* (access sizes, sharing, phase structure) is scale-invariant,
+// which is what the tuner responds to.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pfs/job.hpp"
+
+namespace stellar::workloads {
+
+struct WorkloadOptions {
+  std::uint32_t ranks = 50;       ///< MPI processes (paper: 50 across 5 nodes)
+  double scale = 1.0;             ///< volume scale factor, pattern-preserving
+  std::uint64_t seed = 42;        ///< randomization seed (IOR -z ordering)
+};
+
+[[nodiscard]] pfs::JobSpec ior64k(const WorkloadOptions& opt = {});
+[[nodiscard]] pfs::JobSpec ior16m(const WorkloadOptions& opt = {});
+[[nodiscard]] pfs::JobSpec mdworkbench(std::uint64_t fileBytes,
+                                       const WorkloadOptions& opt = {});
+[[nodiscard]] pfs::JobSpec io500(const WorkloadOptions& opt = {});
+[[nodiscard]] pfs::JobSpec amrex(const WorkloadOptions& opt = {});
+[[nodiscard]] pfs::JobSpec macsio(std::uint64_t objectBytes,
+                                  const WorkloadOptions& opt = {});
+
+/// Canonical names used by the figures: IOR_64K, IOR_16M, MDWorkbench_2K,
+/// MDWorkbench_8K, IO500, AMReX, MACSio_512K, MACSio_16M.
+[[nodiscard]] pfs::JobSpec byName(const std::string& name,
+                                  const WorkloadOptions& opt = {});
+
+/// The five benchmark workloads of Fig. 5/6, in paper order.
+[[nodiscard]] std::vector<std::string> benchmarkNames();
+
+/// The three real-application workloads of Fig. 7.
+[[nodiscard]] std::vector<std::string> realAppNames();
+
+/// Volume scale used by the bench harnesses; reads STELLAR_SCALE from the
+/// environment (default 0.2). Full paper-scale is scale=1.
+[[nodiscard]] double benchScale();
+
+}  // namespace stellar::workloads

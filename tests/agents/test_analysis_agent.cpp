@@ -1,0 +1,118 @@
+// Analysis Agent: report features, follow-up answers, query logging.
+#include <gtest/gtest.h>
+
+#include "agents/analysis_agent.hpp"
+#include "darshan/recorder.hpp"
+#include "pfs/simulator.hpp"
+#include "workloads/workloads.hpp"
+
+namespace stellar::agents {
+namespace {
+
+struct Fixture {
+  df::DarshanTables tables;
+  llm::TokenMeter meter;
+  Transcript transcript;
+
+  explicit Fixture(const char* workload) {
+    pfs::PfsSimulator sim;
+    workloads::WorkloadOptions opt;
+    opt.ranks = 10;
+    opt.scale = 0.02;
+    const pfs::JobSpec job = workloads::byName(workload, opt);
+    const pfs::RunResult run = sim.run(job, pfs::PfsConfig{}, 4);
+    tables = df::tablesFromLog(darshan::characterize(job, run));
+  }
+
+  AnalysisAgent agent() {
+    return AnalysisAgent{tables, llm::gpt4o(), meter, transcript};
+  }
+};
+
+TEST(AnalysisAgent, ClassifiesMdWorkbenchAsMetadataIntensive) {
+  Fixture fx{"MDWorkbench_8K"};
+  auto agent = fx.agent();
+  const IoReport report = agent.initialReport();
+  EXPECT_GT(report.context.metaOpShare, 0.6);
+  EXPECT_GT(report.context.smallFileShare, 0.9);
+  EXPECT_EQ(report.context.dominantAccessSize, 8 * 1024u);
+  EXPECT_NE(report.text.find("metadata-intensive"), std::string::npos);
+}
+
+TEST(AnalysisAgent, ClassifiesIor16mAsStreaming) {
+  Fixture fx{"IOR_16M"};
+  auto agent = fx.agent();
+  const IoReport report = agent.initialReport();
+  EXPECT_LT(report.context.metaOpShare, 0.2);
+  EXPECT_GT(report.context.sequentialShare, 0.6);
+  EXPECT_DOUBLE_EQ(report.context.sharedFileShare, 1.0);
+  EXPECT_EQ(report.context.dominantAccessSize, 16u << 20);
+  EXPECT_NE(report.text.find("large sequential"), std::string::npos);
+}
+
+TEST(AnalysisAgent, Ior64kIsRandomSmall) {
+  Fixture fx{"IOR_64K"};
+  auto agent = fx.agent();
+  const IoReport report = agent.initialReport();
+  EXPECT_EQ(report.context.dominantAccessSize, 64u * 1024);
+  EXPECT_LT(report.context.sequentialShare, 0.5);
+}
+
+TEST(AnalysisAgent, ReportRunsRealQueriesAndLogsThem) {
+  Fixture fx{"IOR_16M"};
+  auto agent = fx.agent();
+  (void)agent.initialReport();
+  EXPECT_GE(agent.queriesRun().size(), 5u);
+  EXPECT_GE(fx.transcript.size(), agent.queriesRun().size());
+  // Tokens were accounted against the analysis conversation.
+  EXPECT_GT(fx.meter.totals("analysis-agent").inputTokens, 0u);
+}
+
+TEST(AnalysisAgent, FollowUpAnswersAreSpecific) {
+  Fixture fx{"MDWorkbench_8K"};
+  auto agent = fx.agent();
+  (void)agent.initialReport();
+
+  const std::string sizes = agent.answerFollowUp(FollowUpQuestion::FileSizeDistribution);
+  EXPECT_NE(sizes.find("8.0 KiB"), std::string::npos) << sizes;
+
+  const std::string ratio = agent.answerFollowUp(FollowUpQuestion::MetaToDataRatio);
+  EXPECT_NE(ratio.find("ratio"), std::string::npos);
+
+  const std::string sharing = agent.answerFollowUp(FollowUpQuestion::SharingStructure);
+  EXPECT_NE(sharing.find("file-per-process"), std::string::npos) << sharing;
+}
+
+TEST(AnalysisAgent, SharedFileFollowUpOnIor) {
+  Fixture fx{"IOR_16M"};
+  auto agent = fx.agent();
+  (void)agent.initialReport();
+  const std::string sharing = agent.answerFollowUp(FollowUpQuestion::SharingStructure);
+  EXPECT_NE(sharing.find("multiple"), std::string::npos) << sharing;
+  const std::string balance = agent.answerFollowUp(FollowUpQuestion::RankBalance);
+  EXPECT_FALSE(balance.empty());
+  const std::string pattern = agent.answerFollowUp(FollowUpQuestion::AccessPattern);
+  EXPECT_NE(pattern.find("1677"), std::string::npos) << pattern;  // 16 MiB = 16777216
+}
+
+TEST(AnalysisAgent, EveryQuestionHasText) {
+  for (const auto q :
+       {FollowUpQuestion::FileSizeDistribution, FollowUpQuestion::MetaToDataRatio,
+        FollowUpQuestion::AccessPattern, FollowUpQuestion::RankBalance,
+        FollowUpQuestion::SharingStructure}) {
+    EXPECT_GT(std::string{followUpQuestionText(q)}.size(), 10u);
+  }
+}
+
+TEST(Transcript, RendersNumberedActorBlocks) {
+  Transcript transcript;
+  transcript.add("tuning-agent", "attempt 1", "line one\nline two");
+  transcript.add("system", "run result", "1.5 s");
+  const std::string text = transcript.render();
+  EXPECT_NE(text.find("[1] tuning-agent — attempt 1"), std::string::npos);
+  EXPECT_NE(text.find("[2] system — run result"), std::string::npos);
+  EXPECT_NE(text.find("    line two"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stellar::agents

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "baselines/expert.hpp"
+#include "baselines/oracle.hpp"
+#include "workloads/workloads.hpp"
+
+namespace stellar::baselines {
+namespace {
+
+TEST(Expert, ConfigsExistAndValidateForAllWorkloads) {
+  const pfs::BoundsContext ctx;
+  for (const std::string& name : workloads::benchmarkNames()) {
+    EXPECT_TRUE(pfs::validateConfig(expertConfig(name), ctx).empty()) << name;
+    EXPECT_FALSE(expertRationale(name).empty()) << name;
+  }
+  for (const std::string& name : workloads::realAppNames()) {
+    EXPECT_TRUE(pfs::validateConfig(expertConfig(name), ctx).empty()) << name;
+  }
+  EXPECT_THROW((void)expertConfig("Unknown"), std::invalid_argument);
+  EXPECT_THROW((void)expertRationale("Unknown"), std::invalid_argument);
+}
+
+TEST(Expert, ConfigsEncodeWorkloadSpecificJudgment) {
+  // The expert stripes wide for shared large I/O, keeps one stripe for
+  // small-file metadata loads, and sizes lock caches for MDWorkbench.
+  EXPECT_EQ(expertConfig("IOR_16M").stripe_count, -1);
+  EXPECT_EQ(expertConfig("MDWorkbench_8K").stripe_count, 1);
+  EXPECT_GT(expertConfig("MDWorkbench_8K").ldlm_lru_size, 100000);
+  EXPECT_EQ(expertConfig("MACSio_512K").stripe_count, 1);
+  EXPECT_GT(expertConfig("AMReX").osc_max_dirty_mb, 512);
+}
+
+TEST(Oracle, CandidateValuesStayInBoundsAndCoverEndpoints) {
+  pfs::PfsSimulator sim;
+  const pfs::PfsConfig cfg;
+  for (const std::string& name : pfs::PfsConfig::tunableNames()) {
+    const auto values = candidateValues(sim, cfg, name, 5);
+    ASSERT_FALSE(values.empty()) << name;
+    const auto bounds = pfs::paramBounds(name, cfg, sim.boundsContext());
+    ASSERT_TRUE(bounds.has_value());
+    EXPECT_EQ(values.front(), bounds->min) << name;
+    EXPECT_EQ(values.back(), bounds->max) << name;
+    for (const auto v : values) {
+      EXPECT_GE(v, bounds->min) << name;
+      EXPECT_LE(v, bounds->max) << name;
+    }
+  }
+}
+
+TEST(Oracle, StripeCountEnumeratesDiscreteDomainWithoutZero) {
+  pfs::PfsSimulator sim;
+  const auto values = candidateValues(sim, pfs::PfsConfig{}, "lov.stripe_count", 5);
+  EXPECT_EQ(values, (std::vector<std::int64_t>{-1, 1, 2, 3, 4, 5}));
+}
+
+TEST(Oracle, SearchImprovesOverDefault) {
+  pfs::PfsSimulator sim;
+  workloads::WorkloadOptions opt;
+  opt.ranks = 50;
+  opt.scale = 0.02;
+  const pfs::JobSpec job = workloads::ior16m(opt);
+  const double def = sim.run(job, pfs::PfsConfig{}, 7).wallSeconds;
+
+  OracleOptions options;
+  options.maxSweeps = 1;
+  options.candidatesPerParam = 3;
+  const OracleResult result = oracleSearch(sim, job, options);
+  EXPECT_LT(result.seconds, def * 0.5);
+  EXPECT_GT(result.evaluations, 20u);
+  EXPECT_TRUE(pfs::validateConfig(result.config, sim.boundsContext()).empty());
+}
+
+}  // namespace
+}  // namespace stellar::baselines

@@ -1,0 +1,171 @@
+// StellarEngine orchestration: complete tuning runs, rule accumulation,
+// transcript structure, determinism.
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "core/harness.hpp"
+#include "workloads/workloads.hpp"
+
+namespace stellar::core {
+namespace {
+
+workloads::WorkloadOptions smallOpts() {
+  workloads::WorkloadOptions opt;
+  opt.ranks = 50;
+  opt.scale = 0.03;
+  return opt;
+}
+
+StellarOptions defaultOptions(std::uint64_t seed = 5) {
+  StellarOptions options;
+  options.seed = seed;
+  options.agent.seed = seed;
+  return options;
+}
+
+TEST(StellarEngine, CompletesWithinFiveAttempts) {
+  pfs::PfsSimulator sim;
+  StellarEngine engine{sim, defaultOptions()};
+  const TuningRunResult run =
+      engine.tune(workloads::byName("IOR_16M", smallOpts()));
+  EXPECT_LE(run.attempts.size(), 5u);
+  EXPECT_GT(run.attempts.size(), 0u);
+  EXPECT_FALSE(run.endReason.empty());
+  EXPECT_EQ(run.iterationSeconds.size(), run.attempts.size() + 1);
+}
+
+TEST(StellarEngine, ImprovesOverDefaultOnEveryBenchmark) {
+  pfs::PfsSimulator sim;
+  for (const std::string& name : workloads::benchmarkNames()) {
+    StellarEngine engine{sim, defaultOptions()};
+    const TuningRunResult run = engine.tune(workloads::byName(name, smallOpts()));
+    EXPECT_GT(run.bestSpeedup(), 1.15) << name;
+  }
+}
+
+TEST(StellarEngine, DeterministicForSameSeed) {
+  pfs::PfsSimulator sim;
+  const pfs::JobSpec job = workloads::byName("IOR_64K", smallOpts());
+  StellarEngine a{sim, defaultOptions(9)};
+  StellarEngine b{sim, defaultOptions(9)};
+  const TuningRunResult ra = a.tune(job);
+  const TuningRunResult rb = b.tune(job);
+  EXPECT_EQ(ra.bestConfig, rb.bestConfig);
+  EXPECT_DOUBLE_EQ(ra.bestSeconds, rb.bestSeconds);
+  EXPECT_EQ(ra.attempts.size(), rb.attempts.size());
+}
+
+TEST(StellarEngine, TranscriptTellsTheWholeStory) {
+  pfs::PfsSimulator sim;
+  StellarEngine engine{sim, defaultOptions()};
+  const TuningRunResult run =
+      engine.tune(workloads::byName("MDWorkbench_8K", smallOpts()));
+  const std::string text = run.transcript.render();
+  EXPECT_NE(text.find("initial run"), std::string::npos);
+  EXPECT_NE(text.find("I/O report"), std::string::npos);
+  EXPECT_NE(text.find("attempt 1"), std::string::npos);
+  EXPECT_NE(text.find("run result"), std::string::npos);
+  EXPECT_NE(text.find("Reflect & Summarize"), std::string::npos);
+}
+
+TEST(StellarEngine, RulesAccumulateAndMerge) {
+  pfs::PfsSimulator sim;
+  rules::RuleSet global;
+  StellarEngine e1{sim, defaultOptions(1)};
+  (void)e1.tune(workloads::byName("IOR_16M", smallOpts()), &global);
+  const std::size_t afterFirst = global.size();
+  EXPECT_GT(afterFirst, 0u);
+  StellarEngine e2{sim, defaultOptions(2)};
+  (void)e2.tune(workloads::byName("MDWorkbench_8K", smallOpts()), &global);
+  EXPECT_GT(global.size(), afterFirst);
+}
+
+TEST(StellarEngine, RuleSetImprovesOrMatchesFirstGuess) {
+  pfs::PfsSimulator sim;
+  const pfs::JobSpec job = workloads::byName("MDWorkbench_8K", smallOpts());
+
+  rules::RuleSet global;
+  StellarEngine learner{sim, defaultOptions(3)};
+  (void)learner.tune(job, &global);
+  ASSERT_FALSE(global.empty());
+
+  StellarEngine cold{sim, defaultOptions(4)};
+  const TuningRunResult coldRun = cold.tune(job);
+  StellarEngine warm{sim, defaultOptions(4)};
+  rules::RuleSet copy = global;
+  const TuningRunResult warmRun = warm.tune(job, &copy);
+
+  ASSERT_GT(warmRun.iterationSeconds.size(), 1u);
+  ASSERT_GT(coldRun.iterationSeconds.size(), 1u);
+  const double firstWarm = warmRun.defaultSeconds / warmRun.iterationSeconds[1];
+  const double firstCold = coldRun.defaultSeconds / coldRun.iterationSeconds[1];
+  EXPECT_GE(firstWarm, firstCold * 0.95);
+  EXPECT_LE(warmRun.attempts.size(), coldRun.attempts.size() + 1);
+}
+
+TEST(StellarEngine, NoAnalysisAblationDegradesMetadataTuning) {
+  pfs::PfsSimulator sim;
+  const pfs::JobSpec job = workloads::byName("MDWorkbench_8K", smallOpts());
+  StellarEngine full{sim, defaultOptions(6)};
+  const double fullSpeedup = full.tune(job).bestSpeedup();
+
+  StellarOptions ablated = defaultOptions(6);
+  ablated.agent.useAnalysis = false;
+  StellarEngine noAnalysis{sim, ablated};
+  const double ablatedSpeedup = noAnalysis.tune(job).bestSpeedup();
+
+  EXPECT_GT(fullSpeedup, ablatedSpeedup * 1.1);
+  EXPECT_LT(ablatedSpeedup, 1.1);  // near default, per Fig. 8
+}
+
+TEST(StellarEngine, NoDescriptionsAblationDegradesMetadataTuning) {
+  pfs::PfsSimulator sim;
+  const pfs::JobSpec job = workloads::byName("MDWorkbench_8K", smallOpts());
+  StellarEngine full{sim, defaultOptions(5)};
+  const double fullSpeedup = full.tune(job).bestSpeedup();
+
+  StellarOptions ablated = defaultOptions(5);
+  ablated.agent.useDescriptions = false;
+  StellarEngine noDesc{sim, ablated};
+  const double ablatedSpeedup = noDesc.tune(job).bestSpeedup();
+  EXPECT_GT(fullSpeedup, ablatedSpeedup * 1.1);
+}
+
+TEST(StellarEngine, MeterCoversBothAgents) {
+  pfs::PfsSimulator sim;
+  StellarEngine engine{sim, defaultOptions()};
+  const TuningRunResult run =
+      engine.tune(workloads::byName("IOR_16M", smallOpts()));
+  EXPECT_GT(run.meter.totals("tuning-agent").calls, 0u);
+  EXPECT_GT(run.meter.totals("analysis-agent").calls, 0u);
+  // Iterative context re-use produces cache hits.
+  EXPECT_GT(run.meter.totals("tuning-agent").cacheHitRate(), 0.3);
+}
+
+TEST(Harness, MeasureConfigProducesStableSummary) {
+  pfs::PfsSimulator sim;
+  const pfs::JobSpec job = workloads::byName("IOR_16M", smallOpts());
+  const RepeatedMeasure m = measureConfig(sim, job, pfs::PfsConfig{}, 8, 77);
+  EXPECT_EQ(m.samples.size(), 8u);
+  EXPECT_GT(m.summary.mean, 0.0);
+  EXPECT_GT(m.summary.ci90, 0.0);
+  EXPECT_LT(m.summary.ci90, m.summary.mean * 0.2);  // noise is a few percent
+}
+
+TEST(Harness, EvaluationAggregatesRuns) {
+  pfs::PfsSimulator sim;
+  const pfs::JobSpec job = workloads::byName("IOR_16M", smallOpts());
+  const TuningEvaluation eval = evaluateTuning(sim, defaultOptions(), job, 3);
+  EXPECT_EQ(eval.runs.size(), 3u);
+  EXPECT_GT(eval.meanAttempts(), 0.0);
+  const auto speedups = eval.meanIterationSpeedups();
+  ASSERT_GT(speedups.size(), 1u);
+  EXPECT_NEAR(speedups[0], 1.0, 1e-9);  // iteration 0 is the default run
+  // Best-so-far speedups are monotone non-decreasing.
+  for (std::size_t i = 1; i < speedups.size(); ++i) {
+    EXPECT_GE(speedups[i] + 1e-9, speedups[i - 1]);
+  }
+}
+
+}  // namespace
+}  // namespace stellar::core

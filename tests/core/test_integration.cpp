@@ -1,0 +1,108 @@
+// End-to-end quality gates: the paper's headline claims, as assertions.
+// These use small scales and generous bands; the bench harnesses produce
+// the full-fidelity numbers.
+#include <gtest/gtest.h>
+
+#include "baselines/expert.hpp"
+#include "baselines/oracle.hpp"
+#include "core/harness.hpp"
+#include "workloads/workloads.hpp"
+
+namespace stellar::core {
+namespace {
+
+workloads::WorkloadOptions smallOpts(double scale = 0.03) {
+  workloads::WorkloadOptions opt;
+  opt.ranks = 50;
+  opt.scale = scale;
+  return opt;
+}
+
+TEST(Integration, StellarIsNearExpertOnBenchmarks) {
+  pfs::PfsSimulator sim;
+  for (const std::string& name : workloads::benchmarkNames()) {
+    const pfs::JobSpec job = workloads::byName(name, smallOpts());
+    StellarOptions options;
+    options.seed = 42;
+    const TuningEvaluation eval = evaluateTuning(sim, options, job, 4);
+    const RepeatedMeasure expert =
+        measureConfig(sim, job, baselines::expertConfig(name), 4, 900);
+    // "comparable to, or even surpasses, what human experts can achieve":
+    // within 25% of the expert on every benchmark.
+    EXPECT_LT(eval.bestSummary().mean, expert.summary.mean * 1.25) << name;
+  }
+}
+
+TEST(Integration, FiveAttemptBudgetAlwaysHolds) {
+  pfs::PfsSimulator sim;
+  for (const std::string& name : workloads::benchmarkNames()) {
+    StellarOptions options;
+    options.seed = 17;
+    const TuningEvaluation eval =
+        evaluateTuning(sim, options, workloads::byName(name, smallOpts()), 3);
+    for (const TuningRunResult& run : eval.runs) {
+      EXPECT_LE(run.attempts.size(), 5u) << name;
+    }
+  }
+}
+
+TEST(Integration, StellarReachesOracleBandOnHeadlineWorkloads) {
+  pfs::PfsSimulator sim;
+  for (const std::string& name : {std::string{"IOR_16M"}, std::string{"IOR_64K"}}) {
+    const pfs::JobSpec job = workloads::byName(name, smallOpts());
+    baselines::OracleOptions oracleOpts;
+    oracleOpts.maxSweeps = 1;
+    oracleOpts.candidatesPerParam = 4;
+    const baselines::OracleResult oracle = baselines::oracleSearch(sim, job, oracleOpts);
+
+    StellarOptions options;
+    options.seed = 42;
+    const TuningEvaluation eval = evaluateTuning(sim, options, job, 4);
+    // Near-optimal: within 20% of a >60-evaluation coordinate descent,
+    // reached with a single-digit number of executions.
+    EXPECT_LT(eval.bestSummary().mean, oracle.seconds * 1.20) << name;
+    EXPECT_GT(oracle.evaluations, 40u);
+  }
+}
+
+TEST(Integration, RealApplicationsAlsoImprove) {
+  pfs::PfsSimulator sim;
+  for (const std::string& name : workloads::realAppNames()) {
+    StellarOptions options;
+    options.seed = 23;
+    const TuningEvaluation eval =
+        evaluateTuning(sim, options, workloads::byName(name, smallOpts(0.05)), 3);
+    double best = 0.0;
+    for (const TuningRunResult& run : eval.runs) {
+      best = std::max(best, run.bestSpeedup());
+    }
+    EXPECT_GT(best, 1.05) << name;
+    // Tuning never ends up worse than the default configuration.
+    for (const TuningRunResult& run : eval.runs) {
+      EXPECT_LE(run.bestSeconds, run.defaultSeconds * 1.001) << name;
+    }
+  }
+}
+
+TEST(Integration, RuleSetNeverHurtsFinalPerformance) {
+  pfs::PfsSimulator sim;
+  rules::RuleSet global;
+  for (const std::string& name : workloads::benchmarkNames()) {
+    StellarOptions options;
+    options.seed = 7;
+    options.agent.seed = 7;
+    StellarEngine engine{sim, options};
+    (void)engine.tune(workloads::byName(name, smallOpts()), &global);
+  }
+  for (const std::string& name : workloads::benchmarkNames()) {
+    const pfs::JobSpec job = workloads::byName(name, smallOpts());
+    StellarOptions options;
+    options.seed = 99;
+    const TuningEvaluation cold = evaluateTuning(sim, options, job, 3);
+    const TuningEvaluation warm = evaluateTuning(sim, options, job, 3, &global);
+    EXPECT_LT(warm.bestSummary().mean, cold.bestSummary().mean * 1.1) << name;
+  }
+}
+
+}  // namespace
+}  // namespace stellar::core

@@ -1,0 +1,81 @@
+// §5.6 user-accessible tuning scope.
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "workloads/workloads.hpp"
+
+namespace stellar::core {
+namespace {
+
+workloads::WorkloadOptions smallOpts() {
+  workloads::WorkloadOptions opt;
+  opt.ranks = 50;
+  opt.scale = 0.03;
+  return opt;
+}
+
+StellarOptions userScopeOptions(std::uint64_t seed = 5) {
+  StellarOptions options;
+  options.seed = seed;
+  options.agent.seed = seed;
+  options.scope = TuningScope::UserAccessible;
+  return options;
+}
+
+TEST(TuningScope, OnlyLayoutParamsAreUserAccessible) {
+  std::vector<std::string> userParams;
+  for (const manual::ParamFact& fact : manual::allParamFacts()) {
+    if (fact.userAccessible) {
+      userParams.push_back(fact.name);
+    }
+  }
+  EXPECT_EQ(userParams,
+            (std::vector<std::string>{"lov.stripe_count", "lov.stripe_size"}));
+}
+
+TEST(TuningScope, UserScopeNeverTouchesRootOnlyKnobs) {
+  pfs::PfsSimulator sim;
+  const pfs::JobSpec job = workloads::byName("IOR_16M", smallOpts());
+  StellarEngine engine{sim, userScopeOptions()};
+  const TuningRunResult run = engine.tune(job);
+  const pfs::PfsConfig defaults;
+  for (const agents::Attempt& attempt : run.attempts) {
+    for (const std::string& name : pfs::PfsConfig::tunableNames()) {
+      if (name == "lov.stripe_count" || name == "lov.stripe_size") {
+        continue;
+      }
+      EXPECT_EQ(attempt.config.get(name), defaults.get(name))
+          << name << " changed in user scope";
+    }
+  }
+}
+
+TEST(TuningScope, UserScopeStillHelpsBandwidthWorkloads) {
+  pfs::PfsSimulator sim;
+  const pfs::JobSpec job = workloads::byName("IOR_16M", smallOpts());
+  StellarEngine engine{sim, userScopeOptions()};
+  const TuningRunResult run = engine.tune(job);
+  EXPECT_GT(run.bestSpeedup(), 1.5);  // striping alone carries much of the win
+}
+
+TEST(TuningScope, SystemScopeDominatesUserScope) {
+  pfs::PfsSimulator sim;
+  const pfs::JobSpec job = workloads::byName("MDWorkbench_8K", smallOpts());
+
+  StellarOptions systemWide = userScopeOptions(7);
+  systemWide.scope = TuningScope::SystemWide;
+  StellarEngine fullEngine{sim, systemWide};
+  const double fullSpeedup = fullEngine.tune(job).bestSpeedup();
+
+  StellarEngine userEngine{sim, userScopeOptions(7)};
+  const double userSpeedup = userEngine.tune(job).bestSpeedup();
+
+  // Metadata workloads need the root-only knobs; layout-only tuning cannot
+  // reach the system-wide result (§5.6's hybrid-deployment argument).
+  EXPECT_GT(fullSpeedup, userSpeedup * 1.1);
+  // And user scope never makes things worse than the default.
+  EXPECT_GE(userSpeedup, 0.999);
+}
+
+}  // namespace
+}  // namespace stellar::core

@@ -1,0 +1,120 @@
+// Darshan characterization: counters, shared-record reduction,
+// serialization round trips.
+#include <gtest/gtest.h>
+
+#include "darshan/recorder.hpp"
+#include "pfs/simulator.hpp"
+#include "workloads/workloads.hpp"
+
+namespace stellar::darshan {
+namespace {
+
+workloads::WorkloadOptions tinyOpts() {
+  workloads::WorkloadOptions opt;
+  opt.ranks = 10;
+  opt.scale = 0.02;
+  return opt;
+}
+
+DarshanLog logFor(const char* workload) {
+  pfs::PfsSimulator sim;
+  const pfs::JobSpec job = workloads::byName(workload, tinyOpts());
+  const pfs::RunResult run = sim.run(job, pfs::PfsConfig{}, 4);
+  return characterize(job, run, 99);
+}
+
+TEST(Darshan, HeaderCarriesJobFacts) {
+  const DarshanLog log = logFor("IOR_16M");
+  EXPECT_EQ(log.header.exe, "IOR_16M");
+  EXPECT_EQ(log.header.nprocs, 10u);
+  EXPECT_GT(log.header.runTime, 0.0);
+  EXPECT_EQ(log.header.jobId, 99u);
+}
+
+TEST(Darshan, SharedFileReducesToRankMinusOne) {
+  const DarshanLog log = logFor("IOR_16M");
+  ASSERT_EQ(log.records.size(), 1u);  // one shared file
+  EXPECT_EQ(log.records[0].rank, -1);
+  EXPECT_EQ(log.records[0].counter("POSIX_FILE_SHARED_RANKS"), 10);
+}
+
+TEST(Darshan, PrivateFilesKeepTheirRank) {
+  const DarshanLog log = logFor("MACSio_512K");
+  for (const Record& rec : log.records) {
+    EXPECT_GE(rec.rank, 0) << rec.fileName;
+  }
+}
+
+TEST(Darshan, CountersMatchWorkloadStructure) {
+  const DarshanLog log = logFor("MDWorkbench_8K");
+  for (const Record& rec : log.records) {
+    // 3 rounds of create/write/stat/open/read/close/unlink per file.
+    EXPECT_EQ(rec.counter("POSIX_OPENS_CREATE"), 3) << rec.fileName;
+    EXPECT_EQ(rec.counter("POSIX_UNLINKS"), 3) << rec.fileName;
+    EXPECT_EQ(rec.counter("POSIX_STATS"), 3) << rec.fileName;
+    EXPECT_EQ(rec.counter("POSIX_WRITES"), 3) << rec.fileName;
+    EXPECT_EQ(rec.counter("POSIX_BYTES_WRITTEN"), 3 * 8 * 1024) << rec.fileName;
+  }
+}
+
+TEST(Darshan, AccessHistogramIsFrequencyOrdered) {
+  const DarshanLog log = logFor("IOR_64K");
+  const Record& rec = log.records[0];
+  EXPECT_EQ(rec.counter("POSIX_ACCESS1_ACCESS"), 64 * 1024);
+  EXPECT_GE(*rec.counter("POSIX_ACCESS1_COUNT"), *rec.counter("POSIX_ACCESS2_COUNT"));
+}
+
+TEST(Darshan, UntouchedFilesAreSkipped) {
+  pfs::PfsSimulator sim;
+  pfs::JobSpec job;
+  job.name = "partial";
+  job.ranks.resize(2);
+  const auto used = job.addFile("/used");
+  (void)job.addFile("/never-touched");
+  job.ranks[0].push_back(pfs::IoOp::create(used));
+  job.ranks[0].push_back(pfs::IoOp::write(used, 0, 4096));
+  job.ranks[0].push_back(pfs::IoOp::close(used));
+  job.ranks[1].push_back(pfs::IoOp::compute(0.001));
+  const auto run = sim.run(job, pfs::PfsConfig{}, 1);
+  const DarshanLog log = characterize(job, run);
+  ASSERT_EQ(log.records.size(), 1u);
+  EXPECT_EQ(log.records[0].fileName, "/used");
+}
+
+TEST(Darshan, SerializationRoundTrips) {
+  const DarshanLog log = logFor("IO500");
+  const std::string text = log.serialize();
+  const DarshanLog parsed = DarshanLog::parse(text);
+  EXPECT_EQ(parsed.header.exe, log.header.exe);
+  EXPECT_EQ(parsed.header.nprocs, log.header.nprocs);
+  ASSERT_EQ(parsed.records.size(), log.records.size());
+  for (std::size_t i = 0; i < log.records.size(); ++i) {
+    EXPECT_EQ(parsed.records[i].fileName, log.records[i].fileName);
+    EXPECT_EQ(parsed.records[i].rank, log.records[i].rank);
+    EXPECT_EQ(parsed.records[i].counters, log.records[i].counters);
+  }
+}
+
+TEST(Darshan, ParseRejectsMalformedInput) {
+  EXPECT_THROW((void)DarshanLog::parse("C\tPOSIX_READS\t1\n"), std::runtime_error);
+  EXPECT_THROW((void)DarshanLog::parse("FILE\tonly-two-fields\n"), std::runtime_error);
+  EXPECT_THROW((void)DarshanLog::parse("WAT\ta\tb\n"), std::runtime_error);
+}
+
+TEST(Darshan, CounterLookupReturnsNulloptForUnknown) {
+  const DarshanLog log = logFor("IOR_16M");
+  EXPECT_EQ(log.records[0].counter("NOT_A_COUNTER"), std::nullopt);
+  EXPECT_EQ(log.records[0].fcounter("NOT_A_COUNTER"), std::nullopt);
+}
+
+TEST(Darshan, EveryCounterHasADescription) {
+  for (const std::string& name : counterNames()) {
+    EXPECT_NE(counterDescription(name), "undocumented counter") << name;
+  }
+  for (const std::string& name : fcounterNames()) {
+    EXPECT_NE(counterDescription(name), "undocumented counter") << name;
+  }
+}
+
+}  // namespace
+}  // namespace stellar::darshan

@@ -1,0 +1,105 @@
+// Recorder-style trace source: per-op capture, serialization, and the
+// aggregation back into Darshan-equivalent records (§4.3.1 generality).
+#include <gtest/gtest.h>
+
+#include "darshan/recorder.hpp"
+#include "darshan/recorder_log.hpp"
+#include "dataframe/from_darshan.hpp"
+#include "workloads/workloads.hpp"
+
+namespace stellar::darshan {
+namespace {
+
+struct Traced {
+  pfs::JobSpec job;
+  RecorderLog recorder;
+  DarshanLog viaDarshan;
+
+  explicit Traced(const char* workload) {
+    pfs::PfsSimulator sim;
+    workloads::WorkloadOptions opt;
+    opt.ranks = 10;
+    opt.scale = 0.02;
+    job = workloads::byName(workload, opt);
+    const pfs::RunResult run = sim.run(job, pfs::PfsConfig{}, 4);
+    recorder = recorderTrace(job, run);
+    viaDarshan = characterize(job, run);
+  }
+};
+
+TEST(RecorderLog, CapturesEveryIoOperation) {
+  const Traced t{"IOR_64K"};
+  std::size_t expected = 0;
+  for (const auto& program : t.job.ranks) {
+    for (const auto& op : program) {
+      expected += op.kind != pfs::OpKind::Barrier && op.kind != pfs::OpKind::Compute
+                      ? 1
+                      : 0;
+    }
+  }
+  EXPECT_EQ(t.recorder.events.size(), expected);
+  EXPECT_EQ(t.recorder.nprocs, 10u);
+  EXPECT_GT(t.recorder.runTime, 0.0);
+}
+
+TEST(RecorderLog, TimestampsAreMonotonePerRank) {
+  const Traced t{"MDWorkbench_8K"};
+  std::map<std::int32_t, double> last;
+  for (const RecorderEvent& e : t.recorder.events) {
+    const auto it = last.find(e.rank);
+    if (it != last.end()) {
+      EXPECT_GE(e.startTime, it->second);
+    }
+    last[e.rank] = e.startTime;
+  }
+}
+
+TEST(RecorderLog, SerializationRoundTrips) {
+  const Traced t{"MACSio_512K"};
+  const RecorderLog parsed = RecorderLog::parse(t.recorder.serialize());
+  ASSERT_EQ(parsed.events.size(), t.recorder.events.size());
+  EXPECT_EQ(parsed.nprocs, t.recorder.nprocs);
+  for (std::size_t i = 0; i < parsed.events.size(); i += 97) {
+    EXPECT_EQ(parsed.events[i].function, t.recorder.events[i].function);
+    EXPECT_EQ(parsed.events[i].offset, t.recorder.events[i].offset);
+    EXPECT_EQ(parsed.events[i].fileName, t.recorder.events[i].fileName);
+  }
+  EXPECT_THROW((void)RecorderLog::parse("1\tonly\tthree\n"), std::runtime_error);
+}
+
+TEST(RecorderLog, AggregationMatchesDarshanCounters) {
+  // The op-stream aggregation must agree with the simulator-recorded
+  // Darshan counters on everything derivable from the op stream.
+  for (const char* workload : {"IOR_64K", "MDWorkbench_8K", "IO500"}) {
+    const Traced t{workload};
+    const DarshanLog viaRecorder = aggregateRecorder(t.recorder);
+    ASSERT_EQ(viaRecorder.records.size(), t.viaDarshan.records.size()) << workload;
+
+    // Index darshan records by file name.
+    std::map<std::string, const Record*> byName;
+    for (const Record& rec : t.viaDarshan.records) {
+      byName[rec.fileName] = &rec;
+    }
+    for (const Record& rec : viaRecorder.records) {
+      const Record* ref = byName.at(rec.fileName);
+      for (const char* counter :
+           {"POSIX_READS", "POSIX_WRITES", "POSIX_BYTES_READ", "POSIX_BYTES_WRITTEN",
+            "POSIX_STATS", "POSIX_UNLINKS", "POSIX_OPENS_CREATE",
+            "POSIX_FILE_SHARED_RANKS", "POSIX_MAX_BYTE_WRITTEN"}) {
+        EXPECT_EQ(rec.counter(counter), ref->counter(counter))
+            << workload << " " << rec.fileName << " " << counter;
+      }
+      EXPECT_EQ(rec.rank, ref->rank) << rec.fileName;
+    }
+  }
+}
+
+TEST(RecorderLog, AggregatedTablesFeedTheSamePipeline) {
+  const Traced t{"MDWorkbench_8K"};
+  const df::DarshanTables tables = df::tablesFromLog(aggregateRecorder(t.recorder));
+  EXPECT_EQ(tables.posix.rowCount(), t.viaDarshan.records.size());
+  EXPECT_TRUE(tables.posix.hasColumn("POSIX_ACCESS1_ACCESS"));
+}
+
+}  // namespace
+}  // namespace stellar::darshan

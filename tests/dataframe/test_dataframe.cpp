@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "dataframe/dataframe.hpp"
+
+namespace stellar::df {
+namespace {
+
+DataFrame sample() {
+  DataFrame frame;
+  frame.addColumn("file", ColumnType::String);
+  frame.addColumn("rank", ColumnType::Int64);
+  frame.addColumn("bytes", ColumnType::Double);
+  frame.appendRow({std::string{"/a"}, std::int64_t{0}, 100.0});
+  frame.appendRow({std::string{"/b"}, std::int64_t{1}, 200.0});
+  frame.appendRow({std::string{"/c"}, std::int64_t{0}, 300.0});
+  frame.appendRow({std::string{"/d"}, std::int64_t{2}, 400.0});
+  return frame;
+}
+
+TEST(DataFrame, BasicShapeAndAccess) {
+  const DataFrame frame = sample();
+  EXPECT_EQ(frame.rowCount(), 4u);
+  EXPECT_EQ(frame.columnCount(), 3u);
+  EXPECT_TRUE(frame.hasColumn("rank"));
+  EXPECT_FALSE(frame.hasColumn("nope"));
+  EXPECT_EQ(toString(frame.at("file", 1)), "/b");
+  EXPECT_EQ(*asNumber(frame.at("bytes", 3)), 400.0);
+}
+
+TEST(DataFrame, AppendRowValidatesWidthAndTypes) {
+  DataFrame frame = sample();
+  EXPECT_THROW(frame.appendRow({std::string{"/x"}}), DataFrameError);
+  EXPECT_THROW(frame.appendRow({std::int64_t{1}, std::int64_t{1}, 1.0}), DataFrameError);
+}
+
+TEST(DataFrame, IntPromotesToDoubleColumn) {
+  DataFrame frame;
+  frame.addColumn("v", ColumnType::Double);
+  frame.appendRow({std::int64_t{7}});
+  EXPECT_DOUBLE_EQ(*asNumber(frame.at("v", 0)), 7.0);
+}
+
+TEST(DataFrame, DuplicateColumnRejected) {
+  DataFrame frame;
+  frame.addColumn("x", ColumnType::Int64);
+  EXPECT_THROW(frame.addColumn("x", ColumnType::Double), DataFrameError);
+}
+
+TEST(DataFrame, FilterKeepsMatchingRows) {
+  const DataFrame frame = sample();
+  const DataFrame zeros = frame.filter([](const DataFrame& f, std::size_t r) {
+    return *asNumber(f.at("rank", r)) == 0.0;
+  });
+  EXPECT_EQ(zeros.rowCount(), 2u);
+  EXPECT_EQ(toString(zeros.at("file", 0)), "/a");
+  EXPECT_EQ(toString(zeros.at("file", 1)), "/c");
+}
+
+TEST(DataFrame, SelectSubsetsAndReorders) {
+  const DataFrame frame = sample();
+  const DataFrame sub = frame.select({"bytes", "file"});
+  EXPECT_EQ(sub.columnCount(), 2u);
+  EXPECT_EQ(sub.columnNames()[0], "bytes");
+  EXPECT_THROW((void)frame.select({"missing"}), DataFrameError);
+}
+
+TEST(DataFrame, SortByNumericAndString) {
+  const DataFrame frame = sample();
+  const DataFrame desc = frame.sortBy("bytes", true);
+  EXPECT_DOUBLE_EQ(*asNumber(desc.at("bytes", 0)), 400.0);
+  EXPECT_DOUBLE_EQ(*asNumber(desc.at("bytes", 3)), 100.0);
+  const DataFrame byName = frame.sortBy("file");
+  EXPECT_EQ(toString(byName.at("file", 0)), "/a");
+}
+
+TEST(DataFrame, HeadTruncates) {
+  const DataFrame frame = sample();
+  EXPECT_EQ(frame.head(2).rowCount(), 2u);
+  EXPECT_EQ(frame.head(100).rowCount(), 4u);
+}
+
+TEST(DataFrame, Aggregations) {
+  const DataFrame frame = sample();
+  EXPECT_DOUBLE_EQ(frame.sum("bytes"), 1000.0);
+  EXPECT_DOUBLE_EQ(frame.mean("bytes"), 250.0);
+  EXPECT_DOUBLE_EQ(frame.minValue("bytes"), 100.0);
+  EXPECT_DOUBLE_EQ(frame.maxValue("bytes"), 400.0);
+  EXPECT_EQ(frame.count("bytes"), 4u);
+}
+
+TEST(DataFrame, GroupByAggregates) {
+  const DataFrame frame = sample();
+  const DataFrame grouped = frame.groupBy(
+      "rank", {{DataFrame::Agg::Sum, "bytes"}, {DataFrame::Agg::Count, "bytes"}});
+  EXPECT_EQ(grouped.rowCount(), 3u);  // ranks 0, 1, 2
+  // std::map ordering: keys "0", "1", "2".
+  EXPECT_DOUBLE_EQ(*asNumber(grouped.at("sum_bytes", 0)), 400.0);
+  EXPECT_DOUBLE_EQ(*asNumber(grouped.at("count_bytes", 0)), 2.0);
+}
+
+TEST(DataFrame, ToTextRendersAndTruncates) {
+  const DataFrame frame = sample();
+  const std::string text = frame.toText(2);
+  EXPECT_NE(text.find("file"), std::string::npos);
+  EXPECT_NE(text.find("(2 more rows)"), std::string::npos);
+}
+
+TEST(DataFrame, ValueHelpers) {
+  EXPECT_TRUE(isNull(Value{}));
+  EXPECT_FALSE(isNull(Value{1.0}));
+  EXPECT_EQ(toString(Value{}), "null");
+  EXPECT_EQ(asNumber(Value{std::string{"x"}}), std::nullopt);
+}
+
+TEST(DataFrame, ColumnTypedAccessors) {
+  const DataFrame frame = sample();
+  EXPECT_EQ(frame.column("rank").ints().size(), 4u);
+  EXPECT_THROW((void)frame.column("rank").doubles(), DataFrameError);
+  EXPECT_THROW((void)frame.column("file").ints(), DataFrameError);
+}
+
+}  // namespace
+}  // namespace stellar::df

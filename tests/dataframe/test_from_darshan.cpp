@@ -1,0 +1,61 @@
+// Preprocessing: Darshan log -> dataframes + column-description sidecar.
+#include <gtest/gtest.h>
+
+#include "darshan/recorder.hpp"
+#include "dataframe/from_darshan.hpp"
+#include "pfs/simulator.hpp"
+#include "workloads/workloads.hpp"
+
+namespace stellar::df {
+namespace {
+
+DarshanTables tablesFor(const char* workload) {
+  pfs::PfsSimulator sim;
+  workloads::WorkloadOptions opt;
+  opt.ranks = 10;
+  opt.scale = 0.02;
+  const pfs::JobSpec job = workloads::byName(workload, opt);
+  const pfs::RunResult run = sim.run(job, pfs::PfsConfig{}, 4);
+  return tablesFromLog(darshan::characterize(job, run));
+}
+
+TEST(FromDarshan, OneRowPerRecordAllCountersAsColumns) {
+  const DarshanTables tables = tablesFor("MDWorkbench_8K");
+  EXPECT_GT(tables.posix.rowCount(), 100u);
+  EXPECT_EQ(tables.posix.columnCount(),
+            2 + darshan::counterNames().size() + darshan::fcounterNames().size());
+  for (const auto& name : darshan::counterNames()) {
+    EXPECT_TRUE(tables.posix.hasColumn(name)) << name;
+  }
+}
+
+TEST(FromDarshan, HeaderTextAndDescriptionsPopulated) {
+  const DarshanTables tables = tablesFor("IOR_16M");
+  EXPECT_NE(tables.headerText.find("exe: IOR_16M"), std::string::npos);
+  EXPECT_NE(tables.headerText.find("nprocs: 10"), std::string::npos);
+  // Every column has a description line.
+  for (const std::string& col : tables.posix.columnNames()) {
+    EXPECT_NE(tables.columnDescriptions.find(col + ": "), std::string::npos) << col;
+  }
+}
+
+TEST(FromDarshan, ValuesMatchLogRecords) {
+  pfs::PfsSimulator sim;
+  workloads::WorkloadOptions opt;
+  opt.ranks = 10;
+  opt.scale = 0.02;
+  const pfs::JobSpec job = workloads::byName("IOR_64K", opt);
+  const pfs::RunResult run = sim.run(job, pfs::PfsConfig{}, 4);
+  const darshan::DarshanLog log = darshan::characterize(job, run);
+  const DarshanTables tables = tablesFromLog(log);
+
+  ASSERT_EQ(tables.posix.rowCount(), log.records.size());
+  for (std::size_t r = 0; r < log.records.size(); ++r) {
+    EXPECT_EQ(toString(tables.posix.at("file", r)), log.records[r].fileName);
+    EXPECT_EQ(*asNumber(tables.posix.at("POSIX_BYTES_WRITTEN", r)),
+              static_cast<double>(*log.records[r].counter("POSIX_BYTES_WRITTEN")));
+  }
+}
+
+}  // namespace
+}  // namespace stellar::df

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "dfquery/eval.hpp"
+#include "dfquery/lexer.hpp"
+
+namespace stellar::dfq {
+namespace {
+
+df::DataFrame sample() {
+  df::DataFrame frame;
+  frame.addColumn("file", df::ColumnType::String);
+  frame.addColumn("rank", df::ColumnType::Int64);
+  frame.addColumn("bytes", df::ColumnType::Int64);
+  frame.appendRow({std::string{"/ior/a"}, std::int64_t{0}, std::int64_t{100}});
+  frame.appendRow({std::string{"/ior/b"}, std::int64_t{1}, std::int64_t{200}});
+  frame.appendRow({std::string{"/mdt/c"}, std::int64_t{0}, std::int64_t{300}});
+  frame.appendRow({std::string{"/mdt/d"}, std::int64_t{2}, std::int64_t{400}});
+  return frame;
+}
+
+class EvalTest : public ::testing::Test {
+ protected:
+  df::DataFrame frame_ = sample();
+  TableSet tables_{{"posix", &frame_}};
+};
+
+TEST_F(EvalTest, SelectStarReturnsEverything) {
+  const auto result = runQuery("select * from posix", tables_);
+  EXPECT_EQ(result.rowCount(), 4u);
+  EXPECT_EQ(result.columnCount(), 3u);
+}
+
+TEST_F(EvalTest, WhereFiltersRows) {
+  const auto result = runQuery("select file from posix where bytes > 150", tables_);
+  EXPECT_EQ(result.rowCount(), 3u);
+  const auto strict = runQuery(
+      "select file from posix where bytes > 150 and rank == 0", tables_);
+  EXPECT_EQ(strict.rowCount(), 1u);
+  EXPECT_EQ(df::toString(strict.at("file", 0)), "/mdt/c");
+}
+
+TEST_F(EvalTest, StringEqualityAndContains) {
+  const auto byName = runQuery("select * from posix where file == '/ior/a'", tables_);
+  EXPECT_EQ(byName.rowCount(), 1u);
+  const auto byPrefix = runQuery(
+      "select count(*) from posix where contains(file, 'mdt')", tables_);
+  EXPECT_DOUBLE_EQ(*df::asNumber(byPrefix.at("count_rows", 0)), 2.0);
+}
+
+TEST_F(EvalTest, GlobalAggregatesCollapseToOneRow) {
+  const auto result = runQuery(
+      "select sum(bytes), mean(bytes), min(bytes), max(bytes), count(*) from posix",
+      tables_);
+  EXPECT_EQ(result.rowCount(), 1u);
+  EXPECT_DOUBLE_EQ(*df::asNumber(result.at("sum_bytes", 0)), 1000.0);
+  EXPECT_DOUBLE_EQ(*df::asNumber(result.at("mean_bytes", 0)), 250.0);
+  EXPECT_DOUBLE_EQ(*df::asNumber(result.at("min_bytes", 0)), 100.0);
+  EXPECT_DOUBLE_EQ(*df::asNumber(result.at("max_bytes", 0)), 400.0);
+  EXPECT_DOUBLE_EQ(*df::asNumber(result.at("count_rows", 0)), 4.0);
+}
+
+TEST_F(EvalTest, GroupByWithKeyInSelect) {
+  const auto result = runQuery(
+      "select rank, sum(bytes) from posix group by rank order by rank", tables_);
+  EXPECT_EQ(result.rowCount(), 3u);
+  EXPECT_DOUBLE_EQ(*df::asNumber(result.at("sum_bytes", 0)), 400.0);  // rank 0
+}
+
+TEST_F(EvalTest, OrderByAndLimit) {
+  const auto result = runQuery(
+      "select file, bytes from posix order by bytes desc limit 2", tables_);
+  EXPECT_EQ(result.rowCount(), 2u);
+  EXPECT_EQ(df::toString(result.at("file", 0)), "/mdt/d");
+}
+
+TEST_F(EvalTest, ArithmeticInWhere) {
+  const auto result = runQuery(
+      "select file from posix where bytes / 100 - rank >= 3", tables_);
+  // /mdt/c: 300/100 - 0 = 3; /mdt/d: 400/100 - 2 = 2.
+  EXPECT_EQ(result.rowCount(), 1u);
+  EXPECT_EQ(df::toString(result.at("file", 0)), "/mdt/c");
+}
+
+TEST_F(EvalTest, NotOperator) {
+  const auto result = runQuery(
+      "select count(*) from posix where not contains(file, 'ior')", tables_);
+  EXPECT_DOUBLE_EQ(*df::asNumber(result.at("count_rows", 0)), 2.0);
+}
+
+TEST_F(EvalTest, ErrorsOnUnknownTableOrColumn) {
+  EXPECT_THROW((void)runQuery("select * from nope", tables_), QueryError);
+  EXPECT_THROW((void)runQuery("select missing from posix", tables_),
+               df::DataFrameError);
+  EXPECT_THROW((void)runQuery("select * from posix where missing > 1", tables_),
+               df::DataFrameError);
+}
+
+TEST_F(EvalTest, ErrorsOnTypeMisuse) {
+  EXPECT_THROW((void)runQuery("select * from posix where file + 1 > 0", tables_),
+               QueryError);
+  EXPECT_THROW((void)runQuery("select * from posix where file > 3", tables_),
+               QueryError);
+  EXPECT_THROW((void)runQuery("select * from posix where bytes / 0 > 1", tables_),
+               QueryError);
+  EXPECT_THROW((void)runQuery("select * from posix where contains(bytes, 'x')", tables_),
+               QueryError);
+}
+
+TEST_F(EvalTest, MixedAggregateAndPlainColumnRequiresGroupBy) {
+  EXPECT_THROW((void)runQuery("select file, sum(bytes) from posix", tables_),
+               QueryError);
+  EXPECT_THROW(
+      (void)runQuery("select file, sum(bytes) from posix group by rank", tables_),
+      QueryError);
+}
+
+TEST_F(EvalTest, EmptyFilterResultAggregatesToZero) {
+  const auto result = runQuery(
+      "select sum(bytes), count(*) from posix where bytes > 100000", tables_);
+  EXPECT_DOUBLE_EQ(*df::asNumber(result.at("sum_bytes", 0)), 0.0);
+  EXPECT_DOUBLE_EQ(*df::asNumber(result.at("count_rows", 0)), 0.0);
+}
+
+}  // namespace
+}  // namespace stellar::dfq

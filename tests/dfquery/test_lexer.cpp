@@ -1,0 +1,55 @@
+#include <gtest/gtest.h>
+
+#include "dfquery/lexer.hpp"
+
+namespace stellar::dfq {
+namespace {
+
+TEST(Lexer, TokenizesIdentifiersNumbersStringsSymbols) {
+  const auto tokens = tokenize("select sum(bytes) from posix where x >= 1.5e2");
+  ASSERT_GE(tokens.size(), 11u);
+  EXPECT_TRUE(tokens[0].isKeyword("SELECT"));  // case-insensitive
+  EXPECT_TRUE(tokens[1].isKeyword("sum"));
+  EXPECT_TRUE(tokens[2].isSymbol("("));
+  EXPECT_EQ(tokens[3].text, "bytes");
+  EXPECT_TRUE(tokens[4].isSymbol(")"));
+  const Token& number = tokens[10];
+  EXPECT_EQ(number.kind, TokenKind::Number);
+  EXPECT_DOUBLE_EQ(number.number, 150.0);
+  EXPECT_EQ(tokens.back().kind, TokenKind::End);
+}
+
+TEST(Lexer, DottedIdentifiersStayWhole) {
+  const auto tokens = tokenize("osc.max_rpcs_in_flight");
+  EXPECT_EQ(tokens[0].text, "osc.max_rpcs_in_flight");
+}
+
+TEST(Lexer, StringLiteralsBothQuoteStyles) {
+  const auto a = tokenize("'hello world'");
+  EXPECT_EQ(a[0].kind, TokenKind::String);
+  EXPECT_EQ(a[0].text, "hello world");
+  const auto b = tokenize("\"with, punctuation!\"");
+  EXPECT_EQ(b[0].text, "with, punctuation!");
+}
+
+TEST(Lexer, TwoCharOperators) {
+  const auto tokens = tokenize("a >= b <= c != d == e");
+  EXPECT_TRUE(tokens[1].isSymbol(">="));
+  EXPECT_TRUE(tokens[3].isSymbol("<="));
+  EXPECT_TRUE(tokens[5].isSymbol("!="));
+  EXPECT_TRUE(tokens[7].isSymbol("=="));
+}
+
+TEST(Lexer, ErrorsOnBadInput) {
+  EXPECT_THROW((void)tokenize("select @ from t"), QueryError);
+  EXPECT_THROW((void)tokenize("'unterminated"), QueryError);
+}
+
+TEST(Lexer, OffsetsTrackPositions) {
+  const auto tokens = tokenize("ab  cd");
+  EXPECT_EQ(tokens[0].offset, 0u);
+  EXPECT_EQ(tokens[1].offset, 4u);
+}
+
+}  // namespace
+}  // namespace stellar::dfq

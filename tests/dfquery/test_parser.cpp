@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "dfquery/ast.hpp"
+#include "dfquery/lexer.hpp"
+
+namespace stellar::dfq {
+namespace {
+
+TEST(Parser, MinimalSelectStar) {
+  const Query q = parseQuery("select * from posix");
+  EXPECT_TRUE(q.select.empty());
+  EXPECT_EQ(q.table, "posix");
+  EXPECT_EQ(q.where, nullptr);
+  EXPECT_FALSE(q.groupBy.has_value());
+}
+
+TEST(Parser, SelectListWithAggregates) {
+  const Query q = parseQuery("select file, sum(bytes), count(*), avg(x) from t");
+  ASSERT_EQ(q.select.size(), 4u);
+  EXPECT_FALSE(q.select[0].agg.has_value());
+  EXPECT_EQ(q.select[1].agg, df::DataFrame::Agg::Sum);
+  EXPECT_EQ(q.select[2].agg, df::DataFrame::Agg::Count);
+  EXPECT_EQ(q.select[2].column, "*");
+  EXPECT_EQ(q.select[3].agg, df::DataFrame::Agg::Mean);
+}
+
+TEST(Parser, FullClauseSet) {
+  const Query q = parseQuery(
+      "select rank, sum(bytes) from posix where bytes > 0 and rank >= 2 "
+      "group by rank order by sum_bytes desc limit 7");
+  EXPECT_NE(q.where, nullptr);
+  EXPECT_EQ(q.groupBy, "rank");
+  EXPECT_EQ(q.orderBy, "sum_bytes");
+  EXPECT_TRUE(q.orderDescending);
+  EXPECT_EQ(q.limit, 7u);
+}
+
+TEST(Parser, WherePrecedenceOrOverAnd) {
+  const Query q = parseQuery("select * from t where a == 1 or b == 2 and c == 3");
+  // Top node must be OR (AND binds tighter).
+  ASSERT_NE(q.where, nullptr);
+  EXPECT_EQ(q.where->kind, ExprKind::Binary);
+  EXPECT_EQ(q.where->text, "or");
+  EXPECT_EQ(q.where->args[1]->text, "and");
+}
+
+TEST(Parser, ArithmeticInsideComparisons) {
+  const Query q = parseQuery("select * from t where a + b * 2 < c / 4");
+  EXPECT_EQ(q.where->text, "<");
+  EXPECT_EQ(q.where->args[0]->text, "+");
+  EXPECT_EQ(q.where->args[0]->args[1]->text, "*");
+}
+
+TEST(Parser, EqualsNormalizedToDoubleEquals) {
+  const Query q = parseQuery("select * from t where a = 5");
+  EXPECT_EQ(q.where->text, "==");
+}
+
+TEST(Parser, NotAndUnaryMinus) {
+  const Query q = parseQuery("select * from t where not a == -1");
+  EXPECT_EQ(q.where->text, "not");
+  EXPECT_EQ(q.where->args[0]->text, "==");
+  EXPECT_EQ(q.where->args[0]->args[1]->text, "-");
+}
+
+TEST(Parser, FunctionCallsInExpressions) {
+  const Query q = parseQuery("select * from t where contains(file, 'mdt')");
+  EXPECT_EQ(q.where->kind, ExprKind::Call);
+  EXPECT_EQ(q.where->text, "contains");
+  EXPECT_EQ(q.where->args.size(), 2u);
+}
+
+TEST(Parser, RejectsMalformedQueries) {
+  EXPECT_THROW((void)parseQuery("selekt * from t"), QueryError);
+  EXPECT_THROW((void)parseQuery("select from t"), QueryError);
+  EXPECT_THROW((void)parseQuery("select * from"), QueryError);
+  EXPECT_THROW((void)parseQuery("select * from t where"), QueryError);
+  EXPECT_THROW((void)parseQuery("select * from t limit -2"), QueryError);
+  EXPECT_THROW((void)parseQuery("select * from t garbage"), QueryError);
+  EXPECT_THROW((void)parseQuery("select bogus(x) from t"), QueryError);
+  EXPECT_THROW((void)parseQuery("select sum(*) from t"), QueryError);
+  EXPECT_THROW((void)parseQuery("select sum(x from t"), QueryError);
+}
+
+}  // namespace
+}  // namespace stellar::dfq

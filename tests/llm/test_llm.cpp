@@ -1,0 +1,152 @@
+// Model profiles, hallucination-prone knowledge recall, token accounting.
+#include <gtest/gtest.h>
+
+#include "llm/knowledge.hpp"
+#include "llm/model_profile.hpp"
+#include "llm/token_meter.hpp"
+
+namespace stellar::llm {
+namespace {
+
+TEST(ModelProfile, LookupByNameAndUnknownThrows) {
+  EXPECT_EQ(profileByName("gpt-4o").name, "gpt-4o");
+  EXPECT_EQ(profileByName("claude-3.7-sonnet").reasoningQuality, 0.95);
+  EXPECT_THROW((void)profileByName("gpt-1"), std::invalid_argument);
+}
+
+TEST(ModelProfile, SmallerModelHallucinatesMore) {
+  EXPECT_GT(llama31_70b().hallucinationRate, claude37Sonnet().hallucinationRate);
+  EXPECT_LT(llama31_70b().reasoningQuality, claude37Sonnet().reasoningQuality);
+}
+
+TEST(Knowledge, GroundedKnowledgeMatchesFacts) {
+  manual::SystemFacts facts;
+  const manual::ParamFact* fact = manual::findParamFact("llite.max_read_ahead_mb");
+  const ParamKnowledge k = groundedKnowledge(*fact, facts);
+  EXPECT_EQ(k.source, KnowledgeSource::RagExtraction);
+  EXPECT_EQ(k.corruption, CorruptionKind::None);
+  EXPECT_EQ(k.minValue, 0);
+  EXPECT_EQ(k.maxValue, facts.clientRamMb / 2);
+  EXPECT_TRUE(k.semanticallyAccurate());
+  EXPECT_TRUE(k.rangeAccurate());
+}
+
+TEST(Knowledge, DependentRangeResolvesAgainstDefaults) {
+  manual::SystemFacts facts;
+  const manual::ParamFact* fact =
+      manual::findParamFact("llite.max_read_ahead_per_file_mb");
+  const ResolvedRange range = resolveRange(*fact, facts);
+  // Depends on llite.max_read_ahead_mb's default (64) / 2.
+  EXPECT_EQ(range.max, 32);
+}
+
+TEST(Knowledge, RecallIsDeterministicPerModelParamSalt) {
+  manual::SystemFacts facts;
+  const manual::ParamFact* fact = manual::findParamFact("llite.statahead_max");
+  const ModelProfile model = gpt4o();
+  const ParamKnowledge a = recallFromMemory(*fact, model, facts, 3);
+  const ParamKnowledge b = recallFromMemory(*fact, model, facts, 3);
+  EXPECT_EQ(a.corruption, b.corruption);
+  EXPECT_EQ(a.maxValue, b.maxValue);
+  EXPECT_EQ(a.description, b.description);
+}
+
+TEST(Knowledge, HallucinationRateControlsCorruptionFrequency) {
+  manual::SystemFacts facts;
+  ModelProfile never = gpt4o();
+  never.hallucinationRate = 0.0;
+  ModelProfile always = gpt4o();
+  always.hallucinationRate = 1.0;
+
+  int corruptNever = 0;
+  int corruptAlways = 0;
+  for (const std::string& name : manual::groundTruthTunables()) {
+    const manual::ParamFact* fact = manual::findParamFact(name);
+    for (std::uint64_t salt = 0; salt < 4; ++salt) {
+      corruptNever += recallFromMemory(*fact, never, facts, salt).corruption !=
+                              CorruptionKind::None
+                          ? 1
+                          : 0;
+      corruptAlways += recallFromMemory(*fact, always, facts, salt).corruption !=
+                               CorruptionKind::None
+                           ? 1
+                           : 0;
+    }
+  }
+  EXPECT_EQ(corruptNever, 0);
+  EXPECT_EQ(corruptAlways, 13 * 4);
+}
+
+TEST(Knowledge, CorruptionKindsHaveExpectedProperties) {
+  manual::SystemFacts facts;
+  ModelProfile always = llama31_70b();
+  always.hallucinationRate = 1.0;
+  bool sawWrongRange = false;
+  bool sawWrongDef = false;
+  bool sawFlipped = false;
+  for (const std::string& name : manual::groundTruthTunables()) {
+    const manual::ParamFact* fact = manual::findParamFact(name);
+    for (std::uint64_t salt = 0; salt < 16; ++salt) {
+      const ParamKnowledge k = recallFromMemory(*fact, always, facts, salt);
+      const ParamKnowledge truth = groundedKnowledge(*fact, facts);
+      switch (k.corruption) {
+        case CorruptionKind::WrongRange:
+          sawWrongRange = true;
+          EXPECT_NE(k.maxValue, truth.maxValue);
+          EXPECT_FALSE(k.rangeAccurate());
+          EXPECT_TRUE(k.semanticallyAccurate());
+          break;
+        case CorruptionKind::WrongDefinition:
+          sawWrongDef = true;
+          EXPECT_NE(k.description, truth.description);
+          EXPECT_FALSE(k.semanticallyAccurate());
+          break;
+        case CorruptionKind::FlippedDirection:
+          sawFlipped = true;
+          EXPECT_FALSE(k.semanticallyAccurate());
+          break;
+        case CorruptionKind::None:
+          ADD_FAILURE() << "hallucinationRate=1 must always corrupt";
+          break;
+      }
+    }
+  }
+  EXPECT_TRUE(sawWrongRange);
+  EXPECT_TRUE(sawWrongDef);
+  EXPECT_TRUE(sawFlipped);
+}
+
+TEST(TokenMeter, CountsAndAggregates) {
+  TokenMeter meter;
+  meter.recordCall("agent-a", "one two three four", "out tokens");
+  meter.recordCall("agent-b", "other conversation", "x");
+  const UsageTotals a = meter.totals("agent-a");
+  EXPECT_EQ(a.calls, 1u);
+  EXPECT_GT(a.inputTokens, 0u);
+  EXPECT_EQ(meter.totals().calls, 2u);
+}
+
+TEST(TokenMeter, PrefixCacheAcrossConversationTurns) {
+  TokenMeter meter;
+  const std::string prefix(4000, 'a');
+  meter.recordCall("tuning", prefix + " turn one", "r1");
+  const CallRecord second = meter.recordCall("tuning", prefix + " turn one turn two", "r2");
+  EXPECT_GT(second.cachedTokens, 0u);
+  EXPECT_GT(meter.totals("tuning").cacheHitRate(), 0.3);
+  // A different conversation does not share the cache.
+  const CallRecord other = meter.recordCall("analysis", prefix, "r3");
+  EXPECT_EQ(other.cachedTokens, 0u);
+}
+
+TEST(TokenMeter, CostAndLatencyEstimates) {
+  TokenMeter meter;
+  meter.recordCall("t", std::string(40000, 'x'), std::string(4000, 'y'));
+  const ModelProfile model = claude37Sonnet();
+  EXPECT_GT(meter.estimateCostUsd(model), 0.0);
+  EXPECT_DOUBLE_EQ(meter.estimateLatencySeconds(model), model.latencyPerCall);
+  meter.reset();
+  EXPECT_EQ(meter.totals().calls, 0u);
+}
+
+}  // namespace
+}  // namespace stellar::llm

@@ -1,0 +1,136 @@
+// Ground-truth parameter DB and the synthetic manual.
+#include <gtest/gtest.h>
+
+#include "manual/manual_text.hpp"
+#include "manual/param_facts.hpp"
+#include "util/expr.hpp"
+
+namespace stellar::manual {
+namespace {
+
+TEST(ParamFacts, ThirteenGroundTruthTunables) {
+  EXPECT_EQ(groundTruthTunables().size(), 13u);
+}
+
+TEST(ParamFacts, EveryCategoryRepresented) {
+  int counts[5] = {0, 0, 0, 0, 0};
+  for (const ParamFact& fact : allParamFacts()) {
+    ++counts[static_cast<int>(fact.category)];
+  }
+  for (const int c : counts) {
+    EXPECT_GT(c, 0);
+  }
+}
+
+TEST(ParamFacts, LookupByName) {
+  const ParamFact* fact = findParamFact("osc.max_dirty_mb");
+  ASSERT_NE(fact, nullptr);
+  EXPECT_EQ(fact->defaultValue, 32);
+  EXPECT_EQ(findParamFact("no.such_param"), nullptr);
+}
+
+TEST(ParamFacts, NamesAreUnique) {
+  std::set<std::string> seen;
+  for (const ParamFact& fact : allParamFacts()) {
+    EXPECT_TRUE(seen.insert(fact.name).second) << fact.name;
+  }
+}
+
+TEST(ParamFacts, RangeExpressionsParseAndResolve) {
+  SystemFacts facts;
+  const auto resolver = [&facts](std::string_view name) -> std::optional<double> {
+    if (const auto v = facts.resolve(name)) {
+      return v;
+    }
+    if (const ParamFact* other = findParamFact(name)) {
+      return static_cast<double>(other->defaultValue);
+    }
+    return std::nullopt;
+  };
+  for (const ParamFact& fact : allParamFacts()) {
+    if (!fact.minExpr.empty()) {
+      EXPECT_NO_THROW((void)util::evaluateExpression(fact.minExpr, resolver))
+          << fact.name;
+    }
+    if (!fact.maxExpr.empty()) {
+      const double maxV = util::evaluateExpression(fact.maxExpr, resolver);
+      const double minV = fact.minExpr.empty()
+                              ? maxV
+                              : util::evaluateExpression(fact.minExpr, resolver);
+      EXPECT_LE(minV, maxV) << fact.name;
+    }
+  }
+}
+
+TEST(ParamFacts, DefaultsWithinRanges) {
+  SystemFacts facts;
+  const auto resolver = [&facts](std::string_view name) -> std::optional<double> {
+    if (const auto v = facts.resolve(name)) {
+      return v;
+    }
+    if (const ParamFact* other = findParamFact(name)) {
+      return static_cast<double>(other->defaultValue);
+    }
+    return std::nullopt;
+  };
+  for (const ParamFact& fact : allParamFacts()) {
+    if (fact.minExpr.empty() || fact.maxExpr.empty()) {
+      continue;
+    }
+    const double lo = util::evaluateExpression(fact.minExpr, resolver);
+    const double hi = util::evaluateExpression(fact.maxExpr, resolver);
+    EXPECT_GE(static_cast<double>(fact.defaultValue), lo) << fact.name;
+    EXPECT_LE(static_cast<double>(fact.defaultValue), hi) << fact.name;
+  }
+}
+
+TEST(ParamFacts, SystemFactsResolver) {
+  SystemFacts facts;
+  facts.clientRamMb = 1234;
+  EXPECT_EQ(facts.resolve("client_ram_mb"), 1234.0);
+  EXPECT_EQ(facts.resolve("ost_count"), 5.0);
+  EXPECT_EQ(facts.resolve("unknown_fact"), std::nullopt);
+}
+
+TEST(ManualText, EveryDocumentedParamHasExactlyOneSection) {
+  const std::string& text = fullManualText();
+  for (const ParamFact& fact : allParamFacts()) {
+    const std::string marker = parameterSectionMarker(fact.name);
+    const auto first = text.find(marker);
+    if (fact.category == ParamCategory::Undocumented) {
+      EXPECT_EQ(first, std::string::npos) << fact.name;
+      continue;
+    }
+    ASSERT_NE(first, std::string::npos) << fact.name;
+    EXPECT_EQ(text.find(marker, first + 1), std::string::npos)
+        << fact.name << " has duplicate sections";
+  }
+}
+
+TEST(ManualText, SectionsCarryRangeLines) {
+  const std::string& text = fullManualText();
+  for (const ParamFact& fact : allParamFacts()) {
+    if (fact.category == ParamCategory::Undocumented) {
+      continue;
+    }
+    const auto at = text.find(parameterSectionMarker(fact.name));
+    const std::string window = text.substr(at, 1500);
+    EXPECT_NE(window.find("Default: "), std::string::npos) << fact.name;
+    EXPECT_NE(window.find("Maximum: " + fact.maxExpr), std::string::npos) << fact.name;
+  }
+}
+
+TEST(ManualText, IsLargeEnoughToNeedRetrieval) {
+  // The manual must exceed any realistic single-context window by chunking
+  // standards used in the pipeline (>> one 1024-token chunk).
+  EXPECT_GT(fullManualText().size(), 50000u);
+  EXPECT_GT(manualSections().size(), 10u);
+}
+
+TEST(ManualText, DeterministicAcrossCalls) {
+  EXPECT_EQ(&fullManualText(), &fullManualText());
+  EXPECT_EQ(fullManualText(), fullManualText());
+}
+
+}  // namespace
+}  // namespace stellar::manual

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "opt/linalg.hpp"
+
+namespace stellar::opt {
+namespace {
+
+Matrix spd3() {
+  // A = [[4,2,1],[2,5,3],[1,3,6]] (symmetric positive definite).
+  Matrix a(3, 3);
+  const double values[3][3] = {{4, 2, 1}, {2, 5, 3}, {1, 3, 6}};
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      a.at(i, j) = values[i][j];
+    }
+  }
+  return a;
+}
+
+TEST(Linalg, CholeskyReconstructsMatrix) {
+  const Matrix a = spd3();
+  const Matrix l = cholesky(a);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      double llT = 0.0;
+      for (std::size_t k = 0; k < 3; ++k) {
+        llT += l.at(i, k) * l.at(j, k);
+      }
+      EXPECT_NEAR(llT, a.at(i, j), 1e-12);
+    }
+    // Upper triangle of L is zero.
+    for (std::size_t j = i + 1; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(l.at(i, j), 0.0);
+    }
+  }
+}
+
+TEST(Linalg, CholeskySolveSolvesSystem) {
+  const Matrix a = spd3();
+  const Matrix l = cholesky(a);
+  const std::vector<double> b = {7.0, 13.0, 17.0};
+  const std::vector<double> x = choleskySolve(l, b);
+  for (std::size_t i = 0; i < 3; ++i) {
+    double ax = 0.0;
+    for (std::size_t j = 0; j < 3; ++j) {
+      ax += a.at(i, j) * x[j];
+    }
+    EXPECT_NEAR(ax, b[i], 1e-10);
+  }
+}
+
+TEST(Linalg, ForwardBackwardAreInverses) {
+  const Matrix l = cholesky(spd3());
+  const std::vector<double> b = {1.0, 2.0, 3.0};
+  const auto y = forwardSolve(l, b);
+  // L y = b
+  for (std::size_t i = 0; i < 3; ++i) {
+    double ly = 0.0;
+    for (std::size_t k = 0; k <= i; ++k) {
+      ly += l.at(i, k) * y[k];
+    }
+    EXPECT_NEAR(ly, b[i], 1e-12);
+  }
+}
+
+TEST(Linalg, RejectsNonSpdAndBadShapes) {
+  Matrix notSpd(2, 2);
+  notSpd.at(0, 0) = 1;
+  notSpd.at(0, 1) = 5;
+  notSpd.at(1, 0) = 5;
+  notSpd.at(1, 1) = 1;  // eigenvalues 6, -4
+  EXPECT_THROW((void)cholesky(notSpd), std::runtime_error);
+
+  Matrix rect(2, 3);
+  EXPECT_THROW((void)cholesky(rect), std::runtime_error);
+
+  const Matrix l = cholesky(spd3());
+  EXPECT_THROW((void)forwardSolve(l, {1.0}), std::runtime_error);
+  EXPECT_THROW((void)backwardSolve(l, {1.0}), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace stellar::opt

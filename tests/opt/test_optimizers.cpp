@@ -1,0 +1,96 @@
+// Black-box optimizers on synthetic objectives: convergence sanity and
+// history bookkeeping.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "opt/optimizers.hpp"
+
+namespace stellar::opt {
+namespace {
+
+// A smooth objective over the normalized point: distance to a known
+// optimum inside [0,1]^13, mapped through decode/encode to keep everything
+// in config space. Lower is better; best possible value is 1.0.
+Objective syntheticObjective(const SearchSpace& space) {
+  return [&space](const pfs::PfsConfig& cfg) {
+    const std::vector<double> x = space.encode(cfg);
+    double d2 = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double target = 0.3 + 0.04 * static_cast<double>(i);
+      d2 += (x[i] - target) * (x[i] - target);
+    }
+    return 1.0 + d2;
+  };
+}
+
+class OptimizerTest : public ::testing::Test {
+ protected:
+  SearchSpace space_{pfs::BoundsContext{}};
+};
+
+TEST_F(OptimizerTest, HistoryIsBestSoFarAndMonotone) {
+  OptOptions options;
+  options.maxEvaluations = 40;
+  const OptResult result = randomSearch(space_, syntheticObjective(space_), options);
+  EXPECT_EQ(result.history.size(), 40u);
+  for (std::size_t i = 1; i < result.history.size(); ++i) {
+    EXPECT_LE(result.history[i], result.history[i - 1]);
+  }
+  EXPECT_DOUBLE_EQ(result.history.back(), result.bestSeconds);
+}
+
+TEST_F(OptimizerTest, AllMethodsImproveOnTheSyntheticObjective) {
+  const Objective objective = syntheticObjective(space_);
+  OptOptions options;
+  options.maxEvaluations = 60;
+  const double defaultCost = objective(pfs::PfsConfig{});
+
+  for (const auto& [name, result] :
+       {std::pair{"random", randomSearch(space_, objective, options)},
+        std::pair{"anneal", simulatedAnnealing(space_, objective, options)},
+        std::pair{"bo", bayesianOptimize(space_, objective, options)},
+        std::pair{"heuristic", heuristicController(space_, objective, options)}}) {
+    EXPECT_LT(result.bestSeconds, defaultCost) << name;
+    EXPECT_LE(result.history.size(), 61u) << name;
+  }
+}
+
+TEST_F(OptimizerTest, BayesianOptBeatsRandomOnSmoothObjective) {
+  const Objective objective = syntheticObjective(space_);
+  OptOptions options;
+  options.maxEvaluations = 50;
+  double randomTotal = 0.0;
+  double boTotal = 0.0;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    options.seed = seed;
+    randomTotal += randomSearch(space_, objective, options).bestSeconds;
+    boTotal += bayesianOptimize(space_, objective, options).bestSeconds;
+  }
+  // BO should be competitive on a smooth objective; a hard dominance
+  // requirement would be flaky at this budget.
+  EXPECT_LT(boTotal, randomTotal * 1.15);
+}
+
+TEST_F(OptimizerTest, DeterministicPerSeed) {
+  const Objective objective = syntheticObjective(space_);
+  OptOptions options;
+  options.maxEvaluations = 30;
+  options.seed = 9;
+  const OptResult a = simulatedAnnealing(space_, objective, options);
+  const OptResult b = simulatedAnnealing(space_, objective, options);
+  EXPECT_EQ(a.history, b.history);
+  EXPECT_EQ(a.bestConfig, b.bestConfig);
+}
+
+TEST_F(OptimizerTest, EvaluationsToReachFindsFirstIndex) {
+  OptResult result;
+  result.history = {10.0, 8.0, 8.0, 5.0, 5.0};
+  EXPECT_EQ(result.evaluationsToReach(8.0, 1.0), 2u);
+  EXPECT_EQ(result.evaluationsToReach(5.0, 1.0), 4u);
+  EXPECT_EQ(result.evaluationsToReach(1.0, 1.0), 0u);  // never reached
+  EXPECT_EQ(result.evaluationsToReach(9.0, 1.2), 1u);
+}
+
+}  // namespace
+}  // namespace stellar::opt

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "opt/search_space.hpp"
+#include "util/rng.hpp"
+
+namespace stellar::opt {
+namespace {
+
+TEST(SearchSpace, ThirteenDimensions) {
+  const SearchSpace space{pfs::BoundsContext{}};
+  EXPECT_EQ(space.dims(), 13u);
+}
+
+TEST(SearchSpace, EveryDecodedPointIsValid) {
+  const pfs::BoundsContext ctx;
+  const SearchSpace space{ctx};
+  util::Rng rng{3};
+  for (int i = 0; i < 500; ++i) {
+    std::vector<double> x(space.dims());
+    for (double& v : x) {
+      v = rng.uniform();
+    }
+    const pfs::PfsConfig cfg = space.decode(x);
+    EXPECT_TRUE(pfs::validateConfig(cfg, ctx).empty());
+  }
+}
+
+TEST(SearchSpace, CornersDecodeToExtremes) {
+  const SearchSpace space{pfs::BoundsContext{}};
+  const pfs::PfsConfig lo = space.decode(std::vector<double>(space.dims(), 0.0));
+  const pfs::PfsConfig hi = space.decode(std::vector<double>(space.dims(), 1.0));
+  EXPECT_EQ(lo.stripe_count, -1);  // bucket 0 is "all OSTs"
+  EXPECT_EQ(lo.osc_max_rpcs_in_flight, 1);
+  EXPECT_EQ(hi.osc_max_rpcs_in_flight, 256);
+  EXPECT_EQ(hi.osc_max_pages_per_rpc, 4096);
+  EXPECT_EQ(hi.stripe_count, 5);
+}
+
+TEST(SearchSpace, EncodeDecodeRoundTripsApproximately) {
+  const SearchSpace space{pfs::BoundsContext{}};
+  pfs::PfsConfig cfg;
+  cfg.stripe_count = -1;
+  cfg.stripe_size = 16 << 20;
+  cfg.osc_max_rpcs_in_flight = 64;
+  cfg.osc_max_dirty_mb = 512;
+  cfg.llite_statahead_max = 1024;
+  const pfs::PfsConfig back = space.decode(space.encode(cfg));
+  EXPECT_EQ(back.stripe_count, cfg.stripe_count);
+  // Log-scale quantization: within 2x of the original.
+  EXPECT_GT(back.osc_max_rpcs_in_flight, 32);
+  EXPECT_LT(back.osc_max_rpcs_in_flight, 129);
+  EXPECT_GT(back.osc_max_dirty_mb, 256);
+  EXPECT_LT(back.osc_max_dirty_mb, 1025);
+}
+
+TEST(SearchSpace, DecodeValidatesDimension) {
+  const SearchSpace space{pfs::BoundsContext{}};
+  EXPECT_THROW((void)space.decode(std::vector<double>(2, 0.5)),
+               std::invalid_argument);
+}
+
+TEST(SearchSpace, ZeroCapableDomainsReachZero) {
+  const SearchSpace space{pfs::BoundsContext{}};
+  std::vector<double> x(space.dims(), 0.5);
+  // statahead dimension index:
+  const auto& names = space.names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == "llite.statahead_max" || names[i] == "ldlm.lru_size") {
+      x[i] = 0.01;  // bottom band maps to the minimum (0)
+    }
+  }
+  const pfs::PfsConfig cfg = space.decode(x);
+  EXPECT_EQ(cfg.llite_statahead_max, 0);
+  EXPECT_EQ(cfg.ldlm_lru_size, 0);
+}
+
+}  // namespace
+}  // namespace stellar::opt

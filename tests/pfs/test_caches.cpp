@@ -1,0 +1,180 @@
+// Unit tests for the client-side cache state machines.
+#include <gtest/gtest.h>
+
+#include "pfs/client_cache.hpp"
+
+namespace stellar::pfs {
+namespace {
+
+// ----------------------------------------------------------- DirtyTracker
+
+TEST(DirtyTracker, ReservesWithinBudget) {
+  DirtyTracker d{100};
+  EXPECT_TRUE(d.tryReserve(60));
+  EXPECT_EQ(d.dirtyBytes(), 60u);
+  EXPECT_FALSE(d.tryReserve(60));
+  EXPECT_TRUE(d.tryReserve(40));
+  EXPECT_EQ(d.freeBytes(), 0u);
+}
+
+TEST(DirtyTracker, ReleaseWakesWaitersFifo) {
+  DirtyTracker d{100};
+  ASSERT_TRUE(d.tryReserve(100));
+  std::vector<int> fired;
+  d.waitForSpace(50, [&] { fired.push_back(1); });
+  d.waitForSpace(50, [&] { fired.push_back(2); });
+  d.release(40);  // only 40 free: nobody admitted
+  EXPECT_TRUE(fired.empty());
+  d.release(60);  // 100 free: both admitted in order
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+  EXPECT_EQ(d.dirtyBytes(), 100u);  // both reservations charged
+}
+
+TEST(DirtyTracker, OversizedWriteAdmittedWhenEmpty) {
+  DirtyTracker d{10};
+  EXPECT_TRUE(d.tryReserve(50));  // empty tracker: oversized allowed
+  EXPECT_FALSE(d.tryReserve(1));
+  bool fired = false;
+  d.waitForSpace(50, [&] { fired = true; });
+  d.release(50);
+  EXPECT_TRUE(fired);  // oversized waiter admitted once drained
+}
+
+TEST(DirtyTracker, NewRequestsQueueBehindWaiters) {
+  DirtyTracker d{100};
+  ASSERT_TRUE(d.tryReserve(90));
+  bool fired = false;
+  d.waitForSpace(20, [&] { fired = true; });
+  // 10 bytes are free, but FIFO fairness blocks late arrivals.
+  EXPECT_FALSE(d.tryReserve(5));
+  d.release(90);
+  EXPECT_TRUE(fired);
+}
+
+// --------------------------------------------------------- ReadAheadCache
+
+TEST(ReadAheadCache, QueryReportsMissingRanges) {
+  ReadAheadCache ra{1 << 20};
+  auto cov = ra.query(1, 0, 1000);
+  ASSERT_EQ(cov.missing.size(), 1u);
+  EXPECT_EQ(cov.missing[0], (std::pair<std::uint64_t, std::uint64_t>{0, 1000}));
+  EXPECT_TRUE(cov.pending.empty());
+}
+
+TEST(ReadAheadCache, PendingChunksReportedUntilReady) {
+  ReadAheadCache ra{1 << 20};
+  CacheChunk* chunk = ra.insertPending(1, 0, 512);
+  auto cov = ra.query(1, 0, 512);
+  EXPECT_TRUE(cov.missing.empty());
+  ASSERT_EQ(cov.pending.size(), 1u);
+  ra.markReady(chunk);
+  cov = ra.query(1, 0, 512);
+  EXPECT_TRUE(cov.fullyReady());
+}
+
+TEST(ReadAheadCache, PartialCoverageSplitsMissing) {
+  ReadAheadCache ra{1 << 20};
+  ra.markReady(ra.insertPending(7, 100, 200));
+  ra.markReady(ra.insertPending(7, 300, 400));
+  const auto cov = ra.query(7, 0, 500);
+  ASSERT_EQ(cov.missing.size(), 3u);
+  EXPECT_EQ(cov.missing[0], (std::pair<std::uint64_t, std::uint64_t>{0, 100}));
+  EXPECT_EQ(cov.missing[1], (std::pair<std::uint64_t, std::uint64_t>{200, 300}));
+  EXPECT_EQ(cov.missing[2], (std::pair<std::uint64_t, std::uint64_t>{400, 500}));
+}
+
+TEST(ReadAheadCache, ConsumeRefundsBudgetAndErasesChunks) {
+  ReadAheadCache ra{1000};
+  CacheChunk* chunk = ra.insertPending(1, 0, 600);
+  EXPECT_EQ(ra.outstanding(), 600u);
+  EXPECT_EQ(ra.freeBudget(), 400u);
+  ra.markReady(chunk);
+  ra.consume(1, 0, 300);
+  EXPECT_EQ(ra.outstanding(), 300u);
+  EXPECT_EQ(ra.chunkCount(1), 1u);  // partially consumed, still present
+  ra.consume(1, 300, 600);
+  EXPECT_EQ(ra.outstanding(), 0u);
+  EXPECT_EQ(ra.chunkCount(1), 0u);
+}
+
+TEST(ReadAheadCache, DropFileRefundsAndReturnsOrphans) {
+  ReadAheadCache ra{1000};
+  CacheChunk* chunk = ra.insertPending(1, 0, 500);
+  bool waiterCalled = false;
+  chunk->waiters.push_back([&] { waiterCalled = true; });
+  auto orphans = ra.dropFile(1);
+  EXPECT_EQ(ra.outstanding(), 0u);
+  ASSERT_EQ(orphans.size(), 1u);
+  EXPECT_FALSE(waiterCalled);
+  orphans[0]();
+  EXPECT_TRUE(waiterCalled);
+  EXPECT_EQ(ra.find(1, 0), nullptr);
+}
+
+TEST(ReadAheadCache, FindLocatesChunkByBegin) {
+  ReadAheadCache ra{1000};
+  ra.insertPending(3, 128, 256);
+  EXPECT_NE(ra.find(3, 128), nullptr);
+  EXPECT_EQ(ra.find(3, 0), nullptr);
+  EXPECT_EQ(ra.find(4, 128), nullptr);
+}
+
+// ----------------------------------------------------------------- LockLru
+
+TEST(LockLru, HitRefreshesMissInsertsNothing) {
+  LockLru lru{4, 100.0};
+  EXPECT_FALSE(lru.touch(1, 0.0));
+  lru.insert(1, 0.0);
+  EXPECT_TRUE(lru.touch(1, 1.0));
+  EXPECT_EQ(lru.hits(), 1u);
+  EXPECT_EQ(lru.misses(), 1u);
+}
+
+TEST(LockLru, EvictsLeastRecentlyUsed) {
+  LockLru lru{2, 1000.0};
+  lru.insert(1, 0.0);
+  lru.insert(2, 0.0);
+  EXPECT_TRUE(lru.touch(1, 1.0));  // 1 becomes MRU
+  lru.insert(3, 2.0);              // evicts 2
+  EXPECT_TRUE(lru.touch(1, 3.0));
+  EXPECT_FALSE(lru.touch(2, 3.0));
+  EXPECT_TRUE(lru.touch(3, 3.0));
+}
+
+TEST(LockLru, TtlExpiresEntries) {
+  LockLru lru{10, 50.0};
+  lru.insert(1, 0.0);
+  EXPECT_TRUE(lru.touch(1, 49.0));   // refreshed at 49
+  EXPECT_TRUE(lru.touch(1, 98.0));   // within 50 of refresh
+  EXPECT_FALSE(lru.touch(1, 200.0)); // expired
+  EXPECT_EQ(lru.size(), 0u);
+}
+
+TEST(LockLru, ZeroCapacitySelectsDynamicSizing) {
+  LockLru lru{0, 1000.0};
+  EXPECT_EQ(lru.effectiveCapacity(), LockLru::kDynamicCapacity);
+  for (FileId f = 0; f < LockLru::kDynamicCapacity + 100; ++f) {
+    lru.insert(f, 0.0);
+  }
+  EXPECT_EQ(lru.size(), LockLru::kDynamicCapacity);
+}
+
+TEST(LockLru, EraseRemovesLock) {
+  LockLru lru{4, 100.0};
+  lru.insert(9, 0.0);
+  lru.erase(9);
+  EXPECT_FALSE(lru.touch(9, 1.0));
+  lru.erase(9);  // idempotent
+}
+
+TEST(LockLru, ReconfigureShrinksToCapacity) {
+  LockLru lru{8, 100.0};
+  for (FileId f = 0; f < 8; ++f) {
+    lru.insert(f, 0.0);
+  }
+  lru.configure(3, 100.0);
+  EXPECT_EQ(lru.size(), 3u);
+}
+
+}  // namespace
+}  // namespace stellar::pfs

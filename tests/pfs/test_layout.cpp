@@ -1,0 +1,103 @@
+// Striping math: exact RAID-0 mapping properties.
+#include <gtest/gtest.h>
+
+#include "pfs/layout.hpp"
+
+namespace stellar::pfs {
+namespace {
+
+TEST(Layout, SingleStripeMapsIdentically) {
+  FileLayout layout{.stripeCount = 1, .stripeSize = 1 << 20, .firstOst = 2,
+                    .totalOsts = 5};
+  const auto pieces = mapExtent(layout, 12345, 777);
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0].ost, 2u);
+  EXPECT_EQ(pieces[0].objectOffset, 12345u);
+  EXPECT_EQ(pieces[0].length, 777u);
+  EXPECT_EQ(pieces[0].fileOffset, 12345u);
+}
+
+TEST(Layout, SplitsAtStripeBoundaries) {
+  FileLayout layout{.stripeCount = 4, .stripeSize = 1024, .firstOst = 0, .totalOsts = 5};
+  // [1000, 3100) crosses boundaries at 1024, 2048, 3072.
+  const auto pieces = mapExtent(layout, 1000, 2100);
+  ASSERT_EQ(pieces.size(), 4u);
+  EXPECT_EQ(pieces[0].length, 24u);
+  EXPECT_EQ(pieces[1].length, 1024u);
+  EXPECT_EQ(pieces[2].length, 1024u);
+  EXPECT_EQ(pieces[3].length, 28u);
+  // OSTs rotate round-robin.
+  EXPECT_EQ(pieces[0].ost, 0u);
+  EXPECT_EQ(pieces[1].ost, 1u);
+  EXPECT_EQ(pieces[2].ost, 2u);
+  EXPECT_EQ(pieces[3].ost, 3u);
+}
+
+TEST(Layout, CoversExtentExactly) {
+  FileLayout layout{.stripeCount = 3, .stripeSize = 4096, .firstOst = 1, .totalOsts = 5};
+  const std::uint64_t offset = 777;
+  const std::uint64_t length = 50000;
+  const auto pieces = mapExtent(layout, offset, length);
+  std::uint64_t covered = 0;
+  std::uint64_t cursor = offset;
+  for (const auto& p : pieces) {
+    EXPECT_EQ(p.fileOffset, cursor);
+    covered += p.length;
+    cursor += p.length;
+  }
+  EXPECT_EQ(covered, length);
+}
+
+TEST(Layout, ObjectOffsetsPackStripesBackToBack) {
+  FileLayout layout{.stripeCount = 2, .stripeSize = 1000, .firstOst = 0, .totalOsts = 2};
+  // Stripe 0 -> ost0 obj [0,1000); stripe 1 -> ost1 obj [0,1000);
+  // stripe 2 -> ost0 obj [1000,2000) ...
+  EXPECT_EQ(objectOffsetFor(layout, 0), 0u);
+  EXPECT_EQ(objectOffsetFor(layout, 1500), 500u);
+  EXPECT_EQ(objectOffsetFor(layout, 2000), 1000u);
+  EXPECT_EQ(objectOffsetFor(layout, 3999), 1999u);
+}
+
+TEST(Layout, EmptyExtentYieldsNoPieces) {
+  FileLayout layout;
+  EXPECT_TRUE(mapExtent(layout, 100, 0).empty());
+}
+
+TEST(Layout, OstForStripeWrapsOverTotalOsts) {
+  FileLayout layout{.stripeCount = 5, .stripeSize = 64, .firstOst = 3, .totalOsts = 5};
+  EXPECT_EQ(layout.ostForStripe(0), 3u);
+  EXPECT_EQ(layout.ostForStripe(1), 4u);
+  EXPECT_EQ(layout.ostForStripe(2), 0u);
+  EXPECT_EQ(layout.ostForStripe(7), 0u);  // 3 + (7 % 5) = 5 -> 0
+}
+
+class LayoutCoverageSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint64_t>> {};
+
+TEST_P(LayoutCoverageSweep, PiecesTileArbitraryExtents) {
+  const auto [stripeCount, stripeSize] = GetParam();
+  FileLayout layout{.stripeCount = stripeCount, .stripeSize = stripeSize,
+                    .firstOst = 1, .totalOsts = 5};
+  for (std::uint64_t offset : {std::uint64_t{0}, stripeSize - 1, 3 * stripeSize + 17}) {
+    for (std::uint64_t length : {std::uint64_t{1}, stripeSize, 7 * stripeSize + 3}) {
+      const auto pieces = mapExtent(layout, offset, length);
+      std::uint64_t cursor = offset;
+      for (const auto& p : pieces) {
+        EXPECT_EQ(p.fileOffset, cursor);
+        EXPECT_LE(p.length, stripeSize);
+        EXPECT_LT(p.ost, 5u);
+        cursor += p.length;
+      }
+      EXPECT_EQ(cursor, offset + length);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LayoutCoverageSweep,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 5u),
+                       ::testing::Values(std::uint64_t{65536}, std::uint64_t{1} << 20,
+                                         std::uint64_t{16} << 20)));
+
+}  // namespace
+}  // namespace stellar::pfs

@@ -1,0 +1,170 @@
+// Property-style sweeps over the whole (workload x configuration) space:
+// invariants that must hold for ANY valid configuration on ANY workload.
+#include <gtest/gtest.h>
+
+#include "pfs/simulator.hpp"
+#include "util/rng.hpp"
+#include "workloads/workloads.hpp"
+
+namespace stellar {
+namespace {
+
+using pfs::PfsConfig;
+using pfs::PfsSimulator;
+
+workloads::WorkloadOptions tinyOpts() {
+  workloads::WorkloadOptions opt;
+  opt.ranks = 10;
+  opt.scale = 0.02;
+  return opt;
+}
+
+/// Deterministic "random" valid configuration.
+PfsConfig randomValidConfig(util::Rng& rng, const pfs::BoundsContext& ctx) {
+  PfsConfig cfg;
+  for (const std::string& name : PfsConfig::tunableNames()) {
+    const auto bounds = pfs::paramBounds(name, cfg, ctx);
+    if (!bounds) {
+      continue;
+    }
+    (void)cfg.set(name, rng.uniformInt(bounds->min, bounds->max));
+  }
+  cfg = pfs::clampConfig(cfg, ctx);
+  if (cfg.stripe_count == 0) {
+    cfg.stripe_count = 1;
+  }
+  return cfg;
+}
+
+std::uint64_t expectedBytesWritten(const pfs::JobSpec& job) {
+  std::uint64_t total = 0;
+  for (const auto& program : job.ranks) {
+    for (const auto& op : program) {
+      if (op.kind == pfs::OpKind::Write) {
+        total += op.size;
+      }
+    }
+  }
+  return total;
+}
+
+class WorkloadSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WorkloadSweep, RunsToCompletionUnderRandomValidConfigs) {
+  PfsSimulator sim;
+  const pfs::JobSpec job = workloads::byName(GetParam(), tinyOpts());
+  util::Rng rng{util::mix64(std::hash<std::string>{}(GetParam()), 1)};
+  for (int trial = 0; trial < 4; ++trial) {
+    const PfsConfig cfg = randomValidConfig(rng, sim.boundsContext());
+    const pfs::RunResult result = sim.run(job, cfg, 100 + trial);
+    EXPECT_GT(result.rawWallSeconds, 0.0);
+    // Work conservation: bytes written match the op stream exactly,
+    // independent of configuration.
+    EXPECT_DOUBLE_EQ(result.totalBytesWritten(),
+                     static_cast<double>(expectedBytesWritten(job)));
+  }
+}
+
+TEST_P(WorkloadSweep, CountersAreInternallyConsistent) {
+  PfsSimulator sim;
+  const pfs::JobSpec job = workloads::byName(GetParam(), tinyOpts());
+  const pfs::RunResult result = sim.run(job, PfsConfig{}, 9);
+  for (const pfs::FileStats& fs : result.files) {
+    EXPECT_LE(fs.seqReads, fs.readOps);
+    EXPECT_LE(fs.seqWrites, fs.writeOps);
+    if (fs.writeOps + fs.readOps > 0) {
+      EXPECT_GT(fs.maxAccess, 0u);
+      EXPECT_LE(fs.minAccess, fs.maxAccess);
+      EXPECT_GT(fs.rankMask, 0u);
+      EXPECT_EQ(fs.commonAccessSize() == 0, false);
+    }
+    EXPECT_GE(fs.readTime, 0.0);
+    EXPECT_GE(fs.writeTime, 0.0);
+    EXPECT_GE(fs.metaTime, 0.0);
+  }
+  for (const pfs::RankStats& rs : result.ranks) {
+    EXPECT_GE(rs.finishTime, 0.0);
+    EXPECT_LE(rs.finishTime, result.rawWallSeconds + 1e-9);
+  }
+  // Lock traffic implies metadata traffic (not vice versa: a pure
+  // create/write workload queries no locks).
+  if (result.counters.lockHits + result.counters.lockMisses > 0) {
+    EXPECT_GT(result.counters.metaRpcs, 0u);
+  }
+}
+
+TEST_P(WorkloadSweep, DefaultNeverBeatsTheOrderedTunedConfigBadly) {
+  // Sanity floor: a sensibly tuned config is never catastrophically worse
+  // than default on any workload (the agent would revert it anyway; the
+  // simulator should not reward nonsense).
+  PfsSimulator sim;
+  const pfs::JobSpec job = workloads::byName(GetParam(), tinyOpts());
+  PfsConfig tuned;
+  tuned.stripe_count = -1;
+  tuned.osc_max_rpcs_in_flight = 32;
+  tuned.osc_max_dirty_mb = 256;
+  tuned.llite_statahead_max = 1024;
+  tuned.mdc_max_rpcs_in_flight = 64;
+  tuned.mdc_max_mod_rpcs_in_flight = 63;
+  tuned.ldlm_lru_size = 200000;
+  const double tDefault = sim.run(job, PfsConfig{}, 3).rawWallSeconds;
+  const double tTuned = sim.run(job, tuned, 3).rawWallSeconds;
+  EXPECT_LT(tTuned, tDefault * 1.6) << GetParam();
+}
+
+TEST_P(WorkloadSweep, SeedPerturbsWithinNoiseBand) {
+  PfsSimulator sim;
+  const pfs::JobSpec job = workloads::byName(GetParam(), tinyOpts());
+  std::vector<double> walls;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    walls.push_back(sim.run(job, PfsConfig{}, seed).rawWallSeconds);
+  }
+  const double lo = *std::min_element(walls.begin(), walls.end());
+  const double hi = *std::max_element(walls.begin(), walls.end());
+  EXPECT_LT(hi / lo, 1.35) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadSweep,
+                         ::testing::Values("IOR_64K", "IOR_16M", "MDWorkbench_2K",
+                                           "MDWorkbench_8K", "IO500", "AMReX",
+                                           "MACSio_512K", "MACSio_16M"),
+                         [](const auto& info) { return info.param; });
+
+// --------- parameter monotonic-sanity sweeps (each knob, extreme values) --
+
+class KnobSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(KnobSweep, ExtremeValuesNeverDeadlockOrExplode) {
+  PfsSimulator sim;
+  const pfs::JobSpec job = workloads::byName("IO500", tinyOpts());
+  const double base = sim.run(job, PfsConfig{}, 5).rawWallSeconds;
+  for (const bool high : {false, true}) {
+    PfsConfig cfg;
+    const auto bounds = pfs::paramBounds(GetParam(), cfg, sim.boundsContext());
+    ASSERT_TRUE(bounds.has_value());
+    (void)cfg.set(GetParam(), high ? bounds->max : bounds->min);
+    cfg = pfs::clampConfig(cfg, sim.boundsContext());
+    if (cfg.stripe_count == 0) {
+      cfg.stripe_count = 1;
+    }
+    const double t = sim.run(job, cfg, 5).rawWallSeconds;
+    EXPECT_GT(t, 0.0);
+    // One knob at an extreme may hurt, but within an order of magnitude.
+    EXPECT_LT(t, base * 10.0) << GetParam() << (high ? " max" : " min");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKnobs, KnobSweep,
+                         ::testing::ValuesIn(pfs::PfsConfig::tunableNames()),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '.') {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace stellar

@@ -1,0 +1,311 @@
+// Calibration tests: the *shape* of the simulator's response surface is
+// what makes the reproduction meaningful. Each test pins an ordering the
+// Lustre manual (and the paper's tuning narratives) documents:
+//
+//  - striping across all OSTs speeds up large shared-file I/O a lot
+//  - bigger RPCs help large sequential transfers
+//  - stripe_count=1 beats wide striping for small-file metadata workloads
+//  - a large lock LRU speeds up MDWorkbench-style re-access phases
+//  - statahead accelerates stat scans
+//  - readahead accelerates latency-bound sequential reads, not random ones
+//  - dirty budget removes write round-trip stalls
+//
+// Configs are compared on noise-free rawWallSeconds averaged over several
+// seeds (changing the config reorders RNG draws, which acts like a seed
+// change); thresholds are orderings with margin, not absolute values.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "pfs/simulator.hpp"
+#include "workloads/workloads.hpp"
+
+namespace stellar {
+namespace {
+
+using pfs::IoOp;
+using pfs::JobSpec;
+using pfs::PfsConfig;
+using pfs::PfsSimulator;
+using workloads::WorkloadOptions;
+
+double runAvg(const pfs::JobSpec& job, const PfsConfig& cfg,
+              const pfs::ClusterSpec& cluster = pfs::defaultCluster()) {
+  PfsSimulator sim{cluster};
+  double total = 0.0;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    total += sim.run(job, cfg, seed).rawWallSeconds;
+  }
+  return total / 3.0;
+}
+
+WorkloadOptions smallOpts(double scale = 0.05) {
+  WorkloadOptions opt;
+  opt.ranks = 50;
+  opt.scale = scale;
+  return opt;
+}
+
+TEST(ResponseSurface, WideStripingSpeedsUpLargeSharedWrites) {
+  const auto job = workloads::ior16m(smallOpts());
+  PfsConfig narrow;  // default stripe_count = 1
+  PfsConfig wide = narrow;
+  wide.stripe_count = -1;
+  wide.stripe_size = 16 << 20;
+  const double tNarrow = runAvg(job, narrow);
+  const double tWide = runAvg(job, wide);
+  EXPECT_GT(tNarrow / tWide, 2.0) << "narrow=" << tNarrow << " wide=" << tWide;
+}
+
+TEST(ResponseSurface, LargerRpcsHelpLargeSequentialTransfers) {
+  const auto job = workloads::ior16m(smallOpts());
+  PfsConfig small;
+  small.stripe_count = -1;
+  small.osc_max_pages_per_rpc = 64;  // 256 KiB
+  PfsConfig large = small;
+  large.osc_max_pages_per_rpc = 4096;  // 16 MiB
+  const double tSmall = runAvg(job, small);
+  const double tLarge = runAvg(job, large);
+  EXPECT_GT(tSmall / tLarge, 1.15) << "small=" << tSmall << " large=" << tLarge;
+}
+
+TEST(ResponseSurface, WideStripingHurtsSmallFileCreates) {
+  const auto job = workloads::mdworkbench(8 * util::kKiB, smallOpts(0.05));
+  PfsConfig narrow;  // stripe_count = 1
+  PfsConfig wide = narrow;
+  wide.stripe_count = -1;
+  const double tNarrow = runAvg(job, narrow);
+  const double tWide = runAvg(job, wide);
+  EXPECT_GT(tWide / tNarrow, 1.03) << "narrow=" << tNarrow << " wide=" << tWide;
+}
+
+TEST(ResponseSurface, LargeLockLruSpeedsUpMdWorkbench) {
+  // At scale 0.1 each node touches ~4000 files, overflowing the dynamic
+  // (~2000-entry) lock LRU; an explicit large lru_size keeps re-access
+  // phases local.
+  const auto job = workloads::mdworkbench(8 * util::kKiB, smallOpts(0.1));
+  PfsConfig dynamic;  // lru_size = 0 -> dynamic
+  dynamic.llite_statahead_max = 0;  // isolate the lock effect
+  PfsConfig big = dynamic;
+  big.ldlm_lru_size = 200000;
+  const double tDynamic = runAvg(job, dynamic);
+  const double tBig = runAvg(job, big);
+  EXPECT_GT(tDynamic / tBig, 1.08) << "dynamic=" << tDynamic << " big=" << tBig;
+}
+
+// A directory stat scan over more files than the dynamic lock LRU holds:
+// every stat misses and needs an MDS round trip; statahead (together with
+// a raised mdc concurrency cap — statahead RPCs count against it) pipelines
+// them, the `ls -l` acceleration the manual documents.
+JobSpec statScanJob() {
+  JobSpec job;
+  job.name = "stat-scan";
+  const std::uint32_t ranks = 50;
+  job.ranks.resize(ranks);
+  const std::uint32_t filesPerRank = 400;
+  for (std::uint32_t r = 0; r < ranks; ++r) {
+    const auto dir = job.addDir("/scan/rank" + std::to_string(r));
+    auto& prog = job.ranks[r];
+    prog.push_back(IoOp::mkdir(dir));
+    std::vector<pfs::FileId> files;
+    for (std::uint32_t f = 0; f < filesPerRank; ++f) {
+      files.push_back(job.addFile(
+          "/scan/rank" + std::to_string(r) + "/f" + std::to_string(f), dir));
+    }
+    for (const auto f : files) {
+      prog.push_back(IoOp::create(f));
+      prog.push_back(IoOp::close(f));
+    }
+    prog.push_back(IoOp::barrier());
+    for (const auto f : files) {
+      prog.push_back(IoOp::stat(f));
+    }
+  }
+  return job;
+}
+
+TEST(ResponseSurface, StataheadSpeedsUpStatScans) {
+  const auto job = statScanJob();
+  PfsConfig off;
+  off.llite_statahead_max = 0;
+  PfsConfig on = off;
+  on.llite_statahead_max = 512;
+  on.mdc_max_rpcs_in_flight = 64;
+  on.mdc_max_mod_rpcs_in_flight = 63;
+  const double tOff = runAvg(job, off);
+  const double tOn = runAvg(job, on);
+  EXPECT_GT(tOff / tOn, 1.20) << "off=" << tOff << " on=" << tOn;
+}
+
+// A latency-bound sequential-read job: one rank per client node, each
+// reading another node's file in small sequential chunks, one file per
+// OST. This is where readahead pipelining pays off.
+JobSpec crossReadJob(std::uint64_t chunk, bool randomize) {
+  JobSpec job;
+  job.name = "cross-read";
+  const std::uint32_t ranks = 5;
+  job.ranks.resize(ranks);
+  const std::uint64_t fileBytes = 48 * util::kMiB;
+  std::vector<pfs::FileId> files;
+  for (std::uint32_t r = 0; r < ranks; ++r) {
+    files.push_back(job.addFile("/cross/f" + std::to_string(r)));
+  }
+  util::Rng rng{99};
+  for (std::uint32_t r = 0; r < ranks; ++r) {
+    auto& prog = job.ranks[r];
+    prog.push_back(IoOp::create(files[r]));
+    for (std::uint64_t off = 0; off < fileBytes; off += 4 * util::kMiB) {
+      prog.push_back(IoOp::write(files[r], off, 4 * util::kMiB));
+    }
+    prog.push_back(IoOp::fsync(files[r]));
+    prog.push_back(IoOp::close(files[r]));
+    prog.push_back(IoOp::barrier());
+    const pfs::FileId other = files[(r + 1) % ranks];
+    prog.push_back(IoOp::open(other));
+    std::vector<std::uint64_t> order(fileBytes / chunk);
+    std::iota(order.begin(), order.end(), 0);
+    if (randomize) {
+      util::Rng perRank{util::mix64(rng.next(), r)};
+      perRank.shuffle(order);
+    }
+    for (const std::uint64_t i : order) {
+      prog.push_back(IoOp::read(other, i * chunk, chunk));
+    }
+    prog.push_back(IoOp::close(other));
+  }
+  return job;
+}
+
+pfs::ClusterSpec oneRankPerNode() {
+  pfs::ClusterSpec cluster;
+  cluster.ranksPerNode = 1;
+  return cluster;
+}
+
+TEST(ResponseSurface, ReadaheadSpeedsUpSequentialReads) {
+  const auto job = crossReadJob(256 * util::kKiB, /*randomize=*/false);
+  PfsConfig off;
+  off.llite_max_read_ahead_mb = 0;
+  off.llite_max_read_ahead_per_file_mb = 0;
+  off.llite_max_read_ahead_whole_mb = 0;
+  PfsConfig on;
+  on.llite_max_read_ahead_mb = 512;
+  on.llite_max_read_ahead_per_file_mb = 256;
+  const double tOff = runAvg(job, off, oneRankPerNode());
+  const double tOn = runAvg(job, on, oneRankPerNode());
+  EXPECT_GT(tOff / tOn, 1.25) << "off=" << tOff << " on=" << tOn;
+}
+
+TEST(ResponseSurface, ReadaheadDoesNotHelpRandomReads) {
+  const auto job = crossReadJob(256 * util::kKiB, /*randomize=*/true);
+  PfsConfig off;
+  off.llite_max_read_ahead_mb = 0;
+  off.llite_max_read_ahead_per_file_mb = 0;
+  off.llite_max_read_ahead_whole_mb = 0;
+  PfsConfig on;
+  on.llite_max_read_ahead_mb = 512;
+  on.llite_max_read_ahead_per_file_mb = 256;
+  const double tOff = runAvg(job, off, oneRankPerNode());
+  const double tOn = runAvg(job, on, oneRankPerNode());
+  EXPECT_NEAR(tOn / tOff, 1.0, 0.12) << "off=" << tOff << " on=" << tOn;
+}
+
+TEST(ResponseSurface, WideStripingSpeedsUpRandomSharedWrites) {
+  const auto job = workloads::ior64k(smallOpts());
+  PfsConfig narrow;
+  PfsConfig wide = narrow;
+  wide.stripe_count = -1;
+  const double tNarrow = runAvg(job, narrow);
+  const double tWide = runAvg(job, wide);
+  EXPECT_GT(tNarrow / tWide, 1.8) << "narrow=" << tNarrow << " wide=" << tWide;
+}
+
+// One writer per node, one file per OST: with a tiny dirty budget every
+// RPC-sized chunk stalls on a round trip; an ample budget pipelines.
+JobSpec soloWriteJob() {
+  JobSpec job;
+  job.name = "solo-write";
+  const std::uint32_t ranks = 5;
+  job.ranks.resize(ranks);
+  for (std::uint32_t r = 0; r < ranks; ++r) {
+    const auto f = job.addFile("/solo/f" + std::to_string(r));
+    auto& prog = job.ranks[r];
+    prog.push_back(IoOp::create(f));
+    for (std::uint64_t off = 0; off < 64 * util::kMiB; off += util::kMiB) {
+      prog.push_back(IoOp::write(f, off, util::kMiB));
+    }
+    prog.push_back(IoOp::fsync(f));
+    prog.push_back(IoOp::close(f));
+  }
+  return job;
+}
+
+TEST(ResponseSurface, DirtyCacheBudgetMatters) {
+  const auto job = soloWriteJob();
+  PfsConfig tiny;
+  tiny.osc_max_dirty_mb = 1;
+  PfsConfig ample = tiny;
+  ample.osc_max_dirty_mb = 512;
+  const double tTiny = runAvg(job, tiny, oneRankPerNode());
+  const double tAmple = runAvg(job, ample, oneRankPerNode());
+  EXPECT_GT(tTiny / tAmple, 1.10) << "tiny=" << tTiny << " ample=" << tAmple;
+}
+
+TEST(ResponseSurface, ChecksumsCostThroughput) {
+  const auto job = workloads::ior16m(smallOpts());
+  PfsConfig off;
+  off.stripe_count = -1;
+  PfsConfig on = off;
+  on.osc_checksums = true;
+  const double tOff = runAvg(job, off);
+  const double tOn = runAvg(job, on);
+  EXPECT_GT(tOn, tOff) << "off=" << tOff << " on=" << tOn;
+}
+
+TEST(ResponseSurface, MoreRpcsInFlightHelpRandomSmallIo) {
+  const auto job = workloads::ior64k(smallOpts());
+  PfsConfig low;
+  low.stripe_count = -1;
+  low.osc_max_rpcs_in_flight = 1;
+  PfsConfig high = low;
+  high.osc_max_rpcs_in_flight = 64;
+  const double tLow = runAvg(job, low);
+  const double tHigh = runAvg(job, high);
+  EXPECT_GT(tLow / tHigh, 1.10) << "low=" << tLow << " high=" << tHigh;
+}
+
+TEST(ResponseSurface, ExpertConfigBeatsDefaultEverywhere) {
+  // A generically sensible tuned config should beat Lustre defaults on all
+  // benchmark workloads — the premise of the whole paper.
+  PfsConfig iorTuned;
+  iorTuned.stripe_count = -1;
+  iorTuned.stripe_size = 16 << 20;
+  iorTuned.osc_max_pages_per_rpc = 4096;
+  iorTuned.osc_max_rpcs_in_flight = 32;
+  iorTuned.osc_max_dirty_mb = 512;
+  iorTuned.llite_max_read_ahead_mb = 1024;
+  iorTuned.llite_max_read_ahead_per_file_mb = 512;
+
+  PfsConfig mdwTuned;
+  mdwTuned.ldlm_lru_size = 200000;
+  mdwTuned.llite_statahead_max = 1024;
+  mdwTuned.mdc_max_rpcs_in_flight = 64;
+  mdwTuned.mdc_max_mod_rpcs_in_flight = 63;
+
+  const std::vector<std::pair<const char*, PfsConfig>> cases = {
+      {"IOR_64K", iorTuned},
+      {"IOR_16M", iorTuned},
+      {"MDWorkbench_2K", mdwTuned},
+      {"MDWorkbench_8K", mdwTuned},
+  };
+  for (const auto& [name, tuned] : cases) {
+    const auto job = workloads::byName(name, smallOpts(0.08));
+    const double tDefault = runAvg(job, PfsConfig{});
+    const double tTuned = runAvg(job, tuned);
+    EXPECT_GT(tDefault / tTuned, 1.10) << name << " default=" << tDefault
+                                       << " tuned=" << tTuned;
+  }
+}
+
+}  // namespace
+}  // namespace stellar

@@ -1,0 +1,154 @@
+// End-to-end simulator behaviour: determinism, conservation, noise model,
+// validation errors, and basic stats plumbing.
+#include <gtest/gtest.h>
+
+#include "pfs/simulator.hpp"
+#include "workloads/workloads.hpp"
+
+namespace stellar {
+namespace {
+
+using pfs::IoOp;
+using pfs::JobSpec;
+using pfs::PfsConfig;
+using pfs::PfsSimulator;
+
+workloads::WorkloadOptions tinyOpts() {
+  workloads::WorkloadOptions opt;
+  opt.ranks = 10;
+  opt.scale = 0.02;
+  return opt;
+}
+
+TEST(Simulator, DeterministicForSameSeed) {
+  PfsSimulator sim;
+  const JobSpec job = workloads::ior16m(tinyOpts());
+  const auto a = sim.run(job, PfsConfig{}, 7);
+  const auto b = sim.run(job, PfsConfig{}, 7);
+  EXPECT_DOUBLE_EQ(a.wallSeconds, b.wallSeconds);
+  EXPECT_DOUBLE_EQ(a.rawWallSeconds, b.rawWallSeconds);
+  EXPECT_EQ(a.counters.dataRpcs, b.counters.dataRpcs);
+  EXPECT_EQ(a.counters.metaRpcs, b.counters.metaRpcs);
+  EXPECT_EQ(a.counters.events, b.counters.events);
+}
+
+TEST(Simulator, SeedChangesOnlyPerturbTiming) {
+  PfsSimulator sim;
+  const JobSpec job = workloads::ior16m(tinyOpts());
+  const auto a = sim.run(job, PfsConfig{}, 1);
+  const auto b = sim.run(job, PfsConfig{}, 2);
+  EXPECT_NE(a.wallSeconds, b.wallSeconds);
+  // Work is conserved regardless of seed.
+  EXPECT_EQ(a.totalBytesWritten(), b.totalBytesWritten());
+  EXPECT_EQ(a.totalBytesRead(), b.totalBytesRead());
+  // Timing varies by only a few percent.
+  EXPECT_NEAR(a.rawWallSeconds / b.rawWallSeconds, 1.0, 0.25);
+}
+
+TEST(Simulator, ConservesByteCounts) {
+  PfsSimulator sim;
+  auto opt = tinyOpts();
+  const JobSpec job = workloads::ior64k(opt);
+  const auto result = sim.run(job, PfsConfig{}, 3);
+
+  // IOR writes then reads the same volume.
+  EXPECT_GT(result.totalBytesWritten(), 0.0);
+  EXPECT_DOUBLE_EQ(result.totalBytesWritten(), result.totalBytesRead());
+
+  // Per-file stats agree with per-rank stats.
+  double fileWritten = 0.0;
+  for (const auto& f : result.files) {
+    fileWritten += static_cast<double>(f.bytesWritten);
+  }
+  EXPECT_DOUBLE_EQ(fileWritten, result.totalBytesWritten());
+}
+
+TEST(Simulator, SharedFileMarksAllRanks) {
+  PfsSimulator sim;
+  const JobSpec job = workloads::ior16m(tinyOpts());
+  const auto result = sim.run(job, PfsConfig{}, 3);
+  ASSERT_EQ(result.files.size(), 1u);
+  // All 10 ranks touched the single shared file.
+  EXPECT_EQ(__builtin_popcountll(result.files[0].rankMask), 10);
+}
+
+TEST(Simulator, RejectsInvalidConfig) {
+  PfsSimulator sim;
+  const JobSpec job = workloads::ior16m(tinyOpts());
+  PfsConfig bad;
+  bad.osc_max_rpcs_in_flight = 100000;
+  EXPECT_THROW((void)sim.run(job, bad, 1), std::invalid_argument);
+
+  PfsConfig badDependent;
+  badDependent.llite_max_read_ahead_mb = 64;
+  badDependent.llite_max_read_ahead_per_file_mb = 64;  // must be <= half
+  EXPECT_THROW((void)sim.run(job, badDependent, 1), std::invalid_argument);
+}
+
+TEST(Simulator, RejectsJobWithTooManyRanks) {
+  PfsSimulator sim;
+  workloads::WorkloadOptions opt;
+  opt.ranks = 51;  // cluster has 50 slots
+  opt.scale = 0.02;
+  const JobSpec job = workloads::ior16m(opt);
+  EXPECT_THROW((void)sim.run(job, PfsConfig{}, 1), std::invalid_argument);
+}
+
+TEST(Simulator, MetadataWorkloadProducesMetaRpcs) {
+  PfsSimulator sim;
+  auto opt = tinyOpts();
+  const JobSpec job = workloads::mdworkbench(8 * util::kKiB, opt);
+  const auto result = sim.run(job, PfsConfig{}, 3);
+  EXPECT_GT(result.counters.metaRpcs, 100u);
+  // Each file is created/stated/opened/unlinked 3 rounds.
+  for (const auto& f : result.files) {
+    EXPECT_EQ(f.creates, 3u);
+    EXPECT_EQ(f.unlinks, 3u);
+    EXPECT_EQ(f.stats, 3u);
+  }
+}
+
+TEST(Simulator, NoiseHasUnitMean) {
+  PfsSimulator sim;
+  const JobSpec job = workloads::ior16m(tinyOpts());
+  double noisy = 0.0;
+  double raw = 0.0;
+  for (std::uint64_t seed = 0; seed < 24; ++seed) {
+    const auto r = sim.run(job, PfsConfig{}, seed);
+    noisy += r.wallSeconds;
+    raw += r.rawWallSeconds;
+  }
+  EXPECT_NEAR(noisy / raw, 1.0, 0.05);
+}
+
+TEST(Simulator, BarrierTimesExposePhaseStructure) {
+  PfsSimulator sim;
+  const JobSpec job = workloads::mdworkbench(8 * util::kKiB, tinyOpts());
+  const auto result = sim.run(job, PfsConfig{}, 3);
+  // MDWorkbench: 4 barriers per round x 3 rounds.
+  ASSERT_EQ(result.barrierTimes.size(), 12u);
+  for (std::size_t i = 1; i < result.barrierTimes.size(); ++i) {
+    EXPECT_GE(result.barrierTimes[i], result.barrierTimes[i - 1]);
+  }
+  EXPECT_LE(result.barrierTimes.back(), result.rawWallSeconds + 1e-9);
+}
+
+TEST(Simulator, ComputeOpsAddWallTime) {
+  PfsSimulator sim;
+  JobSpec job;
+  job.name = "compute-only";
+  job.ranks.resize(2);
+  const auto f = job.addFile("/x");
+  for (auto& prog : job.ranks) {
+    prog.push_back(IoOp::compute(1.0));
+    prog.push_back(IoOp::barrier());
+  }
+  job.ranks[0].insert(job.ranks[0].begin(), IoOp::create(f));
+  const auto result = sim.run(job, PfsConfig{}, 1);
+  EXPECT_GE(result.rawWallSeconds, 1.0);
+  EXPECT_LT(result.rawWallSeconds, 1.5);
+  EXPECT_DOUBLE_EQ(result.ranks[0].computeTime, 1.0);
+}
+
+}  // namespace
+}  // namespace stellar

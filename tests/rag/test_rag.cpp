@@ -1,0 +1,141 @@
+// RAG stack: tokenizer, chunker, embedder, vector index retrieval quality.
+#include <gtest/gtest.h>
+
+#include "manual/manual_text.hpp"
+#include "rag/chunker.hpp"
+#include "rag/embedder.hpp"
+#include "rag/tokenizer.hpp"
+#include "rag/vector_index.hpp"
+
+namespace stellar::rag {
+namespace {
+
+TEST(Tokenizer, LowercasesAndKeepsParameterNamesWhole) {
+  const auto tokens = tokenizeWords("Set OSC.max_rpcs_in_flight to 8.");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0], "set");
+  EXPECT_EQ(tokens[1], "osc.max_rpcs_in_flight");
+  EXPECT_EQ(tokens[3], "8");
+}
+
+TEST(Tokenizer, TrailingSentenceDotsStripped) {
+  const auto tokens = tokenizeWords("bandwidth. latency...");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"bandwidth", "latency"}));
+}
+
+TEST(Tokenizer, ApproxTokenCountScalesWithText) {
+  EXPECT_EQ(approxTokenCount(""), 0u);
+  const std::size_t small = approxTokenCount("one two three");
+  const std::size_t larger = approxTokenCount(
+      "a considerably longer sentence with many more words than the first one");
+  EXPECT_GT(larger, small);
+  // Long words cost extra tokens (BPE-style).
+  EXPECT_GT(approxTokenCount("supercalifragilisticexpialidocious"), 1u);
+}
+
+TEST(Chunker, ChunksCoverDocumentWithOverlap) {
+  std::string doc;
+  for (int i = 0; i < 5000; ++i) {
+    doc += "word" + std::to_string(i) + " ";
+  }
+  ChunkerOptions opts;
+  opts.chunkTokens = 1024;
+  opts.overlapTokens = 20;
+  const auto chunks = chunkDocument(doc, opts);
+  ASSERT_GE(chunks.size(), 4u);
+  // Consecutive chunks overlap by exactly `overlap` words.
+  EXPECT_EQ(chunks[1].firstToken, 1024u - 20u);
+  // First and last words present.
+  EXPECT_NE(chunks.front().text.find("word0 "), std::string::npos);
+  EXPECT_NE(chunks.back().text.find("word4999"), std::string::npos);
+}
+
+TEST(Chunker, ShortDocumentIsOneChunk) {
+  const auto chunks = chunkDocument("just a few words here");
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].text, "just a few words here");
+}
+
+TEST(Chunker, EmptyDocumentYieldsNoChunks) {
+  EXPECT_TRUE(chunkDocument("").empty());
+  EXPECT_TRUE(chunkDocument("   \n\t ").empty());
+}
+
+TEST(Chunker, RejectsOverlapNotSmallerThanChunk) {
+  ChunkerOptions opts;
+  opts.chunkTokens = 10;
+  opts.overlapTokens = 10;
+  EXPECT_THROW((void)chunkDocument("a b c", opts), std::invalid_argument);
+}
+
+TEST(Embedder, VectorsAreNormalizedAndDeterministic) {
+  HashedTfIdfEmbedder embedder{256};
+  const auto v1 = embedder.embed("stripe count controls file layout");
+  const auto v2 = embedder.embed("stripe count controls file layout");
+  EXPECT_EQ(v1, v2);
+  double norm = 0.0;
+  for (const float x : v1) {
+    norm += static_cast<double>(x) * x;
+  }
+  EXPECT_NEAR(norm, 1.0, 1e-5);
+}
+
+TEST(Embedder, SimilarTextScoresHigherThanUnrelated) {
+  HashedTfIdfEmbedder embedder{512};
+  embedder.fit({"the stripe count distributes data across storage targets",
+                "lock cancellation policies during recovery",
+                "quota enforcement for user groups"});
+  const auto query = embedder.embed("how many targets does stripe count use");
+  const auto related =
+      embedder.embed("the stripe count distributes data across storage targets");
+  const auto unrelated = embedder.embed("quota enforcement for user groups");
+  EXPECT_GT(HashedTfIdfEmbedder::cosine(query, related),
+            HashedTfIdfEmbedder::cosine(query, unrelated));
+}
+
+TEST(VectorIndex, RetrievesTheRightManualSection) {
+  VectorIndex index;
+  index.buildFromDocument(manual::fullManualText());
+  ASSERT_GT(index.size(), 3u);
+
+  // For every documented parameter, the top-8 retrieved chunks must
+  // include one containing its section marker — the property the offline
+  // extractor (which retrieves top-20) depends on.
+  for (const char* param :
+       {"osc.max_dirty_mb", "llite.statahead_max", "ldlm.lru_size",
+        "lov.stripe_count"}) {
+    const auto hits =
+        index.query("How do I use the parameter " + std::string{param} + "?", 8);
+    bool found = false;
+    for (const auto& hit : hits) {
+      if (hit.chunk->text.find(manual::parameterSectionMarker(param)) !=
+          std::string::npos) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << param;
+  }
+}
+
+TEST(VectorIndex, ScoresDescendAndKClamps) {
+  VectorIndex index;
+  index.buildFromDocument(manual::fullManualText());
+  const auto hits = index.query("readahead budget", 1000);
+  EXPECT_EQ(hits.size(), index.size());  // clamped
+  for (std::size_t i = 1; i < hits.size(); ++i) {
+    EXPECT_GE(hits[i - 1].score, hits[i].score);
+  }
+}
+
+TEST(VectorIndex, RebuildReplacesContent) {
+  VectorIndex index;
+  index.buildFromDocument("alpha beta gamma");
+  EXPECT_EQ(index.size(), 1u);
+  index.buildFromDocument("delta epsilon");
+  EXPECT_EQ(index.size(), 1u);
+  EXPECT_NE(index.chunks()[0].text.find("delta"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stellar::rag

@@ -1,0 +1,210 @@
+// Rule Set mechanics (§4.4): context similarity, matching, JSON structure,
+// and the conflict-resolving merge.
+#include <gtest/gtest.h>
+
+#include "rules/rules.hpp"
+
+namespace stellar::rules {
+namespace {
+
+WorkloadContext metadataContext() {
+  WorkloadContext ctx;
+  ctx.metaOpShare = 0.8;
+  ctx.readShare = 0.5;
+  ctx.sequentialShare = 0.2;
+  ctx.sharedFileShare = 0.0;
+  ctx.smallFileShare = 1.0;
+  ctx.dominantAccessSize = 8 * 1024;
+  ctx.fileCount = 200000;
+  ctx.totalBytes = 3ULL << 30;
+  return ctx;
+}
+
+WorkloadContext streamingContext() {
+  WorkloadContext ctx;
+  ctx.metaOpShare = 0.02;
+  ctx.readShare = 0.5;
+  ctx.sequentialShare = 0.95;
+  ctx.sharedFileShare = 1.0;
+  ctx.smallFileShare = 0.0;
+  ctx.dominantAccessSize = 16 << 20;
+  ctx.fileCount = 1;
+  ctx.totalBytes = 20ULL << 30;
+  return ctx;
+}
+
+Rule mkRule(const std::string& param, Direction dir, const WorkloadContext& ctx,
+            std::int64_t value = 0) {
+  Rule rule;
+  rule.parameter = param;
+  rule.description = "guidance for " + param;
+  rule.context = ctx;
+  rule.direction = dir;
+  rule.value = value;
+  return rule;
+}
+
+TEST(WorkloadContext, SelfSimilarityIsOne) {
+  const WorkloadContext ctx = metadataContext();
+  EXPECT_NEAR(ctx.similarity(ctx), 1.0, 1e-12);
+}
+
+TEST(WorkloadContext, DissimilarWorkloadsScoreLow) {
+  const double sim = metadataContext().similarity(streamingContext());
+  EXPECT_LT(sim, 0.6);
+}
+
+TEST(WorkloadContext, SimilarityIsSymmetric) {
+  const WorkloadContext a = metadataContext();
+  const WorkloadContext b = streamingContext();
+  EXPECT_DOUBLE_EQ(a.similarity(b), b.similarity(a));
+}
+
+TEST(WorkloadContext, SmallPerturbationStaysSimilar) {
+  WorkloadContext a = metadataContext();
+  WorkloadContext b = a;
+  b.metaOpShare = 0.75;
+  b.fileCount = 150000;
+  EXPECT_GT(a.similarity(b), 0.9);
+}
+
+TEST(WorkloadContext, JsonRoundTrip) {
+  const WorkloadContext ctx = streamingContext();
+  const WorkloadContext back = WorkloadContext::fromJson(ctx.toJson());
+  EXPECT_NEAR(ctx.similarity(back), 1.0, 1e-9);
+  EXPECT_EQ(back.dominantAccessSize, ctx.dominantAccessSize);
+}
+
+TEST(Rule, JsonUsesThePaperEnforcedKeys) {
+  const Rule rule = mkRule("lov.stripe_count", Direction::SetValue, metadataContext(), 1);
+  const util::Json json = rule.toJson();
+  EXPECT_TRUE(json.contains("Parameter"));
+  EXPECT_TRUE(json.contains("Rule Description"));
+  EXPECT_TRUE(json.contains("Tuning Context"));
+  const Rule back = Rule::fromJson(json);
+  EXPECT_EQ(back.parameter, rule.parameter);
+  EXPECT_EQ(back.direction, rule.direction);
+  EXPECT_EQ(back.value, rule.value);
+}
+
+TEST(Rule, ContradictionDetection) {
+  const auto ctx = metadataContext();
+  EXPECT_TRUE(mkRule("p", Direction::Increase, ctx)
+                  .contradicts(mkRule("p", Direction::Decrease, ctx)));
+  EXPECT_TRUE(mkRule("p", Direction::SetMax, ctx)
+                  .contradicts(mkRule("p", Direction::SetMin, ctx)));
+  EXPECT_FALSE(mkRule("p", Direction::Increase, ctx)
+                   .contradicts(mkRule("q", Direction::Decrease, ctx)));
+  // SetValue rules contradict only when far apart.
+  EXPECT_TRUE(mkRule("p", Direction::SetValue, ctx, 10)
+                  .contradicts(mkRule("p", Direction::SetValue, ctx, 100)));
+  EXPECT_FALSE(mkRule("p", Direction::SetValue, ctx, 10)
+                   .contradicts(mkRule("p", Direction::SetValue, ctx, 20)));
+}
+
+TEST(RuleSet, MatchFiltersByContextAndParameter) {
+  RuleSet set;
+  set.add(mkRule("ldlm.lru_size", Direction::Increase, metadataContext()));
+  set.add(mkRule("lov.stripe_count", Direction::SetMax, streamingContext()));
+
+  const auto forMeta = set.match(metadataContext(), 0.7);
+  ASSERT_EQ(forMeta.size(), 1u);
+  EXPECT_EQ(forMeta[0]->parameter, "ldlm.lru_size");
+
+  const auto byParam = set.match(streamingContext(), 0.7, "lov.stripe_count");
+  ASSERT_EQ(byParam.size(), 1u);
+}
+
+TEST(RuleSet, MatchOrdersBySimilarity) {
+  RuleSet set;
+  WorkloadContext close = metadataContext();
+  close.metaOpShare = 0.78;
+  WorkloadContext farther = metadataContext();
+  farther.metaOpShare = 0.55;
+  farther.sequentialShare = 0.5;
+  set.add(mkRule("a", Direction::Increase, farther));
+  set.add(mkRule("b", Direction::Increase, close));
+  const auto matched = set.match(metadataContext(), 0.5);
+  ASSERT_EQ(matched.size(), 2u);
+  EXPECT_EQ(matched[0]->parameter, "b");
+}
+
+TEST(RuleSet, MergeRemovesDirectContradictions) {
+  RuleSet set;
+  set.add(mkRule("p", Direction::Increase, metadataContext()));
+  const std::string report =
+      set.merge({mkRule("p", Direction::Decrease, metadataContext())});
+  EXPECT_EQ(set.size(), 0u);  // both removed (§4.4.2)
+  EXPECT_NE(report.find("contradiction"), std::string::npos);
+}
+
+TEST(RuleSet, MergeReinforcesIdenticalGuidance) {
+  RuleSet set;
+  set.add(mkRule("p", Direction::SetValue, metadataContext(), 64));
+  set.merge({mkRule("p", Direction::SetValue, metadataContext(), 64)});
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.rules()[0].confirmations, 2);
+}
+
+TEST(RuleSet, MergeKeepsSlightVariantsAsAlternatives) {
+  RuleSet set;
+  set.add(mkRule("p", Direction::SetValue, metadataContext(), 64));
+  set.merge({mkRule("p", Direction::SetValue, metadataContext(), 96)});
+  ASSERT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.rules()[0].alternative);
+  EXPECT_TRUE(set.rules()[1].alternative);
+}
+
+TEST(RuleSet, MergeKeepsDifferentContextsApart) {
+  RuleSet set;
+  set.add(mkRule("p", Direction::Increase, metadataContext()));
+  set.merge({mkRule("p", Direction::Decrease, streamingContext())});
+  // Different contexts: no contradiction, both survive.
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(RuleSet, DropNegativePrunesFailedAlternatives) {
+  RuleSet set;
+  set.add(mkRule("p", Direction::Increase, metadataContext()));
+  set.add(mkRule("q", Direction::Increase, metadataContext()));
+  const std::size_t dropped =
+      set.dropNegative("p", metadataContext(), Direction::Increase);
+  EXPECT_EQ(dropped, 1u);
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.rules()[0].parameter, "q");
+}
+
+TEST(RuleSet, JsonRoundTripWholeSet) {
+  RuleSet set;
+  set.add(mkRule("a", Direction::SetMax, metadataContext()));
+  set.add(mkRule("b", Direction::SetValue, streamingContext(), 42));
+  const RuleSet back = RuleSet::fromJson(set.toJson());
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back.rules()[1].value, 42);
+  EXPECT_EQ(back.rules()[0].direction, Direction::SetMax);
+}
+
+TEST(RuleSet, FilePersistenceRoundTrips) {
+  RuleSet set;
+  set.add(mkRule("a", Direction::SetMax, metadataContext()));
+  set.add(mkRule("b", Direction::SetValue, streamingContext(), 64));
+  const std::string path = ::testing::TempDir() + "/stellar_rules_test.json";
+  set.saveFile(path);
+  const RuleSet loaded = RuleSet::loadFile(path);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded.rules()[0].parameter, "a");
+  EXPECT_EQ(loaded.rules()[1].value, 64);
+  EXPECT_THROW((void)RuleSet::loadFile("/nonexistent/rules.json"),
+               std::runtime_error);
+}
+
+TEST(RuleSet, DirectionNamesRoundTrip) {
+  for (const Direction d : {Direction::Increase, Direction::Decrease,
+                            Direction::SetValue, Direction::SetMax, Direction::SetMin}) {
+    EXPECT_EQ(directionFromName(directionName(d)), d);
+  }
+  EXPECT_EQ(directionFromName("sideways"), std::nullopt);
+}
+
+}  // namespace
+}  // namespace stellar::rules

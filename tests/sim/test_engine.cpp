@@ -1,0 +1,95 @@
+// Discrete-event engine semantics: ordering, determinism, clamping.
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+
+namespace stellar::sim {
+namespace {
+
+TEST(SimEngine, RunsEventsInTimeOrder) {
+  SimEngine engine;
+  std::vector<int> order;
+  engine.scheduleAt(3.0, [&] { order.push_back(3); });
+  engine.scheduleAt(1.0, [&] { order.push_back(1); });
+  engine.scheduleAt(2.0, [&] { order.push_back(2); });
+  const double end = engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(end, 3.0);
+}
+
+TEST(SimEngine, SimultaneousEventsAreFifo) {
+  SimEngine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    engine.scheduleAt(1.0, [&order, i] { order.push_back(i); });
+  }
+  engine.run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(SimEngine, EventsCanScheduleMoreEvents) {
+  SimEngine engine;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) {
+      engine.scheduleAfter(0.5, chain);
+    }
+  };
+  engine.scheduleAt(0.0, chain);
+  const double end = engine.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_DOUBLE_EQ(end, 49.5);
+}
+
+TEST(SimEngine, PastTimesClampToNow) {
+  SimEngine engine;
+  double observed = -1.0;
+  engine.scheduleAt(5.0, [&] {
+    engine.scheduleAt(1.0, [&] { observed = engine.now(); });
+  });
+  engine.run();
+  EXPECT_DOUBLE_EQ(observed, 5.0);
+}
+
+TEST(SimEngine, NegativeDelayClampsToZero) {
+  SimEngine engine;
+  double observed = -1.0;
+  engine.scheduleAfter(-3.0, [&] { observed = engine.now(); });
+  engine.run();
+  EXPECT_DOUBLE_EQ(observed, 0.0);
+}
+
+TEST(SimEngine, RunUntilStopsAtLimit) {
+  SimEngine engine;
+  int fired = 0;
+  engine.scheduleAt(1.0, [&] { ++fired; });
+  engine.scheduleAt(2.0, [&] { ++fired; });
+  engine.scheduleAt(10.0, [&] { ++fired; });
+  engine.runUntil(5.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(engine.empty());
+  engine.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(SimEngine, CountsProcessedEvents) {
+  SimEngine engine;
+  for (int i = 0; i < 7; ++i) {
+    engine.scheduleAt(i, [] {});
+  }
+  engine.run();
+  EXPECT_EQ(engine.eventsProcessed(), 7u);
+}
+
+TEST(SimEngine, RngIsSeedDeterministic) {
+  SimEngine a{42};
+  SimEngine b{42};
+  SimEngine c{43};
+  EXPECT_EQ(a.rng().next(), b.rng().next());
+  EXPECT_NE(a.rng().next(), c.rng().next());
+}
+
+}  // namespace
+}  // namespace stellar::sim

@@ -1,0 +1,91 @@
+// Multi-server FIFO queueing semantics.
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+#include "sim/service_center.hpp"
+
+namespace stellar::sim {
+namespace {
+
+TEST(ServiceCenter, SingleServerSerializes) {
+  SimEngine engine;
+  ServiceCenter center{engine, "disk", 1};
+  std::vector<double> completions;
+  for (int i = 0; i < 3; ++i) {
+    center.submit(1.0, [&] { completions.push_back(engine.now()); });
+  }
+  engine.run();
+  ASSERT_EQ(completions.size(), 3u);
+  EXPECT_DOUBLE_EQ(completions[0], 1.0);
+  EXPECT_DOUBLE_EQ(completions[1], 2.0);
+  EXPECT_DOUBLE_EQ(completions[2], 3.0);
+}
+
+TEST(ServiceCenter, MultiServerRunsInParallel) {
+  SimEngine engine;
+  ServiceCenter center{engine, "disk", 3};
+  std::vector<double> completions;
+  for (int i = 0; i < 3; ++i) {
+    center.submit(1.0, [&] { completions.push_back(engine.now()); });
+  }
+  engine.run();
+  for (const double t : completions) {
+    EXPECT_DOUBLE_EQ(t, 1.0);
+  }
+}
+
+TEST(ServiceCenter, QueueDrainsFifo) {
+  SimEngine engine;
+  ServiceCenter center{engine, "disk", 2};
+  std::vector<int> order;
+  for (int i = 0; i < 6; ++i) {
+    center.submit(1.0, [&order, i] { order.push_back(i); });
+  }
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(ServiceCenter, LateArrivalsQueueBehindBusyServers) {
+  SimEngine engine;
+  ServiceCenter center{engine, "disk", 1};
+  double secondDone = 0.0;
+  center.submit(5.0, [] {});
+  engine.scheduleAt(1.0, [&] {
+    center.submit(1.0, [&] { secondDone = engine.now(); });
+  });
+  engine.run();
+  EXPECT_DOUBLE_EQ(secondDone, 6.0);  // waits for the 5s job
+}
+
+TEST(ServiceCenter, TracksBusyTimeAndPeakQueue) {
+  SimEngine engine;
+  ServiceCenter center{engine, "disk", 1};
+  for (int i = 0; i < 4; ++i) {
+    center.submit(2.0, [] {});
+  }
+  EXPECT_EQ(center.peakQueue(), 3u);
+  engine.run();
+  EXPECT_DOUBLE_EQ(center.busyTime(), 8.0);
+  EXPECT_EQ(center.totalSubmitted(), 4u);
+}
+
+TEST(ServiceCenter, NegativeServiceTimeTreatedAsZero) {
+  SimEngine engine;
+  ServiceCenter center{engine, "disk", 1};
+  bool done = false;
+  center.submit(-1.0, [&] { done = true; });
+  engine.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(ServiceCenter, MinimumOneServer) {
+  SimEngine engine;
+  ServiceCenter center{engine, "disk", 0};
+  bool done = false;
+  center.submit(1.0, [&] { done = true; });
+  engine.run();
+  EXPECT_TRUE(done);
+}
+
+}  // namespace
+}  // namespace stellar::sim

@@ -1,0 +1,90 @@
+// The dependent-range expression language (§4.2.2 of the paper).
+#include <gtest/gtest.h>
+
+#include "util/expr.hpp"
+
+namespace stellar::util {
+namespace {
+
+SymbolResolver table(std::initializer_list<std::pair<std::string, double>> entries) {
+  auto map = std::make_shared<std::vector<std::pair<std::string, double>>>(entries);
+  return [map](std::string_view name) -> std::optional<double> {
+    for (const auto& [k, v] : *map) {
+      if (k == name) {
+        return v;
+      }
+    }
+    return std::nullopt;
+  };
+}
+
+TEST(Expr, ArithmeticPrecedence) {
+  EXPECT_DOUBLE_EQ(Expr::parse("2 + 3 * 4").evaluateConstant(), 14.0);
+  EXPECT_DOUBLE_EQ(Expr::parse("(2 + 3) * 4").evaluateConstant(), 20.0);
+  EXPECT_DOUBLE_EQ(Expr::parse("10 - 4 - 3").evaluateConstant(), 3.0);
+  EXPECT_DOUBLE_EQ(Expr::parse("16 / 4 / 2").evaluateConstant(), 2.0);
+  EXPECT_DOUBLE_EQ(Expr::parse("-3 + 5").evaluateConstant(), 2.0);
+  EXPECT_DOUBLE_EQ(Expr::parse("2 * -3").evaluateConstant(), -6.0);
+}
+
+TEST(Expr, VariablesResolveThroughSymbolTable) {
+  const Expr e = Expr::parse("llite.max_read_ahead_mb / 2");
+  EXPECT_DOUBLE_EQ(e.evaluate(table({{"llite.max_read_ahead_mb", 256.0}})), 128.0);
+  EXPECT_EQ(e.variables(), std::vector<std::string>{"llite.max_read_ahead_mb"});
+}
+
+TEST(Expr, ThePaperCanonicalDependentBound) {
+  // max_read_ahead_per_file_mb <= max_read_ahead_mb / 2,
+  // max_read_ahead_mb <= client_ram_mb / 2 (paper §4.2.2 example).
+  const Expr e = Expr::parse("min(client_ram_mb / 2, requested) / 2");
+  const double v = e.evaluate(table({{"client_ram_mb", 200704.0}, {"requested", 512.0}}));
+  EXPECT_DOUBLE_EQ(v, 256.0);
+}
+
+TEST(Expr, BuiltinFunctions) {
+  EXPECT_DOUBLE_EQ(Expr::parse("min(3, 7)").evaluateConstant(), 3.0);
+  EXPECT_DOUBLE_EQ(Expr::parse("max(3, 7)").evaluateConstant(), 7.0);
+  EXPECT_DOUBLE_EQ(Expr::parse("floor(3.9)").evaluateConstant(), 3.0);
+  EXPECT_DOUBLE_EQ(Expr::parse("ceil(3.1)").evaluateConstant(), 4.0);
+  EXPECT_DOUBLE_EQ(Expr::parse("log2(1024)").evaluateConstant(), 10.0);
+  EXPECT_DOUBLE_EQ(Expr::parse("max(min(5, 3), 2 + 2)").evaluateConstant(), 4.0);
+}
+
+TEST(Expr, UnresolvedVariableThrows) {
+  const Expr e = Expr::parse("x + 1");
+  EXPECT_THROW((void)e.evaluateConstant(), ExprError);
+  EXPECT_THROW((void)e.evaluate(table({{"y", 1.0}})), ExprError);
+}
+
+TEST(Expr, SyntaxErrorsThrow) {
+  EXPECT_THROW((void)Expr::parse(""), ExprError);
+  EXPECT_THROW((void)Expr::parse("1 +"), ExprError);
+  EXPECT_THROW((void)Expr::parse("(1"), ExprError);
+  EXPECT_THROW((void)Expr::parse("1 2"), ExprError);
+  EXPECT_THROW((void)Expr::parse("min(1)"), ExprError);
+  EXPECT_THROW((void)Expr::parse("unknownfn(1)"), ExprError);
+  EXPECT_THROW((void)Expr::parse("@"), ExprError);
+}
+
+TEST(Expr, RuntimeErrorsThrow) {
+  EXPECT_THROW((void)Expr::parse("1 / 0").evaluateConstant(), ExprError);
+  EXPECT_THROW((void)Expr::parse("log2(0)").evaluateConstant(), ExprError);
+}
+
+TEST(Expr, DottedIdentifiersAndDedup) {
+  const Expr e = Expr::parse("a.b + a.b * c");
+  EXPECT_EQ(e.variables().size(), 2u);
+  EXPECT_DOUBLE_EQ(e.evaluate(table({{"a.b", 2.0}, {"c", 3.0}})), 8.0);
+}
+
+TEST(Expr, OneShotHelper) {
+  EXPECT_DOUBLE_EQ(evaluateExpression("2 * k", table({{"k", 21.0}})), 42.0);
+}
+
+TEST(Expr, ScientificNotation) {
+  EXPECT_DOUBLE_EQ(Expr::parse("1.5e2").evaluateConstant(), 150.0);
+  EXPECT_DOUBLE_EQ(Expr::parse("2e-2").evaluateConstant(), 0.02);
+}
+
+}  // namespace
+}  // namespace stellar::util

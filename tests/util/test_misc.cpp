@@ -1,0 +1,102 @@
+// Units, tables, thread pool, logging.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "util/file.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+#include "util/units.hpp"
+
+namespace stellar::util {
+namespace {
+
+TEST(Units, FormatBytesPicksSuffix) {
+  EXPECT_EQ(formatBytes(512), "512.0 B");
+  EXPECT_EQ(formatBytes(64 * kKiB), "64.0 KiB");
+  EXPECT_EQ(formatBytes(3 * kMiB / 2), "1.5 MiB");
+  EXPECT_EQ(formatBytes(2 * kGiB), "2.0 GiB");
+  EXPECT_EQ(formatBytes(3 * kTiB), "3.0 TiB");
+}
+
+TEST(Units, FormatSeconds) {
+  EXPECT_EQ(formatSeconds(12.345), "12.35 s");
+  EXPECT_EQ(formatSeconds(0.012), "12.00 ms");
+  EXPECT_EQ(formatSeconds(3.2e-5), "32.0 us");
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t{{"workload", "speedup"}};
+  t.addRow({"IOR_16M", "4.91"});
+  t.addRow({"MDWorkbench_8K", "1.58"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| workload       | speedup |"), std::string::npos);
+  EXPECT_NE(out.find("| IOR_16M        | 4.91    |"), std::string::npos);
+  EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(Table, PadsShortRows) {
+  Table t{{"a", "b", "c"}};
+  t.addRow({"1"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| 1 |   |   |"), std::string::npos);
+}
+
+TEST(Table, CsvQuotesSpecials) {
+  Table t{{"name", "note"}};
+  t.addRow({"x", "has, comma"});
+  t.addRow({"y", "has \"quote\""});
+  const std::string csv = t.renderCsv();
+  EXPECT_NE(csv.find("\"has, comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has \"\"quote\"\"\""), std::string::npos);
+}
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool{4};
+  auto f = pool.submit([] { return 21 * 2; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool{4};
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallelFor(100, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool{2};
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW((void)f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ZeroSelectsHardwareConcurrency) {
+  ThreadPool pool{0};
+  EXPECT_GE(pool.threadCount(), 1u);
+}
+
+TEST(File, RoundTripAndErrors) {
+  const std::string path = ::testing::TempDir() + "/stellar_file_test.txt";
+  writeFile(path, "hello\nworld\n");
+  EXPECT_TRUE(fileExists(path));
+  EXPECT_EQ(readFile(path), "hello\nworld\n");
+  writeFile(path, "shorter");  // truncates
+  EXPECT_EQ(readFile(path), "shorter");
+  EXPECT_FALSE(fileExists("/no/such/dir/file.txt"));
+  EXPECT_THROW((void)readFile("/no/such/dir/file.txt"), std::runtime_error);
+  EXPECT_THROW(writeFile("/no/such/dir/file.txt", "x"), std::runtime_error);
+}
+
+TEST(Log, LevelFilterWorks) {
+  const LogLevel before = logLevel();
+  setLogLevel(LogLevel::Error);
+  EXPECT_EQ(logLevel(), LogLevel::Error);
+  logLine(LogLevel::Debug, "test", "suppressed");  // must not crash
+  setLogLevel(before);
+}
+
+}  // namespace
+}  // namespace stellar::util

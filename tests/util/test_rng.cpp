@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <span>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace stellar::util {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a{7};
+  Rng b{7};
+  Rng c{8};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+  EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng{1};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng{2};
+  bool sawLo = false;
+  bool sawHi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniformInt(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    sawLo |= v == 3;
+    sawHi |= v == 7;
+  }
+  EXPECT_TRUE(sawLo);
+  EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, NormalHasExpectedMoments) {
+  Rng rng{3};
+  std::vector<double> xs(20000);
+  for (double& x : xs) {
+    x = rng.normal(10.0, 2.0);
+  }
+  EXPECT_NEAR(mean(xs), 10.0, 0.1);
+  EXPECT_NEAR(stddev(xs), 2.0, 0.1);
+}
+
+TEST(Rng, LognormalNoiseHasUnitMean) {
+  Rng rng{4};
+  std::vector<double> xs(40000);
+  for (double& x : xs) {
+    x = rng.lognormalNoise(0.05);
+  }
+  EXPECT_NEAR(mean(xs), 1.0, 0.01);
+}
+
+TEST(Rng, ChanceEdgeCases) {
+  Rng rng{5};
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) {
+    heads += rng.chance(0.25) ? 1 : 0;
+  }
+  EXPECT_NEAR(heads / 10000.0, 0.25, 0.03);
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng rng{6};
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) {
+    v[static_cast<std::size_t>(i)] = i;
+  }
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, v);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent{7};
+  Rng child = parent.fork();
+  EXPECT_NE(parent.next(), child.next());
+}
+
+TEST(Rng, Mix64IsStable) {
+  EXPECT_EQ(mix64(1, 2), mix64(1, 2));
+  EXPECT_NE(mix64(1, 2), mix64(2, 1));
+}
+
+}  // namespace
+}  // namespace stellar::util

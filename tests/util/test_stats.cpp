@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace stellar::util {
+namespace {
+
+TEST(Stats, MeanAndVariance) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_NEAR(variance(xs), 4.571428, 1e-5);
+  EXPECT_NEAR(stddev(xs), 2.13809, 1e-4);
+}
+
+TEST(Stats, EmptyAndSingletonInputs) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(variance({}), 0.0);
+  const std::vector<double> one = {3.0};
+  EXPECT_DOUBLE_EQ(mean(one), 3.0);
+  EXPECT_DOUBLE_EQ(variance(one), 0.0);
+  EXPECT_DOUBLE_EQ(confidenceInterval90(one), 0.0);
+}
+
+TEST(Stats, MedianHandlesOddAndEven) {
+  EXPECT_DOUBLE_EQ(median({5.0, 1.0, 3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 25.0);
+}
+
+TEST(Stats, ConfidenceInterval90MatchesTTable) {
+  // n=8 (the paper's repeat count): t(7, 0.95) = 1.895.
+  const std::vector<double> xs = {1, 2, 3, 4, 5, 6, 7, 8};
+  const double se = stddev(xs) / std::sqrt(8.0);
+  EXPECT_NEAR(confidenceInterval90(xs), 1.895 * se, 1e-9);
+}
+
+TEST(Stats, SummarizeBundlesEverything) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  const Summary s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+  EXPECT_EQ(s.n, 3u);
+  EXPECT_GT(s.ci90, 0.0);
+}
+
+TEST(Stats, PearsonCorrelation) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  const std::vector<double> up = {2, 4, 6, 8, 10};
+  const std::vector<double> down = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearson(xs, up), 1.0, 1e-12);
+  EXPECT_NEAR(pearson(xs, down), -1.0, 1e-12);
+  const std::vector<double> flat = {3, 3, 3, 3, 3};
+  EXPECT_DOUBLE_EQ(pearson(xs, flat), 0.0);
+}
+
+TEST(Stats, PearsonRejectsSizeMismatch) {
+  const std::vector<double> a = {1, 2};
+  const std::vector<double> b = {1, 2, 3};
+  EXPECT_THROW((void)pearson(a, b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stellar::util

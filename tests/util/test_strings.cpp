@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "util/strings.hpp"
+
+namespace stellar::util {
+namespace {
+
+TEST(Strings, ToLower) {
+  EXPECT_EQ(toLower("Lustre OST"), "lustre ost");
+  EXPECT_EQ(toLower(""), "");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x y  "), "x y");
+  EXPECT_EQ(trim("\t\n"), "");
+  EXPECT_EQ(trim("abc"), "abc");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(startsWith("osc.max_dirty_mb", "osc."));
+  EXPECT_FALSE(startsWith("osc", "osc."));
+  EXPECT_TRUE(endsWith("file.json", ".json"));
+  EXPECT_FALSE(endsWith("file.json", ".yaml"));
+}
+
+TEST(Strings, ContainsIgnoreCase) {
+  EXPECT_TRUE(containsIgnoreCase("Stripe Count controls layout", "stripe count"));
+  EXPECT_FALSE(containsIgnoreCase("stripe", "stripes"));
+  EXPECT_TRUE(containsIgnoreCase("anything", ""));
+}
+
+TEST(Strings, SplitPreservesEmptyFields) {
+  EXPECT_EQ(split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split("x,", ','), (std::vector<std::string>{"x", ""}));
+}
+
+TEST(Strings, SplitWhitespaceSkipsRuns) {
+  EXPECT_EQ(splitWhitespace("  a \t b\nc  "),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(splitWhitespace("   ").empty());
+}
+
+TEST(Strings, JoinRoundTripsSplit) {
+  const std::vector<std::string> parts = {"a", "b", "c"};
+  EXPECT_EQ(join(parts, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Strings, ReplaceAll) {
+  EXPECT_EQ(replaceAll("a-b-c", "-", "+"), "a+b+c");
+  EXPECT_EQ(replaceAll("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(replaceAll("x", "", "y"), "x");
+}
+
+TEST(Strings, FormatDouble) {
+  EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(formatDouble(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace stellar::util

@@ -1,0 +1,225 @@
+// Structural properties of the workload generators.
+#include <gtest/gtest.h>
+
+#include "util/units.hpp"
+#include "workloads/workloads.hpp"
+
+namespace stellar::workloads {
+namespace {
+
+using pfs::IoOp;
+using pfs::JobSpec;
+using pfs::OpKind;
+
+WorkloadOptions opts(std::uint32_t ranks = 10, double scale = 0.02) {
+  WorkloadOptions o;
+  o.ranks = ranks;
+  o.scale = scale;
+  return o;
+}
+
+std::uint32_t barrierCount(const std::vector<IoOp>& prog) {
+  std::uint32_t n = 0;
+  for (const auto& op : prog) {
+    n += op.kind == OpKind::Barrier ? 1 : 0;
+  }
+  return n;
+}
+
+TEST(Workloads, AllGeneratorsProduceValidJobs) {
+  for (const auto& name : benchmarkNames()) {
+    const JobSpec job = byName(name, opts());
+    EXPECT_TRUE(job.validate().empty()) << name;
+    EXPECT_EQ(job.rankCount(), 10u) << name;
+  }
+  for (const auto& name : realAppNames()) {
+    const JobSpec job = byName(name, opts());
+    EXPECT_TRUE(job.validate().empty()) << name;
+  }
+}
+
+TEST(Workloads, BarrierCountsMatchAcrossRanks) {
+  for (const auto& name : {"IOR_64K", "IOR_16M", "MDWorkbench_8K", "IO500", "AMReX",
+                           "MACSio_512K"}) {
+    const JobSpec job = byName(name, opts());
+    const std::uint32_t expected = barrierCount(job.ranks[0]);
+    for (const auto& prog : job.ranks) {
+      EXPECT_EQ(barrierCount(prog), expected) << name;
+    }
+  }
+}
+
+TEST(Workloads, Ior64kUsesRandom64KTransfersToSharedFile) {
+  const JobSpec job = ior64k(opts());
+  ASSERT_EQ(job.files.size(), 1u);
+  bool sawNonSequential = false;
+  std::uint64_t lastEnd = 0;
+  for (const auto& op : job.ranks[3]) {
+    if (op.kind == OpKind::Write) {
+      EXPECT_EQ(op.size, 64 * util::kKiB);
+      if (lastEnd != 0 && op.offset != lastEnd) {
+        sawNonSequential = true;
+      }
+      lastEnd = op.offset + op.size;
+    }
+  }
+  EXPECT_TRUE(sawNonSequential);
+}
+
+TEST(Workloads, Ior16mIsSequentialPerSegment) {
+  const JobSpec job = ior16m(opts(10, 0.5));
+  std::uint64_t lastEnd = 0;
+  std::uint32_t discontinuities = 0;
+  std::uint32_t writes = 0;
+  for (const auto& op : job.ranks[2]) {
+    if (op.kind == OpKind::Write) {
+      EXPECT_EQ(op.size, 16 * util::kMiB);
+      if (lastEnd != 0 && op.offset != lastEnd) {
+        ++discontinuities;
+      }
+      lastEnd = op.offset + op.size;
+      ++writes;
+    }
+  }
+  EXPECT_GT(writes, 0u);
+  // Only segment boundaries break sequentiality (3 segments -> 2 breaks).
+  EXPECT_LE(discontinuities, 2u);
+}
+
+TEST(Workloads, IorWritesThenReadsSameVolume) {
+  const JobSpec job = ior64k(opts());
+  std::uint64_t written = 0;
+  std::uint64_t read = 0;
+  for (const auto& prog : job.ranks) {
+    for (const auto& op : prog) {
+      if (op.kind == OpKind::Write) {
+        written += op.size;
+      }
+      if (op.kind == OpKind::Read) {
+        read += op.size;
+      }
+    }
+  }
+  EXPECT_EQ(written, read);
+  EXPECT_GT(written, 0u);
+}
+
+TEST(Workloads, IorReadPhaseShiftsRanks) {
+  const JobSpec job = ior16m(opts());
+  // Rank 0's first read offset must differ from its first write offset
+  // (reads target another rank's block).
+  std::uint64_t firstWrite = ~0ULL;
+  std::uint64_t firstRead = ~0ULL;
+  for (const auto& op : job.ranks[0]) {
+    if (op.kind == OpKind::Write && firstWrite == ~0ULL) {
+      firstWrite = op.offset;
+    }
+    if (op.kind == OpKind::Read && firstRead == ~0ULL) {
+      firstRead = op.offset;
+    }
+  }
+  EXPECT_NE(firstWrite, firstRead);
+}
+
+TEST(Workloads, MdWorkbenchStructure) {
+  const JobSpec job = mdworkbench(8 * util::kKiB, opts(4, 0.02));
+  // 4 ranks x 10 dirs x filesPerDir files.
+  EXPECT_EQ(job.dirs.size(), 1u + 4 * 10);
+  const std::size_t files = job.files.size();
+  EXPECT_EQ(files % (4 * 10), 0u);
+  // Each file: 3 rounds of create/write/close/stat/open/read/close/unlink.
+  std::uint64_t creates = 0;
+  std::uint64_t unlinks = 0;
+  std::uint64_t stats = 0;
+  for (const auto& prog : job.ranks) {
+    for (const auto& op : prog) {
+      creates += op.kind == OpKind::Create ? 1 : 0;
+      unlinks += op.kind == OpKind::Unlink ? 1 : 0;
+      stats += op.kind == OpKind::Stat ? 1 : 0;
+    }
+  }
+  EXPECT_EQ(creates, files * 3);
+  EXPECT_EQ(unlinks, files * 3);
+  EXPECT_EQ(stats, files * 3);
+}
+
+TEST(Workloads, MdWorkbenchNames) {
+  EXPECT_EQ(mdworkbench(2 * util::kKiB, opts()).name, "MDWorkbench_2K");
+  EXPECT_EQ(mdworkbench(8 * util::kKiB, opts()).name, "MDWorkbench_8K");
+}
+
+TEST(Workloads, Io500HasAllPhaseFileFamilies) {
+  const JobSpec job = io500(opts());
+  bool sawEasy = false;
+  bool sawHard = false;
+  bool sawMdtEasy = false;
+  bool sawMdtHard = false;
+  for (const auto& f : job.files) {
+    sawEasy |= f.name.find("ior-easy") != std::string::npos;
+    sawHard |= f.name.find("ior-hard") != std::string::npos;
+    sawMdtEasy |= f.name.find("mdt-easy") != std::string::npos;
+    sawMdtHard |= f.name.find("mdt-hard") != std::string::npos;
+  }
+  EXPECT_TRUE(sawEasy);
+  EXPECT_TRUE(sawHard);
+  EXPECT_TRUE(sawMdtEasy);
+  EXPECT_TRUE(sawMdtHard);
+}
+
+TEST(Workloads, AmrexInterleavesComputeAndSharedWrites) {
+  const JobSpec job = amrex(opts());
+  bool sawCompute = false;
+  for (const auto& op : job.ranks[1]) {
+    sawCompute |= op.kind == OpKind::Compute;
+  }
+  EXPECT_TRUE(sawCompute);
+  // Level files are shared: fewer data files than ranks x levels.
+  EXPECT_LT(job.files.size(), std::size_t{10} * 3 * 3 + 3);
+}
+
+TEST(Workloads, MacsioIsFilePerProcess) {
+  const JobSpec job = macsio(512 * util::kKiB, opts());
+  // 2 dumps x 10 ranks files.
+  EXPECT_EQ(job.files.size(), 20u);
+  EXPECT_EQ(job.name, "MACSio_512K");
+  EXPECT_EQ(macsio(16 * util::kMiB, opts()).name, "MACSio_16M");
+}
+
+TEST(Workloads, MacsioObjectSizesJitterAroundNominal) {
+  const JobSpec job = macsio(512 * util::kKiB, opts(4, 0.2));
+  std::uint64_t minSize = ~0ULL;
+  std::uint64_t maxSize = 0;
+  for (const auto& op : job.ranks[0]) {
+    if (op.kind == OpKind::Write) {
+      minSize = std::min(minSize, op.size);
+      maxSize = std::max(maxSize, op.size);
+    }
+  }
+  EXPECT_GE(minSize, 512 * util::kKiB * 3 / 4 - util::kPageSize);
+  EXPECT_LE(maxSize, 512 * util::kKiB * 5 / 4 + util::kPageSize);
+  EXPECT_NE(minSize, maxSize);
+}
+
+TEST(Workloads, ByNameRejectsUnknown) {
+  EXPECT_THROW((void)byName("NotAWorkload", opts()), std::invalid_argument);
+}
+
+TEST(Workloads, OptionValidation) {
+  WorkloadOptions bad;
+  bad.ranks = 0;
+  EXPECT_THROW((void)ior64k(bad), std::invalid_argument);
+  bad.ranks = 10;
+  bad.scale = 0.0;
+  EXPECT_THROW((void)ior64k(bad), std::invalid_argument);
+  bad.scale = 1.5;
+  EXPECT_THROW((void)ior64k(bad), std::invalid_argument);
+}
+
+TEST(Workloads, ScaleShrinksVolume) {
+  const JobSpec small = ior16m(opts(10, 0.05));
+  const JobSpec large = ior16m(opts(10, 1.0));
+  EXPECT_LT(small.totalOps(), large.totalOps());
+}
+
+}  // namespace
+}  // namespace stellar::workloads
