@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_hallucination.dir/fig2_hallucination.cpp.o"
+  "CMakeFiles/fig2_hallucination.dir/fig2_hallucination.cpp.o.d"
+  "fig2_hallucination"
+  "fig2_hallucination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_hallucination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

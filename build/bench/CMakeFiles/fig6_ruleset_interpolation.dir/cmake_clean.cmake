@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_ruleset_interpolation.dir/fig6_ruleset_interpolation.cpp.o"
+  "CMakeFiles/fig6_ruleset_interpolation.dir/fig6_ruleset_interpolation.cpp.o.d"
+  "fig6_ruleset_interpolation"
+  "fig6_ruleset_interpolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_ruleset_interpolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_ruleset_extrapolation.dir/fig7_ruleset_extrapolation.cpp.o"
+  "CMakeFiles/fig7_ruleset_extrapolation.dir/fig7_ruleset_extrapolation.cpp.o.d"
+  "fig7_ruleset_extrapolation"
+  "fig7_ruleset_extrapolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_ruleset_extrapolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

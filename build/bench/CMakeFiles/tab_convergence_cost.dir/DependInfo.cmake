@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/tab_convergence_cost.cpp" "bench/CMakeFiles/tab_convergence_cost.dir/tab_convergence_cost.cpp.o" "gcc" "bench/CMakeFiles/tab_convergence_cost.dir/tab_convergence_cost.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/stellar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/agents/CMakeFiles/stellar_agents.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/stellar_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/stellar_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/llm/CMakeFiles/stellar_llm.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/stellar_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfquery/CMakeFiles/stellar_dfquery.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataframe/CMakeFiles/stellar_dataframe.dir/DependInfo.cmake"
+  "/root/repo/build/src/darshan/CMakeFiles/stellar_darshan.dir/DependInfo.cmake"
+  "/root/repo/build/src/rag/CMakeFiles/stellar_rag.dir/DependInfo.cmake"
+  "/root/repo/build/src/manual/CMakeFiles/stellar_manual.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/stellar_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfs/CMakeFiles/stellar_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/stellar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stellar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

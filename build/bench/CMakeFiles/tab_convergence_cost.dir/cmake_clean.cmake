@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_convergence_cost.dir/tab_convergence_cost.cpp.o"
+  "CMakeFiles/tab_convergence_cost.dir/tab_convergence_cost.cpp.o.d"
+  "tab_convergence_cost"
+  "tab_convergence_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_convergence_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_cost_latency.dir/tab_cost_latency.cpp.o"
+  "CMakeFiles/tab_cost_latency.dir/tab_cost_latency.cpp.o.d"
+  "tab_cost_latency"
+  "tab_cost_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_cost_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

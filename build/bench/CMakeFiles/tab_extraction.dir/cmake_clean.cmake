@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_extraction.dir/tab_extraction.cpp.o"
+  "CMakeFiles/tab_extraction.dir/tab_extraction.cpp.o.d"
+  "tab_extraction"
+  "tab_extraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_rag_ablation.dir/tab_rag_ablation.cpp.o"
+  "CMakeFiles/tab_rag_ablation.dir/tab_rag_ablation.cpp.o.d"
+  "tab_rag_ablation"
+  "tab_rag_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_rag_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

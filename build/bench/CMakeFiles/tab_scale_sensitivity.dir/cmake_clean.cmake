@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_scale_sensitivity.dir/tab_scale_sensitivity.cpp.o"
+  "CMakeFiles/tab_scale_sensitivity.dir/tab_scale_sensitivity.cpp.o.d"
+  "tab_scale_sensitivity"
+  "tab_scale_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_scale_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

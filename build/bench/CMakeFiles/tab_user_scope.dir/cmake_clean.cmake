@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_user_scope.dir/tab_user_scope.cpp.o"
+  "CMakeFiles/tab_user_scope.dir/tab_user_scope.cpp.o.d"
+  "tab_user_scope"
+  "tab_user_scope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_user_scope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

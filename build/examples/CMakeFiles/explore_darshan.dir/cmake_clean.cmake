@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explore_darshan.dir/explore_darshan.cpp.o"
+  "CMakeFiles/explore_darshan.dir/explore_darshan.cpp.o.d"
+  "explore_darshan"
+  "explore_darshan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explore_darshan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

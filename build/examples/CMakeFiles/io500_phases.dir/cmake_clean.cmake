@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io500_phases.dir/io500_phases.cpp.o"
+  "CMakeFiles/io500_phases.dir/io500_phases.cpp.o.d"
+  "io500_phases"
+  "io500_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io500_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for io500_phases.
+# This may be replaced when dependencies are built.

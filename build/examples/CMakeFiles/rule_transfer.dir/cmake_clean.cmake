@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule_transfer.dir/rule_transfer.cpp.o"
+  "CMakeFiles/rule_transfer.dir/rule_transfer.cpp.o.d"
+  "rule_transfer"
+  "rule_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("pfs")
+subdirs("workloads")
+subdirs("darshan")
+subdirs("dataframe")
+subdirs("dfquery")
+subdirs("manual")
+subdirs("rag")
+subdirs("llm")
+subdirs("rules")
+subdirs("agents")
+subdirs("baselines")
+subdirs("opt")
+subdirs("core")

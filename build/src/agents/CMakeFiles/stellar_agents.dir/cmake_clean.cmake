@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stellar_agents.dir/analysis_agent.cpp.o"
+  "CMakeFiles/stellar_agents.dir/analysis_agent.cpp.o.d"
+  "CMakeFiles/stellar_agents.dir/transcript.cpp.o"
+  "CMakeFiles/stellar_agents.dir/transcript.cpp.o.d"
+  "CMakeFiles/stellar_agents.dir/tuning_agent.cpp.o"
+  "CMakeFiles/stellar_agents.dir/tuning_agent.cpp.o.d"
+  "libstellar_agents.a"
+  "libstellar_agents.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stellar_agents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

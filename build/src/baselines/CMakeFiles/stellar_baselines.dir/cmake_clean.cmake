@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stellar_baselines.dir/expert.cpp.o"
+  "CMakeFiles/stellar_baselines.dir/expert.cpp.o.d"
+  "CMakeFiles/stellar_baselines.dir/oracle.cpp.o"
+  "CMakeFiles/stellar_baselines.dir/oracle.cpp.o.d"
+  "libstellar_baselines.a"
+  "libstellar_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stellar_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stellar_core.dir/engine.cpp.o"
+  "CMakeFiles/stellar_core.dir/engine.cpp.o.d"
+  "CMakeFiles/stellar_core.dir/harness.cpp.o"
+  "CMakeFiles/stellar_core.dir/harness.cpp.o.d"
+  "CMakeFiles/stellar_core.dir/offline_extractor.cpp.o"
+  "CMakeFiles/stellar_core.dir/offline_extractor.cpp.o.d"
+  "libstellar_core.a"
+  "libstellar_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stellar_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

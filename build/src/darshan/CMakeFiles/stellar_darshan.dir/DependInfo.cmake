@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/darshan/log.cpp" "src/darshan/CMakeFiles/stellar_darshan.dir/log.cpp.o" "gcc" "src/darshan/CMakeFiles/stellar_darshan.dir/log.cpp.o.d"
+  "/root/repo/src/darshan/recorder.cpp" "src/darshan/CMakeFiles/stellar_darshan.dir/recorder.cpp.o" "gcc" "src/darshan/CMakeFiles/stellar_darshan.dir/recorder.cpp.o.d"
+  "/root/repo/src/darshan/recorder_log.cpp" "src/darshan/CMakeFiles/stellar_darshan.dir/recorder_log.cpp.o" "gcc" "src/darshan/CMakeFiles/stellar_darshan.dir/recorder_log.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pfs/CMakeFiles/stellar_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/stellar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stellar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

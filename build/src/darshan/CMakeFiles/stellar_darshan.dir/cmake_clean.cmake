@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stellar_darshan.dir/log.cpp.o"
+  "CMakeFiles/stellar_darshan.dir/log.cpp.o.d"
+  "CMakeFiles/stellar_darshan.dir/recorder.cpp.o"
+  "CMakeFiles/stellar_darshan.dir/recorder.cpp.o.d"
+  "CMakeFiles/stellar_darshan.dir/recorder_log.cpp.o"
+  "CMakeFiles/stellar_darshan.dir/recorder_log.cpp.o.d"
+  "libstellar_darshan.a"
+  "libstellar_darshan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stellar_darshan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

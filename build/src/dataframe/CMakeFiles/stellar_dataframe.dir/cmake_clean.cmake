@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stellar_dataframe.dir/dataframe.cpp.o"
+  "CMakeFiles/stellar_dataframe.dir/dataframe.cpp.o.d"
+  "CMakeFiles/stellar_dataframe.dir/from_darshan.cpp.o"
+  "CMakeFiles/stellar_dataframe.dir/from_darshan.cpp.o.d"
+  "libstellar_dataframe.a"
+  "libstellar_dataframe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stellar_dataframe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stellar_dfquery.dir/eval.cpp.o"
+  "CMakeFiles/stellar_dfquery.dir/eval.cpp.o.d"
+  "CMakeFiles/stellar_dfquery.dir/lexer.cpp.o"
+  "CMakeFiles/stellar_dfquery.dir/lexer.cpp.o.d"
+  "CMakeFiles/stellar_dfquery.dir/parser.cpp.o"
+  "CMakeFiles/stellar_dfquery.dir/parser.cpp.o.d"
+  "libstellar_dfquery.a"
+  "libstellar_dfquery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stellar_dfquery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

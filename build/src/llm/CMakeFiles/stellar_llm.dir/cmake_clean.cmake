@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stellar_llm.dir/knowledge.cpp.o"
+  "CMakeFiles/stellar_llm.dir/knowledge.cpp.o.d"
+  "CMakeFiles/stellar_llm.dir/model_profile.cpp.o"
+  "CMakeFiles/stellar_llm.dir/model_profile.cpp.o.d"
+  "CMakeFiles/stellar_llm.dir/token_meter.cpp.o"
+  "CMakeFiles/stellar_llm.dir/token_meter.cpp.o.d"
+  "libstellar_llm.a"
+  "libstellar_llm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stellar_llm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

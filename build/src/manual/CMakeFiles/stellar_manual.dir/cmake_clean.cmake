@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stellar_manual.dir/manual_text.cpp.o"
+  "CMakeFiles/stellar_manual.dir/manual_text.cpp.o.d"
+  "CMakeFiles/stellar_manual.dir/param_facts.cpp.o"
+  "CMakeFiles/stellar_manual.dir/param_facts.cpp.o.d"
+  "libstellar_manual.a"
+  "libstellar_manual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stellar_manual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

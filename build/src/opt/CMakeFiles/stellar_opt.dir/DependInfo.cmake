@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/gp_bayesopt.cpp" "src/opt/CMakeFiles/stellar_opt.dir/gp_bayesopt.cpp.o" "gcc" "src/opt/CMakeFiles/stellar_opt.dir/gp_bayesopt.cpp.o.d"
+  "/root/repo/src/opt/linalg.cpp" "src/opt/CMakeFiles/stellar_opt.dir/linalg.cpp.o" "gcc" "src/opt/CMakeFiles/stellar_opt.dir/linalg.cpp.o.d"
+  "/root/repo/src/opt/optimizers.cpp" "src/opt/CMakeFiles/stellar_opt.dir/optimizers.cpp.o" "gcc" "src/opt/CMakeFiles/stellar_opt.dir/optimizers.cpp.o.d"
+  "/root/repo/src/opt/search_space.cpp" "src/opt/CMakeFiles/stellar_opt.dir/search_space.cpp.o" "gcc" "src/opt/CMakeFiles/stellar_opt.dir/search_space.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pfs/CMakeFiles/stellar_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/stellar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stellar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stellar_opt.dir/gp_bayesopt.cpp.o"
+  "CMakeFiles/stellar_opt.dir/gp_bayesopt.cpp.o.d"
+  "CMakeFiles/stellar_opt.dir/linalg.cpp.o"
+  "CMakeFiles/stellar_opt.dir/linalg.cpp.o.d"
+  "CMakeFiles/stellar_opt.dir/optimizers.cpp.o"
+  "CMakeFiles/stellar_opt.dir/optimizers.cpp.o.d"
+  "CMakeFiles/stellar_opt.dir/search_space.cpp.o"
+  "CMakeFiles/stellar_opt.dir/search_space.cpp.o.d"
+  "libstellar_opt.a"
+  "libstellar_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stellar_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pfs/client.cpp" "src/pfs/CMakeFiles/stellar_pfs.dir/client.cpp.o" "gcc" "src/pfs/CMakeFiles/stellar_pfs.dir/client.cpp.o.d"
+  "/root/repo/src/pfs/client_cache.cpp" "src/pfs/CMakeFiles/stellar_pfs.dir/client_cache.cpp.o" "gcc" "src/pfs/CMakeFiles/stellar_pfs.dir/client_cache.cpp.o.d"
+  "/root/repo/src/pfs/job.cpp" "src/pfs/CMakeFiles/stellar_pfs.dir/job.cpp.o" "gcc" "src/pfs/CMakeFiles/stellar_pfs.dir/job.cpp.o.d"
+  "/root/repo/src/pfs/layout.cpp" "src/pfs/CMakeFiles/stellar_pfs.dir/layout.cpp.o" "gcc" "src/pfs/CMakeFiles/stellar_pfs.dir/layout.cpp.o.d"
+  "/root/repo/src/pfs/mds.cpp" "src/pfs/CMakeFiles/stellar_pfs.dir/mds.cpp.o" "gcc" "src/pfs/CMakeFiles/stellar_pfs.dir/mds.cpp.o.d"
+  "/root/repo/src/pfs/ost.cpp" "src/pfs/CMakeFiles/stellar_pfs.dir/ost.cpp.o" "gcc" "src/pfs/CMakeFiles/stellar_pfs.dir/ost.cpp.o.d"
+  "/root/repo/src/pfs/params.cpp" "src/pfs/CMakeFiles/stellar_pfs.dir/params.cpp.o" "gcc" "src/pfs/CMakeFiles/stellar_pfs.dir/params.cpp.o.d"
+  "/root/repo/src/pfs/simulator.cpp" "src/pfs/CMakeFiles/stellar_pfs.dir/simulator.cpp.o" "gcc" "src/pfs/CMakeFiles/stellar_pfs.dir/simulator.cpp.o.d"
+  "/root/repo/src/pfs/topology.cpp" "src/pfs/CMakeFiles/stellar_pfs.dir/topology.cpp.o" "gcc" "src/pfs/CMakeFiles/stellar_pfs.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/stellar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stellar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stellar_pfs.dir/client.cpp.o"
+  "CMakeFiles/stellar_pfs.dir/client.cpp.o.d"
+  "CMakeFiles/stellar_pfs.dir/client_cache.cpp.o"
+  "CMakeFiles/stellar_pfs.dir/client_cache.cpp.o.d"
+  "CMakeFiles/stellar_pfs.dir/job.cpp.o"
+  "CMakeFiles/stellar_pfs.dir/job.cpp.o.d"
+  "CMakeFiles/stellar_pfs.dir/layout.cpp.o"
+  "CMakeFiles/stellar_pfs.dir/layout.cpp.o.d"
+  "CMakeFiles/stellar_pfs.dir/mds.cpp.o"
+  "CMakeFiles/stellar_pfs.dir/mds.cpp.o.d"
+  "CMakeFiles/stellar_pfs.dir/ost.cpp.o"
+  "CMakeFiles/stellar_pfs.dir/ost.cpp.o.d"
+  "CMakeFiles/stellar_pfs.dir/params.cpp.o"
+  "CMakeFiles/stellar_pfs.dir/params.cpp.o.d"
+  "CMakeFiles/stellar_pfs.dir/simulator.cpp.o"
+  "CMakeFiles/stellar_pfs.dir/simulator.cpp.o.d"
+  "CMakeFiles/stellar_pfs.dir/topology.cpp.o"
+  "CMakeFiles/stellar_pfs.dir/topology.cpp.o.d"
+  "libstellar_pfs.a"
+  "libstellar_pfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stellar_pfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

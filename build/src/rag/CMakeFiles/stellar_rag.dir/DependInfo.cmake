@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rag/chunker.cpp" "src/rag/CMakeFiles/stellar_rag.dir/chunker.cpp.o" "gcc" "src/rag/CMakeFiles/stellar_rag.dir/chunker.cpp.o.d"
+  "/root/repo/src/rag/embedder.cpp" "src/rag/CMakeFiles/stellar_rag.dir/embedder.cpp.o" "gcc" "src/rag/CMakeFiles/stellar_rag.dir/embedder.cpp.o.d"
+  "/root/repo/src/rag/tokenizer.cpp" "src/rag/CMakeFiles/stellar_rag.dir/tokenizer.cpp.o" "gcc" "src/rag/CMakeFiles/stellar_rag.dir/tokenizer.cpp.o.d"
+  "/root/repo/src/rag/vector_index.cpp" "src/rag/CMakeFiles/stellar_rag.dir/vector_index.cpp.o" "gcc" "src/rag/CMakeFiles/stellar_rag.dir/vector_index.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/stellar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stellar_rag.dir/chunker.cpp.o"
+  "CMakeFiles/stellar_rag.dir/chunker.cpp.o.d"
+  "CMakeFiles/stellar_rag.dir/embedder.cpp.o"
+  "CMakeFiles/stellar_rag.dir/embedder.cpp.o.d"
+  "CMakeFiles/stellar_rag.dir/tokenizer.cpp.o"
+  "CMakeFiles/stellar_rag.dir/tokenizer.cpp.o.d"
+  "CMakeFiles/stellar_rag.dir/vector_index.cpp.o"
+  "CMakeFiles/stellar_rag.dir/vector_index.cpp.o.d"
+  "libstellar_rag.a"
+  "libstellar_rag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stellar_rag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stellar_rules.dir/rules.cpp.o"
+  "CMakeFiles/stellar_rules.dir/rules.cpp.o.d"
+  "libstellar_rules.a"
+  "libstellar_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stellar_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stellar_sim.dir/engine.cpp.o"
+  "CMakeFiles/stellar_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/stellar_sim.dir/flow_limiter.cpp.o"
+  "CMakeFiles/stellar_sim.dir/flow_limiter.cpp.o.d"
+  "CMakeFiles/stellar_sim.dir/service_center.cpp.o"
+  "CMakeFiles/stellar_sim.dir/service_center.cpp.o.d"
+  "libstellar_sim.a"
+  "libstellar_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stellar_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

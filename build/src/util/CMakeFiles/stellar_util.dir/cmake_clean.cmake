@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stellar_util.dir/expr.cpp.o"
+  "CMakeFiles/stellar_util.dir/expr.cpp.o.d"
+  "CMakeFiles/stellar_util.dir/file.cpp.o"
+  "CMakeFiles/stellar_util.dir/file.cpp.o.d"
+  "CMakeFiles/stellar_util.dir/json.cpp.o"
+  "CMakeFiles/stellar_util.dir/json.cpp.o.d"
+  "CMakeFiles/stellar_util.dir/log.cpp.o"
+  "CMakeFiles/stellar_util.dir/log.cpp.o.d"
+  "CMakeFiles/stellar_util.dir/rng.cpp.o"
+  "CMakeFiles/stellar_util.dir/rng.cpp.o.d"
+  "CMakeFiles/stellar_util.dir/stats.cpp.o"
+  "CMakeFiles/stellar_util.dir/stats.cpp.o.d"
+  "CMakeFiles/stellar_util.dir/strings.cpp.o"
+  "CMakeFiles/stellar_util.dir/strings.cpp.o.d"
+  "CMakeFiles/stellar_util.dir/table.cpp.o"
+  "CMakeFiles/stellar_util.dir/table.cpp.o.d"
+  "CMakeFiles/stellar_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/stellar_util.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/stellar_util.dir/units.cpp.o"
+  "CMakeFiles/stellar_util.dir/units.cpp.o.d"
+  "libstellar_util.a"
+  "libstellar_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stellar_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stellar_workloads.dir/workloads.cpp.o"
+  "CMakeFiles/stellar_workloads.dir/workloads.cpp.o.d"
+  "libstellar_workloads.a"
+  "libstellar_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stellar_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

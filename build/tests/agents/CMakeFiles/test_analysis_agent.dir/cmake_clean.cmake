@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_agent.dir/test_analysis_agent.cpp.o"
+  "CMakeFiles/test_analysis_agent.dir/test_analysis_agent.cpp.o.d"
+  "test_analysis_agent"
+  "test_analysis_agent.pdb"
+  "test_analysis_agent[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

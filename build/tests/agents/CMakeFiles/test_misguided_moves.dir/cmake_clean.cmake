@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_misguided_moves.dir/test_misguided_moves.cpp.o"
+  "CMakeFiles/test_misguided_moves.dir/test_misguided_moves.cpp.o.d"
+  "test_misguided_moves"
+  "test_misguided_moves.pdb"
+  "test_misguided_moves[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_misguided_moves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tuning_agent.dir/test_tuning_agent.cpp.o"
+  "CMakeFiles/test_tuning_agent.dir/test_tuning_agent.cpp.o.d"
+  "test_tuning_agent"
+  "test_tuning_agent.pdb"
+  "test_tuning_agent[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tuning_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/agents
+# Build directory: /root/repo/build/tests/agents
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/agents/test_analysis_agent[1]_include.cmake")
+include("/root/repo/build/tests/agents/test_tuning_agent[1]_include.cmake")
+include("/root/repo/build/tests/agents/test_misguided_moves[1]_include.cmake")

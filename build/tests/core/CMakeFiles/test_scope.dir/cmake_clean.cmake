@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scope.dir/test_scope.cpp.o"
+  "CMakeFiles/test_scope.dir/test_scope.cpp.o.d"
+  "test_scope"
+  "test_scope.pdb"
+  "test_scope[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

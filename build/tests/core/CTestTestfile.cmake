@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/core
+# Build directory: /root/repo/build/tests/core
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/core/test_offline_extractor[1]_include.cmake")
+include("/root/repo/build/tests/core/test_engine[1]_include.cmake")
+include("/root/repo/build/tests/core/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/core/test_scope[1]_include.cmake")

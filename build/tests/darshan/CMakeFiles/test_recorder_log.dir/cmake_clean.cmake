@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_recorder_log.dir/test_recorder_log.cpp.o"
+  "CMakeFiles/test_recorder_log.dir/test_recorder_log.cpp.o.d"
+  "test_recorder_log"
+  "test_recorder_log.pdb"
+  "test_recorder_log[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_recorder_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

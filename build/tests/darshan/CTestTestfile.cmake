@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/darshan
+# Build directory: /root/repo/build/tests/darshan
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/darshan/test_darshan[1]_include.cmake")
+include("/root/repo/build/tests/darshan/test_recorder_log[1]_include.cmake")

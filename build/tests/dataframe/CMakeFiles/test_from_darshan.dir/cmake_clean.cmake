@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_from_darshan.dir/test_from_darshan.cpp.o"
+  "CMakeFiles/test_from_darshan.dir/test_from_darshan.cpp.o.d"
+  "test_from_darshan"
+  "test_from_darshan.pdb"
+  "test_from_darshan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_from_darshan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/dataframe
+# Build directory: /root/repo/build/tests/dataframe
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/dataframe/test_dataframe[1]_include.cmake")
+include("/root/repo/build/tests/dataframe/test_from_darshan[1]_include.cmake")

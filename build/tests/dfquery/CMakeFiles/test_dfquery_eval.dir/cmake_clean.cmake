@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dfquery_eval.dir/test_eval.cpp.o"
+  "CMakeFiles/test_dfquery_eval.dir/test_eval.cpp.o.d"
+  "test_dfquery_eval"
+  "test_dfquery_eval.pdb"
+  "test_dfquery_eval[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dfquery_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

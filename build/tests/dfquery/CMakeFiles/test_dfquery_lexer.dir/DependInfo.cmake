@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dfquery/test_lexer.cpp" "tests/dfquery/CMakeFiles/test_dfquery_lexer.dir/test_lexer.cpp.o" "gcc" "tests/dfquery/CMakeFiles/test_dfquery_lexer.dir/test_lexer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dfquery/CMakeFiles/stellar_dfquery.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataframe/CMakeFiles/stellar_dataframe.dir/DependInfo.cmake"
+  "/root/repo/build/src/darshan/CMakeFiles/stellar_darshan.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfs/CMakeFiles/stellar_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/stellar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stellar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/dfquery
+# Build directory: /root/repo/build/tests/dfquery
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/dfquery/test_dfquery_lexer[1]_include.cmake")
+include("/root/repo/build/tests/dfquery/test_dfquery_parser[1]_include.cmake")
+include("/root/repo/build/tests/dfquery/test_dfquery_eval[1]_include.cmake")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/manual/test_manual.cpp" "tests/manual/CMakeFiles/test_manual.dir/test_manual.cpp.o" "gcc" "tests/manual/CMakeFiles/test_manual.dir/test_manual.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/manual/CMakeFiles/stellar_manual.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfs/CMakeFiles/stellar_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/stellar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stellar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

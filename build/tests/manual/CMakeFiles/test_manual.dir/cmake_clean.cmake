@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_manual.dir/test_manual.cpp.o"
+  "CMakeFiles/test_manual.dir/test_manual.cpp.o.d"
+  "test_manual"
+  "test_manual.pdb"
+  "test_manual[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_manual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/opt
+# Build directory: /root/repo/build/tests/opt
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/opt/test_opt_linalg[1]_include.cmake")
+include("/root/repo/build/tests/opt/test_opt_space[1]_include.cmake")
+include("/root/repo/build/tests/opt/test_opt_optimizers[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pfs_caches.dir/test_caches.cpp.o"
+  "CMakeFiles/test_pfs_caches.dir/test_caches.cpp.o.d"
+  "test_pfs_caches"
+  "test_pfs_caches.pdb"
+  "test_pfs_caches[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pfs_caches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

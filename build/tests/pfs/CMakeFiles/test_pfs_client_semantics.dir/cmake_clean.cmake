@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pfs_client_semantics.dir/test_client_semantics.cpp.o"
+  "CMakeFiles/test_pfs_client_semantics.dir/test_client_semantics.cpp.o.d"
+  "test_pfs_client_semantics"
+  "test_pfs_client_semantics.pdb"
+  "test_pfs_client_semantics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pfs_client_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

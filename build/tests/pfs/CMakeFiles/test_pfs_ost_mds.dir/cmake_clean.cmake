@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pfs_ost_mds.dir/test_ost_mds.cpp.o"
+  "CMakeFiles/test_pfs_ost_mds.dir/test_ost_mds.cpp.o.d"
+  "test_pfs_ost_mds"
+  "test_pfs_ost_mds.pdb"
+  "test_pfs_ost_mds[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pfs_ost_mds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pfs_params.dir/test_params.cpp.o"
+  "CMakeFiles/test_pfs_params.dir/test_params.cpp.o.d"
+  "test_pfs_params"
+  "test_pfs_params.pdb"
+  "test_pfs_params[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pfs_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

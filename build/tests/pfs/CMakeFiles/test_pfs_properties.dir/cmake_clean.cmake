@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pfs_properties.dir/test_properties.cpp.o"
+  "CMakeFiles/test_pfs_properties.dir/test_properties.cpp.o.d"
+  "test_pfs_properties"
+  "test_pfs_properties.pdb"
+  "test_pfs_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pfs_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

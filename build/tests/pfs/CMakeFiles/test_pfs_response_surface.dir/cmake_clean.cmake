@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pfs_response_surface.dir/test_response_surface.cpp.o"
+  "CMakeFiles/test_pfs_response_surface.dir/test_response_surface.cpp.o.d"
+  "test_pfs_response_surface"
+  "test_pfs_response_surface.pdb"
+  "test_pfs_response_surface[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pfs_response_surface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

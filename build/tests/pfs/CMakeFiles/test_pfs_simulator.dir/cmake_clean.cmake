@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pfs_simulator.dir/test_simulator.cpp.o"
+  "CMakeFiles/test_pfs_simulator.dir/test_simulator.cpp.o.d"
+  "test_pfs_simulator"
+  "test_pfs_simulator.pdb"
+  "test_pfs_simulator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pfs_simulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

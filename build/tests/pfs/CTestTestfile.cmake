@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/pfs
+# Build directory: /root/repo/build/tests/pfs
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/pfs/test_pfs_layout[1]_include.cmake")
+include("/root/repo/build/tests/pfs/test_pfs_params[1]_include.cmake")
+include("/root/repo/build/tests/pfs/test_pfs_caches[1]_include.cmake")
+include("/root/repo/build/tests/pfs/test_pfs_simulator[1]_include.cmake")
+include("/root/repo/build/tests/pfs/test_pfs_response_surface[1]_include.cmake")
+include("/root/repo/build/tests/pfs/test_pfs_properties[1]_include.cmake")
+include("/root/repo/build/tests/pfs/test_pfs_client_semantics[1]_include.cmake")
+include("/root/repo/build/tests/pfs/test_pfs_ost_mds[1]_include.cmake")

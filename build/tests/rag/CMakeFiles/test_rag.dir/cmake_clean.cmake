@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rag.dir/test_rag.cpp.o"
+  "CMakeFiles/test_rag.dir/test_rag.cpp.o.d"
+  "test_rag"
+  "test_rag.pdb"
+  "test_rag[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_flow_limiter.dir/test_flow_limiter.cpp.o"
+  "CMakeFiles/test_sim_flow_limiter.dir/test_flow_limiter.cpp.o.d"
+  "test_sim_flow_limiter"
+  "test_sim_flow_limiter.pdb"
+  "test_sim_flow_limiter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_flow_limiter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_service_center.dir/test_service_center.cpp.o"
+  "CMakeFiles/test_sim_service_center.dir/test_service_center.cpp.o.d"
+  "test_sim_service_center"
+  "test_sim_service_center.pdb"
+  "test_sim_service_center[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_service_center.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_expr.dir/test_expr.cpp.o"
+  "CMakeFiles/test_util_expr.dir/test_expr.cpp.o.d"
+  "test_util_expr"
+  "test_util_expr.pdb"
+  "test_util_expr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/util
+# Build directory: /root/repo/build/tests/util
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util/test_util_rng[1]_include.cmake")
+include("/root/repo/build/tests/util/test_util_stats[1]_include.cmake")
+include("/root/repo/build/tests/util/test_util_strings[1]_include.cmake")
+include("/root/repo/build/tests/util/test_util_json[1]_include.cmake")
+include("/root/repo/build/tests/util/test_util_expr[1]_include.cmake")
+include("/root/repo/build/tests/util/test_util_misc[1]_include.cmake")
