@@ -23,13 +23,13 @@ int main() {
     const pfs::JobSpec job = workloads::byName(name, opt);
 
     const core::RepeatedMeasure def =
-        core::measureConfig(sim, job, pfs::PfsConfig{}, 8, 100);
+        core::measureConfig(sim, job, pfs::PfsConfig{}, {.repeats = 8, .seedBase = 100});
     const core::RepeatedMeasure expert =
-        core::measureConfig(sim, job, baselines::expertConfig(name), 8, 200);
+        core::measureConfig(sim, job, baselines::expertConfig(name), {.repeats = 8, .seedBase = 200});
 
     core::StellarOptions options;
     options.seed = 42;
-    const core::TuningEvaluation eval = core::evaluateTuning(sim, options, job, 8);
+    const core::TuningEvaluation eval = core::evaluateTuning(sim, options, job, {.repeats = 8});
     const util::Summary best = eval.bestSummary();
 
     table.addRow({name, bench::meanCi(def.summary.mean, def.summary.ci90),

@@ -39,9 +39,9 @@ int main() {
     core::StellarOptions options;
     options.seed = 42;
 
-    const core::TuningEvaluation without = core::evaluateTuning(sim, options, job, 8);
+    const core::TuningEvaluation without = core::evaluateTuning(sim, options, job, {.repeats = 8});
     const core::TuningEvaluation with =
-        core::evaluateTuning(sim, options, job, 8, &global);
+        core::evaluateTuning(sim, options, job, {.repeats = 8, .globalRules = &global});
 
     const auto seriesW = without.meanIterationSpeedups();
     const auto seriesR = with.meanIterationSpeedups();

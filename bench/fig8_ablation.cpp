@@ -26,7 +26,7 @@ int main() {
       {"No Analysis", true, false},
   };
 
-  const core::RepeatedMeasure def = core::measureConfig(sim, job, pfs::PfsConfig{}, 8, 50);
+  const core::RepeatedMeasure def = core::measureConfig(sim, job, pfs::PfsConfig{}, {.repeats = 8, .seedBase = 50});
 
   util::Table table{{"variant", "best wall time (s)", "speedup vs default",
                      "attempts", "invalid attempts"}};
@@ -37,7 +37,7 @@ int main() {
     options.seed = 42;
     options.agent.useDescriptions = mode.useDescriptions;
     options.agent.useAnalysis = mode.useAnalysis;
-    const core::TuningEvaluation eval = core::evaluateTuning(sim, options, job, 8);
+    const core::TuningEvaluation eval = core::evaluateTuning(sim, options, job, {.repeats = 8});
     const util::Summary best = eval.bestSummary();
     double invalid = 0;
     for (const core::TuningRunResult& run : eval.runs) {

@@ -13,7 +13,7 @@ int main() {
 
   pfs::PfsSimulator sim;
   const pfs::JobSpec job = workloads::byName("IOR_16M", bench::benchOptions());
-  const core::RepeatedMeasure def = core::measureConfig(sim, job, pfs::PfsConfig{}, 8, 60);
+  const core::RepeatedMeasure def = core::measureConfig(sim, job, pfs::PfsConfig{}, {.repeats = 8, .seedBase = 60});
 
   util::Table table{{"tuning agent", "best wall time (s)", "speedup", "attempts"}};
   table.addRow({"default config", bench::meanCi(def.summary.mean, def.summary.ci90),
@@ -23,7 +23,7 @@ int main() {
     core::StellarOptions options;
     options.seed = 42;
     options.agent.model = model;
-    const core::TuningEvaluation eval = core::evaluateTuning(sim, options, job, 8);
+    const core::TuningEvaluation eval = core::evaluateTuning(sim, options, job, {.repeats = 8});
     const util::Summary best = eval.bestSummary();
     table.addRow({model.name, bench::meanCi(best.mean, best.ci90),
                   bench::fmt(def.summary.mean / best.mean) + "x",

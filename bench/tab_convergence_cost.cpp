@@ -35,7 +35,7 @@ int main() {
     // Coordinate descent seeded from the expert config refines it into the
     // oracle row shown for context.
     const core::RepeatedMeasure expert =
-        core::measureConfig(sim, job, baselines::expertConfig(name), 8, 700);
+        core::measureConfig(sim, job, baselines::expertConfig(name), {.repeats = 8, .seedBase = 700});
     const double target = expert.summary.mean;
 
     baselines::OracleOptions oracleOpts;
@@ -76,7 +76,7 @@ int main() {
     // STELLAR: executions = initial run + attempts.
     core::StellarOptions stellarOpts;
     stellarOpts.seed = 42;
-    const core::TuningEvaluation eval = core::evaluateTuning(sim, stellarOpts, job, 8);
+    const core::TuningEvaluation eval = core::evaluateTuning(sim, stellarOpts, job, {.repeats = 8});
 
     table.addRow({name, bench::fmt(target), "expert (the paper's reference)",
                   bench::fmt(target), "-", "-"});

@@ -23,14 +23,15 @@ int main() {
   for (const std::uint32_t ossNodes : {5u, 10u, 20u}) {
     pfs::ClusterSpec cluster = pfs::defaultCluster();
     cluster.ossNodes = ossNodes;
-    pfs::PfsSimulator sim{cluster};
+    pfs::PfsSimulator sim{{.cluster = cluster}};
 
     const core::RepeatedMeasure def =
-        core::measureConfig(sim, job, pfs::PfsConfig{}, 8, 300 + ossNodes);
+        core::measureConfig(sim, job, pfs::PfsConfig{},
+                            {.repeats = 8, .seedBase = 300 + ossNodes});
 
     core::StellarOptions options;
     options.seed = 42;
-    const core::TuningEvaluation eval = core::evaluateTuning(sim, options, job, 8);
+    const core::TuningEvaluation eval = core::evaluateTuning(sim, options, job, {.repeats = 8});
     const util::Summary best = eval.bestSummary();
     table.addRow({std::to_string(ossNodes),
                   bench::meanCi(def.summary.mean, def.summary.ci90),

@@ -27,11 +27,11 @@ int main() {
 
     core::StellarOptions systemWide;
     systemWide.seed = 42;
-    const core::TuningEvaluation full = core::evaluateTuning(sim, systemWide, job, 8);
+    const core::TuningEvaluation full = core::evaluateTuning(sim, systemWide, job, {.repeats = 8});
 
     core::StellarOptions userOnly = systemWide;
     userOnly.scope = core::TuningScope::UserAccessible;
-    const core::TuningEvaluation user = core::evaluateTuning(sim, userOnly, job, 8);
+    const core::TuningEvaluation user = core::evaluateTuning(sim, userOnly, job, {.repeats = 8});
 
     const double defaultMean = full.defaultSummary().mean;
     const double fullSpeedup = defaultMean / full.bestSummary().mean;

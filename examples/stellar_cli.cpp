@@ -18,6 +18,12 @@
 //   --rules <file>      load/save the global rule set JSON
 //   --scope user|system tuning scope (§5.6)              (default system)
 //   --transcript        print the full agent transcript
+//   --trace <file>      write a Chrome-trace (chrome://tracing) JSON of the
+//                       run: sim event loop, RPCs, tuning iterations,
+//                       harness repeats ("--trace=out.json" also accepted)
+//   --metrics           print the counter-registry snapshot after the run
+//   --json              print the canonical TuningRunResult JSON instead of
+//                       the human-readable summary
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -25,7 +31,9 @@
 #include <vector>
 
 #include "core/engine.hpp"
+#include "core/harness.hpp"
 #include "core/offline_extractor.hpp"
+#include "obs/export.hpp"
 #include "util/file.hpp"
 #include "util/units.hpp"
 #include "workloads/workloads.hpp"
@@ -41,6 +49,9 @@ struct CliOptions {
   std::string rulesFile;
   bool userScope = false;
   bool transcript = false;
+  std::string traceFile;
+  bool metrics = false;
+  bool json = false;
 };
 
 [[noreturn]] void usage() {
@@ -48,15 +59,31 @@ struct CliOptions {
                "usage: stellar_cli <extract|tune|suite|workloads> [args]\n"
                "  tune <workload> [--scale S] [--seed N] [--model NAME]\n"
                "       [--rules FILE] [--scope user|system] [--transcript]\n"
-               "  suite [--scale S] [--seed N] [--rules FILE]\n");
+               "       [--trace FILE] [--metrics] [--json]\n"
+               "  suite [--scale S] [--seed N] [--rules FILE]\n"
+               "        [--trace FILE] [--metrics]\n");
   std::exit(2);
 }
 
 CliOptions parseOptions(const std::vector<std::string>& args, std::size_t start) {
   CliOptions opts;
   for (std::size_t i = start; i < args.size(); ++i) {
-    const std::string& arg = args[i];
+    std::string arg = args[i];
+    // Accept both "--opt value" and "--opt=value".
+    std::string inlineValue;
+    bool hasInlineValue = false;
+    if (arg.rfind("--", 0) == 0) {
+      const std::size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        inlineValue = arg.substr(eq + 1);
+        arg.erase(eq);
+        hasInlineValue = true;
+      }
+    }
     const auto value = [&]() -> std::string {
+      if (hasInlineValue) {
+        return inlineValue;
+      }
       if (i + 1 >= args.size()) {
         usage();
       }
@@ -79,6 +106,12 @@ CliOptions parseOptions(const std::vector<std::string>& args, std::size_t start)
       }
     } else if (arg == "--transcript") {
       opts.transcript = true;
+    } else if (arg == "--trace") {
+      opts.traceFile = value();
+    } else if (arg == "--metrics") {
+      opts.metrics = true;
+    } else if (arg == "--json") {
+      opts.json = true;
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       usage();
@@ -147,18 +180,67 @@ int cmdExtract() {
   return 0;
 }
 
+/// Observability plumbing shared by tune/suite: a tracer that exists only
+/// when --trace was given and a registry that always collects (rendering
+/// is gated on --metrics; collection overhead is one flush per run).
+struct ObsBundle {
+  // 1 Mi ring slots: a full `suite` run emits ~300k records; the default
+  // 64 Ki ring would wrap and silently drop the earliest workloads.
+  obs::Tracer tracer{{.enabled = true, .capacity = 1 << 20}};
+  obs::CounterRegistry registry;
+  std::string traceFile;
+
+  [[nodiscard]] pfs::SimulatorOptions simulatorOptions() {
+    return pfs::SimulatorOptions{
+        .tracer = traceFile.empty() ? nullptr : &tracer,
+        .counters = &registry,
+    };
+  }
+
+  void finish(const CliOptions& cli) {
+    if (!traceFile.empty()) {
+      obs::writeChromeTrace(tracer, traceFile);
+      std::printf("trace:         %s (%llu records, %llu dropped)\n", traceFile.c_str(),
+                  static_cast<unsigned long long>(tracer.recorded()),
+                  static_cast<unsigned long long>(tracer.dropped()));
+    }
+    if (cli.metrics) {
+      std::printf("\n--- metrics ---\n%s", registry.renderTable().c_str());
+    }
+  }
+};
+
 int cmdTune(const std::string& workload, const CliOptions& cli) {
   workloads::WorkloadOptions wopts;
   wopts.ranks = 50;
   wopts.scale = cli.scale;
   const pfs::JobSpec job = workloads::byName(workload, wopts);
 
-  pfs::PfsSimulator simulator;
+  ObsBundle bundle;
+  bundle.traceFile = cli.traceFile;
+  pfs::PfsSimulator simulator{bundle.simulatorOptions()};
   core::StellarEngine engine{simulator, engineOptions(cli)};
   rules::RuleSet global = loadRules(cli);
   const core::TuningRunResult run = engine.tune(job, &global);
-  printRun(run, cli.transcript);
+  // Re-measure the winning configuration under the harness protocol —
+  // the validation numbers the paper reports, and the "harness" spans of
+  // the trace.
+  const core::RepeatedMeasure validated = core::measureConfig(
+      simulator, job, run.bestConfig, {.repeats = 4, .seedBase = cli.seed ^ 0xBE57});
+  if (cli.json) {
+    util::Json doc = run.toJson();
+    doc.set("validated_best_mean_seconds", validated.summary.mean);
+    doc.set("validated_best_ci90_seconds", validated.summary.ci90);
+    std::printf("%s\n", doc.dump(2).c_str());
+  } else {
+    printRun(run, cli.transcript);
+    std::printf("validated:     %s ± %s over %zu repeats\n",
+                util::formatSeconds(validated.summary.mean).c_str(),
+                util::formatSeconds(validated.summary.ci90).c_str(),
+                validated.samples.size());
+  }
   saveRules(cli, global);
+  bundle.finish(cli);
   return 0;
 }
 
@@ -166,7 +248,9 @@ int cmdSuite(const CliOptions& cli) {
   workloads::WorkloadOptions wopts;
   wopts.ranks = 50;
   wopts.scale = cli.scale;
-  pfs::PfsSimulator simulator;
+  ObsBundle bundle;
+  bundle.traceFile = cli.traceFile;
+  pfs::PfsSimulator simulator{bundle.simulatorOptions()};
   rules::RuleSet global = loadRules(cli);
   for (const std::string& name : workloads::benchmarkNames()) {
     core::StellarEngine engine{simulator, engineOptions(cli)};
@@ -176,6 +260,7 @@ int cmdSuite(const CliOptions& cli) {
                 run.bestSpeedup(), run.attempts.size(), global.size());
   }
   saveRules(cli, global);
+  bundle.finish(cli);
   return 0;
 }
 

@@ -13,11 +13,19 @@ StellarEngine::StellarEngine(pfs::PfsSimulator simulator, StellarOptions options
     : simulator_(std::move(simulator)), options_(std::move(options)) {}
 
 const ExtractionResult& StellarEngine::extraction() const {
+  obs::CounterRegistry* counters = simulator_.counters();
   if (!extraction_) {
+    if (counters != nullptr) {
+      counters->counter("core.extraction.cache_miss").add();
+    }
+    obs::Tracer::Span span =
+        obs::beginSpan(simulator_.tracer(), "tuning", "offline-extraction");
     manual::SystemFacts facts;
     facts.clientRamMb = simulator_.cluster().clientRamMb();
     facts.ostCount = simulator_.cluster().totalOsts();
     extraction_ = OfflineExtractor{}.run(facts);
+  } else if (counters != nullptr) {
+    counters->counter("core.extraction.cache_hit").add();
   }
   return *extraction_;
 }
@@ -90,11 +98,20 @@ TuningRunResult StellarEngine::tune(const pfs::JobSpec& job,
   TuningRunResult result;
   result.workload = job.name;
 
+  obs::Tracer* tracer = simulator_.tracer();
+  obs::Tracer::Span tuneSpan = obs::beginSpan(tracer, "tuning", "tune:" + job.name);
+
   const pfs::PfsConfig defaultConfig{};
   const std::uint64_t seedBase = util::mix64(options_.seed, 0x7E57);
 
   // --- initial run with the default configuration --------------------------
+  obs::Tracer::Span initialSpan = obs::beginSpan(tracer, "tuning", "iteration:0");
   const pfs::RunResult initial = simulator_.run(job, defaultConfig, seedBase);
+  if (initialSpan.active()) {
+    initialSpan.arg("kind", util::Json("default-run"));
+    initialSpan.arg("seconds", util::Json(initial.wallSeconds));
+    initialSpan.end();
+  }
   result.defaultSeconds = initial.wallSeconds;
   result.iterationSeconds.push_back(initial.wallSeconds);
   result.transcript.add("system", "initial run",
@@ -126,12 +143,18 @@ TuningRunResult StellarEngine::tune(const pfs::JobSpec& job,
   // Guard: tool loop is bounded by attempts + questions + repairs.
   const int maxToolCalls = options_.agent.maxAttempts * 2 + 8;
   for (int call = 0; call < maxToolCalls; ++call) {
+    // One span per agent iteration: the tool decision plus whatever it
+    // triggered (analysis follow-up or configuration attempt).
+    obs::Tracer::Span iterSpan = obs::beginSpan(
+        tracer, "tuning", "iteration:" + std::to_string(result.iterationSeconds.size()));
     const agents::TuningAgent::Action action = agent.decide();
     if (action.kind == agents::TuningAgent::ActionKind::EndTuning) {
+      iterSpan.arg("kind", util::Json("end-tuning"));
       result.endReason = action.rationale;
       break;
     }
     if (action.kind == agents::TuningAgent::ActionKind::AskAnalysis) {
+      iterSpan.arg("kind", util::Json("ask-analysis"));
       if (analysis) {
         const std::string answer = analysis->answerFollowUp(action.question);
         agent.observeAnalysisAnswer(action.question, answer);
@@ -141,14 +164,20 @@ TuningRunResult StellarEngine::tune(const pfs::JobSpec& job,
       continue;
     }
     // Configuration Runner tool: validate, then execute on the system.
+    if (iterSpan.active()) {
+      iterSpan.arg("kind", util::Json("attempt"));
+      iterSpan.arg("config", util::Json(action.config.diffAgainst(defaultConfig)));
+    }
     const auto problems = pfs::validateConfig(action.config, simulator_.boundsContext());
     if (!problems.empty()) {
+      iterSpan.arg("invalid", util::Json(util::join(problems, "; ")));
       agent.observeRunResult(0.0, false, util::join(problems, "; "));
       result.iterationSeconds.push_back(result.iterationSeconds.back());
       continue;
     }
     const pfs::RunResult run = simulator_.run(
         job, action.config, util::mix64(seedBase, result.iterationSeconds.size()));
+    iterSpan.arg("seconds", util::Json(run.wallSeconds));
     agent.observeRunResult(run.wallSeconds, true, {});
     result.iterationSeconds.push_back(run.wallSeconds);
   }
@@ -184,7 +213,77 @@ TuningRunResult StellarEngine::tune(const pfs::JobSpec& job,
       result.transcript.add("tuning-agent", "rule set merge", mergeReport);
     }
   }
+
+  if (tuneSpan.active()) {
+    tuneSpan.arg("default_seconds", util::Json(result.defaultSeconds));
+    tuneSpan.arg("best_seconds", util::Json(result.bestSeconds));
+    tuneSpan.arg("attempts", util::Json(static_cast<std::int64_t>(result.attempts.size())));
+    tuneSpan.arg("end_reason", util::Json(result.endReason));
+  }
+  if (obs::CounterRegistry* counters = simulator_.counters()) {
+    counters->counter("core.tuning.runs").add();
+    counters->counter("core.tuning.attempts").add(static_cast<double>(result.attempts.size()));
+    counters->histogram("core.tuning.best_speedup").observe(result.bestSpeedup());
+  }
   return result;
+}
+
+util::Json TuningRunResult::toJson() const {
+  util::Json root = util::Json::makeObject();
+  root.set("workload", workload);
+  root.set("default_seconds", defaultSeconds);
+  root.set("best_seconds", bestSeconds);
+  root.set("best_speedup", bestSpeedup());
+  root.set("end_reason", endReason);
+  root.set("best_config", bestConfig.toJson());
+
+  util::Json iterations = util::Json::makeArray();
+  for (double s : iterationSeconds) {
+    iterations.push(s);
+  }
+  root.set("iteration_seconds", std::move(iterations));
+
+  util::Json attemptArr = util::Json::makeArray();
+  for (const agents::Attempt& attempt : attempts) {
+    util::Json a = util::Json::makeObject();
+    a.set("config", attempt.config.toJson());
+    a.set("seconds", attempt.seconds);
+    a.set("valid", attempt.valid);
+    if (!attempt.rationale.empty()) {
+      a.set("rationale", attempt.rationale);
+    }
+    if (!attempt.error.empty()) {
+      a.set("error", attempt.error);
+    }
+    attemptArr.push(std::move(a));
+  }
+  root.set("attempts", std::move(attemptArr));
+
+  util::Json ruleArr = util::Json::makeArray();
+  for (const rules::Rule& rule : learnedRules) {
+    ruleArr.push(rule.toJson());
+  }
+  root.set("learned_rules", std::move(ruleArr));
+
+  util::Json transcriptArr = util::Json::makeArray();
+  for (const agents::TranscriptEvent& event : transcript.events()) {
+    util::Json e = util::Json::makeObject();
+    e.set("actor", event.actor);
+    e.set("title", event.title);
+    e.set("body", event.body);
+    transcriptArr.push(std::move(e));
+  }
+  root.set("transcript", std::move(transcriptArr));
+
+  const llm::UsageTotals totals = meter.totals();
+  util::Json usage = util::Json::makeObject();
+  usage.set("calls", static_cast<std::int64_t>(totals.calls));
+  usage.set("input_tokens", static_cast<std::int64_t>(totals.inputTokens));
+  usage.set("cached_tokens", static_cast<std::int64_t>(totals.cachedTokens));
+  usage.set("output_tokens", static_cast<std::int64_t>(totals.outputTokens));
+  usage.set("cache_hit_rate", totals.cacheHitRate());
+  root.set("llm_usage", std::move(usage));
+  return root;
 }
 
 }  // namespace stellar::core

@@ -16,6 +16,7 @@
 #include "llm/token_meter.hpp"
 #include "pfs/simulator.hpp"
 #include "rules/rules.hpp"
+#include "util/json.hpp"
 
 namespace stellar::core {
 
@@ -57,6 +58,12 @@ struct TuningRunResult {
   [[nodiscard]] double bestSpeedup() const noexcept {
     return bestSeconds > 0 ? defaultSeconds / bestSeconds : 0.0;
   }
+
+  /// Canonical serialization of a tuning run — workload, timings,
+  /// attempts (config + outcome), learned rules, transcript, and token
+  /// totals. The CLI's --json flag and the benches emit this instead of
+  /// hand-formatting fields.
+  [[nodiscard]] util::Json toJson() const;
 };
 
 class StellarEngine {

@@ -8,14 +8,17 @@
 namespace stellar::core {
 
 RepeatedMeasure measureConfig(const pfs::PfsSimulator& simulator, const pfs::JobSpec& job,
-                              const pfs::PfsConfig& config, std::size_t repeats,
-                              std::uint64_t seedBase) {
+                              const pfs::PfsConfig& config,
+                              const MeasureOptions& options) {
   RepeatedMeasure measure;
-  measure.samples.assign(repeats, 0.0);
+  measure.samples.assign(options.repeats, 0.0);
   util::ThreadPool pool;
-  pool.parallelFor(repeats, [&](std::size_t i) {
+  pool.parallelFor(options.repeats, [&](std::size_t i) {
+    obs::Tracer::Span span = obs::beginSpan(simulator.tracer(), "harness",
+                                            "repeat:" + std::to_string(i));
     measure.samples[i] =
-        simulator.run(job, config, util::mix64(seedBase, i)).wallSeconds;
+        simulator.run(job, config, util::mix64(options.seedBase, i)).wallSeconds;
+    span.arg("seconds", util::Json(measure.samples[i]));
   });
   measure.summary = util::summarize(measure.samples);
   return measure;
@@ -78,23 +81,26 @@ double TuningEvaluation::meanAttempts() const {
 
 TuningEvaluation evaluateTuning(const pfs::PfsSimulator& simulator,
                                 const StellarOptions& options, const pfs::JobSpec& job,
-                                std::size_t repeats, const rules::RuleSet* globalRules) {
+                                const EvalOptions& evalOptions) {
   TuningEvaluation evaluation;
-  evaluation.runs.resize(repeats);
+  evaluation.runs.resize(evalOptions.repeats);
   util::ThreadPool pool;
-  pool.parallelFor(repeats, [&](std::size_t i) {
+  pool.parallelFor(evalOptions.repeats, [&](std::size_t i) {
+    obs::Tracer::Span span = obs::beginSpan(simulator.tracer(), "harness",
+                                            "tuning-repeat:" + std::to_string(i));
     StellarOptions perRun = options;
     perRun.seed = util::mix64(options.seed, 0xE0A1 + i);
     perRun.agent.seed = perRun.seed;
     StellarEngine engine{simulator, perRun};
-    if (globalRules != nullptr) {
+    if (evalOptions.globalRules != nullptr) {
       // Copy so concurrent runs cannot mutate the shared set; accumulation
       // scenarios thread a single RuleSet through sequential calls instead.
-      rules::RuleSet localRules = *globalRules;
+      rules::RuleSet localRules = *evalOptions.globalRules;
       evaluation.runs[i] = engine.tune(job, &localRules);
     } else {
       evaluation.runs[i] = engine.tune(job, nullptr);
     }
+    span.arg("best_seconds", util::Json(evaluation.runs[i].bestSeconds));
   });
   return evaluation;
 }

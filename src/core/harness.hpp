@@ -18,13 +18,22 @@ struct RepeatedMeasure {
   std::vector<double> samples;
 };
 
-/// Runs `job` under `config` `repeats` times with distinct seeds; repeats
-/// execute in parallel (each simulation is independent and deterministic).
+/// Named-field options for measureConfig, built for designated
+/// initializers: measureConfig(sim, job, cfg, {.repeats = 4, .seedBase = 77}).
+struct MeasureOptions {
+  /// Independent runs (the paper's protocol repeats every case 8x).
+  std::size_t repeats = 8;
+  std::uint64_t seedBase = 1000;
+};
+
+/// Runs `job` under `config` options.repeats times with distinct seeds;
+/// repeats execute in parallel (each simulation is independent and
+/// deterministic). Each repeat is traced as a "harness" span when the
+/// simulator carries a tracer.
 [[nodiscard]] RepeatedMeasure measureConfig(const pfs::PfsSimulator& simulator,
                                             const pfs::JobSpec& job,
                                             const pfs::PfsConfig& config,
-                                            std::size_t repeats = 8,
-                                            std::uint64_t seedBase = 1000);
+                                            const MeasureOptions& options = {});
 
 /// A full STELLAR evaluation of one workload: `repeats` independent tuning
 /// runs (per the paper's averaging), each with its own seed. Rule-set state
@@ -43,10 +52,19 @@ struct TuningEvaluation {
   [[nodiscard]] double meanAttempts() const;
 };
 
+/// Named-field options for evaluateTuning:
+/// evaluateTuning(sim, opts, job, {.repeats = 3, .globalRules = &set}).
+struct EvalOptions {
+  /// Independent tuning runs to average over.
+  std::size_t repeats = 8;
+  /// Seed rule set; copied per run (accumulation scenarios thread one
+  /// RuleSet through sequential calls instead). Not owned.
+  const rules::RuleSet* globalRules = nullptr;
+};
+
 [[nodiscard]] TuningEvaluation evaluateTuning(const pfs::PfsSimulator& simulator,
                                               const StellarOptions& options,
                                               const pfs::JobSpec& job,
-                                              std::size_t repeats = 8,
-                                              const rules::RuleSet* globalRules = nullptr);
+                                              const EvalOptions& evalOptions = {});
 
 }  // namespace stellar::core

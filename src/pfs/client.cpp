@@ -28,8 +28,10 @@ DoneFn wrap(std::function<void()> fn) {
 }  // namespace
 
 ClientRuntime::ClientRuntime(sim::SimEngine& engine, const ClusterSpec& cluster,
-                             const PfsConfig& config, const JobSpec& job)
-    : engine_(engine), cluster_(cluster), config_(config), job_(job) {
+                             const PfsConfig& config, const JobSpec& job,
+                             obs::Tracer* tracer)
+    : engine_(engine), cluster_(cluster), config_(config), job_(job), tracer_(tracer),
+      traceOn_(obs::tracing(tracer)) {
   const std::uint32_t totalOsts = cluster.totalOsts();
 
   osts_.reserve(totalOsts);
@@ -322,7 +324,9 @@ bool ClientRuntime::execMeta(RankState& r, const IoOp& op) {
       }
       blockRank(r, OpKind::Open);
       r.pendingWaits = 1;
-      submitMeta(r.node, MetaOpKind::Open, 1, false, [this, &r, file = op.file] {
+      submitMeta(r.node, MetaOpKind::Open, 1, false,
+                 [this, &r, file = op.file, waitStart = engine_.now()] {
+        noteLockWait(engine_.now() - waitStart);
         cacheLock(r.node, file);
         ++nodes_[r.node].openCount[file];
         r.fds[file].open = true;
@@ -441,7 +445,9 @@ bool ClientRuntime::execStat(RankState& r, const IoOp& op) {
   blockRank(r, OpKind::Stat);
   r.pendingWaits = 1;
   (void)node;
-  submitMeta(r.node, MetaOpKind::Stat, 1, false, [this, &r, file = op.file] {
+  submitMeta(r.node, MetaOpKind::Stat, 1, false,
+             [this, &r, file = op.file, waitStart = engine_.now()] {
+    noteLockWait(engine_.now() - waitStart);
     cacheLock(r.node, file);
     completeOneWait(r);
   });
@@ -515,6 +521,10 @@ void ClientRuntime::submitMeta(std::uint32_t nodeIdx, MetaOpKind kind,
                                std::uint32_t stripeCount, bool modifying,
                                std::function<void()> onDone) {
   ++counters_.metaRpcs;
+  if (traceOn_) {
+    tracer_->instant("rpc", std::string("meta:") + metaOpName(kind),
+                     {{"sim_time", util::Json(engine_.now())}});
+  }
   NodeState& node = nodes_[nodeIdx];
   const double latency = cluster_.network.messageLatency;
   const DoneFn done = wrap(std::move(onDone));
@@ -701,6 +711,12 @@ void ClientRuntime::flushAllNodes() {
 void ClientRuntime::issueWriteRpc(std::uint32_t nodeIdx, std::uint32_t ost, FileId file,
                                   std::uint64_t objectOffset, std::uint64_t bytes) {
   ++counters_.dataRpcs;
+  if (traceOn_) {
+    tracer_->instant("rpc", "write",
+                     {{"ost", util::Json(static_cast<std::int64_t>(ost))},
+                      {"bytes", util::Json(static_cast<std::int64_t>(bytes))},
+                      {"sim_time", util::Json(engine_.now())}});
+  }
   NodeState& node = nodes_[nodeIdx];
   ++node.flushInFlight[file];
   const double latency = cluster_.network.messageLatency;
@@ -741,6 +757,12 @@ void ClientRuntime::issueReadRpc(std::uint32_t nodeIdx, std::uint32_t ost, FileI
                                  std::uint64_t objectOffset, std::uint64_t bytes,
                                  std::function<void()> onDone) {
   ++counters_.dataRpcs;
+  if (traceOn_) {
+    tracer_->instant("rpc", "read",
+                     {{"ost", util::Json(static_cast<std::int64_t>(ost))},
+                      {"bytes", util::Json(static_cast<std::int64_t>(bytes))},
+                      {"sim_time", util::Json(engine_.now())}});
+  }
   NodeState& node = nodes_[nodeIdx];
   const double latency = cluster_.network.messageLatency;
   const double wireTime = static_cast<double>(bytes) / cluster_.network.nicBandwidth;
@@ -948,6 +970,50 @@ bool ClientRuntime::lockCached(std::uint32_t nodeIdx, FileId file) {
 
 void ClientRuntime::cacheLock(std::uint32_t nodeIdx, FileId file) {
   nodes_[nodeIdx].locks.insert(file, engine_.now());
+}
+
+void ClientRuntime::noteLockWait(double seconds) {
+  lockWaitSeconds_ += seconds;
+  ++lockWaits_;
+  if (traceOn_) {
+    tracer_->instant("lock", "dlm-wait", {{"seconds", util::Json(seconds)}});
+  }
+}
+
+void ClientRuntime::flushObservability(obs::CounterRegistry& registry) const {
+  const auto add = [&registry](const char* name, double value) {
+    registry.counter(name).add(value);
+  };
+  add("pfs.rpc.data", static_cast<double>(counters_.dataRpcs));
+  add("pfs.rpc.meta", static_cast<double>(counters_.metaRpcs));
+  add("pfs.lock.hits", static_cast<double>(counters_.lockHits));
+  add("pfs.lock.misses", static_cast<double>(counters_.lockMisses));
+  add("pfs.lock.wait_seconds", lockWaitSeconds_);
+  add("pfs.lock.waits", static_cast<double>(lockWaits_));
+  add("pfs.cache.readahead_hit_bytes", static_cast<double>(counters_.readaheadHitBytes));
+  add("pfs.cache.readahead_miss_bytes", static_cast<double>(counters_.readaheadMissBytes));
+  add("pfs.cache.page_hit_bytes", static_cast<double>(counters_.pageCacheHitBytes));
+  add("pfs.meta.statahead_served", static_cast<double>(counters_.stataheadServed));
+  add("pfs.lock.extent_conflicts", static_cast<double>(counters_.extentConflicts));
+
+  // Per-OST disk service split: positioning (seek/setup) vs serialized
+  // media transfer. Their ratio is the seek-bound vs bandwidth-bound
+  // signal a tuned configuration shifts.
+  double seekTime = 0.0;
+  double transferTime = 0.0;
+  std::uint64_t seeks = 0;
+  obs::Histogram& queueDepth = registry.histogram("pfs.ost.peak_queue");
+  for (const auto& ost : osts_) {
+    seekTime += ost->positioningBusyTime();
+    transferTime += ost->transferBusyTime();
+    seeks += ost->seeks();
+    queueDepth.observe(static_cast<double>(ost->peakQueue()));
+  }
+  add("pfs.ost.seek_seconds", seekTime);
+  add("pfs.ost.transfer_seconds", transferTime);
+  add("pfs.ost.seeks", static_cast<double>(seeks));
+  add("pfs.mds.ops", static_cast<double>(mds_->opsServed()));
+  add("pfs.mds.busy_seconds", mds_->busyTime());
 }
 
 }  // namespace stellar::pfs

@@ -28,6 +28,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "pfs/client_cache.hpp"
 #include "pfs/job.hpp"
 #include "pfs/layout.hpp"
@@ -128,8 +130,12 @@ struct RunCounters {
 
 class ClientRuntime {
  public:
+  /// `tracer` (nullable, non-owning) receives per-RPC and lock-wait
+  /// events while enabled; aggregate metrics flow through
+  /// flushObservability at end of run.
   ClientRuntime(sim::SimEngine& engine, const ClusterSpec& cluster,
-                const PfsConfig& config, const JobSpec& job);
+                const PfsConfig& config, const JobSpec& job,
+                obs::Tracer* tracer = nullptr);
   ~ClientRuntime();
 
   ClientRuntime(const ClientRuntime&) = delete;
@@ -149,6 +155,12 @@ class ClientRuntime {
   [[nodiscard]] const std::vector<double>& barrierTimes() const noexcept {
     return barrierTimes_;
   }
+
+  /// Flushes this run's aggregate metrics into `registry`: the RunCounters
+  /// totals, the DLM lock-wait time, and the per-OST service split
+  /// (positioning/seek time vs media transfer time, RPCs, peak queue
+  /// depth). Called by PfsSimulator::run after the event queue drains.
+  void flushObservability(obs::CounterRegistry& registry) const;
 
  private:
   // ---- internal state ----------------------------------------------------
@@ -260,6 +272,8 @@ class ClientRuntime {
   // lock / page-cache
   [[nodiscard]] bool lockCached(std::uint32_t node, FileId file);
   void cacheLock(std::uint32_t node, FileId file);
+  /// Accounts one DLM lock acquisition wait (simulated seconds).
+  void noteLockWait(double seconds);
 
   [[nodiscard]] FileLayout makeLayout(FileId file) const;
 
@@ -267,6 +281,11 @@ class ClientRuntime {
   const ClusterSpec& cluster_;
   PfsConfig config_;
   const JobSpec& job_;
+  obs::Tracer* tracer_ = nullptr;
+  /// tracer_ enabled state, latched at construction: per-RPC sites test a
+  /// plain bool (same cost as the detached null check) instead of paying
+  /// an atomic load 50k+ times per run.
+  bool traceOn_ = false;
 
   std::vector<std::unique_ptr<OstModel>> osts_;
   std::unique_ptr<MdsModel> mds_;
@@ -281,6 +300,11 @@ class ClientRuntime {
   std::uint32_t barrierArrived_ = 0;
   std::uint32_t doneRanks_ = 0;
   std::vector<double> barrierTimes_;
+
+  /// DLM lock acquisition waits (simulated seconds), accumulated where a
+  /// lock miss blocks a rank; flushed as a histogram.
+  double lockWaitSeconds_ = 0.0;
+  std::uint64_t lockWaits_ = 0;
 };
 
 }  // namespace stellar::pfs

@@ -33,6 +33,19 @@ class OstModel {
   [[nodiscard]] std::uint64_t seeks() const noexcept { return seeks_; }
   [[nodiscard]] double diskBusyTime() const noexcept { return transfer_.busyTime(); }
 
+  /// Simulated-time split of where this OST's disk spent its busy time:
+  /// positioning (seek/setup) vs serialized media transfer (bandwidth).
+  /// The difference is what distinguishes a seek-bound from a
+  /// bandwidth-bound configuration in the observability layer.
+  [[nodiscard]] double positioningBusyTime() const noexcept {
+    return positioning_.busyTime();
+  }
+  [[nodiscard]] double transferBusyTime() const noexcept { return transfer_.busyTime(); }
+  /// Peak backlog seen by the seek/setup stage (congestion indicator).
+  [[nodiscard]] std::size_t peakQueue() const noexcept {
+    return positioning_.peakQueue();
+  }
+
   /// Resets per-run statistics and contiguity state (remount semantics).
   void reset();
 

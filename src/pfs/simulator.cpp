@@ -32,8 +32,8 @@ double RunResult::aggregateBandwidth() const noexcept {
 
 BoundsContext PfsSimulator::boundsContext() const noexcept {
   BoundsContext ctx;
-  ctx.clientRamMb = cluster_.clientRamMb();
-  ctx.ostCount = cluster_.totalOsts();
+  ctx.clientRamMb = cluster().clientRamMb();
+  ctx.ostCount = cluster().totalOsts();
   return ctx;
 }
 
@@ -48,12 +48,15 @@ RunResult PfsSimulator::run(const JobSpec& job, const PfsConfig& config,
   if (!cfgProblems.empty()) {
     throw std::invalid_argument("invalid PFS config: " + util::join(cfgProblems, "; "));
   }
-  if (job.rankCount() > cluster_.totalRanks()) {
+  if (job.rankCount() > cluster().totalRanks()) {
     throw std::invalid_argument("job requests more ranks than the cluster provides");
   }
 
+  obs::Tracer::Span runSpan = obs::beginSpan(options_.tracer, "sim", "pfs.run:" + job.name);
+
   sim::SimEngine engine{seed};
-  ClientRuntime runtime{engine, cluster_, config, job};
+  engine.attachObservability(options_.tracer, options_.counters);
+  ClientRuntime runtime{engine, cluster(), config, job, options_.tracer};
   runtime.start();
   (void)engine.run();  // drains trailing background writeout too
 
@@ -75,12 +78,22 @@ RunResult PfsSimulator::run(const JobSpec& job, const PfsConfig& config,
   // Run-to-run variance: the paper repeats every case 8x and reports 90%
   // CIs; the multiplicative lognormal reproduces that spread.
   util::Rng noiseRng{util::mix64(seed, 0x9F0A5EEDULL)};
-  result.wallSeconds = wall * noiseRng.lognormalNoise(noiseSigma_);
+  result.wallSeconds = wall * noiseRng.lognormalNoise(options_.noiseSigma);
   result.files = runtime.fileStats();
   result.ranks = runtime.rankStats();
   result.counters = runtime.counters();
   result.barrierTimes = runtime.barrierTimes();
   result.counters.events = engine.eventsProcessed();
+
+  if (options_.counters != nullptr) {
+    runtime.flushObservability(*options_.counters);
+  }
+  if (runSpan.active()) {
+    runSpan.arg("sim_seconds", util::Json(result.wallSeconds));
+    runSpan.arg("data_rpcs", util::Json(static_cast<std::int64_t>(result.counters.dataRpcs)));
+    runSpan.arg("meta_rpcs", util::Json(static_cast<std::int64_t>(result.counters.metaRpcs)));
+    runSpan.arg("events", util::Json(static_cast<std::int64_t>(result.counters.events)));
+  }
   return result;
 }
 

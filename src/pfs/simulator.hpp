@@ -6,7 +6,10 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "pfs/client.hpp"
 #include "pfs/job.hpp"
 #include "pfs/params.hpp"
@@ -33,13 +36,40 @@ struct RunResult {
   [[nodiscard]] double aggregateBandwidth() const noexcept;  ///< bytes/s
 };
 
+/// Aggregate construction surface for PfsSimulator — designed for
+/// designated initializers:
+///
+///   PfsSimulator sim{{.cluster = myCluster(), .tracer = &tracer}};
+///
+/// `tracer` and `counters` are nullable, non-owning observability sinks
+/// shared by every run of this simulator (and by the tuning engine and
+/// harness built on top of it). Both must outlive the simulator.
+struct SimulatorOptions {
+  ClusterSpec cluster = defaultCluster();
+  /// Sigma of the multiplicative lognormal run-to-run noise.
+  double noiseSigma = 0.04;
+  obs::Tracer* tracer = nullptr;
+  obs::CounterRegistry* counters = nullptr;
+};
+
 class PfsSimulator {
  public:
-  explicit PfsSimulator(ClusterSpec cluster = defaultCluster(),
-                        double noiseSigma = 0.04)
-      : cluster_(std::move(cluster)), noiseSigma_(noiseSigma) {}
+  PfsSimulator() : PfsSimulator(SimulatorOptions{}) {}
+  explicit PfsSimulator(SimulatorOptions options) : options_(std::move(options)) {}
 
-  [[nodiscard]] const ClusterSpec& cluster() const noexcept { return cluster_; }
+  /// Legacy positional constructor, retained as a delegating shim so
+  /// pre-SimulatorOptions call sites keep compiling. New code should pass
+  /// SimulatorOptions.
+  explicit PfsSimulator(ClusterSpec cluster, double noiseSigma = 0.04)
+      : PfsSimulator(SimulatorOptions{.cluster = std::move(cluster),
+                                      .noiseSigma = noiseSigma}) {}
+
+  [[nodiscard]] const ClusterSpec& cluster() const noexcept { return options_.cluster; }
+  [[nodiscard]] const SimulatorOptions& options() const noexcept { return options_; }
+  [[nodiscard]] obs::Tracer* tracer() const noexcept { return options_.tracer; }
+  [[nodiscard]] obs::CounterRegistry* counters() const noexcept {
+    return options_.counters;
+  }
 
   /// Bounds context for validating configs against this cluster.
   [[nodiscard]] BoundsContext boundsContext() const noexcept;
@@ -51,8 +81,7 @@ class PfsSimulator {
                               std::uint64_t seed) const;
 
  private:
-  ClusterSpec cluster_;
-  double noiseSigma_;
+  SimulatorOptions options_;
 };
 
 }  // namespace stellar::pfs

@@ -18,29 +18,64 @@ void SimEngine::scheduleAfter(SimTime delay, std::function<void()> fn) {
   scheduleAt(now_ + delay, std::move(fn));
 }
 
+void SimEngine::noteDispatch() {
+  // Sampled dispatch telemetry: a full span per event would swamp the
+  // ring (runs dispatch millions), so every sampleEvery_-th dispatch
+  // emits one instant carrying queue depth and simulated clock.
+  if (sampleTick_ == 0 || --sampleTick_ != 0) {
+    return;
+  }
+  sampleTick_ = sampleEvery_;
+  if (obs::tracing(tracer_)) {
+    tracer_->instant("sim", "dispatch",
+                     {{"events", util::Json(static_cast<std::int64_t>(processed_))},
+                      {"queue_depth", util::Json(static_cast<std::int64_t>(queue_.size()))},
+                      {"sim_time", util::Json(now_)}});
+  }
+}
+
+void SimEngine::finishDrain(obs::Tracer::Span& span, std::uint64_t dispatched) {
+  if (span.active()) {
+    span.arg("events", util::Json(static_cast<std::int64_t>(dispatched)));
+    span.arg("sim_time", util::Json(now_));
+  }
+  if (counters_ != nullptr) {
+    counters_->counter("sim.events_dispatched").add(static_cast<double>(dispatched));
+    counters_->counter("sim.drains").add(1.0);
+  }
+}
+
 SimTime SimEngine::run() {
+  obs::Tracer::Span span = obs::beginSpan(tracer_, "sim", "event-loop");
+  const std::uint64_t before = processed_;
   while (!queue_.empty()) {
     // The queue stores const refs; move the callable out before popping.
     Event event = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
     now_ = event.at;
     ++processed_;
+    noteDispatch();
     event.fn();
   }
+  finishDrain(span, processed_ - before);
   return now_;
 }
 
 SimTime SimEngine::runUntil(SimTime limit) {
+  obs::Tracer::Span span = obs::beginSpan(tracer_, "sim", "event-loop-until");
+  const std::uint64_t before = processed_;
   while (!queue_.empty() && queue_.top().at <= limit) {
     Event event = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
     now_ = event.at;
     ++processed_;
+    noteDispatch();
     event.fn();
   }
   if (now_ < limit && queue_.empty()) {
     now_ = limit;
   }
+  finishDrain(span, processed_ - before);
   return now_;
 }
 

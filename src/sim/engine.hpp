@@ -11,6 +11,8 @@
 #include <queue>
 #include <vector>
 
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 
 namespace stellar::sim {
@@ -46,7 +48,26 @@ class SimEngine {
   /// conflict sampling). Seeded from the run seed.
   [[nodiscard]] util::Rng& rng() noexcept { return rng_; }
 
+  /// Attaches (nullable) observability sinks. The drain loops emit one
+  /// "sim" span per run()/runUntil() call plus a sampled queue-depth
+  /// instant every `sampleEvery` dispatches; event totals land in the
+  /// registry. Costs a null check per event when detached.
+  void attachObservability(obs::Tracer* tracer, obs::CounterRegistry* counters,
+                           std::uint64_t sampleEvery = 4096) noexcept {
+    tracer_ = tracer;
+    counters_ = counters;
+    sampleEvery_ = sampleEvery == 0 ? 1 : sampleEvery;
+    // Countdown form: the drain loop pays one decrement+compare per event
+    // instead of a modulo. Sampling arms only if the tracer is enabled at
+    // attach time — a detached or disabled tracer costs one compare per
+    // event, identical to no tracer at all.
+    sampleTick_ = obs::tracing(tracer) ? 1 : 0;
+  }
+  [[nodiscard]] obs::Tracer* tracer() const noexcept { return tracer_; }
+
  private:
+  void noteDispatch();
+  void finishDrain(obs::Tracer::Span& span, std::uint64_t dispatched);
   struct Event {
     SimTime at;
     std::uint64_t seq;
@@ -66,6 +87,10 @@ class SimEngine {
   std::uint64_t processed_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   util::Rng rng_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::CounterRegistry* counters_ = nullptr;
+  std::uint64_t sampleEvery_ = 4096;
+  std::uint64_t sampleTick_ = 0;  ///< dispatches until the next sample; 0 = off
 };
 
 }  // namespace stellar::sim

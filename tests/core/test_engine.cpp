@@ -145,7 +145,7 @@ TEST(StellarEngine, MeterCoversBothAgents) {
 TEST(Harness, MeasureConfigProducesStableSummary) {
   pfs::PfsSimulator sim;
   const pfs::JobSpec job = workloads::byName("IOR_16M", smallOpts());
-  const RepeatedMeasure m = measureConfig(sim, job, pfs::PfsConfig{}, 8, 77);
+  const RepeatedMeasure m = measureConfig(sim, job, pfs::PfsConfig{}, {.repeats = 8, .seedBase = 77});
   EXPECT_EQ(m.samples.size(), 8u);
   EXPECT_GT(m.summary.mean, 0.0);
   EXPECT_GT(m.summary.ci90, 0.0);
@@ -155,7 +155,7 @@ TEST(Harness, MeasureConfigProducesStableSummary) {
 TEST(Harness, EvaluationAggregatesRuns) {
   pfs::PfsSimulator sim;
   const pfs::JobSpec job = workloads::byName("IOR_16M", smallOpts());
-  const TuningEvaluation eval = evaluateTuning(sim, defaultOptions(), job, 3);
+  const TuningEvaluation eval = evaluateTuning(sim, defaultOptions(), job, {.repeats = 3});
   EXPECT_EQ(eval.runs.size(), 3u);
   EXPECT_GT(eval.meanAttempts(), 0.0);
   const auto speedups = eval.meanIterationSpeedups();

@@ -24,9 +24,9 @@ TEST(Integration, StellarIsNearExpertOnBenchmarks) {
     const pfs::JobSpec job = workloads::byName(name, smallOpts());
     StellarOptions options;
     options.seed = 42;
-    const TuningEvaluation eval = evaluateTuning(sim, options, job, 4);
+    const TuningEvaluation eval = evaluateTuning(sim, options, job, {.repeats = 4});
     const RepeatedMeasure expert =
-        measureConfig(sim, job, baselines::expertConfig(name), 4, 900);
+        measureConfig(sim, job, baselines::expertConfig(name), {.repeats = 4, .seedBase = 900});
     // "comparable to, or even surpasses, what human experts can achieve":
     // within 25% of the expert on every benchmark.
     EXPECT_LT(eval.bestSummary().mean, expert.summary.mean * 1.25) << name;
@@ -39,7 +39,7 @@ TEST(Integration, FiveAttemptBudgetAlwaysHolds) {
     StellarOptions options;
     options.seed = 17;
     const TuningEvaluation eval =
-        evaluateTuning(sim, options, workloads::byName(name, smallOpts()), 3);
+        evaluateTuning(sim, options, workloads::byName(name, smallOpts()), {.repeats = 3});
     for (const TuningRunResult& run : eval.runs) {
       EXPECT_LE(run.attempts.size(), 5u) << name;
     }
@@ -57,7 +57,7 @@ TEST(Integration, StellarReachesOracleBandOnHeadlineWorkloads) {
 
     StellarOptions options;
     options.seed = 42;
-    const TuningEvaluation eval = evaluateTuning(sim, options, job, 4);
+    const TuningEvaluation eval = evaluateTuning(sim, options, job, {.repeats = 4});
     // Near-optimal: within 20% of a >60-evaluation coordinate descent,
     // reached with a single-digit number of executions.
     EXPECT_LT(eval.bestSummary().mean, oracle.seconds * 1.20) << name;
@@ -71,7 +71,7 @@ TEST(Integration, RealApplicationsAlsoImprove) {
     StellarOptions options;
     options.seed = 23;
     const TuningEvaluation eval =
-        evaluateTuning(sim, options, workloads::byName(name, smallOpts(0.05)), 3);
+        evaluateTuning(sim, options, workloads::byName(name, smallOpts(0.05)), {.repeats = 3});
     double best = 0.0;
     for (const TuningRunResult& run : eval.runs) {
       best = std::max(best, run.bestSpeedup());
@@ -98,8 +98,8 @@ TEST(Integration, RuleSetNeverHurtsFinalPerformance) {
     const pfs::JobSpec job = workloads::byName(name, smallOpts());
     StellarOptions options;
     options.seed = 99;
-    const TuningEvaluation cold = evaluateTuning(sim, options, job, 3);
-    const TuningEvaluation warm = evaluateTuning(sim, options, job, 3, &global);
+    const TuningEvaluation cold = evaluateTuning(sim, options, job, {.repeats = 3});
+    const TuningEvaluation warm = evaluateTuning(sim, options, job, {.repeats = 3, .globalRules = &global});
     EXPECT_LT(warm.bestSummary().mean, cold.bestSummary().mean * 1.1) << name;
   }
 }

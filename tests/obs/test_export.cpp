@@ -1,0 +1,105 @@
+#include "obs/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace obs = stellar::obs;
+using stellar::util::Json;
+
+namespace {
+
+std::vector<obs::TraceRecord> sampleRecords() {
+  obs::Tracer tracer;
+  {
+    obs::Tracer::Span outer = tracer.span("tuning", "tune:IOR_64K");
+    obs::Tracer::Span inner = tracer.span("sim", "event-loop");
+    tracer.instant("rpc", "write",
+                   {{"ost", Json(static_cast<std::int64_t>(2))},
+                    {"bytes", Json(65536.0)}});
+  }
+  return tracer.snapshot();
+}
+
+}  // namespace
+
+TEST(Export, JsonlRoundTripsLosslessly) {
+  const std::vector<obs::TraceRecord> records = sampleRecords();
+  const std::string jsonl = toJsonl(records);
+  // One line per record.
+  std::size_t lines = 0;
+  for (char c : jsonl) {
+    lines += c == '\n' ? 1 : 0;
+  }
+  EXPECT_EQ(lines, records.size());
+
+  const std::vector<obs::TraceRecord> parsed = obs::fromJsonl(jsonl);
+  ASSERT_EQ(parsed.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(parsed[i].phase, records[i].phase);
+    EXPECT_EQ(parsed[i].category, records[i].category);
+    EXPECT_EQ(parsed[i].name, records[i].name);
+    // Timestamps survive to the JSON writer's precision (sub-nanosecond
+    // at microsecond scale), not bit-exactly.
+    EXPECT_NEAR(parsed[i].startUs, records[i].startUs, 1e-6);
+    EXPECT_NEAR(parsed[i].durUs, records[i].durUs, 1e-6);
+    EXPECT_EQ(parsed[i].tid, records[i].tid);
+    EXPECT_EQ(parsed[i].depth, records[i].depth);
+    ASSERT_EQ(parsed[i].args.size(), records[i].args.size());
+    for (std::size_t j = 0; j < records[i].args.size(); ++j) {
+      EXPECT_EQ(parsed[i].args[j].key, records[i].args[j].key);
+      EXPECT_TRUE(parsed[i].args[j].value == records[i].args[j].value);
+    }
+  }
+}
+
+TEST(Export, FromJsonlSkipsBlankLinesAndThrowsOnGarbage) {
+  EXPECT_TRUE(obs::fromJsonl("\n\n").empty());
+  EXPECT_THROW((void)obs::fromJsonl("not json\n"), stellar::util::JsonError);
+}
+
+TEST(Export, ChromeTraceShape) {
+  const Json doc = obs::toChromeTrace(sampleRecords());
+  ASSERT_TRUE(doc.contains("traceEvents"));
+  EXPECT_EQ(doc.getString("displayTimeUnit"), "ms");
+  const auto& events = doc.at("traceEvents").asArray();
+  ASSERT_EQ(events.size(), 3u);
+
+  bool sawSpan = false;
+  bool sawInstant = false;
+  for (const Json& event : events) {
+    EXPECT_FALSE(event.getString("name").empty());
+    EXPECT_FALSE(event.getString("cat").empty());
+    EXPECT_EQ(event.getNumber("pid"), 1.0);
+    const std::string ph = event.getString("ph");
+    if (ph == "X") {
+      sawSpan = true;
+      EXPECT_TRUE(event.contains("dur"));
+    } else {
+      ASSERT_EQ(ph, "i");
+      sawInstant = true;
+      EXPECT_EQ(event.getString("s"), "t");
+      EXPECT_FALSE(event.contains("dur"));
+    }
+  }
+  EXPECT_TRUE(sawSpan);
+  EXPECT_TRUE(sawInstant);
+
+  // Instant args survive export.
+  const Json& instant = events[0];  // chronological: instant committed first
+  ASSERT_TRUE(instant.contains("args"));
+  EXPECT_EQ(instant.at("args").getNumber("ost"), 2.0);
+  EXPECT_EQ(instant.at("args").getNumber("bytes"), 65536.0);
+}
+
+TEST(Export, ChromeTraceDumpParsesBack) {
+  // The CLI writes dump(1); make sure that text is valid JSON with the
+  // structure chrome://tracing expects at the top level.
+  const std::string text = obs::toChromeTrace(sampleRecords()).dump(1);
+  const Json parsed = Json::parse(text);
+  ASSERT_TRUE(parsed.contains("traceEvents"));
+  EXPECT_TRUE(parsed.at("traceEvents").isArray());
+}

@@ -17,7 +17,7 @@ ClusterSpec soloCluster() {
 
 RunResult runJob(const JobSpec& job, const PfsConfig& cfg = PfsConfig{},
                  ClusterSpec cluster = defaultCluster()) {
-  PfsSimulator sim{std::move(cluster)};
+  PfsSimulator sim{{.cluster = std::move(cluster)}};
   return sim.run(job, cfg, 21);
 }
 

@@ -31,7 +31,7 @@ using workloads::WorkloadOptions;
 
 double runAvg(const pfs::JobSpec& job, const PfsConfig& cfg,
               const pfs::ClusterSpec& cluster = pfs::defaultCluster()) {
-  PfsSimulator sim{cluster};
+  PfsSimulator sim{{.cluster = cluster}};
   double total = 0.0;
   for (std::uint64_t seed = 1; seed <= 3; ++seed) {
     total += sim.run(job, cfg, seed).rawWallSeconds;
