@@ -1,0 +1,107 @@
+// fault_resilience — end-to-end resilience of the tuning loop under the
+// three canned fault scenarios (src/faults). For each scenario the full
+// STELLAR loop tunes one bandwidth and the retry machinery is exercised
+// by the injected fault windows; the bench reports, per scenario:
+//
+//   - default vs tuned wall time under faults (the loop must still help)
+//   - RPC resilience counters (timeouts / retries / gave-up)
+//   - measurements the engine had to retry or skip
+//
+// Gate: every scenario's tuning run completes, and the degraded-ost
+// scenario (the acceptance scenario) still improves on the default.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "faults/fault_plan.hpp"
+#include "obs/counters.hpp"
+#include "pfs/simulator.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace stellar;
+
+struct ScenarioRow {
+  std::string name;
+  double defaultSeconds = 0.0;
+  double bestSeconds = 0.0;
+  double speedup = 0.0;
+  double timeouts = 0.0;
+  double retries = 0.0;
+  double gaveUp = 0.0;
+  double windows = 0.0;
+  double retriedMeasures = 0.0;
+  double skippedMeasures = 0.0;
+  bool completed = false;
+};
+
+ScenarioRow runScenario(const std::string& scenario, const std::string& workload) {
+  ScenarioRow row;
+  row.name = scenario;
+
+  const faults::FaultPlan plan = faults::scenarioByName(scenario);
+  obs::CounterRegistry registry;
+  pfs::PfsSimulator simulator{{.counters = &registry, .faults = &plan}};
+
+  workloads::WorkloadOptions wopts;
+  wopts.ranks = 50;
+  wopts.scale = 0.05;
+  const pfs::JobSpec job = workloads::byName(workload, wopts);
+
+  core::StellarOptions options;
+  options.seed = 42;
+  options.agent.seed = 42;
+  core::StellarEngine engine{simulator, options};
+  const core::TuningRunResult run = engine.tune(job);
+
+  row.defaultSeconds = run.defaultSeconds;
+  row.bestSeconds = run.bestSeconds;
+  row.speedup = run.bestSpeedup();
+  row.completed = run.defaultSeconds > 0.0;
+  row.timeouts = registry.counter("rpc.timeouts").value();
+  row.retries = registry.counter("rpc.retries").value();
+  row.gaveUp = registry.counter("rpc.gave_up").value();
+  row.windows = registry.counter("faults.windows_opened").value();
+  row.skippedMeasures = registry.counter("core.tuning.measurements_skipped").value();
+  for (const obs::MetricSample& sample : registry.snapshot()) {
+    if (sample.key.name == "core.tuning.measurements_retried") {
+      row.retriedMeasures += sample.value;
+    }
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<std::pair<std::string, std::string>> cases = {
+      {"degraded-ost", "IOR_16M"},
+      {"flaky-network", "IOR_64K"},
+      {"mds-storm", "MDWorkbench_8K"},
+  };
+
+  std::printf("%-14s %10s %10s %8s %9s %9s %7s %8s %8s %8s\n", "scenario",
+              "default_s", "best_s", "speedup", "timeouts", "retries", "gaveup",
+              "windows", "remeas", "skipped");
+
+  bool allCompleted = true;
+  double degradedSpeedup = 0.0;
+  for (const auto& [scenario, workload] : cases) {
+    const ScenarioRow row = runScenario(scenario, workload);
+    std::printf("%-14s %10.2f %10.2f %7.2fx %9.0f %9.0f %7.0f %8.0f %8.0f %8.0f\n",
+                row.name.c_str(), row.defaultSeconds, row.bestSeconds, row.speedup,
+                row.timeouts, row.retries, row.gaveUp, row.windows,
+                row.retriedMeasures, row.skippedMeasures);
+    allCompleted = allCompleted && row.completed;
+    if (row.name == "degraded-ost") {
+      degradedSpeedup = row.speedup;
+    }
+  }
+
+  const bool pass = allCompleted && degradedSpeedup > 1.0;
+  std::printf("gate: all scenarios complete && degraded-ost speedup > 1.0  ->  %s\n",
+              pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

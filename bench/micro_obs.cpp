@@ -6,16 +6,19 @@
 //   disabled   tracer + registry attached, tracer disabled (the cost of
 //              the instrumentation guards: one relaxed load per site)
 //   enabled    tracer recording, registry collecting (full telemetry)
+//   faultfree  empty FaultPlan attached (the faults layer present but
+//              inactive: the cost of its null-injector guards)
 //
-// The acceptance bar is "disabled" within 2% of "baseline". Iterations
-// alternate between arms so slow drift (thermal, other tenants) hits all
-// arms equally.
+// The acceptance bar is "disabled" and "faultfree" within 2% of
+// "baseline". Iterations alternate between arms so slow drift (thermal,
+// other tenants) hits all arms equally.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
 
+#include "faults/fault_plan.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
 #include "pfs/simulator.hpp"
@@ -66,20 +69,26 @@ int main(int argc, char** argv) {
   pfs::PfsSimulator enabled{
       {.tracer = &enabledTracer, .counters = &enabledRegistry}};
 
+  const faults::FaultPlan emptyPlan;
+  pfs::PfsSimulator faultfree{{.faults = &emptyPlan}};
+
   // Warm-up: touch every code path once before timing.
   (void)runOnce(baseline, job, 1);
   (void)runOnce(disabled, job, 1);
   (void)runOnce(enabled, job, 1);
+  (void)runOnce(faultfree, job, 1);
 
-  std::vector<double> tBaseline, tDisabled, tEnabled;
+  std::vector<double> tBaseline, tDisabled, tEnabled, tFaultfree;
   tBaseline.reserve(iterations);
   tDisabled.reserve(iterations);
   tEnabled.reserve(iterations);
+  tFaultfree.reserve(iterations);
   for (int i = 0; i < iterations; ++i) {
     const std::uint64_t seed = 100 + static_cast<std::uint64_t>(i);
     tBaseline.push_back(runOnce(baseline, job, seed));
     tDisabled.push_back(runOnce(disabled, job, seed));
     tEnabled.push_back(runOnce(enabled, job, seed));
+    tFaultfree.push_back(runOnce(faultfree, job, seed));
   }
 
   // The gate compares per-arm minima: the minimum over many interleaved
@@ -90,6 +99,7 @@ int main(int argc, char** argv) {
   const double floorDisabled = minimum(tDisabled);
   const double disabledOverhead = (floorDisabled / floorBaseline - 1.0) * 100.0;
   const double enabledOverhead = (minimum(tEnabled) / floorBaseline - 1.0) * 100.0;
+  const double faultfreeOverhead = (minimum(tFaultfree) / floorBaseline - 1.0) * 100.0;
 
   std::printf("micro_obs: %d iterations of IOR_64K (scale %.2f)\n", iterations,
               wopts.scale);
@@ -101,8 +111,11 @@ int main(int argc, char** argv) {
   std::printf("  %-22s min %8.3f ms  (median %8.3f ms)  overhead %+6.2f%%  (%llu records)\n",
               "tracing enabled", minimum(tEnabled) * 1e3, median(tEnabled) * 1e3,
               enabledOverhead, static_cast<unsigned long long>(enabledTracer.recorded()));
+  std::printf("  %-22s min %8.3f ms  (median %8.3f ms)  overhead %+6.2f%%\n",
+              "faults (empty plan)", minimum(tFaultfree) * 1e3, median(tFaultfree) * 1e3,
+              faultfreeOverhead);
 
-  const bool pass = disabledOverhead < 2.0;
+  const bool pass = disabledOverhead < 2.0 && faultfreeOverhead < 2.0;
   std::printf("disabled-overhead budget: <2%%  ->  %s\n", pass ? "PASS" : "FAIL");
   return pass ? 0 : 1;
 }

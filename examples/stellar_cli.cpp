@@ -24,6 +24,10 @@
 //   --metrics           print the counter-registry snapshot after the run
 //   --json              print the canonical TuningRunResult JSON instead of
 //                       the human-readable summary
+//   --faults <spec>     deterministic fault plan applied to every simulated
+//                       run: a scenario name (degraded-ost, flaky-network,
+//                       mds-storm) or a comma-separated event list, e.g.
+//                       "ost:2:degrade:0.3@10-40,rpc:drop:0.1@0-60,seed:7"
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -33,6 +37,7 @@
 #include "core/engine.hpp"
 #include "core/harness.hpp"
 #include "core/offline_extractor.hpp"
+#include "faults/fault_plan.hpp"
 #include "obs/export.hpp"
 #include "util/file.hpp"
 #include "util/units.hpp"
@@ -52,6 +57,7 @@ struct CliOptions {
   std::string traceFile;
   bool metrics = false;
   bool json = false;
+  std::string faultsSpec;
 };
 
 [[noreturn]] void usage() {
@@ -59,9 +65,9 @@ struct CliOptions {
                "usage: stellar_cli <extract|tune|suite|workloads> [args]\n"
                "  tune <workload> [--scale S] [--seed N] [--model NAME]\n"
                "       [--rules FILE] [--scope user|system] [--transcript]\n"
-               "       [--trace FILE] [--metrics] [--json]\n"
+               "       [--trace FILE] [--metrics] [--json] [--faults SPEC]\n"
                "  suite [--scale S] [--seed N] [--rules FILE]\n"
-               "        [--trace FILE] [--metrics]\n");
+               "        [--trace FILE] [--metrics] [--faults SPEC]\n");
   std::exit(2);
 }
 
@@ -112,6 +118,8 @@ CliOptions parseOptions(const std::vector<std::string>& args, std::size_t start)
       opts.metrics = true;
     } else if (arg == "--json") {
       opts.json = true;
+    } else if (arg == "--faults") {
+      opts.faultsSpec = value();
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       usage();
@@ -132,9 +140,16 @@ core::StellarOptions engineOptions(const CliOptions& cli) {
 
 rules::RuleSet loadRules(const CliOptions& cli) {
   if (!cli.rulesFile.empty() && util::fileExists(cli.rulesFile)) {
-    rules::RuleSet set = rules::RuleSet::loadFile(cli.rulesFile);
-    std::printf("loaded %zu rules from %s\n", set.size(), cli.rulesFile.c_str());
-    return set;
+    try {
+      rules::RuleSet set = rules::RuleSet::loadFile(cli.rulesFile);
+      std::printf("loaded %zu rules from %s\n", set.size(), cli.rulesFile.c_str());
+      return set;
+    } catch (const util::JsonError& e) {
+      // A corrupt rules file downgrades to a cold start; the tuning run
+      // proceeds and --rules will rewrite the file with fresh rules.
+      std::fprintf(stderr, "warning: %s — starting with an empty rule set\n",
+                   e.what());
+    }
   }
   return {};
 }
@@ -189,23 +204,64 @@ struct ObsBundle {
   obs::Tracer tracer{{.enabled = true, .capacity = 1 << 20}};
   obs::CounterRegistry registry;
   std::string traceFile;
+  // Owned here so the plan outlives every simulator that points at it.
+  faults::FaultPlan faultPlan;
 
   [[nodiscard]] pfs::SimulatorOptions simulatorOptions() {
     return pfs::SimulatorOptions{
         .tracer = traceFile.empty() ? nullptr : &tracer,
         .counters = &registry,
+        .faults = faultPlan.empty() ? nullptr : &faultPlan,
     };
   }
 
+  /// Parses --faults; a bad spec is a usage error (exit 2 with the reason
+  /// and the valid grammar), never an abort.
+  [[nodiscard]] bool loadFaults(const CliOptions& cli) {
+    if (cli.faultsSpec.empty()) {
+      return true;
+    }
+    try {
+      faultPlan = faults::parseFaultSpec(cli.faultsSpec);
+    } catch (const faults::FaultSpecError& e) {
+      std::fprintf(stderr, "invalid --faults spec: %s\n", e.what());
+      std::fprintf(stderr, "scenarios:");
+      for (const auto& name : faults::scenarioNames()) {
+        std::fprintf(stderr, " %s", name.c_str());
+      }
+      std::fprintf(stderr,
+                   "\nevent grammar: ost:<i|*>:degrade:<mult>@<b>-<e>, "
+                   "ost:<i|*>:outage@<b>-<e>, mds:overload:<mult>@<b>-<e>,\n"
+                   "               rpc:drop:<p>@<b>-<e>, rpc:stall:<sec>@<b>-<e>, "
+                   "noise:spike:<mult>@<b>-<e>, seed:<n>\n");
+      return false;
+    }
+    // Status goes to stderr under --json so stdout stays one parseable doc.
+    std::fprintf(cli.json ? stderr : stdout, "fault plan:    %s\n",
+                 faultPlan.describe().c_str());
+    return true;
+  }
+
   void finish(const CliOptions& cli) {
+    FILE* out = cli.json ? stderr : stdout;
+    if (!faultPlan.empty()) {
+      std::fprintf(out,
+                   "resilience:    %.0f rpc timeouts, %.0f retries, %.0f gave up, "
+                   "%.0f fault windows\n",
+                   registry.counter("rpc.timeouts").value(),
+                   registry.counter("rpc.retries").value(),
+                   registry.counter("rpc.gave_up").value(),
+                   registry.counter("faults.windows_opened").value());
+    }
     if (!traceFile.empty()) {
       obs::writeChromeTrace(tracer, traceFile);
-      std::printf("trace:         %s (%llu records, %llu dropped)\n", traceFile.c_str(),
-                  static_cast<unsigned long long>(tracer.recorded()),
-                  static_cast<unsigned long long>(tracer.dropped()));
+      std::fprintf(out, "trace:         %s (%llu records, %llu dropped)\n",
+                   traceFile.c_str(),
+                   static_cast<unsigned long long>(tracer.recorded()),
+                   static_cast<unsigned long long>(tracer.dropped()));
     }
     if (cli.metrics) {
-      std::printf("\n--- metrics ---\n%s", registry.renderTable().c_str());
+      std::fprintf(out, "\n--- metrics ---\n%s", registry.renderTable().c_str());
     }
   }
 };
@@ -218,6 +274,9 @@ int cmdTune(const std::string& workload, const CliOptions& cli) {
 
   ObsBundle bundle;
   bundle.traceFile = cli.traceFile;
+  if (!bundle.loadFaults(cli)) {
+    return 2;
+  }
   pfs::PfsSimulator simulator{bundle.simulatorOptions()};
   core::StellarEngine engine{simulator, engineOptions(cli)};
   rules::RuleSet global = loadRules(cli);
@@ -250,6 +309,9 @@ int cmdSuite(const CliOptions& cli) {
   wopts.scale = cli.scale;
   ObsBundle bundle;
   bundle.traceFile = cli.traceFile;
+  if (!bundle.loadFaults(cli)) {
+    return 2;
+  }
   pfs::PfsSimulator simulator{bundle.simulatorOptions()};
   rules::RuleSet global = loadRules(cli);
   for (const std::string& name : workloads::benchmarkNames()) {

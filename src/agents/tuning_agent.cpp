@@ -665,6 +665,24 @@ void TuningAgent::observeAnalysisAnswer(FollowUpQuestion question,
   analysisNotes_ += std::string{followUpQuestionText(question)} + "\n" + answer + "\n";
 }
 
+void TuningAgent::observeMeasurementFailure(const std::string& reason) {
+  Attempt attempt;
+  if (inFlight_) {
+    std::string rationale;
+    attempt.config = synthesize(*inFlight_, rationale);
+    attempt.rationale = rationale;
+  }
+  attempt.valid = false;
+  attempt.measurementFailed = true;
+  attempt.error = reason;
+  attempts_.push_back(std::move(attempt));
+  transcript_.add("system", "measurement failed",
+                  reason + " — result discarded, configuration not judged.");
+  // Drop the group outright: no repair (the values were not rejected) and
+  // no negative finding (the direction was not shown to regress).
+  inFlight_.reset();
+}
+
 void TuningAgent::observeRunResult(double seconds, bool valid, const std::string& error) {
   Attempt attempt;
   if (inFlight_) {

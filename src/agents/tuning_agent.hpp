@@ -54,6 +54,9 @@ struct Attempt {
   pfs::PfsConfig config;
   double seconds = 0.0;
   bool valid = true;
+  /// True when the run itself failed or timed out (fault injection, retry
+  /// exhaustion, watchdog) — the configuration was never actually judged.
+  bool measurementFailed = false;
   std::string rationale;
   std::string error;
 };
@@ -91,6 +94,12 @@ class TuningAgent {
   /// Result channels for the tools.
   void observeAnalysisAnswer(FollowUpQuestion question, const std::string& answer);
   void observeRunResult(double seconds, bool valid, const std::string& error);
+
+  /// The run could not be measured (RPC retry budget exhausted, watchdog
+  /// timeout). Unlike an invalid config there is nothing to repair and no
+  /// negative finding — the configuration was never judged — so the group
+  /// is simply dropped and bestConfig_/bestSeconds_ stay untouched.
+  void observeMeasurementFailure(const std::string& reason);
 
   [[nodiscard]] const std::vector<Attempt>& attempts() const noexcept {
     return attempts_;

@@ -104,13 +104,42 @@ TuningRunResult StellarEngine::tune(const pfs::JobSpec& job,
   const pfs::PfsConfig defaultConfig{};
   const std::uint64_t seedBase = util::mix64(options_.seed, 0x7E57);
 
+  const pfs::RunLimits limits{options_.maxSimSecondsPerRun};
+  obs::CounterRegistry* registry = simulator_.counters();
+  const auto noteRetriedMeasurement = [registry](const pfs::RunResult& failed) {
+    if (registry != nullptr) {
+      registry->counter("core.tuning.measurements_retried",
+                        {{"outcome", pfs::runOutcomeName(failed.outcome)}})
+          .add();
+    }
+  };
+
   // --- initial run with the default configuration --------------------------
   obs::Tracer::Span initialSpan = obs::beginSpan(tracer, "tuning", "iteration:0");
-  const pfs::RunResult initial = simulator_.run(job, defaultConfig, seedBase);
+  pfs::RunResult initial = simulator_.run(job, defaultConfig, seedBase, limits);
+  if (!initial.ok()) {
+    // One re-measure with a perturbed seed: transient fault windows often
+    // miss the retried run; a systemic fault will fail it again.
+    noteRetriedMeasurement(initial);
+    result.transcript.add("system", "initial run failed",
+                          initial.failureReason + " — re-measuring once.");
+    initial = simulator_.run(job, defaultConfig, util::mix64(seedBase, 0xF000), limits);
+  }
   if (initialSpan.active()) {
     initialSpan.arg("kind", util::Json("default-run"));
     initialSpan.arg("seconds", util::Json(initial.wallSeconds));
+    initialSpan.arg("outcome", util::Json(pfs::runOutcomeName(initial.outcome)));
     initialSpan.end();
+  }
+  if (!initial.ok()) {
+    // Without a trustworthy baseline no attempt can be judged; end the run
+    // cleanly instead of tuning against a corrupted reference.
+    result.endReason = "initial measurement failed: " + initial.failureReason;
+    result.transcript.add("system", "tuning aborted", result.endReason);
+    if (registry != nullptr) {
+      registry->counter("core.tuning.aborted_runs").add();
+    }
+    return result;
   }
   result.defaultSeconds = initial.wallSeconds;
   result.iterationSeconds.push_back(initial.wallSeconds);
@@ -175,9 +204,28 @@ TuningRunResult StellarEngine::tune(const pfs::JobSpec& job,
       result.iterationSeconds.push_back(result.iterationSeconds.back());
       continue;
     }
-    const pfs::RunResult run = simulator_.run(
-        job, action.config, util::mix64(seedBase, result.iterationSeconds.size()));
+    pfs::RunResult run = simulator_.run(
+        job, action.config, util::mix64(seedBase, result.iterationSeconds.size()), limits);
+    if (!run.ok()) {
+      noteRetriedMeasurement(run);
+      result.transcript.add("system", "run failed",
+                            run.failureReason + " — re-measuring once.");
+      run = simulator_.run(
+          job, action.config,
+          util::mix64(seedBase, 0xF001 + result.iterationSeconds.size()), limits);
+    }
     iterSpan.arg("seconds", util::Json(run.wallSeconds));
+    iterSpan.arg("outcome", util::Json(pfs::runOutcomeName(run.outcome)));
+    if (!run.ok()) {
+      // Both measurements failed: skip this configuration entirely. The
+      // attempt is recorded as unmeasured and the best-so-far is untouched.
+      if (registry != nullptr) {
+        registry->counter("core.tuning.measurements_skipped").add();
+      }
+      agent.observeMeasurementFailure(run.failureReason);
+      result.iterationSeconds.push_back(result.iterationSeconds.back());
+      continue;
+    }
     agent.observeRunResult(run.wallSeconds, true, {});
     result.iterationSeconds.push_back(run.wallSeconds);
   }

@@ -36,6 +36,10 @@ struct StellarOptions {
   bool useRagExtraction = true;
   TuningScope scope = TuningScope::SystemWide;
   std::uint64_t seed = 1;
+  /// Measurement watchdog: simulated-seconds cap per run (0 = unlimited).
+  /// A capped run comes back RunOutcome::TimedOut and is treated like any
+  /// other failed measurement (re-measured once, then skipped).
+  double maxSimSecondsPerRun = 0.0;
 };
 
 /// One complete Tuning Run (the paper's unit of evaluation).

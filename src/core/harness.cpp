@@ -7,20 +7,60 @@
 
 namespace stellar::core {
 
+RobustAggregate robustAggregate(std::span<const double> samples, double trimFraction,
+                                double cvThreshold) {
+  RobustAggregate agg;
+  agg.summary = util::summarize(samples);
+  const std::vector<double> copy{samples.begin(), samples.end()};
+  agg.medianSeconds = util::median(copy);
+  agg.trimmedMeanSeconds = util::trimmedMean(copy, trimFraction);
+  agg.cv = util::coefficientOfVariation(samples);
+  agg.unstable = cvThreshold > 0.0 && agg.cv > cvThreshold;
+  return agg;
+}
+
 RepeatedMeasure measureConfig(const pfs::PfsSimulator& simulator, const pfs::JobSpec& job,
                               const pfs::PfsConfig& config,
                               const MeasureOptions& options) {
-  RepeatedMeasure measure;
-  measure.samples.assign(options.repeats, 0.0);
+  // Repeats land in fixed slots so aggregation order never depends on
+  // thread scheduling; failures are marked out-of-band.
+  std::vector<double> seconds(options.repeats, 0.0);
+  std::vector<std::uint8_t> succeeded(options.repeats, 0);
+  const pfs::RunLimits limits{options.simTimeCapSeconds};
   util::ThreadPool pool;
   pool.parallelFor(options.repeats, [&](std::size_t i) {
     obs::Tracer::Span span = obs::beginSpan(simulator.tracer(), "harness",
                                             "repeat:" + std::to_string(i));
-    measure.samples[i] =
-        simulator.run(job, config, util::mix64(options.seedBase, i)).wallSeconds;
-    span.arg("seconds", util::Json(measure.samples[i]));
+    const pfs::RunResult run =
+        simulator.run(job, config, util::mix64(options.seedBase, i), limits);
+    seconds[i] = run.wallSeconds;
+    succeeded[i] = run.ok() ? 1 : 0;
+    span.arg("seconds", util::Json(run.wallSeconds));
+    span.arg("outcome", util::Json(pfs::runOutcomeName(run.outcome)));
   });
-  measure.summary = util::summarize(measure.samples);
+
+  RepeatedMeasure measure;
+  measure.samples.reserve(options.repeats);
+  for (std::size_t i = 0; i < options.repeats; ++i) {
+    if (succeeded[i] != 0) {
+      measure.samples.push_back(seconds[i]);
+    } else {
+      ++measure.failedRuns;
+    }
+  }
+  const RobustAggregate agg =
+      robustAggregate(measure.samples, options.trimFraction, options.unstableCvThreshold);
+  measure.summary = agg.summary;
+  measure.medianSeconds = agg.medianSeconds;
+  measure.trimmedMeanSeconds = agg.trimmedMeanSeconds;
+  measure.unstable = agg.unstable;
+  if (simulator.counters() != nullptr) {
+    simulator.counters()->counter("harness.failed_runs")
+        .add(static_cast<double>(measure.failedRuns));
+    if (measure.unstable) {
+      simulator.counters()->counter("harness.unstable_measures").add();
+    }
+  }
   return measure;
 }
 

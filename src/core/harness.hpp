@@ -13,9 +13,39 @@
 
 namespace stellar::core {
 
+/// Outlier-robust aggregation of repeat samples. The mean of eight runs is
+/// what the paper plots, but a single pathological repeat (fault window,
+/// noise spike) can drag it arbitrarily; the median and trimmed mean stay
+/// put, and `unstable` flags spreads too wide to trust either way.
+struct RobustAggregate {
+  util::Summary summary;             ///< plain mean/CI over the samples
+  double medianSeconds = 0.0;
+  double trimmedMeanSeconds = 0.0;
+  double cv = 0.0;                   ///< coefficient of variation
+  bool unstable = false;             ///< cv exceeded the caller's threshold
+};
+
+[[nodiscard]] RobustAggregate robustAggregate(std::span<const double> samples,
+                                              double trimFraction,
+                                              double cvThreshold);
+
 struct RepeatedMeasure {
-  util::Summary summary;
-  std::vector<double> samples;
+  util::Summary summary;             ///< over successful repeats only
+  std::vector<double> samples;       ///< wall seconds of successful repeats
+  double medianSeconds = 0.0;
+  double trimmedMeanSeconds = 0.0;
+  /// Repeats that ended with outcome != Ok (retry budget exhausted or
+  /// watchdog cap); their wall times are excluded from every aggregate.
+  std::size_t failedRuns = 0;
+  /// True when the successful samples' coefficient of variation exceeds
+  /// MeasureOptions::unstableCvThreshold — the measurement should not be
+  /// trusted as a point estimate.
+  bool unstable = false;
+
+  /// At least one usable sample and no failed repeats.
+  [[nodiscard]] bool clean() const noexcept {
+    return failedRuns == 0 && !samples.empty();
+  }
 };
 
 /// Named-field options for measureConfig, built for designated
@@ -24,12 +54,20 @@ struct MeasureOptions {
   /// Independent runs (the paper's protocol repeats every case 8x).
   std::size_t repeats = 8;
   std::uint64_t seedBase = 1000;
+  /// Watchdog: simulated-seconds cap per repeat (0 = unlimited). A repeat
+  /// that hits the cap counts toward failedRuns instead of the samples.
+  double simTimeCapSeconds = 0.0;
+  /// Fraction trimmed from each end for trimmedMeanSeconds.
+  double trimFraction = 0.125;
+  /// Coefficient-of-variation level above which the measure is `unstable`.
+  double unstableCvThreshold = 0.25;
 };
 
 /// Runs `job` under `config` options.repeats times with distinct seeds;
 /// repeats execute in parallel (each simulation is independent and
 /// deterministic). Each repeat is traced as a "harness" span when the
-/// simulator carries a tracer.
+/// simulator carries a tracer. Failed or timed-out repeats are counted,
+/// not mixed into the statistics.
 [[nodiscard]] RepeatedMeasure measureConfig(const pfs::PfsSimulator& simulator,
                                             const pfs::JobSpec& job,
                                             const pfs::PfsConfig& config,

@@ -1,0 +1,100 @@
+// Deterministic fault plans.
+//
+// A FaultPlan is pure data: a seed plus a list of fault windows over
+// *simulated* time. The paper tunes a live Lustre cluster where OSTs slow
+// down, RPCs stall, and measurements are noisy; a plan reproduces that
+// weather deterministically — the same (job, config, seed, plan) replays
+// bit-for-bit, which is what makes resilience testable (ISSUE 2).
+//
+// Event taxonomy (see DESIGN.md "Fault model"):
+//   ost degrade   capacity multiplier in (0, 1]; service times scale 1/m
+//   ost outage    target unreachable; client RPCs time out and retry
+//   mds overload  metadata service cost multiplier >= 1
+//   rpc drop      per-delivery-attempt loss probability in [0, 1)
+//   rpc stall     extra one-way delivery delay, seconds
+//   noise spike   measurement-noise sigma multiplier >= 1
+//
+// Plans are built programmatically, parsed from a compact spec string
+// (the CLI's --faults=SPEC), or pulled from the canned scenarios used by
+// bench/fault_resilience.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace stellar::faults {
+
+enum class FaultKind : std::uint8_t {
+  OstDegrade,
+  OstOutage,
+  MdsOverload,
+  RpcDrop,
+  RpcStall,
+  NoiseSpike,
+};
+
+[[nodiscard]] const char* faultKindName(FaultKind kind) noexcept;
+
+/// Target value meaning "every OST" (and the only value meaningful for
+/// the non-OST kinds).
+inline constexpr std::int32_t kAllTargets = -1;
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::OstDegrade;
+  std::int32_t target = kAllTargets;  ///< OST index, or kAllTargets
+  double begin = 0.0;                 ///< window [begin, end) in sim seconds
+  double end = 0.0;
+  double magnitude = 1.0;             ///< kind-specific, see taxonomy above
+
+  [[nodiscard]] bool operator==(const FaultEvent&) const = default;
+};
+
+/// Thrown on malformed specs or out-of-range event parameters. Recoverable
+/// by design: the CLI reports it and exits cleanly instead of aborting.
+class FaultSpecError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct FaultPlan {
+  /// Drives drop-window sampling, mixed with the run seed so distinct runs
+  /// under one plan see independent (but replayable) loss patterns.
+  std::uint64_t seed = 1;
+  std::vector<FaultEvent> events;
+
+  [[nodiscard]] bool empty() const noexcept { return events.empty(); }
+
+  /// Throws FaultSpecError when any event is malformed (inverted window,
+  /// kind-specific magnitude out of range).
+  void validate() const;
+
+  [[nodiscard]] util::Json toJson() const;
+  [[nodiscard]] std::string describe() const;
+
+  [[nodiscard]] bool operator==(const FaultPlan&) const = default;
+};
+
+/// Parses a comma-separated event list, e.g.
+///   "ost:2:degrade:0.3@10-40,rpc:drop:0.1@0-20,seed:7"
+/// Grammar per element:
+///   ost:<idx|*>:degrade:<mult>@<begin>-<end>
+///   ost:<idx|*>:outage@<begin>-<end>
+///   mds:overload:<mult>@<begin>-<end>
+///   rpc:drop:<prob>@<begin>-<end>
+///   rpc:stall:<seconds>@<begin>-<end>
+///   noise:spike:<mult>@<begin>-<end>
+///   seed:<n>
+/// A bare scenario name (see scenarioNames) is also accepted. Throws
+/// FaultSpecError with the offending element quoted.
+[[nodiscard]] FaultPlan parseFaultSpec(std::string_view spec);
+
+/// Canned scenarios used by bench/fault_resilience and the CLI.
+[[nodiscard]] const std::vector<std::string>& scenarioNames();
+[[nodiscard]] FaultPlan scenarioByName(std::string_view name);
+
+}  // namespace stellar::faults

@@ -52,7 +52,13 @@ std::vector<TraceRecord> fromJsonl(const std::string& text) {
     if (line.empty()) {
       continue;
     }
-    const util::Json obj = util::Json::parse(line);
+    util::Json obj;
+    try {
+      obj = util::Json::parse(line);
+    } catch (const util::JsonError& e) {
+      throw util::JsonError("jsonl record " + std::to_string(records.size() + 1) +
+                            ": " + e.what());
+    }
     TraceRecord record;
     record.phase = obj.getString("type") == "instant" ? TraceRecord::Phase::Instant
                                                       : TraceRecord::Phase::Span;

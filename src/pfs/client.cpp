@@ -5,6 +5,8 @@
 #include <cassert>
 #include <memory>
 
+#include "faults/fault_injector.hpp"
+
 namespace stellar::pfs {
 
 namespace {
@@ -29,16 +31,18 @@ DoneFn wrap(std::function<void()> fn) {
 
 ClientRuntime::ClientRuntime(sim::SimEngine& engine, const ClusterSpec& cluster,
                              const PfsConfig& config, const JobSpec& job,
-                             obs::Tracer* tracer)
+                             obs::Tracer* tracer, const faults::FaultInjector* faults)
     : engine_(engine), cluster_(cluster), config_(config), job_(job), tracer_(tracer),
-      traceOn_(obs::tracing(tracer)) {
+      faults_(faults), traceOn_(obs::tracing(tracer)) {
   const std::uint32_t totalOsts = cluster.totalOsts();
 
   osts_.reserve(totalOsts);
   for (std::uint32_t i = 0; i < totalOsts; ++i) {
     osts_.push_back(std::make_unique<OstModel>(engine_, cluster_, i));
+    osts_.back()->attachFaults(faults_);
   }
   mds_ = std::make_unique<MdsModel>(engine_, cluster_);
+  mds_->attachFaults(faults_);
 
   nodes_.resize(cluster.clientNodes);
   for (std::uint32_t n = 0; n < cluster.clientNodes; ++n) {
@@ -517,6 +521,73 @@ void ClientRuntime::pumpStatahead(RankState& r) {
   }
 }
 
+// ------------------------------------------------------------- delivery --
+
+void ClientRuntime::failRun(std::string reason) {
+  if (!failed_) {
+    failed_ = true;
+    failureReason_ = std::move(reason);
+  }
+}
+
+void ClientRuntime::deliverRpc(RpcDelivery d) {
+  // Fast path: no fault plan attached. Degenerates to the pre-fault event
+  // chain (deliver invokes complete directly), so runs without faults are
+  // bit-identical to the fault-layer-free simulator.
+  if (faults_ == nullptr) {
+    d.deliver(std::move(d.complete));
+    return;
+  }
+  const bool down =
+      d.ost >= 0 && faults_->ostDown(static_cast<std::size_t>(d.ost));
+  if (!down && !faults_->sampleRpcDrop()) {
+    const double stall = faults_->rpcStallSeconds();
+    if (stall <= 0.0) {
+      d.deliver(std::move(d.complete));
+    } else {
+      // Stall windows delay the delivery launch (slow wire, not loss).
+      engine_.scheduleAfter(stall, [d = std::move(d)]() mutable {
+        d.deliver(std::move(d.complete));
+      });
+    }
+    return;
+  }
+
+  // Lost delivery: the client notices at rpcTimeout, then backs off
+  // exponentially (capped at 8x) before redelivering.
+  ++counters_.rpcTimeouts;
+  const double timeout = cluster_.network.rpcTimeout;
+  if (d.attempt >= cluster_.network.rpcMaxRetries) {
+    ++counters_.rpcGaveUp;
+    failRun("rpc to " + (d.ost >= 0 ? "ost " + std::to_string(d.ost) : std::string{"mds"}) +
+            " gave up after " + std::to_string(d.attempt + 1) + " attempts at t=" +
+            std::to_string(engine_.now()));
+    if (traceOn_) {
+      tracer_->instant("rpc", "gave-up",
+                       {{"ost", util::Json(static_cast<std::int64_t>(d.ost))},
+                        {"sim_time", util::Json(engine_.now())}});
+    }
+    // Completing anyway releases limiters/budgets and wakes waiters: the
+    // run drains and reports Failed instead of deadlocking.
+    engine_.scheduleAfter(timeout, std::move(d.complete));
+    return;
+  }
+  ++counters_.rpcRetries;
+  if (traceOn_) {
+    tracer_->instant("rpc", "retry",
+                     {{"ost", util::Json(static_cast<std::int64_t>(d.ost))},
+                      {"attempt", util::Json(static_cast<std::int64_t>(d.attempt + 1))},
+                      {"sim_time", util::Json(engine_.now())}});
+  }
+  const double backoff =
+      std::min(timeout * static_cast<double>(1ULL << std::min<std::uint32_t>(d.attempt, 3)),
+               8.0 * timeout);
+  ++d.attempt;
+  engine_.scheduleAfter(timeout + backoff, [this, d = std::move(d)]() mutable {
+    deliverRpc(std::move(d));
+  });
+}
+
 void ClientRuntime::submitMeta(std::uint32_t nodeIdx, MetaOpKind kind,
                                std::uint32_t stripeCount, bool modifying,
                                std::function<void()> onDone) {
@@ -531,18 +602,25 @@ void ClientRuntime::submitMeta(std::uint32_t nodeIdx, MetaOpKind kind,
 
   const auto issue = [this, &node, kind, stripeCount, modifying, latency, done] {
     node.mdcLimiter->acquire([this, &node, kind, stripeCount, modifying, latency, done] {
-      engine_.scheduleAfter(latency, [this, &node, kind, stripeCount, modifying, latency,
-                                      done] {
-        mds_->submit(kind, stripeCount, [this, &node, modifying, latency, done] {
-          engine_.scheduleAfter(latency, [&node, modifying, done] {
-            node.mdcLimiter->release();
-            if (modifying) {
-              node.modLimiter->release();
-            }
-            (*done)();
+      RpcDelivery d;
+      d.ost = -1;  // MDS target
+      d.deliver = [this, kind, stripeCount, latency](std::function<void()> served) {
+        engine_.scheduleAfter(latency, [this, kind, stripeCount, latency,
+                                        served = std::move(served)]() mutable {
+          mds_->submit(kind, stripeCount,
+                       [this, latency, served = std::move(served)]() mutable {
+            engine_.scheduleAfter(latency, std::move(served));
           });
         });
-      });
+      };
+      d.complete = [&node, modifying, done] {
+        node.mdcLimiter->release();
+        if (modifying) {
+          node.modLimiter->release();
+        }
+        (*done)();
+      };
+      deliverRpc(std::move(d));
     });
   };
 
@@ -724,32 +802,42 @@ void ClientRuntime::issueWriteRpc(std::uint32_t nodeIdx, std::uint32_t ost, File
 
   node.oscLimiter[ost]->acquire([this, &node, ost, file, objectOffset, bytes, latency,
                                  wireTime] {
-    node.nic->submit(wireTime, [this, &node, ost, file, objectOffset, bytes, latency] {
-      engine_.scheduleAfter(latency, [this, &node, ost, file, objectOffset, bytes,
-                                      latency] {
-        osts_[ost]->submitBulk(file, objectOffset, bytes, /*isWrite=*/true,
-                               [this, &node, ost, file, bytes, latency] {
-          engine_.scheduleAfter(latency, [this, &node, ost, file, bytes] {
-            node.oscLimiter[ost]->release();
-            node.dirty[ost].release(bytes);
-            auto it = node.flushInFlight.find(file);
-            if (it != node.flushInFlight.end() && it->second > 0) {
-              --it->second;
-              if (it->second == 0) {
-                auto wit = node.fsyncWaiters.find(file);
-                if (wit != node.fsyncWaiters.end()) {
-                  auto waiters = std::move(wit->second);
-                  node.fsyncWaiters.erase(wit);
-                  for (auto& w : waiters) {
-                    w();
-                  }
-                }
-              }
-            }
+    RpcDelivery d;
+    d.ost = static_cast<std::int32_t>(ost);
+    // One delivery attempt: client NIC, request trip, OST bulk service,
+    // reply trip. `served` is the completion below (or a retry shim).
+    d.deliver = [this, &node, ost, file, objectOffset, bytes, latency,
+                 wireTime](std::function<void()> served) {
+      node.nic->submit(wireTime, [this, ost, file, objectOffset, bytes, latency,
+                                  served = std::move(served)]() mutable {
+        engine_.scheduleAfter(latency, [this, ost, file, objectOffset, bytes, latency,
+                                        served = std::move(served)]() mutable {
+          osts_[ost]->submitBulk(file, objectOffset, bytes, /*isWrite=*/true,
+                                 [this, latency, served = std::move(served)]() mutable {
+            engine_.scheduleAfter(latency, std::move(served));
           });
         });
       });
-    });
+    };
+    d.complete = [this, &node, ost, file, bytes] {
+      node.oscLimiter[ost]->release();
+      node.dirty[ost].release(bytes);
+      auto it = node.flushInFlight.find(file);
+      if (it != node.flushInFlight.end() && it->second > 0) {
+        --it->second;
+        if (it->second == 0) {
+          auto wit = node.fsyncWaiters.find(file);
+          if (wit != node.fsyncWaiters.end()) {
+            auto waiters = std::move(wit->second);
+            node.fsyncWaiters.erase(wit);
+            for (auto& w : waiters) {
+              w();
+            }
+          }
+        }
+      }
+    };
+    deliverRpc(std::move(d));
   });
 }
 
@@ -770,19 +858,28 @@ void ClientRuntime::issueReadRpc(std::uint32_t nodeIdx, std::uint32_t ost, FileI
 
   node.oscLimiter[ost]->acquire([this, &node, ost, file, objectOffset, bytes, latency,
                                  wireTime, done] {
-    engine_.scheduleAfter(latency, [this, &node, ost, file, objectOffset, bytes, latency,
-                                    wireTime, done] {
-      osts_[ost]->submitBulk(file, objectOffset, bytes, /*isWrite=*/false,
-                             [this, &node, ost, wireTime, latency, done] {
-        // Response data crosses the client NIC too.
-        node.nic->submit(wireTime, [this, &node, ost, latency, done] {
-          engine_.scheduleAfter(latency, [&node, ost, done] {
-            node.oscLimiter[ost]->release();
-            (*done)();
+    RpcDelivery d;
+    d.ost = static_cast<std::int32_t>(ost);
+    d.deliver = [this, &node, ost, file, objectOffset, bytes, latency,
+                 wireTime](std::function<void()> served) {
+      engine_.scheduleAfter(latency, [this, &node, ost, file, objectOffset, bytes,
+                                      latency, wireTime,
+                                      served = std::move(served)]() mutable {
+        osts_[ost]->submitBulk(file, objectOffset, bytes, /*isWrite=*/false,
+                               [this, &node, wireTime, latency,
+                                served = std::move(served)]() mutable {
+          // Response data crosses the client NIC too.
+          node.nic->submit(wireTime, [this, latency, served = std::move(served)]() mutable {
+            engine_.scheduleAfter(latency, std::move(served));
           });
         });
       });
-    });
+    };
+    d.complete = [&node, ost, done] {
+      node.oscLimiter[ost]->release();
+      (*done)();
+    };
+    deliverRpc(std::move(d));
   });
 }
 
@@ -995,6 +1092,9 @@ void ClientRuntime::flushObservability(obs::CounterRegistry& registry) const {
   add("pfs.cache.page_hit_bytes", static_cast<double>(counters_.pageCacheHitBytes));
   add("pfs.meta.statahead_served", static_cast<double>(counters_.stataheadServed));
   add("pfs.lock.extent_conflicts", static_cast<double>(counters_.extentConflicts));
+  add("rpc.timeouts", static_cast<double>(counters_.rpcTimeouts));
+  add("rpc.retries", static_cast<double>(counters_.rpcRetries));
+  add("rpc.gave_up", static_cast<double>(counters_.rpcGaveUp));
 
   // Per-OST disk service split: positioning (seek/setup) vs serialized
   // media transfer. Their ratio is the seek-bound vs bandwidth-bound

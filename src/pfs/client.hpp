@@ -41,6 +41,10 @@
 #include "sim/flow_limiter.hpp"
 #include "sim/service_center.hpp"
 
+namespace stellar::faults {
+class FaultInjector;
+}
+
 namespace stellar::pfs {
 
 /// Per-file counters accumulated during a run (Darshan's source data).
@@ -126,16 +130,24 @@ struct RunCounters {
   std::uint64_t stataheadServed = 0;
   std::uint64_t extentConflicts = 0;
   std::uint64_t events = 0;
+  /// RPC resilience counters; nonzero only when a fault plan is active.
+  std::uint64_t rpcTimeouts = 0;
+  std::uint64_t rpcRetries = 0;
+  std::uint64_t rpcGaveUp = 0;
 };
 
 class ClientRuntime {
  public:
   /// `tracer` (nullable, non-owning) receives per-RPC and lock-wait
   /// events while enabled; aggregate metrics flow through
-  /// flushObservability at end of run.
+  /// flushObservability at end of run. `faults` (nullable, non-owning)
+  /// is the armed fault injector for this run: when attached, every RPC
+  /// delivery consults it for loss/stall state and lost deliveries retry
+  /// with exponential backoff under the NetworkSpec retry budget.
   ClientRuntime(sim::SimEngine& engine, const ClusterSpec& cluster,
                 const PfsConfig& config, const JobSpec& job,
-                obs::Tracer* tracer = nullptr);
+                obs::Tracer* tracer = nullptr,
+                const faults::FaultInjector* faults = nullptr);
   ~ClientRuntime();
 
   ClientRuntime(const ClientRuntime&) = delete;
@@ -145,6 +157,14 @@ class ClientRuntime {
   void start();
 
   [[nodiscard]] bool allRanksDone() const noexcept { return doneRanks_ == ranks_.size(); }
+
+  /// True once any RPC exhausted its retry budget. The run still drains
+  /// (give-up completes the RPC so resources release and ranks finish),
+  /// but its results must be treated as unusable.
+  [[nodiscard]] bool failed() const noexcept { return failed_; }
+  [[nodiscard]] const std::string& failureReason() const noexcept {
+    return failureReason_;
+  }
   [[nodiscard]] const std::vector<FileStats>& fileStats() const noexcept { return fileStats_; }
   [[nodiscard]] const std::vector<RankStats>& rankStats() const noexcept { return rankStats_; }
   [[nodiscard]] const RunCounters& counters() const noexcept { return counters_; }
@@ -255,6 +275,25 @@ class ClientRuntime {
   void submitMeta(std::uint32_t node, MetaOpKind kind, std::uint32_t stripeCount,
                   bool modifying, std::function<void()> onDone);
 
+  // ---- fault-aware RPC delivery ------------------------------------------
+  /// One retryable RPC: `deliver` performs a single delivery attempt
+  /// (request trip + service + reply trip) and must invoke its argument
+  /// when served; `complete` releases client-side resources and resumes
+  /// waiters. With no injector attached, deliverRpc degenerates to
+  /// deliver(complete) — same event sequence as the pre-fault code.
+  struct RpcDelivery {
+    std::int32_t ost = -1;  ///< target OST, or -1 for the MDS
+    std::uint32_t attempt = 0;
+    std::function<void(std::function<void()>)> deliver;
+    std::function<void()> complete;
+  };
+  /// Iterative retry loop: lost attempts (outage window or sampled drop)
+  /// wait rpcTimeout plus exponential backoff and redeliver; after
+  /// rpcMaxRetries the run fails but `complete` still runs so the
+  /// simulation drains instead of deadlocking.
+  void deliverRpc(RpcDelivery d);
+  void failRun(std::string reason);
+
   // data plumbing
   [[nodiscard]] std::uint64_t rpcBytes() const noexcept;
   void acceptWriteSegment(RankState& rank, FileId file, const ObjectExtent& seg);
@@ -282,6 +321,7 @@ class ClientRuntime {
   PfsConfig config_;
   const JobSpec& job_;
   obs::Tracer* tracer_ = nullptr;
+  const faults::FaultInjector* faults_ = nullptr;
   /// tracer_ enabled state, latched at construction: per-RPC sites test a
   /// plain bool (same cost as the detached null check) instead of paying
   /// an atomic load 50k+ times per run.
@@ -305,6 +345,9 @@ class ClientRuntime {
   /// lock miss blocks a rank; flushed as a histogram.
   double lockWaitSeconds_ = 0.0;
   std::uint64_t lockWaits_ = 0;
+
+  bool failed_ = false;
+  std::string failureReason_;
 };
 
 }  // namespace stellar::pfs

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "faults/fault_injector.hpp"
+
 namespace stellar::pfs {
 
 const char* metaOpName(MetaOpKind kind) noexcept {
@@ -51,6 +53,9 @@ void MdsModel::submit(MetaOpKind kind, std::uint32_t stripeCount,
   service += cluster_.mds.congestionPenalty *
              static_cast<double>(std::min<std::size_t>(threads_.queuedRequests(), 32));
   service *= engine_.rng().uniform(0.9, 1.1);
+  if (faults_ != nullptr) {
+    service *= faults_->mdsSlowdown();
+  }
   threads_.submit(service, std::move(onDone));
 }
 

@@ -9,6 +9,10 @@
 #include "sim/engine.hpp"
 #include "sim/service_center.hpp"
 
+namespace stellar::faults {
+class FaultInjector;
+}
+
 namespace stellar::pfs {
 
 enum class MetaOpKind : std::uint8_t { Create, Open, Stat, Unlink, Mkdir, Lock, Close };
@@ -32,11 +36,16 @@ class MdsModel {
 
   void reset() noexcept { opsServed_ = 0; }
 
+  /// Attaches (nullable, non-owning) live fault state: overload windows
+  /// scale metadata service times.
+  void attachFaults(const faults::FaultInjector* faults) noexcept { faults_ = faults; }
+
  private:
   [[nodiscard]] double baseCost(MetaOpKind kind) const noexcept;
 
   sim::SimEngine& engine_;
   const ClusterSpec& cluster_;
+  const faults::FaultInjector* faults_ = nullptr;
   sim::ServiceCenter threads_;
   std::uint64_t opsServed_ = 0;
 };

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "faults/fault_injector.hpp"
+
 namespace stellar::pfs {
 
 OstModel::OstModel(sim::SimEngine& engine, const ClusterSpec& cluster, std::uint32_t index)
@@ -51,6 +53,14 @@ void OstModel::submitBulk(std::uint64_t objectKey, std::uint64_t objectOffset,
       transferTime += 0.02e-3;
     }
     transferTime *= engine_.rng().uniform(0.95, 1.05);
+
+    // Degradation windows (src/faults) scale both disk stages: a target at
+    // 30% capacity serves every request 1/0.3x slower.
+    if (faults_ != nullptr) {
+      const double slowdown = faults_->ostSlowdown(index_);
+      positioning *= slowdown;
+      transferTime *= slowdown;
+    }
 
     positioning_.submit(positioning, [this, transferTime, onDone = std::move(onDone)]() mutable {
       transfer_.submit(transferTime, std::move(onDone));

@@ -11,6 +11,10 @@
 #include "sim/engine.hpp"
 #include "sim/service_center.hpp"
 
+namespace stellar::faults {
+class FaultInjector;
+}
+
 namespace stellar::pfs {
 
 class OstModel {
@@ -49,10 +53,16 @@ class OstModel {
   /// Resets per-run statistics and contiguity state (remount semantics).
   void reset();
 
+  /// Attaches (nullable, non-owning) live fault state: degradation windows
+  /// scale this OST's service times. Costs one null check per RPC when
+  /// detached.
+  void attachFaults(const faults::FaultInjector* faults) noexcept { faults_ = faults; }
+
  private:
   sim::SimEngine& engine_;
   const ClusterSpec& cluster_;
   std::uint32_t index_;
+  const faults::FaultInjector* faults_ = nullptr;
   sim::ServiceCenter nic_;          ///< server-side link, FIFO store-and-forward
   sim::ServiceCenter positioning_;  ///< queueDepth-way seek/setup stage
   sim::ServiceCenter transfer_;     ///< serialized media bandwidth stage

@@ -1,11 +1,22 @@
 #include "pfs/simulator.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
 
+#include "faults/fault_injector.hpp"
 #include "util/strings.hpp"
 
 namespace stellar::pfs {
+
+const char* runOutcomeName(RunOutcome outcome) noexcept {
+  switch (outcome) {
+    case RunOutcome::Ok: return "ok";
+    case RunOutcome::Failed: return "failed";
+    case RunOutcome::TimedOut: return "timed-out";
+  }
+  return "?";
+}
 
 double RunResult::totalBytesRead() const noexcept {
   double total = 0.0;
@@ -38,7 +49,7 @@ BoundsContext PfsSimulator::boundsContext() const noexcept {
 }
 
 RunResult PfsSimulator::run(const JobSpec& job, const PfsConfig& config,
-                            std::uint64_t seed) const {
+                            std::uint64_t seed, const RunLimits& limits) const {
   const auto jobProblems = job.validate();
   if (!jobProblems.empty()) {
     throw std::invalid_argument("invalid job '" + job.name +
@@ -56,16 +67,51 @@ RunResult PfsSimulator::run(const JobSpec& job, const PfsConfig& config,
 
   sim::SimEngine engine{seed};
   engine.attachObservability(options_.tracer, options_.counters);
-  ClientRuntime runtime{engine, cluster(), config, job, options_.tracer};
-  runtime.start();
-  (void)engine.run();  // drains trailing background writeout too
 
-  if (!runtime.allRanksDone()) {
-    throw std::logic_error("simulation deadlock: event queue drained with ranks blocked (job '" +
-                           job.name + "')");
+  // The injector is armed before the client schedules its start-of-run
+  // events, so window edges hold stable FIFO positions against every
+  // client/server event — the determinism contract.
+  std::optional<faults::FaultInjector> injector;
+  if (options_.faults != nullptr && !options_.faults->empty()) {
+    injector.emplace(engine, *options_.faults, cluster().totalOsts(), seed);
+    injector->attachObservability(options_.tracer, options_.counters);
+    injector->arm();
+  }
+
+  ClientRuntime runtime{engine, cluster(), config, job, options_.tracer,
+                        injector ? &*injector : nullptr};
+  runtime.start();
+  if (limits.maxSimSeconds > 0.0) {
+    (void)engine.runUntil(limits.maxSimSeconds);
+  } else {
+    (void)engine.run();  // drains trailing background writeout too
   }
 
   RunResult result;
+  if (!runtime.allRanksDone()) {
+    if (limits.maxSimSeconds > 0.0) {
+      // Watchdog tripped: the measurement is abandoned, not trusted.
+      result.outcome = RunOutcome::TimedOut;
+      result.failureReason = "simulated time cap of " +
+                             std::to_string(limits.maxSimSeconds) +
+                             "s exceeded with ranks still running";
+      result.wallSeconds = limits.maxSimSeconds;
+      result.rawWallSeconds = limits.maxSimSeconds;
+      result.counters = runtime.counters();
+      result.counters.events = engine.eventsProcessed();
+      if (options_.counters != nullptr) {
+        runtime.flushObservability(*options_.counters);
+      }
+      return result;
+    }
+    throw std::logic_error("simulation deadlock: event queue drained with ranks blocked (job '" +
+                           job.name + "')");
+  }
+  if (runtime.failed()) {
+    result.outcome = RunOutcome::Failed;
+    result.failureReason = runtime.failureReason();
+  }
+
   // The measured wall time is when the application exits (the slowest
   // rank finishes); background write-back continuing after exit is not
   // part of the benchmark's wall clock — workloads that need the data on
@@ -76,9 +122,14 @@ RunResult PfsSimulator::run(const JobSpec& job, const PfsConfig& config,
   }
   result.rawWallSeconds = wall;
   // Run-to-run variance: the paper repeats every case 8x and reports 90%
-  // CIs; the multiplicative lognormal reproduces that spread.
+  // CIs; the multiplicative lognormal reproduces that spread. Noise-spike
+  // windows widen sigma by their overlap-weighted excess.
+  double sigma = options_.noiseSigma;
+  if (injector) {
+    sigma *= injector->noiseMultiplierOver(wall);
+  }
   util::Rng noiseRng{util::mix64(seed, 0x9F0A5EEDULL)};
-  result.wallSeconds = wall * noiseRng.lognormalNoise(options_.noiseSigma);
+  result.wallSeconds = wall * noiseRng.lognormalNoise(sigma);
   result.files = runtime.fileStats();
   result.ranks = runtime.rankStats();
   result.counters = runtime.counters();

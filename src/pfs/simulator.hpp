@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <utility>
 
+#include "faults/fault_plan.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
 #include "pfs/client.hpp"
@@ -16,6 +17,17 @@
 #include "pfs/topology.hpp"
 
 namespace stellar::pfs {
+
+/// How a run ended. Anything but Ok means wallSeconds is not a valid
+/// measurement of the configuration (the paper's bad-signal case the
+/// tuning loop must survive).
+enum class RunOutcome : std::uint8_t {
+  Ok,        ///< application finished normally
+  Failed,    ///< an RPC exhausted its retry budget mid-run
+  TimedOut,  ///< simulated-time cap hit with ranks still running
+};
+
+[[nodiscard]] const char* runOutcomeName(RunOutcome outcome) noexcept;
 
 /// Everything a run produces. `wallSeconds` includes the multiplicative
 /// run-to-run noise; `rawWallSeconds` is the noise-free simulated time
@@ -29,11 +41,23 @@ struct RunResult {
   /// Release time of each global barrier: consecutive differences are the
   /// durations of a multi-phase workload's phases (IO500-style reporting).
   std::vector<double> barrierTimes;
+  RunOutcome outcome = RunOutcome::Ok;
+  /// Human-readable cause when outcome != Ok.
+  std::string failureReason;
+
+  [[nodiscard]] bool ok() const noexcept { return outcome == RunOutcome::Ok; }
 
   /// Aggregate convenience metrics.
   [[nodiscard]] double totalBytesRead() const noexcept;
   [[nodiscard]] double totalBytesWritten() const noexcept;
   [[nodiscard]] double aggregateBandwidth() const noexcept;  ///< bytes/s
+};
+
+/// Per-run execution bounds (the measurement watchdog's knob).
+struct RunLimits {
+  /// Simulated-seconds cap; 0 = unlimited. A capped run whose ranks are
+  /// still blocked at the cap returns RunOutcome::TimedOut.
+  double maxSimSeconds = 0.0;
 };
 
 /// Aggregate construction surface for PfsSimulator — designed for
@@ -50,6 +74,10 @@ struct SimulatorOptions {
   double noiseSigma = 0.04;
   obs::Tracer* tracer = nullptr;
   obs::CounterRegistry* counters = nullptr;
+  /// Deterministic fault plan applied to every run (nullable, non-owning;
+  /// must outlive the simulator). Null or empty = fault-free: runs are
+  /// bit-identical to a simulator without the faults layer.
+  const faults::FaultPlan* faults = nullptr;
 };
 
 class PfsSimulator {
@@ -76,9 +104,16 @@ class PfsSimulator {
 
   /// Simulates one complete run. Throws std::invalid_argument when the
   /// config is out of range (the same failure the paper reports when the
-  /// agent proposes invalid values) or the job is malformed.
+  /// agent proposes invalid values) or the job is malformed. Fault-induced
+  /// failures do NOT throw: they come back as outcome != Ok.
   [[nodiscard]] RunResult run(const JobSpec& job, const PfsConfig& config,
-                              std::uint64_t seed) const;
+                              std::uint64_t seed) const {
+    return run(job, config, seed, RunLimits{});
+  }
+
+  /// As above with execution bounds (see RunLimits).
+  [[nodiscard]] RunResult run(const JobSpec& job, const PfsConfig& config,
+                              std::uint64_t seed, const RunLimits& limits) const;
 
  private:
   SimulatorOptions options_;

@@ -57,6 +57,13 @@ struct NetworkSpec {
   double nicBandwidth = 1.21e9;
   /// One-way wire+stack latency per message.
   double messageLatency = 110e-6;
+  /// Client-side wait before a lost RPC delivery is declared timed out
+  /// and retried (only reachable when a fault plan is active).
+  double rpcTimeout = 0.35;
+  /// Retry attempts after the first delivery before the client gives up
+  /// and the run fails. Backoff doubles per attempt, capped at
+  /// 8 * rpcTimeout, so the full budget is bounded (~20 s here).
+  std::uint32_t rpcMaxRetries = 8;
 };
 
 struct ClusterSpec {

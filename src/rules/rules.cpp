@@ -264,7 +264,11 @@ void RuleSet::saveFile(const std::string& path) const {
 }
 
 RuleSet RuleSet::loadFile(const std::string& path) {
-  return fromJson(util::Json::parse(util::readFile(path)));
+  try {
+    return fromJson(util::Json::parse(util::readFile(path)));
+  } catch (const util::JsonError& e) {
+    throw util::JsonError("rules file '" + path + "': " + e.what());
+  }
 }
 
 }  // namespace stellar::rules

@@ -18,6 +18,25 @@ void SimEngine::scheduleAfter(SimTime delay, std::function<void()> fn) {
   scheduleAt(now_ + delay, std::move(fn));
 }
 
+void SimEngine::scheduleWindow(SimTime begin, SimTime end, std::function<void()> onOpen,
+                               std::function<void()> onClose) {
+  if (end < begin) {
+    end = begin;
+  }
+  scheduleAt(begin, [this, fn = std::move(onOpen)] {
+    ++openWindows_;
+    if (fn) {
+      fn();
+    }
+  });
+  scheduleAt(end, [this, fn = std::move(onClose)] {
+    --openWindows_;
+    if (fn) {
+      fn();
+    }
+  });
+}
+
 void SimEngine::noteDispatch() {
   // Sampled dispatch telemetry: a full span per event would swamp the
   // ring (runs dispatch millions), so every sampleEvery_-th dispatch

@@ -35,6 +35,18 @@ class SimEngine {
   /// Schedules `fn` after `delay` seconds (clamped to non-negative).
   void scheduleAfter(SimTime delay, std::function<void()> fn);
 
+  /// Schedules a [begin, end) time window: `onOpen` fires at begin and
+  /// `onClose` at end, both dispatched through the ordinary event queue so
+  /// they order deterministically (FIFO seq) against every other event.
+  /// The engine tracks how many windows are currently open; fault
+  /// injection (src/faults) builds its state machine on this hook.
+  void scheduleWindow(SimTime begin, SimTime end, std::function<void()> onOpen,
+                      std::function<void()> onClose);
+
+  /// Windows opened but not yet closed (close edges past a runUntil()
+  /// limit never fire, so this can stay nonzero after a capped run).
+  [[nodiscard]] std::uint64_t openWindows() const noexcept { return openWindows_; }
+
   /// Runs until the event queue drains. Returns the final clock value.
   SimTime run();
 
@@ -83,6 +95,7 @@ class SimEngine {
   };
 
   SimTime now_ = 0.0;
+  std::uint64_t openWindows_ = 0;
   std::uint64_t nextSeq_ = 0;
   std::uint64_t processed_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;

@@ -1,5 +1,6 @@
 #include "util/json.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <cmath>
 #include <cstdio>
@@ -9,13 +10,29 @@ namespace stellar::util {
 
 namespace {
 
-[[noreturn]] void fail(std::string_view what, std::size_t pos) {
-  throw JsonError("JSON error at offset " + std::to_string(pos) + ": " + std::string{what});
-}
-
 class Parser {
  public:
   explicit Parser(std::string_view text) : text_(text) {}
+
+  /// 1-based line/column diagnostics: "JSON error at line 3, column 14
+  /// (offset 41): expected ':'" — callers surface this to users whose
+  /// input came from hand-edited files.
+  [[noreturn]] void fail(std::string_view what, std::size_t pos) const {
+    std::size_t line = 1;
+    std::size_t column = 1;
+    const std::size_t clamped = std::min(pos, text_.size());
+    for (std::size_t i = 0; i < clamped; ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    throw JsonError("JSON error at line " + std::to_string(line) + ", column " +
+                    std::to_string(column) + " (offset " + std::to_string(pos) +
+                    "): " + std::string{what});
+  }
 
   Json parseDocument() {
     Json value = parseValue();

@@ -85,7 +85,8 @@ class Json {
   /// Serializes; indent < 0 yields compact output.
   [[nodiscard]] std::string dump(int indent = -1) const;
 
-  /// Parses a complete document; throws JsonError with position info.
+  /// Parses a complete document; throws JsonError carrying 1-based
+  /// line/column (plus byte offset) of the first syntax error.
   [[nodiscard]] static Json parse(std::string_view text);
 
   [[nodiscard]] bool operator==(const Json& other) const;

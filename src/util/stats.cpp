@@ -64,6 +64,35 @@ double percentile(std::vector<double> xs, double p) {
   return xs[lo] + frac * (xs[hi] - xs[lo]);
 }
 
+double trimmedMean(std::vector<double> xs, double trimFraction) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  if (trimFraction < 0.0) {
+    trimFraction = 0.0;
+  }
+  // Trimming everything is meaningless; clamp below the midpoint so at
+  // least one sample (the median neighborhood) always survives.
+  const double capped = std::min(trimFraction, 0.5 - 1e-9);
+  std::sort(xs.begin(), xs.end());
+  const auto drop =
+      static_cast<std::size_t>(std::floor(static_cast<double>(xs.size()) * capped));
+  const std::size_t kept = xs.size() - 2 * drop;
+  double total = 0.0;
+  for (std::size_t i = drop; i < drop + kept; ++i) {
+    total += xs[i];
+  }
+  return total / static_cast<double>(kept);
+}
+
+double coefficientOfVariation(std::span<const double> xs) {
+  const double m = mean(xs);
+  if (m == 0.0 || xs.size() < 2) {
+    return 0.0;
+  }
+  return stddev(xs) / std::abs(m);
+}
+
 namespace {
 // Two-sided 90% Student-t critical values by degrees of freedom (1..30).
 constexpr double kT90[] = {

@@ -18,6 +18,16 @@ namespace stellar::util {
 /// Linear-interpolation percentile, p in [0, 100].
 [[nodiscard]] double percentile(std::vector<double> xs, double p);
 
+/// Mean after dropping floor(n * trimFraction) samples from EACH end of
+/// the sorted data (trimFraction in [0, 0.5)). With small n the trim can
+/// round to zero dropped samples, degenerating to the plain mean; a
+/// single planted outlier among >= 4 samples is always discarded at
+/// trimFraction >= 0.25. Returns 0 for empty input.
+[[nodiscard]] double trimmedMean(std::vector<double> xs, double trimFraction);
+
+/// Coefficient of variation (stddev / mean); 0 when mean is 0 or n < 2.
+[[nodiscard]] double coefficientOfVariation(std::span<const double> xs);
+
 /// Half-width of the two-sided 90% confidence interval of the mean,
 /// using Student-t critical values (exact table for small n, normal
 /// approximation beyond). Returns 0 for n < 2.

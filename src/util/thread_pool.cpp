@@ -47,8 +47,22 @@ void ThreadPool::parallelFor(std::size_t count, const std::function<void(std::si
   for (std::size_t i = 0; i < count; ++i) {
     pending.push_back(submit([&fn, i] { fn(i); }));
   }
+  // Every task captures `&fn` (and callers capture locals by reference),
+  // so rethrowing before ALL tasks finish would let still-running tasks
+  // touch a dead stack frame. Drain everything, then surface the first
+  // failure.
+  std::exception_ptr first;
   for (auto& f : pending) {
-    f.get();
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) {
+        first = std::current_exception();
+      }
+    }
+  }
+  if (first) {
+    std::rethrow_exception(first);
   }
 }
 

@@ -143,6 +143,40 @@ TEST(TuningAgent, ImprovementIsKeptRegressionIsReverted) {
   }
 }
 
+TEST(TuningAgent, MeasurementFailureNeverCorruptsBest) {
+  Fixture fx;
+  TuningAgent agent = fx.make();
+  const IoReport report = streamingReport();
+  agent.observeInitialRun(&report, 10.0, pfs::PfsConfig{});
+  TuningAgent::Action action = agent.decide();
+  while (action.kind == TuningAgent::ActionKind::AskAnalysis) {
+    agent.observeAnalysisAnswer(action.question, "a");
+    action = agent.decide();
+  }
+  ASSERT_EQ(action.kind, TuningAgent::ActionKind::RunConfig);
+
+  agent.observeMeasurementFailure("rpc retry budget exhausted");
+
+  // Best stays at the default baseline; nothing was judged.
+  EXPECT_EQ(agent.bestConfig(), pfs::PfsConfig{});
+  EXPECT_DOUBLE_EQ(agent.bestSeconds(), 10.0);
+  // Unlike a regression, a failed measurement yields no negative finding.
+  EXPECT_TRUE(agent.negativeFindings().empty());
+  ASSERT_FALSE(agent.attempts().empty());
+  const Attempt& failed = agent.attempts().back();
+  EXPECT_TRUE(failed.measurementFailed);
+  EXPECT_FALSE(failed.valid);
+  EXPECT_NE(failed.error.find("retry budget"), std::string::npos);
+
+  // The agent keeps going: the next decision moves to a new hypothesis
+  // (or ends cleanly) instead of re-trying or repairing the dropped group.
+  action = agent.decide();
+  if (action.kind == TuningAgent::ActionKind::RunConfig) {
+    agent.observeRunResult(4.0, true, {});
+    EXPECT_DOUBLE_EQ(agent.bestSeconds(), 4.0);  // later wins still land
+  }
+}
+
 TEST(TuningAgent, StopsAtDiminishingReturnsWithJustification) {
   Fixture fx;
   TuningAgent agent = fx.make();

@@ -1,0 +1,93 @@
+// FaultPlan: spec grammar, validation, scenarios, serialization.
+#include <gtest/gtest.h>
+
+#include "faults/fault_plan.hpp"
+
+namespace stellar::faults {
+namespace {
+
+TEST(FaultPlan, ParsesEveryEventKind) {
+  const FaultPlan plan = parseFaultSpec(
+      "ost:2:degrade:0.3@10-40, ost:*:outage@5-6, mds:overload:4@0-20,"
+      "rpc:drop:0.1@0-60, rpc:stall:0.25@30-35, noise:spike:2.5@0-90, seed:7");
+  ASSERT_EQ(plan.events.size(), 6u);
+  EXPECT_EQ(plan.seed, 7u);
+
+  EXPECT_EQ(plan.events[0].kind, FaultKind::OstDegrade);
+  EXPECT_EQ(plan.events[0].target, 2);
+  EXPECT_DOUBLE_EQ(plan.events[0].begin, 10.0);
+  EXPECT_DOUBLE_EQ(plan.events[0].end, 40.0);
+  EXPECT_DOUBLE_EQ(plan.events[0].magnitude, 0.3);
+
+  EXPECT_EQ(plan.events[1].kind, FaultKind::OstOutage);
+  EXPECT_EQ(plan.events[1].target, kAllTargets);
+
+  EXPECT_EQ(plan.events[2].kind, FaultKind::MdsOverload);
+  EXPECT_DOUBLE_EQ(plan.events[2].magnitude, 4.0);
+
+  EXPECT_EQ(plan.events[3].kind, FaultKind::RpcDrop);
+  EXPECT_DOUBLE_EQ(plan.events[3].magnitude, 0.1);
+
+  EXPECT_EQ(plan.events[4].kind, FaultKind::RpcStall);
+  EXPECT_DOUBLE_EQ(plan.events[4].magnitude, 0.25);
+
+  EXPECT_EQ(plan.events[5].kind, FaultKind::NoiseSpike);
+  EXPECT_DOUBLE_EQ(plan.events[5].magnitude, 2.5);
+}
+
+TEST(FaultPlan, EmptySpecIsEmptyPlan) {
+  EXPECT_TRUE(parseFaultSpec("").empty());
+  EXPECT_TRUE(parseFaultSpec("   ").empty());
+}
+
+TEST(FaultPlan, ScenarioNamesResolve) {
+  for (const std::string& name : scenarioNames()) {
+    const FaultPlan plan = parseFaultSpec(name);
+    EXPECT_FALSE(plan.empty()) << name;
+    EXPECT_NO_THROW(plan.validate()) << name;
+    EXPECT_EQ(plan, scenarioByName(name)) << name;
+  }
+  EXPECT_THROW((void)scenarioByName("no-such-scenario"), FaultSpecError);
+}
+
+TEST(FaultPlan, MalformedSpecsQuoteTheElement) {
+  try {
+    (void)parseFaultSpec("ost:1:degrade:0.5@10-40,rpc:bogus:1@0-1");
+    FAIL() << "expected FaultSpecError";
+  } catch (const FaultSpecError& e) {
+    EXPECT_NE(std::string{e.what()}.find("rpc:bogus:1@0-1"), std::string::npos);
+  }
+  EXPECT_THROW((void)parseFaultSpec("ost:1:degrade:0.5"), FaultSpecError);  // no window
+  EXPECT_THROW((void)parseFaultSpec("ost:x:outage@0-1"), FaultSpecError);
+  EXPECT_THROW((void)parseFaultSpec("ost:-3:outage@0-1"), FaultSpecError);
+  EXPECT_THROW((void)parseFaultSpec("rpc:drop:abc@0-1"), FaultSpecError);
+  EXPECT_THROW((void)parseFaultSpec("noise:spike:2@5"), FaultSpecError);  // no '-'
+}
+
+TEST(FaultPlan, ValidationRejectsOutOfRangeMagnitudes) {
+  EXPECT_THROW((void)parseFaultSpec("ost:0:degrade:0@0-1"), FaultSpecError);
+  EXPECT_THROW((void)parseFaultSpec("ost:0:degrade:1.5@0-1"), FaultSpecError);
+  EXPECT_THROW((void)parseFaultSpec("mds:overload:0.5@0-1"), FaultSpecError);
+  EXPECT_THROW((void)parseFaultSpec("rpc:drop:1.0@0-1"), FaultSpecError);
+  EXPECT_THROW((void)parseFaultSpec("rpc:stall:-1@0-1"), FaultSpecError);
+  EXPECT_THROW((void)parseFaultSpec("noise:spike:0.9@0-1"), FaultSpecError);
+  // Inverted or negative windows.
+  EXPECT_THROW((void)parseFaultSpec("rpc:drop:0.1@5-5"), FaultSpecError);
+  EXPECT_THROW((void)parseFaultSpec("rpc:drop:0.1@9-5"), FaultSpecError);
+  EXPECT_THROW((void)parseFaultSpec("rpc:drop:0.1@-1-5"), FaultSpecError);
+}
+
+TEST(FaultPlan, DescribeAndJsonCoverEvents) {
+  const FaultPlan plan = parseFaultSpec("ost:1:degrade:0.3@1-60,rpc:drop:0.2@2-12");
+  const std::string text = plan.describe();
+  EXPECT_NE(text.find("ost-degrade"), std::string::npos);
+  EXPECT_NE(text.find("rpc-drop"), std::string::npos);
+
+  const util::Json json = plan.toJson();
+  ASSERT_EQ(json.at("events").asArray().size(), 2u);
+  EXPECT_EQ(json.at("events").asArray()[0].getString("kind"), "ost-degrade");
+  EXPECT_TRUE(FaultPlan{}.describe() == "(no faults)");
+}
+
+}  // namespace
+}  // namespace stellar::faults

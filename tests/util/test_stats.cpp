@@ -62,6 +62,38 @@ TEST(Stats, PearsonCorrelation) {
   EXPECT_DOUBLE_EQ(pearson(xs, flat), 0.0);
 }
 
+TEST(Stats, TrimmedMeanDropsTailsSymmetrically) {
+  // 10 samples, 10% trim: drop the single min and max.
+  const std::vector<double> xs = {100.0, 2, 3, 4, 5, 6, 7, 8, 9, -100.0};
+  EXPECT_DOUBLE_EQ(trimmedMean(xs, 0.1), 5.5);
+  // Planted outlier barely moves the trimmed mean but wrecks the mean.
+  EXPECT_NE(mean(xs), 5.5);
+}
+
+TEST(Stats, TrimmedMeanEdgeCases) {
+  EXPECT_DOUBLE_EQ(trimmedMean({}, 0.1), 0.0);
+  EXPECT_DOUBLE_EQ(trimmedMean({7.0}, 0.25), 7.0);
+  // Zero trim degrades to the plain mean.
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(trimmedMean(xs, 0.0), 2.5);
+  // A fraction >= 0.5 is clamped so at least one sample survives.
+  EXPECT_DOUBLE_EQ(trimmedMean({1.0, 100.0}, 0.9), 50.5);
+  const std::vector<double> odd = {1.0, 2.0, 300.0};
+  EXPECT_DOUBLE_EQ(trimmedMean(odd, 0.9), 2.0);
+}
+
+TEST(Stats, CoefficientOfVariationScalesFreely) {
+  const std::vector<double> xs = {9.0, 10.0, 11.0};
+  const std::vector<double> scaled = {90.0, 100.0, 110.0};
+  EXPECT_NEAR(coefficientOfVariation(xs), coefficientOfVariation(scaled), 1e-12);
+  EXPECT_NEAR(coefficientOfVariation(xs), stddev(xs) / 10.0, 1e-12);
+  EXPECT_DOUBLE_EQ(coefficientOfVariation({}), 0.0);
+  const std::vector<double> one = {5.0};
+  EXPECT_DOUBLE_EQ(coefficientOfVariation(one), 0.0);
+  const std::vector<double> zeros = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(coefficientOfVariation(zeros), 0.0);  // zero mean guard
+}
+
 TEST(Stats, PearsonRejectsSizeMismatch) {
   const std::vector<double> a = {1, 2};
   const std::vector<double> b = {1, 2, 3};

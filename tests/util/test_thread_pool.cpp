@@ -1,0 +1,66 @@
+// ThreadPool: exception propagation and completion guarantees.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "util/thread_pool.hpp"
+
+namespace stellar::util {
+namespace {
+
+TEST(ThreadPool, SubmitFutureRethrowsTaskException) {
+  ThreadPool pool{2};
+  auto future = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW((void)future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForRunsEveryIndexOnce) {
+  ThreadPool pool{4};
+  std::vector<std::atomic<int>> hits(64);
+  pool.parallelFor(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ParallelForRethrowsAfterAllTasksComplete) {
+  // Regression: an early rethrow would let still-running tasks touch the
+  // caller's dead stack frame. Every task must finish before the first
+  // exception surfaces.
+  ThreadPool pool{4};
+  std::atomic<int> completed{0};
+  try {
+    pool.parallelFor(16, [&](std::size_t i) {
+      if (i == 0) {
+        throw std::runtime_error("task 0 failed");
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      ++completed;
+    });
+    FAIL() << "expected the task exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task 0 failed");
+  }
+  // All 15 non-throwing tasks ran to completion before the rethrow.
+  EXPECT_EQ(completed.load(), 15);
+}
+
+TEST(ThreadPool, ParallelForSurfacesTheFirstOfManyExceptions) {
+  ThreadPool pool{2};
+  std::atomic<int> threw{0};
+  try {
+    pool.parallelFor(8, [&](std::size_t) {
+      ++threw;
+      throw std::logic_error("each task throws");
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::logic_error&) {
+  }
+  EXPECT_EQ(threw.load(), 8);  // no task was skipped or abandoned
+}
+
+}  // namespace
+}  // namespace stellar::util
