@@ -1,0 +1,137 @@
+// campaign_fleet — fleet-scale campaign orchestration: determinism of the
+// parallel runner and resumability of a killed campaign.
+//
+// Scenario A: a 2x2 campaign (two workloads x two seeds) runs to
+// completion in one invocation; the aggregate JSON document is captured.
+// Scenario B: the same campaign in a fresh directory is cut off after two
+// cells (--max-cells, the deterministic stand-in for a kill), then re-run
+// to completion. The re-run must execute only the missing cells, and its
+// aggregate document must be byte-identical to scenario A's.
+//
+// Gate (exit non-zero on breach):
+//   - both scenarios complete with 4 cells and a committed store
+//   - scenario B's second invocation skips exactly the 2 finished cells
+//   - the aggregate JSON documents are byte-identical
+//
+// Emits BENCH_campaign.json (rows: name, metric, value, seed) in the
+// current directory — run from the repo root to refresh the checked-in copy.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "exp/campaign.hpp"
+#include "util/file.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace stellar;
+namespace fs = std::filesystem;
+
+exp::CampaignSpec benchSpec() {
+  exp::CampaignSpec spec;
+  spec.name = "bench-fleet";
+  spec.workloads = {"IOR_64K", "MDWorkbench_8K"};
+  spec.seeds = {7, 8};
+  spec.scale = 0.05;
+  return spec;
+}
+
+struct Row {
+  std::string metric;
+  double value = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  const fs::path root = fs::temp_directory_path() / "stellar_campaign_fleet";
+  fs::remove_all(root);
+  fs::create_directories(root / "a");
+  fs::create_directories(root / "b");
+  const exp::CampaignSpec spec = benchSpec();
+  std::vector<Row> rows;
+  bool ok = true;
+
+  // Scenario A: one uninterrupted invocation.
+  std::string docA;
+  {
+    exp::CampaignOptions options;
+    options.storePath = (root / "a" / "store.jsonl").string();
+    const exp::CampaignResult result = exp::CampaignRunner{options}.run(spec);
+    docA = result.aggregateJson(spec).dump(2);
+    rows.push_back({"uninterrupted_cells", static_cast<double>(result.cells.size())});
+    std::printf("A: %zu cells, executed %zu, complete=%d\n", result.cells.size(),
+                result.executed, result.complete ? 1 : 0);
+    if (!result.complete || result.cells.size() != 4 || result.executed != 4) {
+      std::printf("FAIL: scenario A did not complete all 4 cells\n");
+      ok = false;
+    }
+    exp::ExperienceStore store{options.storePath, {}};
+    rows.push_back({"committed_records", static_cast<double>(store.size())});
+    if (store.size() != 4) {
+      std::printf("FAIL: scenario A committed %zu records, expected 4\n",
+                  store.size());
+      ok = false;
+    }
+  }
+
+  // Scenario B: killed after two cells, then resumed.
+  std::string docB;
+  {
+    exp::CampaignOptions options;
+    options.storePath = (root / "b" / "store.jsonl").string();
+    options.maxCells = 2;
+    const exp::CampaignResult partial = exp::CampaignRunner{options}.run(spec);
+    std::printf("B(partial): executed %zu, complete=%d\n", partial.executed,
+                partial.complete ? 1 : 0);
+    if (partial.complete || partial.executed != 2) {
+      std::printf("FAIL: partial run should have stopped at 2 cells\n");
+      ok = false;
+    }
+
+    options.maxCells = 0;
+    const exp::CampaignResult resumed = exp::CampaignRunner{options}.run(spec);
+    docB = resumed.aggregateJson(spec).dump(2);
+    rows.push_back({"resume_skipped_cells", static_cast<double>(resumed.skipped)});
+    rows.push_back({"resume_executed_cells", static_cast<double>(resumed.executed)});
+    std::printf("B(resume): executed %zu, skipped %zu, complete=%d\n",
+                resumed.executed, resumed.skipped, resumed.complete ? 1 : 0);
+    if (!resumed.complete || resumed.skipped != 2 || resumed.executed != 2) {
+      std::printf("FAIL: resume should skip 2 completed cells and run 2\n");
+      ok = false;
+    }
+    exp::ExperienceStore store{options.storePath, {}};
+    if (store.size() != 4) {
+      std::printf("FAIL: resumed campaign committed %zu records, expected 4\n",
+                  store.size());
+      ok = false;
+    }
+  }
+
+  const bool identical = docA == docB;
+  rows.push_back({"aggregate_byte_identical", identical ? 1.0 : 0.0});
+  if (!identical) {
+    std::printf("FAIL: resumed aggregate differs from uninterrupted aggregate\n");
+    ok = false;
+  } else {
+    std::printf("resumed aggregate is byte-identical (%zu bytes)\n", docA.size());
+  }
+
+  util::Json doc = util::Json::makeArray();
+  for (const Row& row : rows) {
+    util::Json r = util::Json::makeObject();
+    r.set("name", "campaign");
+    r.set("metric", row.metric);
+    r.set("value", row.value);
+    r.set("seed", static_cast<std::int64_t>(7));
+    doc.push(std::move(r));
+  }
+  util::writeFile("BENCH_campaign.json", doc.dump(2) + "\n");
+  std::printf("wrote BENCH_campaign.json (%zu rows)\n", rows.size());
+
+  fs::remove_all(root);
+  std::printf("%s\n", ok ? "campaign gate PASSED" : "campaign gate FAILED");
+  return ok ? 0 : 1;
+}

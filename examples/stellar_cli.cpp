@@ -10,6 +10,12 @@
 //       global rule set (persisted with --rules).
 //   stellar_cli workloads
 //       List available workload names.
+//   stellar_cli campaign <spec.json> [options]   (also: --campaign=SPEC)
+//       Expand the campaign spec (workloads x seeds x models x faults) and
+//       tune every cell concurrently, filing experiences into --store.
+//       Prints one machine-readable aggregate JSON document to stdout; a
+//       re-run with the same spec and store resumes, skipping completed
+//       cells (the aggregate is byte-identical).
 //
 // Options:
 //   --scale <0..1]      workload volume scale            (default 0.1)
@@ -28,15 +34,27 @@
 //                       run: a scenario name (degraded-ost, flaky-network,
 //                       mds-storm) or a comma-separated event list, e.g.
 //                       "ost:2:degrade:0.3@10-40,rpc:drop:0.1@0-60,seed:7"
+//   --store <file>      persistent experience store (JSONL); completed runs
+//                       are filed into it
+//   --warm-start        recall prior experience from --store to warm-start
+//                       the tuning agent on similar workloads
+//   --campaign <spec>   run the campaign described by this JSON spec file
+//   --manifest <file>   campaign resume manifest (default: <store>.manifest)
+//   --jobs <n>          campaign worker threads (default: hardware)
+//   --max-cells <n>     stop a campaign after n cells (resume testing)
+//   --help, -h          print this help and exit 0
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/engine.hpp"
 #include "core/harness.hpp"
 #include "core/offline_extractor.hpp"
+#include "exp/campaign.hpp"
+#include "exp/experience_store.hpp"
 #include "faults/fault_plan.hpp"
 #include "obs/export.hpp"
 #include "util/file.hpp"
@@ -58,17 +76,30 @@ struct CliOptions {
   bool metrics = false;
   bool json = false;
   std::string faultsSpec;
+  std::string storePath;
+  bool warmStart = false;
+  std::string campaignSpec;
+  std::string manifestPath;
+  std::size_t jobs = 0;
+  std::size_t maxCells = 0;
 };
 
-[[noreturn]] void usage() {
-  std::fprintf(stderr,
-               "usage: stellar_cli <extract|tune|suite|workloads> [args]\n"
+/// Exit 0 (help requested: text to stdout) or 2 (usage error: stderr).
+[[noreturn]] void usage(int code = 2) {
+  std::fprintf(code == 0 ? stdout : stderr,
+               "usage: stellar_cli <extract|tune|suite|workloads|campaign> [args]\n"
                "  tune <workload> [--scale S] [--seed N] [--model NAME]\n"
                "       [--rules FILE] [--scope user|system] [--transcript]\n"
                "       [--trace FILE] [--metrics] [--json] [--faults SPEC]\n"
+               "       [--store FILE] [--warm-start]\n"
                "  suite [--scale S] [--seed N] [--rules FILE]\n"
-               "        [--trace FILE] [--metrics] [--faults SPEC]\n");
-  std::exit(2);
+               "        [--trace FILE] [--metrics] [--faults SPEC]\n"
+               "        [--store FILE] [--warm-start]\n"
+               "  campaign SPEC.json [--store FILE] [--manifest FILE]\n"
+               "           [--jobs N] [--max-cells N] [--metrics]\n"
+               "           (--campaign=SPEC.json is accepted as a command too)\n"
+               "  --help, -h  print this help and exit 0\n");
+  std::exit(code);
 }
 
 CliOptions parseOptions(const std::vector<std::string>& args, std::size_t start) {
@@ -120,6 +151,20 @@ CliOptions parseOptions(const std::vector<std::string>& args, std::size_t start)
       opts.json = true;
     } else if (arg == "--faults") {
       opts.faultsSpec = value();
+    } else if (arg == "--store") {
+      opts.storePath = value();
+    } else if (arg == "--warm-start") {
+      opts.warmStart = true;
+    } else if (arg == "--campaign") {
+      opts.campaignSpec = value();
+    } else if (arg == "--manifest") {
+      opts.manifestPath = value();
+    } else if (arg == "--jobs") {
+      opts.jobs = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (arg == "--max-cells") {
+      opts.maxCells = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (arg == "--help" || arg == "-h") {
+      usage(0);
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       usage();
@@ -142,7 +187,9 @@ rules::RuleSet loadRules(const CliOptions& cli) {
   if (!cli.rulesFile.empty() && util::fileExists(cli.rulesFile)) {
     try {
       rules::RuleSet set = rules::RuleSet::loadFile(cli.rulesFile);
-      std::printf("loaded %zu rules from %s\n", set.size(), cli.rulesFile.c_str());
+      // Status to stderr under --json: stdout stays one parseable doc.
+      std::fprintf(cli.json ? stderr : stdout, "loaded %zu rules from %s\n",
+                   set.size(), cli.rulesFile.c_str());
       return set;
     } catch (const util::JsonError& e) {
       // A corrupt rules file downgrades to a cold start; the tuning run
@@ -157,8 +204,41 @@ rules::RuleSet loadRules(const CliOptions& cli) {
 void saveRules(const CliOptions& cli, const rules::RuleSet& set) {
   if (!cli.rulesFile.empty()) {
     set.saveFile(cli.rulesFile);
-    std::printf("saved %zu rules to %s\n", set.size(), cli.rulesFile.c_str());
+    std::fprintf(cli.json ? stderr : stdout, "saved %zu rules to %s\n", set.size(),
+                 cli.rulesFile.c_str());
   }
+}
+
+/// Opens the --store experience store (nullptr without --store). Shared by
+/// tune/suite: completed runs are filed via fileRun, and --warm-start wires
+/// the store into the engine as the WarmStartProvider.
+std::unique_ptr<exp::ExperienceStore> openStore(const CliOptions& cli,
+                                                obs::CounterRegistry* counters) {
+  if (cli.storePath.empty()) {
+    if (cli.warmStart) {
+      std::fprintf(stderr, "warning: --warm-start has no effect without --store\n");
+    }
+    return nullptr;
+  }
+  exp::StoreOptions options;
+  options.counters = counters;
+  auto store = std::make_unique<exp::ExperienceStore>(cli.storePath, options);
+  std::fprintf(cli.json ? stderr : stdout,
+               "experience:    %zu records in %s (%zu corrupt lines skipped)\n",
+               store->size(), cli.storePath.c_str(), store->corruptLinesSkipped());
+  return store;
+}
+
+void fileRun(const CliOptions& cli, exp::ExperienceStore* store,
+             const core::TuningRunResult& run) {
+  if (store == nullptr) {
+    return;
+  }
+  const std::string id = store->append(
+      exp::recordFromRun(run, cli.seed, cli.model, cli.faultsSpec));
+  store->compact();
+  std::fprintf(cli.json ? stderr : stdout, "experience:    filed %s (%zu records)\n",
+               id.c_str(), store->size());
 }
 
 void printRun(const core::TuningRunResult& run, bool withTranscript) {
@@ -169,6 +249,10 @@ void printRun(const core::TuningRunResult& run, bool withTranscript) {
               run.attempts.size());
   std::printf("changed knobs: %s\n",
               run.bestConfig.diffAgainst(pfs::PfsConfig{}).c_str());
+  if (run.warmStarted) {
+    std::printf("warm start:    %zu recalled record(s), similarity %.3f\n",
+                run.warmStartSources.size(), run.warmStartSimilarity);
+  }
   std::printf("stop reason:   %s\n", run.endReason.c_str());
   const llm::UsageTotals tokens = run.meter.totals();
   std::printf("llm usage:     %zu calls, %zu in / %zu out tokens (%.0f%% cached)\n",
@@ -278,9 +362,16 @@ int cmdTune(const std::string& workload, const CliOptions& cli) {
     return 2;
   }
   pfs::PfsSimulator simulator{bundle.simulatorOptions()};
-  core::StellarEngine engine{simulator, engineOptions(cli)};
+  const std::unique_ptr<exp::ExperienceStore> store =
+      openStore(cli, &bundle.registry);
+  core::StellarOptions opts = engineOptions(cli);
+  if (cli.warmStart && store != nullptr) {
+    opts.warmStart = store.get();
+  }
+  core::StellarEngine engine{simulator, opts};
   rules::RuleSet global = loadRules(cli);
   const core::TuningRunResult run = engine.tune(job, &global);
+  fileRun(cli, store.get(), run);
   // Re-measure the winning configuration under the harness protocol —
   // the validation numbers the paper reports, and the "harness" spans of
   // the trace.
@@ -313,17 +404,61 @@ int cmdSuite(const CliOptions& cli) {
     return 2;
   }
   pfs::PfsSimulator simulator{bundle.simulatorOptions()};
+  const std::unique_ptr<exp::ExperienceStore> store =
+      openStore(cli, &bundle.registry);
   rules::RuleSet global = loadRules(cli);
   for (const std::string& name : workloads::benchmarkNames()) {
-    core::StellarEngine engine{simulator, engineOptions(cli)};
+    core::StellarOptions opts = engineOptions(cli);
+    if (cli.warmStart && store != nullptr) {
+      opts.warmStart = store.get();
+    }
+    core::StellarEngine engine{simulator, opts};
     const core::TuningRunResult run =
         engine.tune(workloads::byName(name, wopts), &global);
-    std::printf("%-16s %.2fx in %zu attempts (rules now: %zu)\n", name.c_str(),
-                run.bestSpeedup(), run.attempts.size(), global.size());
+    fileRun(cli, store.get(), run);
+    std::printf("%-16s %.2fx in %zu attempts (rules now: %zu)%s\n", name.c_str(),
+                run.bestSpeedup(), run.attempts.size(), global.size(),
+                run.warmStarted ? "  [warm]" : "");
   }
   saveRules(cli, global);
   bundle.finish(cli);
   return 0;
+}
+
+int cmdCampaign(const std::string& specPath, CliOptions cli) {
+  if (specPath.empty()) {
+    std::fprintf(stderr, "campaign: missing spec file\n");
+    usage();
+  }
+  // The aggregate document is the command's stdout; everything else
+  // (progress, store stats, metrics) goes to stderr.
+  cli.json = true;
+  exp::CampaignSpec spec;
+  try {
+    spec = exp::CampaignSpec::loadFile(specPath);
+  } catch (const util::JsonError& e) {
+    std::fprintf(stderr, "invalid campaign spec %s: %s\n", specPath.c_str(),
+                 e.what());
+    return 2;
+  }
+  ObsBundle bundle;
+  bundle.traceFile = cli.traceFile;
+  exp::CampaignOptions options;
+  options.storePath = cli.storePath;
+  options.manifestPath = cli.manifestPath;
+  options.threads = cli.jobs;
+  options.maxCells = cli.maxCells;
+  options.store.counters = &bundle.registry;
+  options.counters = &bundle.registry;
+  options.tracer = bundle.traceFile.empty() ? nullptr : &bundle.tracer;
+  exp::CampaignRunner runner{options};
+  const exp::CampaignResult result = runner.run(spec);
+  std::fprintf(stderr, "campaign:      %zu cells (%zu executed, %zu resumed)%s\n",
+               result.cells.size(), result.executed, result.skipped,
+               result.complete ? "" : "  [incomplete]");
+  std::printf("%s\n", result.aggregateJson(spec).dump(2).c_str());
+  bundle.finish(cli);
+  return result.complete ? 0 : 3;
 }
 
 }  // namespace
@@ -334,7 +469,20 @@ int main(int argc, char** argv) {
     usage();
   }
   const std::string& command = args[0];
+  if (command == "--help" || command == "-h") {
+    usage(0);
+  }
   try {
+    // Flag-style invocation per the campaign surface: stellar_cli
+    // --campaign=SPEC [--store=...]. Everything is parsed as options.
+    if (command.rfind("--", 0) == 0) {
+      const CliOptions cli = parseOptions(args, 0);
+      if (!cli.campaignSpec.empty()) {
+        return cmdCampaign(cli.campaignSpec, cli);
+      }
+      std::fprintf(stderr, "no command given (expected --campaign=SPEC)\n");
+      usage();
+    }
     if (command == "extract") {
       return cmdExtract();
     }
@@ -355,6 +503,10 @@ int main(int argc, char** argv) {
     }
     if (command == "suite") {
       return cmdSuite(parseOptions(args, 1));
+    }
+    if (command == "campaign") {
+      const std::string spec = args.size() >= 2 ? args[1] : "";
+      return cmdCampaign(spec, parseOptions(args, spec.empty() ? 1 : 2));
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -68,6 +68,11 @@ std::int64_t TuningAgent::believedMin(const std::string& param) const {
   return it == knowledge_.end() ? 0 : it->second.minValue;
 }
 
+void TuningAgent::primeWarmStart(const pfs::PfsConfig& config, std::string note) {
+  warmStartConfig_ = config;
+  warmStartNote_ = std::move(note);
+}
+
 void TuningAgent::observeInitialRun(const IoReport* report, double defaultSeconds,
                                     const pfs::PfsConfig& defaultConfig) {
   if (report != nullptr) {
@@ -413,6 +418,32 @@ void TuningAgent::planSmallRandomPlaybook(const std::vector<std::string>& covere
 void TuningAgent::buildPlan() {
   plan_.clear();
   nextGroup_ = 0;
+
+  // Cross-run memory leads: the recalled best configuration is trialed
+  // before any planned hypothesis, so a faithful memory converges in one
+  // Configuration Runner call and a stale one is found out immediately.
+  // The values are prior *measured outcomes*, so they bypass the
+  // hallucination gating that applies to description-reasoned moves
+  // (fromRule = true), exactly like matched rules do.
+  if (warmStartConfig_) {
+    MoveGroup warm;
+    warm.hypothesis = warmStartNote_;
+    warm.warmStart = true;
+    for (const std::string& name : pfs::PfsConfig::tunableNames()) {
+      const auto target = warmStartConfig_->get(name);
+      const auto def = defaultConfig_.get(name);
+      if (target && def && *target != *def) {
+        warm.moves.push_back(Move{name, rules::Direction::SetValue, *target,
+                                  "recalled best value from prior experience on a "
+                                  "similar workload",
+                                  true, false});
+      }
+    }
+    if (!warm.moves.empty()) {
+      plan_.push_back(std::move(warm));
+    }
+  }
+
   std::vector<std::string> ruleCovered;
 
   planFromRules(ruleCovered);
@@ -671,6 +702,7 @@ void TuningAgent::observeMeasurementFailure(const std::string& reason) {
     std::string rationale;
     attempt.config = synthesize(*inFlight_, rationale);
     attempt.rationale = rationale;
+    attempt.warmStart = inFlight_->warmStart;
   }
   attempt.valid = false;
   attempt.measurementFailed = true;
@@ -689,6 +721,7 @@ void TuningAgent::observeRunResult(double seconds, bool valid, const std::string
     std::string rationale;
     attempt.config = synthesize(*inFlight_, rationale);
     attempt.rationale = rationale;
+    attempt.warmStart = inFlight_->warmStart;
   }
   attempt.seconds = seconds;
   attempt.valid = valid;

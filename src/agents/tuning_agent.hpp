@@ -57,6 +57,9 @@ struct Attempt {
   /// True when the run itself failed or timed out (fault injection, retry
   /// exhaustion, watchdog) — the configuration was never actually judged.
   bool measurementFailed = false;
+  /// True when this attempt trialed a configuration recalled from the
+  /// experience store (warm start); the engine keys staleness feedback on it.
+  bool warmStart = false;
   std::string rationale;
   std::string error;
 };
@@ -82,6 +85,15 @@ class TuningAgent {
               std::map<std::string, llm::ParamKnowledge> knowledge,
               pfs::BoundsContext bounds, const rules::RuleSet* globalRules,
               llm::TokenMeter& meter, Transcript& transcript);
+
+  /// Warm start from cross-run memory: `config` (a prior run's best for a
+  /// similar workload) becomes the first Configuration Runner attempt,
+  /// ahead of every planned hypothesis. Must be called before
+  /// observeInitialRun. The recalled values are treated as grounded
+  /// knowledge (no hallucination gating or cautious softening), but they
+  /// still flow through normal validation, repair, and best/revert
+  /// bookkeeping — a stale memory is judged, not trusted.
+  void primeWarmStart(const pfs::PfsConfig& config, std::string note);
 
   /// Feeds the initial (default-config) execution. `report` is null in the
   /// No-Analysis ablation.
@@ -128,6 +140,7 @@ class TuningAgent {
   struct MoveGroup {
     std::vector<Move> moves;
     std::string hypothesis;
+    bool warmStart = false;  ///< trials a config recalled from experience
   };
 
   void buildPlan();
@@ -159,6 +172,8 @@ class TuningAgent {
   std::optional<IoReport> report_;
   pfs::PfsConfig defaultConfig_;
   double defaultSeconds_ = 0.0;
+  std::optional<pfs::PfsConfig> warmStartConfig_;
+  std::string warmStartNote_;
 
   std::vector<MoveGroup> plan_;
   std::size_t nextGroup_ = 0;

@@ -163,10 +163,43 @@ TuningRunResult StellarEngine::tune(const pfs::JobSpec& job,
                           "Analysis Agent removed: no I/O report available.");
   }
 
+  // --- cross-run memory recall (warm start) --------------------------------
+  // The recalled rules join the caller's rule set for *matching only* (a
+  // local copy): learned rules still merge into the caller's set below, so
+  // memory never mutates the global rule asset behind the caller's back.
+  std::optional<WarmStartHint> hint;
+  rules::RuleSet combinedRules;
+  const rules::RuleSet* agentRules = globalRules;
+  if (options_.warmStart != nullptr && reportPtr != nullptr) {
+    hint = options_.warmStart->warmStart(*reportPtr);
+    if (hint) {
+      result.warmStarted = true;
+      result.warmStartSimilarity = hint->similarity;
+      result.warmStartSources = hint->sourceIds;
+      if (globalRules != nullptr) {
+        combinedRules = *globalRules;
+      }
+      (void)combinedRules.merge(hint->rules.rules());
+      agentRules = &combinedRules;
+      result.transcript.add("system", "warm start", hint->provenance);
+      if (registry != nullptr) {
+        registry->counter("core.warm_start.recalled").add();
+      }
+    } else if (registry != nullptr) {
+      registry->counter("core.warm_start.miss").add();
+    }
+  }
+
   // --- Tuning Agent tool loop -----------------------------------------------
   agents::TuningAgent agent{options_.agent, buildKnowledge(),
-                            simulator_.boundsContext(), globalRules, result.meter,
+                            simulator_.boundsContext(), agentRules, result.meter,
                             result.transcript};
+  if (hint) {
+    agent.primeWarmStart(hint->config,
+                         "Begin from the best configuration recorded for a "
+                         "similar workload in the experience store (" +
+                             hint->provenance + ").");
+  }
   agent.observeInitialRun(reportPtr, initial.wallSeconds, defaultConfig);
 
   // Guard: tool loop is bounded by attempts + questions + repairs.
@@ -237,6 +270,42 @@ TuningRunResult StellarEngine::tune(const pfs::JobSpec& job,
   result.bestConfig = agent.bestConfig();
   result.bestSeconds = agent.bestSeconds();
 
+  // --- staleness feedback to the experience store ---------------------------
+  if (hint && options_.warmStart != nullptr) {
+    bool judged = false;
+    bool regressed = false;
+    bool confirmed = false;
+    for (const agents::Attempt& attempt : result.attempts) {
+      if (!attempt.warmStart) {
+        continue;
+      }
+      if (attempt.measurementFailed) {
+        break;  // never judged: a fault ate the run, not the memory's fault
+      }
+      judged = true;
+      if (!attempt.valid) {
+        // The recalled config no longer validates on this system.
+        regressed = true;
+      } else {
+        regressed = attempt.seconds > result.defaultSeconds;
+        confirmed = !regressed && result.bestSeconds > 0 &&
+                    attempt.seconds <= result.bestSeconds * 1.05;
+      }
+      break;
+    }
+    if (judged) {
+      options_.warmStart->observeWarmStartOutcome(result.warmStartSources,
+                                                  regressed, confirmed);
+      if (registry != nullptr) {
+        registry->counter("core.warm_start.outcomes",
+                          {{"kind", regressed   ? "regressed"
+                            : confirmed ? "confirmed"
+                                        : "neutral"}})
+            .add();
+      }
+    }
+  }
+
   // --- Reflect & Summarize ---------------------------------------------------
   result.learnedRules = agent.reflectAndSummarize();
   if (!result.learnedRules.empty()) {
@@ -276,6 +345,23 @@ TuningRunResult StellarEngine::tune(const pfs::JobSpec& job,
   return result;
 }
 
+std::size_t TuningRunResult::iterationsToWithin(double tolerance,
+                                                double targetSeconds) const {
+  const double target = targetSeconds > 0.0 ? targetSeconds : bestSeconds;
+  if (target <= 0.0) {
+    return attempts.size() + 1;
+  }
+  std::size_t iteration = 0;
+  for (const agents::Attempt& attempt : attempts) {
+    ++iteration;
+    if (attempt.valid && !attempt.measurementFailed &&
+        attempt.seconds <= target * (1.0 + tolerance)) {
+      return iteration;
+    }
+  }
+  return attempts.size() + 1;
+}
+
 util::Json TuningRunResult::toJson() const {
   util::Json root = util::Json::makeObject();
   root.set("workload", workload);
@@ -284,6 +370,15 @@ util::Json TuningRunResult::toJson() const {
   root.set("best_speedup", bestSpeedup());
   root.set("end_reason", endReason);
   root.set("best_config", bestConfig.toJson());
+  root.set("warm_started", warmStarted);
+  if (warmStarted) {
+    root.set("warm_start_similarity", warmStartSimilarity);
+    util::Json sources = util::Json::makeArray();
+    for (const std::string& id : warmStartSources) {
+      sources.push(id);
+    }
+    root.set("warm_start_sources", std::move(sources));
+  }
 
   util::Json iterations = util::Json::makeArray();
   for (double s : iterationSeconds) {
@@ -297,6 +392,9 @@ util::Json TuningRunResult::toJson() const {
     a.set("config", attempt.config.toJson());
     a.set("seconds", attempt.seconds);
     a.set("valid", attempt.valid);
+    if (attempt.warmStart) {
+      a.set("warm_start", true);
+    }
     if (!attempt.rationale.empty()) {
       a.set("rationale", attempt.rationale);
     }

@@ -28,6 +28,39 @@ enum class TuningScope {
   UserAccessible,  ///< only user-settable parameters (future-work mode)
 };
 
+/// What a cross-run memory recalls for a new workload: the best known
+/// configuration for a similar I/O behaviour plus the rules learned
+/// alongside it. Produced by exp::ExperienceStore; consumed by the engine
+/// to warm-start the Tuning Agent.
+struct WarmStartHint {
+  pfs::PfsConfig config;               ///< best config of the closest experience
+  rules::RuleSet rules;                ///< merged rules of the recalled experiences
+  std::vector<std::string> sourceIds;  ///< store record ids behind the hint
+  double similarity = 0.0;             ///< fingerprint similarity of the top match
+  std::string provenance;              ///< human-readable recall summary
+};
+
+/// Cross-run memory interface. The engine only ever *consumes* hints and
+/// reports how a recalled configuration fared; persistence, similarity
+/// retrieval, and eviction live in src/exp (which depends on core, not the
+/// other way around).
+class WarmStartProvider {
+ public:
+  virtual ~WarmStartProvider() = default;
+
+  /// Recalls prior experience for a workload with this I/O report; nullopt
+  /// when nothing sufficiently similar is stored.
+  [[nodiscard]] virtual std::optional<WarmStartHint> warmStart(
+      const agents::IoReport& report) const = 0;
+
+  /// Staleness feedback after the tuning run judged the recalled config.
+  /// `regressed`: the recalled configuration measured *worse* than the
+  /// default (or failed validation) — the memory is misleading for this
+  /// context. `confirmed`: it landed within 5% of the run's final best.
+  virtual void observeWarmStartOutcome(const std::vector<std::string>& sourceIds,
+                                       bool regressed, bool confirmed) = 0;
+};
+
 struct StellarOptions {
   agents::TuningAgentOptions agent;            ///< tuning-agent model + ablations
   llm::ModelProfile analysisModel = llm::gpt4o();
@@ -40,6 +73,13 @@ struct StellarOptions {
   /// A capped run comes back RunOutcome::TimedOut and is treated like any
   /// other failed measurement (re-measured once, then skipped).
   double maxSimSecondsPerRun = 0.0;
+  /// Cross-run memory (nullable, non-owning; must outlive the engine).
+  /// When set and the run has an I/O report, a sufficiently similar prior
+  /// experience warm-starts the Tuning Agent: its best config becomes the
+  /// first attempt and its rules join the matched rule set. The provider
+  /// is told afterwards whether the recalled config regressed (staleness
+  /// eviction) or held up (confirmation).
+  WarmStartProvider* warmStart = nullptr;
 };
 
 /// One complete Tuning Run (the paper's unit of evaluation).
@@ -58,10 +98,22 @@ struct TuningRunResult {
   agents::IoReport report;
   agents::Transcript transcript;
   llm::TokenMeter meter;
+  /// Cross-run memory provenance: set when a WarmStartProvider recalled a
+  /// prior experience for this run.
+  bool warmStarted = false;
+  double warmStartSimilarity = 0.0;
+  std::vector<std::string> warmStartSources;
 
   [[nodiscard]] double bestSpeedup() const noexcept {
     return bestSeconds > 0 ? defaultSeconds / bestSeconds : 0.0;
   }
+
+  /// Convergence metric: the 1-based index of the first valid attempt whose
+  /// wall time is within `tolerance` of `targetSeconds` (default: this
+  /// run's own best). attempts.size() + 1 when never reached — callers
+  /// compare medians, so the penalty value only needs to sort last.
+  [[nodiscard]] std::size_t iterationsToWithin(double tolerance,
+                                               double targetSeconds = 0.0) const;
 
   /// Canonical serialization of a tuning run — workload, timings,
   /// attempts (config + outcome), learned rules, transcript, and token

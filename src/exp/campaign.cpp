@@ -1,0 +1,514 @@
+#include "exp/campaign.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <stdexcept>
+
+#include "core/engine.hpp"
+#include "faults/fault_plan.hpp"
+#include "llm/model_profile.hpp"
+#include "util/file.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/thread_pool.hpp"
+#include "workloads/workloads.hpp"
+
+namespace stellar::exp {
+
+namespace {
+
+constexpr const char* kComponent = "exp.campaign";
+/// Fixed shard fan-out: independent of thread count so shard file names
+/// stay stable across resumed invocations on different machines.
+constexpr std::size_t kShardCount = 8;
+
+void appendJsonLine(const std::string& path, const util::Json& doc) {
+  util::ensureParentDir(path);
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) {
+    throw std::runtime_error("cannot open for append: " + path);
+  }
+  const std::string text = doc.dump() + "\n";
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  std::fclose(f);
+  if (!ok) {
+    throw std::runtime_error("short write appending to " + path);
+  }
+}
+
+/// Read-only snapshot of the store at campaign start, with outcome
+/// feedback deferred until commit: recall results are independent of the
+/// order in which concurrent cells finish.
+class SnapshotProvider final : public core::WarmStartProvider {
+ public:
+  struct Outcome {
+    std::vector<std::string> sourceIds;
+    bool regressed = false;
+    bool confirmed = false;
+  };
+
+  /// Records whose id is one of `ownKeys` (this campaign's own cell keys)
+  /// are excluded: a cell's execution must not depend on whether a prior
+  /// invocation of the same campaign already committed — and cells never
+  /// warm-start from each other within one campaign.
+  SnapshotProvider(const ExperienceStore& source, StoreOptions options,
+                   const std::set<std::string>& ownKeys)
+      : snapshot_("", options) {
+    for (ExperienceRecord& rec : source.records()) {
+      if (ownKeys.count(rec.id) == 0) {
+        (void)snapshot_.append(std::move(rec));
+      }
+    }
+  }
+
+  [[nodiscard]] std::optional<core::WarmStartHint> warmStart(
+      const agents::IoReport& report) const override {
+    return snapshot_.warmStart(report);
+  }
+
+  void observeWarmStartOutcome(const std::vector<std::string>& sourceIds,
+                               bool regressed, bool confirmed) override {
+    if (!regressed && !confirmed) {
+      return;
+    }
+    const std::lock_guard<std::mutex> lock{mutex_};
+    deferred_.push_back(Outcome{sourceIds, regressed, confirmed});
+  }
+
+  /// Deferred outcomes in a deterministic order (penalize/confirm are
+  /// commutative increments, but a sorted journal keeps the store file
+  /// reproducible too).
+  [[nodiscard]] std::vector<Outcome> drainOutcomes() {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    std::sort(deferred_.begin(), deferred_.end(),
+              [](const Outcome& a, const Outcome& b) {
+                if (a.sourceIds != b.sourceIds) {
+                  return a.sourceIds < b.sourceIds;
+                }
+                if (a.regressed != b.regressed) {
+                  return a.regressed < b.regressed;
+                }
+                return a.confirmed < b.confirmed;
+              });
+    return std::move(deferred_);
+  }
+
+ private:
+  ExperienceStore snapshot_;
+  mutable std::mutex mutex_;
+  std::vector<Outcome> deferred_;
+};
+
+std::vector<double> sortedSpeedups(const std::vector<CellResult>& cells) {
+  std::vector<double> v;
+  for (const CellResult& cell : cells) {
+    if (!cell.failed) {
+      v.push_back(cell.speedup);
+    }
+  }
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+double mean(const std::vector<double>& v) {
+  if (v.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (const double x : v) {
+    sum += x;
+  }
+  return sum / static_cast<double>(v.size());
+}
+
+double median(std::vector<double> v) {
+  if (v.empty()) {
+    return 0.0;
+  }
+  std::sort(v.begin(), v.end());
+  const std::size_t mid = v.size() / 2;
+  return v.size() % 2 == 1 ? v[mid] : 0.5 * (v[mid - 1] + v[mid]);
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------- spec --
+
+std::string CampaignCell::key() const {
+  return workload + "|" + std::to_string(seed) + "|" + model + "|" +
+         (faults.empty() ? "none" : faults);
+}
+
+std::vector<CampaignCell> CampaignSpec::cells() const {
+  std::vector<CampaignCell> out;
+  for (const std::string& workload : workloads) {
+    for (const std::uint64_t seed : seeds) {
+      for (const std::string& model : models) {
+        for (const std::string& fault : faultScenarios) {
+          out.push_back(CampaignCell{workload, seed, model, fault});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+util::Json CampaignSpec::toJson() const {
+  util::Json root = util::Json::makeObject();
+  root.set("name", name);
+  util::Json w = util::Json::makeArray();
+  for (const std::string& s : workloads) {
+    w.push(s);
+  }
+  root.set("workloads", std::move(w));
+  util::Json sd = util::Json::makeArray();
+  for (const std::uint64_t s : seeds) {
+    sd.push(static_cast<std::int64_t>(s));
+  }
+  root.set("seeds", std::move(sd));
+  util::Json m = util::Json::makeArray();
+  for (const std::string& s : models) {
+    m.push(s);
+  }
+  root.set("models", std::move(m));
+  util::Json fs = util::Json::makeArray();
+  for (const std::string& s : faultScenarios) {
+    fs.push(s);
+  }
+  root.set("fault_scenarios", std::move(fs));
+  root.set("scale", scale);
+  root.set("ranks", static_cast<std::int64_t>(ranks));
+  root.set("warm_start", warmStart);
+  return root;
+}
+
+CampaignSpec CampaignSpec::fromJson(const util::Json& json) {
+  CampaignSpec spec;
+  spec.name = json.getString("name", spec.name);
+  if (!json.contains("workloads")) {
+    throw util::JsonError("campaign spec is missing 'workloads'");
+  }
+  spec.workloads.clear();
+  for (const util::Json& w : json.at("workloads").asArray()) {
+    spec.workloads.push_back(w.asString());
+  }
+  if (!json.contains("seeds")) {
+    throw util::JsonError("campaign spec is missing 'seeds'");
+  }
+  spec.seeds.clear();
+  for (const util::Json& s : json.at("seeds").asArray()) {
+    spec.seeds.push_back(static_cast<std::uint64_t>(s.asNumber()));
+  }
+  if (json.contains("models")) {
+    spec.models.clear();
+    for (const util::Json& m : json.at("models").asArray()) {
+      spec.models.push_back(m.asString());
+    }
+  }
+  if (json.contains("fault_scenarios")) {
+    spec.faultScenarios.clear();
+    for (const util::Json& f : json.at("fault_scenarios").asArray()) {
+      spec.faultScenarios.push_back(f.asString());
+    }
+  }
+  spec.scale = json.getNumber("scale", spec.scale);
+  spec.ranks = static_cast<std::uint32_t>(json.getNumber("ranks", spec.ranks));
+  spec.warmStart = json.getBool("warm_start", spec.warmStart);
+  if (spec.workloads.empty() || spec.seeds.empty() || spec.models.empty() ||
+      spec.faultScenarios.empty()) {
+    throw util::JsonError("campaign spec expands to an empty grid");
+  }
+  return spec;
+}
+
+CampaignSpec CampaignSpec::loadFile(const std::string& path) {
+  return fromJson(util::Json::parse(util::readFile(path)));
+}
+
+// ---------------------------------------------------------------- results --
+
+util::Json CellResult::toJson() const {
+  util::Json root = util::Json::makeObject();
+  root.set("key", key);
+  root.set("workload", workload);
+  root.set("seed", static_cast<std::int64_t>(seed));
+  root.set("model", model);
+  root.set("faults", faults);
+  root.set("default_seconds", defaultSeconds);
+  root.set("best_seconds", bestSeconds);
+  root.set("speedup", speedup);
+  root.set("attempts", static_cast<std::int64_t>(attempts));
+  root.set("iterations_to_best", static_cast<std::int64_t>(iterationsToBest));
+  root.set("warm_started", warmStarted);
+  root.set("end_reason", endReason);
+  if (failed) {
+    root.set("failed", true);
+    root.set("error", error);
+  }
+  return root;
+}
+
+CellResult CellResult::fromJson(const util::Json& json) {
+  CellResult cell;
+  cell.key = json.at("key").asString();
+  cell.workload = json.at("workload").asString();
+  cell.seed = static_cast<std::uint64_t>(json.getNumber("seed", 0.0));
+  cell.model = json.getString("model");
+  cell.faults = json.getString("faults");
+  cell.defaultSeconds = json.getNumber("default_seconds", 0.0);
+  cell.bestSeconds = json.getNumber("best_seconds", 0.0);
+  cell.speedup = json.getNumber("speedup", 0.0);
+  cell.attempts = static_cast<std::size_t>(json.getNumber("attempts", 0.0));
+  cell.iterationsToBest =
+      static_cast<std::size_t>(json.getNumber("iterations_to_best", 0.0));
+  cell.warmStarted = json.getBool("warm_started", false);
+  cell.endReason = json.getString("end_reason");
+  cell.failed = json.getBool("failed", false);
+  cell.error = json.getString("error");
+  return cell;
+}
+
+util::Json CampaignResult::aggregateJson(const CampaignSpec& spec) const {
+  util::Json root = util::Json::makeObject();
+  root.set("campaign", spec.name);
+  root.set("spec", spec.toJson());
+
+  util::Json cellArr = util::Json::makeArray();
+  for (const CellResult& cell : cells) {
+    cellArr.push(cell.toJson());
+  }
+  root.set("cells", std::move(cellArr));
+
+  const std::vector<double> speedups = sortedSpeedups(cells);
+  std::vector<double> attemptCounts;
+  std::vector<double> warmIters;
+  std::vector<double> coldIters;
+  std::size_t failedCount = 0;
+  std::map<std::string, std::vector<double>> byWorkload;
+  for (const CellResult& cell : cells) {
+    if (cell.failed) {
+      ++failedCount;
+      continue;
+    }
+    attemptCounts.push_back(static_cast<double>(cell.attempts));
+    (cell.warmStarted ? warmIters : coldIters)
+        .push_back(static_cast<double>(cell.iterationsToBest));
+    byWorkload[cell.workload].push_back(cell.speedup);
+  }
+
+  util::Json agg = util::Json::makeObject();
+  agg.set("cell_count", static_cast<std::int64_t>(cells.size()));
+  agg.set("failed_cells", static_cast<std::int64_t>(failedCount));
+  agg.set("mean_speedup", mean(speedups));
+  agg.set("median_speedup", median(speedups));
+  agg.set("mean_attempts", mean(attemptCounts));
+  agg.set("warm_started_cells", static_cast<std::int64_t>(warmIters.size()));
+  agg.set("warm_median_iterations_to_best", median(warmIters));
+  agg.set("cold_median_iterations_to_best", median(coldIters));
+  util::Json perWorkload = util::Json::makeObject();
+  for (const auto& [workload, values] : byWorkload) {  // std::map: sorted keys
+    util::Json stats = util::Json::makeObject();
+    stats.set("cells", static_cast<std::int64_t>(values.size()));
+    stats.set("mean_speedup", mean(values));
+    stats.set("median_speedup", median(values));
+    perWorkload.set(workload, std::move(stats));
+  }
+  agg.set("per_workload", std::move(perWorkload));
+  root.set("aggregate", std::move(agg));
+  root.set("complete", complete);
+  return root;
+}
+
+// ----------------------------------------------------------------- runner --
+
+CampaignRunner::CampaignRunner(CampaignOptions options)
+    : options_(std::move(options)) {
+  if (options_.manifestPath.empty() && !options_.storePath.empty()) {
+    options_.manifestPath = options_.storePath + ".manifest";
+  }
+}
+
+CampaignResult CampaignRunner::run(const CampaignSpec& spec) {
+  auto campaignSpan = obs::beginSpan(options_.tracer, "campaign", spec.name);
+  const std::vector<CampaignCell> allCells = spec.cells();
+  auto note = [this](const char* name, double delta = 1.0) {
+    if (options_.counters != nullptr) {
+      options_.counters->counter(name).add(delta);
+    }
+  };
+
+  // Resume: a manifest line per completed cell. Corrupt lines are skipped
+  // (that cell simply re-executes); lines for keys outside this spec are
+  // ignored so one manifest cannot poison a different campaign.
+  std::set<std::string> specKeys;
+  for (const CampaignCell& cell : allCells) {
+    specKeys.insert(cell.key());
+  }
+  std::map<std::string, CellResult> done;
+  if (!options_.manifestPath.empty() && util::fileExists(options_.manifestPath)) {
+    std::size_t lineNo = 0;
+    for (const std::string& line :
+         util::split(util::readFile(options_.manifestPath), '\n')) {
+      ++lineNo;
+      if (util::trim(line).empty()) {
+        continue;
+      }
+      try {
+        CellResult cell = CellResult::fromJson(util::Json::parse(line));
+        if (specKeys.count(cell.key) != 0) {
+          done[cell.key] = std::move(cell);  // last write wins
+        }
+      } catch (const util::JsonError& e) {
+        util::logLine(util::LogLevel::Warn, kComponent,
+                      options_.manifestPath + ":" + std::to_string(lineNo) +
+                          ": skipping corrupt manifest line (" + e.what() + ")");
+      }
+    }
+  }
+
+  std::vector<CampaignCell> pending;
+  for (const CampaignCell& cell : allCells) {
+    if (done.count(cell.key()) == 0) {
+      pending.push_back(cell);
+    }
+  }
+  const std::size_t skipped = done.size();
+  if (options_.maxCells != 0 && pending.size() > options_.maxCells) {
+    pending.resize(options_.maxCells);
+  }
+  util::logLine(util::LogLevel::Info, kComponent,
+                spec.name + ": " + std::to_string(allCells.size()) + " cells, " +
+                    std::to_string(skipped) + " already complete, " +
+                    std::to_string(pending.size()) + " to run");
+  note("exp.campaign.cells_skipped", static_cast<double>(skipped));
+
+  // The real store is touched only by this (single-writer) invocation's
+  // commit step; cells recall from an immutable snapshot and write shards.
+  ExperienceStore store{options_.storePath, options_.store};
+  SnapshotProvider snapshot{store, options_.store, specKeys};
+
+  std::vector<std::string> shardPaths;
+  std::vector<std::unique_ptr<std::mutex>> shardLocks;
+  if (!options_.storePath.empty()) {
+    for (std::size_t i = 0; i < kShardCount; ++i) {
+      shardPaths.push_back(options_.storePath + ".shard-" + std::to_string(i));
+      shardLocks.push_back(std::make_unique<std::mutex>());
+    }
+  }
+
+  std::mutex manifestMutex;
+  std::vector<CellResult> fresh(pending.size());
+
+  util::ThreadPool pool{options_.threads};
+  pool.parallelFor(pending.size(), [&](std::size_t i) {
+    const CampaignCell& cell = pending[i];
+    auto cellSpan = obs::beginSpan(options_.tracer, "campaign", cell.key());
+    CellResult result;
+    result.key = cell.key();
+    result.workload = cell.workload;
+    result.seed = cell.seed;
+    result.model = cell.model;
+    result.faults = cell.faults;
+    try {
+      faults::FaultPlan plan;
+      if (!cell.faults.empty()) {
+        plan = faults::parseFaultSpec(cell.faults);
+      }
+      pfs::SimulatorOptions simOpts;
+      simOpts.counters = options_.counters;
+      simOpts.tracer = options_.tracer;
+      if (!cell.faults.empty()) {
+        simOpts.faults = &plan;
+      }
+      core::StellarOptions engineOpts;
+      engineOpts.seed = cell.seed;
+      engineOpts.agent.seed = cell.seed;
+      engineOpts.agent.model = llm::profileByName(cell.model);
+      engineOpts.warmStart = spec.warmStart ? &snapshot : nullptr;
+      core::StellarEngine engine{pfs::PfsSimulator{std::move(simOpts)},
+                                 std::move(engineOpts)};
+      const core::TuningRunResult run = engine.tune(workloads::byName(
+          cell.workload,
+          {.ranks = spec.ranks, .scale = spec.scale, .seed = cell.seed}));
+
+      result.defaultSeconds = run.defaultSeconds;
+      result.bestSeconds = run.bestSeconds;
+      result.speedup = run.bestSpeedup();
+      result.attempts = run.attempts.size();
+      result.iterationsToBest = run.iterationsToWithin(0.05);
+      result.warmStarted = run.warmStarted;
+      result.endReason = run.endReason;
+
+      if (!shardPaths.empty()) {
+        ExperienceRecord rec =
+            recordFromRun(run, cell.seed, cell.model, cell.faults);
+        rec.id = cell.key();  // cell identity: a re-run dedups, not duplicates
+        const std::size_t shard = static_cast<std::size_t>(util::mix64(
+                                      std::hash<std::string>{}(rec.id), 0x5e1f)) %
+                                  kShardCount;
+        const std::lock_guard<std::mutex> lock{*shardLocks[shard]};
+        appendJsonLine(shardPaths[shard], rec.toJson());
+      }
+      note("exp.campaign.cells_executed");
+    } catch (const std::exception& e) {
+      // Deterministic per-cell failures (unknown workload/model, bad fault
+      // spec) are filed as failed cells so the campaign still completes and
+      // resumes reproduce the same document.
+      result.failed = true;
+      result.error = e.what();
+      util::logLine(util::LogLevel::Warn, kComponent,
+                    cell.key() + ": cell failed: " + e.what());
+      note("exp.campaign.cells_failed");
+    }
+
+    // Canonicalize through dump+parse so a fresh cell and a resumed cell
+    // (parsed from its manifest line) are the same Json, byte for byte.
+    const std::string line = result.toJson().dump();
+    if (!options_.manifestPath.empty()) {
+      const std::lock_guard<std::mutex> lock{manifestMutex};
+      appendJsonLine(options_.manifestPath, util::Json::parse(line));
+    }
+    fresh[i] = CellResult::fromJson(util::Json::parse(line));
+  });
+
+  CampaignResult out;
+  out.executed = fresh.size();
+  out.skipped = skipped;
+  for (auto& [key, cell] : done) {
+    out.cells.push_back(std::move(cell));
+  }
+  for (CellResult& cell : fresh) {
+    out.cells.push_back(std::move(cell));
+  }
+  std::sort(out.cells.begin(), out.cells.end(),
+            [](const CellResult& a, const CellResult& b) { return a.key < b.key; });
+  out.complete = out.cells.size() == allCells.size();
+
+  if (out.complete && !options_.storePath.empty()) {
+    // Single-writer commit: absorb shards (dedup by id, compact), then fold
+    // in the deferred warm-start outcomes collected during the run.
+    (void)store.absorbShards(shardPaths);
+    for (const SnapshotProvider::Outcome& outcome : snapshot.drainOutcomes()) {
+      store.observeWarmStartOutcome(outcome.sourceIds, outcome.regressed,
+                                    outcome.confirmed);
+    }
+    store.compact();
+    note("exp.campaign.committed");
+    util::logLine(util::LogLevel::Info, kComponent,
+                  spec.name + ": committed " + std::to_string(store.size()) +
+                      " experience records to " + options_.storePath);
+  } else if (!out.complete) {
+    util::logLine(util::LogLevel::Info, kComponent,
+                  spec.name + ": partial run (" + std::to_string(out.cells.size()) +
+                      "/" + std::to_string(allCells.size()) +
+                      " cells complete); store commit deferred to a full run");
+  }
+  return out;
+}
+
+}  // namespace stellar::exp

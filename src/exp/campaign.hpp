@@ -1,0 +1,128 @@
+// CampaignRunner: fleet-scale tuning orchestration. A declarative campaign
+// spec (workloads x seeds x model profiles x optional fault scenarios)
+// expands into independent tuning *cells*, executed concurrently over a
+// util::ThreadPool, each filing its experience into the shared store.
+//
+// Determinism and durability (see DESIGN.md §5e):
+//   - Every cell builds its own simulator/engine from the cell's seed; no
+//     state is shared between in-flight cells, so the per-cell result is
+//     independent of scheduling order and thread count.
+//   - Warm-start recall reads an immutable snapshot of the store taken at
+//     campaign start; outcome feedback (penalize/confirm) is deferred and
+//     applied at commit, so recall results cannot depend on cell ordering.
+//   - New records are appended to per-thread shard files next to the store
+//     (single-writer rule: only the commit step touches the store file).
+//     Commit absorbs the shards (dedup by id = cell key) and compacts.
+//   - Each finished cell appends its result to a manifest (JSONL). A re-run
+//     of the same spec skips manifest-completed cells, so a killed campaign
+//     resumes with only the missing cells — and the final aggregate JSON is
+//     byte-identical to an uninterrupted run's.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/experience_store.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
+#include "util/json.hpp"
+
+namespace stellar::exp {
+
+/// One point of the campaign grid.
+struct CampaignCell {
+  std::string workload;
+  std::uint64_t seed = 1;
+  std::string model;
+  std::string faults;  ///< fault spec/scenario; "" = clean weather
+
+  /// Stable identity used for manifest resume and record dedup.
+  [[nodiscard]] std::string key() const;
+};
+
+/// Declarative campaign description (JSON-loadable).
+struct CampaignSpec {
+  std::string name = "campaign";
+  std::vector<std::string> workloads;
+  std::vector<std::uint64_t> seeds;
+  std::vector<std::string> models = {"claude-3.7-sonnet"};
+  /// Fault specs crossed into the grid; the default single "" keeps the
+  /// grid fault-free without special-casing.
+  std::vector<std::string> faultScenarios = {""};
+  double scale = 0.05;     ///< workload volume scale (campaigns favor small)
+  std::uint32_t ranks = 50;
+  bool warmStart = true;   ///< recall prior experience for each cell
+
+  [[nodiscard]] std::vector<CampaignCell> cells() const;
+
+  [[nodiscard]] util::Json toJson() const;
+  /// Throws util::JsonError on malformed specs.
+  [[nodiscard]] static CampaignSpec fromJson(const util::Json& json);
+  [[nodiscard]] static CampaignSpec loadFile(const std::string& path);
+};
+
+/// Outcome of one executed (or manifest-recalled) cell.
+struct CellResult {
+  std::string key;
+  std::string workload;
+  std::uint64_t seed = 0;
+  std::string model;
+  std::string faults;
+  double defaultSeconds = 0.0;
+  double bestSeconds = 0.0;
+  double speedup = 0.0;
+  std::size_t attempts = 0;
+  std::size_t iterationsToBest = 0;
+  bool warmStarted = false;
+  std::string endReason;
+  bool failed = false;     ///< the cell threw; error carries the message
+  std::string error;
+
+  [[nodiscard]] util::Json toJson() const;
+  [[nodiscard]] static CellResult fromJson(const util::Json& json);
+};
+
+struct CampaignOptions {
+  /// Experience store path ("" = memory-only: no shards, no persistence).
+  std::string storePath;
+  /// Manifest path; defaults to storePath + ".manifest" (or "" when the
+  /// store is memory-only, which disables resume).
+  std::string manifestPath;
+  std::size_t threads = 0;   ///< 0 = hardware concurrency
+  /// Execute at most this many pending cells, then stop (0 = all). Lets
+  /// tests and the CI smoke job simulate a killed campaign deterministically.
+  std::size_t maxCells = 0;
+  StoreOptions store;        ///< store tuning (similarity, topK, counters)
+  obs::CounterRegistry* counters = nullptr;  ///< nullable, non-owning
+  obs::Tracer* tracer = nullptr;             ///< nullable, non-owning
+};
+
+struct CampaignResult {
+  /// All completed cells, sorted by key (deterministic across resumes).
+  std::vector<CellResult> cells;
+  std::size_t executed = 0;  ///< cells run in this invocation
+  std::size_t skipped = 0;   ///< cells recalled complete from the manifest
+  bool complete = false;     ///< every cell of the spec is accounted for
+
+  /// The campaign's one machine-readable output document. Deliberately
+  /// excludes executed/skipped (which differ between an interrupted and an
+  /// uninterrupted run) so a resumed campaign's document is byte-identical.
+  [[nodiscard]] util::Json aggregateJson(const CampaignSpec& spec) const;
+};
+
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(CampaignOptions options);
+
+  /// Runs (or resumes) `spec`. Cells already present in the manifest are
+  /// skipped; everything else executes concurrently. The store commit
+  /// (shard absorption + deferred recall outcomes + compaction) happens
+  /// only when every cell of the spec has completed.
+  [[nodiscard]] CampaignResult run(const CampaignSpec& spec);
+
+ private:
+  CampaignOptions options_;
+};
+
+}  // namespace stellar::exp

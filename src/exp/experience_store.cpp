@@ -1,0 +1,403 @@
+#include "exp/experience_store.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/file.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace stellar::exp {
+
+namespace {
+
+constexpr const char* kComponent = "exp.store";
+
+util::Json rulesToJson(const std::vector<rules::Rule>& rules) {
+  util::Json arr = util::Json::makeArray();
+  for (const rules::Rule& rule : rules) {
+    arr.push(rule.toJson());
+  }
+  return arr;
+}
+
+std::vector<rules::Rule> rulesFromJson(const util::Json& json) {
+  std::vector<rules::Rule> rules;
+  for (const util::Json& r : json.asArray()) {
+    rules.push_back(rules::Rule::fromJson(r));
+  }
+  return rules;
+}
+
+}  // namespace
+
+util::Json ExperienceRecord::toJson() const {
+  util::Json root = util::Json::makeObject();
+  root.set("type", "record");
+  root.set("id", id);
+  root.set("workload", workload);
+  root.set("fingerprint", fingerprint.toJson());
+  root.set("best_config", bestConfig.toJson());
+  root.set("default_seconds", defaultSeconds);
+  root.set("best_seconds", bestSeconds);
+  root.set("attempts", static_cast<std::int64_t>(attempts));
+  root.set("end_reason", endReason);
+  root.set("faults", faults);
+  root.set("model", model);
+  root.set("seed", static_cast<std::int64_t>(seed));
+  root.set("confirmations", static_cast<std::int64_t>(confirmations));
+  root.set("regressions", static_cast<std::int64_t>(regressions));
+  root.set("rules", rulesToJson(rules));
+  return root;
+}
+
+ExperienceRecord ExperienceRecord::fromJson(const util::Json& json) {
+  ExperienceRecord rec;
+  rec.id = json.at("id").asString();
+  rec.workload = json.at("workload").asString();
+  rec.fingerprint = Fingerprint::fromJson(json.at("fingerprint"));
+  rec.bestConfig = pfs::PfsConfig::fromJson(json.at("best_config"));
+  rec.defaultSeconds = json.at("default_seconds").asNumber();
+  rec.bestSeconds = json.at("best_seconds").asNumber();
+  rec.attempts = static_cast<std::size_t>(json.getNumber("attempts", 0.0));
+  rec.endReason = json.getString("end_reason");
+  rec.faults = json.getString("faults");
+  rec.model = json.getString("model");
+  rec.seed = static_cast<std::uint64_t>(json.getNumber("seed", 0.0));
+  rec.confirmations = static_cast<std::int32_t>(json.getNumber("confirmations", 1.0));
+  rec.regressions = static_cast<std::int32_t>(json.getNumber("regressions", 0.0));
+  if (json.contains("rules")) {
+    rec.rules = rulesFromJson(json.at("rules"));
+  }
+  return rec;
+}
+
+ExperienceRecord recordFromRun(const core::TuningRunResult& run, std::uint64_t seed,
+                               std::string model, std::string faults) {
+  ExperienceRecord rec;
+  rec.workload = run.workload;
+  if (run.hasReport) {
+    rec.fingerprint = fingerprintOf(run.report);
+  }
+  rec.bestConfig = run.bestConfig;
+  rec.defaultSeconds = run.defaultSeconds;
+  rec.bestSeconds = run.bestSeconds;
+  rec.attempts = run.attempts.size();
+  rec.endReason = run.endReason;
+  rec.faults = std::move(faults);
+  rec.model = std::move(model);
+  rec.seed = seed;
+  rec.rules = run.learnedRules;
+  return rec;
+}
+
+// ------------------------------------------------------------------ store --
+
+ExperienceStore::ExperienceStore(std::string path, StoreOptions options)
+    : path_(std::move(path)), options_(options) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  loadLocked();
+}
+
+bool ExperienceStore::stale(const ExperienceRecord& record) const noexcept {
+  // Every confirmation beyond the initial one buys one extra strike before
+  // the record is considered misleading.
+  return record.regressions >=
+         options_.evictionRegressions + std::max(0, record.confirmations - 1);
+}
+
+void ExperienceStore::noteCounter(const char* name, double delta) const {
+  if (options_.counters != nullptr) {
+    options_.counters->counter(name).add(delta);
+  }
+}
+
+void ExperienceStore::loadLocked() {
+  records_.clear();
+  corruptSkipped_ = 0;
+  if (path_.empty() || !util::fileExists(path_)) {
+    return;
+  }
+  const std::string contents = util::readFile(path_);
+  std::size_t lineNo = 0;
+  for (const std::string& line : util::split(contents, '\n')) {
+    ++lineNo;
+    if (util::trim(line).empty()) {
+      continue;
+    }
+    try {
+      const util::Json doc = util::Json::parse(line);
+      const std::string type = doc.getString("type");
+      if (type == "record") {
+        ExperienceRecord rec = ExperienceRecord::fromJson(doc);
+        if (ExperienceRecord* existing = findLocked(rec.id)) {
+          *existing = std::move(rec);  // last write wins (re-appended id)
+        } else {
+          records_.push_back(std::move(rec));
+        }
+      } else if (type == "penalize" || type == "confirm") {
+        if (ExperienceRecord* rec = findLocked(doc.at("id").asString())) {
+          (type == "penalize" ? rec->regressions : rec->confirmations) += 1;
+        }
+      } else {
+        throw util::JsonError("unknown line type '" + type + "'");
+      }
+    } catch (const util::JsonError& e) {
+      // Torn tail line after a crash, or plain corruption: skip it, keep
+      // the store usable, and say exactly where the damage is.
+      ++corruptSkipped_;
+      util::logLine(util::LogLevel::Warn, kComponent,
+                    path_ + ":" + std::to_string(lineNo) + ": skipping corrupt line (" +
+                        e.what() + ")");
+    }
+  }
+  noteCounter("exp.store.corrupt_lines", static_cast<double>(corruptSkipped_));
+  noteCounter("exp.store.records_loaded", static_cast<double>(records_.size()));
+
+  // Seed id assignment past every numeric suffix already in use.
+  for (const ExperienceRecord& rec : records_) {
+    if (util::startsWith(rec.id, "exp-")) {
+      const std::uint64_t n = std::strtoull(rec.id.c_str() + 4, nullptr, 10);
+      nextId_ = std::max(nextId_, n + 1);
+    }
+  }
+}
+
+ExperienceRecord* ExperienceStore::findLocked(const std::string& id) {
+  for (ExperienceRecord& rec : records_) {
+    if (rec.id == id) {
+      return &rec;
+    }
+  }
+  return nullptr;
+}
+
+void ExperienceStore::appendLineLocked(const util::Json& line) {
+  if (path_.empty()) {
+    return;  // memory-only store
+  }
+  util::ensureParentDir(path_);
+  std::FILE* f = std::fopen(path_.c_str(), "ab");
+  if (f == nullptr) {
+    throw std::runtime_error("cannot open experience store for append: " + path_);
+  }
+  const std::string text = line.dump() + "\n";
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  std::fclose(f);
+  if (!ok) {
+    throw std::runtime_error("short write appending to experience store: " + path_);
+  }
+}
+
+std::size_t ExperienceStore::size() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  return records_.size();
+}
+
+std::size_t ExperienceStore::corruptLinesSkipped() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  return corruptSkipped_;
+}
+
+std::vector<ExperienceRecord> ExperienceStore::records() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  return records_;
+}
+
+std::string ExperienceStore::append(ExperienceRecord record) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  if (record.id.empty()) {
+    record.id = "exp-" + std::to_string(nextId_++);
+  }
+  const std::string id = record.id;
+  appendLineLocked(record.toJson());
+  if (ExperienceRecord* existing = findLocked(id)) {
+    *existing = std::move(record);
+  } else {
+    records_.push_back(std::move(record));
+  }
+  noteCounter("exp.store.appends");
+  return id;
+}
+
+void ExperienceStore::penalize(const std::string& id) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  ExperienceRecord* rec = findLocked(id);
+  if (rec == nullptr) {
+    return;
+  }
+  rec->regressions += 1;
+  util::Json line = util::Json::makeObject();
+  line.set("type", "penalize");
+  line.set("id", id);
+  appendLineLocked(line);
+  noteCounter("exp.store.penalized");
+}
+
+void ExperienceStore::confirm(const std::string& id) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  ExperienceRecord* rec = findLocked(id);
+  if (rec == nullptr) {
+    return;
+  }
+  rec->confirmations += 1;
+  util::Json line = util::Json::makeObject();
+  line.set("type", "confirm");
+  line.set("id", id);
+  appendLineLocked(line);
+  noteCounter("exp.store.confirmed");
+}
+
+std::vector<RecallMatch> ExperienceStore::recall(const Fingerprint& fingerprint,
+                                                 std::size_t topK,
+                                                 double minSimilarity) const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  std::vector<RecallMatch> matches;
+  for (const ExperienceRecord& rec : records_) {
+    if (stale(rec)) {
+      continue;
+    }
+    const double sim = similarity(fingerprint, rec.fingerprint);
+    if (sim >= minSimilarity) {
+      matches.push_back(RecallMatch{rec, sim});
+    }
+  }
+  std::sort(matches.begin(), matches.end(),
+            [](const RecallMatch& a, const RecallMatch& b) {
+              if (a.similarity != b.similarity) {
+                return a.similarity > b.similarity;
+              }
+              return a.record.id < b.record.id;
+            });
+  if (matches.size() > topK) {
+    matches.resize(topK);
+  }
+  return matches;
+}
+
+void ExperienceStore::compact(const CompactionHooks& hooks) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  // Fold the journal in by dropping stale records from the live set.
+  std::vector<ExperienceRecord> live;
+  live.reserve(records_.size());
+  for (ExperienceRecord& rec : records_) {
+    if (stale(rec)) {
+      noteCounter("exp.store.evicted");
+    } else {
+      live.push_back(std::move(rec));
+    }
+  }
+  records_ = std::move(live);
+  noteCounter("exp.store.compactions");
+  if (path_.empty()) {
+    return;
+  }
+
+  // Crash-safe generation swap: write the whole new generation to a temp
+  // file, then atomically rename over the store. Dying between the two
+  // steps leaves the old generation intact; a stale temp file from an
+  // earlier crash is simply overwritten here and never read by load.
+  const std::string tmp = path_ + ".compact.tmp";
+  std::string out;
+  for (const ExperienceRecord& rec : records_) {
+    out += rec.toJson().dump();
+    out += '\n';
+  }
+  util::ensureParentDir(tmp);
+  util::writeFile(tmp, out);
+  if (hooks.crashBeforeRename) {
+    return;  // test hook: simulated death with both generations on disk
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    throw std::runtime_error("compaction rename failed for " + path_);
+  }
+}
+
+std::size_t ExperienceStore::absorbShards(const std::vector<std::string>& shardPaths) {
+  std::size_t absorbed = 0;
+  {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    for (const std::string& shard : shardPaths) {
+      if (!util::fileExists(shard)) {
+        continue;
+      }
+      const std::string contents = util::readFile(shard);
+      std::size_t lineNo = 0;
+      for (const std::string& line : util::split(contents, '\n')) {
+        ++lineNo;
+        if (util::trim(line).empty()) {
+          continue;
+        }
+        try {
+          ExperienceRecord rec = ExperienceRecord::fromJson(util::Json::parse(line));
+          appendLineLocked(rec.toJson());
+          if (ExperienceRecord* existing = findLocked(rec.id)) {
+            *existing = std::move(rec);  // re-run of a cell: last wins
+          } else {
+            records_.push_back(std::move(rec));
+          }
+          ++absorbed;
+        } catch (const util::JsonError& e) {
+          util::logLine(util::LogLevel::Warn, kComponent,
+                        shard + ":" + std::to_string(lineNo) +
+                            ": skipping corrupt shard line (" + e.what() + ")");
+        }
+      }
+    }
+  }
+  // Single writer: dedup + journal fold happen in one atomic compaction,
+  // after which the shard files are dead weight.
+  compact();
+  for (const std::string& shard : shardPaths) {
+    if (util::fileExists(shard)) {
+      (void)std::remove(shard.c_str());
+    }
+  }
+  noteCounter("exp.store.shards_absorbed", static_cast<double>(absorbed));
+  return absorbed;
+}
+
+// ------------------------------------------------- WarmStartProvider glue --
+
+std::optional<core::WarmStartHint> ExperienceStore::warmStart(
+    const agents::IoReport& report) const {
+  const std::vector<RecallMatch> matches =
+      recall(fingerprintOf(report), options_.topK, options_.minSimilarity);
+  if (matches.empty()) {
+    noteCounter("exp.store.recall_misses");
+    return std::nullopt;
+  }
+  noteCounter("exp.store.recall_hits");
+
+  core::WarmStartHint hint;
+  hint.config = matches.front().record.bestConfig;
+  hint.similarity = matches.front().similarity;
+  std::string provenance = "recalled " + std::to_string(matches.size()) +
+                           " experience(s):";
+  for (const RecallMatch& match : matches) {
+    hint.sourceIds.push_back(match.record.id);
+    (void)hint.rules.merge(match.record.rules);
+    provenance += " " + match.record.id + " (" + match.record.workload +
+                  ", similarity " + util::formatDouble(match.similarity, 3) +
+                  ", best " + util::formatDouble(match.record.bestSpeedup(), 2) +
+                  "x)";
+  }
+  hint.provenance = std::move(provenance);
+  return hint;
+}
+
+void ExperienceStore::observeWarmStartOutcome(
+    const std::vector<std::string>& sourceIds, bool regressed, bool confirmed) {
+  // Only the top match's config was actually trialed, but a regression
+  // indicts the whole neighbourhood that produced the hint; confirmations
+  // credit it symmetrically.
+  for (const std::string& id : sourceIds) {
+    if (regressed) {
+      penalize(id);
+    } else if (confirmed) {
+      confirm(id);
+    }
+  }
+}
+
+}  // namespace stellar::exp

@@ -1,0 +1,82 @@
+#include "exp/fingerprint.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rag/embedder.hpp"
+
+namespace stellar::exp {
+
+namespace {
+
+/// Log-compresses a count/byte feature into [0, 1]. The divisor bounds the
+/// log2 of realistic values (2^60 bytes ~ an exabyte); workloads of one
+/// family at different scales differ only mildly in these coordinates.
+double logFeature(std::uint64_t value, double logCap) {
+  return std::min(1.0, std::log2(1.0 + static_cast<double>(value)) / logCap);
+}
+
+}  // namespace
+
+Fingerprint fingerprintOf(const rules::WorkloadContext& context) {
+  // The bias term keeps a featureless context (all shares zero) away from
+  // the zero vector so cosine stays defined, and damps spurious similarity
+  // between sparse fingerprints.
+  const double raw[Fingerprint::kDims] = {
+      context.metaOpShare,
+      context.readShare,
+      context.sequentialShare,
+      context.sharedFileShare,
+      context.smallFileShare,
+      logFeature(context.dominantAccessSize, 40.0),
+      logFeature(context.fileCount, 40.0),
+      logFeature(context.totalBytes, 60.0),
+      0.25,
+  };
+  double norm = 0.0;
+  for (const double x : raw) {
+    norm += x * x;
+  }
+  norm = std::sqrt(norm);
+
+  Fingerprint fp;
+  fp.features.reserve(Fingerprint::kDims);
+  for (const double x : raw) {
+    fp.features.push_back(static_cast<float>(x / norm));
+  }
+  return fp;
+}
+
+Fingerprint fingerprintOf(const agents::IoReport& report) {
+  return fingerprintOf(report.context);
+}
+
+double similarity(const Fingerprint& a, const Fingerprint& b) {
+  if (!a.valid() || !b.valid()) {
+    return 0.0;
+  }
+  // Both vectors are L2-normalized and non-negative, so the cosine (the
+  // same kernel rag::VectorIndex retrieves chunks with) lands in [0, 1].
+  return std::clamp(rag::HashedTfIdfEmbedder::cosine(a.features, b.features), 0.0, 1.0);
+}
+
+util::Json Fingerprint::toJson() const {
+  util::Json arr = util::Json::makeArray();
+  for (const float x : features) {
+    arr.push(static_cast<double>(x));
+  }
+  return arr;
+}
+
+Fingerprint Fingerprint::fromJson(const util::Json& json) {
+  Fingerprint fp;
+  for (const util::Json& x : json.asArray()) {
+    fp.features.push_back(static_cast<float>(x.asNumber()));
+  }
+  if (fp.features.size() != kDims) {
+    fp.features.clear();  // wrong arity: treat as unknown, never recalled
+  }
+  return fp;
+}
+
+}  // namespace stellar::exp

@@ -1,0 +1,46 @@
+// Workload fingerprints: the feature vector a tuning experience is filed
+// under in the ExperienceStore, derived from the Darshan-style I/O report
+// the Analysis Agent produces. Two runs of the same application family at
+// different seeds or volume scales land close in fingerprint space (the
+// shares and access-size features are scale-invariant); workloads with a
+// different I/O character (metadata storms vs streaming writes) land far
+// apart. Similarity is cosine over the normalized vectors, reusing the
+// embedding plumbing from src/rag.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "agents/io_report.hpp"
+#include "rules/rules.hpp"
+#include "util/json.hpp"
+
+namespace stellar::exp {
+
+struct Fingerprint {
+  /// Fixed feature order (see fingerprint.cpp): five behaviour shares,
+  /// three log-scaled volume features, one bias term.
+  static constexpr std::size_t kDims = 9;
+
+  /// L2-normalized feature vector; empty when the source run had no I/O
+  /// report (the No-Analysis ablation) — such experiences are stored but
+  /// never recalled.
+  std::vector<float> features;
+
+  [[nodiscard]] bool valid() const noexcept { return features.size() == kDims; }
+
+  [[nodiscard]] util::Json toJson() const;
+  [[nodiscard]] static Fingerprint fromJson(const util::Json& json);
+};
+
+/// Fingerprint of a workload's feature signature (the rule "Tuning
+/// Context"); the canonical constructor every other overload delegates to.
+[[nodiscard]] Fingerprint fingerprintOf(const rules::WorkloadContext& context);
+
+/// Fingerprint of a full I/O report (what the engine hands the store).
+[[nodiscard]] Fingerprint fingerprintOf(const agents::IoReport& report);
+
+/// Cosine similarity in [0, 1]; 0 when either fingerprint is invalid.
+[[nodiscard]] double similarity(const Fingerprint& a, const Fingerprint& b);
+
+}  // namespace stellar::exp

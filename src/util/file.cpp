@@ -1,5 +1,6 @@
 #include "util/file.hpp"
 
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -32,6 +33,19 @@ void writeFile(const std::string& path, const std::string& contents) {
 
 bool fileExists(const std::string& path) {
   return std::ifstream{path}.good();
+}
+
+void ensureParentDir(const std::string& path) {
+  const std::filesystem::path parent = std::filesystem::path{path}.parent_path();
+  if (parent.empty()) {
+    return;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(parent, ec);
+  if (ec) {
+    throw std::runtime_error("cannot create directory " + parent.string() +
+                             ": " + ec.message());
+  }
 }
 
 }  // namespace stellar::util

@@ -13,4 +13,8 @@ void writeFile(const std::string& path, const std::string& contents);
 
 [[nodiscard]] bool fileExists(const std::string& path);
 
+/// Creates the parent directory of `path` (and any missing ancestors).
+/// No-op when the parent already exists or the path has no directory part.
+void ensureParentDir(const std::string& path);
+
 }  // namespace stellar::util

@@ -1,0 +1,85 @@
+#include "exp/fingerprint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rules/rules.hpp"
+#include "util/json.hpp"
+
+namespace stellar::exp {
+namespace {
+
+rules::WorkloadContext iorLike(double scale) {
+  rules::WorkloadContext ctx;
+  ctx.metaOpShare = 0.02;
+  ctx.readShare = 0.5;
+  ctx.sequentialShare = 0.95;
+  ctx.sharedFileShare = 0.9;
+  ctx.smallFileShare = 0.0;
+  ctx.dominantAccessSize = 1 << 16;
+  ctx.fileCount = static_cast<std::uint64_t>(50 * scale) + 1;
+  ctx.totalBytes = static_cast<std::uint64_t>(3.0e9 * scale) + 1;
+  return ctx;
+}
+
+rules::WorkloadContext metadataLike() {
+  rules::WorkloadContext ctx;
+  ctx.metaOpShare = 0.85;
+  ctx.readShare = 0.3;
+  ctx.sequentialShare = 0.1;
+  ctx.sharedFileShare = 0.05;
+  ctx.smallFileShare = 1.0;
+  ctx.dominantAccessSize = 2048;
+  ctx.fileCount = 200000;
+  ctx.totalBytes = 400000000;
+  return ctx;
+}
+
+TEST(Fingerprint, SelfSimilarityIsOne) {
+  const Fingerprint fp = fingerprintOf(iorLike(1.0));
+  ASSERT_TRUE(fp.valid());
+  EXPECT_NEAR(similarity(fp, fp), 1.0, 1e-6);
+}
+
+TEST(Fingerprint, IsUnitNorm) {
+  const Fingerprint fp = fingerprintOf(metadataLike());
+  double norm = 0.0;
+  for (const float x : fp.features) {
+    norm += static_cast<double>(x) * x;
+  }
+  EXPECT_NEAR(norm, 1.0, 1e-5);
+}
+
+TEST(Fingerprint, SameFamilyAcrossScalesStaysAboveRecallThreshold) {
+  // Same I/O character at 20x volume difference: the log-scaled volume
+  // coordinates move only mildly, so recall (default 0.95) still matches.
+  const double sim =
+      similarity(fingerprintOf(iorLike(0.05)), fingerprintOf(iorLike(1.0)));
+  EXPECT_GT(sim, 0.95);
+}
+
+TEST(Fingerprint, DissimilarCharactersStayBelowRecallThreshold) {
+  const double sim =
+      similarity(fingerprintOf(iorLike(1.0)), fingerprintOf(metadataLike()));
+  EXPECT_LT(sim, 0.95);
+}
+
+TEST(Fingerprint, JsonRoundTrip) {
+  const Fingerprint fp = fingerprintOf(iorLike(0.3));
+  const Fingerprint back =
+      Fingerprint::fromJson(util::Json::parse(fp.toJson().dump()));
+  ASSERT_TRUE(back.valid());
+  EXPECT_NEAR(similarity(fp, back), 1.0, 1e-6);
+}
+
+TEST(Fingerprint, WrongArityIsInvalidAndNeverSimilar) {
+  util::Json arr = util::Json::makeArray();
+  arr.push(0.5);
+  arr.push(0.5);
+  const Fingerprint bad = Fingerprint::fromJson(arr);
+  EXPECT_FALSE(bad.valid());
+  EXPECT_EQ(similarity(bad, fingerprintOf(iorLike(1.0))), 0.0);
+  EXPECT_EQ(similarity(Fingerprint{}, Fingerprint{}), 0.0);
+}
+
+}  // namespace
+}  // namespace stellar::exp

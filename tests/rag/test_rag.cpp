@@ -137,5 +137,61 @@ TEST(VectorIndex, RebuildReplacesContent) {
   EXPECT_NE(index.chunks()[0].text.find("delta"), std::string::npos);
 }
 
+TEST(VectorIndex, EmptyDocumentYieldsEmptyIndexAndEmptyResults) {
+  VectorIndex index;
+  index.buildFromDocument("");
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_TRUE(index.query("anything at all", 5).empty());
+}
+
+TEST(VectorIndex, TopKZeroReturnsNothing) {
+  VectorIndex index;
+  index.buildFromDocument(manual::fullManualText());
+  ASSERT_GT(index.size(), 0u);
+  EXPECT_TRUE(index.query("stripe count bandwidth", 0).empty());
+}
+
+TEST(VectorIndex, QueryAfterRebuildRetrievesOnlyTheNewContent) {
+  VectorIndex index;
+  index.buildFromDocument("lustre stripe size controls striping granularity");
+  index.buildFromDocument("metadata statahead pipeline depth for readdir scans");
+  const auto hits = index.query("statahead", 3);
+  ASSERT_FALSE(hits.empty());
+  // Every retrieved chunk must come from the replacement document, with a
+  // chunk pointer into the current chunks() storage (no stale survivors).
+  for (const auto& hit : hits) {
+    EXPECT_EQ(hit.chunk, &index.chunks()[hit.chunk->index]);
+    EXPECT_EQ(hit.chunk->text.find("stripe"), std::string::npos);
+  }
+  EXPECT_NE(hits[0].chunk->text.find("statahead"), std::string::npos);
+}
+
+TEST(VectorIndex, ExactScoreTiesBreakByChunkIndexDeterministically) {
+  // Two pairs of identical chunks => identical embeddings => exact score
+  // ties; ordering must fall back to ascending chunk index, stably across
+  // repeated queries.
+  std::string doc;
+  ChunkerOptions opts;
+  opts.chunkTokens = 4;
+  opts.overlapTokens = 0;
+  doc = "alpha beta gamma delta alpha beta gamma delta "
+        "alpha beta gamma delta alpha beta gamma delta";
+  VectorIndex index;
+  index.buildFromDocument(doc, opts);
+  ASSERT_GE(index.size(), 3u);
+  const auto first = index.query("alpha beta", index.size());
+  ASSERT_EQ(first.size(), index.size());
+  for (std::size_t i = 1; i < first.size(); ++i) {
+    if (first[i - 1].score == first[i].score) {
+      EXPECT_LT(first[i - 1].chunk->index, first[i].chunk->index);
+    }
+  }
+  const auto again = index.query("alpha beta", index.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].chunk->index, again[i].chunk->index);
+    EXPECT_EQ(first[i].score, again[i].score);
+  }
+}
+
 }  // namespace
 }  // namespace stellar::rag

@@ -90,6 +90,16 @@ TEST(File, RoundTripAndErrors) {
   EXPECT_THROW(writeFile("/no/such/dir/file.txt", "x"), std::runtime_error);
 }
 
+TEST(File, EnsureParentDirCreatesMissingAncestors) {
+  const std::string base = ::testing::TempDir() + "/stellar_parent_test";
+  const std::string nested = base + "/a/b/store.jsonl";
+  ensureParentDir(nested);
+  writeFile(nested, "x");  // parent chain now exists
+  EXPECT_EQ(readFile(nested), "x");
+  ensureParentDir(nested);        // idempotent
+  ensureParentDir("plain.name");  // no directory part: no-op
+}
+
 TEST(Log, LevelFilterWorks) {
   const LogLevel before = logLevel();
   setLogLevel(LogLevel::Error);
