@@ -1,0 +1,194 @@
+// Property-based exploration CLI for the simulator validation kit.
+//
+//   testkit_explore --cases=500 --seed=42          # random exploration
+//   testkit_explore --case-seed=0xDEADBEEF         # reproduce one failure
+//   testkit_explore --mutate=write-conservation    # checker mutation test
+//   testkit_explore --fuzz-corpus=tests/testkit/corpus --fuzz-mutations=64
+//
+// Exit code 0 when every check passes, 1 otherwise. The exploration prints
+// a one-command repro line for every failure it finds.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <string_view>
+
+#include "testkit/explore.hpp"
+#include "testkit/fuzz.hpp"
+#include "testkit/invariants.hpp"
+
+namespace {
+
+bool flagValue(std::string_view arg, std::string_view name, std::string_view& out) {
+  if (arg.size() <= name.size() + 1 || arg.substr(0, name.size()) != name ||
+      arg[name.size()] != '=') {
+    return false;
+  }
+  out = arg.substr(name.size() + 1);
+  return true;
+}
+
+std::uint64_t parseU64(std::string_view text) {
+  return std::strtoull(std::string(text).c_str(), nullptr, 0);
+}
+
+void usage() {
+  std::cout
+      << "testkit_explore: property-based validation of the PFS simulator\n"
+         "\n"
+         "  --cases=N            number of random cases (default 500)\n"
+         "  --seed=N             base seed; case i uses mix64(seed, i) (default 42)\n"
+         "  --budget-seconds=S   stop early after S wall seconds (0 = unlimited)\n"
+         "  --metamorphic-every=K  run metamorphic laws every K cases (0 = off)\n"
+         "  --no-obs             skip obs-counter consistency checks\n"
+         "  --no-oracles         skip the differential oracles\n"
+         "  --no-shrink          report failures without shrinking\n"
+         "  --mutate=NAME        apply a deliberate result corruption; the run\n"
+         "                       then MUST fail (mutation test of the checker).\n"
+         "                       NAME=all cycles through every mutation.\n"
+         "  --case-seed=0xHEX    reproduce exactly one case seed and exit\n"
+         "  --fuzz-corpus=DIR    replay + mutate the parser fuzz corpus\n"
+         "  --fuzz-seed=N        seed for fuzz mutations (default: --seed)\n"
+         "  --fuzz-mutations=N   mutations per corpus entry (default 32)\n"
+         "  --list-mutations     print mutation names and exit\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace stellar;
+
+  testkit::ExploreOptions options;
+  options.cases = 500;
+  bool haveCaseSeed = false;
+  std::uint64_t caseSeed = 0;
+  bool mutateAll = false;
+  std::string fuzzCorpusDir;
+  bool haveFuzzSeed = false;
+  std::uint64_t fuzzSeed = 0;
+  int fuzzMutations = 32;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    std::string_view value;
+    if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (arg == "--list-mutations") {
+      for (const std::string& name : testkit::mutationNames()) {
+        std::cout << name << "\n";
+      }
+      return 0;
+    } else if (flagValue(arg, "--cases", value)) {
+      options.cases = static_cast<int>(parseU64(value));
+    } else if (flagValue(arg, "--seed", value)) {
+      options.seed = parseU64(value);
+    } else if (flagValue(arg, "--budget-seconds", value)) {
+      options.budgetSeconds = std::strtod(std::string(value).c_str(), nullptr);
+    } else if (flagValue(arg, "--metamorphic-every", value)) {
+      options.metamorphicEvery = static_cast<int>(parseU64(value));
+    } else if (arg == "--no-obs") {
+      options.checkObs = false;
+    } else if (arg == "--no-oracles") {
+      options.oracles = false;
+    } else if (arg == "--no-shrink") {
+      options.shrinkFailures = false;
+    } else if (flagValue(arg, "--mutate", value)) {
+      if (value == "all") {
+        mutateAll = true;
+      } else {
+        options.mutation = std::string(value);
+      }
+    } else if (flagValue(arg, "--case-seed", value)) {
+      haveCaseSeed = true;
+      caseSeed = parseU64(value);
+    } else if (flagValue(arg, "--fuzz-corpus", value)) {
+      fuzzCorpusDir = std::string(value);
+    } else if (flagValue(arg, "--fuzz-seed", value)) {
+      haveFuzzSeed = true;
+      fuzzSeed = parseU64(value);
+    } else if (flagValue(arg, "--fuzz-mutations", value)) {
+      fuzzMutations = static_cast<int>(parseU64(value));
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n\n";
+      usage();
+      return 2;
+    }
+  }
+
+  bool ok = true;
+
+  if (haveCaseSeed) {
+    // Single-case reproduction: run every per-case checker on that seed.
+    const auto violations =
+        testkit::checkOneCase(caseSeed, options.mutation, options.checkObs,
+                              options.metamorphicEvery > 0);
+    std::cout << "case seed 0x" << std::hex << caseSeed << std::dec << ": "
+              << (violations.empty() ? "PASS" : "FAIL") << "\n";
+    std::cout << "  shape: " << testkit::generateShape(caseSeed).describe() << "\n";
+    for (const auto& v : violations) {
+      std::cout << "  " << v.format() << "\n";
+    }
+    return violations.empty() ? 0 : 1;
+  }
+
+  if (!fuzzCorpusDir.empty()) {
+    const std::uint64_t seed = haveFuzzSeed ? fuzzSeed : options.seed;
+    const auto findings =
+        testkit::fuzzCorpus(fuzzCorpusDir, seed, fuzzMutations);
+    const std::size_t files = testkit::lastCorpusFileCount();
+    if (files == 0) {
+      std::cerr << "fuzz: no corpus files under " << fuzzCorpusDir
+                << " (wrong directory?)\n";
+      return 2;
+    }
+    std::cout << "fuzz: " << files << " corpus files, " << fuzzMutations
+              << " mutations each, seed=" << seed << ", " << findings.size()
+              << " findings\n";
+    for (const auto& f : findings) {
+      std::cout << "FUZZ FAIL [" << testkit::fuzzTargetName(f.target)
+                << "]: " << f.problem << "\n  input: " << f.input << "\n";
+    }
+    if (!findings.empty()) {
+      ok = false;
+    }
+  }
+
+  if (mutateAll) {
+    // Every mutation must be caught — a missed one means the checker has a
+    // blind spot exactly where the mutation corrupted the result.
+    for (const std::string& name : testkit::mutationNames()) {
+      testkit::ExploreOptions m = options;
+      m.mutation = name;
+      m.cases = std::min(options.cases, 50);  // acceptance: caught within 50
+      m.oracles = false;
+      const auto report = testkit::explore(m, std::cout);
+      if (report.casesFailed == 0) {
+        std::cout << "MUTATION ESCAPED: " << name << " was not caught in "
+                  << m.cases << " cases\n";
+        ok = false;
+      } else {
+        std::cout << "mutation caught: " << name << " (case "
+                  << report.casesRun - 1 << ")\n";
+      }
+    }
+    return ok ? 0 : 1;
+  }
+
+  if (!options.mutation.empty()) {
+    const auto report = testkit::explore(options, std::cout);
+    if (report.casesFailed == 0) {
+      std::cout << "MUTATION ESCAPED: " << options.mutation << "\n";
+      return 1;
+    }
+    std::cout << "mutation caught: " << options.mutation << "\n";
+    return ok ? 0 : 1;
+  }
+
+  const auto report = testkit::explore(options, std::cout);
+  if (!report.allPassed()) {
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

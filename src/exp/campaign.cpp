@@ -449,7 +449,7 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec) {
             recordFromRun(run, cell.seed, cell.model, cell.faults);
         rec.id = cell.key();  // cell identity: a re-run dedups, not duplicates
         const std::size_t shard = static_cast<std::size_t>(util::mix64(
-                                      std::hash<std::string>{}(rec.id), 0x5e1f)) %
+                                      util::hash64(rec.id), 0x5e1f)) %
                                   kShardCount;
         const std::lock_guard<std::mutex> lock{*shardLocks[shard]};
         appendJsonLine(shardPaths[shard], rec.toJson());

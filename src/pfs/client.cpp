@@ -357,6 +357,7 @@ bool ClientRuntime::execMeta(RankState& r, const IoOp& op) {
         if (discarded > 0) {
           node.pendingBytes[ost] -= std::min(node.pendingBytes[ost], discarded);
           node.dirty[ost].release(discarded);
+          counters_.dirtyDiscardedBytes += discarded;
         }
       }
       for (auto& waiter : node.readahead.dropFile(op.file)) {
@@ -695,7 +696,13 @@ bool ClientRuntime::execWrite(RankState& r, const IoOp& op) {
       node.pending[seg.ost].push_back(PendingSeg{op.file, seg.objectOffset, seg.length});
       node.pendingBytes[seg.ost] += seg.length;
       ++r.segIndex;
-      if (node.pendingBytes[seg.ost] >= rpcBytes()) {
+      // Flush at the RPC coalescing threshold — or immediately when other
+      // ranks are queued on this tracker's dirty budget. Without the second
+      // condition a rank admitted from the wait queue can park its segment
+      // in `pending` forever (close never flushes), starving the remaining
+      // waiters once its program ends: a real deadlock whenever
+      // osc_max_dirty_mb is smaller than the RPC size.
+      if (node.pendingBytes[seg.ost] >= rpcBytes() || dirty.waiterCount() > 0) {
         flushPending(r.node, seg.ost);
       }
       continue;
@@ -789,6 +796,7 @@ void ClientRuntime::flushAllNodes() {
 void ClientRuntime::issueWriteRpc(std::uint32_t nodeIdx, std::uint32_t ost, FileId file,
                                   std::uint64_t objectOffset, std::uint64_t bytes) {
   ++counters_.dataRpcs;
+  counters_.writeRpcBytes += bytes;
   if (traceOn_) {
     tracer_->instant("rpc", "write",
                      {{"ost", util::Json(static_cast<std::int64_t>(ost))},
@@ -845,6 +853,7 @@ void ClientRuntime::issueReadRpc(std::uint32_t nodeIdx, std::uint32_t ost, FileI
                                  std::uint64_t objectOffset, std::uint64_t bytes,
                                  std::function<void()> onDone) {
   ++counters_.dataRpcs;
+  counters_.readRpcBytes += bytes;
   if (traceOn_) {
     tracer_->instant("rpc", "read",
                      {{"ost", util::Json(static_cast<std::int64_t>(ost))},
@@ -1114,6 +1123,37 @@ void ClientRuntime::flushObservability(obs::CounterRegistry& registry) const {
   add("pfs.ost.seeks", static_cast<double>(seeks));
   add("pfs.mds.ops", static_cast<double>(mds_->opsServed()));
   add("pfs.mds.busy_seconds", mds_->busyTime());
+}
+
+RunAudit ClientRuntime::audit() const {
+  RunAudit a;
+  a.osts.reserve(osts_.size());
+  for (const auto& ost : osts_) {
+    OstAudit o;
+    o.rpcsServed = ost->rpcsServed();
+    o.bytesWritten = ost->bytesWritten();
+    o.bytesRead = ost->bytesRead();
+    o.seeks = ost->seeks();
+    o.positioningBusySeconds = ost->positioningBusyTime();
+    o.transferBusySeconds = ost->transferBusyTime();
+    o.peakQueue = ost->peakQueue();
+    a.osts.push_back(o);
+  }
+  a.dirtyBudgetBytes =
+      static_cast<std::uint64_t>(config_.osc_max_dirty_mb) * util::kMiB;
+  for (const NodeState& node : nodes_) {
+    for (const DirtyTracker& tracker : node.dirty) {
+      a.peakDirtyBytes = std::max(a.peakDirtyBytes, tracker.peakDirtyBytes());
+      a.maxDirtyReservationBytes =
+          std::max(a.maxDirtyReservationBytes, tracker.maxReservationBytes());
+    }
+    a.lockInserts += node.locks.inserts();
+    a.lockEvictions += node.locks.evictions();
+    a.lockResident += node.locks.size();
+  }
+  a.mdsOps = mds_->opsServed();
+  a.mdsBusySeconds = mds_->busyTime();
+  return a;
 }
 
 }  // namespace stellar::pfs

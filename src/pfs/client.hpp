@@ -134,6 +134,42 @@ struct RunCounters {
   std::uint64_t rpcTimeouts = 0;
   std::uint64_t rpcRetries = 0;
   std::uint64_t rpcGaveUp = 0;
+  /// Byte-conservation bookkeeping (consumed by src/testkit's invariant
+  /// checker): payload bytes carried by issued bulk RPCs, and dirty bytes
+  /// discarded without a flush because their file was unlinked first.
+  std::uint64_t writeRpcBytes = 0;
+  std::uint64_t readRpcBytes = 0;
+  std::uint64_t dirtyDiscardedBytes = 0;
+};
+
+/// Per-OST slice of a run's server-side accounting.
+struct OstAudit {
+  std::uint64_t rpcsServed = 0;
+  std::uint64_t bytesWritten = 0;
+  std::uint64_t bytesRead = 0;
+  std::uint64_t seeks = 0;
+  double positioningBusySeconds = 0.0;
+  double transferBusySeconds = 0.0;
+  std::size_t peakQueue = 0;
+};
+
+/// End-of-run snapshot of internal state the invariant checker needs but
+/// the tuning loop does not: server byte splits, cache high-water marks,
+/// and lock lifecycle balances. Cheap to collect (a few scalars per OST /
+/// node), so PfsSimulator gathers it unconditionally.
+struct RunAudit {
+  std::vector<OstAudit> osts;
+  /// Max over all (node, OST) dirty trackers.
+  std::uint64_t peakDirtyBytes = 0;
+  std::uint64_t maxDirtyReservationBytes = 0;
+  /// Per-(node,OST) budget implied by osc_max_dirty_mb at run time.
+  std::uint64_t dirtyBudgetBytes = 0;
+  /// Summed over all nodes' DLM lock LRUs; inserts == evictions + resident.
+  std::uint64_t lockInserts = 0;
+  std::uint64_t lockEvictions = 0;
+  std::uint64_t lockResident = 0;
+  std::uint64_t mdsOps = 0;
+  double mdsBusySeconds = 0.0;
 };
 
 class ClientRuntime {
@@ -181,6 +217,10 @@ class ClientRuntime {
   /// (positioning/seek time vs media transfer time, RPCs, peak queue
   /// depth). Called by PfsSimulator::run after the event queue drains.
   void flushObservability(obs::CounterRegistry& registry) const;
+
+  /// Collects the end-of-run audit snapshot (see RunAudit). Call after the
+  /// event queue drains; earlier snapshots see in-flight state.
+  [[nodiscard]] RunAudit audit() const;
 
  private:
   // ---- internal state ----------------------------------------------------

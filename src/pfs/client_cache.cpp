@@ -13,12 +13,14 @@ bool DirtyTracker::tryReserve(std::uint64_t bytes) {
     // can make progress (mirrors Lustre forcing sync writeout).
     if (dirty_ == 0 && waiters_.empty()) {
       dirty_ = bytes;
+      noteReserve(bytes);
       return true;
     }
     return false;
   }
   if (dirty_ + bytes <= budget_ && waiters_.empty()) {
     dirty_ += bytes;
+    noteReserve(bytes);
     return true;
   }
   return false;
@@ -41,6 +43,7 @@ void DirtyTracker::admitWaiters() {
       return;
     }
     dirty_ += head.bytes;
+    noteReserve(head.bytes);
     auto onSpace = std::move(head.onSpace);
     waiters_.pop_front();
     onSpace();
@@ -188,6 +191,7 @@ void LockLru::evict(FileId file) {
   }
   order_.erase(it->second);
   index_.erase(it);
+  ++evictions_;
   if (onEvict_) {
     onEvict_(file);
   }
@@ -222,6 +226,7 @@ void LockLru::insert(FileId file, double now) {
   }
   order_.push_front(Entry{file, now});
   index_[file] = order_.begin();
+  ++inserts_;
   while (order_.size() > capacity_) {
     evict(order_.back().file);
   }

@@ -50,6 +50,17 @@ class DirtyTracker {
 
   [[nodiscard]] std::size_t waiterCount() const noexcept { return waiters_.size(); }
 
+  /// High-water mark of dirty bytes over the tracker's lifetime. The
+  /// invariant checker (src/testkit) asserts peak <= max(budget, largest
+  /// single reservation) — the oversized-write admission is the only legal
+  /// budget excursion.
+  [[nodiscard]] std::uint64_t peakDirtyBytes() const noexcept { return peakDirty_; }
+  /// Largest single reservation ever charged (oversized admissions show up
+  /// here).
+  [[nodiscard]] std::uint64_t maxReservationBytes() const noexcept {
+    return maxReservation_;
+  }
+
  private:
   struct Waiter {
     std::uint64_t bytes;
@@ -57,9 +68,19 @@ class DirtyTracker {
   };
 
   void admitWaiters();
+  void noteReserve(std::uint64_t bytes) noexcept {
+    if (bytes > maxReservation_) {
+      maxReservation_ = bytes;
+    }
+    if (dirty_ > peakDirty_) {
+      peakDirty_ = dirty_;
+    }
+  }
 
   std::uint64_t budget_ = 0;
   std::uint64_t dirty_ = 0;
+  std::uint64_t peakDirty_ = 0;
+  std::uint64_t maxReservation_ = 0;
   std::deque<Waiter> waiters_;
 };
 
@@ -162,6 +183,11 @@ class LockLru {
   [[nodiscard]] std::size_t effectiveCapacity() const noexcept { return capacity_; }
   [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
   [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+  /// Lock lifecycle balance: inserts() == evictions() + size() always (the
+  /// invariant checker's DLM acquire/release law). Refreshing an already
+  /// cached lock is not an insert.
+  [[nodiscard]] std::uint64_t inserts() const noexcept { return inserts_; }
+  [[nodiscard]] std::uint64_t evictions() const noexcept { return evictions_; }
 
  private:
   struct Entry {
@@ -178,6 +204,8 @@ class LockLru {
   std::unordered_map<FileId, std::list<Entry>::iterator> index_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t inserts_ = 0;
+  std::uint64_t evictions_ = 0;
 };
 
 }  // namespace stellar::pfs

@@ -20,6 +20,9 @@ void OstModel::submitBulk(std::uint64_t objectKey, std::uint64_t objectOffset,
                           std::uint64_t bytes, bool isWrite, std::function<void()> onDone) {
   ++rpcsServed_;
   bytesServed_ += bytes;
+  if (isWrite) {
+    bytesWritten_ += bytes;
+  }
 
   // Wire time across the server NIC (shared by every client talking to
   // this OSS), then positioning, then the serialized media transfer.
@@ -72,6 +75,7 @@ void OstModel::reset() {
   lastEnd_.clear();
   rpcsServed_ = 0;
   bytesServed_ = 0;
+  bytesWritten_ = 0;
   seeks_ = 0;
 }
 

@@ -34,6 +34,12 @@ class OstModel {
   [[nodiscard]] std::uint32_t index() const noexcept { return index_; }
   [[nodiscard]] std::uint64_t rpcsServed() const noexcept { return rpcsServed_; }
   [[nodiscard]] std::uint64_t bytesServed() const noexcept { return bytesServed_; }
+  /// Read/write split of bytesServed(); the invariant checker's byte
+  /// conservation laws compare these against the client-side RPC totals.
+  [[nodiscard]] std::uint64_t bytesWritten() const noexcept { return bytesWritten_; }
+  [[nodiscard]] std::uint64_t bytesRead() const noexcept {
+    return bytesServed_ - bytesWritten_;
+  }
   [[nodiscard]] std::uint64_t seeks() const noexcept { return seeks_; }
   [[nodiscard]] double diskBusyTime() const noexcept { return transfer_.busyTime(); }
 
@@ -70,6 +76,7 @@ class OstModel {
   std::unordered_map<std::uint64_t, std::uint64_t> lastEnd_;
   std::uint64_t rpcsServed_ = 0;
   std::uint64_t bytesServed_ = 0;
+  std::uint64_t bytesWritten_ = 0;
   std::uint64_t seeks_ = 0;
 };
 

@@ -99,6 +99,8 @@ RunResult PfsSimulator::run(const JobSpec& job, const PfsConfig& config,
       result.rawWallSeconds = limits.maxSimSeconds;
       result.counters = runtime.counters();
       result.counters.events = engine.eventsProcessed();
+      result.simEndSeconds = engine.now();
+      result.audit = runtime.audit();
       if (options_.counters != nullptr) {
         runtime.flushObservability(*options_.counters);
       }
@@ -135,6 +137,8 @@ RunResult PfsSimulator::run(const JobSpec& job, const PfsConfig& config,
   result.counters = runtime.counters();
   result.barrierTimes = runtime.barrierTimes();
   result.counters.events = engine.eventsProcessed();
+  result.simEndSeconds = engine.now();
+  result.audit = runtime.audit();
 
   if (options_.counters != nullptr) {
     runtime.flushObservability(*options_.counters);

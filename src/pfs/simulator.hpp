@@ -44,6 +44,11 @@ struct RunResult {
   RunOutcome outcome = RunOutcome::Ok;
   /// Human-readable cause when outcome != Ok.
   std::string failureReason;
+  /// Simulated time at which the event queue drained (>= rawWallSeconds:
+  /// background flushes keep servers busy after the last rank finishes).
+  double simEndSeconds = 0.0;
+  /// End-of-run internals snapshot for the invariant checker (src/testkit).
+  RunAudit audit;
 
   [[nodiscard]] bool ok() const noexcept { return outcome == RunOutcome::Ok; }
 

@@ -1,0 +1,154 @@
+#include "testkit/explore.hpp"
+
+#include <chrono>
+#include <exception>
+#include <sstream>
+
+#include "testkit/metamorphic.hpp"
+#include "testkit/oracles.hpp"
+#include "testkit/run.hpp"
+
+namespace stellar::testkit {
+
+namespace {
+
+/// Everything a single case's standard check does, expressed once so the
+/// exploration loop, the shrink predicate, and the --case-seed repro path
+/// cannot drift apart.
+std::vector<Violation> checkShape(const CaseShape& shape, const std::string& mutation,
+                                  bool checkObs, bool metamorphic) {
+  std::vector<Violation> violations;
+  const GeneratedCase cse = materialize(shape);
+  try {
+    obs::CounterRegistry registry;
+    pfs::RunResult result = runCase(cse, checkObs ? &registry : nullptr);
+    if (!mutation.empty()) {
+      applyMutation(mutation, result);
+    }
+    violations = checkRun(cse, result);
+    if (checkObs && mutation.empty()) {
+      // The registry holds the *uncorrupted* flush, so obs consistency is
+      // only meaningful without a mutation.
+      const auto obsViolations = checkObsConsistency(registry, result);
+      violations.insert(violations.end(), obsViolations.begin(), obsViolations.end());
+    }
+  } catch (const std::exception& e) {
+    violations.push_back(
+        Violation{"EXC", std::string("simulator threw on a generated case: ") + e.what()});
+  }
+  if (metamorphic && violations.empty()) {
+    const auto ml = checkMetamorphic(shape);
+    violations.insert(violations.end(), ml.begin(), ml.end());
+  }
+  return violations;
+}
+
+bool anyLawMatches(const std::vector<Violation>& violations, const std::string& law) {
+  for (const Violation& v : violations) {
+    if (v.law == law) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<Violation> checkOneCase(std::uint64_t caseSeed, const std::string& mutation,
+                                    bool checkObs, bool metamorphic) {
+  return checkShape(generateShape(caseSeed), mutation, checkObs, metamorphic);
+}
+
+ExploreReport explore(const ExploreOptions& options, std::ostream& log) {
+  ExploreReport report;
+  const auto start = std::chrono::steady_clock::now();
+  const auto elapsed = [&start]() {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+        .count();
+  };
+
+  log << "testkit: exploring " << options.cases << " cases, seed=" << options.seed;
+  if (!options.mutation.empty()) {
+    log << ", mutation=" << options.mutation;
+  }
+  log << "\n";
+
+  for (int i = 0; i < options.cases; ++i) {
+    if (options.budgetSeconds > 0.0 && elapsed() > options.budgetSeconds) {
+      report.budgetExhausted = true;
+      log << "testkit: budget exhausted after " << report.casesRun << " cases\n";
+      break;
+    }
+    const std::uint64_t caseSeed = util::mix64(options.seed, static_cast<std::uint64_t>(i));
+    const bool doMeta = options.metamorphicEvery > 0 &&
+                        options.mutation.empty() &&
+                        i % options.metamorphicEvery == 0;
+    const CaseShape shape = generateShape(caseSeed);
+    std::vector<Violation> violations =
+        checkShape(shape, options.mutation, options.checkObs, doMeta);
+    ++report.casesRun;
+    if (violations.empty()) {
+      continue;
+    }
+    ++report.casesFailed;
+
+    CaseFailure failure;
+    failure.caseSeed = caseSeed;
+    failure.violations = violations;
+    failure.shrunk = shape;
+    if (options.shrinkFailures) {
+      // Shrink against the *first* violated law so the minimal case
+      // pinpoints one defect even when several laws fire at once.
+      const std::string law = violations.front().law;
+      failure.shrunk = shrink(shape, [&](const CaseShape& candidate) {
+        return anyLawMatches(
+            checkShape(candidate, options.mutation, options.checkObs, doMeta), law);
+      });
+      failure.violations =
+          checkShape(failure.shrunk, options.mutation, options.checkObs, doMeta);
+      if (failure.violations.empty()) {
+        failure.violations = violations;  // shrinking lost it; keep the original
+        failure.shrunk = shape;
+      }
+    }
+    {
+      std::ostringstream os;
+      os << "testkit_explore --case-seed=0x" << std::hex << caseSeed;
+      if (!options.mutation.empty()) {
+        os << " --mutate=" << options.mutation;
+      }
+      failure.repro = os.str();
+    }
+
+    log << "FAIL case " << i << " (seed 0x" << std::hex << caseSeed << std::dec << ")\n";
+    log << "  shape: " << failure.shrunk.describe() << "\n";
+    for (const Violation& v : failure.violations) {
+      log << "  " << v.format() << "\n";
+    }
+    log << "  repro: " << failure.repro << "\n";
+
+    if (report.failures.size() < 10) {
+      report.failures.push_back(std::move(failure));
+    }
+    if (!options.mutation.empty()) {
+      break;  // mutation mode only needs the first catch
+    }
+  }
+
+  if (options.oracles && options.mutation.empty()) {
+    report.oracleFailures = checkOracles(options.seed);
+    for (const Violation& v : report.oracleFailures) {
+      log << "FAIL oracle: " << v.format() << "\n";
+    }
+  }
+
+  log << "testkit: " << report.casesRun << " cases, " << report.casesFailed
+      << " failed";
+  if (options.oracles && options.mutation.empty()) {
+    log << ", " << report.oracleFailures.size() << " oracle failures";
+  }
+  log << "\n";
+  return report;
+}
+
+}  // namespace stellar::testkit

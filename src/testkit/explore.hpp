@@ -1,0 +1,72 @@
+// Exploration driver: generates N random cases, runs every checker, and
+// on failure shrinks to a minimal counterexample whose seed reproduces the
+// failure in one command:
+//
+//   testkit_explore --case-seed=0x<seed>
+//
+// Case i of an exploration draws seed mix64(baseSeed, i), so the whole
+// campaign is reproducible from (--seed, --cases) alone.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "testkit/gen.hpp"
+#include "testkit/invariants.hpp"
+
+namespace stellar::testkit {
+
+struct ExploreOptions {
+  std::uint64_t seed = 42;
+  int cases = 100;
+  /// Wall-clock budget in seconds; 0 = unlimited. Exploration stops early
+  /// (reporting how far it got) when exceeded — used by CI, never by ctest
+  /// logic.
+  double budgetSeconds = 0.0;
+  /// Named mutation (see mutationNames()) deliberately applied to every
+  /// run's result before checking: the exploration then MUST fail — this
+  /// is the checker's own mutation test.
+  std::string mutation;
+  /// Run the metamorphic laws every `metamorphicEvery` cases (they cost
+  /// several extra runs each). 0 disables.
+  int metamorphicEvery = 5;
+  /// Check the obs-counter consistency law every case (cheap).
+  bool checkObs = true;
+  /// Run the differential oracles once per exploration.
+  bool oracles = true;
+  /// Attempt shrinking when a case fails (disable for raw triage speed).
+  bool shrinkFailures = true;
+};
+
+struct CaseFailure {
+  std::uint64_t caseSeed = 0;
+  std::vector<Violation> violations;
+  CaseShape shrunk;     ///< minimal failing shape (== original if shrinking off)
+  std::string repro;    ///< one-command reproduction line
+};
+
+struct ExploreReport {
+  int casesRun = 0;
+  int casesFailed = 0;
+  bool budgetExhausted = false;
+  std::vector<CaseFailure> failures;     ///< capped at 10, first failures win
+  std::vector<Violation> oracleFailures; ///< ORA-* (not tied to a case)
+
+  [[nodiscard]] bool allPassed() const noexcept {
+    return casesFailed == 0 && oracleFailures.empty();
+  }
+};
+
+/// Runs the exploration, logging progress and failures to `log`.
+[[nodiscard]] ExploreReport explore(const ExploreOptions& options, std::ostream& log);
+
+/// Runs exactly one case seed through every per-case checker (the
+/// --case-seed reproduction path). Returns the violations found.
+[[nodiscard]] std::vector<Violation> checkOneCase(std::uint64_t caseSeed,
+                                                  const std::string& mutation = {},
+                                                  bool checkObs = true,
+                                                  bool metamorphic = true);
+
+}  // namespace stellar::testkit

@@ -1,0 +1,398 @@
+#include "testkit/gen.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+namespace stellar::testkit {
+
+using pfs::FileId;
+using pfs::IoOp;
+
+pfs::PfsConfig randomConfig(util::Rng& rng, const pfs::BoundsContext& ctx) {
+  pfs::PfsConfig cfg;
+  for (const std::string& name : pfs::PfsConfig::tunableNames()) {
+    if (!rng.chance(0.5)) {
+      continue;  // keep the default
+    }
+    const auto bounds = pfs::paramBounds(name, cfg, ctx);
+    if (!bounds) {
+      continue;
+    }
+    // Sample log-uniform-ish by mixing a uniform draw with the bounds so
+    // small values (where most behavioural cliffs live) are well covered.
+    const std::int64_t lo = bounds->min;
+    const std::int64_t hi = bounds->max;
+    std::int64_t value;
+    if (rng.chance(0.5) && hi > lo) {
+      // Geometric walk up from the minimum.
+      value = lo;
+      while (value < hi && rng.chance(0.6)) {
+        value = std::min(hi, std::max(value * 2, value + 1));
+      }
+    } else {
+      value = rng.uniformInt(lo, hi);
+    }
+    (void)cfg.set(name, value);
+  }
+  return pfs::clampConfig(cfg, ctx);
+}
+
+namespace {
+
+faults::FaultPlan randomFaults(util::Rng& rng) {
+  faults::FaultPlan plan;
+  plan.seed = rng.next() | 1;
+  const int count = static_cast<int>(rng.uniformInt(1, 2));
+  for (int i = 0; i < count; ++i) {
+    faults::FaultEvent ev;
+    ev.begin = rng.uniform(0.0, 2.0);
+    ev.end = ev.begin + rng.uniform(0.5, 10.0);
+    switch (rng.uniformInt(0, 4)) {
+      case 0:
+        ev.kind = faults::FaultKind::OstDegrade;
+        ev.target = rng.chance(0.5) ? faults::kAllTargets
+                                    : static_cast<std::int32_t>(rng.uniformInt(0, 4));
+        ev.magnitude = rng.uniform(0.2, 1.0);
+        break;
+      case 1:
+        ev.kind = faults::FaultKind::MdsOverload;
+        ev.magnitude = rng.uniform(1.0, 6.0);
+        break;
+      case 2:
+        ev.kind = faults::FaultKind::RpcStall;
+        ev.magnitude = rng.uniform(0.0, 0.02);
+        break;
+      case 3:
+        ev.kind = faults::FaultKind::NoiseSpike;
+        ev.magnitude = rng.uniform(1.0, 4.0);
+        break;
+      default:
+        // Low drop probability: high rates mostly produce Failed runs,
+        // which exercise less of the conservation surface.
+        ev.kind = faults::FaultKind::RpcDrop;
+        ev.magnitude = rng.uniform(0.0, 0.15);
+        break;
+    }
+    plan.events.push_back(ev);
+  }
+  plan.validate();
+  return plan;
+}
+
+}  // namespace
+
+CaseShape generateShape(std::uint64_t caseSeed, const GenOptions& opts) {
+  util::Rng rng{util::mix64(caseSeed, 0x7E57CA5EULL)};
+  CaseShape s;
+  s.seed = caseSeed;
+
+  s.clientNodes = static_cast<std::uint32_t>(rng.uniformInt(1, 3));
+  s.ranksPerNode = static_cast<std::uint32_t>(rng.uniformInt(1, 4));
+  s.ossNodes = static_cast<std::uint32_t>(rng.uniformInt(1, 5));
+  s.ranks = static_cast<std::uint32_t>(
+      rng.uniformInt(1, static_cast<std::int64_t>(s.clientNodes) * s.ranksPerNode));
+
+  s.sharedFile = opts.allowSharedFiles && rng.chance(0.35);
+  s.filesPerRank = s.sharedFile ? 1 : static_cast<std::uint32_t>(rng.uniformInt(1, 3));
+  s.chunksPerFile = static_cast<std::uint32_t>(rng.uniformInt(1, 24));
+  const std::uint64_t sizes[] = {4 * 1024,   16 * 1024,  64 * 1024,
+                                 256 * 1024, 1024 * 1024, 4 * 1024 * 1024};
+  s.chunkBytes = sizes[rng.uniformInt(0, 5)];
+  s.randomOffsets = rng.chance(0.3);
+  s.doRead = rng.chance(0.7);
+  s.doStat = rng.chance(0.4);
+  s.doUnlink = rng.chance(0.25);
+  s.doFsync = rng.chance(0.6);
+  s.computeSeconds = rng.chance(0.3) ? rng.uniform(0.001, 0.05) : 0.0;
+
+  // Cap total bytes so one case cannot blow the exploration budget.
+  const auto total = [&s]() {
+    const std::uint64_t files =
+        s.sharedFile ? 1 : std::uint64_t{s.ranks} * s.filesPerRank;
+    const std::uint64_t writers = s.sharedFile ? s.ranks : 1;
+    return files * writers * s.chunksPerFile * s.chunkBytes;
+  };
+  while (total() > opts.maxTotalBytes) {
+    if (s.chunkBytes > 4 * 1024) {
+      s.chunkBytes /= 2;
+    } else if (s.chunksPerFile > 1) {
+      s.chunksPerFile /= 2;
+    } else {
+      break;
+    }
+  }
+
+  pfs::BoundsContext ctx;
+  ctx.clientRamMb = pfs::ClusterSpec{}.clientRamMb();
+  ctx.ostCount = s.ossNodes;
+  s.config = randomConfig(rng, ctx);
+
+  if (opts.allowFaults && rng.chance(0.3)) {
+    s.faults = randomFaults(rng);
+  }
+  return s;
+}
+
+GeneratedCase materialize(const CaseShape& shape) {
+  GeneratedCase out;
+  out.shape = shape;
+
+  out.cluster = pfs::defaultCluster();
+  out.cluster.clientNodes = std::max<std::uint32_t>(1, shape.clientNodes);
+  out.cluster.ranksPerNode = std::max<std::uint32_t>(1, shape.ranksPerNode);
+  out.cluster.ossNodes = std::max<std::uint32_t>(1, shape.ossNodes);
+  out.cluster.ostsPerOss = 1;
+
+  const std::uint32_t ranks =
+      std::clamp<std::uint32_t>(shape.ranks, 1, out.cluster.totalRanks());
+
+  pfs::JobSpec job;
+  job.name = "testkit_case";
+  job.ranks.resize(ranks);
+  util::Rng rng{util::mix64(shape.seed, 0x9E0B0DE5ULL)};
+
+  const std::uint64_t chunk = std::max<std::uint64_t>(1, shape.chunkBytes);
+  const std::uint32_t chunks = std::max<std::uint32_t>(1, shape.chunksPerFile);
+
+  const auto emitChunkOps = [&](std::uint32_t r, FileId file, std::uint64_t base,
+                                bool isWrite) {
+    std::vector<std::uint32_t> order(chunks);
+    std::iota(order.begin(), order.end(), 0);
+    if (shape.randomOffsets) {
+      util::Rng perRank{util::mix64(rng.next(), r)};
+      perRank.shuffle(order);
+    }
+    for (const std::uint32_t i : order) {
+      const std::uint64_t off = base + std::uint64_t{i} * chunk;
+      job.ranks[r].push_back(isWrite ? IoOp::write(file, off, chunk)
+                                     : IoOp::read(file, off, chunk));
+    }
+  };
+
+  if (shape.computeSeconds > 0.0) {
+    for (std::uint32_t r = 0; r < ranks; ++r) {
+      job.ranks[r].push_back(IoOp::compute(shape.computeSeconds));
+    }
+  }
+
+  if (shape.sharedFile) {
+    const FileId shared = job.addFile("/testkit/shared");
+    // Rank 0 creates; everyone opens after a barrier (the IOR idiom).
+    for (std::uint32_t r = 0; r < ranks; ++r) {
+      if (r == 0) {
+        job.ranks[r].push_back(IoOp::create(shared));
+      }
+      job.ranks[r].push_back(IoOp::barrier());
+      if (r != 0) {
+        job.ranks[r].push_back(IoOp::open(shared));
+      }
+    }
+    const std::uint64_t block = std::uint64_t{chunks} * chunk;
+    for (std::uint32_t r = 0; r < ranks; ++r) {
+      emitChunkOps(r, shared, std::uint64_t{r} * block, /*isWrite=*/true);
+      if (shape.doFsync) {
+        job.ranks[r].push_back(IoOp::fsync(shared));
+      }
+      job.ranks[r].push_back(IoOp::barrier());
+    }
+    if (shape.doRead) {
+      // Read a neighbour's block so the page cache cannot serve it when
+      // nodes differ.
+      for (std::uint32_t r = 0; r < ranks; ++r) {
+        const std::uint32_t victim = (r + 1) % ranks;
+        emitChunkOps(r, shared, std::uint64_t{victim} * block, /*isWrite=*/false);
+        job.ranks[r].push_back(IoOp::barrier());
+      }
+    }
+    if (shape.doStat) {
+      for (std::uint32_t r = 0; r < ranks; ++r) {
+        job.ranks[r].push_back(IoOp::stat(shared));
+      }
+    }
+    for (std::uint32_t r = 0; r < ranks; ++r) {
+      job.ranks[r].push_back(IoOp::close(shared));
+      job.ranks[r].push_back(IoOp::barrier());
+    }
+    if (shape.doUnlink) {
+      job.ranks[0].push_back(IoOp::unlink(shared));
+    }
+  } else {
+    const std::uint32_t filesPerRank = std::max<std::uint32_t>(1, shape.filesPerRank);
+    for (std::uint32_t r = 0; r < ranks; ++r) {
+      std::vector<FileId> mine;
+      mine.reserve(filesPerRank);
+      for (std::uint32_t f = 0; f < filesPerRank; ++f) {
+        mine.push_back(job.addFile("/testkit/r" + std::to_string(r) + "_f" +
+                                   std::to_string(f)));
+      }
+      for (const FileId file : mine) {
+        job.ranks[r].push_back(IoOp::create(file));
+        emitChunkOps(r, file, 0, /*isWrite=*/true);
+        if (shape.doFsync) {
+          job.ranks[r].push_back(IoOp::fsync(file));
+        }
+        if (shape.doRead) {
+          emitChunkOps(r, file, 0, /*isWrite=*/false);
+        }
+        if (shape.doStat) {
+          job.ranks[r].push_back(IoOp::stat(file));
+        }
+        job.ranks[r].push_back(IoOp::close(file));
+        if (shape.doUnlink) {
+          job.ranks[r].push_back(IoOp::unlink(file));
+        }
+      }
+    }
+  }
+
+  // Every rank must have a non-empty program (validate() requires it).
+  for (auto& program : job.ranks) {
+    if (program.empty()) {
+      program.push_back(IoOp::barrier());
+    }
+  }
+
+  out.job = std::move(job);
+  return out;
+}
+
+std::string CaseShape::describe() const {
+  std::ostringstream os;
+  os << "seed=0x" << std::hex << seed << std::dec << " cluster=" << clientNodes
+     << "x" << ranksPerNode << "ranks/" << ossNodes << "ost"
+     << " ranks=" << ranks << (sharedFile ? " shared" : " private")
+     << " filesPerRank=" << filesPerRank << " chunks=" << chunksPerFile << "x"
+     << chunkBytes << "B" << (randomOffsets ? " random" : " seq")
+     << (doRead ? " +read" : "") << (doStat ? " +stat" : "")
+     << (doUnlink ? " +unlink" : "") << (doFsync ? " +fsync" : "");
+  if (computeSeconds > 0.0) {
+    os << " compute=" << computeSeconds << "s";
+  }
+  if (!faults.empty()) {
+    os << " faults=[" << faults.describe() << "]";
+  }
+  const std::string cfgDiff = config.diffAgainst(pfs::PfsConfig{});
+  if (!cfgDiff.empty()) {
+    os << " config{" << cfgDiff << "}";
+  }
+  return os.str();
+}
+
+CaseShape shrink(CaseShape shape,
+                 const std::function<bool(const CaseShape&)>& stillFails,
+                 int maxSteps) {
+  // Each candidate mutates a copy toward "simpler"; returns false when the
+  // step does not apply (already minimal along that axis).
+  using Step = std::function<bool(CaseShape&)>;
+  const std::vector<Step> steps = {
+      [](CaseShape& s) {
+        if (s.ranks <= 1) return false;
+        s.ranks = std::max<std::uint32_t>(1, s.ranks / 2);
+        return true;
+      },
+      // Halving overshoots the boundary by up to 2x; the decrement steps
+      // finish the walk to the exact minimum.
+      [](CaseShape& s) {
+        if (s.ranks <= 1) return false;
+        s.ranks -= 1;
+        return true;
+      },
+      [](CaseShape& s) {
+        if (s.chunksPerFile <= 1) return false;
+        s.chunksPerFile = std::max<std::uint32_t>(1, s.chunksPerFile / 2);
+        return true;
+      },
+      [](CaseShape& s) {
+        if (s.chunksPerFile <= 1) return false;
+        s.chunksPerFile -= 1;
+        return true;
+      },
+      [](CaseShape& s) {
+        if (s.chunkBytes <= 4096) return false;
+        s.chunkBytes = std::max<std::uint64_t>(4096, s.chunkBytes / 2);
+        return true;
+      },
+      [](CaseShape& s) {
+        if (s.filesPerRank <= 1) return false;
+        s.filesPerRank = std::max<std::uint32_t>(1, s.filesPerRank / 2);
+        return true;
+      },
+      [](CaseShape& s) {
+        if (s.faults.empty()) return false;
+        if (s.faults.events.size() > 1) {
+          s.faults.events.pop_back();
+        } else {
+          s.faults.events.clear();
+        }
+        return true;
+      },
+      [](CaseShape& s) { return std::exchange(s.doUnlink, false); },
+      [](CaseShape& s) { return std::exchange(s.doStat, false); },
+      [](CaseShape& s) { return std::exchange(s.doRead, false); },
+      [](CaseShape& s) { return std::exchange(s.doFsync, false); },
+      [](CaseShape& s) { return std::exchange(s.randomOffsets, false); },
+      [](CaseShape& s) { return std::exchange(s.sharedFile, false); },
+      [](CaseShape& s) {
+        if (s.computeSeconds == 0.0) return false;
+        s.computeSeconds = 0.0;
+        return true;
+      },
+      [](CaseShape& s) {
+        if (s.ossNodes <= 1) return false;
+        s.ossNodes = std::max<std::uint32_t>(1, s.ossNodes / 2);
+        return true;
+      },
+      [](CaseShape& s) {
+        if (s.clientNodes <= 1) return false;
+        s.clientNodes = 1;
+        s.ranks = std::min<std::uint32_t>(s.ranks, s.ranksPerNode);
+        return true;
+      },
+      [](CaseShape& s) {
+        if (s.config == pfs::PfsConfig{}) return false;
+        s.config = pfs::PfsConfig{};
+        return true;
+      },
+  };
+  // Per-field config resets (after the whole-config reset failed to keep
+  // the violation alive, one offending field is usually isolatable).
+  auto resetField = [](const std::string& name) {
+    return [name](CaseShape& s) {
+      const pfs::PfsConfig defaults;
+      const auto cur = s.config.get(name);
+      const auto def = defaults.get(name);
+      if (!cur || !def || *cur == *def) return false;
+      return s.config.set(name, *def);
+    };
+  };
+  std::vector<Step> all = steps;
+  for (const std::string& name : pfs::PfsConfig::tunableNames()) {
+    all.push_back(resetField(name));
+  }
+
+  int attempts = 0;
+  bool progressed = true;
+  while (progressed && attempts < maxSteps) {
+    progressed = false;
+    for (const Step& step : all) {
+      if (attempts >= maxSteps) {
+        break;
+      }
+      CaseShape candidate = shape;
+      if (!step(candidate)) {
+        continue;
+      }
+      ++attempts;
+      if (stillFails(candidate)) {
+        shape = std::move(candidate);
+        progressed = true;
+      }
+    }
+  }
+  return shape;
+}
+
+}  // namespace stellar::testkit

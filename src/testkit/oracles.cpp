@@ -1,0 +1,189 @@
+#include "testkit/oracles.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pfs/simulator.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace stellar::testkit {
+
+namespace {
+
+using pfs::IoOp;
+
+/// One-node / one-rank / one-OST cluster: the degenerate topology where
+/// pipelining, striping, and cross-client contention all vanish.
+pfs::ClusterSpec degenerateCluster(std::uint32_t clientNodes, std::uint32_t ranksPerNode) {
+  pfs::ClusterSpec cluster = pfs::defaultCluster();
+  cluster.clientNodes = clientNodes;
+  cluster.ranksPerNode = ranksPerNode;
+  cluster.ossNodes = 1;
+  cluster.ostsPerOss = 1;
+  return cluster;
+}
+
+OracleOutcome computeOracle(std::uint64_t seed) {
+  const pfs::ClusterSpec cluster = degenerateCluster(1, 3);
+  pfs::JobSpec job;
+  job.name = "oracle_compute";
+  job.ranks.resize(3);
+  double expected = 0.0;
+  for (std::uint32_t r = 0; r < 3; ++r) {
+    double total = 0.0;
+    for (int i = 0; i <= static_cast<int>(r); ++i) {
+      const double step = 0.010 * (r + 1) + 0.001 * i;
+      job.ranks[r].push_back(IoOp::compute(step));
+      total += step;
+    }
+    expected = std::max(expected, total);
+  }
+  const pfs::PfsSimulator sim{pfs::SimulatorOptions{.cluster = cluster}};
+  const pfs::RunResult result = sim.run(job, pfs::PfsConfig{}, seed);
+  // Pure local accrual: no service center, no jitter — near-exact match.
+  return OracleOutcome{"ORA-COMPUTE", expected, result.rawWallSeconds, 1e-9};
+}
+
+OracleOutcome metaOracle(std::uint64_t seed) {
+  const pfs::ClusterSpec cluster = degenerateCluster(1, 1);
+  constexpr int kFiles = 64;
+  pfs::JobSpec job;
+  job.name = "oracle_meta";
+  job.ranks.resize(1);
+  for (int i = 0; i < kFiles; ++i) {
+    const pfs::FileId f = job.addFile("/oracle/f" + std::to_string(i));
+    job.ranks[0].push_back(IoOp::create(f));
+    job.ranks[0].push_back(IoOp::close(f));
+  }
+  // A serial create chain pays one MDS round trip per file: request
+  // latency + create service + reply latency. The MDS jitter is ±10%
+  // uniform per op, which averages out over 64 ops.
+  const double expected =
+      kFiles * (2.0 * cluster.network.messageLatency + cluster.mds.createCost);
+  const pfs::PfsSimulator sim{pfs::SimulatorOptions{.cluster = cluster}};
+  const pfs::RunResult result = sim.run(job, pfs::PfsConfig{}, seed);
+  return OracleOutcome{"ORA-META", expected, result.rawWallSeconds, 0.10};
+}
+
+/// Common analytic cost of one serialized RPC-sized bulk round trip.
+double bulkRoundTrip(const pfs::ClusterSpec& cluster, double bytes, bool isWrite) {
+  const double wire = bytes / cluster.network.nicBandwidth;
+  double transfer = bytes / cluster.disk.sequentialBandwidth +
+                    cluster.disk.transferOverhead;
+  if (isWrite) {
+    transfer += 0.02e-3;  // journal commit cost, see pfs/ost.cpp
+  }
+  return 2.0 * wire + 2.0 * cluster.network.messageLatency +
+         cluster.disk.positioningOverhead + transfer;
+}
+
+pfs::PfsConfig serializedConfig() {
+  pfs::PfsConfig cfg;
+  cfg.stripe_count = 1;
+  cfg.osc_max_rpcs_in_flight = 1;  // serialize the bulk pipeline
+  cfg.osc_max_pages_per_rpc = 256;  // 1 MiB payload per RPC
+  cfg.osc_max_dirty_mb = 64;        // whole job fits: no dirty-space waits
+  return cfg;
+}
+
+OracleOutcome writeOracle(std::uint64_t seed) {
+  const pfs::ClusterSpec cluster = degenerateCluster(1, 1);
+  const pfs::PfsConfig cfg = serializedConfig();
+  constexpr int kChunks = 16;
+  const std::uint64_t chunk = 256 * 4096;  // == osc_max_pages_per_rpc pages
+
+  pfs::JobSpec job;
+  job.name = "oracle_write";
+  job.ranks.resize(1);
+  const pfs::FileId f = job.addFile("/oracle/write");
+  job.ranks[0].push_back(IoOp::create(f));
+  for (int i = 0; i < kChunks; ++i) {
+    job.ranks[0].push_back(IoOp::write(f, std::uint64_t(i) * chunk, chunk));
+  }
+  job.ranks[0].push_back(IoOp::fsync(f));
+  job.ranks[0].push_back(IoOp::close(f));
+
+  // create round trip + K serialized bulk round trips; only the first RPC
+  // pays the seek penalty (the rest are contiguous on the object).
+  const double expected =
+      (2.0 * cluster.network.messageLatency + cluster.mds.createCost) +
+      kChunks * bulkRoundTrip(cluster, static_cast<double>(chunk), /*isWrite=*/true) +
+      cluster.disk.seekPenalty;
+  const pfs::PfsSimulator sim{pfs::SimulatorOptions{.cluster = cluster}};
+  const pfs::RunResult result = sim.run(job, cfg, seed);
+  return OracleOutcome{"ORA-WRITE", expected, result.rawWallSeconds, 0.12};
+}
+
+OracleOutcome readOracle(std::uint64_t seed) {
+  // Writer on node 0, reader on node 1: the reader's page cache is cold,
+  // and with readahead disabled every read is a synchronous fetch.
+  const pfs::ClusterSpec cluster = degenerateCluster(2, 1);
+  pfs::PfsConfig cfg = serializedConfig();
+  cfg.llite_max_read_ahead_mb = 0;
+  cfg.llite_max_read_ahead_per_file_mb = 0;
+  cfg.llite_max_read_ahead_whole_mb = 0;
+  constexpr int kChunks = 16;
+  const std::uint64_t chunk = 256 * 4096;
+
+  pfs::JobSpec job;
+  job.name = "oracle_read";
+  job.ranks.resize(2);
+  const pfs::FileId f = job.addFile("/oracle/read");
+  // Writer: create, fill, publish via fsync, then release the reader.
+  job.ranks[0].push_back(IoOp::create(f));
+  for (int i = 0; i < kChunks; ++i) {
+    job.ranks[0].push_back(IoOp::write(f, std::uint64_t(i) * chunk, chunk));
+  }
+  job.ranks[0].push_back(IoOp::fsync(f));
+  job.ranks[0].push_back(IoOp::barrier());
+  job.ranks[0].push_back(IoOp::close(f));
+  // Reader: wait, open, read it all back sequentially.
+  job.ranks[1].push_back(IoOp::barrier());
+  job.ranks[1].push_back(IoOp::open(f));
+  for (int i = 0; i < kChunks; ++i) {
+    job.ranks[1].push_back(IoOp::read(f, std::uint64_t(i) * chunk, chunk));
+  }
+  job.ranks[1].push_back(IoOp::close(f));
+
+  const pfs::PfsSimulator sim{pfs::SimulatorOptions{.cluster = cluster}};
+  const pfs::RunResult result = sim.run(job, cfg, seed);
+
+  // The modelled quantity is the *read phase*: reader finish minus the
+  // barrier release (the write phase has its own oracle).
+  if (result.barrierTimes.empty() || result.ranks.size() != 2) {
+    return OracleOutcome{"ORA-READ", 1.0, -1.0, 0.0};  // structurally broken
+  }
+  const double phase = result.ranks[1].finishTime - result.barrierTimes[0];
+  const double expected =
+      (2.0 * cluster.network.messageLatency + cluster.mds.openCost) +
+      kChunks * bulkRoundTrip(cluster, static_cast<double>(chunk), /*isWrite=*/false) +
+      cluster.disk.seekPenalty;
+  return OracleOutcome{"ORA-READ", expected, phase, 0.12};
+}
+
+}  // namespace
+
+std::vector<OracleOutcome> runOracles(std::uint64_t seed) {
+  return {
+      computeOracle(util::mix64(seed, 1)),
+      metaOracle(util::mix64(seed, 2)),
+      writeOracle(util::mix64(seed, 3)),
+      readOracle(util::mix64(seed, 4)),
+  };
+}
+
+std::vector<Violation> checkOracles(std::uint64_t seed) {
+  std::vector<Violation> v;
+  for (const OracleOutcome& o : runOracles(seed)) {
+    if (!o.pass()) {
+      v.push_back(Violation{
+          o.id, "analytic model predicts " + std::to_string(o.expected) +
+                    "s, simulator produced " + std::to_string(o.actual) +
+                    "s (tolerance " + std::to_string(o.tolerance * 100.0) + "%)"});
+    }
+  }
+  return v;
+}
+
+}  // namespace stellar::testkit

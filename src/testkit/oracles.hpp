@@ -1,0 +1,43 @@
+// Differential oracles: degenerate scenarios whose wall time has a
+// closed-form analytic model built from the ClusterSpec constants. The
+// simulator must match the model within a tolerance that covers only its
+// documented service jitter — a drift beyond that is a physics bug, not
+// noise.
+//
+//   ORA-COMPUTE  compute-only ranks  ⇒ wall == max over ranks of Σ seconds
+//   ORA-META     serial create chain ⇒ wall ≈ N·(2·latency + createCost)
+//   ORA-WRITE    single rank, single OST, RPC-sized sequential writes with
+//                in_flight=1 and a final fsync ⇒ wall ≈ serialized
+//                round-trip per RPC (wire + latency + positioning +
+//                transfer), first RPC paying the seek penalty
+//   ORA-READ     same shape read back from a different node with
+//                readahead off ⇒ read phase ≈ serialized round trips
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "testkit/invariants.hpp"
+
+namespace stellar::testkit {
+
+struct OracleOutcome {
+  std::string id;        ///< ORA-*
+  double expected = 0.0;  ///< analytic seconds
+  double actual = 0.0;    ///< simulated seconds
+  double tolerance = 0.0; ///< relative
+  [[nodiscard]] bool pass() const noexcept {
+    const double err = expected == 0.0 ? actual : (actual - expected) / expected;
+    return err <= tolerance && err >= -tolerance;
+  }
+};
+
+/// Runs all oracle scenarios with sub-seeds derived from `seed` (the
+/// scenarios are fixed; the seed only varies jitter). Returns one outcome
+/// per oracle.
+[[nodiscard]] std::vector<OracleOutcome> runOracles(std::uint64_t seed);
+
+/// Violation view of runOracles for the explore driver.
+[[nodiscard]] std::vector<Violation> checkOracles(std::uint64_t seed);
+
+}  // namespace stellar::testkit

@@ -1,0 +1,88 @@
+#include "testkit/run.hpp"
+
+namespace stellar::testkit {
+
+pfs::RunResult runCase(const GeneratedCase& cse, obs::CounterRegistry* registry) {
+  pfs::SimulatorOptions options;
+  options.cluster = cse.cluster;
+  options.counters = registry;
+  if (!cse.shape.faults.empty()) {
+    options.faults = &cse.shape.faults;
+  }
+  const pfs::PfsSimulator sim{options};
+  return sim.run(cse.job, cse.shape.config, cse.shape.seed);
+}
+
+namespace {
+
+template <typename T>
+bool eq(const T& a, const T& b) {
+  return a == b;
+}
+
+}  // namespace
+
+std::optional<std::string> describeDifference(const pfs::RunResult& a,
+                                              const pfs::RunResult& b) {
+  const auto diff = [](const std::string& what) -> std::optional<std::string> {
+    return "results differ in " + what;
+  };
+  if (a.wallSeconds != b.wallSeconds) return diff("wallSeconds");
+  if (a.rawWallSeconds != b.rawWallSeconds) return diff("rawWallSeconds");
+  if (a.simEndSeconds != b.simEndSeconds) return diff("simEndSeconds");
+  if (a.outcome != b.outcome) return diff("outcome");
+  if (a.barrierTimes != b.barrierTimes) return diff("barrierTimes");
+
+  const pfs::RunCounters& ca = a.counters;
+  const pfs::RunCounters& cb = b.counters;
+  if (ca.dataRpcs != cb.dataRpcs || ca.metaRpcs != cb.metaRpcs ||
+      ca.lockHits != cb.lockHits || ca.lockMisses != cb.lockMisses ||
+      ca.readaheadHitBytes != cb.readaheadHitBytes ||
+      ca.readaheadMissBytes != cb.readaheadMissBytes ||
+      ca.pageCacheHitBytes != cb.pageCacheHitBytes ||
+      ca.stataheadServed != cb.stataheadServed ||
+      ca.extentConflicts != cb.extentConflicts || ca.events != cb.events ||
+      ca.rpcTimeouts != cb.rpcTimeouts || ca.rpcRetries != cb.rpcRetries ||
+      ca.rpcGaveUp != cb.rpcGaveUp || ca.writeRpcBytes != cb.writeRpcBytes ||
+      ca.readRpcBytes != cb.readRpcBytes ||
+      ca.dirtyDiscardedBytes != cb.dirtyDiscardedBytes) {
+    return diff("counters");
+  }
+
+  if (a.ranks.size() != b.ranks.size()) return diff("rank count");
+  for (std::size_t i = 0; i < a.ranks.size(); ++i) {
+    const pfs::RankStats& ra = a.ranks[i];
+    const pfs::RankStats& rb = b.ranks[i];
+    if (ra.finishTime != rb.finishTime || ra.readTime != rb.readTime ||
+        ra.writeTime != rb.writeTime || ra.metaTime != rb.metaTime ||
+        ra.computeTime != rb.computeTime || ra.bytesRead != rb.bytesRead ||
+        ra.bytesWritten != rb.bytesWritten) {
+      return diff("rank " + std::to_string(i) + " stats");
+    }
+  }
+
+  const pfs::RunAudit& aa = a.audit;
+  const pfs::RunAudit& ab = b.audit;
+  if (aa.osts.size() != ab.osts.size()) return diff("audit OST count");
+  for (std::size_t i = 0; i < aa.osts.size(); ++i) {
+    const pfs::OstAudit& oa = aa.osts[i];
+    const pfs::OstAudit& ob = ab.osts[i];
+    if (oa.rpcsServed != ob.rpcsServed || oa.bytesWritten != ob.bytesWritten ||
+        oa.bytesRead != ob.bytesRead || oa.seeks != ob.seeks ||
+        oa.positioningBusySeconds != ob.positioningBusySeconds ||
+        oa.transferBusySeconds != ob.transferBusySeconds ||
+        oa.peakQueue != ob.peakQueue) {
+      return diff("audit of ost " + std::to_string(i));
+    }
+  }
+  if (aa.peakDirtyBytes != ab.peakDirtyBytes ||
+      aa.maxDirtyReservationBytes != ab.maxDirtyReservationBytes ||
+      aa.lockInserts != ab.lockInserts || aa.lockEvictions != ab.lockEvictions ||
+      aa.lockResident != ab.lockResident || aa.mdsOps != ab.mdsOps ||
+      aa.mdsBusySeconds != ab.mdsBusySeconds) {
+    return diff("audit totals");
+  }
+  return std::nullopt;
+}
+
+}  // namespace stellar::testkit

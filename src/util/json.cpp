@@ -78,8 +78,17 @@ class Parser {
     return false;
   }
 
+  /// Nesting cap for the recursive-descent parser. Without it a
+  /// deep-nesting bomb ("[[[[...") overflows the stack instead of
+  /// reporting a JsonError; 256 is far beyond any legitimate document in
+  /// this repo while keeping worst-case stack use trivially safe.
+  static constexpr int kMaxDepth = 256;
+
   Json parseValue() {
     skipWhitespace();
+    if (depth_ >= kMaxDepth) {
+      fail("nesting too deep", pos_);
+    }
     const char c = peek();
     switch (c) {
       case '{':
@@ -103,6 +112,7 @@ class Parser {
   }
 
   Json parseObject() {
+    ++depth_;
     expect('{');
     Json::Object members;
     skipWhitespace();
@@ -125,10 +135,12 @@ class Parser {
         fail("expected ',' or '}' in object", pos_ - 1);
       }
     }
+    --depth_;
     return Json{std::move(members)};
   }
 
   Json parseArray() {
+    ++depth_;
     expect('[');
     Json::Array items;
     skipWhitespace();
@@ -147,6 +159,7 @@ class Parser {
         fail("expected ',' or ']' in array", pos_ - 1);
       }
     }
+    --depth_;
     return Json{std::move(items)};
   }
 
@@ -230,6 +243,7 @@ class Parser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 void escapeInto(std::string& out, const std::string& s) {

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 namespace stellar::util {
@@ -27,6 +28,18 @@ namespace stellar::util {
 [[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t a, std::uint64_t b) noexcept {
   std::uint64_t s = a ^ (b * 0x9E3779B97F4A7C15ULL);
   return splitmix64(s);
+}
+
+/// Deterministic FNV-1a string hash. Unlike std::hash<std::string>, the
+/// value is fixed across standard libraries and process runs, so it is
+/// safe to derive reproducible seeds from names (tests, sharding).
+[[nodiscard]] constexpr std::uint64_t hash64(std::string_view text) noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : text) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
 }
 
 /// xoshiro256** pseudo-random generator with convenience distributions.

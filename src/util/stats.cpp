@@ -65,6 +65,12 @@ double percentile(std::vector<double> xs, double p) {
 }
 
 double trimmedMean(std::vector<double> xs, double trimFraction) {
+  // NaN breaks std::sort's strict weak ordering (undefined behavior) and
+  // would poison the mean anyway; a failed measurement must not corrupt
+  // the aggregate of its siblings.
+  xs.erase(std::remove_if(xs.begin(), xs.end(),
+                          [](double x) { return std::isnan(x); }),
+           xs.end());
   if (xs.empty()) {
     return 0.0;
   }

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "core/engine.hpp"
@@ -140,6 +141,93 @@ TEST(StellarEngine, WatchdogOptionCapsEveryMeasurement) {
   const TuningRunResult run = engine.tune(workloads::ior16m(tinyOpts()));
   EXPECT_NE(run.endReason.find("initial measurement failed"), std::string::npos);
   EXPECT_NE(run.endReason.find("cap"), std::string::npos);
+}
+
+// --------------------------------------- robustAggregate edge cases ------
+
+TEST(RobustAggregate, AllFailedRepeatsYieldAnEmptyButSaneAggregate) {
+  // Every repeat failed: measureConfig hands robustAggregate an empty
+  // sample set and the aggregate must stay inert, not NaN or throw.
+  const RobustAggregate agg = robustAggregate({}, 0.125, 0.25);
+  EXPECT_EQ(agg.summary.n, 0u);
+  EXPECT_DOUBLE_EQ(agg.medianSeconds, 0.0);
+  EXPECT_DOUBLE_EQ(agg.trimmedMeanSeconds, 0.0);
+  EXPECT_DOUBLE_EQ(agg.cv, 0.0);
+  EXPECT_FALSE(agg.unstable);
+}
+
+TEST(RobustAggregate, SingleSampleIsItsOwnAggregate) {
+  const std::vector<double> one = {12.5};
+  const RobustAggregate agg = robustAggregate(one, 0.125, 0.25);
+  EXPECT_DOUBLE_EQ(agg.medianSeconds, 12.5);
+  EXPECT_DOUBLE_EQ(agg.trimmedMeanSeconds, 12.5);
+  EXPECT_DOUBLE_EQ(agg.summary.mean, 12.5);
+  EXPECT_FALSE(agg.unstable);  // no spread to judge from one sample
+}
+
+TEST(RobustAggregate, NanSampleCannotPoisonTheTrimmedMean) {
+  const std::vector<double> samples = {10.0, std::nan(""), 10.2, 9.8};
+  const RobustAggregate agg = robustAggregate(samples, 0.0, 0.0);
+  EXPECT_FALSE(std::isnan(agg.trimmedMeanSeconds));
+  EXPECT_NEAR(agg.trimmedMeanSeconds, 10.0, 1e-9);
+}
+
+// ------------------------------- warm start under fault + RunLimits ------
+
+/// Provider that always recalls a valid but throttled configuration, so
+/// warm start engages without needing a pre-populated experience store.
+class ThrottledRecall final : public WarmStartProvider {
+ public:
+  [[nodiscard]] std::optional<WarmStartHint> warmStart(
+      const agents::IoReport&) const override {
+    WarmStartHint hint;
+    EXPECT_TRUE(hint.config.set("osc.max_rpcs_in_flight", 2));
+    EXPECT_TRUE(hint.config.set("osc.max_pages_per_rpc", 128));
+    hint.sourceIds = {"recalled"};
+    hint.similarity = 0.99;
+    hint.provenance = "test";
+    return hint;
+  }
+  void observeWarmStartOutcome(const std::vector<std::string>&, bool,
+                               bool) override {}
+};
+
+TEST(StellarEngine, WarmStartedRunUnderFaultStillHonorsRunLimits) {
+  // A degraded OST slows everything; the watchdog cap must still bound
+  // every measurement of the warm-started trajectory, and a capped repeat
+  // must surface as a failed measurement, never as a best config.
+  const faults::FaultPlan plan = faults::parseFaultSpec("ost:*:degrade:0.4@0-1e7");
+  pfs::PfsSimulator sim{{.faults = &plan}};
+  ThrottledRecall provider;
+  StellarOptions options = defaultOptions(17);
+  options.maxSimSecondsPerRun = 120.0;  // generous: the baseline completes
+  options.warmStart = &provider;
+  StellarEngine engine{sim, options};
+  const TuningRunResult run = engine.tune(workloads::ior16m(tinyOpts()));
+
+  ASSERT_TRUE(run.warmStarted);
+  ASSERT_FALSE(run.attempts.empty());
+  EXPECT_TRUE(run.attempts[0].warmStart);
+  // Every successfully measured wall time respected the simulated cap.
+  EXPECT_LT(run.defaultSeconds, options.maxSimSecondsPerRun);
+  for (const agents::Attempt& attempt : run.attempts) {
+    if (attempt.valid && !attempt.measurementFailed) {
+      EXPECT_LT(attempt.seconds, options.maxSimSecondsPerRun);
+    }
+  }
+  EXPECT_LE(run.bestSeconds, run.defaultSeconds);
+
+  // Same fault, same warm start, but a cap tighter than the baseline: the
+  // run must abort through the watchdog path instead of hanging or
+  // returning a fabricated best.
+  StellarOptions tight = defaultOptions(17);
+  tight.maxSimSecondsPerRun = 0.05;
+  tight.warmStart = &provider;
+  StellarEngine cappedEngine{sim, tight};
+  const TuningRunResult capped = cappedEngine.tune(workloads::ior16m(tinyOpts()));
+  EXPECT_NE(capped.endReason.find("initial measurement failed"), std::string::npos);
+  EXPECT_TRUE(capped.attempts.empty());
+  EXPECT_DOUBLE_EQ(capped.bestSeconds, 0.0);
 }
 
 }  // namespace

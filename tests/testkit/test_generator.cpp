@@ -1,0 +1,90 @@
+// The generator's contract: same seed ⇒ identical shape and job, every
+// shape materializes to a valid JobSpec within the byte cap, and shrinking
+// converges to a minimal shape that still satisfies the failure predicate.
+#include <gtest/gtest.h>
+
+#include "pfs/params.hpp"
+#include "testkit/gen.hpp"
+
+namespace stellar::testkit {
+namespace {
+
+TEST(Generator, SameSeedSameShape) {
+  for (std::uint64_t seed : {0ULL, 42ULL, 0xDEADBEEFULL}) {
+    const CaseShape a = generateShape(seed);
+    const CaseShape b = generateShape(seed);
+    EXPECT_EQ(a.describe(), b.describe()) << "seed " << seed;
+    const GeneratedCase ca = materialize(a);
+    const GeneratedCase cb = materialize(b);
+    ASSERT_EQ(ca.job.ranks.size(), cb.job.ranks.size());
+    for (std::size_t r = 0; r < ca.job.ranks.size(); ++r) {
+      EXPECT_EQ(ca.job.ranks[r].size(), cb.job.ranks[r].size());
+    }
+  }
+}
+
+TEST(Generator, ShapesStayWithinBounds) {
+  GenOptions opts;
+  const pfs::BoundsContext ctx{pfs::ClusterSpec{}.clientRamMb(), 5};
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    const CaseShape s = generateShape(util::mix64(7, i), opts);
+    EXPECT_GE(s.ranks, 1u);
+    EXPECT_LE(s.ranks, s.clientNodes * s.ranksPerNode);
+    EXPECT_LE(s.ossNodes, 5u);
+    // The byte cap must hold (single-chunk shapes may not shrink below it).
+    const std::uint64_t files =
+        s.sharedFile ? 1 : std::uint64_t{s.ranks} * s.filesPerRank;
+    const std::uint64_t writers = s.sharedFile ? s.ranks : 1;
+    const std::uint64_t total = files * writers * s.chunksPerFile * s.chunkBytes;
+    EXPECT_LE(total, std::max<std::uint64_t>(opts.maxTotalBytes,
+                                             writers * files * s.chunkBytes));
+    // The sampled config must respect the declared bounds.
+    for (const std::string& name : pfs::PfsConfig::tunableNames()) {
+      const auto bounds = pfs::paramBounds(name, s.config, ctx);
+      const auto value = s.config.get(name);
+      if (bounds && value) {
+        EXPECT_GE(*value, bounds->min) << name;
+        EXPECT_LE(*value, bounds->max) << name;
+      }
+    }
+  }
+}
+
+TEST(Generator, EveryRankHasAProgram) {
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    const GeneratedCase cse = materialize(generateShape(util::mix64(11, i)));
+    for (const auto& program : cse.job.ranks) {
+      EXPECT_FALSE(program.empty());
+    }
+  }
+}
+
+TEST(Generator, ShrinkReachesMinimalRankCount) {
+  CaseShape s = generateShape(0xABCDEF);
+  s.ranks = 16;
+  s.clientNodes = 3;
+  s.ranksPerNode = 8;
+  // Predicate independent of everything but rank count: shrinking must
+  // drive every other axis to its floor and ranks to the smallest value
+  // still satisfying it.
+  const CaseShape min = shrink(s, [](const CaseShape& c) { return c.ranks >= 3; });
+  EXPECT_EQ(min.ranks, 3u);
+  EXPECT_EQ(min.chunksPerFile, 1u);
+  EXPECT_EQ(min.chunkBytes, 4096u);
+  EXPECT_FALSE(min.doRead);
+  EXPECT_FALSE(min.doUnlink);
+  EXPECT_TRUE(min.faults.empty());
+  EXPECT_TRUE(min.config == pfs::PfsConfig{});
+}
+
+TEST(Generator, ShrinkKeepsOriginalWhenPredicateNeedsIt) {
+  const CaseShape s = generateShape(0x1234);
+  // A predicate nothing simpler can satisfy: shrink returns the original.
+  const std::string original = s.describe();
+  const CaseShape kept =
+      shrink(s, [&](const CaseShape& c) { return c.describe() == original; });
+  EXPECT_EQ(kept.describe(), original);
+}
+
+}  // namespace
+}  // namespace stellar::testkit

@@ -1,0 +1,49 @@
+// Differential oracles: the simulator must match closed-form analytic
+// models on degenerate scenarios, across several jitter seeds. A failure
+// here means the simulator's physics drifted from the ClusterSpec
+// constants it claims to implement.
+#include <gtest/gtest.h>
+
+#include "testkit/oracles.hpp"
+
+namespace stellar::testkit {
+namespace {
+
+TEST(Oracles, AllOraclesPassOnSeveralSeeds) {
+  for (std::uint64_t seed : {42ULL, 7ULL, 0xFEEDULL, 123456789ULL}) {
+    for (const OracleOutcome& o : runOracles(seed)) {
+      EXPECT_TRUE(o.pass())
+          << o.id << " seed " << seed << ": expected " << o.expected
+          << "s, simulated " << o.actual << "s (tolerance "
+          << o.tolerance * 100 << "%)";
+    }
+  }
+}
+
+TEST(Oracles, ComputeOracleIsExact) {
+  // The compute-only scenario has zero jitter sources, so it must match to
+  // numerical precision — it pins the engine's clock, not a physics model.
+  for (const OracleOutcome& o : runOracles(42)) {
+    if (o.id == "ORA-COMPUTE") {
+      EXPECT_NEAR(o.actual, o.expected, 1e-9 * std::max(1.0, o.expected));
+      return;
+    }
+  }
+  FAIL() << "ORA-COMPUTE missing from runOracles";
+}
+
+TEST(Oracles, OutcomesCarryAllFourScenarios) {
+  const auto outcomes = runOracles(42);
+  ASSERT_EQ(outcomes.size(), 4u);
+  EXPECT_EQ(outcomes[0].id, "ORA-COMPUTE");
+  EXPECT_EQ(outcomes[1].id, "ORA-META");
+  EXPECT_EQ(outcomes[2].id, "ORA-WRITE");
+  EXPECT_EQ(outcomes[3].id, "ORA-READ");
+  for (const OracleOutcome& o : outcomes) {
+    EXPECT_GT(o.expected, 0.0) << o.id;
+    EXPECT_GT(o.actual, 0.0) << o.id;
+  }
+}
+
+}  // namespace
+}  // namespace stellar::testkit

@@ -80,6 +80,18 @@ TEST(Stats, TrimmedMeanEdgeCases) {
   EXPECT_DOUBLE_EQ(trimmedMean({1.0, 100.0}, 0.9), 50.5);
   const std::vector<double> odd = {1.0, 2.0, 300.0};
   EXPECT_DOUBLE_EQ(trimmedMean(odd, 0.9), 2.0);
+  // A negative fraction degrades to the plain mean rather than widening.
+  EXPECT_DOUBLE_EQ(trimmedMean(xs, -0.3), 2.5);
+}
+
+TEST(Stats, TrimmedMeanGuardsAgainstNan) {
+  // NaN would break std::sort's ordering contract and poison the sum; the
+  // guard drops it so one failed measurement cannot corrupt the aggregate.
+  const double nan = std::nan("");
+  EXPECT_NEAR(trimmedMean({10.0, nan, 10.2}, 0.0), 10.1, 1e-12);
+  EXPECT_DOUBLE_EQ(trimmedMean({nan, nan}, 0.1), 0.0);   // nothing survives
+  EXPECT_DOUBLE_EQ(trimmedMean({nan, 5.0}, 0.25), 5.0);  // single survivor
+  EXPECT_FALSE(std::isnan(trimmedMean({1.0, nan, 2.0, 3.0, nan}, 0.2)));
 }
 
 TEST(Stats, CoefficientOfVariationScalesFreely) {
