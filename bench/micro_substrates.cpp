@@ -25,10 +25,10 @@ void BM_EventEngine(benchmark::State& state) {
     int fired = 0;
     std::function<void()> chain = [&] {
       if (++fired < 10000) {
-        engine.scheduleAfter(0.001, chain);
+        engine.scheduleAfter(0.001, [&chain] { chain(); });
       }
     };
-    engine.scheduleAt(0.0, chain);
+    engine.scheduleAt(0.0, [&chain] { chain(); });
     engine.run();
     benchmark::DoNotOptimize(fired);
   }

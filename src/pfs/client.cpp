@@ -21,6 +21,9 @@ constexpr double kConflictAlphaSequential = 0.04;
 /// Upper bound on statahead scan length (safety, not a tunable).
 constexpr std::size_t kMaxScanLength = 1 << 20;
 
+/// Stream tag for the per-node extent-conflict RNGs.
+constexpr std::uint64_t kNodeRngTag = 0xC11E27ULL;
+
 using DoneFn = std::shared_ptr<std::function<void()>>;
 
 DoneFn wrap(std::function<void()> fn) {
@@ -31,33 +34,34 @@ DoneFn wrap(std::function<void()> fn) {
 
 ClientRuntime::ClientRuntime(sim::SimEngine& engine, const ClusterSpec& cluster,
                              const PfsConfig& config, const JobSpec& job,
-                             obs::Tracer* tracer, const faults::FaultInjector* faults)
+                             obs::Tracer* tracer, const faults::FaultInjector* faults,
+                             RunScope scope)
     : engine_(engine), cluster_(cluster), config_(config), job_(job), tracer_(tracer),
-      faults_(faults), traceOn_(obs::tracing(tracer)) {
-  const std::uint32_t totalOsts = cluster.totalOsts();
+      faults_(faults), traceOn_(obs::tracing(tracer)), scope_(scope),
+      totalOsts_(cluster.totalOsts()),
+      osts_(engine, cluster_, cluster.totalOsts(), scope.ostOffset, scope.runSeed),
+      mds_(engine, cluster_, util::mix64(scope.runSeed, scope.ostOffset)),
+      oscFlow_(engine, static_cast<std::size_t>(cluster.clientNodes) * cluster.totalOsts(),
+               static_cast<std::uint32_t>(config.osc_max_rpcs_in_flight)) {
+  osts_.attachFaults(faults_);
+  mds_.attachFaults(faults_);
 
-  osts_.reserve(totalOsts);
-  for (std::uint32_t i = 0; i < totalOsts; ++i) {
-    osts_.push_back(std::make_unique<OstModel>(engine_, cluster_, i));
-    osts_.back()->attachFaults(faults_);
+  const std::size_t lanes = static_cast<std::size_t>(cluster.clientNodes) * totalOsts_;
+  dirty_.configure(lanes,
+                   static_cast<std::uint64_t>(config_.osc_max_dirty_mb) * util::kMiB);
+  pending_.resize(lanes);
+  pendingBytes_.assign(lanes, 0);
+
+  const std::uint64_t nodeStreamSeed = util::mix64(scope.runSeed, kNodeRngTag);
+  nodeRng_.reserve(cluster.clientNodes);
+  for (std::uint32_t n = 0; n < cluster.clientNodes; ++n) {
+    nodeRng_.emplace_back(util::mix64(nodeStreamSeed, scope.nodeOffset + n));
   }
-  mds_ = std::make_unique<MdsModel>(engine_, cluster_);
-  mds_->attachFaults(faults_);
 
   nodes_.resize(cluster.clientNodes);
   for (std::uint32_t n = 0; n < cluster.clientNodes; ++n) {
     NodeState& node = nodes_[n];
     node.nic = std::make_unique<sim::ServiceCenter>(engine_, "client" + std::to_string(n) + ".nic", 1);
-    node.oscLimiter.reserve(totalOsts);
-    node.dirty.resize(totalOsts);
-    node.pending.resize(totalOsts);
-    node.pendingBytes.assign(totalOsts, 0);
-    for (std::uint32_t o = 0; o < totalOsts; ++o) {
-      node.oscLimiter.push_back(std::make_unique<sim::FlowLimiter>(
-          engine_, static_cast<std::uint32_t>(config_.osc_max_rpcs_in_flight)));
-      node.dirty[o].setBudget(static_cast<std::uint64_t>(config_.osc_max_dirty_mb) *
-                              util::kMiB);
-    }
     node.mdcLimiter = std::make_unique<sim::FlowLimiter>(
         engine_, static_cast<std::uint32_t>(config_.mdc_max_rpcs_in_flight));
     node.modLimiter = std::make_unique<sim::FlowLimiter>(
@@ -344,8 +348,9 @@ bool ClientRuntime::execMeta(RankState& r, const IoOp& op) {
       ++fs.unlinks;
       fs.rankMask |= 1ULL << (r.id % 64);
       // Discard this node's pending dirty segments for the file.
-      for (std::uint32_t ost = 0; ost < node.pending.size(); ++ost) {
-        auto& vec = node.pending[ost];
+      for (std::uint32_t ost = 0; ost < totalOsts_; ++ost) {
+        const std::size_t l = lane(r.node, ost);
+        auto& vec = pending_[l];
         std::uint64_t discarded = 0;
         std::erase_if(vec, [&](const PendingSeg& seg) {
           if (seg.file == op.file) {
@@ -355,13 +360,13 @@ bool ClientRuntime::execMeta(RankState& r, const IoOp& op) {
           return false;
         });
         if (discarded > 0) {
-          node.pendingBytes[ost] -= std::min(node.pendingBytes[ost], discarded);
-          node.dirty[ost].release(discarded);
+          pendingBytes_[l] -= std::min(pendingBytes_[l], discarded);
+          dirty_.release(l, discarded);
           counters_.dirtyDiscardedBytes += discarded;
         }
       }
       for (auto& waiter : node.readahead.dropFile(op.file)) {
-        engine_.scheduleAfter(0.0, std::move(waiter));
+        engine_.scheduleAfter(0.0, [w = std::move(waiter)]() mutable { w(); });
       }
       node.locks.erase(op.file);
       node.pageValid.erase(op.file);
@@ -379,7 +384,7 @@ bool ClientRuntime::execMeta(RankState& r, const IoOp& op) {
     case OpKind::Fsync: {
       FileStats& fs = fileStats_[op.file];
       ++fs.fsyncs;
-      for (std::uint32_t ost = 0; ost < node.pending.size(); ++ost) {
+      for (std::uint32_t ost = 0; ost < totalOsts_; ++ost) {
         flushPending(r.node, ost, op.file);
       }
       const auto it = node.flushInFlight.find(op.file);
@@ -605,22 +610,22 @@ void ClientRuntime::submitMeta(std::uint32_t nodeIdx, MetaOpKind kind,
     node.mdcLimiter->acquire([this, &node, kind, stripeCount, modifying, latency, done] {
       RpcDelivery d;
       d.ost = -1;  // MDS target
-      d.deliver = [this, kind, stripeCount, latency](std::function<void()> served) {
+      d.deliver = [this, kind, stripeCount, latency](sim::Callback served) {
         engine_.scheduleAfter(latency, [this, kind, stripeCount, latency,
                                         served = std::move(served)]() mutable {
-          mds_->submit(kind, stripeCount,
-                       [this, latency, served = std::move(served)]() mutable {
+          mds_.submit(kind, stripeCount,
+                      [this, latency, served = std::move(served)]() mutable {
             engine_.scheduleAfter(latency, std::move(served));
           });
         });
       };
-      d.complete = [&node, modifying, done] {
+      d.complete = sim::Callback{engine_.arena(), [&node, modifying, done] {
         node.mdcLimiter->release();
         if (modifying) {
           node.modLimiter->release();
         }
         (*done)();
-      };
+      }};
       deliverRpc(std::move(d));
     });
   };
@@ -637,7 +642,6 @@ void ClientRuntime::submitMeta(std::uint32_t nodeIdx, MetaOpKind kind,
 bool ClientRuntime::execWrite(RankState& r, const IoOp& op) {
   FileState& f = files_[op.file];
   FileStats& fs = fileStats_[op.file];
-  NodeState& node = nodes_[r.node];
 
   if (!r.segmentsValid) {
     r.segments = mapExtent(f.layout, op.offset, op.size);
@@ -673,13 +677,13 @@ bool ClientRuntime::execWrite(RankState& r, const IoOp& op) {
     const std::uint64_t nodeBit = 1ULL << r.node;
     const std::uint64_t others = f.writerNodeMask & ~nodeBit;
     f.writerNodeMask |= nodeBit;
-    node.pageValid.insert(op.file);
+    nodes_[r.node].pageValid.insert(op.file);
     f.size = std::max(f.size, op.offset + op.size);
     if (others != 0) {
       const int k = std::popcount(f.writerNodeMask);
       const double alpha = sequential ? kConflictAlphaSequential : kConflictAlphaRandom;
       const double p = alpha * static_cast<double>(k - 1) / static_cast<double>(k);
-      if (engine_.rng().chance(p)) {
+      if (nodeRng_[r.node].chance(p)) {
         ++counters_.extentConflicts;
         r.accrued += cluster_.extentLockConflictCost;
         rankStats_[r.id].writeTime += cluster_.extentLockConflictCost;
@@ -690,19 +694,19 @@ bool ClientRuntime::execWrite(RankState& r, const IoOp& op) {
 
   while (r.segIndex < r.segments.size()) {
     const ObjectExtent& seg = r.segments[r.segIndex];
-    DirtyTracker& dirty = node.dirty[seg.ost];
-    if (r.reservedSegment || dirty.tryReserve(seg.length)) {
+    const std::size_t l = lane(r.node, seg.ost);
+    if (r.reservedSegment || dirty_.tryReserve(l, seg.length)) {
       r.reservedSegment = false;
-      node.pending[seg.ost].push_back(PendingSeg{op.file, seg.objectOffset, seg.length});
-      node.pendingBytes[seg.ost] += seg.length;
+      pending_[l].push_back(PendingSeg{op.file, seg.objectOffset, seg.length});
+      pendingBytes_[l] += seg.length;
       ++r.segIndex;
       // Flush at the RPC coalescing threshold — or immediately when other
-      // ranks are queued on this tracker's dirty budget. Without the second
+      // ranks are queued on this lane's dirty budget. Without the second
       // condition a rank admitted from the wait queue can park its segment
       // in `pending` forever (close never flushes), starving the remaining
       // waiters once its program ends: a real deadlock whenever
       // osc_max_dirty_mb is smaller than the RPC size.
-      if (node.pendingBytes[seg.ost] >= rpcBytes() || dirty.waiterCount() > 0) {
+      if (pendingBytes_[l] >= rpcBytes() || dirty_.waiterCount(l) > 0) {
         flushPending(r.node, seg.ost);
       }
       continue;
@@ -710,7 +714,7 @@ bool ClientRuntime::execWrite(RankState& r, const IoOp& op) {
     // No dirty budget: push current pending data out and wait for space.
     flushPending(r.node, seg.ost);
     blockRank(r, OpKind::Write);
-    dirty.waitForSpace(seg.length, [this, &r] {
+    dirty_.waitForSpace(l, seg.length, [this, &r] {
       // The waiter's reservation is already charged; mark it so the
       // re-entered execWrite records the segment without re-reserving.
       r.reservedSegment = true;
@@ -724,8 +728,8 @@ bool ClientRuntime::execWrite(RankState& r, const IoOp& op) {
 }
 
 void ClientRuntime::flushPending(std::uint32_t nodeIdx, std::uint32_t ost, FileId onlyFile) {
-  NodeState& node = nodes_[nodeIdx];
-  auto& pendingVec = node.pending[ost];
+  const std::size_t l = lane(nodeIdx, ost);
+  auto& pendingVec = pending_[l];
   if (pendingVec.empty()) {
     return;
   }
@@ -734,7 +738,7 @@ void ClientRuntime::flushPending(std::uint32_t nodeIdx, std::uint32_t ost, FileI
   if (onlyFile == kInvalidFile) {
     selected = std::move(pendingVec);
     pendingVec.clear();
-    node.pendingBytes[ost] = 0;
+    pendingBytes_[l] = 0;
   } else {
     std::uint64_t taken = 0;
     std::vector<PendingSeg> keep;
@@ -748,7 +752,7 @@ void ClientRuntime::flushPending(std::uint32_t nodeIdx, std::uint32_t ost, FileI
       }
     }
     pendingVec = std::move(keep);
-    node.pendingBytes[ost] -= std::min(node.pendingBytes[ost], taken);
+    pendingBytes_[l] -= std::min(pendingBytes_[l], taken);
   }
   if (selected.empty()) {
     return;
@@ -787,7 +791,7 @@ void ClientRuntime::flushPending(std::uint32_t nodeIdx, std::uint32_t ost, FileI
 
 void ClientRuntime::flushAllNodes() {
   for (std::uint32_t n = 0; n < nodes_.size(); ++n) {
-    for (std::uint32_t o = 0; o < nodes_[n].pending.size(); ++o) {
+    for (std::uint32_t o = 0; o < totalOsts_; ++o) {
       flushPending(n, o);
     }
   }
@@ -797,39 +801,41 @@ void ClientRuntime::issueWriteRpc(std::uint32_t nodeIdx, std::uint32_t ost, File
                                   std::uint64_t objectOffset, std::uint64_t bytes) {
   ++counters_.dataRpcs;
   counters_.writeRpcBytes += bytes;
+  const std::uint32_t globalOst = osts_.globalIndex(ost);
   if (traceOn_) {
     tracer_->instant("rpc", "write",
-                     {{"ost", util::Json(static_cast<std::int64_t>(ost))},
+                     {{"ost", util::Json(static_cast<std::int64_t>(globalOst))},
                       {"bytes", util::Json(static_cast<std::int64_t>(bytes))},
                       {"sim_time", util::Json(engine_.now())}});
   }
   NodeState& node = nodes_[nodeIdx];
   ++node.flushInFlight[file];
+  const std::size_t l = lane(nodeIdx, ost);
   const double latency = cluster_.network.messageLatency;
   const double wireTime = static_cast<double>(bytes) / cluster_.network.nicBandwidth;
 
-  node.oscLimiter[ost]->acquire([this, &node, ost, file, objectOffset, bytes, latency,
-                                 wireTime] {
+  oscFlow_.acquire(l, [this, &node, l, globalOst, ost, file, objectOffset, bytes, latency,
+                       wireTime] {
     RpcDelivery d;
-    d.ost = static_cast<std::int32_t>(ost);
+    d.ost = static_cast<std::int32_t>(globalOst);
     // One delivery attempt: client NIC, request trip, OST bulk service,
     // reply trip. `served` is the completion below (or a retry shim).
     d.deliver = [this, &node, ost, file, objectOffset, bytes, latency,
-                 wireTime](std::function<void()> served) {
+                 wireTime](sim::Callback served) {
       node.nic->submit(wireTime, [this, ost, file, objectOffset, bytes, latency,
                                   served = std::move(served)]() mutable {
         engine_.scheduleAfter(latency, [this, ost, file, objectOffset, bytes, latency,
                                         served = std::move(served)]() mutable {
-          osts_[ost]->submitBulk(file, objectOffset, bytes, /*isWrite=*/true,
-                                 [this, latency, served = std::move(served)]() mutable {
+          osts_.submitBulk(ost, file, objectOffset, bytes, /*isWrite=*/true,
+                           [this, latency, served = std::move(served)]() mutable {
             engine_.scheduleAfter(latency, std::move(served));
           });
         });
       });
     };
-    d.complete = [this, &node, ost, file, bytes] {
-      node.oscLimiter[ost]->release();
-      node.dirty[ost].release(bytes);
+    d.complete = sim::Callback{engine_.arena(), [this, &node, l, file, bytes] {
+      oscFlow_.release(l);
+      dirty_.release(l, bytes);
       auto it = node.flushInFlight.find(file);
       if (it != node.flushInFlight.end() && it->second > 0) {
         --it->second;
@@ -844,7 +850,7 @@ void ClientRuntime::issueWriteRpc(std::uint32_t nodeIdx, std::uint32_t ost, File
           }
         }
       }
-    };
+    }};
     deliverRpc(std::move(d));
   });
 }
@@ -854,29 +860,31 @@ void ClientRuntime::issueReadRpc(std::uint32_t nodeIdx, std::uint32_t ost, FileI
                                  std::function<void()> onDone) {
   ++counters_.dataRpcs;
   counters_.readRpcBytes += bytes;
+  const std::uint32_t globalOst = osts_.globalIndex(ost);
   if (traceOn_) {
     tracer_->instant("rpc", "read",
-                     {{"ost", util::Json(static_cast<std::int64_t>(ost))},
+                     {{"ost", util::Json(static_cast<std::int64_t>(globalOst))},
                       {"bytes", util::Json(static_cast<std::int64_t>(bytes))},
                       {"sim_time", util::Json(engine_.now())}});
   }
   NodeState& node = nodes_[nodeIdx];
+  const std::size_t l = lane(nodeIdx, ost);
   const double latency = cluster_.network.messageLatency;
   const double wireTime = static_cast<double>(bytes) / cluster_.network.nicBandwidth;
   const DoneFn done = wrap(std::move(onDone));
 
-  node.oscLimiter[ost]->acquire([this, &node, ost, file, objectOffset, bytes, latency,
-                                 wireTime, done] {
+  oscFlow_.acquire(l, [this, &node, l, globalOst, ost, file, objectOffset, bytes, latency,
+                       wireTime, done] {
     RpcDelivery d;
-    d.ost = static_cast<std::int32_t>(ost);
+    d.ost = static_cast<std::int32_t>(globalOst);
     d.deliver = [this, &node, ost, file, objectOffset, bytes, latency,
-                 wireTime](std::function<void()> served) {
+                 wireTime](sim::Callback served) {
       engine_.scheduleAfter(latency, [this, &node, ost, file, objectOffset, bytes,
                                       latency, wireTime,
                                       served = std::move(served)]() mutable {
-        osts_[ost]->submitBulk(file, objectOffset, bytes, /*isWrite=*/false,
-                               [this, &node, wireTime, latency,
-                                served = std::move(served)]() mutable {
+        osts_.submitBulk(ost, file, objectOffset, bytes, /*isWrite=*/false,
+                         [this, &node, wireTime, latency,
+                          served = std::move(served)]() mutable {
           // Response data crosses the client NIC too.
           node.nic->submit(wireTime, [this, latency, served = std::move(served)]() mutable {
             engine_.scheduleAfter(latency, std::move(served));
@@ -884,10 +892,10 @@ void ClientRuntime::issueReadRpc(std::uint32_t nodeIdx, std::uint32_t ost, FileI
         });
       });
     };
-    d.complete = [&node, ost, done] {
-      node.oscLimiter[ost]->release();
+    d.complete = sim::Callback{engine_.arena(), [this, l, done] {
+      oscFlow_.release(l);
       (*done)();
-    };
+    }};
     deliverRpc(std::move(d));
   });
 }
@@ -1054,7 +1062,7 @@ void ClientRuntime::execCloseLocal(RankState& r, const IoOp& op) {
     --it->second;
     if (it->second == 0) {
       for (auto& waiter : node.readahead.dropFile(op.file)) {
-        engine_.scheduleAfter(0.0, std::move(waiter));
+        engine_.scheduleAfter(0.0, [w = std::move(waiter)]() mutable { w(); });
       }
     }
   }
@@ -1112,47 +1120,47 @@ void ClientRuntime::flushObservability(obs::CounterRegistry& registry) const {
   double transferTime = 0.0;
   std::uint64_t seeks = 0;
   obs::Histogram& queueDepth = registry.histogram("pfs.ost.peak_queue");
-  for (const auto& ost : osts_) {
-    seekTime += ost->positioningBusyTime();
-    transferTime += ost->transferBusyTime();
-    seeks += ost->seeks();
-    queueDepth.observe(static_cast<double>(ost->peakQueue()));
+  for (std::uint32_t o = 0; o < osts_.count(); ++o) {
+    seekTime += osts_.positioningBusyTime(o);
+    transferTime += osts_.transferBusyTime(o);
+    seeks += osts_.seeks(o);
+    queueDepth.observe(static_cast<double>(osts_.peakQueue(o)));
   }
   add("pfs.ost.seek_seconds", seekTime);
   add("pfs.ost.transfer_seconds", transferTime);
   add("pfs.ost.seeks", static_cast<double>(seeks));
-  add("pfs.mds.ops", static_cast<double>(mds_->opsServed()));
-  add("pfs.mds.busy_seconds", mds_->busyTime());
+  add("pfs.mds.ops", static_cast<double>(mds_.opsServed()));
+  add("pfs.mds.busy_seconds", mds_.busyTime());
 }
 
 RunAudit ClientRuntime::audit() const {
   RunAudit a;
-  a.osts.reserve(osts_.size());
-  for (const auto& ost : osts_) {
+  a.osts.reserve(osts_.count());
+  for (std::uint32_t i = 0; i < osts_.count(); ++i) {
     OstAudit o;
-    o.rpcsServed = ost->rpcsServed();
-    o.bytesWritten = ost->bytesWritten();
-    o.bytesRead = ost->bytesRead();
-    o.seeks = ost->seeks();
-    o.positioningBusySeconds = ost->positioningBusyTime();
-    o.transferBusySeconds = ost->transferBusyTime();
-    o.peakQueue = ost->peakQueue();
+    o.rpcsServed = osts_.rpcsServed(i);
+    o.bytesWritten = osts_.bytesWritten(i);
+    o.bytesRead = osts_.bytesRead(i);
+    o.seeks = osts_.seeks(i);
+    o.positioningBusySeconds = osts_.positioningBusyTime(i);
+    o.transferBusySeconds = osts_.transferBusyTime(i);
+    o.peakQueue = osts_.peakQueue(i);
     a.osts.push_back(o);
   }
   a.dirtyBudgetBytes =
       static_cast<std::uint64_t>(config_.osc_max_dirty_mb) * util::kMiB;
+  for (std::size_t l = 0; l < dirty_.laneCount(); ++l) {
+    a.peakDirtyBytes = std::max(a.peakDirtyBytes, dirty_.peakDirtyBytes(l));
+    a.maxDirtyReservationBytes =
+        std::max(a.maxDirtyReservationBytes, dirty_.maxReservationBytes(l));
+  }
   for (const NodeState& node : nodes_) {
-    for (const DirtyTracker& tracker : node.dirty) {
-      a.peakDirtyBytes = std::max(a.peakDirtyBytes, tracker.peakDirtyBytes());
-      a.maxDirtyReservationBytes =
-          std::max(a.maxDirtyReservationBytes, tracker.maxReservationBytes());
-    }
     a.lockInserts += node.locks.inserts();
     a.lockEvictions += node.locks.evictions();
     a.lockResident += node.locks.size();
   }
-  a.mdsOps = mds_->opsServed();
-  a.mdsBusySeconds = mds_->busyTime();
+  a.mdsOps = mds_.opsServed();
+  a.mdsBusySeconds = mds_.busyTime();
   return a;
 }
 

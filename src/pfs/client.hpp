@@ -17,6 +17,13 @@
 //    cache for private files
 //  - extent-lock conflicts on shared-file writes (fixed model, see
 //    DESIGN.md)
+//
+// Hot per-(node,OST) state — dirty budgets, RPC caps, pending segment
+// queues — lives in struct-of-arrays banks indexed by the dense lane id
+// node * totalOsts + ost, so a datacenter-scale runtime costs flat vectors
+// instead of a heap object per pair. All randomness draws from streams
+// keyed by (run seed, global component id), never from the engine: results
+// are invariant under how federated cells are grouped onto engine shards.
 #pragma once
 
 #include <array>
@@ -37,6 +44,7 @@
 #include "pfs/ost.hpp"
 #include "pfs/params.hpp"
 #include "pfs/topology.hpp"
+#include "sim/callback.hpp"
 #include "sim/engine.hpp"
 #include "sim/flow_limiter.hpp"
 #include "sim/service_center.hpp"
@@ -159,7 +167,7 @@ struct OstAudit {
 /// node), so PfsSimulator gathers it unconditionally.
 struct RunAudit {
   std::vector<OstAudit> osts;
-  /// Max over all (node, OST) dirty trackers.
+  /// Max over all (node, OST) dirty lanes.
   std::uint64_t peakDirtyBytes = 0;
   std::uint64_t maxDirtyReservationBytes = 0;
   /// Per-(node,OST) budget implied by osc_max_dirty_mb at run time.
@@ -170,6 +178,16 @@ struct RunAudit {
   std::uint64_t lockResident = 0;
   std::uint64_t mdsOps = 0;
   double mdsBusySeconds = 0.0;
+};
+
+/// Placement of one runtime inside a (possibly federated) run: the run's
+/// seed plus this runtime's global node/OST id offsets. Random streams and
+/// fault targeting key off global ids, so a cell simulates identically no
+/// matter which engine shard hosts it.
+struct RunScope {
+  std::uint64_t runSeed = 0;
+  std::uint32_t nodeOffset = 0;
+  std::uint32_t ostOffset = 0;
 };
 
 class ClientRuntime {
@@ -183,7 +201,8 @@ class ClientRuntime {
   ClientRuntime(sim::SimEngine& engine, const ClusterSpec& cluster,
                 const PfsConfig& config, const JobSpec& job,
                 obs::Tracer* tracer = nullptr,
-                const faults::FaultInjector* faults = nullptr);
+                const faults::FaultInjector* faults = nullptr,
+                RunScope scope = {});
   ~ClientRuntime();
 
   ClientRuntime(const ClientRuntime&) = delete;
@@ -266,12 +285,10 @@ class ClientRuntime {
     std::uint64_t length;
   };
 
+  /// Per-node state that is genuinely per node (not per node x OST): the
+  /// NIC, metadata caps, lock LRU, readahead store, and file bookkeeping.
   struct NodeState {
     std::unique_ptr<sim::ServiceCenter> nic;
-    std::vector<std::unique_ptr<sim::FlowLimiter>> oscLimiter;  // per OST
-    std::vector<DirtyTracker> dirty;                            // per OST
-    std::vector<std::vector<PendingSeg>> pending;               // per OST
-    std::vector<std::uint64_t> pendingBytes;                    // per OST
     std::unique_ptr<sim::FlowLimiter> mdcLimiter;
     std::unique_ptr<sim::FlowLimiter> modLimiter;
     LockLru locks;
@@ -291,6 +308,11 @@ class ClientRuntime {
     std::uint64_t size = 0;
     std::uint64_t writerNodeMask = 0;
   };
+
+  /// Dense lane id for per-(node,OST) banks.
+  [[nodiscard]] std::size_t lane(std::uint32_t node, std::uint32_t ost) const noexcept {
+    return static_cast<std::size_t>(node) * totalOsts_ + ost;
+  }
 
   // ---- execution ---------------------------------------------------------
   void advance(RankState& rank);
@@ -322,10 +344,10 @@ class ClientRuntime {
   /// waiters. With no injector attached, deliverRpc degenerates to
   /// deliver(complete) — same event sequence as the pre-fault code.
   struct RpcDelivery {
-    std::int32_t ost = -1;  ///< target OST, or -1 for the MDS
+    std::int32_t ost = -1;  ///< target *global* OST id, or -1 for the MDS
     std::uint32_t attempt = 0;
-    std::function<void(std::function<void()>)> deliver;
-    std::function<void()> complete;
+    std::function<void(sim::Callback)> deliver;
+    sim::Callback complete;
   };
   /// Iterative retry loop: lost attempts (outage window or sampled drop)
   /// wait rpcTimeout plus exponential backoff and redeliver; after
@@ -366,9 +388,22 @@ class ClientRuntime {
   /// plain bool (same cost as the detached null check) instead of paying
   /// an atomic load 50k+ times per run.
   bool traceOn_ = false;
+  RunScope scope_;
+  std::uint32_t totalOsts_ = 0;
 
-  std::vector<std::unique_ptr<OstModel>> osts_;
-  std::unique_ptr<MdsModel> mds_;
+  OstBank osts_;
+  MdsModel mds_;
+  /// Per-(node,OST) osc.max_rpcs_in_flight caps, lane-indexed.
+  sim::FlowLimiterBank oscFlow_;
+  /// Per-(node,OST) osc.max_dirty_mb budgets, lane-indexed.
+  DirtyBank dirty_;
+  /// Pending dirty segments and their byte totals, lane-indexed.
+  std::vector<std::vector<PendingSeg>> pending_;
+  std::vector<std::uint64_t> pendingBytes_;
+  /// Per-node streams for extent-conflict sampling, keyed by (run seed,
+  /// global node id).
+  std::vector<util::Rng> nodeRng_;
+
   std::vector<NodeState> nodes_;
   std::vector<RankState> ranks_;
   std::vector<FileState> files_;

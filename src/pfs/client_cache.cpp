@@ -50,6 +50,76 @@ void DirtyTracker::admitWaiters() {
   }
 }
 
+// ------------------------------------------------------------ DirtyBank --
+
+void DirtyBank::configure(std::size_t lanes, std::uint64_t budgetBytes) {
+  budget_ = budgetBytes;
+  dirty_.assign(lanes, 0);
+  peak_.assign(lanes, 0);
+  maxReservation_.assign(lanes, 0);
+  waiters_.clear();
+}
+
+std::size_t DirtyBank::waiterCount(std::size_t lane) const {
+  const auto it = waiters_.find(lane);
+  return it == waiters_.end() ? 0 : it->second.size();
+}
+
+bool DirtyBank::tryReserve(std::size_t lane, std::uint64_t bytes) {
+  const auto waitIt = waiters_.find(lane);
+  const bool hasWaiters = waitIt != waiters_.end() && !waitIt->second.empty();
+  if (bytes > budget_) {
+    // Oversized single write: admit only when nothing else is dirty so it
+    // can make progress (mirrors Lustre forcing sync writeout).
+    if (dirty_[lane] == 0 && !hasWaiters) {
+      dirty_[lane] = bytes;
+      noteReserve(lane, bytes);
+      return true;
+    }
+    return false;
+  }
+  if (dirty_[lane] + bytes <= budget_ && !hasWaiters) {
+    dirty_[lane] += bytes;
+    noteReserve(lane, bytes);
+    return true;
+  }
+  return false;
+}
+
+void DirtyBank::waitForSpace(std::size_t lane, std::uint64_t bytes,
+                             std::function<void()> onSpace) {
+  waiters_[lane].push_back(Waiter{bytes, std::move(onSpace)});
+}
+
+void DirtyBank::release(std::size_t lane, std::uint64_t bytes) {
+  dirty_[lane] = bytes >= dirty_[lane] ? 0 : dirty_[lane] - bytes;
+  admitWaiters(lane);
+}
+
+void DirtyBank::admitWaiters(std::size_t lane) {
+  const auto it = waiters_.find(lane);
+  if (it == waiters_.end()) {
+    return;
+  }
+  // Mapped deques stay put under map growth, but `it` may not: onSpace()
+  // can re-enter and add waiters on other lanes. Hold the reference, erase
+  // by key.
+  std::deque<Waiter>& queue = it->second;
+  while (!queue.empty()) {
+    Waiter& head = queue.front();
+    const bool oversized = head.bytes > budget_;
+    if (oversized ? dirty_[lane] != 0 : dirty_[lane] + head.bytes > budget_) {
+      return;
+    }
+    dirty_[lane] += head.bytes;
+    noteReserve(lane, head.bytes);
+    auto onSpace = std::move(head.onSpace);
+    queue.pop_front();
+    onSpace();
+  }
+  waiters_.erase(lane);
+}
+
 // ------------------------------------------------------------ Readahead --
 
 Coverage ReadAheadCache::query(FileId file, std::uint64_t begin, std::uint64_t end) {

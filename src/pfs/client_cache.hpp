@@ -84,6 +84,58 @@ class DirtyTracker {
   std::deque<Waiter> waiters_;
 };
 
+/// Write-back budgets for every (client node, OST) pair of a runtime,
+/// struct-of-arrays over dense lane ids (lane = node * totalOsts + ost).
+/// Per-lane semantics are exactly DirtyTracker's — including the
+/// oversized-admission-when-empty rule — but the hot counters are flat
+/// vectors and waiter queues only materialize for backlogged lanes, so a
+/// 1000-node x 5000-OST runtime costs bytes per lane, not a heap object.
+/// DirtyTracker remains the single-lane reference implementation (the
+/// differential unit test pins the two together).
+class DirtyBank {
+ public:
+  DirtyBank() = default;
+
+  /// Sizes the bank to `lanes` lanes sharing one per-lane budget.
+  void configure(std::size_t lanes, std::uint64_t budgetBytes);
+
+  [[nodiscard]] std::uint64_t budget() const noexcept { return budget_; }
+  [[nodiscard]] std::size_t laneCount() const noexcept { return dirty_.size(); }
+  [[nodiscard]] std::uint64_t dirtyBytes(std::size_t lane) const { return dirty_[lane]; }
+  [[nodiscard]] std::uint64_t peakDirtyBytes(std::size_t lane) const { return peak_[lane]; }
+  [[nodiscard]] std::uint64_t maxReservationBytes(std::size_t lane) const {
+    return maxReservation_[lane];
+  }
+  [[nodiscard]] std::size_t waiterCount(std::size_t lane) const;
+
+  [[nodiscard]] bool tryReserve(std::size_t lane, std::uint64_t bytes);
+  void waitForSpace(std::size_t lane, std::uint64_t bytes, std::function<void()> onSpace);
+  void release(std::size_t lane, std::uint64_t bytes);
+
+ private:
+  struct Waiter {
+    std::uint64_t bytes;
+    std::function<void()> onSpace;
+  };
+
+  void admitWaiters(std::size_t lane);
+  void noteReserve(std::size_t lane, std::uint64_t bytes) noexcept {
+    if (bytes > maxReservation_[lane]) {
+      maxReservation_[lane] = bytes;
+    }
+    if (dirty_[lane] > peak_[lane]) {
+      peak_[lane] = dirty_[lane];
+    }
+  }
+
+  std::uint64_t budget_ = 0;
+  std::vector<std::uint64_t> dirty_;
+  std::vector<std::uint64_t> peak_;
+  std::vector<std::uint64_t> maxReservation_;
+  /// Waiter queues exist only for backlogged lanes.
+  std::unordered_map<std::size_t, std::deque<Waiter>> waiters_;
+};
+
 /// One prefetched (or in-flight) contiguous range of a file.
 struct CacheChunk {
   std::uint64_t begin = 0;

@@ -20,9 +20,11 @@ const char* metaOpName(MetaOpKind kind) noexcept {
   return "?";
 }
 
-MdsModel::MdsModel(sim::SimEngine& engine, const ClusterSpec& cluster)
+MdsModel::MdsModel(sim::SimEngine& engine, const ClusterSpec& cluster,
+                   std::uint64_t seed)
     : engine_(engine), cluster_(cluster),
-      threads_(engine, "mds.threads", cluster.mds.serviceThreads) {}
+      threads_(engine, "mds.threads", cluster.mds.serviceThreads),
+      rng_(util::mix64(seed, 0x4D45D5ULL)) {}
 
 double MdsModel::baseCost(MetaOpKind kind) const noexcept {
   const MdsSpec& mds = cluster_.mds;
@@ -39,7 +41,7 @@ double MdsModel::baseCost(MetaOpKind kind) const noexcept {
 }
 
 void MdsModel::submit(MetaOpKind kind, std::uint32_t stripeCount,
-                      std::function<void()> onDone) {
+                      sim::Callback onDone) {
   ++opsServed_;
   double service = baseCost(kind);
   // Creating / destroying a striped file touches one object per stripe
@@ -52,7 +54,7 @@ void MdsModel::submit(MetaOpKind kind, std::uint32_t stripeCount,
   }
   service += cluster_.mds.congestionPenalty *
              static_cast<double>(std::min<std::size_t>(threads_.queuedRequests(), 32));
-  service *= engine_.rng().uniform(0.9, 1.1);
+  service *= rng_.uniform(0.9, 1.1);
   if (faults_ != nullptr) {
     service *= faults_->mdsSlowdown();
   }

@@ -1,13 +1,19 @@
 // Metadata server model: a pool of service threads with per-op-kind costs,
 // congestion latency under backlog, and deterministic jitter.
+//
+// Jitter draws from the model's own random stream (keyed by the run seed
+// and the cell's OST offset), not the engine's: per-cell results stay
+// invariant under how cells are grouped onto engine shards.
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <utility>
 
 #include "pfs/topology.hpp"
+#include "sim/callback.hpp"
 #include "sim/engine.hpp"
 #include "sim/service_center.hpp"
+#include "util/rng.hpp"
 
 namespace stellar::faults {
 class FaultInjector;
@@ -21,7 +27,9 @@ enum class MetaOpKind : std::uint8_t { Create, Open, Stat, Unlink, Mkdir, Lock, 
 
 class MdsModel {
  public:
-  MdsModel(sim::SimEngine& engine, const ClusterSpec& cluster);
+  /// `seed` keys this MDS's jitter stream; callers pass a value derived
+  /// from (run seed, cell identity).
+  MdsModel(sim::SimEngine& engine, const ClusterSpec& cluster, std::uint64_t seed);
 
   MdsModel(const MdsModel&) = delete;
   MdsModel& operator=(const MdsModel&) = delete;
@@ -29,7 +37,12 @@ class MdsModel {
   /// Submits a metadata RPC that has arrived at the server.
   /// `stripeCount` scales create/unlink cost (object allocation/destroy
   /// on each stripe target).
-  void submit(MetaOpKind kind, std::uint32_t stripeCount, std::function<void()> onDone);
+  void submit(MetaOpKind kind, std::uint32_t stripeCount, sim::Callback onDone);
+
+  template <sim::EventCallable F>
+  void submit(MetaOpKind kind, std::uint32_t stripeCount, F&& onDone) {
+    submit(kind, stripeCount, sim::Callback{engine_.arena(), std::forward<F>(onDone)});
+  }
 
   [[nodiscard]] std::uint64_t opsServed() const noexcept { return opsServed_; }
   [[nodiscard]] double busyTime() const noexcept { return threads_.busyTime(); }
@@ -47,6 +60,7 @@ class MdsModel {
   const ClusterSpec& cluster_;
   const faults::FaultInjector* faults_ = nullptr;
   sim::ServiceCenter threads_;
+  util::Rng rng_;
   std::uint64_t opsServed_ = 0;
 };
 

@@ -7,47 +7,100 @@
 
 namespace stellar::pfs {
 
-OstModel::OstModel(sim::SimEngine& engine, const ClusterSpec& cluster, std::uint32_t index)
-    : engine_(engine),
-      cluster_(cluster),
-      index_(index),
-      nic_(engine, "ost" + std::to_string(index) + ".nic", 1),
-      positioning_(engine, "ost" + std::to_string(index) + ".pos",
-                   cluster.disk.queueDepth),
-      transfer_(engine, "ost" + std::to_string(index) + ".xfer", 1) {}
+void OstBank::Stage::init(std::uint32_t count, std::uint32_t serverCount) {
+  servers = std::max<std::uint32_t>(serverCount, 1);
+  busy.assign(count, 0);
+  busyTime.assign(count, 0.0);
+  peakQueue.assign(count, 0);
+  waiting.clear();
+  waiting.resize(count);
+}
 
-void OstModel::submitBulk(std::uint64_t objectKey, std::uint64_t objectOffset,
-                          std::uint64_t bytes, bool isWrite, std::function<void()> onDone) {
-  ++rpcsServed_;
-  bytesServed_ += bytes;
+OstBank::OstBank(sim::SimEngine& engine, const ClusterSpec& cluster,
+                 std::uint32_t count, std::uint32_t globalOffset,
+                 std::uint64_t runSeed)
+    : engine_(engine), cluster_(cluster), globalOffset_(globalOffset) {
+  nic_.init(count, 1);
+  positioning_.init(count, cluster.disk.queueDepth);
+  transfer_.init(count, 1);
+  rpcsServed_.assign(count, 0);
+  bytesServed_.assign(count, 0);
+  bytesWritten_.assign(count, 0);
+  seeks_.assign(count, 0);
+  lastEnd_.resize(count);
+  rng_.reserve(count);
+  const std::uint64_t bankSeed = util::mix64(runSeed, 0x057EA17ULL);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    rng_.emplace_back(util::mix64(bankSeed, globalOffset + i));
+  }
+}
+
+void OstBank::stageSubmit(Stage& stage, std::uint32_t ost, StageRequest request) {
+  if (request.serviceTime < 0.0) {
+    request.serviceTime = 0.0;
+  }
+  if (stage.busy[ost] < stage.servers) {
+    stageStart(stage, ost, std::move(request));
+  } else {
+    stage.waiting[ost].push(std::move(request));
+    stage.peakQueue[ost] = std::max(stage.peakQueue[ost], stage.waiting[ost].size());
+  }
+}
+
+void OstBank::stageStart(Stage& stage, std::uint32_t ost, StageRequest request) {
+  ++stage.busy[ost];
+  stage.busyTime[ost] += request.serviceTime;
+  engine_.scheduleAfter(
+      request.serviceTime,
+      [this, &stage, ost, onDone = std::move(request.onDone)]() mutable {
+        --stage.busy[ost];
+        if (!stage.waiting[ost].empty()) {
+          stageStart(stage, ost, stage.waiting[ost].pop());
+        }
+        if (onDone) {
+          onDone();
+        }
+      });
+}
+
+void OstBank::submitBulk(std::uint32_t ost, std::uint64_t objectKey,
+                         std::uint64_t objectOffset, std::uint64_t bytes,
+                         bool isWrite, sim::Callback onDone) {
+  ++rpcsServed_[ost];
+  bytesServed_[ost] += bytes;
   if (isWrite) {
-    bytesWritten_ += bytes;
+    bytesWritten_[ost] += bytes;
   }
 
   // Wire time across the server NIC (shared by every client talking to
   // this OSS), then positioning, then the serialized media transfer.
   const double wireTime = static_cast<double>(bytes) / cluster_.network.nicBandwidth;
-  nic_.submit(wireTime, [this, objectKey, objectOffset, bytes, isWrite,
-                         onDone = std::move(onDone)]() mutable {
+  stageSubmit(nic_, ost,
+              StageRequest{wireTime,
+                           sim::Callback{engine_.arena(),
+                                         [this, ost, objectKey, objectOffset, bytes,
+                                          isWrite, onDone = std::move(onDone)]() mutable {
     const DiskSpec& disk = cluster_.disk;
 
     // Seek detection per object: contiguous with the previous access?
+    auto& lastEnd = lastEnd_[ost];
     bool contiguous = false;
-    const auto it = lastEnd_.find(objectKey);
-    if (it != lastEnd_.end() && it->second == objectOffset) {
+    const auto it = lastEnd.find(objectKey);
+    if (it != lastEnd.end() && it->second == objectOffset) {
       contiguous = true;
     }
-    lastEnd_[objectKey] = objectOffset + bytes;
+    lastEnd[objectKey] = objectOffset + bytes;
     if (!contiguous) {
-      ++seeks_;
+      ++seeks_[ost];
     }
 
     double positioning = disk.positioningOverhead + (contiguous ? 0.0 : disk.seekPenalty);
     // Congestion: a deep backlog adds latency (bounded, so throughput
     // saturates rather than collapsing).
     positioning += disk.congestionPenalty *
-                   static_cast<double>(std::min<std::size_t>(positioning_.queuedRequests(), 64));
-    positioning *= engine_.rng().uniform(0.9, 1.1);
+                   static_cast<double>(
+                       std::min<std::size_t>(positioning_.waiting[ost].size(), 64));
+    positioning *= rng_[ost].uniform(0.9, 1.1);
 
     double transferTime = static_cast<double>(bytes) / disk.sequentialBandwidth +
                           disk.transferOverhead;
@@ -55,28 +108,35 @@ void OstModel::submitBulk(std::uint64_t objectKey, std::uint64_t objectOffset,
     if (isWrite) {
       transferTime += 0.02e-3;
     }
-    transferTime *= engine_.rng().uniform(0.95, 1.05);
+    transferTime *= rng_[ost].uniform(0.95, 1.05);
 
     // Degradation windows (src/faults) scale both disk stages: a target at
     // 30% capacity serves every request 1/0.3x slower.
     if (faults_ != nullptr) {
-      const double slowdown = faults_->ostSlowdown(index_);
+      const double slowdown = faults_->ostSlowdown(globalOffset_ + ost);
       positioning *= slowdown;
       transferTime *= slowdown;
     }
 
-    positioning_.submit(positioning, [this, transferTime, onDone = std::move(onDone)]() mutable {
-      transfer_.submit(transferTime, std::move(onDone));
-    });
-  });
+    stageSubmit(positioning_, ost,
+                StageRequest{positioning,
+                             sim::Callback{engine_.arena(),
+                                           [this, ost, transferTime,
+                                            onDone = std::move(onDone)]() mutable {
+      stageSubmit(transfer_, ost, StageRequest{transferTime, std::move(onDone)});
+    }}});
+  }}});
 }
 
-void OstModel::reset() {
-  lastEnd_.clear();
-  rpcsServed_ = 0;
-  bytesServed_ = 0;
-  bytesWritten_ = 0;
-  seeks_ = 0;
+void OstBank::reset() {
+  const std::uint32_t n = count();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    lastEnd_[i].clear();
+  }
+  rpcsServed_.assign(n, 0);
+  bytesServed_.assign(n, 0);
+  bytesWritten_.assign(n, 0);
+  seeks_.assign(n, 0);
 }
 
 }  // namespace stellar::pfs

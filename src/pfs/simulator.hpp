@@ -15,6 +15,7 @@
 #include "pfs/job.hpp"
 #include "pfs/params.hpp"
 #include "pfs/topology.hpp"
+#include "sim/engine.hpp"
 
 namespace stellar::pfs {
 
@@ -83,19 +84,18 @@ struct SimulatorOptions {
   /// must outlive the simulator). Null or empty = fault-free: runs are
   /// bit-identical to a simulator without the faults layer.
   const faults::FaultPlan* faults = nullptr;
+  /// Event-engine construction knobs: scheduler backend, arena sizing, and
+  /// shard fan-out for federated clusters (cluster.cells > 1). The `seed`
+  /// field is ignored — each run seeds its engines from the run seed.
+  /// Results are bit-identical across scheduler backends and shard counts;
+  /// only wall-clock performance changes.
+  sim::EngineOptions engine{};
 };
 
 class PfsSimulator {
  public:
   PfsSimulator() : PfsSimulator(SimulatorOptions{}) {}
   explicit PfsSimulator(SimulatorOptions options) : options_(std::move(options)) {}
-
-  /// Legacy positional constructor, retained as a delegating shim so
-  /// pre-SimulatorOptions call sites keep compiling. New code should pass
-  /// SimulatorOptions.
-  explicit PfsSimulator(ClusterSpec cluster, double noiseSigma = 0.04)
-      : PfsSimulator(SimulatorOptions{.cluster = std::move(cluster),
-                                      .noiseSigma = noiseSigma}) {}
 
   [[nodiscard]] const ClusterSpec& cluster() const noexcept { return options_.cluster; }
   [[nodiscard]] const SimulatorOptions& options() const noexcept { return options_; }
@@ -121,6 +121,15 @@ class PfsSimulator {
                               std::uint64_t seed, const RunLimits& limits) const;
 
  private:
+  [[nodiscard]] RunResult runSingle(const JobSpec& job, const PfsConfig& config,
+                                    std::uint64_t seed, const RunLimits& limits) const;
+  /// cluster.cells > 1: partitions the job into shared-nothing cells and
+  /// drives them on a sim::ShardedEngine. Bit-identical for any shard
+  /// count because cells never interact and all randomness is keyed by
+  /// global component ids.
+  [[nodiscard]] RunResult runFederated(const JobSpec& job, const PfsConfig& config,
+                                       std::uint64_t seed, const RunLimits& limits) const;
+
   SimulatorOptions options_;
 };
 

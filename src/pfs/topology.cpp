@@ -1,9 +1,21 @@
 #include "pfs/topology.hpp"
 
+#include <algorithm>
+
 namespace stellar::pfs {
 
 ClusterSpec defaultCluster() {
   return ClusterSpec{};
+}
+
+ClusterSpec scaledCluster(std::uint32_t cellCount) {
+  cellCount = std::max<std::uint32_t>(cellCount, 1);
+  ClusterSpec cluster = defaultCluster();
+  cluster.clientNodes *= cellCount;
+  cluster.ossNodes *= cellCount;
+  cluster.cells = cellCount;
+  cluster.name = "federated-c10x" + std::to_string(cellCount);
+  return cluster;
 }
 
 }  // namespace stellar::pfs

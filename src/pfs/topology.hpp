@@ -72,6 +72,14 @@ struct ClusterSpec {
   std::uint32_t ranksPerNode = 10;
   std::uint32_t ossNodes = 5;
   std::uint32_t ostsPerOss = 1;
+  /// Shared-nothing federation cells (FalconFS-style): the cluster splits
+  /// into `cells` identical sub-filesystems, each with its own MDS, its
+  /// own slice of the OST pool, and its own client-node group. Ranks on a
+  /// cell's nodes only touch that cell's files, and barriers are
+  /// cell-scoped. clientNodes and ossNodes must divide evenly by cells;
+  /// cells == 1 is the classic single-filesystem testbed. Cells are the
+  /// unit the sharded engine distributes across threads.
+  std::uint32_t cells = 1;
   std::uint64_t clientRamBytes = 196ULL * util::kGiB;
   DiskSpec disk;
   MdsSpec mds;
@@ -90,6 +98,15 @@ struct ClusterSpec {
   [[nodiscard]] std::uint32_t totalOsts() const noexcept {
     return ossNodes * ostsPerOss;
   }
+  [[nodiscard]] std::uint32_t nodesPerCell() const noexcept {
+    return clientNodes / (cells == 0 ? 1 : cells);
+  }
+  [[nodiscard]] std::uint32_t ostsPerCell() const noexcept {
+    return totalOsts() / (cells == 0 ? 1 : cells);
+  }
+  [[nodiscard]] std::uint32_t ranksPerCell() const noexcept {
+    return nodesPerCell() * ranksPerNode;
+  }
   [[nodiscard]] std::int64_t clientRamMb() const noexcept {
     return static_cast<std::int64_t>(clientRamBytes / util::kMiB);
   }
@@ -97,5 +114,11 @@ struct ClusterSpec {
 
 /// The default evaluation platform used throughout tests and benches.
 [[nodiscard]] ClusterSpec defaultCluster();
+
+/// `cellCount` federated copies of the paper's testbed: 5 client nodes,
+/// 5 OSS, 10 ranks per node *per cell*. scaledCluster(1) is the default
+/// cluster; scaledCluster(1000) is the 5000-OST / 50000-rank scale point
+/// used by bench/micro_engine.
+[[nodiscard]] ClusterSpec scaledCluster(std::uint32_t cellCount);
 
 }  // namespace stellar::pfs

@@ -1,0 +1,78 @@
+#include "sim/callback.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace stellar::sim {
+
+EventArena::EventArena(std::size_t firstBlockBytes) {
+  const std::size_t first = std::max<std::size_t>(firstBlockBytes, kMaxClassBytes);
+  addBlock(first);
+  nextBlockBytes_ = first * 2;
+}
+
+EventArena::~EventArena() {
+  for (auto& [ptr, bytes] : blocks_) {
+    ::operator delete(ptr, std::align_val_t{alignof(std::max_align_t)});
+  }
+}
+
+void* EventArena::allocate(std::size_t bytes) {
+  ++allocations_;
+  if (bytes > kMaxClassBytes) {
+    ++oversized_;
+    return ::operator new(bytes);
+  }
+  const std::size_t cls = classIndex(bytes);
+  if (FreeNode* node = freeLists_[cls]; node != nullptr) {
+    freeLists_[cls] = node->next;
+    return node;
+  }
+  const std::size_t rounded = (cls + 1) * kGranularity;
+  if (bumpLeft_ < rounded) {
+    addBlock(std::max(nextBlockBytes_, rounded));
+    nextBlockBytes_ *= 2;
+  }
+  std::byte* mem = bump_;
+  bump_ += rounded;
+  bumpLeft_ -= rounded;
+  return mem;
+}
+
+void EventArena::deallocate(void* ptr, std::size_t bytes) noexcept {
+  if (ptr == nullptr) {
+    return;
+  }
+  if (bytes > kMaxClassBytes) {
+    ::operator delete(ptr);
+    return;
+  }
+  auto* node = static_cast<FreeNode*>(ptr);
+  const std::size_t cls = classIndex(bytes);
+  node->next = freeLists_[cls];
+  freeLists_[cls] = node;
+}
+
+void EventArena::reset() noexcept {
+  std::fill(std::begin(freeLists_), std::end(freeLists_), nullptr);
+  while (blocks_.size() > 1) {
+    auto [ptr, bytes] = blocks_.back();
+    blocks_.pop_back();
+    reserved_ -= bytes;
+    ::operator delete(ptr, std::align_val_t{alignof(std::max_align_t)});
+  }
+  bump_ = blocks_.front().first;
+  bumpLeft_ = blocks_.front().second;
+  nextBlockBytes_ = blocks_.front().second * 2;
+}
+
+void EventArena::addBlock(std::size_t bytes) {
+  auto* mem = static_cast<std::byte*>(
+      ::operator new(bytes, std::align_val_t{alignof(std::max_align_t)}));
+  blocks_.emplace_back(mem, bytes);
+  bump_ = mem;
+  bumpLeft_ = bytes;
+  reserved_ += bytes;
+}
+
+}  // namespace stellar::sim

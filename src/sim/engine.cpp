@@ -4,37 +4,126 @@
 
 namespace stellar::sim {
 
-void SimEngine::scheduleAt(SimTime at, std::function<void()> fn) {
+const char* schedulerKindName(SchedulerKind kind) noexcept {
+  switch (kind) {
+    case SchedulerKind::Heap:
+      return "heap";
+    case SchedulerKind::Calendar:
+      return "calendar";
+  }
+  return "unknown";
+}
+
+SimEngine::SimEngine(EngineOptions options)
+    : options_(options), arena_(options.arenaBytes), rng_(options.seed) {}
+
+void SimEngine::pushEvent(SimTime at, Callback cb) {
   if (at < now_) {
     at = now_;
   }
-  queue_.push(Event{at, nextSeq_++, std::move(fn)});
+  Event event{at, nextSeq_++, std::move(cb)};
+  if (options_.scheduler == SchedulerKind::Heap) {
+    heap_.push(std::move(event));
+  } else {
+    calendar_.push(std::move(event));
+  }
+}
+
+const Event* SimEngine::peekEvent() {
+  if (options_.scheduler == SchedulerKind::Heap) {
+    return heap_.empty() ? nullptr : &heap_.top();
+  }
+  return calendar_.peek();
+}
+
+Event SimEngine::popEvent() {
+  if (options_.scheduler == SchedulerKind::Heap) {
+    return heap_.pop();
+  }
+  return calendar_.pop();
+}
+
+bool SimEngine::empty() const noexcept {
+  return heap_.empty() && calendar_.empty();
+}
+
+std::size_t SimEngine::queueDepth() const noexcept {
+  return heap_.size() + calendar_.size();
+}
+
+void SimEngine::scheduleAt(SimTime at, Callback cb) {
+  pushEvent(at, std::move(cb));
+}
+
+void SimEngine::scheduleAfter(SimTime delay, Callback cb) {
+  if (delay < 0.0) {
+    delay = 0.0;
+  }
+  pushEvent(now_ + delay, std::move(cb));
+}
+
+void SimEngine::scheduleAt(SimTime at, std::function<void()> fn) {
+  pushEvent(at, Callback{arena_, [fn = std::move(fn)] {
+              if (fn) {
+                fn();
+              }
+            }});
 }
 
 void SimEngine::scheduleAfter(SimTime delay, std::function<void()> fn) {
   if (delay < 0.0) {
     delay = 0.0;
   }
-  scheduleAt(now_ + delay, std::move(fn));
+  pushEvent(now_ + delay, Callback{arena_, [fn = std::move(fn)] {
+              if (fn) {
+                fn();
+              }
+            }});
 }
 
-void SimEngine::scheduleWindow(SimTime begin, SimTime end, std::function<void()> onOpen,
-                               std::function<void()> onClose) {
+void SimEngine::scheduleWindow(SimTime begin, SimTime end, Callback onOpen,
+                               Callback onClose) {
   if (end < begin) {
     end = begin;
   }
-  scheduleAt(begin, [this, fn = std::move(onOpen)] {
-    ++openWindows_;
-    if (fn) {
-      fn();
-    }
-  });
-  scheduleAt(end, [this, fn = std::move(onClose)] {
-    --openWindows_;
-    if (fn) {
-      fn();
-    }
-  });
+  windows_.push_back(std::make_unique<WindowRecord>());
+  WindowRecord* record = windows_.back().get();
+  record->onClose = std::move(onClose);
+  pushEvent(begin, Callback{arena_, [this, record, fn = std::move(onOpen)]() mutable {
+              record->opened = true;
+              ++openWindows_;
+              if (fn) {
+                fn();
+              }
+            }});
+  pushEvent(end, Callback{arena_, [this, record] { closeWindow(*record); }});
+}
+
+void SimEngine::closeWindow(WindowRecord& record) {
+  if (!record.opened || record.closed) {
+    return;
+  }
+  record.closed = true;
+  --openWindows_;
+  if (record.onClose) {
+    record.onClose();
+  }
+}
+
+void SimEngine::cancelOpenWindows() {
+  // Window creation order, so cancellation is as deterministic as the
+  // close edges it replaces.
+  for (const std::unique_ptr<WindowRecord>& record : windows_) {
+    closeWindow(*record);
+  }
+}
+
+std::optional<SimTime> SimEngine::nextEventTime() {
+  const Event* next = peekEvent();
+  if (next == nullptr) {
+    return std::nullopt;
+  }
+  return next->at;
 }
 
 void SimEngine::noteDispatch() {
@@ -48,7 +137,7 @@ void SimEngine::noteDispatch() {
   if (obs::tracing(tracer_)) {
     tracer_->instant("sim", "dispatch",
                      {{"events", util::Json(static_cast<std::int64_t>(processed_))},
-                      {"queue_depth", util::Json(static_cast<std::int64_t>(queue_.size()))},
+                      {"queue_depth", util::Json(static_cast<std::int64_t>(queueDepth()))},
                       {"sim_time", util::Json(now_)}});
   }
 }
@@ -67,14 +156,14 @@ void SimEngine::finishDrain(obs::Tracer::Span& span, std::uint64_t dispatched) {
 SimTime SimEngine::run() {
   obs::Tracer::Span span = obs::beginSpan(tracer_, "sim", "event-loop");
   const std::uint64_t before = processed_;
-  while (!queue_.empty()) {
-    // The queue stores const refs; move the callable out before popping.
-    Event event = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
+  while (!empty()) {
+    Event event = popEvent();
     now_ = event.at;
     ++processed_;
     noteDispatch();
-    event.fn();
+    if (event.cb) {
+      event.cb();
+    }
   }
   finishDrain(span, processed_ - before);
   return now_;
@@ -83,18 +172,44 @@ SimTime SimEngine::run() {
 SimTime SimEngine::runUntil(SimTime limit) {
   obs::Tracer::Span span = obs::beginSpan(tracer_, "sim", "event-loop-until");
   const std::uint64_t before = processed_;
-  while (!queue_.empty() && queue_.top().at <= limit) {
-    Event event = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
+  while (true) {
+    const Event* next = peekEvent();
+    if (next == nullptr || next->at > limit) {
+      break;
+    }
+    Event event = popEvent();
     now_ = event.at;
     ++processed_;
     noteDispatch();
-    event.fn();
+    if (event.cb) {
+      event.cb();
+    }
   }
-  if (now_ < limit && queue_.empty()) {
+  if (now_ < limit && empty()) {
     now_ = limit;
   }
   finishDrain(span, processed_ - before);
+  return now_;
+}
+
+SimTime SimEngine::drainUntil(SimTime limit) {
+  const std::uint64_t before = processed_;
+  while (true) {
+    const Event* next = peekEvent();
+    if (next == nullptr || next->at > limit) {
+      break;
+    }
+    Event event = popEvent();
+    now_ = event.at;
+    ++processed_;
+    noteDispatch();
+    if (event.cb) {
+      event.cb();
+    }
+  }
+  if (counters_ != nullptr && processed_ != before) {
+    counters_->counter("sim.events_dispatched").add(static_cast<double>(processed_ - before));
+  }
   return now_;
 }
 

@@ -2,63 +2,143 @@
 //
 // Single-threaded and fully deterministic: events firing at equal
 // timestamps are ordered by insertion sequence, so a given (workload,
-// config, seed) triple always produces the identical event trace. The PFS
-// model in src/pfs builds client/server state machines on top of this.
+// config, seed) triple always produces the identical event trace — with
+// either scheduler backend, since both implement the same strict
+// (timestamp, seq) dispatch order. The PFS model in src/pfs builds
+// client/server state machines on top of this; sim::ShardedEngine runs
+// several independent engines side by side for federated clusters.
+//
+// Construction goes through sim::EngineOptions — the options struct is the
+// only public constructor, mirroring pfs::SimulatorOptions.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <memory>
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
+#include "sim/callback.hpp"
+#include "sim/scheduler.hpp"
 #include "util/rng.hpp"
 
 namespace stellar::sim {
 
-/// Simulated time in seconds.
-using SimTime = double;
+/// Pending-event scheduler backend. Both implement the identical dispatch
+/// order; Calendar is O(1) amortized and the default, Heap is the simple
+/// reference baseline.
+enum class SchedulerKind : std::uint8_t { Heap, Calendar };
+
+[[nodiscard]] const char* schedulerKindName(SchedulerKind kind) noexcept;
+
+/// The single way to build an engine (and, via ShardedEngine, a shard
+/// fleet). Aggregate-initialize with designated fields:
+///   SimEngine engine{{.seed = 42, .scheduler = SchedulerKind::Calendar}};
+struct EngineOptions {
+  /// Seed for the engine's random stream.
+  std::uint64_t seed = 1;
+  SchedulerKind scheduler = SchedulerKind::Calendar;
+  /// First arena block size for event closures; the arena doubles from
+  /// here on demand.
+  std::size_t arenaBytes = 64 * 1024;
+  /// Shard fan-out consumed by ShardedEngine (a bare SimEngine is always
+  /// one shard).
+  std::uint32_t shards = 1;
+  /// Conservative lockstep window (simulated seconds) for ShardedEngine;
+  /// 0 lets shards free-run, which is exact when shards share no state
+  /// (the federated-cell model guarantees that).
+  SimTime syncWindowSeconds = 0.0;
+};
 
 class SimEngine {
  public:
-  explicit SimEngine(std::uint64_t seed = 1) : rng_(seed) {}
+  explicit SimEngine(EngineOptions options = {});
 
   SimEngine(const SimEngine&) = delete;
   SimEngine& operator=(const SimEngine&) = delete;
 
+  [[nodiscard]] const EngineOptions& options() const noexcept { return options_; }
   [[nodiscard]] SimTime now() const noexcept { return now_; }
 
-  /// Schedules `fn` at absolute time `at` (clamped to now).
-  void scheduleAt(SimTime at, std::function<void()> fn);
+  /// Schedules `cb` at absolute time `at` (clamped to now).
+  void scheduleAt(SimTime at, Callback cb);
 
-  /// Schedules `fn` after `delay` seconds (clamped to non-negative).
-  void scheduleAfter(SimTime delay, std::function<void()> fn);
+  /// Schedules `cb` after `delay` seconds (clamped to non-negative).
+  void scheduleAfter(SimTime delay, Callback cb);
+
+  /// Convenience: wraps any callable in an arena-backed Callback.
+  template <EventCallable F>
+  void scheduleAt(SimTime at, F&& fn) {
+    scheduleAt(at, Callback{arena_, std::forward<F>(fn)});
+  }
+
+  template <EventCallable F>
+  void scheduleAfter(SimTime delay, F&& fn) {
+    scheduleAfter(delay, Callback{arena_, std::forward<F>(fn)});
+  }
+
+  [[deprecated("pass a sim::Callback (or any callable); the std::function "
+               "overload will be removed next release")]] void
+  scheduleAt(SimTime at, std::function<void()> fn);
+
+  [[deprecated("pass a sim::Callback (or any callable); the std::function "
+               "overload will be removed next release")]] void
+  scheduleAfter(SimTime delay, std::function<void()> fn);
 
   /// Schedules a [begin, end) time window: `onOpen` fires at begin and
   /// `onClose` at end, both dispatched through the ordinary event queue so
   /// they order deterministically (FIFO seq) against every other event.
   /// The engine tracks how many windows are currently open; fault
   /// injection (src/faults) builds its state machine on this hook.
-  void scheduleWindow(SimTime begin, SimTime end, std::function<void()> onOpen,
-                      std::function<void()> onClose);
+  void scheduleWindow(SimTime begin, SimTime end, Callback onOpen, Callback onClose);
 
-  /// Windows opened but not yet closed (close edges past a runUntil()
-  /// limit never fire, so this can stay nonzero after a capped run).
+  template <EventCallable FOpen, EventCallable FClose>
+  void scheduleWindow(SimTime begin, SimTime end, FOpen&& onOpen, FClose&& onClose) {
+    scheduleWindow(begin, end, Callback{arena_, std::forward<FOpen>(onOpen)},
+                   Callback{arena_, std::forward<FClose>(onClose)});
+  }
+
+  /// Windows opened but not yet closed. Close edges past a runUntil()
+  /// limit have not fired yet; cancelOpenWindows() retires them eagerly.
   [[nodiscard]] std::uint64_t openWindows() const noexcept { return openWindows_; }
+
+  /// Fires the onClose handler of every currently-open window, in window
+  /// creation order, without advancing the clock. Call after a capped
+  /// runUntil() so window-scoped state (e.g. fault effects) resets cleanly
+  /// before the next measurement; the still-queued close edges become
+  /// no-ops.
+  void cancelOpenWindows();
 
   /// Runs until the event queue drains. Returns the final clock value.
   SimTime run();
 
-  /// Runs while events exist and now() <= limit; returns final clock.
+  /// Runs while events exist and their time <= limit; if the queue drains
+  /// early the clock advances to the limit. Returns the final clock.
   SimTime runUntil(SimTime limit);
 
-  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+  /// Like runUntil() but never advances the clock past the last dispatched
+  /// event — the lockstep primitive for ShardedEngine windows, where the
+  /// local clock must not outrun the global horizon.
+  SimTime drainUntil(SimTime limit);
+
+  /// Timestamp of the next pending event, if any.
+  [[nodiscard]] std::optional<SimTime> nextEventTime();
+
+  [[nodiscard]] bool empty() const noexcept;
+  [[nodiscard]] std::size_t queueDepth() const noexcept;
   [[nodiscard]] std::uint64_t eventsProcessed() const noexcept { return processed_; }
 
-  /// Deterministic per-engine random stream (service jitter, lock
-  /// conflict sampling). Seeded from the run seed.
+  /// Deterministic per-engine random stream. The PFS hot paths use
+  /// per-component streams instead (shard-grouping invariance); this one
+  /// remains for engine-local consumers and tests.
   [[nodiscard]] util::Rng& rng() noexcept { return rng_; }
+
+  /// Arena backing event closures; resets when the engine is destroyed.
+  [[nodiscard]] EventArena& arena() noexcept { return arena_; }
 
   /// Attaches (nullable) observability sinks. The drain loops emit one
   /// "sim" span per run()/runUntil() call plus a sampled queue-depth
@@ -78,27 +158,30 @@ class SimEngine {
   [[nodiscard]] obs::Tracer* tracer() const noexcept { return tracer_; }
 
  private:
-  void noteDispatch();
-  void finishDrain(obs::Tracer::Span& span, std::uint64_t dispatched);
-  struct Event {
-    SimTime at;
-    std::uint64_t seq;
-    std::function<void()> fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.at != b.at) {
-        return a.at > b.at;
-      }
-      return a.seq > b.seq;  // FIFO among simultaneous events
-    }
+  struct WindowRecord {
+    Callback onClose;
+    bool opened = false;
+    bool closed = false;
   };
 
+  void pushEvent(SimTime at, Callback cb);
+  [[nodiscard]] const Event* peekEvent();
+  Event popEvent();
+  void closeWindow(WindowRecord& record);
+  void noteDispatch();
+  void finishDrain(obs::Tracer::Span& span, std::uint64_t dispatched);
+
+  EngineOptions options_;
+  // The arena must outlive every queued Callback: declared before the
+  // schedulers and window records so it is destroyed last.
+  EventArena arena_;
+  HeapScheduler heap_;
+  CalendarScheduler calendar_;
+  std::vector<std::unique_ptr<WindowRecord>> windows_;
   SimTime now_ = 0.0;
   std::uint64_t openWindows_ = 0;
   std::uint64_t nextSeq_ = 0;
   std::uint64_t processed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
   util::Rng rng_;
   obs::Tracer* tracer_ = nullptr;
   obs::CounterRegistry* counters_ = nullptr;

@@ -8,7 +8,7 @@ namespace stellar::sim {
 FlowLimiter::FlowLimiter(SimEngine& engine, std::uint32_t limit)
     : engine_(engine), limit_(std::max<std::uint32_t>(1, limit)) {}
 
-void FlowLimiter::acquire(std::function<void()> onAcquired) {
+void FlowLimiter::acquire(Callback onAcquired) {
   if (inFlight_ < limit_) {
     ++inFlight_;
     peak_ = std::max<std::uint64_t>(peak_, inFlight_);
@@ -34,11 +34,71 @@ void FlowLimiter::admitWaiters() {
   while (!waiting_.empty() && inFlight_ < limit_) {
     ++inFlight_;
     peak_ = std::max<std::uint64_t>(peak_, inFlight_);
-    auto next = std::move(waiting_.front());
+    Callback next = std::move(waiting_.front());
     waiting_.pop_front();
     // Run through the engine so the waiter resumes as a fresh event (keeps
     // stack depth bounded under long convoys).
     engine_.scheduleAfter(0.0, std::move(next));
+  }
+}
+
+FlowLimiterBank::FlowLimiterBank(SimEngine& engine, std::size_t lanes,
+                                 std::uint32_t limit)
+    : engine_(engine), limit_(std::max<std::uint32_t>(1, limit)),
+      inFlight_(lanes, 0) {}
+
+void FlowLimiterBank::acquire(std::size_t lane, Callback onAcquired) {
+  if (inFlight_[lane] < limit_) {
+    ++inFlight_[lane];
+    onAcquired();
+  } else {
+    waiting_[lane].push_back(std::move(onAcquired));
+  }
+}
+
+void FlowLimiterBank::release(std::size_t lane) {
+  if (inFlight_[lane] > 0) {
+    --inFlight_[lane];
+  }
+  admitWaiters(lane);
+}
+
+void FlowLimiterBank::setLimit(std::uint32_t limit) {
+  limit_ = std::max<std::uint32_t>(1, limit);
+  // Snapshot and sort the backlogged lanes: admitWaiters erases drained
+  // queues, and unordered_map iteration order is not part of the
+  // determinism contract.
+  std::vector<std::size_t> lanes;
+  lanes.reserve(waiting_.size());
+  for (const auto& [lane, queue] : waiting_) {
+    (void)queue;
+    lanes.push_back(lane);
+  }
+  std::sort(lanes.begin(), lanes.end());
+  for (const std::size_t lane : lanes) {
+    admitWaiters(lane);
+  }
+}
+
+std::size_t FlowLimiterBank::waiters(std::size_t lane) const {
+  const auto it = waiting_.find(lane);
+  return it == waiting_.end() ? 0 : it->second.size();
+}
+
+void FlowLimiterBank::admitWaiters(std::size_t lane) {
+  const auto it = waiting_.find(lane);
+  if (it == waiting_.end()) {
+    return;
+  }
+  std::deque<Callback>& queue = it->second;
+  while (!queue.empty() && inFlight_[lane] < limit_) {
+    ++inFlight_[lane];
+    Callback next = std::move(queue.front());
+    queue.pop_front();
+    engine_.scheduleAfter(0.0, std::move(next));
+  }
+  if (queue.empty()) {
+    waiting_.erase(it);
   }
 }
 

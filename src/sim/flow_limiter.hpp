@@ -1,14 +1,22 @@
-// Counting semaphore in simulated time.
+// Counting semaphores in simulated time.
 //
 // Models Lustre's in-flight RPC caps: osc.max_rpcs_in_flight bounds data
 // RPCs per client-OST pair, mdc.max_rpcs_in_flight / max_mod_rpcs_in_flight
 // bound metadata RPCs per client. Acquirers queue FIFO; release wakes the
 // head of the queue in the same simulated instant.
+//
+// FlowLimiter is a single semaphore; FlowLimiterBank packs one semaphore
+// per "lane" (e.g. every client-node × OST pair) into struct-of-arrays
+// counters with a sparse waiter map, so datacenter-scale clusters pay a
+// few bytes per lane instead of a heap object per pair.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <functional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "sim/engine.hpp"
 
@@ -22,7 +30,12 @@ class FlowLimiter {
   FlowLimiter& operator=(const FlowLimiter&) = delete;
 
   /// Runs `onAcquired` as soon as a token is available (possibly now).
-  void acquire(std::function<void()> onAcquired);
+  void acquire(Callback onAcquired);
+
+  template <EventCallable F>
+  void acquire(F&& onAcquired) {
+    acquire(Callback{engine_.arena(), std::forward<F>(onAcquired)});
+  }
 
   /// Returns one token; wakes the oldest waiter if any.
   void release();
@@ -43,7 +56,44 @@ class FlowLimiter {
   std::uint32_t limit_;
   std::uint32_t inFlight_ = 0;
   std::uint64_t peak_ = 0;
-  std::deque<std::function<void()>> waiting_;
+  std::deque<Callback> waiting_;
+};
+
+/// A bank of FIFO semaphores sharing one limit, indexed by dense lane id.
+/// Semantics per lane match FlowLimiter exactly (including the fresh-event
+/// wakeup on release); only the storage differs.
+class FlowLimiterBank {
+ public:
+  FlowLimiterBank(SimEngine& engine, std::size_t lanes, std::uint32_t limit);
+
+  FlowLimiterBank(const FlowLimiterBank&) = delete;
+  FlowLimiterBank& operator=(const FlowLimiterBank&) = delete;
+
+  void acquire(std::size_t lane, Callback onAcquired);
+
+  template <EventCallable F>
+  void acquire(std::size_t lane, F&& onAcquired) {
+    acquire(lane, Callback{engine_.arena(), std::forward<F>(onAcquired)});
+  }
+
+  void release(std::size_t lane);
+
+  /// Applies a new shared limit to every lane.
+  void setLimit(std::uint32_t limit);
+
+  [[nodiscard]] std::uint32_t limit() const noexcept { return limit_; }
+  [[nodiscard]] std::size_t laneCount() const noexcept { return inFlight_.size(); }
+  [[nodiscard]] std::uint32_t inFlight(std::size_t lane) const { return inFlight_[lane]; }
+  [[nodiscard]] std::size_t waiters(std::size_t lane) const;
+
+ private:
+  void admitWaiters(std::size_t lane);
+
+  SimEngine& engine_;
+  std::uint32_t limit_;
+  std::vector<std::uint32_t> inFlight_;
+  // Waiter queues exist only for backlogged lanes.
+  std::unordered_map<std::size_t, std::deque<Callback>> waiting_;
 };
 
 }  // namespace stellar::sim

@@ -8,7 +8,7 @@ namespace stellar::sim {
 ServiceCenter::ServiceCenter(SimEngine& engine, std::string name, std::uint32_t servers)
     : engine_(engine), name_(std::move(name)), servers_(std::max<std::uint32_t>(1, servers)) {}
 
-void ServiceCenter::submit(SimTime serviceTime, std::function<void()> onDone) {
+void ServiceCenter::submit(SimTime serviceTime, Callback onDone) {
   ++submitted_;
   if (serviceTime < 0.0) {
     serviceTime = 0.0;

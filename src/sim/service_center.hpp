@@ -5,15 +5,15 @@
 // threads, or a network link (1 server, service time = bytes/bandwidth).
 //
 // Beyond a configurable efficient queue depth, additional *contention
-// latency* per request can be layered on by the owner (see pfs::OstModel),
+// latency* per request can be layered on by the owner (see pfs::OstBank),
 // which yields the saturation/diminishing-returns behaviour the paper's
 // Tuning Agent observes when raising concurrency knobs.
 #pragma once
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <string>
+#include <utility>
 
 #include "sim/engine.hpp"
 
@@ -29,7 +29,12 @@ class ServiceCenter {
 
   /// Enqueues a request that occupies one server for `serviceTime`
   /// seconds and invokes `onDone` at completion.
-  void submit(SimTime serviceTime, std::function<void()> onDone);
+  void submit(SimTime serviceTime, Callback onDone);
+
+  template <EventCallable F>
+  void submit(SimTime serviceTime, F&& onDone) {
+    submit(serviceTime, Callback{engine_.arena(), std::forward<F>(onDone)});
+  }
 
   [[nodiscard]] std::uint32_t busyServers() const noexcept { return busy_; }
   [[nodiscard]] std::size_t queuedRequests() const noexcept { return waiting_.size(); }
@@ -49,7 +54,7 @@ class ServiceCenter {
  private:
   struct Request {
     SimTime serviceTime;
-    std::function<void()> onDone;
+    Callback onDone;
   };
 
   void startService(Request request);

@@ -281,6 +281,48 @@ std::string CaseShape::describe() const {
   return os.str();
 }
 
+GeneratedCase cellify(const GeneratedCase& base, std::uint32_t cells) {
+  cells = std::max<std::uint32_t>(1, cells);
+  const std::uint32_t baseRanks = base.job.rankCount();
+  const std::uint32_t rpn = std::max<std::uint32_t>(1, base.cluster.ranksPerNode);
+  // Just-enough nodes per cell: the cell's rank slots are fully used (after
+  // padding), so the federated partitioner maps cell c's slots to exactly
+  // the programs cloned for cell c.
+  const std::uint32_t nodesPerCell = (baseRanks + rpn - 1) / rpn;
+  const std::uint32_t slotsPerCell = nodesPerCell * rpn;
+
+  GeneratedCase out;
+  out.shape = base.shape;
+  out.cluster = base.cluster;
+  out.cluster.clientNodes = nodesPerCell * cells;
+  out.cluster.ossNodes = base.cluster.ossNodes * cells;
+  out.cluster.cells = cells;
+  out.cluster.name = base.cluster.name + "+cellified" + std::to_string(cells);
+
+  pfs::JobSpec job;
+  job.name = base.job.name + "_cellified";
+  job.dirs = base.job.dirs;
+  job.ranks.resize(std::size_t{slotsPerCell} * cells);
+  for (std::uint32_t c = 0; c < cells; ++c) {
+    std::vector<FileId> localFile(base.job.files.size());
+    for (std::size_t f = 0; f < base.job.files.size(); ++f) {
+      localFile[f] = job.addFile(
+          base.job.files[f].name + "@cell" + std::to_string(c), base.job.files[f].dir);
+    }
+    for (std::uint32_t s = 0; s < slotsPerCell; ++s) {
+      std::vector<pfs::IoOp> program = base.job.ranks[s % baseRanks];
+      for (pfs::IoOp& op : program) {
+        if (op.file != pfs::kInvalidFile) {
+          op.file = localFile[op.file];
+        }
+      }
+      job.ranks[std::size_t{c} * slotsPerCell + s] = std::move(program);
+    }
+  }
+  out.job = std::move(job);
+  return out;
+}
+
 CaseShape shrink(CaseShape shape,
                  const std::function<bool(const CaseShape&)>& stillFails,
                  int maxSteps) {

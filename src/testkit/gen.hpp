@@ -80,6 +80,16 @@ struct GenOptions {
 /// JobSpec::validate() by construction.
 [[nodiscard]] GeneratedCase materialize(const CaseShape& shape);
 
+/// Replicates a materialized case across `cells` shared-nothing federation
+/// cells: the cluster gains `cells` copies of just-enough client nodes (and
+/// of its OSS fleet), and every cell gets a clone of the base job with
+/// cell-local files. Cells whose rank slots outnumber the base job's ranks
+/// pad by repeating base programs (padded rank i runs base rank i % R), so
+/// every cell is identical and the partition into cells is exact. The
+/// result drives pfs::PfsSimulator's federated path; its results are
+/// bit-identical for any scheduler backend or shard count.
+[[nodiscard]] GeneratedCase cellify(const GeneratedCase& base, std::uint32_t cells);
+
 /// Greedy shrinking: repeatedly tries simplifying steps (halve sizes, drop
 /// phases, drop faults, reset config fields) and keeps any step for which
 /// `stillFails` returns true, until no step applies or `maxSteps` attempts

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "testkit/run.hpp"
+#include "util/units.hpp"
 
 namespace stellar::testkit {
 
@@ -31,6 +32,37 @@ std::vector<Violation> checkMetamorphic(const CaseShape& shape,
     const pfs::RunResult second = runCase(base);
     if (const auto diff = describeDifference(first, second)) {
       v.push_back(Violation{"ML-DET", "same seed did not replay: " + *diff});
+    }
+  }
+
+  // ML-SCHED: the scheduler backend is a pure performance choice. Heap and
+  // calendar queue must pop the exact same (timestamp, insertion-seq) order,
+  // so whole-run results are bit-identical down to the RunAudit.
+  if (plan.schedulers) {
+    const pfs::RunResult heap =
+        runCase(base, sim::EngineOptions{.scheduler = sim::SchedulerKind::Heap});
+    const pfs::RunResult calendar =
+        runCase(base, sim::EngineOptions{.scheduler = sim::SchedulerKind::Calendar});
+    if (const auto diff = describeDifference(heap, calendar)) {
+      v.push_back(Violation{"ML-SCHED", "heap vs calendar diverged: " + *diff});
+    }
+  }
+
+  // ML-SHARD: replicate the case into 4 shared-nothing federation cells
+  // and run on 1 / 2 / 4 engine shards. Randomness is keyed by global
+  // component ids, so the shard grouping cannot change any number. Bounded
+  // to small shapes: the cellified job is 4x the base work, times 3 runs.
+  if (plan.shards && shape.ranks <= 8 &&
+      std::uint64_t{shape.chunksPerFile} * shape.chunkBytes <= 8 * util::kMiB) {
+    const GeneratedCase celled = cellify(base, 4);
+    const pfs::RunResult one = runCase(celled, sim::EngineOptions{.shards = 1});
+    const pfs::RunResult two = runCase(celled, sim::EngineOptions{.shards = 2});
+    const pfs::RunResult four = runCase(celled, sim::EngineOptions{.shards = 4});
+    if (const auto diff = describeDifference(one, two)) {
+      v.push_back(Violation{"ML-SHARD", "1 vs 2 shards diverged: " + *diff});
+    }
+    if (const auto diff = describeDifference(one, four)) {
+      v.push_back(Violation{"ML-SHARD", "1 vs 4 shards diverged: " + *diff});
     }
   }
 

@@ -3,9 +3,15 @@
 namespace stellar::testkit {
 
 pfs::RunResult runCase(const GeneratedCase& cse, obs::CounterRegistry* registry) {
+  return runCase(cse, sim::EngineOptions{}, registry);
+}
+
+pfs::RunResult runCase(const GeneratedCase& cse, const sim::EngineOptions& engine,
+                       obs::CounterRegistry* registry) {
   pfs::SimulatorOptions options;
   options.cluster = cse.cluster;
   options.counters = registry;
+  options.engine = engine;
   if (!cse.shape.faults.empty()) {
     options.faults = &cse.shape.faults;
   }

@@ -18,6 +18,13 @@ namespace stellar::testkit {
 [[nodiscard]] pfs::RunResult runCase(const GeneratedCase& cse,
                                      obs::CounterRegistry* registry = nullptr);
 
+/// As above with explicit engine construction knobs (scheduler backend,
+/// arena sizing, shard fan-out). The ML-SCHED/ML-SHARD laws drive the same
+/// case through different engine configurations and demand bit-identity.
+[[nodiscard]] pfs::RunResult runCase(const GeneratedCase& cse,
+                                     const sim::EngineOptions& engine,
+                                     obs::CounterRegistry* registry = nullptr);
+
 /// Bit-identity comparison of two run results; returns a description of
 /// the first difference, or nullopt when identical. Floating-point fields
 /// are compared exactly — determinism means *exact* replay.

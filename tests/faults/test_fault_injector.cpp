@@ -15,7 +15,7 @@ namespace stellar::faults {
 namespace {
 
 TEST(FaultInjector, DegradeWindowOpensAndCloses) {
-  sim::SimEngine engine{1};
+  sim::SimEngine engine;  // default EngineOptions: seed 1
   const FaultPlan plan = parseFaultSpec("ost:1:degrade:0.25@10-20");
   FaultInjector injector{engine, plan, 4, 99};
   injector.arm();
@@ -36,7 +36,7 @@ TEST(FaultInjector, DegradeWindowOpensAndCloses) {
 }
 
 TEST(FaultInjector, OverlappingOutagesNestByDepth) {
-  sim::SimEngine engine{1};
+  sim::SimEngine engine;  // default EngineOptions: seed 1
   const FaultPlan plan = parseFaultSpec("ost:0:outage@5-15,ost:*:outage@10-20");
   FaultInjector injector{engine, plan, 2, 1};
   injector.arm();
@@ -54,7 +54,7 @@ TEST(FaultInjector, OverlappingOutagesNestByDepth) {
 }
 
 TEST(FaultInjector, DropProbabilitiesComposeAsSurvival) {
-  sim::SimEngine engine{1};
+  sim::SimEngine engine;  // default EngineOptions: seed 1
   const FaultPlan plan = parseFaultSpec("rpc:drop:0.5@0-10,rpc:drop:0.5@0-10");
   FaultInjector injector{engine, plan, 1, 1};
   injector.arm();
@@ -67,7 +67,7 @@ TEST(FaultInjector, DropProbabilitiesComposeAsSurvival) {
 }
 
 TEST(FaultInjector, StallAndMdsQueriesTrackWindows) {
-  sim::SimEngine engine{1};
+  sim::SimEngine engine;  // default EngineOptions: seed 1
   const FaultPlan plan = parseFaultSpec("rpc:stall:0.5@2-4,mds:overload:3@2-4");
   FaultInjector injector{engine, plan, 1, 1};
   injector.arm();
@@ -86,7 +86,7 @@ TEST(FaultInjector, StallAndMdsQueriesTrackWindows) {
 }
 
 TEST(FaultInjector, NoiseMultiplierIsOverlapWeighted) {
-  sim::SimEngine engine{1};
+  sim::SimEngine engine;  // default EngineOptions: seed 1
   const FaultPlan plan = parseFaultSpec("noise:spike:3@0-45");
   FaultInjector injector{engine, plan, 1, 1};
   // Window covers half of a 90 s run: 1 + (3-1) * 45/90 = 2.
@@ -100,7 +100,7 @@ TEST(FaultInjector, NoiseMultiplierIsOverlapWeighted) {
 TEST(FaultInjector, DropSamplingIsDeterministicPerRunSeed) {
   const FaultPlan plan = parseFaultSpec("rpc:drop:0.4@0-100,seed:11");
   const auto sampleSequence = [&](std::uint64_t runSeed) {
-    sim::SimEngine engine{1};
+    sim::SimEngine engine;  // default EngineOptions: seed 1
     FaultInjector injector{engine, plan, 1, runSeed};
     injector.arm();
     std::vector<bool> draws;
@@ -119,7 +119,7 @@ TEST(FaultInjector, DropSamplingIsDeterministicPerRunSeed) {
 TEST(FaultInjector, ArmDoesNotPerturbEngineRngStream) {
   const FaultPlan plan = parseFaultSpec("rpc:drop:0.4@0-100");
   const auto engineDraws = [&](bool withInjector) {
-    sim::SimEngine engine{42};
+    sim::SimEngine engine{sim::EngineOptions{.seed = 42}};
     std::optional<FaultInjector> injector;
     if (withInjector) {
       injector.emplace(engine, plan, 1, 5);
@@ -137,8 +137,32 @@ TEST(FaultInjector, ArmDoesNotPerturbEngineRngStream) {
   EXPECT_EQ(engineDraws(false), engineDraws(true));
 }
 
+TEST(FaultInjector, CancelOpenWindowsResetsStateAfterCappedRun) {
+  // A capped runUntil can strand a window's close edge beyond the cap;
+  // cancelOpenWindows retires it so the injector reads neutral again (the
+  // simulator's TimedOut path relies on this between measurements).
+  sim::SimEngine engine;  // default EngineOptions: seed 1
+  const FaultPlan plan = parseFaultSpec("ost:0:degrade:0.5@1-100,rpc:drop:0.25@1-100");
+  FaultInjector injector{engine, plan, 2, 3};
+  injector.arm();
+
+  engine.runUntil(10.0);  // inside both windows
+  EXPECT_GT(engine.openWindows(), 0u);
+  EXPECT_DOUBLE_EQ(injector.ostSlowdown(0), 2.0);
+  EXPECT_DOUBLE_EQ(injector.rpcDropProbability(), 0.25);
+
+  engine.cancelOpenWindows();
+  EXPECT_EQ(engine.openWindows(), 0u);
+  EXPECT_DOUBLE_EQ(injector.ostSlowdown(0), 1.0);
+  EXPECT_DOUBLE_EQ(injector.rpcDropProbability(), 0.0);
+  // Idempotent: the stranded close edges firing later must not double-close.
+  engine.run();
+  EXPECT_EQ(engine.openWindows(), 0u);
+  EXPECT_DOUBLE_EQ(injector.ostSlowdown(0), 1.0);
+}
+
 TEST(FaultInjector, EventsBeyondOstCountAreIgnored) {
-  sim::SimEngine engine{1};
+  sim::SimEngine engine;  // default EngineOptions: seed 1
   const FaultPlan plan = parseFaultSpec("ost:9:degrade:0.5@0-10");
   FaultInjector injector{engine, plan, 2, 1};
   injector.arm();

@@ -51,6 +51,124 @@ TEST(DirtyTracker, NewRequestsQueueBehindWaiters) {
   EXPECT_TRUE(fired);
 }
 
+// -------------------------------------------------------------- DirtyBank
+
+TEST(DirtyBank, LanesShareBudgetScalarButNotState) {
+  DirtyBank bank;
+  bank.configure(/*lanes=*/3, /*budgetBytes=*/100);
+  EXPECT_TRUE(bank.tryReserve(0, 100));
+  // Lane 0 full; lane 2 untouched.
+  EXPECT_FALSE(bank.tryReserve(0, 1));
+  EXPECT_TRUE(bank.tryReserve(2, 100));
+  EXPECT_EQ(bank.dirtyBytes(0), 100u);
+  EXPECT_EQ(bank.dirtyBytes(1), 0u);
+  EXPECT_EQ(bank.dirtyBytes(2), 100u);
+  bank.release(0, 100);
+  EXPECT_EQ(bank.dirtyBytes(0), 0u);
+  EXPECT_EQ(bank.peakDirtyBytes(0), 100u);
+  EXPECT_EQ(bank.maxReservationBytes(2), 100u);
+}
+
+TEST(DirtyBank, ReleaseOnOneLaneNeverWakesAnother) {
+  DirtyBank bank;
+  bank.configure(2, 100);
+  ASSERT_TRUE(bank.tryReserve(0, 100));
+  ASSERT_TRUE(bank.tryReserve(1, 100));
+  bool laneOneWoke = false;
+  bank.waitForSpace(1, 50, [&] { laneOneWoke = true; });
+  bank.release(0, 100);
+  EXPECT_FALSE(laneOneWoke);
+  EXPECT_EQ(bank.waiterCount(1), 1u);
+  bank.release(1, 100);
+  EXPECT_TRUE(laneOneWoke);
+  EXPECT_EQ(bank.waiterCount(1), 0u);
+}
+
+TEST(DirtyBank, AdmissionSurvivesCrossLaneReentrancy) {
+  // A woken waiter immediately queues on a *different* lane — the map of
+  // waiter queues grows mid-admission. Both admissions must still land.
+  DirtyBank bank;
+  bank.configure(4, 100);
+  ASSERT_TRUE(bank.tryReserve(0, 100));
+  ASSERT_TRUE(bank.tryReserve(3, 100));
+  std::vector<int> fired;
+  bank.waitForSpace(0, 60, [&] {
+    fired.push_back(0);
+    bank.waitForSpace(3, 60, [&] { fired.push_back(3); });
+  });
+  bank.release(0, 100);
+  EXPECT_EQ(fired, (std::vector<int>{0}));
+  bank.release(3, 100);
+  EXPECT_EQ(fired, (std::vector<int>{0, 3}));
+  EXPECT_EQ(bank.dirtyBytes(0), 60u);
+  EXPECT_EQ(bank.dirtyBytes(3), 60u);
+}
+
+TEST(DirtyBank, DifferentialAgainstScalarTrackerOnEveryLane) {
+  // The bank is the SoA form of N independent DirtyTrackers. Replay one
+  // deterministic pseudo-random op trace against both representations and
+  // require identical admissions, wake order, and accounting per lane.
+  constexpr std::size_t kLanes = 3;
+  constexpr std::uint64_t kBudget = 128;
+  DirtyBank bank;
+  bank.configure(kLanes, kBudget);
+  std::vector<DirtyTracker> scalars;
+  for (std::size_t i = 0; i < kLanes; ++i) {
+    scalars.emplace_back(kBudget);
+  }
+  std::vector<std::vector<int>> bankWakes(kLanes);
+  std::vector<std::vector<int>> scalarWakes(kLanes);
+  std::vector<std::vector<std::uint64_t>> outstanding(kLanes);  // for releases
+
+  std::uint64_t x = 0x9E3779B97F4A7C15ULL;  // fixed-seed xorshift trace
+  const auto next = [&x] {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return x;
+  };
+  for (int step = 0; step < 400; ++step) {
+    const std::size_t lane = next() % kLanes;
+    const std::uint64_t bytes = 1 + next() % 160;  // sometimes oversized
+    switch (next() % 3) {
+      case 0: {
+        const bool a = bank.tryReserve(lane, bytes);
+        const bool b = scalars[lane].tryReserve(bytes);
+        ASSERT_EQ(a, b) << "step " << step;
+        if (a) {
+          outstanding[lane].push_back(bytes);
+        }
+        break;
+      }
+      case 1: {
+        bank.waitForSpace(lane, bytes, [&bankWakes, &outstanding, lane, bytes, step] {
+          bankWakes[lane].push_back(step);
+          outstanding[lane].push_back(bytes);
+        });
+        scalars[lane].waitForSpace(
+            bytes, [&scalarWakes, lane, step] { scalarWakes[lane].push_back(step); });
+        break;
+      }
+      default: {
+        if (!outstanding[lane].empty()) {
+          const std::uint64_t freed = outstanding[lane].back();
+          outstanding[lane].pop_back();
+          bank.release(lane, freed);
+          scalars[lane].release(freed);
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(bank.dirtyBytes(lane), scalars[lane].dirtyBytes()) << "step " << step;
+    ASSERT_EQ(bank.waiterCount(lane), scalars[lane].waiterCount()) << "step " << step;
+  }
+  for (std::size_t lane = 0; lane < kLanes; ++lane) {
+    EXPECT_EQ(bankWakes[lane], scalarWakes[lane]) << "lane " << lane;
+    EXPECT_EQ(bank.peakDirtyBytes(lane), scalars[lane].peakDirtyBytes());
+    EXPECT_EQ(bank.maxReservationBytes(lane), scalars[lane].maxReservationBytes());
+  }
+}
+
 // --------------------------------------------------------- ReadAheadCache
 
 TEST(ReadAheadCache, QueryReportsMissingRanges) {

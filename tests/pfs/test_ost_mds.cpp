@@ -1,5 +1,5 @@
-// Direct unit tests of the server models: the OST's two-stage
-// positioning/transfer structure and the MDS cost model.
+// Direct unit tests of the server models: the OST bank's three-stage
+// nic/positioning/transfer structure and the MDS cost model.
 #include <gtest/gtest.h>
 
 #include "pfs/mds.hpp"
@@ -10,56 +10,57 @@ namespace {
 
 struct OstFixture {
   ClusterSpec cluster;
-  sim::SimEngine engine{1};
-  OstModel ost{engine, cluster, 0};
+  sim::SimEngine engine;  // default EngineOptions: seed 1
+  OstBank ost{engine, cluster, /*count=*/1};
 
   double drain() { return engine.run(); }
 };
 
-TEST(OstModel, SequentialAccessAvoidsSeeks) {
+TEST(OstBank, SequentialAccessAvoidsSeeks) {
   OstFixture fx;
   int done = 0;
   for (int i = 0; i < 8; ++i) {
-    fx.ost.submitBulk(/*objectKey=*/7, static_cast<std::uint64_t>(i) * 1048576, 1048576,
-                      true, [&done] { ++done; });
+    fx.ost.submitBulk(0, /*objectKey=*/7, static_cast<std::uint64_t>(i) * 1048576,
+                      1048576, true, [&done] { ++done; });
   }
   fx.drain();
   EXPECT_EQ(done, 8);
-  EXPECT_EQ(fx.ost.seeks(), 1u);  // only the first access positions
-  EXPECT_EQ(fx.ost.rpcsServed(), 8u);
-  EXPECT_EQ(fx.ost.bytesServed(), 8u * 1048576);
+  EXPECT_EQ(fx.ost.seeks(0), 1u);  // only the first access positions
+  EXPECT_EQ(fx.ost.rpcsServed(0), 8u);
+  EXPECT_EQ(fx.ost.bytesServed(0), 8u * 1048576);
 }
 
-TEST(OstModel, RandomAccessSeeksEveryTime) {
+TEST(OstBank, RandomAccessSeeksEveryTime) {
   OstFixture fx;
   for (int i = 0; i < 8; ++i) {
     // Non-contiguous offsets (stride leaves gaps).
-    fx.ost.submitBulk(7, static_cast<std::uint64_t>(i) * 4194304, 1048576, true, [] {});
+    fx.ost.submitBulk(0, 7, static_cast<std::uint64_t>(i) * 4194304, 1048576, true,
+                      [] {});
   }
   fx.drain();
-  EXPECT_EQ(fx.ost.seeks(), 8u);
+  EXPECT_EQ(fx.ost.seeks(0), 8u);
 }
 
-TEST(OstModel, ContiguityIsTrackedPerObject) {
+TEST(OstBank, ContiguityIsTrackedPerObject) {
   OstFixture fx;
   // Interleaved sequential streams on two objects: each stream stays
   // contiguous from the object's perspective.
   for (int i = 0; i < 4; ++i) {
-    fx.ost.submitBulk(1, static_cast<std::uint64_t>(i) * 65536, 65536, false, [] {});
-    fx.ost.submitBulk(2, static_cast<std::uint64_t>(i) * 65536, 65536, false, [] {});
+    fx.ost.submitBulk(0, 1, static_cast<std::uint64_t>(i) * 65536, 65536, false, [] {});
+    fx.ost.submitBulk(0, 2, static_cast<std::uint64_t>(i) * 65536, 65536, false, [] {});
   }
   fx.drain();
-  EXPECT_EQ(fx.ost.seeks(), 2u);  // one initial seek per object
+  EXPECT_EQ(fx.ost.seeks(0), 2u);  // one initial seek per object
 }
 
-TEST(OstModel, AggregateBandwidthCapsAtTheMedia) {
+TEST(OstBank, AggregateBandwidthCapsAtTheMedia) {
   // 64 MiB of large sequential RPCs from "many clients": total service
   // time must be at least bytes/sequentialBandwidth — the serialized
   // transfer stage — regardless of positioning parallelism.
   OstFixture fx;
   const std::uint64_t rpc = 4 * 1048576;
   for (int i = 0; i < 16; ++i) {
-    fx.ost.submitBulk(static_cast<std::uint64_t>(i), 0, rpc, true, [] {});
+    fx.ost.submitBulk(0, static_cast<std::uint64_t>(i), 0, rpc, true, [] {});
   }
   const double wall = fx.drain();
   const double mediaTime =
@@ -68,13 +69,13 @@ TEST(OstModel, AggregateBandwidthCapsAtTheMedia) {
   EXPECT_LT(wall, mediaTime * 2.0);  // parallel positioning keeps overhead low
 }
 
-TEST(OstModel, SmallRandomRpcsAreSeekBoundNotBandwidthBound) {
+TEST(OstBank, SmallRandomRpcsAreSeekBoundNotBandwidthBound) {
   // 64 KiB random RPCs: with queueDepth-way positioning, throughput is far
   // below the sequential media rate but far above fully serialized seeks.
   OstFixture fx;
   const int n = 64;
   for (int i = 0; i < n; ++i) {
-    fx.ost.submitBulk(static_cast<std::uint64_t>(i), 0, 65536, false, [] {});
+    fx.ost.submitBulk(0, static_cast<std::uint64_t>(i), 0, 65536, false, [] {});
   }
   const double wall = fx.drain();
   const double serializedSeeks = n * fx.cluster.disk.seekPenalty;
@@ -83,19 +84,35 @@ TEST(OstModel, SmallRandomRpcsAreSeekBoundNotBandwidthBound) {
   EXPECT_GT(wall, pureBandwidth * 2.0);  // but seeks dominate transfers
 }
 
-TEST(OstModel, ResetClearsContiguityAndStats) {
+TEST(OstBank, ResetClearsContiguityAndStats) {
   OstFixture fx;
-  fx.ost.submitBulk(7, 0, 65536, true, [] {});
+  fx.ost.submitBulk(0, 7, 0, 65536, true, [] {});
   fx.drain();
   fx.ost.reset();
-  EXPECT_EQ(fx.ost.rpcsServed(), 0u);
-  EXPECT_EQ(fx.ost.seeks(), 0u);
+  EXPECT_EQ(fx.ost.rpcsServed(0), 0u);
+  EXPECT_EQ(fx.ost.seeks(0), 0u);
+}
+
+TEST(OstBank, StatsAreTrackedPerOst) {
+  // Two OSTs in one bank: submissions to one never leak into the other's
+  // counters, and the global index maps through the bank's offset.
+  ClusterSpec cluster;
+  sim::SimEngine engine;
+  OstBank bank{engine, cluster, /*count=*/2, /*globalOffset=*/6};
+  bank.submitBulk(0, 1, 0, 65536, true, [] {});
+  bank.submitBulk(1, 1, 0, 65536, true, [] {});
+  bank.submitBulk(1, 1, 65536, 65536, true, [] {});
+  engine.run();
+  EXPECT_EQ(bank.rpcsServed(0), 1u);
+  EXPECT_EQ(bank.rpcsServed(1), 2u);
+  EXPECT_EQ(bank.bytesServed(1), 2u * 65536);
+  EXPECT_EQ(bank.globalIndex(1), 7u);
 }
 
 struct MdsFixture {
   ClusterSpec cluster;
-  sim::SimEngine engine{1};
-  MdsModel mds{engine, cluster};
+  sim::SimEngine engine;  // default EngineOptions: seed 1
+  MdsModel mds{engine, cluster, /*seed=*/1};
 };
 
 TEST(MdsModel, StripeCountScalesCreateAndUnlinkCost) {

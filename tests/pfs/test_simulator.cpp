@@ -133,6 +133,128 @@ TEST(Simulator, BarrierTimesExposePhaseStructure) {
   EXPECT_LE(result.barrierTimes.back(), result.rawWallSeconds + 1e-9);
 }
 
+// ------------------------------------------------------------- federated
+
+pfs::ClusterSpec tinyFederatedCluster(std::uint32_t cells) {
+  pfs::ClusterSpec cl;
+  cl.name = "tiny-federated";
+  cl.clientNodes = cells;  // one client node per cell
+  cl.ranksPerNode = 2;
+  cl.ossNodes = cells;  // one OSS (one OST) per cell
+  cl.cells = cells;
+  return cl;
+}
+
+// File-per-process job: each rank owns its file, so the partition into
+// cells is clean (no file crosses a cell boundary).
+JobSpec fppJob(std::uint32_t ranks) {
+  JobSpec job;
+  job.name = "fpp-federated";
+  job.ranks.resize(ranks);
+  for (std::uint32_t r = 0; r < ranks; ++r) {
+    const auto f = job.addFile("/fpp/rank" + std::to_string(r));
+    auto& prog = job.ranks[r];
+    prog.push_back(IoOp::create(f));
+    for (int i = 0; i < 4; ++i) {
+      prog.push_back(IoOp::write(f, static_cast<std::uint64_t>(i) * util::kMiB,
+                                 util::kMiB));
+    }
+    prog.push_back(IoOp::fsync(f));
+    prog.push_back(IoOp::barrier());
+    for (int i = 0; i < 4; ++i) {
+      prog.push_back(IoOp::read(f, static_cast<std::uint64_t>(i) * util::kMiB,
+                                util::kMiB));
+    }
+    prog.push_back(IoOp::close(f));
+  }
+  return job;
+}
+
+void expectIdenticalResults(const pfs::RunResult& a, const pfs::RunResult& b) {
+  EXPECT_DOUBLE_EQ(a.wallSeconds, b.wallSeconds);
+  EXPECT_DOUBLE_EQ(a.rawWallSeconds, b.rawWallSeconds);
+  EXPECT_DOUBLE_EQ(a.simEndSeconds, b.simEndSeconds);
+  EXPECT_EQ(a.outcome, b.outcome);
+  EXPECT_EQ(a.counters.dataRpcs, b.counters.dataRpcs);
+  EXPECT_EQ(a.counters.metaRpcs, b.counters.metaRpcs);
+  EXPECT_EQ(a.counters.writeRpcBytes, b.counters.writeRpcBytes);
+  EXPECT_EQ(a.counters.readRpcBytes, b.counters.readRpcBytes);
+  ASSERT_EQ(a.ranks.size(), b.ranks.size());
+  for (std::size_t i = 0; i < a.ranks.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.ranks[i].finishTime, b.ranks[i].finishTime) << "rank " << i;
+    EXPECT_EQ(a.ranks[i].bytesWritten, b.ranks[i].bytesWritten) << "rank " << i;
+  }
+  EXPECT_EQ(a.barrierTimes, b.barrierTimes);
+  ASSERT_EQ(a.audit.osts.size(), b.audit.osts.size());
+  for (std::size_t i = 0; i < a.audit.osts.size(); ++i) {
+    EXPECT_EQ(a.audit.osts[i].bytesWritten, b.audit.osts[i].bytesWritten) << "ost " << i;
+    EXPECT_EQ(a.audit.osts[i].rpcsServed, b.audit.osts[i].rpcsServed) << "ost " << i;
+  }
+}
+
+TEST(SimulatorFederated, BitIdenticalAcrossSchedulersAndShardCounts) {
+  const JobSpec job = fppJob(8);
+  const auto runWith = [&](sim::SchedulerKind scheduler, std::uint32_t shards) {
+    PfsSimulator sim{{.cluster = tinyFederatedCluster(4),
+                      .engine = {.scheduler = scheduler, .shards = shards}}};
+    return sim.run(job, PfsConfig{}, 11);
+  };
+  const auto reference = runWith(sim::SchedulerKind::Calendar, 1);
+  EXPECT_EQ(reference.outcome, pfs::RunOutcome::Ok);
+  expectIdenticalResults(reference, runWith(sim::SchedulerKind::Heap, 1));
+  expectIdenticalResults(reference, runWith(sim::SchedulerKind::Calendar, 2));
+  expectIdenticalResults(reference, runWith(sim::SchedulerKind::Calendar, 4));
+}
+
+TEST(SimulatorFederated, ScattersStatsBackToGlobalIds) {
+  const JobSpec job = fppJob(8);
+  PfsSimulator sim{{.cluster = tinyFederatedCluster(4)}};
+  const auto result = sim.run(job, PfsConfig{}, 5);
+  ASSERT_EQ(result.outcome, pfs::RunOutcome::Ok);
+  ASSERT_EQ(result.ranks.size(), 8u);
+  ASSERT_EQ(result.files.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(result.ranks[i].bytesWritten, 4u * util::kMiB) << "rank " << i;
+    EXPECT_EQ(result.files[i].bytesWritten, 4u * util::kMiB) << "file " << i;
+    EXPECT_GT(result.ranks[i].finishTime, 0.0);
+  }
+  // Every cell's OST served its share (fsync before the barrier forces
+  // writeout, so server bytes are nonzero in every cell).
+  ASSERT_EQ(result.audit.osts.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_GT(result.audit.osts[i].bytesWritten, 0u) << "ost " << i;
+  }
+  EXPECT_EQ(result.barrierTimes.size(), 1u);
+}
+
+TEST(SimulatorFederated, RejectsFileSharedAcrossCells) {
+  // One shared file touched by every rank cannot be partitioned into
+  // shared-nothing cells.
+  workloads::WorkloadOptions opt;
+  opt.ranks = 4;
+  opt.scale = 0.02;
+  const JobSpec job = workloads::ior16m(opt);
+  PfsSimulator sim{{.cluster = tinyFederatedCluster(2)}};
+  EXPECT_THROW((void)sim.run(job, PfsConfig{}, 1), std::invalid_argument);
+}
+
+TEST(SimulatorFederated, CappedRunTimesOutCleanlyAndLeavesNoResidue) {
+  const JobSpec job = fppJob(4);
+  const faults::FaultPlan plan = faults::parseFaultSpec("ost:*:degrade:0.5@0-1000000");
+  PfsSimulator sim{{.cluster = tinyFederatedCluster(2), .faults = &plan}};
+  // Cap mid-run while the degrade window is still open.
+  const auto capped = sim.run(job, PfsConfig{}, 9, pfs::RunLimits{.maxSimSeconds = 1e-3});
+  EXPECT_EQ(capped.outcome, pfs::RunOutcome::TimedOut);
+  EXPECT_DOUBLE_EQ(capped.wallSeconds, 1e-3);
+  // The abandoned measurement leaves nothing behind: a following uncapped
+  // run is bit-identical to the same run on a fresh simulator.
+  const auto after = sim.run(job, PfsConfig{}, 9);
+  PfsSimulator fresh{{.cluster = tinyFederatedCluster(2), .faults = &plan}};
+  const auto clean = fresh.run(job, PfsConfig{}, 9);
+  EXPECT_EQ(after.outcome, pfs::RunOutcome::Ok);
+  expectIdenticalResults(after, clean);
+}
+
 TEST(Simulator, ComputeOpsAddWallTime) {
   PfsSimulator sim;
   JobSpec job;

@@ -1,0 +1,122 @@
+// sim::Callback storage semantics: inline small-buffer, arena spill, heap
+// fallback, move-only ownership, and arena recycling.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+
+#include "sim/callback.hpp"
+
+namespace stellar::sim {
+namespace {
+
+TEST(Callback, SmallClosuresStayInline) {
+  EventArena arena;
+  const std::uint64_t before = arena.allocations();
+  int hits = 0;
+  Callback cb{arena, [&hits] { ++hits; }};
+  EXPECT_FALSE(cb.spilled());
+  EXPECT_EQ(arena.allocations(), before);
+  cb();
+  cb();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(Callback, LargeClosuresSpillToArena) {
+  EventArena arena;
+  std::array<double, 16> payload{};
+  payload[7] = 42.0;
+  double seen = 0.0;
+  Callback cb{arena, [payload, &seen] { seen = payload[7]; }};
+  EXPECT_TRUE(cb.spilled());
+  EXPECT_EQ(arena.allocations(), 1u);
+  cb();
+  EXPECT_DOUBLE_EQ(seen, 42.0);
+}
+
+TEST(Callback, LargeClosuresWithoutArenaUseHeap) {
+  std::array<double, 16> payload{};
+  payload[0] = 7.0;
+  double seen = 0.0;
+  Callback cb{[payload, &seen] { seen = payload[0]; }};
+  EXPECT_TRUE(cb.spilled());
+  cb();
+  EXPECT_DOUBLE_EQ(seen, 7.0);
+}
+
+TEST(Callback, MoveTransfersOwnership) {
+  int hits = 0;
+  Callback a{[&hits] { ++hits; }};
+  Callback b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(Callback, DestructionReleasesCapturedState) {
+  auto token = std::make_shared<int>(5);
+  {
+    Callback cb{[token] { (void)*token; }};
+    EXPECT_EQ(token.use_count(), 2);
+  }
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(Callback, ArenaSpilledDestructionReleasesCapturedState) {
+  EventArena arena;
+  auto token = std::make_shared<int>(5);
+  std::array<double, 16> padding{};
+  {
+    Callback cb{arena, [token, padding] { (void)*token; (void)padding; }};
+    EXPECT_TRUE(cb.spilled());
+    EXPECT_EQ(token.use_count(), 2);
+  }
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(EventArena, RecyclesFreedStorageThroughFreeLists) {
+  EventArena arena{1024};
+  void* first = arena.allocate(100);
+  arena.deallocate(first, 100);
+  void* second = arena.allocate(100);
+  EXPECT_EQ(first, second);  // same size class reuses the freed node
+  arena.deallocate(second, 100);
+}
+
+TEST(EventArena, SteadyStateChurnDoesNotGrowReservation) {
+  EventArena arena{1024};
+  const std::size_t baseline = arena.bytesReserved();
+  for (int i = 0; i < 100000; ++i) {
+    void* mem = arena.allocate(96);
+    arena.deallocate(mem, 96);
+  }
+  EXPECT_EQ(arena.bytesReserved(), baseline);
+}
+
+TEST(EventArena, OversizedRequestsFallBackToHeap) {
+  EventArena arena{1024};
+  const std::size_t reservedBefore = arena.bytesReserved();
+  void* big = arena.allocate(4096);
+  ASSERT_NE(big, nullptr);
+  EXPECT_EQ(arena.oversizedAllocations(), 1u);
+  EXPECT_EQ(arena.bytesReserved(), reservedBefore);
+  arena.deallocate(big, 4096);
+}
+
+TEST(EventArena, ResetReturnsToFirstBlock) {
+  EventArena arena{1024};
+  for (int i = 0; i < 64; ++i) {
+    (void)arena.allocate(512);  // force extra blocks
+  }
+  EXPECT_GT(arena.bytesReserved(), 1024u);
+  arena.reset();
+  EXPECT_EQ(arena.bytesReserved(), 1024u);
+  // Post-reset allocations come from the recycled first block.
+  void* mem = arena.allocate(64);
+  ASSERT_NE(mem, nullptr);
+  arena.deallocate(mem, 64);
+}
+
+}  // namespace
+}  // namespace stellar::sim

@@ -1,4 +1,5 @@
-// Discrete-event engine semantics: ordering, determinism, clamping.
+// Discrete-event engine semantics: ordering, determinism, clamping — for
+// both scheduler backends, which must be behaviourally indistinguishable.
 #include <gtest/gtest.h>
 
 #include "sim/engine.hpp"
@@ -6,8 +7,15 @@
 namespace stellar::sim {
 namespace {
 
-TEST(SimEngine, RunsEventsInTimeOrder) {
-  SimEngine engine;
+class SimEngineBothSchedulers : public ::testing::TestWithParam<SchedulerKind> {
+ protected:
+  [[nodiscard]] SimEngine makeEngine(std::uint64_t seed = 1) const {
+    return SimEngine{EngineOptions{.seed = seed, .scheduler = GetParam()}};
+  }
+};
+
+TEST_P(SimEngineBothSchedulers, RunsEventsInTimeOrder) {
+  SimEngine engine = makeEngine();
   std::vector<int> order;
   engine.scheduleAt(3.0, [&] { order.push_back(3); });
   engine.scheduleAt(1.0, [&] { order.push_back(1); });
@@ -17,8 +25,8 @@ TEST(SimEngine, RunsEventsInTimeOrder) {
   EXPECT_DOUBLE_EQ(end, 3.0);
 }
 
-TEST(SimEngine, SimultaneousEventsAreFifo) {
-  SimEngine engine;
+TEST_P(SimEngineBothSchedulers, SimultaneousEventsAreFifo) {
+  SimEngine engine = makeEngine();
   std::vector<int> order;
   for (int i = 0; i < 10; ++i) {
     engine.scheduleAt(1.0, [&order, i] { order.push_back(i); });
@@ -29,22 +37,24 @@ TEST(SimEngine, SimultaneousEventsAreFifo) {
   }
 }
 
-TEST(SimEngine, EventsCanScheduleMoreEvents) {
-  SimEngine engine;
+TEST_P(SimEngineBothSchedulers, EventsCanScheduleMoreEvents) {
+  SimEngine engine = makeEngine();
   int depth = 0;
+  // Self-scheduling closure: own the shared chain via std::function, but
+  // hand the engine a plain lambda so the modern overload is exercised.
   std::function<void()> chain = [&] {
     if (++depth < 100) {
-      engine.scheduleAfter(0.5, chain);
+      engine.scheduleAfter(0.5, [&] { chain(); });
     }
   };
-  engine.scheduleAt(0.0, chain);
+  engine.scheduleAt(0.0, [&] { chain(); });
   const double end = engine.run();
   EXPECT_EQ(depth, 100);
   EXPECT_DOUBLE_EQ(end, 49.5);
 }
 
-TEST(SimEngine, PastTimesClampToNow) {
-  SimEngine engine;
+TEST_P(SimEngineBothSchedulers, PastTimesClampToNow) {
+  SimEngine engine = makeEngine();
   double observed = -1.0;
   engine.scheduleAt(5.0, [&] {
     engine.scheduleAt(1.0, [&] { observed = engine.now(); });
@@ -53,16 +63,16 @@ TEST(SimEngine, PastTimesClampToNow) {
   EXPECT_DOUBLE_EQ(observed, 5.0);
 }
 
-TEST(SimEngine, NegativeDelayClampsToZero) {
-  SimEngine engine;
+TEST_P(SimEngineBothSchedulers, NegativeDelayClampsToZero) {
+  SimEngine engine = makeEngine();
   double observed = -1.0;
   engine.scheduleAfter(-3.0, [&] { observed = engine.now(); });
   engine.run();
   EXPECT_DOUBLE_EQ(observed, 0.0);
 }
 
-TEST(SimEngine, RunUntilStopsAtLimit) {
-  SimEngine engine;
+TEST_P(SimEngineBothSchedulers, RunUntilStopsAtLimit) {
+  SimEngine engine = makeEngine();
   int fired = 0;
   engine.scheduleAt(1.0, [&] { ++fired; });
   engine.scheduleAt(2.0, [&] { ++fired; });
@@ -74,8 +84,22 @@ TEST(SimEngine, RunUntilStopsAtLimit) {
   EXPECT_EQ(fired, 3);
 }
 
-TEST(SimEngine, CountsProcessedEvents) {
-  SimEngine engine;
+TEST_P(SimEngineBothSchedulers, DrainUntilDoesNotAdvancePastLastEvent) {
+  SimEngine engine = makeEngine();
+  int fired = 0;
+  engine.scheduleAt(1.0, [&] { ++fired; });
+  engine.scheduleAt(10.0, [&] { ++fired; });
+  EXPECT_DOUBLE_EQ(engine.drainUntil(5.0), 1.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(engine.now(), 1.0);
+  // runUntil on an undrained queue leaves the clock at the last event too.
+  EXPECT_DOUBLE_EQ(engine.runUntil(5.0), 1.0);
+  engine.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST_P(SimEngineBothSchedulers, CountsProcessedEvents) {
+  SimEngine engine = makeEngine();
   for (int i = 0; i < 7; ++i) {
     engine.scheduleAt(i, [] {});
   }
@@ -83,12 +107,67 @@ TEST(SimEngine, CountsProcessedEvents) {
   EXPECT_EQ(engine.eventsProcessed(), 7u);
 }
 
+TEST_P(SimEngineBothSchedulers, NextEventTimePeeksWithoutDispatch) {
+  SimEngine engine = makeEngine();
+  EXPECT_FALSE(engine.nextEventTime().has_value());
+  engine.scheduleAt(4.0, [] {});
+  engine.scheduleAt(2.0, [] {});
+  ASSERT_TRUE(engine.nextEventTime().has_value());
+  EXPECT_DOUBLE_EQ(*engine.nextEventTime(), 2.0);
+  EXPECT_EQ(engine.eventsProcessed(), 0u);
+  EXPECT_EQ(engine.queueDepth(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schedulers, SimEngineBothSchedulers,
+                         ::testing::Values(SchedulerKind::Heap,
+                                           SchedulerKind::Calendar),
+                         [](const ::testing::TestParamInfo<SchedulerKind>& info) {
+                           return schedulerKindName(info.param);
+                         });
+
 TEST(SimEngine, RngIsSeedDeterministic) {
-  SimEngine a{42};
-  SimEngine b{42};
-  SimEngine c{43};
+  SimEngine a{EngineOptions{.seed = 42}};
+  SimEngine b{EngineOptions{.seed = 42}};
+  SimEngine c{EngineOptions{.seed = 43}};
   EXPECT_EQ(a.rng().next(), b.rng().next());
   EXPECT_NE(a.rng().next(), c.rng().next());
+}
+
+TEST(SimEngine, DeprecatedStdFunctionOverloadStillWorks) {
+  // The one-release compatibility shim: std::function callers keep working
+  // (with a deprecation warning) until the overload is removed.
+  SimEngine engine{EngineOptions{}};
+  int fired = 0;
+  std::function<void()> fn = [&] { ++fired; };
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+  engine.scheduleAt(1.0, fn);
+  engine.scheduleAfter(2.0, fn);
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+  engine.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimEngine, CancelOpenWindowsFiresOutstandingCloseHandlers) {
+  SimEngine engine{EngineOptions{}};
+  std::vector<int> closed;
+  engine.scheduleWindow(1.0, 10.0, [] {}, [&] { closed.push_back(1); });
+  engine.scheduleWindow(2.0, 20.0, [] {}, [&] { closed.push_back(2); });
+  engine.scheduleWindow(8.0, 9.0, [] {}, [&] { closed.push_back(3); });
+  engine.runUntil(5.0);
+  EXPECT_EQ(engine.openWindows(), 2u);
+  engine.cancelOpenWindows();
+  EXPECT_EQ(engine.openWindows(), 0u);
+  // Creation order, and the never-opened window (begin 8.0) is untouched.
+  EXPECT_EQ(closed, (std::vector<int>{1, 2}));
+  // Resuming the run must not double-fire the cancelled close edges.
+  engine.run();
+  EXPECT_EQ(closed, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(engine.openWindows(), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,183 @@
+// Scheduler equivalence and calendar-queue internals.
+//
+// The determinism contract says both backends dispatch in strict
+// (timestamp, insertion-seq) order. The property test drives randomized
+// push/pop workloads through both and demands identical pop sequences;
+// failures shrink to a minimal timestamp list before reporting.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <sstream>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace stellar::sim {
+namespace {
+
+// Pops every event and returns the (at, seq) sequence.
+template <typename Scheduler>
+std::vector<std::pair<SimTime, std::uint64_t>> drain(Scheduler& scheduler) {
+  std::vector<std::pair<SimTime, std::uint64_t>> order;
+  while (!scheduler.empty()) {
+    const Event event = scheduler.pop();
+    order.emplace_back(event.at, event.seq);
+  }
+  return order;
+}
+
+// Builds both schedulers from the same timestamp list (seq = index) and
+// returns whether their pop order matches AND obeys the strict
+// (at, seq) order. Used directly by the property test and as the failing
+// predicate for the shrinker.
+bool popOrdersAgree(const std::vector<SimTime>& times) {
+  HeapScheduler heap;
+  CalendarScheduler calendar;
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    heap.push(Event{times[i], i, {}});
+    calendar.push(Event{times[i], i, {}});
+  }
+  const auto heapOrder = drain(heap);
+  const auto calendarOrder = drain(calendar);
+  if (heapOrder != calendarOrder) {
+    return false;
+  }
+  for (std::size_t i = 1; i < heapOrder.size(); ++i) {
+    const auto& [prevAt, prevSeq] = heapOrder[i - 1];
+    const auto& [at, seq] = heapOrder[i];
+    if (at < prevAt || (at == prevAt && prevSeq >= seq)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Greedy delta-debugging shrinker: repeatedly drop elements while the
+// predicate keeps failing. Returns the minimal failing list.
+std::vector<SimTime> shrinkTimes(std::vector<SimTime> times,
+                                 const std::function<bool(const std::vector<SimTime>&)>& fails) {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t i = 0; i < times.size(); ++i) {
+      std::vector<SimTime> candidate = times;
+      candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(i));
+      if (fails(candidate)) {
+        times = std::move(candidate);
+        progress = true;
+        break;
+      }
+    }
+  }
+  return times;
+}
+
+std::string formatTimes(const std::vector<SimTime>& times) {
+  std::ostringstream out;
+  out << "[";
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    out << (i == 0 ? "" : ", ") << times[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+TEST(SchedulerProperty, SameTimestampFifoMatchesAcrossBackends) {
+  for (std::uint64_t trial = 0; trial < 40; ++trial) {
+    util::Rng rng{util::mix64(0xF1F0, trial)};
+    // Draw timestamps from a tiny value set so same-timestamp collisions
+    // dominate — FIFO tie-breaking is exactly what this law targets.
+    const auto count = static_cast<std::size_t>(rng.uniformInt(1, 64));
+    std::vector<SimTime> times;
+    times.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      times.push_back(0.5 * static_cast<double>(rng.uniformInt(0, 4)));
+    }
+    if (!popOrdersAgree(times)) {
+      const std::vector<SimTime> minimal = shrinkTimes(
+          times, [](const std::vector<SimTime>& t) { return !popOrdersAgree(t); });
+      FAIL() << "trial " << trial << ": pop order diverged; minimal failing input "
+             << formatTimes(minimal);
+    }
+  }
+}
+
+TEST(SchedulerProperty, ShrinkerFindsMinimalCounterexample) {
+  // Sanity-check the shrinker itself against a synthetic predicate, so a
+  // real law failure reports a genuinely minimal input.
+  const std::vector<SimTime> noisy{3.0, 1.0, 1.0, 2.5, 1.0, 0.0, 4.0};
+  const auto atLeastThreeOnes = [](const std::vector<SimTime>& t) {
+    std::size_t ones = 0;
+    for (const SimTime v : t) {
+      ones += v == 1.0 ? 1 : 0;
+    }
+    return ones >= 3;
+  };
+  const std::vector<SimTime> minimal = shrinkTimes(noisy, atLeastThreeOnes);
+  EXPECT_EQ(minimal, (std::vector<SimTime>{1.0, 1.0, 1.0}));
+}
+
+TEST(SchedulerProperty, InterleavedPushPopAgrees) {
+  // Push/pop interleavings with monotone lower bound (the engine never
+  // schedules into the past): exercises the calendar's floor tracking.
+  for (std::uint64_t trial = 0; trial < 20; ++trial) {
+    util::Rng rng{util::mix64(0xBEEF, trial)};
+    HeapScheduler heap;
+    CalendarScheduler calendar;
+    std::uint64_t seq = 0;
+    SimTime now = 0.0;
+    std::vector<std::pair<SimTime, std::uint64_t>> heapOrder;
+    std::vector<std::pair<SimTime, std::uint64_t>> calendarOrder;
+    for (int step = 0; step < 400; ++step) {
+      const bool push = heap.empty() || rng.chance(0.6);
+      if (push) {
+        const SimTime at = now + 0.25 * static_cast<double>(rng.uniformInt(0, 7));
+        heap.push(Event{at, seq, {}});
+        calendar.push(Event{at, seq, {}});
+        ++seq;
+      } else {
+        const Event a = heap.pop();
+        const Event b = calendar.pop();
+        heapOrder.emplace_back(a.at, a.seq);
+        calendarOrder.emplace_back(b.at, b.seq);
+        now = a.at;
+      }
+    }
+    ASSERT_EQ(heapOrder, calendarOrder) << "trial " << trial;
+  }
+}
+
+TEST(CalendarScheduler, HandlesSparseOverflowDays) {
+  CalendarScheduler calendar;
+  calendar.push(Event{0.0001, 0, {}});
+  calendar.push(Event{5.0e6, 1, {}});
+  calendar.push(Event{9.0e8, 2, {}});
+  calendar.push(Event{9.0e8, 3, {}});
+  const auto order = drain(calendar);
+  const std::vector<std::pair<SimTime, std::uint64_t>> expected{
+      {0.0001, 0}, {5.0e6, 1}, {9.0e8, 2}, {9.0e8, 3}};
+  EXPECT_EQ(order, expected);
+  EXPECT_GT(calendar.overflowScans(), 0u);
+}
+
+TEST(CalendarScheduler, ResizesWithOccupancy) {
+  CalendarScheduler calendar;
+  util::Rng rng{7};
+  const std::size_t initial = calendar.bucketCount();
+  for (std::uint64_t i = 0; i < 4096; ++i) {
+    calendar.push(Event{rng.uniform(0.0, 1.0), i, {}});
+  }
+  EXPECT_GT(calendar.bucketCount(), initial);
+  SimTime last = -1.0;
+  while (!calendar.empty()) {
+    const Event event = calendar.pop();
+    ASSERT_GE(event.at, last);
+    last = event.at;
+  }
+  EXPECT_EQ(calendar.bucketCount(), initial);
+}
+
+}  // namespace
+}  // namespace stellar::sim

@@ -27,6 +27,40 @@ TEST(Metamorphic, SameSeedIsBitIdentical) {
   EXPECT_FALSE(difference.has_value()) << *difference;
 }
 
+TEST(Metamorphic, CellifiedCaseIsBitIdenticalAcrossBackendsAndShards) {
+  // The determinism contract across every engine configuration: scheduler
+  // backend and shard count are pure performance choices. Compare full
+  // RunAudits via describeDifference, not just wall times.
+  const GeneratedCase base = materialize(generateShape(0xCE11));
+  const GeneratedCase celled = cellify(base, 4);
+  const pfs::RunResult reference =
+      runCase(celled, sim::EngineOptions{.scheduler = sim::SchedulerKind::Calendar,
+                                         .shards = 1});
+  const sim::EngineOptions variants[] = {
+      {.scheduler = sim::SchedulerKind::Heap, .shards = 1},
+      {.scheduler = sim::SchedulerKind::Calendar, .shards = 2},
+      {.scheduler = sim::SchedulerKind::Calendar, .shards = 4},
+      {.scheduler = sim::SchedulerKind::Heap, .shards = 4},
+  };
+  for (const sim::EngineOptions& options : variants) {
+    const auto difference = describeDifference(reference, runCase(celled, options));
+    EXPECT_FALSE(difference.has_value())
+        << sim::schedulerKindName(options.scheduler) << "/" << options.shards
+        << " shards: " << *difference;
+  }
+}
+
+TEST(Metamorphic, CellifyPadsRanksToFullCells) {
+  const GeneratedCase base = materialize(generateShape(0xCE11));
+  const GeneratedCase celled = cellify(base, 3);
+  EXPECT_EQ(celled.cluster.cells, 3u);
+  EXPECT_EQ(celled.cluster.clientNodes % 3, 0u);
+  EXPECT_EQ(celled.cluster.ossNodes, base.cluster.ossNodes * 3);
+  EXPECT_EQ(celled.job.rankCount() % 3, 0u);
+  EXPECT_EQ(celled.job.rankCount(), celled.cluster.totalRanks());
+  EXPECT_EQ(celled.job.files.size(), base.job.files.size() * 3);
+}
+
 TEST(Metamorphic, DifferentSeedsDiffer) {
   // Sanity check on describeDifference itself: it must be able to see a
   // difference, or the determinism law above is vacuous.
