@@ -31,9 +31,20 @@
 //   --json              print the canonical TuningRunResult JSON instead of
 //                       the human-readable summary
 //   --faults <spec>     deterministic fault plan applied to every simulated
-//                       run: a scenario name (degraded-ost, flaky-network,
-//                       mds-storm) or a comma-separated event list, e.g.
-//                       "ost:2:degrade:0.3@10-40,rpc:drop:0.1@0-60,seed:7"
+//                       run AND to the agent's model calls: a scenario name
+//                       (degraded-ost, flaky-network, mds-storm, flaky-llm,
+//                       degrading-llm, llm-outage) or a comma-separated event
+//                       list, e.g.
+//                       "ost:2:degrade:0.3@10-40,llm:timeout:0.2@0-99,seed:7"
+//   --sanitize <mode>   tool-call payload sanitizer: observe (default) or
+//                       enforce (repair hallucinated/out-of-range moves)
+//   --fallback-model <name>  model the resilience ladder falls back to when
+//                       the primary's circuit breaker opens
+//   --session-journal <file>  crash-safe JSONL session journal: measurements
+//                       are recorded as they complete; re-running the same
+//                       command resumes the session bit-identically
+//   --max-measurements <n>  interrupt the session (exit 3) after n fresh
+//                       journaled measurements — deterministic kill testing
 //   --store <file>      persistent experience store (JSONL); completed runs
 //                       are filed into it
 //   --warm-start        recall prior experience from --store to warm-start
@@ -82,6 +93,10 @@ struct CliOptions {
   std::string manifestPath;
   std::size_t jobs = 0;
   std::size_t maxCells = 0;
+  std::string sanitize;
+  std::string fallbackModel;
+  std::string sessionJournal;
+  std::size_t maxMeasurements = 0;
 };
 
 /// Exit 0 (help requested: text to stdout) or 2 (usage error: stderr).
@@ -91,7 +106,9 @@ struct CliOptions {
                "  tune <workload> [--scale S] [--seed N] [--model NAME]\n"
                "       [--rules FILE] [--scope user|system] [--transcript]\n"
                "       [--trace FILE] [--metrics] [--json] [--faults SPEC]\n"
-               "       [--store FILE] [--warm-start]\n"
+               "       [--store FILE] [--warm-start] [--sanitize observe|enforce]\n"
+               "       [--fallback-model NAME] [--session-journal FILE]\n"
+               "       [--max-measurements N]\n"
                "  suite [--scale S] [--seed N] [--rules FILE]\n"
                "        [--trace FILE] [--metrics] [--faults SPEC]\n"
                "        [--store FILE] [--warm-start]\n"
@@ -163,6 +180,14 @@ CliOptions parseOptions(const std::vector<std::string>& args, std::size_t start)
       opts.jobs = std::strtoull(value().c_str(), nullptr, 10);
     } else if (arg == "--max-cells") {
       opts.maxCells = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (arg == "--sanitize") {
+      opts.sanitize = value();
+    } else if (arg == "--fallback-model") {
+      opts.fallbackModel = value();
+    } else if (arg == "--session-journal") {
+      opts.sessionJournal = value();
+    } else if (arg == "--max-measurements") {
+      opts.maxMeasurements = std::strtoull(value().c_str(), nullptr, 10);
     } else if (arg == "--help" || arg == "-h") {
       usage(0);
     } else {
@@ -180,6 +205,13 @@ core::StellarOptions engineOptions(const CliOptions& cli) {
   options.agent.model = llm::profileByName(cli.model);
   options.scope = cli.userScope ? core::TuningScope::UserAccessible
                                 : core::TuningScope::SystemWide;
+  if (!cli.sanitize.empty()) {
+    options.sanitizer = agents::sanitizerModeByName(cli.sanitize);
+  }
+  if (!cli.fallbackModel.empty()) {
+    options.fallbackModel = llm::profileByName(cli.fallbackModel);
+  }
+  options.maxMeasurements = cli.maxMeasurements;
   return options;
 }
 
@@ -254,6 +286,16 @@ void printRun(const core::TuningRunResult& run, bool withTranscript) {
                 run.warmStartSources.size(), run.warmStartSimilarity);
   }
   std::printf("stop reason:   %s\n", run.endReason.c_str());
+  if (run.resilienceRung != "primary" || run.resilience.undeliveredDecisions > 0 ||
+      run.resilience.sanitizerIssues > 0) {
+    std::printf("resilience:    rung %s, %llu failed calls (%llu wasted attempts), "
+                "%llu breaker trips, %llu sanitizer issues\n",
+                run.resilienceRung.c_str(),
+                static_cast<unsigned long long>(run.resilience.llmFailedCalls),
+                static_cast<unsigned long long>(run.resilience.llmWastedAttempts),
+                static_cast<unsigned long long>(run.resilience.breakerTrips),
+                static_cast<unsigned long long>(run.resilience.sanitizerIssues));
+  }
   const llm::UsageTotals tokens = run.meter.totals();
   std::printf("llm usage:     %zu calls, %zu in / %zu out tokens (%.0f%% cached)\n",
               tokens.calls, tokens.inputTokens, tokens.outputTokens,
@@ -317,7 +359,9 @@ struct ObsBundle {
                    "\nevent grammar: ost:<i|*>:degrade:<mult>@<b>-<e>, "
                    "ost:<i|*>:outage@<b>-<e>, mds:overload:<mult>@<b>-<e>,\n"
                    "               rpc:drop:<p>@<b>-<e>, rpc:stall:<sec>@<b>-<e>, "
-                   "noise:spike:<mult>@<b>-<e>, seed:<n>\n");
+                   "noise:spike:<mult>@<b>-<e>, seed:<n>,\n"
+                   "               llm:<timeout|ratelimit|truncate|malformed|"
+                   "bad-knob|bad-value|stale>:<p>[:<model|*>]@<call>-<call>\n");
       return false;
     }
     // Status goes to stderr under --json so stdout stays one parseable doc.
@@ -368,9 +412,28 @@ int cmdTune(const std::string& workload, const CliOptions& cli) {
   if (cli.warmStart && store != nullptr) {
     opts.warmStart = store.get();
   }
+  std::unique_ptr<core::SessionJournal> journal;
+  if (!cli.sessionJournal.empty()) {
+    journal = std::make_unique<core::SessionJournal>(cli.sessionJournal);
+    std::fprintf(cli.json ? stderr : stdout,
+                 "journal:       %s (%zu measurements, %zu corrupt lines skipped%s)\n",
+                 cli.sessionJournal.c_str(), journal->measurementCount(),
+                 journal->corruptLinesSkipped(),
+                 journal->complete() ? ", complete" : "");
+    opts.journal = journal.get();
+  }
   core::StellarEngine engine{simulator, opts};
   rules::RuleSet global = loadRules(cli);
-  const core::TuningRunResult run = engine.tune(job, &global);
+  core::TuningRunResult run;
+  try {
+    run = engine.tune(job, &global);
+  } catch (const core::SessionInterrupted& e) {
+    // Deterministic kill point (--max-measurements): progress up to here is
+    // journaled; re-running the same command resumes the session.
+    std::fprintf(stderr, "session interrupted: %s\n", e.what());
+    bundle.finish(cli);
+    return 3;
+  }
   fileRun(cli, store.get(), run);
   // Re-measure the winning configuration under the harness protocol —
   // the validation numbers the paper reports, and the "harness" spans of

@@ -1,0 +1,130 @@
+#include "agents/action_sanitizer.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace stellar::agents {
+
+const char* sanitizerModeName(SanitizerMode mode) noexcept {
+  switch (mode) {
+    case SanitizerMode::Observe: return "observe";
+    case SanitizerMode::Enforce: return "enforce";
+  }
+  return "?";
+}
+
+SanitizerMode sanitizerModeByName(const std::string& name) {
+  if (name == "observe") {
+    return SanitizerMode::Observe;
+  }
+  if (name == "enforce") {
+    return SanitizerMode::Enforce;
+  }
+  throw std::invalid_argument("unknown sanitizer mode '" + name +
+                              "' (expected observe|enforce)");
+}
+
+const char* sanitizeIssueKindName(SanitizeIssueKind kind) noexcept {
+  switch (kind) {
+    case SanitizeIssueKind::UnknownKnob: return "unknown-knob";
+    case SanitizeIssueKind::OutOfRange: return "out-of-range";
+    case SanitizeIssueKind::DuplicateMove: return "duplicate-move";
+    case SanitizeIssueKind::Contradictory: return "contradictory";
+  }
+  return "?";
+}
+
+std::string SanitizeVerdict::describe() const {
+  std::string out;
+  for (const SanitizeIssue& issue : issues) {
+    out += std::string{sanitizeIssueKindName(issue.kind)} + " " + issue.param + "=" +
+           std::to_string(issue.value) + ": " + issue.detail + "\n";
+  }
+  return out;
+}
+
+ActionSanitizer::ActionSanitizer(std::vector<std::string> knownKnobs,
+                                 pfs::BoundsContext bounds, SanitizerMode mode,
+                                 obs::CounterRegistry* counters)
+    : knownKnobs_(std::move(knownKnobs)),
+      bounds_(bounds),
+      mode_(mode),
+      counters_(counters) {}
+
+SanitizeVerdict ActionSanitizer::sanitize(const TuningAgent::Action& action,
+                                          const pfs::PfsConfig& incumbent) const {
+  SanitizeVerdict verdict;
+  verdict.config = action.config;
+  if (action.kind != TuningAgent::ActionKind::RunConfig) {
+    return verdict;
+  }
+  const auto count = [this](const char* name) {
+    if (counters_ != nullptr) {
+      counters_->counter(name).add();
+    }
+  };
+  const bool enforce = mode_ == SanitizerMode::Enforce;
+
+  std::map<std::string, std::int64_t> seen;
+  for (const TuningAgent::RawMove& move : action.emitted) {
+    // 1. The knob must exist in the extracted parameter spec.
+    if (std::find(knownKnobs_.begin(), knownKnobs_.end(), move.param) ==
+        knownKnobs_.end()) {
+      verdict.issues.push_back(
+          SanitizeIssue{SanitizeIssueKind::UnknownKnob, move.param, move.value, 0,
+                        "no such parameter in the extracted spec; move rejected"});
+      count("agent.llm.rejected_actions");
+      continue;  // nothing to write in either mode: PfsConfig can't hold it
+    }
+
+    // 2. No duplicate or contradictory moves of the same knob.
+    const auto prior = seen.find(move.param);
+    if (prior != seen.end()) {
+      if (prior->second == move.value) {
+        verdict.issues.push_back(
+            SanitizeIssue{SanitizeIssueKind::DuplicateMove, move.param, move.value,
+                          move.value, "knob already moved to this value"});
+      } else {
+        const std::int64_t resolved =
+            incumbent.get(move.param).value_or(prior->second);
+        verdict.issues.push_back(SanitizeIssue{
+            SanitizeIssueKind::Contradictory, move.param, move.value, resolved,
+            "knob moved to " + std::to_string(prior->second) + " and " +
+                std::to_string(move.value) +
+                " in one payload; reverting to the incumbent value"});
+        count("agent.llm.rejected_actions");
+        if (enforce) {
+          (void)verdict.config.set(move.param, resolved);
+        }
+      }
+      continue;
+    }
+    seen.emplace(move.param, move.value);
+
+    // 3. The value must sit inside its documented (dependent-aware) range.
+    const auto bounds = pfs::paramBounds(move.param, verdict.config, bounds_);
+    if (bounds && (move.value < bounds->min || move.value > bounds->max)) {
+      const std::int64_t clamped = std::clamp(move.value, bounds->min, bounds->max);
+      verdict.issues.push_back(SanitizeIssue{
+          SanitizeIssueKind::OutOfRange, move.param, move.value, clamped,
+          "outside [" + std::to_string(bounds->min) + ", " +
+              std::to_string(bounds->max) + "]; clamped"});
+      count("agent.llm.clamped_values");
+      if (enforce) {
+        (void)verdict.config.set(move.param, clamped);
+      }
+    }
+  }
+
+  if (enforce && !verdict.issues.empty()) {
+    // Re-resolve dependent bounds in dependency order after repairs.
+    verdict.config = pfs::clampConfig(verdict.config, bounds_);
+  }
+  if (!enforce) {
+    verdict.config = action.config;  // Observe never mutates
+  }
+  return verdict;
+}
+
+}  // namespace stellar::agents

@@ -1,0 +1,86 @@
+// ActionSanitizer: the schema-validation boundary between the Tuning
+// Agent's tool-call payloads and the file system (ISSUE 7).
+//
+// A real deployment cannot trust model output: a knob name may be
+// hallucinated, a value may be out of its documented range, and one payload
+// may move the same knob twice (to the same value — noise — or to two
+// different values — a contradiction). The sanitizer walks the raw emitted
+// payload of every RunConfig action and produces a typed SanitizeVerdict.
+//
+// Two modes: Observe records issues (counters + verdict) but leaves the
+// action's config untouched — validation still happens downstream at the
+// simulator, byte-for-byte the pre-sanitizer behavior. Enforce repairs the
+// config: unknown knobs are dropped, contradictions resolve to the
+// incumbent value, out-of-range values are clamped into their documented
+// (dependent-aware) bounds — so nothing invalid ever reaches PfsSimulator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "agents/tuning_agent.hpp"
+#include "obs/counters.hpp"
+#include "pfs/params.hpp"
+
+namespace stellar::agents {
+
+enum class SanitizerMode : std::uint8_t {
+  Observe,  ///< record issues only; never mutate the action's config
+  Enforce,  ///< repair the config (drop / revert / clamp)
+};
+
+[[nodiscard]] const char* sanitizerModeName(SanitizerMode mode) noexcept;
+/// Parses "observe" / "enforce" (case-sensitive); throws std::invalid_argument.
+[[nodiscard]] SanitizerMode sanitizerModeByName(const std::string& name);
+
+enum class SanitizeIssueKind : std::uint8_t {
+  UnknownKnob,    ///< knob name absent from the extracted parameter spec
+  OutOfRange,     ///< value outside documented (dependent-aware) bounds
+  DuplicateMove,  ///< same knob moved twice to the same value
+  Contradictory,  ///< same knob moved twice to different values
+};
+
+[[nodiscard]] const char* sanitizeIssueKindName(SanitizeIssueKind kind) noexcept;
+
+struct SanitizeIssue {
+  SanitizeIssueKind kind = SanitizeIssueKind::UnknownKnob;
+  std::string param;
+  std::int64_t value = 0;     ///< the offending emitted value
+  std::int64_t resolved = 0;  ///< what Enforce wrote instead (0 for drops)
+  std::string detail;
+};
+
+struct SanitizeVerdict {
+  std::vector<SanitizeIssue> issues;
+  /// The config to execute: repaired under Enforce, the action's own config
+  /// under Observe.
+  pfs::PfsConfig config;
+  [[nodiscard]] bool clean() const noexcept { return issues.empty(); }
+  /// One line per issue, for transcripts.
+  [[nodiscard]] std::string describe() const;
+};
+
+class ActionSanitizer {
+ public:
+  /// `knownKnobs`: the extracted parameter spec (knob names the deployment
+  /// actually documents). `counters` nullable.
+  ActionSanitizer(std::vector<std::string> knownKnobs, pfs::BoundsContext bounds,
+                  SanitizerMode mode, obs::CounterRegistry* counters);
+
+  /// Validates a RunConfig action's raw payload against the spec. The
+  /// incumbent config resolves contradictions (revert to what is already
+  /// deployed). Non-RunConfig actions are vacuously clean.
+  [[nodiscard]] SanitizeVerdict sanitize(const TuningAgent::Action& action,
+                                         const pfs::PfsConfig& incumbent) const;
+
+  [[nodiscard]] SanitizerMode mode() const noexcept { return mode_; }
+
+ private:
+  std::vector<std::string> knownKnobs_;
+  pfs::BoundsContext bounds_;
+  SanitizerMode mode_;
+  obs::CounterRegistry* counters_;
+};
+
+}  // namespace stellar::agents

@@ -583,7 +583,7 @@ pfs::PfsConfig TuningAgent::synthesize(const MoveGroup& group,
   return cfg;
 }
 
-void TuningAgent::recordPromptedCall(const std::string& output) {
+bool TuningAgent::recordPromptedCall(const std::string& output) {
   std::string prompt = knowledgeDump_;
   if (report_) {
     prompt += "\nI/O Report:\n" + report_->text;
@@ -596,7 +596,56 @@ void TuningAgent::recordPromptedCall(const std::string& output) {
     prompt += attempt.rationale + " -> " +
               (attempt.valid ? util::formatSeconds(attempt.seconds) : "INVALID") + "\n";
   }
-  meter_.recordCall("tuning-agent", prompt, output);
+  if (llm_ == nullptr) {
+    meter_.recordCall("tuning-agent", prompt, output);
+    lastOutcome_ = llm::CallOutcome{};
+    return true;
+  }
+  lastOutcome_ = llm_->call(opts_.model, "tuning-agent", prompt, output);
+  return lastOutcome_.ok;
+}
+
+void TuningAgent::fillEmitted(Action& action, const MoveGroup& group) const {
+  for (const Move& move : group.moves) {
+    // The payload carries the values as finally written (post-synthesis
+    // clamping and the stripe_count=-1 spelling included).
+    action.emitted.push_back(
+        RawMove{move.param, action.config.get(move.param).value_or(move.value)});
+  }
+}
+
+void TuningAgent::applyContentFaults(Action& action) {
+  const llm::CallDirectives& d = lastOutcome_.directives;
+  if (action.kind != ActionKind::RunConfig || !d.corrupted()) {
+    return;
+  }
+  // Seeded independently of the planning RNG so chaos never perturbs the
+  // decision sequence itself.
+  const std::uint64_t h = util::mix64(
+      hashText(opts_.model.name, opts_.seed),
+      util::mix64(0xC022, static_cast<std::uint64_t>(attempts_.size())));
+  if (d.outOfRange && !action.emitted.empty()) {
+    // A believed-maximum overshoot: plausible in form, invalid in value.
+    RawMove& mv = action.emitted[h % action.emitted.size()];
+    if (mv.value >= 0) {  // leave the stripe_count=-1 spelling alone
+      mv.value = std::max<std::int64_t>(mv.value, believedMax(mv.param)) * 8 + 7;
+      (void)action.config.set(mv.param, mv.value);
+    }
+  }
+  if (d.hallucinatedKnob) {
+    // Plausible-but-nonexistent knob names (typos and invented tunables).
+    static const char* kPhantoms[] = {
+        "osc.max_rpcs_in_flght",
+        "llite.readahead_turbo_mb",
+        "lov.stripe_width",
+        "mdc.batch_rpcs_in_flight",
+    };
+    const std::size_t pick = (h >> 17) % (sizeof kPhantoms / sizeof kPhantoms[0]);
+    action.emitted.push_back(
+        RawMove{kPhantoms[pick], static_cast<std::int64_t>(64 + (h >> 23) % 448)});
+    // PfsConfig cannot hold an unknown knob, so only the raw payload sees
+    // it — which is exactly where the sanitizer looks.
+  }
 }
 
 TuningAgent::Action TuningAgent::decide() {
@@ -608,8 +657,13 @@ TuningAgent::Action TuningAgent::decide() {
     pendingQuestions_.erase(pendingQuestions_.begin());
     action.rationale = "Requesting additional analysis before selecting "
                        "parameters to tune.";
-    recordPromptedCall(std::string{"Analysis? "} +
-                       followUpQuestionText(action.question));
+    if (!recordPromptedCall(std::string{"Analysis? "} +
+                            followUpQuestionText(action.question))) {
+      pendingQuestions_.insert(pendingQuestions_.begin(), action.question);
+      action.delivered = false;
+      return action;
+    }
+    action.staleAnalysis = lastOutcome_.directives.staleAnalysis;
     return action;
   }
 
@@ -636,7 +690,10 @@ TuningAgent::Action TuningAgent::decide() {
           "further gain; the remaining hypotheses target parameters with "
           "minor expected impact, so further tuning would yield diminishing "
           "returns.";
-      recordPromptedCall(action.rationale);
+      if (!recordPromptedCall(action.rationale)) {
+        action.delivered = false;
+        return action;
+      }
       transcript_.add("tuning-agent", "End Tuning?", action.rationale);
       return action;
     }
@@ -649,14 +706,21 @@ TuningAgent::Action TuningAgent::decide() {
     Action action;
     action.kind = ActionKind::RunConfig;
     action.config = synthesize(group, action.rationale);
+    if (!recordPromptedCall(action.rationale)) {
+      repairGroup_ = std::move(group);  // retry reproduces this decision
+      action.delivered = false;
+      return action;
+    }
+    fillEmitted(action, group);
+    applyContentFaults(action);
     inFlight_ = std::move(group);
-    recordPromptedCall(action.rationale);
     transcript_.add("tuning-agent", "attempt " + std::to_string(attempts_.size() + 1),
                     action.rationale);
     return action;
   }
   while (budgetLeft && nextGroup_ < plan_.size()) {
-    MoveGroup group = plan_[nextGroup_++];
+    const std::size_t groupIndex = nextGroup_++;
+    MoveGroup group = plan_[groupIndex];
     Action action;
     action.kind = ActionKind::RunConfig;
     action.config = synthesize(group, action.rationale);
@@ -665,8 +729,14 @@ TuningAgent::Action TuningAgent::decide() {
       // playbook group whose values a matched rule already applied).
       continue;
     }
+    if (!recordPromptedCall(action.rationale)) {
+      nextGroup_ = groupIndex;  // retry reproduces this decision
+      action.delivered = false;
+      return action;
+    }
+    fillEmitted(action, group);
+    applyContentFaults(action);
     inFlight_ = std::move(group);
-    recordPromptedCall(action.rationale);
     transcript_.add("tuning-agent", "attempt " + std::to_string(attempts_.size() + 1),
                     action.rationale);
     return action;
@@ -682,7 +752,10 @@ TuningAgent::Action TuningAgent::decide() {
                                 util::formatDouble(bestGain * 100, 1) + "%."
                           : "No configuration outperformed the default; ending "
                             "to avoid unproductive exploration.");
-  recordPromptedCall(action.rationale);
+  if (!recordPromptedCall(action.rationale)) {
+    action.delivered = false;
+    return action;
+  }
   transcript_.add("tuning-agent", "End Tuning?", action.rationale);
   return action;
 }

@@ -29,6 +29,7 @@
 #include "agents/io_report.hpp"
 #include "agents/transcript.hpp"
 #include "llm/knowledge.hpp"
+#include "llm/llm_client.hpp"
 #include "llm/model_profile.hpp"
 #include "llm/token_meter.hpp"
 #include "pfs/params.hpp"
@@ -74,17 +75,54 @@ class TuningAgent {
  public:
   enum class ActionKind { AskAnalysis, RunConfig, EndTuning };
 
+  /// One raw parameter move as emitted in the tool-call payload. Unlike
+  /// `config` (which can only hold real knobs), the raw list can carry a
+  /// hallucinated knob name — exactly what the ActionSanitizer validates.
+  struct RawMove {
+    std::string param;
+    std::int64_t value = 0;
+  };
+
   struct Action {
     ActionKind kind = ActionKind::EndTuning;
     FollowUpQuestion question = FollowUpQuestion::FileSizeDistribution;
     pfs::PfsConfig config;
     std::string rationale;
+    /// Raw tool-call payload for RunConfig actions (sanitizer input).
+    std::vector<RawMove> emitted;
+    /// False when the model call behind this decision failed (timeout /
+    /// rate limit / truncation / breaker): the action was *attempted* but
+    /// never delivered — the caller must not execute it. Internal agent
+    /// state is rolled back so a retried decide() reproduces the choice.
+    bool delivered = true;
+    /// The analysis answer this question receives will be stale (fault
+    /// injection); only meaningful for AskAnalysis actions.
+    bool staleAnalysis = false;
   };
 
   TuningAgent(TuningAgentOptions options,
               std::map<std::string, llm::ParamKnowledge> knowledge,
               pfs::BoundsContext bounds, const rules::RuleSet* globalRules,
               llm::TokenMeter& meter, Transcript& transcript);
+
+  /// Routes every model call through `client` (nullable, non-owning): the
+  /// fault-injection / retry / circuit-breaker boundary of ISSUE 7. Without
+  /// a client, calls are metered directly and always succeed — byte-for-
+  /// byte the pre-client behavior.
+  void attachLlm(llm::LlmClient* client) noexcept { llm_ = client; }
+
+  /// Resilience-ladder model swap: subsequent calls bill and sample faults
+  /// as `model`. The decision plan (already built, seeded by the original
+  /// model) is kept — the cheaper model inherits the session, it does not
+  /// restart it.
+  void switchModel(const llm::ModelProfile& model) { opts_.model = model; }
+
+  [[nodiscard]] const llm::ModelProfile& model() const noexcept { return opts_.model; }
+
+  /// Outcome of the model call behind the most recent decide().
+  [[nodiscard]] const llm::CallOutcome& lastOutcome() const noexcept {
+    return lastOutcome_;
+  }
 
   /// Warm start from cross-run memory: `config` (a prior run's best for a
   /// similar workload) becomes the first Configuration Runner attempt,
@@ -159,7 +197,15 @@ class TuningAgent {
   [[nodiscard]] std::int64_t believedMin(const std::string& param) const;
   [[nodiscard]] pfs::PfsConfig synthesize(const MoveGroup& group,
                                           std::string& rationaleOut) const;
-  void recordPromptedCall(const std::string& output);
+  /// Issues the model call behind a decision. Returns false when the call
+  /// failed (fault injection); the caller rolls its state back and returns
+  /// an undelivered Action.
+  [[nodiscard]] bool recordPromptedCall(const std::string& output);
+  /// Fills the raw tool-call payload from the group's moves.
+  void fillEmitted(Action& action, const MoveGroup& group) const;
+  /// Applies the delivered call's content corruptions (hallucinated knob,
+  /// out-of-range value) to a RunConfig action.
+  void applyContentFaults(Action& action);
 
   TuningAgentOptions opts_;
   std::map<std::string, llm::ParamKnowledge> knowledge_;
@@ -167,6 +213,8 @@ class TuningAgent {
   const rules::RuleSet* globalRules_;
   llm::TokenMeter& meter_;
   Transcript& transcript_;
+  llm::LlmClient* llm_ = nullptr;
+  llm::CallOutcome lastOutcome_;
   util::Rng rng_;
 
   std::optional<IoReport> report_;

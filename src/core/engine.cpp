@@ -5,9 +5,75 @@
 
 #include "darshan/recorder.hpp"
 #include "dataframe/from_darshan.hpp"
+#include "llm/llm_fault_model.hpp"
 #include "util/strings.hpp"
+#include "util/units.hpp"
 
 namespace stellar::core {
+
+namespace {
+
+pfs::RunOutcome runOutcomeByName(const std::string& name) {
+  if (name == "failed") {
+    return pfs::RunOutcome::Failed;
+  }
+  if (name == "timed-out") {
+    return pfs::RunOutcome::TimedOut;
+  }
+  return pfs::RunOutcome::Ok;
+}
+
+/// The resilience ladder's model-free rung: a configuration derived from
+/// matched rules (applied at their documented bounds) or, failing that, a
+/// modest heuristic preset keyed on the I/O report. Returns the default
+/// configuration when there is no evidence to act on.
+pfs::PfsConfig ruleBaselineConfig(const agents::IoReport* report,
+                                  const rules::RuleSet* rules,
+                                  const pfs::BoundsContext& ctx) {
+  pfs::PfsConfig cfg;
+  bool any = false;
+  if (report != nullptr && rules != nullptr && !rules->empty()) {
+    for (const rules::Rule* rule : rules->match(report->context, 0.7)) {
+      const auto bounds = pfs::paramBounds(rule->parameter, cfg, ctx);
+      if (!bounds) {
+        continue;
+      }
+      std::int64_t value = cfg.get(rule->parameter).value_or(bounds->min);
+      switch (rule->direction) {
+        case rules::Direction::SetMax: value = bounds->max; break;
+        case rules::Direction::SetMin: value = bounds->min; break;
+        case rules::Direction::SetValue: value = rule->value; break;
+        case rules::Direction::Increase: value = value * 8; break;
+        case rules::Direction::Decrease: value = value / 8; break;
+      }
+      value = std::clamp(value, bounds->min, bounds->max);
+      any = cfg.set(rule->parameter, value) || any;
+    }
+  }
+  if (!any && report != nullptr) {
+    // No matched rules: a conservative preset per workload family (far less
+    // ambitious than the agent's playbooks — this rung only needs to beat
+    // the default, not the tuned optimum).
+    const rules::WorkloadContext& c = report->context;
+    if (c.metaOpShare > 0.6) {
+      (void)cfg.set("llite.statahead_max", 1024);
+      (void)cfg.set("mdc.max_rpcs_in_flight", 64);
+      (void)cfg.set("mdc.max_mod_rpcs_in_flight", 63);
+      (void)cfg.set("ldlm.lru_size", 65536);
+    } else if (c.sequentialShare > 0.6) {
+      (void)cfg.set("lov.stripe_count", -1);
+      (void)cfg.set("lov.stripe_size", static_cast<std::int64_t>(4 * util::kMiB));
+      (void)cfg.set("osc.max_pages_per_rpc", 1024);
+      (void)cfg.set("osc.max_dirty_mb", 256);
+    } else {
+      (void)cfg.set("lov.stripe_count", -1);
+      (void)cfg.set("osc.max_rpcs_in_flight", 32);
+    }
+  }
+  return pfs::clampConfig(cfg, ctx);
+}
+
+}  // namespace
 
 StellarEngine::StellarEngine(pfs::PfsSimulator simulator, StellarOptions options)
     : simulator_(std::move(simulator)), options_(std::move(options)) {}
@@ -114,6 +180,69 @@ TuningRunResult StellarEngine::tune(const pfs::JobSpec& job,
     }
   };
 
+  // --- crash-safe session journal (ISSUE 7) ---------------------------------
+  // The header binds the journal file to this exact session; resuming with a
+  // different workload / seed / model is refused. The initial run is never
+  // journaled (darshan::characterize needs the full RunResult, which the
+  // journal does not carry) — it is simply re-executed on resume, which is
+  // deterministic and therefore harmless.
+  if (options_.journal != nullptr) {
+    util::Json header = util::Json::makeObject();
+    header.set("type", "header");
+    header.set("workload", job.name);
+    header.set("seed", static_cast<std::int64_t>(options_.seed));
+    header.set("agent_model", options_.agent.model.name);
+    header.set("agent_seed", static_cast<std::int64_t>(options_.agent.seed));
+    header.set("max_attempts", static_cast<std::int64_t>(options_.agent.maxAttempts));
+    header.set("analysis_model", options_.analysisModel.name);
+    header.set("fallback_model", options_.fallbackModel.name);
+    header.set("sanitizer", agents::sanitizerModeName(options_.sanitizer));
+    const faults::FaultPlan* plan = simulator_.options().faults;
+    header.set("faults", plan == nullptr ? std::string{} : plan->describe());
+    options_.journal->bind(header);
+  }
+
+  // Journal-aware measurement: every tool-loop simulator run gets a
+  // monotonic index. A journaled index replays instead of re-running; a
+  // fresh run is recorded before its result is acted on, so a crash at any
+  // point resumes bit-identically. The measurement cap is the deterministic
+  // stand-in for that crash.
+  std::size_t measIndex = 0;
+  std::size_t freshRuns = 0;
+  const auto measure = [&](const pfs::PfsConfig& cfg,
+                           std::uint64_t seed) -> pfs::RunResult {
+    const std::size_t index = measIndex++;
+    if (options_.journal != nullptr) {
+      if (const auto replayed = options_.journal->replay(index)) {
+        ++result.resilience.journalReplayedMeasurements;
+        pfs::RunResult run;
+        run.wallSeconds = replayed->wallSeconds;
+        run.rawWallSeconds = replayed->wallSeconds;
+        run.outcome = runOutcomeByName(replayed->outcome);
+        run.failureReason = replayed->failureReason;
+        return run;
+      }
+    }
+    if (options_.maxMeasurements != 0 && freshRuns >= options_.maxMeasurements) {
+      if (options_.journal != nullptr) {
+        options_.journal->syncTranscript(result.transcript);
+      }
+      throw SessionInterrupted("measurement cap (" +
+                               std::to_string(options_.maxMeasurements) +
+                               ") reached at measurement " + std::to_string(index));
+    }
+    pfs::RunResult run = simulator_.run(job, cfg, seed, limits);
+    ++freshRuns;
+    if (options_.journal != nullptr) {
+      options_.journal->recordMeasurement(
+          index, JournaledMeasurement{run.wallSeconds,
+                                      pfs::runOutcomeName(run.outcome),
+                                      run.failureReason});
+      options_.journal->syncTranscript(result.transcript);
+    }
+    return run;
+  };
+
   // --- initial run with the default configuration --------------------------
   obs::Tracer::Span initialSpan = obs::beginSpan(tracer, "tuning", "iteration:0");
   pfs::RunResult initial = simulator_.run(job, defaultConfig, seedBase, limits);
@@ -191,9 +320,30 @@ TuningRunResult StellarEngine::tune(const pfs::JobSpec& job,
   }
 
   // --- Tuning Agent tool loop -----------------------------------------------
-  agents::TuningAgent agent{options_.agent, buildKnowledge(),
+  // The inference boundary: one fault model derived from the same plan that
+  // drives the simulator's injector (simulator-side kinds are ignored here,
+  // LLM kinds there), behind a retrying, circuit-breaking client. With no
+  // LLM faults in the plan the client is pass-through and clean runs stay
+  // bit-identical.
+  const faults::FaultPlan* faultPlan = simulator_.options().faults;
+  const llm::LlmFaultModel llmFaults =
+      faultPlan != nullptr ? llm::LlmFaultModel{*faultPlan} : llm::LlmFaultModel{};
+  llm::LlmClient llmClient{&llmFaults, result.meter, registry, options_.llmClient};
+
+  std::map<std::string, llm::ParamKnowledge> knowledge = buildKnowledge();
+  std::vector<std::string> knownKnobs;
+  knownKnobs.reserve(knowledge.size());
+  for (const auto& [name, k] : knowledge) {
+    knownKnobs.push_back(name);
+  }
+  const agents::ActionSanitizer sanitizer{std::move(knownKnobs),
+                                          simulator_.boundsContext(),
+                                          options_.sanitizer, registry};
+
+  agents::TuningAgent agent{options_.agent, std::move(knowledge),
                             simulator_.boundsContext(), agentRules, result.meter,
                             result.transcript};
+  agent.attachLlm(&llmClient);
   if (hint) {
     agent.primeWarmStart(hint->config,
                          "Begin from the best configuration recorded for a "
@@ -202,14 +352,66 @@ TuningRunResult StellarEngine::tune(const pfs::JobSpec& job,
   }
   agent.observeInitialRun(reportPtr, initial.wallSeconds, defaultConfig);
 
-  // Guard: tool loop is bounded by attempts + questions + repairs.
-  const int maxToolCalls = options_.agent.maxAttempts * 2 + 8;
+  // Guard: tool loop is bounded by attempts + questions + repairs, with
+  // extra headroom for failed / escalated decisions when LLM chaos is on.
+  const int maxToolCalls =
+      options_.agent.maxAttempts * 2 + 8 + (llmFaults.empty() ? 0 : 12);
+  int failedDecisions = 0;
+  bool agentAbandoned = false;
   for (int call = 0; call < maxToolCalls; ++call) {
     // One span per agent iteration: the tool decision plus whatever it
     // triggered (analysis follow-up or configuration attempt).
     obs::Tracer::Span iterSpan = obs::beginSpan(
         tracer, "tuning", "iteration:" + std::to_string(result.iterationSeconds.size()));
     const agents::TuningAgent::Action action = agent.decide();
+    if (!action.delivered) {
+      // The model call behind the decision failed; the agent rolled its
+      // state back, so the decision will be reproduced on the next call.
+      // This is where the resilience ladder climbs: bounded in-call retries
+      // already happened inside LlmClient, so repeated failures here mean
+      // the model (or the provider) is down — escalate.
+      const llm::CallOutcome& outcome = agent.lastOutcome();
+      ++result.resilience.undeliveredDecisions;
+      ++failedDecisions;
+      iterSpan.arg("kind", util::Json("undelivered"));
+      result.transcript.add(
+          "system", "llm call failed",
+          outcome.breakerOpen
+              ? "circuit breaker open for " + agent.model().name +
+                    " — call short-circuited"
+              : std::string{"model call failed ("} +
+                    llm::callFaultName(outcome.lastFault) + ") after " +
+                    std::to_string(outcome.retries) + " retries");
+      if (outcome.breakerOpen || failedDecisions >= 4) {
+        if (result.resilienceRung == "primary") {
+          result.resilienceRung = "fallback-model";
+          agent.switchModel(options_.fallbackModel);
+          failedDecisions = 0;
+          result.transcript.add("system", "resilience ladder",
+                                "escalating to fallback model " +
+                                    options_.fallbackModel.name);
+          if (registry != nullptr) {
+            registry->counter("core.resilience.escalations",
+                              {{"rung", "fallback-model"}})
+                .add();
+          }
+          continue;
+        }
+        agentAbandoned = true;
+        result.endReason = "agent abandoned: LLM unavailable";
+        result.transcript.add("system", "resilience ladder",
+                              "fallback model unusable too — abandoning the "
+                              "agent loop for the rule-derived baseline");
+        if (registry != nullptr) {
+          registry->counter("core.resilience.escalations",
+                            {{"rung", "rule-baseline"}})
+              .add();
+        }
+        break;
+      }
+      continue;
+    }
+    failedDecisions = 0;
     if (action.kind == agents::TuningAgent::ActionKind::EndTuning) {
       iterSpan.arg("kind", util::Json("end-tuning"));
       result.endReason = action.rationale;
@@ -217,35 +419,67 @@ TuningRunResult StellarEngine::tune(const pfs::JobSpec& job,
     }
     if (action.kind == agents::TuningAgent::ActionKind::AskAnalysis) {
       iterSpan.arg("kind", util::Json("ask-analysis"));
-      if (analysis) {
-        const std::string answer = analysis->answerFollowUp(action.question);
-        agent.observeAnalysisAnswer(action.question, answer);
-      } else {
-        agent.observeAnalysisAnswer(action.question, "(no analysis agent available)");
+      std::string answer = analysis ? analysis->answerFollowUp(action.question)
+                                    : "(no analysis agent available)";
+      if (action.staleAnalysis) {
+        // Content-level fault: the answer arrives from a stale cache. The
+        // marker degrades the agent's working context instead of failing
+        // the call — exactly the quiet corruption a sanitizer cannot catch.
+        ++result.resilience.staleAnalyses;
+        answer = "[cached from an earlier session; may not reflect this run] " +
+                 answer;
+        result.transcript.add("system", "stale analysis",
+                              "the analysis answer was served from a stale cache");
+        if (registry != nullptr) {
+          registry->counter("agent.llm.stale_analyses").add();
+        }
       }
+      agent.observeAnalysisAnswer(action.question, answer);
       continue;
     }
-    // Configuration Runner tool: validate, then execute on the system.
+    // Configuration Runner tool: sanitize the raw payload, validate, then
+    // execute on the system.
+    const agents::SanitizeVerdict verdict = sanitizer.sanitize(action, agent.bestConfig());
+    if (!verdict.clean()) {
+      result.resilience.sanitizerIssues += verdict.issues.size();
+      for (const agents::SanitizeIssue& issue : verdict.issues) {
+        switch (issue.kind) {
+          case agents::SanitizeIssueKind::OutOfRange:
+            ++result.resilience.clampedValues;
+            break;
+          case agents::SanitizeIssueKind::UnknownKnob:
+          case agents::SanitizeIssueKind::Contradictory:
+            ++result.resilience.rejectedMoves;
+            break;
+          case agents::SanitizeIssueKind::DuplicateMove:
+            break;
+        }
+      }
+      result.transcript.add("sanitizer",
+                            std::string{"payload issues ("} +
+                                agents::sanitizerModeName(sanitizer.mode()) + ")",
+                            verdict.describe());
+    }
+    const pfs::PfsConfig& execConfig = verdict.config;
     if (iterSpan.active()) {
       iterSpan.arg("kind", util::Json("attempt"));
-      iterSpan.arg("config", util::Json(action.config.diffAgainst(defaultConfig)));
+      iterSpan.arg("config", util::Json(execConfig.diffAgainst(defaultConfig)));
     }
-    const auto problems = pfs::validateConfig(action.config, simulator_.boundsContext());
+    const auto problems = pfs::validateConfig(execConfig, simulator_.boundsContext());
     if (!problems.empty()) {
       iterSpan.arg("invalid", util::Json(util::join(problems, "; ")));
       agent.observeRunResult(0.0, false, util::join(problems, "; "));
       result.iterationSeconds.push_back(result.iterationSeconds.back());
       continue;
     }
-    pfs::RunResult run = simulator_.run(
-        job, action.config, util::mix64(seedBase, result.iterationSeconds.size()), limits);
+    pfs::RunResult run =
+        measure(execConfig, util::mix64(seedBase, result.iterationSeconds.size()));
     if (!run.ok()) {
       noteRetriedMeasurement(run);
       result.transcript.add("system", "run failed",
                             run.failureReason + " — re-measuring once.");
-      run = simulator_.run(
-          job, action.config,
-          util::mix64(seedBase, 0xF001 + result.iterationSeconds.size()), limits);
+      run = measure(execConfig,
+                    util::mix64(seedBase, 0xF001 + result.iterationSeconds.size()));
     }
     iterSpan.arg("seconds", util::Json(run.wallSeconds));
     iterSpan.arg("outcome", util::Json(pfs::runOutcomeName(run.outcome)));
@@ -269,6 +503,57 @@ TuningRunResult StellarEngine::tune(const pfs::JobSpec& job,
   result.attempts = agent.attempts();
   result.bestConfig = agent.bestConfig();
   result.bestSeconds = agent.bestSeconds();
+
+  // --- ladder rungs 3/4: rule-derived baseline, then the safe default -------
+  if (agentAbandoned) {
+    const pfs::PfsConfig baseline =
+        ruleBaselineConfig(reportPtr, agentRules, simulator_.boundsContext());
+    if (baseline == defaultConfig) {
+      result.resilienceRung = "safe-default";
+      result.transcript.add("system", "resilience ladder",
+                            "no rule evidence to act on — staying on the safe "
+                            "default configuration");
+    } else {
+      pfs::RunResult run = measure(baseline, util::mix64(seedBase, 0xBA5E));
+      if (!run.ok()) {
+        noteRetriedMeasurement(run);
+        run = measure(baseline, util::mix64(seedBase, 0xBA5F));
+      }
+      agents::Attempt attempt;
+      attempt.config = baseline;
+      attempt.rationale =
+          "Rule-derived baseline applied by the resilience ladder (no model "
+          "available).";
+      if (run.ok()) {
+        attempt.seconds = run.wallSeconds;
+        result.iterationSeconds.push_back(run.wallSeconds);
+      } else {
+        attempt.valid = false;
+        attempt.measurementFailed = true;
+        attempt.error = run.failureReason;
+        result.iterationSeconds.push_back(result.iterationSeconds.back());
+      }
+      const bool adopted = run.ok() && run.wallSeconds < result.bestSeconds;
+      if (adopted) {
+        result.bestConfig = baseline;
+        result.bestSeconds = run.wallSeconds;
+      }
+      result.resilienceRung = adopted ? "rule-baseline" : "safe-default";
+      result.transcript.add(
+          "system", "resilience ladder",
+          adopted ? "rule-derived baseline measured " +
+                        util::formatSeconds(run.wallSeconds) + " — adopted"
+                  : "rule-derived baseline did not beat the incumbent — "
+                    "keeping the safe default");
+      result.attempts.push_back(std::move(attempt));
+    }
+  }
+
+  result.resilience.llmCalls = llmClient.callsIssued();
+  result.resilience.llmWastedAttempts = llmClient.wastedAttempts();
+  result.resilience.llmFailedCalls = llmClient.failedCalls();
+  result.resilience.breakerTrips = llmClient.breakerTrips();
+  result.resilience.backoffSeconds = llmClient.backoffSeconds();
 
   // --- staleness feedback to the experience store ---------------------------
   if (hint && options_.warmStart != nullptr) {
@@ -329,6 +614,17 @@ TuningRunResult StellarEngine::tune(const pfs::JobSpec& job,
     if (!mergeReport.empty()) {
       result.transcript.add("tuning-agent", "rule set merge", mergeReport);
     }
+  }
+
+  if (options_.journal != nullptr) {
+    options_.journal->syncTranscript(result.transcript);
+    util::Json summary = util::Json::makeObject();
+    summary.set("default_seconds", result.defaultSeconds);
+    summary.set("best_seconds", result.bestSeconds);
+    summary.set("end_reason", result.endReason);
+    summary.set("resilience_rung", result.resilienceRung);
+    summary.set("best_config", result.bestConfig.toJson());
+    options_.journal->markComplete(summary);
   }
 
   if (tuneSpan.active()) {
@@ -428,7 +724,33 @@ util::Json TuningRunResult::toJson() const {
   usage.set("cached_tokens", static_cast<std::int64_t>(totals.cachedTokens));
   usage.set("output_tokens", static_cast<std::int64_t>(totals.outputTokens));
   usage.set("cache_hit_rate", totals.cacheHitRate());
+  usage.set("wasted_calls", static_cast<std::int64_t>(totals.wastedCalls));
+  usage.set("wasted_input_tokens",
+            static_cast<std::int64_t>(totals.wastedInputTokens));
+  usage.set("wasted_cached_tokens",
+            static_cast<std::int64_t>(totals.wastedCachedTokens));
+  usage.set("wasted_output_tokens",
+            static_cast<std::int64_t>(totals.wastedOutputTokens));
   root.set("llm_usage", std::move(usage));
+
+  root.set("resilience_rung", resilienceRung);
+  util::Json res = util::Json::makeObject();
+  res.set("llm_calls", static_cast<std::int64_t>(resilience.llmCalls));
+  res.set("llm_wasted_attempts",
+          static_cast<std::int64_t>(resilience.llmWastedAttempts));
+  res.set("llm_failed_calls", static_cast<std::int64_t>(resilience.llmFailedCalls));
+  res.set("breaker_trips", static_cast<std::int64_t>(resilience.breakerTrips));
+  res.set("backoff_seconds", resilience.backoffSeconds);
+  res.set("undelivered_decisions",
+          static_cast<std::int64_t>(resilience.undeliveredDecisions));
+  res.set("sanitizer_issues", static_cast<std::int64_t>(resilience.sanitizerIssues));
+  res.set("clamped_values", static_cast<std::int64_t>(resilience.clampedValues));
+  res.set("rejected_moves", static_cast<std::int64_t>(resilience.rejectedMoves));
+  res.set("stale_analyses", static_cast<std::int64_t>(resilience.staleAnalyses));
+  // journalReplayedMeasurements is deliberately NOT serialized: it is the
+  // one stat that distinguishes a resumed session from an uninterrupted one,
+  // and the KILL-RESUME law byte-compares this JSON across both.
+  root.set("resilience", std::move(res));
   return root;
 }
 

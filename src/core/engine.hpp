@@ -9,10 +9,13 @@
 #include <string>
 #include <vector>
 
+#include "agents/action_sanitizer.hpp"
 #include "agents/analysis_agent.hpp"
 #include "agents/transcript.hpp"
 #include "agents/tuning_agent.hpp"
 #include "core/offline_extractor.hpp"
+#include "core/session_journal.hpp"
+#include "llm/llm_client.hpp"
 #include "llm/token_meter.hpp"
 #include "pfs/simulator.hpp"
 #include "rules/rules.hpp"
@@ -80,6 +83,27 @@ struct StellarOptions {
   /// is told afterwards whether the recalled config regressed (staleness
   /// eviction) or held up (confirmation).
   WarmStartProvider* warmStart = nullptr;
+
+  // --- agent-layer resilience (ISSUE 7) ------------------------------------
+  /// Tool-call payload validation at the Tuning Agent boundary. Observe
+  /// (default) records issues without touching the config — byte-for-byte
+  /// the pre-sanitizer behavior; Enforce repairs it (drop / revert / clamp).
+  agents::SanitizerMode sanitizer = agents::SanitizerMode::Observe;
+  /// Retry / backoff / circuit-breaker policy at the inference boundary.
+  llm::LlmClientOptions llmClient{};
+  /// Cheaper model the resilience ladder falls back to when the primary
+  /// model's circuit breaker opens (or decisions keep failing).
+  llm::ModelProfile fallbackModel = llm::llama31_70b();
+  /// Crash-safe session journal (nullable, non-owning; must outlive the
+  /// engine). Measurements are recorded as they complete and replayed on
+  /// resume, so a killed session re-converges bit-identically.
+  SessionJournal* journal = nullptr;
+  /// Deterministic interrupt: once this many *fresh* journaled simulator
+  /// measurements have run in this process, tune() throws
+  /// SessionInterrupted (0 = unlimited). The CI kill/resume smoke uses it
+  /// as a reproducible stand-in for SIGKILL; replayed measurements do not
+  /// count, so every resume makes progress.
+  std::size_t maxMeasurements = 0;
 };
 
 /// One complete Tuning Run (the paper's unit of evaluation).
@@ -103,6 +127,27 @@ struct TuningRunResult {
   bool warmStarted = false;
   double warmStartSimilarity = 0.0;
   std::vector<std::string> warmStartSources;
+
+  /// Resilience ladder rung the session ended on: "primary" (the configured
+  /// agent model carried the run), "fallback-model" (the cheaper model took
+  /// over), "rule-baseline" (both models unusable; a rule/heuristic-derived
+  /// config was measured and won), or "safe-default" (nothing beat the
+  /// default configuration).
+  std::string resilienceRung = "primary";
+  struct ResilienceStats {
+    std::uint64_t llmCalls = 0;           ///< logical calls issued
+    std::uint64_t llmWastedAttempts = 0;  ///< failed attempts (billed wasted)
+    std::uint64_t llmFailedCalls = 0;     ///< logical calls that never delivered
+    std::uint64_t breakerTrips = 0;
+    double backoffSeconds = 0.0;  ///< simulated retry backoff waited
+    std::uint64_t undeliveredDecisions = 0;
+    std::uint64_t sanitizerIssues = 0;
+    std::uint64_t clampedValues = 0;
+    std::uint64_t rejectedMoves = 0;
+    std::uint64_t staleAnalyses = 0;
+    std::uint64_t journalReplayedMeasurements = 0;
+  };
+  ResilienceStats resilience;
 
   [[nodiscard]] double bestSpeedup() const noexcept {
     return bestSeconds > 0 ? defaultSeconds / bestSeconds : 0.0;

@@ -14,6 +14,12 @@ FaultInjector::FaultInjector(sim::SimEngine& engine, const FaultPlan& plan,
 
 void FaultInjector::arm() {
   for (const FaultEvent& event : plan_.events) {
+    // Agent-layer faults live at the LLM inference boundary; scheduling
+    // them here would perturb the event queue and break ML-FAULTFREE for
+    // plans that only carry llm:* events.
+    if (isLlmFault(event.kind)) {
+      continue;
+    }
     engine_.scheduleWindow(
         event.begin, event.end, [this, &event] { openEvent(event); },
         [this, &event] { closeEvent(event); });
@@ -103,6 +109,14 @@ void FaultInjector::recompute(FaultKind kind, std::int32_t /*target*/) {
       break;
     case FaultKind::NoiseSpike:
       break;  // applied post-run via noiseMultiplierOver()
+    case FaultKind::LlmTimeout:
+    case FaultKind::LlmRateLimit:
+    case FaultKind::LlmTruncated:
+    case FaultKind::LlmMalformed:
+    case FaultKind::LlmHallucinatedKnob:
+    case FaultKind::LlmOutOfRange:
+    case FaultKind::LlmStaleAnalysis:
+      break;  // never armed; handled by llm::LlmFaultModel
   }
 }
 

@@ -16,8 +16,36 @@ const char* faultKindName(FaultKind kind) noexcept {
     case FaultKind::RpcDrop: return "rpc-drop";
     case FaultKind::RpcStall: return "rpc-stall";
     case FaultKind::NoiseSpike: return "noise-spike";
+    case FaultKind::LlmTimeout: return "llm-timeout";
+    case FaultKind::LlmRateLimit: return "llm-rate-limit";
+    case FaultKind::LlmTruncated: return "llm-truncated";
+    case FaultKind::LlmMalformed: return "llm-malformed";
+    case FaultKind::LlmHallucinatedKnob: return "llm-hallucinated-knob";
+    case FaultKind::LlmOutOfRange: return "llm-out-of-range";
+    case FaultKind::LlmStaleAnalysis: return "llm-stale-analysis";
   }
   return "?";
+}
+
+bool isLlmFault(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::LlmTimeout:
+    case FaultKind::LlmRateLimit:
+    case FaultKind::LlmTruncated:
+    case FaultKind::LlmMalformed:
+    case FaultKind::LlmHallucinatedKnob:
+    case FaultKind::LlmOutOfRange:
+    case FaultKind::LlmStaleAnalysis:
+      return true;
+    case FaultKind::OstDegrade:
+    case FaultKind::OstOutage:
+    case FaultKind::MdsOverload:
+    case FaultKind::RpcDrop:
+    case FaultKind::RpcStall:
+    case FaultKind::NoiseSpike:
+      return false;
+  }
+  return false;
 }
 
 namespace {
@@ -59,6 +87,20 @@ void validateEvent(const FaultEvent& event) {
         badEvent(event, "noise multiplier must be >= 1");
       }
       break;
+    case FaultKind::LlmTimeout:
+    case FaultKind::LlmRateLimit:
+    case FaultKind::LlmTruncated:
+    case FaultKind::LlmMalformed:
+    case FaultKind::LlmHallucinatedKnob:
+    case FaultKind::LlmOutOfRange:
+    case FaultKind::LlmStaleAnalysis:
+      if (event.magnitude < 0.0 || event.magnitude > 1.0) {
+        badEvent(event, "probability must be in [0, 1]");
+      }
+      break;
+  }
+  if (!isLlmFault(event.kind) && !event.model.empty()) {
+    badEvent(event, "model filter is only meaningful for llm:* kinds");
   }
 }
 
@@ -75,6 +117,21 @@ double parseNumber(std::string_view element, std::string_view token, const char*
                             text + "'");
   }
   return v;
+}
+
+/// Maps the llm:<kind> grammar token to its FaultKind.
+FaultKind llmKindByToken(std::string_view element, const std::string& token) {
+  if (token == "timeout") return FaultKind::LlmTimeout;
+  if (token == "ratelimit") return FaultKind::LlmRateLimit;
+  if (token == "truncate") return FaultKind::LlmTruncated;
+  if (token == "malformed") return FaultKind::LlmMalformed;
+  if (token == "bad-knob") return FaultKind::LlmHallucinatedKnob;
+  if (token == "bad-value") return FaultKind::LlmOutOfRange;
+  if (token == "stale") return FaultKind::LlmStaleAnalysis;
+  badElement(element,
+             "unknown llm fault '" + token +
+                 "' (expected timeout/ratelimit/truncate/malformed/bad-knob/"
+                 "bad-value/stale)");
 }
 
 /// Splits the trailing "@<begin>-<end>" window off an element.
@@ -142,10 +199,23 @@ FaultEvent parseElement(std::string_view element) {
   } else if (parts.size() == 3 && parts[0] == "noise" && parts[1] == "spike") {
     event.kind = FaultKind::NoiseSpike;
     event.magnitude = parseNumber(element, parts[2], "noise multiplier");
+  } else if (parts.size() >= 1 && parts[0] == "llm") {
+    if (parts.size() < 3 || parts.size() > 4) {
+      badElement(element, "expected llm:<kind>:<prob>[:<model|*>]@<begin>-<end>");
+    }
+    event.kind = llmKindByToken(element, parts[1]);
+    event.magnitude = parseNumber(element, parts[2], "probability");
+    if (parts.size() == 4 && parts[3] != "*") {
+      if (parts[3].empty()) {
+        badElement(element, "model filter must be non-empty (or '*')");
+      }
+      event.model = parts[3];
+    }
   } else {
     badElement(element,
                "unknown fault kind (expected ost:/mds:overload/rpc:drop/"
-               "rpc:stall/noise:spike/seed:<n>, or a scenario name: " +
+               "rpc:stall/noise:spike/llm:<kind>/seed:<n>, or a scenario "
+               "name: " +
                    util::join(scenarioNames(), ", ") + ")");
   }
   requireWindow();
@@ -174,6 +244,9 @@ util::Json FaultPlan::toJson() const {
     e.set("begin", event.begin);
     e.set("end", event.end);
     e.set("magnitude", event.magnitude);
+    if (!event.model.empty()) {
+      e.set("model", event.model);
+    }
     arr.push(std::move(e));
   }
   root.set("events", std::move(arr));
@@ -193,9 +266,13 @@ std::string FaultPlan::describe() const {
     if (event.target != kAllTargets) {
       out += "[ost " + std::to_string(event.target) + "]";
     }
+    if (!event.model.empty()) {
+      out += "[" + event.model + "]";
+    }
     char buf[64];
-    std::snprintf(buf, sizeof buf, " x%.3g @%g-%gs", event.magnitude, event.begin,
-                  event.end);
+    std::snprintf(buf, sizeof buf, isLlmFault(event.kind) ? " p%.3g @calls %g-%g"
+                                                          : " x%.3g @%g-%gs",
+                  event.magnitude, event.begin, event.end);
     out += buf;
   }
   return out;
@@ -229,7 +306,8 @@ FaultPlan parseFaultSpec(std::string_view spec) {
 
 const std::vector<std::string>& scenarioNames() {
   static const std::vector<std::string> names{"degraded-ost", "flaky-network",
-                                              "mds-storm"};
+                                              "mds-storm",    "flaky-llm",
+                                              "degrading-llm", "llm-outage"};
   return names;
 }
 
@@ -242,25 +320,58 @@ FaultPlan scenarioByName(std::string_view name) {
     // forces visible timeout/retry traffic. Tuning should still win.
     return FaultPlan{
         .seed = 0xDE6,
-        .events = {{FaultKind::OstDegrade, 1, 1.0, 60.0, 0.3},
-                   {FaultKind::RpcDrop, kAllTargets, 2.0, 12.0, 0.2}}};
+        .events = {{FaultKind::OstDegrade, 1, 1.0, 60.0, 0.3, ""},
+                   {FaultKind::RpcDrop, kAllTargets, 2.0, 12.0, 0.2, ""}}};
   }
   if (name == "flaky-network") {
     // Sustained light loss with periodic stall windows: every RPC class
     // sees timeouts; nothing is down long enough to exhaust the budget.
     return FaultPlan{
         .seed = 0xF1A,
-        .events = {{FaultKind::RpcDrop, kAllTargets, 0.0, 90.0, 0.05},
-                   {FaultKind::RpcStall, kAllTargets, 5.0, 10.0, 0.002},
-                   {FaultKind::RpcStall, kAllTargets, 20.0, 25.0, 0.002}}};
+        .events = {{FaultKind::RpcDrop, kAllTargets, 0.0, 90.0, 0.05, ""},
+                   {FaultKind::RpcStall, kAllTargets, 5.0, 10.0, 0.002, ""},
+                   {FaultKind::RpcStall, kAllTargets, 20.0, 25.0, 0.002, ""}}};
   }
   if (name == "mds-storm") {
     // Competing metadata traffic: the MDS serves everything 6x slower for
     // a long window while measurements get noisier.
     return FaultPlan{
         .seed = 0x3D5,
-        .events = {{FaultKind::MdsOverload, kAllTargets, 1.0, 45.0, 6.0},
-                   {FaultKind::NoiseSpike, kAllTargets, 0.0, 45.0, 3.0}}};
+        .events = {{FaultKind::MdsOverload, kAllTargets, 1.0, 45.0, 6.0, ""},
+                   {FaultKind::NoiseSpike, kAllTargets, 0.0, 45.0, 3.0, ""}}};
+  }
+  // The LLM scenarios' windows are call indices; a tuning session makes a
+  // few dozen model calls, so 0-999 means "the whole session".
+  if (name == "flaky-llm") {
+    // Every failure mode at moderate rates. Per-call retry absorbs the
+    // transport faults (chance all retries fail ~ p^4) and the sanitizer
+    // absorbs the content faults: sessions stay on the primary rung.
+    return FaultPlan{
+        .seed = 0xF1B,
+        .events = {{FaultKind::LlmTimeout, kAllTargets, 0.0, 999.0, 0.15, ""},
+                   {FaultKind::LlmRateLimit, kAllTargets, 0.0, 999.0, 0.1, ""},
+                   {FaultKind::LlmTruncated, kAllTargets, 0.0, 999.0, 0.1, ""},
+                   {FaultKind::LlmMalformed, kAllTargets, 0.0, 999.0, 0.1, ""},
+                   {FaultKind::LlmHallucinatedKnob, kAllTargets, 0.0, 999.0, 0.25, ""},
+                   {FaultKind::LlmOutOfRange, kAllTargets, 0.0, 999.0, 0.25, ""},
+                   {FaultKind::LlmStaleAnalysis, kAllTargets, 0.0, 999.0, 0.2, ""}}};
+  }
+  if (name == "degrading-llm") {
+    // The premium primary model degrades into a hard outage after a few
+    // calls while cheaper models stay healthy: the circuit breaker trips
+    // and the session lands on the fallback-model rung.
+    return FaultPlan{
+        .seed = 0xDE9,
+        .events = {{FaultKind::LlmTimeout, kAllTargets, 1.0, 2.0, 0.5, "claude"},
+                   {FaultKind::LlmTimeout, kAllTargets, 2.0, 999.0, 1.0, "claude"}}};
+  }
+  if (name == "llm-outage") {
+    // Total provider outage after the opening calls: every model times out
+    // forever, both breakers trip, and the session must finish on the
+    // rule-based baseline rung without wedging.
+    return FaultPlan{
+        .seed = 0x0A7,
+        .events = {{FaultKind::LlmTimeout, kAllTargets, 1.0, 999.0, 1.0, ""}}};
   }
   throw FaultSpecError("unknown fault scenario '" + std::string{name} +
                        "' (available: " + util::join(scenarioNames(), ", ") + ")");

@@ -14,6 +14,21 @@
 //   rpc stall     extra one-way delivery delay, seconds
 //   noise spike   measurement-noise sigma multiplier >= 1
 //
+// LLM agent-layer faults (ISSUE 7) share the same plan/grammar but live at
+// the inference boundary (src/llm/LlmFaultModel), not the simulator: their
+// windows count *model calls*, not sim seconds, and their magnitudes are
+// per-call probabilities in [0, 1]. FaultInjector ignores them entirely, so
+// a plan containing only LLM faults leaves simulator runs bit-identical to
+// fault-free (the ML-FAULTFREE law keeps holding).
+//
+//   llm timeout            call exceeds its deadline; no response
+//   llm rate-limit         backpressure rejection; retry after backoff
+//   llm truncated          response cut off mid-action; unusable
+//   llm malformed          tool-call JSON does not parse
+//   llm hallucinated-knob  action names a parameter outside the spec
+//   llm out-of-range       action value escapes the documented range
+//   llm stale-analysis     analysis answer reflects an outdated run
+//
 // Plans are built programmatically, parsed from a compact spec string
 // (the CLI's --faults=SPEC), or pulled from the canned scenarios used by
 // bench/fault_resilience.
@@ -36,9 +51,21 @@ enum class FaultKind : std::uint8_t {
   RpcDrop,
   RpcStall,
   NoiseSpike,
+  // Agent-layer kinds; windows are call indices, magnitudes probabilities.
+  LlmTimeout,
+  LlmRateLimit,
+  LlmTruncated,
+  LlmMalformed,
+  LlmHallucinatedKnob,
+  LlmOutOfRange,
+  LlmStaleAnalysis,
 };
 
 [[nodiscard]] const char* faultKindName(FaultKind kind) noexcept;
+
+/// True for the agent-layer kinds handled by llm::LlmFaultModel (and
+/// skipped by the simulator-side FaultInjector).
+[[nodiscard]] bool isLlmFault(FaultKind kind) noexcept;
 
 /// Target value meaning "every OST" (and the only value meaningful for
 /// the non-OST kinds).
@@ -48,8 +75,12 @@ struct FaultEvent {
   FaultKind kind = FaultKind::OstDegrade;
   std::int32_t target = kAllTargets;  ///< OST index, or kAllTargets
   double begin = 0.0;                 ///< window [begin, end) in sim seconds
+                                      ///< (LLM kinds: in call indices)
   double end = 0.0;
   double magnitude = 1.0;             ///< kind-specific, see taxonomy above
+  /// LLM kinds only: case-sensitive substring filter on the model name;
+  /// empty matches every model. Ignored by the simulator-side kinds.
+  std::string model;
 
   [[nodiscard]] bool operator==(const FaultEvent&) const = default;
 };
@@ -88,6 +119,10 @@ struct FaultPlan {
 ///   rpc:drop:<prob>@<begin>-<end>
 ///   rpc:stall:<seconds>@<begin>-<end>
 ///   noise:spike:<mult>@<begin>-<end>
+///   llm:<kind>:<prob>[:<model|*>]@<begin>-<end>
+///     with <kind> one of timeout, ratelimit, truncate, malformed,
+///     bad-knob, bad-value, stale; the window counts model calls and the
+///     optional <model> is a substring filter on the model name
 ///   seed:<n>
 /// A bare scenario name (see scenarioNames) is also accepted. Throws
 /// FaultSpecError with the offending element quoted.

@@ -1,0 +1,94 @@
+// LlmClient: the inference boundary of the simulated agents, with the
+// failure handling a real deployment needs (ISSUE 7).
+//
+// Every logical call runs a bounded retry loop with exponential backoff
+// (backoff is simulated time, accounted as extra latency) against the
+// deterministic LlmFaultModel. Failed attempts still bill tokens — they go
+// to the TokenMeter's wasted_* tallies. A per-model circuit breaker trips
+// after consecutive logical-call failures, short-circuits calls during a
+// cooldown, then lets a single half-open probe through; success closes the
+// breaker, failure re-opens it.
+//
+// With no fault model attached the clean path is byte-for-byte what
+// TokenMeter::recordCall alone would have done — attaching the client to
+// an agent never perturbs fault-free runs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "llm/llm_fault_model.hpp"
+#include "llm/model_profile.hpp"
+#include "llm/token_meter.hpp"
+#include "obs/counters.hpp"
+
+namespace stellar::llm {
+
+struct LlmClientOptions {
+  /// Retries per logical call (total attempts = maxRetries + 1).
+  int maxRetries = 3;
+  /// Simulated backoff before retry r: base * 2^r seconds.
+  double backoffBaseSeconds = 1.0;
+  /// Consecutive failed logical calls that trip a model's breaker.
+  int breakerThreshold = 2;
+  /// Logical calls short-circuited while open before the half-open probe.
+  int breakerCooldownCalls = 2;
+};
+
+/// Result of one logical call (after retries).
+struct CallOutcome {
+  bool ok = true;
+  /// Content-corruption directives of the delivered attempt.
+  CallDirectives directives;
+  int retries = 0;                      ///< wasted attempts before the outcome
+  CallFault lastFault = CallFault::None;  ///< cause when !ok
+  bool breakerOpen = false;             ///< short-circuited, no attempt made
+  double backoffSeconds = 0.0;          ///< simulated backoff waited
+};
+
+enum class BreakerState : std::uint8_t { Closed, Open, HalfOpen };
+
+[[nodiscard]] const char* breakerStateName(BreakerState state) noexcept;
+
+class LlmClient {
+ public:
+  /// `faults` nullable (inert) and non-owning; `counters` nullable.
+  LlmClient(const LlmFaultModel* faults, TokenMeter& meter,
+            obs::CounterRegistry* counters, LlmClientOptions options = {});
+
+  /// One logical call. On success the prompt/output are metered as a normal
+  /// call; every failed attempt is metered as wasted. An open breaker
+  /// short-circuits without metering (nothing was sent).
+  CallOutcome call(const ModelProfile& profile, const std::string& conversation,
+                   const std::string& prompt, const std::string& output);
+
+  [[nodiscard]] BreakerState breakerState(const std::string& model) const;
+  [[nodiscard]] std::uint64_t callsIssued() const noexcept { return nextCall_; }
+  [[nodiscard]] std::uint64_t breakerTrips() const noexcept { return breakerTrips_; }
+  [[nodiscard]] std::uint64_t failedCalls() const noexcept { return failedCalls_; }
+  [[nodiscard]] std::uint64_t wastedAttempts() const noexcept { return wastedAttempts_; }
+  [[nodiscard]] double backoffSeconds() const noexcept { return backoffSeconds_; }
+
+ private:
+  struct Breaker {
+    BreakerState state = BreakerState::Closed;
+    int consecutiveFailures = 0;
+    std::uint64_t openedAtCall = 0;
+  };
+
+  void count(const char* name, const std::string& model, double delta = 1.0);
+
+  const LlmFaultModel* faults_;
+  TokenMeter& meter_;
+  obs::CounterRegistry* counters_;
+  LlmClientOptions opts_;
+  std::map<std::string, Breaker> breakers_;
+  std::uint64_t nextCall_ = 0;
+  std::uint64_t breakerTrips_ = 0;
+  std::uint64_t failedCalls_ = 0;
+  std::uint64_t wastedAttempts_ = 0;
+  double backoffSeconds_ = 0.0;
+};
+
+}  // namespace stellar::llm

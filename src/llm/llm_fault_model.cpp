@@ -1,0 +1,89 @@
+#include "llm/llm_fault_model.hpp"
+
+#include "util/rng.hpp"
+
+namespace stellar::llm {
+
+const char* callFaultName(CallFault fault) noexcept {
+  switch (fault) {
+    case CallFault::None: return "none";
+    case CallFault::Timeout: return "timeout";
+    case CallFault::RateLimit: return "rate-limit";
+    case CallFault::Truncated: return "truncated";
+    case CallFault::Malformed: return "malformed";
+  }
+  return "?";
+}
+
+LlmFaultModel::LlmFaultModel(const faults::FaultPlan& plan) : seed_(plan.seed) {
+  for (const faults::FaultEvent& event : plan.events) {
+    if (faults::isLlmFault(event.kind)) {
+      events_.push_back(event);
+    }
+  }
+}
+
+bool LlmFaultModel::fires(const faults::FaultEvent& event, const std::string& model,
+                          std::uint64_t callIndex, std::uint32_t attempt) const {
+  const double index = static_cast<double>(callIndex);
+  if (index < event.begin || index >= event.end) {
+    return false;
+  }
+  if (!event.model.empty() && model.find(event.model) == std::string::npos) {
+    return false;
+  }
+  if (event.magnitude >= 1.0) {
+    return true;
+  }
+  if (event.magnitude <= 0.0) {
+    return false;
+  }
+  // Pure hash of every coordinate: no shared RNG stream, so adding events
+  // or retrying calls never perturbs unrelated samples.
+  const std::uint64_t h = util::mix64(
+      seed_, util::mix64(util::hash64(model),
+                         util::mix64(callIndex,
+                                     util::mix64(attempt,
+                                                 static_cast<std::uint64_t>(event.kind)))));
+  const double u =
+      static_cast<double>(h >> 11) * (1.0 / static_cast<double>(1ULL << 53));
+  return u < event.magnitude;
+}
+
+CallDirectives LlmFaultModel::sample(const std::string& model, std::uint64_t callIndex,
+                                     std::uint32_t attempt) const {
+  CallDirectives out;
+  for (const faults::FaultEvent& event : events_) {
+    if (!fires(event, model, callIndex, attempt)) {
+      continue;
+    }
+    switch (event.kind) {
+      case faults::FaultKind::LlmTimeout:
+        if (out.transport == CallFault::None) out.transport = CallFault::Timeout;
+        break;
+      case faults::FaultKind::LlmRateLimit:
+        if (out.transport == CallFault::None) out.transport = CallFault::RateLimit;
+        break;
+      case faults::FaultKind::LlmTruncated:
+        if (out.transport == CallFault::None) out.transport = CallFault::Truncated;
+        break;
+      case faults::FaultKind::LlmMalformed:
+        if (out.transport == CallFault::None) out.transport = CallFault::Malformed;
+        break;
+      case faults::FaultKind::LlmHallucinatedKnob:
+        out.hallucinatedKnob = true;
+        break;
+      case faults::FaultKind::LlmOutOfRange:
+        out.outOfRange = true;
+        break;
+      case faults::FaultKind::LlmStaleAnalysis:
+        out.staleAnalysis = true;
+        break;
+      default:
+        break;  // simulator-side kinds never reach events_
+    }
+  }
+  return out;
+}
+
+}  // namespace stellar::llm

@@ -1,0 +1,76 @@
+// Deterministic fault model for the simulated LLM inference boundary
+// (ISSUE 7). The llm:* events of a faults::FaultPlan describe *when* and
+// *how often* model calls misbehave; this class turns them into a pure
+// function of (model name, call index, attempt, kind) so the same plan and
+// seed replay the exact same weather — the property that makes agent-layer
+// chaos testable at all.
+//
+// Two fault families:
+//   transport  timeout / rate-limit / truncated / malformed — the call
+//              attempt fails outright and must be retried (LlmClient);
+//   content    hallucinated knob / out-of-range value / stale analysis —
+//              the call succeeds but its payload is corrupted (the
+//              ActionSanitizer's job to contain).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "faults/fault_plan.hpp"
+
+namespace stellar::llm {
+
+/// Transport-level outcome of one call attempt.
+enum class CallFault : std::uint8_t {
+  None,
+  Timeout,    ///< no response before the deadline
+  RateLimit,  ///< provider backpressure (429)
+  Truncated,  ///< response cut off mid-action
+  Malformed,  ///< tool-call JSON fails to parse
+};
+
+[[nodiscard]] const char* callFaultName(CallFault fault) noexcept;
+
+/// What the fault model decided for one call attempt.
+struct CallDirectives {
+  CallFault transport = CallFault::None;
+  /// Content corruptions; only meaningful when transport == None.
+  bool hallucinatedKnob = false;
+  bool outOfRange = false;
+  bool staleAnalysis = false;
+
+  [[nodiscard]] bool delivered() const noexcept { return transport == CallFault::None; }
+  [[nodiscard]] bool corrupted() const noexcept {
+    return hallucinatedKnob || outOfRange || staleAnalysis;
+  }
+};
+
+class LlmFaultModel {
+ public:
+  /// Inert model: every call succeeds uncorrupted.
+  LlmFaultModel() = default;
+
+  /// Extracts the llm:* events (and seed) from a plan. The simulator-side
+  /// kinds are ignored here exactly as FaultInjector ignores the llm:*
+  /// kinds — one --faults spec covers both layers.
+  explicit LlmFaultModel(const faults::FaultPlan& plan);
+
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+
+  /// Samples the directives for one attempt of one call. `callIndex` is the
+  /// session-global logical call counter (windows are expressed in it);
+  /// `attempt` is the retry ordinal within the call, so retries of a flaky
+  /// call resample independently while a p=1 window fails them all.
+  [[nodiscard]] CallDirectives sample(const std::string& model,
+                                      std::uint64_t callIndex,
+                                      std::uint32_t attempt) const;
+
+ private:
+  [[nodiscard]] bool fires(const faults::FaultEvent& event, const std::string& model,
+                           std::uint64_t callIndex, std::uint32_t attempt) const;
+
+  std::uint64_t seed_ = 1;
+  std::vector<faults::FaultEvent> events_;
+};
+
+}  // namespace stellar::llm

@@ -8,8 +8,20 @@ namespace stellar::llm {
 
 CallRecord TokenMeter::recordCall(const std::string& conversation,
                                   const std::string& prompt, const std::string& output) {
+  return record(conversation, prompt, output, /*wasted=*/false);
+}
+
+CallRecord TokenMeter::recordWastedCall(const std::string& conversation,
+                                        const std::string& prompt,
+                                        const std::string& output) {
+  return record(conversation, prompt, output, /*wasted=*/true);
+}
+
+CallRecord TokenMeter::record(const std::string& conversation, const std::string& prompt,
+                              const std::string& output, bool wasted) {
   CallRecord record;
   record.conversation = conversation;
+  record.wasted = wasted;
   record.inputTokens = rag::approxTokenCount(prompt);
   record.outputTokens = rag::approxTokenCount(output);
 
@@ -38,10 +50,17 @@ UsageTotals TokenMeter::totals(const std::string& conversation) const {
     if (!conversation.empty() && call.conversation != conversation) {
       continue;
     }
-    ++totals.calls;
-    totals.inputTokens += call.inputTokens;
-    totals.cachedTokens += call.cachedTokens;
-    totals.outputTokens += call.outputTokens;
+    if (call.wasted) {
+      ++totals.wastedCalls;
+      totals.wastedInputTokens += call.inputTokens;
+      totals.wastedCachedTokens += call.cachedTokens;
+      totals.wastedOutputTokens += call.outputTokens;
+    } else {
+      ++totals.calls;
+      totals.inputTokens += call.inputTokens;
+      totals.cachedTokens += call.cachedTokens;
+      totals.outputTokens += call.outputTokens;
+    }
   }
   return totals;
 }
@@ -49,9 +68,11 @@ UsageTotals TokenMeter::totals(const std::string& conversation) const {
 double TokenMeter::estimateCostUsd(const ModelProfile& profile,
                                    const std::string& conversation) const {
   const UsageTotals t = totals(conversation);
-  const double fresh = static_cast<double>(t.inputTokens - t.cachedTokens);
-  const double cached = static_cast<double>(t.cachedTokens);
-  const double output = static_cast<double>(t.outputTokens);
+  // Wasted calls bill at the same rates: flaky models cost real money.
+  const double fresh = static_cast<double>((t.inputTokens - t.cachedTokens) +
+                                           (t.wastedInputTokens - t.wastedCachedTokens));
+  const double cached = static_cast<double>(t.cachedTokens + t.wastedCachedTokens);
+  const double output = static_cast<double>(t.outputTokens + t.wastedOutputTokens);
   return (fresh * profile.usdPerMInput + cached * profile.usdPerMCachedInput +
           output * profile.usdPerMOutput) /
          1e6;
@@ -59,7 +80,8 @@ double TokenMeter::estimateCostUsd(const ModelProfile& profile,
 
 double TokenMeter::estimateLatencySeconds(const ModelProfile& profile,
                                           const std::string& conversation) const {
-  return static_cast<double>(totals(conversation).calls) * profile.latencyPerCall;
+  const UsageTotals t = totals(conversation);
+  return static_cast<double>(t.calls + t.wastedCalls) * profile.latencyPerCall;
 }
 
 void TokenMeter::reset() {

@@ -22,13 +22,22 @@ struct CallRecord {
   std::size_t inputTokens = 0;
   std::size_t cachedTokens = 0;  ///< subset of inputTokens served from cache
   std::size_t outputTokens = 0;
+  /// A call that failed (timeout, rate limit, truncation, ...) and was
+  /// retried or abandoned. The provider still bills it.
+  bool wasted = false;
 };
 
 struct UsageTotals {
-  std::size_t calls = 0;
+  std::size_t calls = 0;  ///< successful calls only
   std::size_t inputTokens = 0;
   std::size_t cachedTokens = 0;
   std::size_t outputTokens = 0;
+  /// Failed/retried calls, tallied separately so tab_cost_latency can show
+  /// the true price of a flaky model next to the useful spend.
+  std::size_t wastedCalls = 0;
+  std::size_t wastedInputTokens = 0;
+  std::size_t wastedCachedTokens = 0;
+  std::size_t wastedOutputTokens = 0;
 
   [[nodiscard]] double cacheHitRate() const noexcept {
     return inputTokens == 0
@@ -42,6 +51,14 @@ class TokenMeter {
   /// Records one call; returns the record (for transcripts).
   CallRecord recordCall(const std::string& conversation, const std::string& prompt,
                         const std::string& output);
+
+  /// Records a failed call (timed out / rate limited / truncated). The
+  /// prompt was still sent and any partial output still generated, so both
+  /// are billed — under the wasted_* tallies. Also warms the prompt cache:
+  /// the immediate retry of the same prompt hits cache like a real
+  /// provider's would.
+  CallRecord recordWastedCall(const std::string& conversation,
+                              const std::string& prompt, const std::string& output);
 
   /// Totals for one conversation, or for everything when empty.
   [[nodiscard]] UsageTotals totals(const std::string& conversation = {}) const;
@@ -59,6 +76,9 @@ class TokenMeter {
   void reset();
 
  private:
+  CallRecord record(const std::string& conversation, const std::string& prompt,
+                    const std::string& output, bool wasted);
+
   std::vector<CallRecord> calls_;
   std::map<std::string, std::string> lastPrompt_;  // per conversation
 };

@@ -86,6 +86,12 @@ RunResult PfsSimulator::run(const JobSpec& job, const PfsConfig& config,
   }
   const auto cfgProblems = validateConfig(config, boundsContext());
   if (!cfgProblems.empty()) {
+    // Last line of defense for out-of-range knobs: every rejection is
+    // counted so the chaos bench can prove none slipped past the agent-side
+    // sanitizer (ISSUE 7).
+    if (options_.counters != nullptr) {
+      options_.counters->counter("pfs.sim.config_rejected").add();
+    }
     throw std::invalid_argument("invalid PFS config: " + util::join(cfgProblems, "; "));
   }
   if (job.rankCount() > cluster().totalRanks()) {

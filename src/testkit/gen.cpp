@@ -50,7 +50,7 @@ faults::FaultPlan randomFaults(util::Rng& rng) {
     faults::FaultEvent ev;
     ev.begin = rng.uniform(0.0, 2.0);
     ev.end = ev.begin + rng.uniform(0.5, 10.0);
-    switch (rng.uniformInt(0, 4)) {
+    switch (rng.uniformInt(0, 5)) {
       case 0:
         ev.kind = faults::FaultKind::OstDegrade;
         ev.target = rng.chance(0.5) ? faults::kAllTargets
@@ -69,12 +69,25 @@ faults::FaultPlan randomFaults(util::Rng& rng) {
         ev.kind = faults::FaultKind::NoiseSpike;
         ev.magnitude = rng.uniform(1.0, 4.0);
         break;
-      default:
+      case 4:
         // Low drop probability: high rates mostly produce Failed runs,
         // which exercise less of the conservation surface.
         ev.kind = faults::FaultKind::RpcDrop;
         ev.magnitude = rng.uniform(0.0, 0.15);
         break;
+      default: {
+        // Agent-layer kinds must be inert at the simulator: a plan that
+        // carries them behaves exactly like one that does not (ISSUE 7).
+        static constexpr faults::FaultKind kLlmKinds[] = {
+            faults::FaultKind::LlmTimeout,        faults::FaultKind::LlmRateLimit,
+            faults::FaultKind::LlmTruncated,      faults::FaultKind::LlmMalformed,
+            faults::FaultKind::LlmHallucinatedKnob,
+            faults::FaultKind::LlmOutOfRange,     faults::FaultKind::LlmStaleAnalysis,
+        };
+        ev.kind = kLlmKinds[rng.uniformInt(0, 6)];
+        ev.magnitude = rng.uniform(0.0, 1.0);
+        break;
+      }
     }
     plan.events.push_back(ev);
   }

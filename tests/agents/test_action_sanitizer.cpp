@@ -1,0 +1,165 @@
+// ActionSanitizer: the schema-validation boundary between tool-call
+// payloads and the simulator (ISSUE 7). All four issue kinds, Observe vs
+// Enforce semantics, and the counter wiring.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "agents/action_sanitizer.hpp"
+#include "agents/tuning_agent.hpp"
+#include "obs/counters.hpp"
+#include "pfs/params.hpp"
+
+namespace stellar::agents {
+namespace {
+
+ActionSanitizer makeSanitizer(SanitizerMode mode, obs::CounterRegistry* counters) {
+  return ActionSanitizer{pfs::PfsConfig::tunableNames(), pfs::BoundsContext{}, mode,
+                         counters};
+}
+
+TuningAgent::Action runConfigAction(std::vector<TuningAgent::RawMove> moves) {
+  TuningAgent::Action action;
+  action.kind = TuningAgent::ActionKind::RunConfig;
+  action.config = pfs::PfsConfig{};
+  for (const TuningAgent::RawMove& move : moves) {
+    (void)action.config.set(move.param, move.value);
+  }
+  action.emitted = std::move(moves);
+  return action;
+}
+
+TEST(ActionSanitizer, ModeNamesRoundTrip) {
+  EXPECT_STREQ(sanitizerModeName(SanitizerMode::Observe), "observe");
+  EXPECT_STREQ(sanitizerModeName(SanitizerMode::Enforce), "enforce");
+  EXPECT_EQ(sanitizerModeByName("observe"), SanitizerMode::Observe);
+  EXPECT_EQ(sanitizerModeByName("enforce"), SanitizerMode::Enforce);
+  EXPECT_THROW((void)sanitizerModeByName("audit"), std::invalid_argument);
+}
+
+TEST(ActionSanitizer, CleanPayloadIsClean) {
+  const ActionSanitizer sanitizer = makeSanitizer(SanitizerMode::Enforce, nullptr);
+  const TuningAgent::Action action =
+      runConfigAction({{"osc.max_rpcs_in_flight", 32}, {"osc.max_dirty_mb", 256}});
+  const SanitizeVerdict verdict = sanitizer.sanitize(action, pfs::PfsConfig{});
+  EXPECT_TRUE(verdict.clean());
+  EXPECT_EQ(verdict.config, action.config);
+}
+
+TEST(ActionSanitizer, NonRunConfigActionsAreVacuouslyClean) {
+  const ActionSanitizer sanitizer = makeSanitizer(SanitizerMode::Enforce, nullptr);
+  TuningAgent::Action action;
+  action.kind = TuningAgent::ActionKind::AskAnalysis;
+  // Even a corrupt payload is ignored: there is no config to execute.
+  action.emitted.push_back({"no.such_knob", 1});
+  EXPECT_TRUE(sanitizer.sanitize(action, pfs::PfsConfig{}).clean());
+}
+
+TEST(ActionSanitizer, UnknownKnobIsRejectedInBothModes) {
+  obs::CounterRegistry registry;
+  const TuningAgent::Action action =
+      runConfigAction({{"osc.max_rpcs_in_flght", 64}});  // hallucinated spelling
+
+  for (const SanitizerMode mode : {SanitizerMode::Observe, SanitizerMode::Enforce}) {
+    const ActionSanitizer sanitizer = makeSanitizer(mode, &registry);
+    const SanitizeVerdict verdict = sanitizer.sanitize(action, pfs::PfsConfig{});
+    ASSERT_EQ(verdict.issues.size(), 1u);
+    EXPECT_EQ(verdict.issues[0].kind, SanitizeIssueKind::UnknownKnob);
+    EXPECT_EQ(verdict.issues[0].param, "osc.max_rpcs_in_flght");
+    // A phantom knob can't land in PfsConfig, so both modes execute the
+    // action's own (unaffected) config.
+    EXPECT_EQ(verdict.config, action.config);
+  }
+  EXPECT_EQ(registry.counter("agent.llm.rejected_actions").value(), 2.0);
+}
+
+TEST(ActionSanitizer, OutOfRangeClampedOnlyUnderEnforce) {
+  obs::CounterRegistry registry;
+  // osc.max_rpcs_in_flight documented max is 256.
+  TuningAgent::Action action = runConfigAction({{"osc.max_rpcs_in_flight", 2055}});
+
+  const ActionSanitizer observe = makeSanitizer(SanitizerMode::Observe, &registry);
+  const SanitizeVerdict seen = observe.sanitize(action, pfs::PfsConfig{});
+  ASSERT_EQ(seen.issues.size(), 1u);
+  EXPECT_EQ(seen.issues[0].kind, SanitizeIssueKind::OutOfRange);
+  EXPECT_EQ(seen.config.get("osc.max_rpcs_in_flight"), 2055);  // untouched
+
+  const ActionSanitizer enforce = makeSanitizer(SanitizerMode::Enforce, &registry);
+  const SanitizeVerdict fixed = enforce.sanitize(action, pfs::PfsConfig{});
+  ASSERT_EQ(fixed.issues.size(), 1u);
+  EXPECT_EQ(fixed.issues[0].resolved, fixed.config.get("osc.max_rpcs_in_flight"));
+  const auto bounds =
+      pfs::paramBounds("osc.max_rpcs_in_flight", fixed.config, pfs::BoundsContext{});
+  ASSERT_TRUE(bounds.has_value());
+  EXPECT_LE(*fixed.config.get("osc.max_rpcs_in_flight"), bounds->max);
+  EXPECT_TRUE(
+      pfs::validateConfig(fixed.config, pfs::BoundsContext{}).empty());
+  EXPECT_EQ(registry.counter("agent.llm.clamped_values").value(), 2.0);
+}
+
+TEST(ActionSanitizer, DuplicateMoveIsRecordedButHarmless) {
+  const ActionSanitizer sanitizer = makeSanitizer(SanitizerMode::Enforce, nullptr);
+  const TuningAgent::Action action = runConfigAction(
+      {{"osc.max_dirty_mb", 256}, {"osc.max_dirty_mb", 256}});
+  const SanitizeVerdict verdict = sanitizer.sanitize(action, pfs::PfsConfig{});
+  ASSERT_EQ(verdict.issues.size(), 1u);
+  EXPECT_EQ(verdict.issues[0].kind, SanitizeIssueKind::DuplicateMove);
+  EXPECT_EQ(verdict.config.get("osc.max_dirty_mb"), 256);
+}
+
+TEST(ActionSanitizer, ContradictionRevertsToIncumbentUnderEnforce) {
+  obs::CounterRegistry registry;
+  const TuningAgent::Action action = runConfigAction(
+      {{"osc.max_dirty_mb", 256}, {"osc.max_dirty_mb", 512}});
+
+  pfs::PfsConfig incumbent;
+  incumbent.osc_max_dirty_mb = 128;  // what is actually deployed
+
+  const ActionSanitizer enforce = makeSanitizer(SanitizerMode::Enforce, &registry);
+  const SanitizeVerdict verdict = enforce.sanitize(action, incumbent);
+  ASSERT_EQ(verdict.issues.size(), 1u);
+  EXPECT_EQ(verdict.issues[0].kind, SanitizeIssueKind::Contradictory);
+  EXPECT_EQ(verdict.issues[0].resolved, 128);
+  EXPECT_EQ(verdict.config.get("osc.max_dirty_mb"), 128);
+  EXPECT_EQ(registry.counter("agent.llm.rejected_actions").value(), 1.0);
+
+  // Observe records the same contradiction but executes the raw config.
+  const ActionSanitizer observe = makeSanitizer(SanitizerMode::Observe, &registry);
+  const SanitizeVerdict seen = observe.sanitize(action, incumbent);
+  ASSERT_EQ(seen.issues.size(), 1u);
+  EXPECT_EQ(seen.config, action.config);
+}
+
+TEST(ActionSanitizer, EnforceRepairsDependentBoundsAfterClamp) {
+  // Per-file readahead must stay <= half the client-wide budget: emit both
+  // an oversized budget and a per-file value legal only under the oversized
+  // budget — after the clamp, the dependent knob must be re-clamped too.
+  const ActionSanitizer sanitizer = makeSanitizer(SanitizerMode::Enforce, nullptr);
+  const TuningAgent::Action action =
+      runConfigAction({{"llite.max_read_ahead_mb", 1'000'000},
+                       {"llite.max_read_ahead_per_file_mb", 400'000}});
+  const SanitizeVerdict verdict = sanitizer.sanitize(action, pfs::PfsConfig{});
+  EXPECT_FALSE(verdict.clean());
+  EXPECT_TRUE(pfs::validateConfig(verdict.config, pfs::BoundsContext{}).empty());
+  const std::int64_t budget = *verdict.config.get("llite.max_read_ahead_mb");
+  EXPECT_LE(*verdict.config.get("llite.max_read_ahead_per_file_mb"), budget / 2);
+}
+
+TEST(ActionSanitizer, VerdictDescribeNamesEveryIssue) {
+  const ActionSanitizer sanitizer = makeSanitizer(SanitizerMode::Observe, nullptr);
+  const TuningAgent::Action action = runConfigAction(
+      {{"bogus.knob", 1},
+       {"osc.max_rpcs_in_flight", 9999},
+       {"osc.max_dirty_mb", 64},
+       {"osc.max_dirty_mb", 128}});
+  const SanitizeVerdict verdict = sanitizer.sanitize(action, pfs::PfsConfig{});
+  ASSERT_EQ(verdict.issues.size(), 3u);
+  const std::string text = verdict.describe();
+  EXPECT_NE(text.find("unknown-knob"), std::string::npos);
+  EXPECT_NE(text.find("out-of-range"), std::string::npos);
+  EXPECT_NE(text.find("contradictory"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stellar::agents

@@ -172,5 +172,24 @@ TEST(FaultInjector, EventsBeyondOstCountAreIgnored) {
   EXPECT_DOUBLE_EQ(injector.ostSlowdown(9), 1.0);  // out-of-range query
 }
 
+// Agent-layer faults live at the inference boundary, not in the simulator:
+// an llm-only plan must schedule zero windows and leave every hot-path
+// query at its neutral value (ISSUE 7 — the ML-FAULTFREE law depends on it).
+TEST(FaultInjector, LlmKindsAreInvisibleToTheSimulator) {
+  sim::SimEngine engine;  // default EngineOptions: seed 1
+  const FaultPlan plan = parseFaultSpec(
+      "llm:timeout:1@0-999,llm:bad-knob:1@0-999,llm:stale:1:claude@0-999");
+  FaultInjector injector{engine, plan, 4, 99};
+  injector.arm();
+  EXPECT_TRUE(engine.empty());  // no window edges were scheduled at all
+  engine.run();
+  EXPECT_EQ(injector.windowsOpened(), 0u);
+  EXPECT_DOUBLE_EQ(injector.ostSlowdown(0), 1.0);
+  EXPECT_FALSE(injector.ostDown(0));
+  EXPECT_DOUBLE_EQ(injector.rpcDropProbability(), 0.0);
+  EXPECT_DOUBLE_EQ(injector.mdsSlowdown(), 1.0);
+  EXPECT_DOUBLE_EQ(injector.noiseMultiplierOver(100.0), 1.0);
+}
+
 }  // namespace
 }  // namespace stellar::faults

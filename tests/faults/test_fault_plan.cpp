@@ -89,5 +89,79 @@ TEST(FaultPlan, DescribeAndJsonCoverEvents) {
   EXPECT_TRUE(FaultPlan{}.describe() == "(no faults)");
 }
 
+// ---- Agent-layer (llm:*) grammar, ISSUE 7 -------------------------------
+
+TEST(FaultPlan, ParsesEveryLlmKind) {
+  const FaultPlan plan = parseFaultSpec(
+      "llm:timeout:0.5@0-10, llm:ratelimit:0.2@1-4, llm:truncate:1@2-3,"
+      "llm:malformed:0.1@0-99, llm:bad-knob:0.3@5-9, llm:bad-value:0.25@5-9,"
+      "llm:stale:0.4@3-8, seed:11");
+  ASSERT_EQ(plan.events.size(), 7u);
+  EXPECT_EQ(plan.seed, 11u);
+  EXPECT_EQ(plan.events[0].kind, FaultKind::LlmTimeout);
+  EXPECT_EQ(plan.events[1].kind, FaultKind::LlmRateLimit);
+  EXPECT_EQ(plan.events[2].kind, FaultKind::LlmTruncated);
+  EXPECT_EQ(plan.events[3].kind, FaultKind::LlmMalformed);
+  EXPECT_EQ(plan.events[4].kind, FaultKind::LlmHallucinatedKnob);
+  EXPECT_EQ(plan.events[5].kind, FaultKind::LlmOutOfRange);
+  EXPECT_EQ(plan.events[6].kind, FaultKind::LlmStaleAnalysis);
+  for (const FaultEvent& event : plan.events) {
+    EXPECT_TRUE(isLlmFault(event.kind));
+    EXPECT_TRUE(event.model.empty());  // no filter: matches every model
+  }
+  // The simulator-side kinds are not LLM faults.
+  EXPECT_FALSE(isLlmFault(FaultKind::OstDegrade));
+  EXPECT_FALSE(isLlmFault(FaultKind::NoiseSpike));
+}
+
+TEST(FaultPlan, LlmModelFilterParses) {
+  const FaultPlan plan =
+      parseFaultSpec("llm:timeout:1:claude@0-5,llm:truncate:0.5:*@0-5");
+  ASSERT_EQ(plan.events.size(), 2u);
+  EXPECT_EQ(plan.events[0].model, "claude");
+  EXPECT_TRUE(plan.events[1].model.empty());  // '*' is the explicit wildcard
+}
+
+TEST(FaultPlan, LlmSpecErrorsQuoteTheElement) {
+  EXPECT_THROW((void)parseFaultSpec("llm:teleport:0.5@0-5"), FaultSpecError);
+  EXPECT_THROW((void)parseFaultSpec("llm:timeout@0-5"), FaultSpecError);  // no prob
+  EXPECT_THROW((void)parseFaultSpec("llm:timeout:1.5@0-5"), FaultSpecError);
+  EXPECT_THROW((void)parseFaultSpec("llm:timeout:-0.1@0-5"), FaultSpecError);
+  EXPECT_THROW((void)parseFaultSpec("llm:timeout:0.5:@0-5"), FaultSpecError);
+  EXPECT_THROW((void)parseFaultSpec("llm:timeout:0.5"), FaultSpecError);  // no window
+  EXPECT_THROW((void)parseFaultSpec("llm:timeout:0.5:a:b@0-5"), FaultSpecError);
+  // Model filters are meaningless on simulator-side kinds.
+  FaultPlan plan = parseFaultSpec("rpc:drop:0.1@0-5");
+  plan.events[0].model = "claude";
+  EXPECT_THROW(plan.validate(), FaultSpecError);
+}
+
+TEST(FaultPlan, LlmScenariosResolveAndDescribe) {
+  for (const char* name : {"flaky-llm", "degrading-llm", "llm-outage"}) {
+    const FaultPlan plan = scenarioByName(name);
+    EXPECT_FALSE(plan.empty()) << name;
+    EXPECT_NO_THROW(plan.validate()) << name;
+    for (const FaultEvent& event : plan.events) {
+      EXPECT_TRUE(isLlmFault(event.kind)) << name;
+    }
+  }
+  // degrading-llm targets only the primary (claude) model so the ladder's
+  // fallback rung stays usable.
+  const FaultPlan degrading = scenarioByName("degrading-llm");
+  for (const FaultEvent& event : degrading.events) {
+    EXPECT_EQ(event.model, "claude");
+  }
+  const std::string text = scenarioByName("flaky-llm").describe();
+  EXPECT_NE(text.find("llm-timeout"), std::string::npos);
+  EXPECT_NE(text.find("@calls"), std::string::npos);  // windows are call indices
+}
+
+TEST(FaultPlan, LlmJsonCarriesModelFilter) {
+  const util::Json json = parseFaultSpec("llm:timeout:1:claude@0-5").toJson();
+  ASSERT_EQ(json.at("events").asArray().size(), 1u);
+  EXPECT_EQ(json.at("events").asArray()[0].getString("kind"), "llm-timeout");
+  EXPECT_EQ(json.at("events").asArray()[0].getString("model"), "claude");
+}
+
 }  // namespace
 }  // namespace stellar::faults

@@ -1,0 +1,88 @@
+// Simulator-boundary knob-range validation (ISSUE 7, satellite 1): every
+// one of the 13 tunables, pushed past either documented bound, must be
+// rejected before the simulation starts — and every rejection counted, so
+// the chaos bench can prove nothing slipped past the agent-side sanitizer.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/counters.hpp"
+#include "pfs/params.hpp"
+#include "pfs/simulator.hpp"
+#include "workloads/workloads.hpp"
+
+namespace stellar::pfs {
+namespace {
+
+workloads::WorkloadOptions tinyOpts() {
+  workloads::WorkloadOptions opt;
+  opt.ranks = 10;
+  opt.scale = 0.02;
+  return opt;
+}
+
+TEST(ConfigRejection, EveryTunablePastItsMaxIsRejectedAndCounted) {
+  obs::CounterRegistry registry;
+  const PfsSimulator sim{{.counters = &registry}};
+  const JobSpec job = workloads::ior16m(tinyOpts());
+  const BoundsContext ctx = sim.boundsContext();
+
+  double expectedRejections = 0.0;
+  for (const std::string& name : PfsConfig::tunableNames()) {
+    PfsConfig cfg;
+    const auto bounds = paramBounds(name, cfg, ctx);
+    ASSERT_TRUE(bounds.has_value()) << name;
+    ASSERT_TRUE(cfg.set(name, bounds->max + 1)) << name;
+    EXPECT_THROW((void)sim.run(job, cfg, 1), std::invalid_argument) << name;
+    ++expectedRejections;
+    EXPECT_EQ(registry.counter("pfs.sim.config_rejected").value(),
+              expectedRejections)
+        << name;
+  }
+}
+
+TEST(ConfigRejection, EveryTunableBelowItsMinIsRejected) {
+  obs::CounterRegistry registry;
+  const PfsSimulator sim{{.counters = &registry}};
+  const JobSpec job = workloads::ior16m(tinyOpts());
+  const BoundsContext ctx = sim.boundsContext();
+
+  for (const std::string& name : PfsConfig::tunableNames()) {
+    PfsConfig cfg;
+    const auto bounds = paramBounds(name, cfg, ctx);
+    ASSERT_TRUE(bounds.has_value()) << name;
+    ASSERT_TRUE(cfg.set(name, bounds->min - 1)) << name;
+    EXPECT_THROW((void)sim.run(job, cfg, 1), std::invalid_argument) << name;
+  }
+  EXPECT_EQ(registry.counter("pfs.sim.config_rejected").value(),
+            static_cast<double>(PfsConfig::tunableNames().size()));
+}
+
+TEST(ConfigRejection, ValidConfigIsNotCounted) {
+  obs::CounterRegistry registry;
+  const PfsSimulator sim{{.counters = &registry}};
+  const JobSpec job = workloads::ior16m(tinyOpts());
+  (void)sim.run(job, PfsConfig{}, 1);
+  EXPECT_EQ(registry.counter("pfs.sim.config_rejected").value(), 0.0);
+}
+
+TEST(ConfigRejection, ClampConfigRepairsEveryViolation) {
+  // The Enforce sanitizer's final pass relies on clampConfig producing a
+  // simulator-acceptable config from arbitrary emitted values.
+  const PfsSimulator sim;
+  const BoundsContext ctx = sim.boundsContext();
+  PfsConfig wild;
+  for (const std::string& name : PfsConfig::tunableNames()) {
+    const auto bounds = paramBounds(name, wild, ctx);
+    ASSERT_TRUE(bounds.has_value()) << name;
+    ASSERT_TRUE(wild.set(name, bounds->max * 8 + 7)) << name;
+  }
+  EXPECT_FALSE(validateConfig(wild, ctx).empty());
+  const PfsConfig repaired = clampConfig(wild, ctx);
+  EXPECT_TRUE(validateConfig(repaired, ctx).empty());
+  const JobSpec job = workloads::ior16m(tinyOpts());
+  EXPECT_NO_THROW((void)sim.run(job, repaired, 1));
+}
+
+}  // namespace
+}  // namespace stellar::pfs
