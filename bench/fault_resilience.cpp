@@ -60,9 +60,9 @@ ScenarioRow runScenario(const std::string& scenario, const std::string& workload
   row.bestSeconds = run.bestSeconds;
   row.speedup = run.bestSpeedup();
   row.completed = run.defaultSeconds > 0.0;
-  row.timeouts = registry.counter("rpc.timeouts").value();
-  row.retries = registry.counter("rpc.retries").value();
-  row.gaveUp = registry.counter("rpc.gave_up").value();
+  row.timeouts = registry.counter("pfs.rpc.timeouts").value();
+  row.retries = registry.counter("pfs.rpc.retries").value();
+  row.gaveUp = registry.counter("pfs.rpc.gave_up").value();
   row.windows = registry.counter("faults.windows_opened").value();
   row.skippedMeasures = registry.counter("core.tuning.measurements_skipped").value();
   for (const obs::MetricSample& sample : registry.snapshot()) {

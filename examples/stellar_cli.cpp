@@ -376,9 +376,9 @@ struct ObsBundle {
       std::fprintf(out,
                    "resilience:    %.0f rpc timeouts, %.0f retries, %.0f gave up, "
                    "%.0f fault windows\n",
-                   registry.counter("rpc.timeouts").value(),
-                   registry.counter("rpc.retries").value(),
-                   registry.counter("rpc.gave_up").value(),
+                   registry.counter("pfs.rpc.timeouts").value(),
+                   registry.counter("pfs.rpc.retries").value(),
+                   registry.counter("pfs.rpc.gave_up").value(),
                    registry.counter("faults.windows_opened").value());
     }
     if (!traceFile.empty()) {

@@ -95,7 +95,7 @@ ExperienceRecord recordFromRun(const core::TuningRunResult& run, std::uint64_t s
 
 ExperienceStore::ExperienceStore(std::string path, StoreOptions options)
     : path_(std::move(path)), options_(options) {
-  const std::lock_guard<std::mutex> lock{mutex_};
+  const util::MutexLock lock{mutex_};
   loadLocked();
 }
 
@@ -190,22 +190,22 @@ void ExperienceStore::appendLineLocked(const util::Json& line) {
 }
 
 std::size_t ExperienceStore::size() const {
-  const std::lock_guard<std::mutex> lock{mutex_};
+  const util::MutexLock lock{mutex_};
   return records_.size();
 }
 
 std::size_t ExperienceStore::corruptLinesSkipped() const {
-  const std::lock_guard<std::mutex> lock{mutex_};
+  const util::MutexLock lock{mutex_};
   return corruptSkipped_;
 }
 
 std::vector<ExperienceRecord> ExperienceStore::records() const {
-  const std::lock_guard<std::mutex> lock{mutex_};
+  const util::MutexLock lock{mutex_};
   return records_;
 }
 
 std::string ExperienceStore::append(ExperienceRecord record) {
-  const std::lock_guard<std::mutex> lock{mutex_};
+  const util::MutexLock lock{mutex_};
   if (record.id.empty()) {
     record.id = "exp-" + std::to_string(nextId_++);
   }
@@ -221,7 +221,7 @@ std::string ExperienceStore::append(ExperienceRecord record) {
 }
 
 void ExperienceStore::penalize(const std::string& id) {
-  const std::lock_guard<std::mutex> lock{mutex_};
+  const util::MutexLock lock{mutex_};
   ExperienceRecord* rec = findLocked(id);
   if (rec == nullptr) {
     return;
@@ -235,7 +235,7 @@ void ExperienceStore::penalize(const std::string& id) {
 }
 
 void ExperienceStore::confirm(const std::string& id) {
-  const std::lock_guard<std::mutex> lock{mutex_};
+  const util::MutexLock lock{mutex_};
   ExperienceRecord* rec = findLocked(id);
   if (rec == nullptr) {
     return;
@@ -251,7 +251,7 @@ void ExperienceStore::confirm(const std::string& id) {
 std::vector<RecallMatch> ExperienceStore::recall(const Fingerprint& fingerprint,
                                                  std::size_t topK,
                                                  double minSimilarity) const {
-  const std::lock_guard<std::mutex> lock{mutex_};
+  const util::MutexLock lock{mutex_};
   std::vector<RecallMatch> matches;
   for (const ExperienceRecord& rec : records_) {
     if (stale(rec)) {
@@ -276,7 +276,7 @@ std::vector<RecallMatch> ExperienceStore::recall(const Fingerprint& fingerprint,
 }
 
 void ExperienceStore::compact(const CompactionHooks& hooks) {
-  const std::lock_guard<std::mutex> lock{mutex_};
+  const util::MutexLock lock{mutex_};
   // Fold the journal in by dropping stale records from the live set.
   std::vector<ExperienceRecord> live;
   live.reserve(records_.size());
@@ -316,7 +316,7 @@ void ExperienceStore::compact(const CompactionHooks& hooks) {
 std::size_t ExperienceStore::absorbShards(const std::vector<std::string>& shardPaths) {
   std::size_t absorbed = 0;
   {
-    const std::lock_guard<std::mutex> lock{mutex_};
+    const util::MutexLock lock{mutex_};
     for (const std::string& shard : shardPaths) {
       if (!util::fileExists(shard)) {
         continue;

@@ -19,7 +19,6 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -30,6 +29,7 @@
 #include "pfs/params.hpp"
 #include "rules/rules.hpp"
 #include "util/json.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace stellar::exp {
 
@@ -141,17 +141,18 @@ class ExperienceStore final : public core::WarmStartProvider {
 
  private:
   [[nodiscard]] bool stale(const ExperienceRecord& record) const noexcept;
-  void loadLocked();
-  void appendLineLocked(const util::Json& line);
-  [[nodiscard]] ExperienceRecord* findLocked(const std::string& id);
+  void loadLocked() STELLAR_REQUIRES(mutex_);
+  void appendLineLocked(const util::Json& line) STELLAR_REQUIRES(mutex_);
+  [[nodiscard]] ExperienceRecord* findLocked(const std::string& id)
+      STELLAR_REQUIRES(mutex_);
   void noteCounter(const char* name, double delta = 1.0) const;
 
-  mutable std::mutex mutex_;
+  mutable util::Mutex mutex_;
   std::string path_;
   StoreOptions options_;
-  std::vector<ExperienceRecord> records_;
-  std::size_t corruptSkipped_ = 0;
-  std::uint64_t nextId_ = 1;
+  std::vector<ExperienceRecord> records_ STELLAR_GUARDED_BY(mutex_);
+  std::size_t corruptSkipped_ STELLAR_GUARDED_BY(mutex_) = 0;
+  std::uint64_t nextId_ STELLAR_GUARDED_BY(mutex_) = 1;
 };
 
 }  // namespace stellar::exp

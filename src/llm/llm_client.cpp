@@ -22,6 +22,7 @@ void LlmClient::count(const char* name, const std::string& model, double delta) 
 }
 
 BreakerState LlmClient::breakerState(const std::string& model) const {
+  const util::MutexLock lock{mutex_};
   const auto it = breakers_.find(model);
   return it == breakers_.end() ? BreakerState::Closed : it->second.state;
 }
@@ -29,6 +30,7 @@ BreakerState LlmClient::breakerState(const std::string& model) const {
 CallOutcome LlmClient::call(const ModelProfile& profile,
                             const std::string& conversation, const std::string& prompt,
                             const std::string& output) {
+  const util::MutexLock lock{mutex_};
   CallOutcome outcome;
   const std::uint64_t callIndex = nextCall_++;
 

@@ -22,6 +22,7 @@
 #include "llm/model_profile.hpp"
 #include "llm/token_meter.hpp"
 #include "obs/counters.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace stellar::llm {
 
@@ -64,11 +65,26 @@ class LlmClient {
                    const std::string& prompt, const std::string& output);
 
   [[nodiscard]] BreakerState breakerState(const std::string& model) const;
-  [[nodiscard]] std::uint64_t callsIssued() const noexcept { return nextCall_; }
-  [[nodiscard]] std::uint64_t breakerTrips() const noexcept { return breakerTrips_; }
-  [[nodiscard]] std::uint64_t failedCalls() const noexcept { return failedCalls_; }
-  [[nodiscard]] std::uint64_t wastedAttempts() const noexcept { return wastedAttempts_; }
-  [[nodiscard]] double backoffSeconds() const noexcept { return backoffSeconds_; }
+  [[nodiscard]] std::uint64_t callsIssued() const {
+    const util::MutexLock lock{mutex_};
+    return nextCall_;
+  }
+  [[nodiscard]] std::uint64_t breakerTrips() const {
+    const util::MutexLock lock{mutex_};
+    return breakerTrips_;
+  }
+  [[nodiscard]] std::uint64_t failedCalls() const {
+    const util::MutexLock lock{mutex_};
+    return failedCalls_;
+  }
+  [[nodiscard]] std::uint64_t wastedAttempts() const {
+    const util::MutexLock lock{mutex_};
+    return wastedAttempts_;
+  }
+  [[nodiscard]] double backoffSeconds() const {
+    const util::MutexLock lock{mutex_};
+    return backoffSeconds_;
+  }
 
  private:
   struct Breaker {
@@ -83,12 +99,16 @@ class LlmClient {
   TokenMeter& meter_;
   obs::CounterRegistry* counters_;
   LlmClientOptions opts_;
-  std::map<std::string, Breaker> breakers_;
-  std::uint64_t nextCall_ = 0;
-  std::uint64_t breakerTrips_ = 0;
-  std::uint64_t failedCalls_ = 0;
-  std::uint64_t wastedAttempts_ = 0;
-  double backoffSeconds_ = 0.0;
+  /// One logical call is one critical section: a future multi-tenant
+  /// stellard shares a client (and its breakers) across sessions, and the
+  /// breaker state machine must advance atomically per call.
+  mutable util::Mutex mutex_;
+  std::map<std::string, Breaker> breakers_ STELLAR_GUARDED_BY(mutex_);
+  std::uint64_t nextCall_ STELLAR_GUARDED_BY(mutex_) = 0;
+  std::uint64_t breakerTrips_ STELLAR_GUARDED_BY(mutex_) = 0;
+  std::uint64_t failedCalls_ STELLAR_GUARDED_BY(mutex_) = 0;
+  std::uint64_t wastedAttempts_ STELLAR_GUARDED_BY(mutex_) = 0;
+  double backoffSeconds_ STELLAR_GUARDED_BY(mutex_) = 0.0;
 };
 
 }  // namespace stellar::llm

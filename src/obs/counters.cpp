@@ -45,7 +45,7 @@ Histogram::Histogram(std::vector<double> bounds) {
 }
 
 void Histogram::observe(double value) {
-  const std::lock_guard<std::mutex> lock{mutex_};
+  const util::MutexLock lock{mutex_};
   const auto it = std::lower_bound(data_.bounds.begin(), data_.bounds.end(), value);
   ++data_.buckets[static_cast<std::size_t>(it - data_.bounds.begin())];
   if (data_.count == 0 || value < data_.minValue) {
@@ -59,7 +59,7 @@ void Histogram::observe(double value) {
 }
 
 HistogramData Histogram::data() const {
-  const std::lock_guard<std::mutex> lock{mutex_};
+  const util::MutexLock lock{mutex_};
   return data_;
 }
 
@@ -67,7 +67,7 @@ void Histogram::merge(const HistogramData& other) {
   if (other.count == 0) {
     return;
   }
-  const std::lock_guard<std::mutex> lock{mutex_};
+  const util::MutexLock lock{mutex_};
   if (data_.bounds == other.bounds) {
     for (std::size_t i = 0; i < data_.buckets.size(); ++i) {
       data_.buckets[i] += other.buckets[i];
@@ -88,7 +88,7 @@ void Histogram::merge(const HistogramData& other) {
 }
 
 void Histogram::reset() {
-  const std::lock_guard<std::mutex> lock{mutex_};
+  const util::MutexLock lock{mutex_};
   std::fill(data_.buckets.begin(), data_.buckets.end(), 0);
   data_.count = 0;
   data_.sum = 0.0;
@@ -112,7 +112,7 @@ CounterRegistry::Cell& CounterRegistry::findOrCreate(std::string_view name,
                                                      std::vector<double>* bounds) {
   const Labels sorted = sortedLabels(labels);
   const std::string id = identity(name, sorted);
-  const std::lock_guard<std::mutex> lock{mutex_};
+  const util::MutexLock lock{mutex_};
   const auto it = std::find_if(index_.begin(), index_.end(),
                                [&](const auto& e) { return e.first == id; });
   if (it != index_.end()) {
@@ -158,7 +158,7 @@ Histogram& CounterRegistry::histogram(std::string_view name, const Labels& label
 
 std::vector<MetricSample> CounterRegistry::snapshot() const {
   std::vector<MetricSample> samples;
-  const std::lock_guard<std::mutex> lock{mutex_};
+  const util::MutexLock lock{mutex_};
   samples.reserve(cells_.size());
   for (const auto& cell : cells_) {
     MetricSample sample;
@@ -201,7 +201,7 @@ void CounterRegistry::merge(const CounterRegistry& other) {
 }
 
 void CounterRegistry::reset() {
-  const std::lock_guard<std::mutex> lock{mutex_};
+  const util::MutexLock lock{mutex_};
   for (const auto& cell : cells_) {
     switch (cell->kind) {
       case MetricSample::Kind::Counter: cell->counter->reset(); break;
@@ -212,7 +212,7 @@ void CounterRegistry::reset() {
 }
 
 std::size_t CounterRegistry::size() const {
-  const std::lock_guard<std::mutex> lock{mutex_};
+  const util::MutexLock lock{mutex_};
   return cells_.size();
 }
 

@@ -13,13 +13,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
 #include "util/json.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace stellar::obs {
 
@@ -95,8 +95,8 @@ class Histogram {
   [[nodiscard]] static std::vector<double> defaultBounds();
 
  private:
-  mutable std::mutex mutex_;
-  HistogramData data_;
+  mutable util::Mutex mutex_;
+  HistogramData data_ STELLAR_GUARDED_BY(mutex_);
 };
 
 /// Identity of one metric instance inside the registry.
@@ -158,9 +158,11 @@ class CounterRegistry {
   [[nodiscard]] Cell& findOrCreate(std::string_view name, const Labels& labels,
                                    MetricSample::Kind kind, std::vector<double>* bounds);
 
-  mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<Cell>> cells_;           // registration order
-  std::vector<std::pair<std::string, std::size_t>> index_;  // identity -> cell
+  mutable util::Mutex mutex_;
+  // registration order
+  std::vector<std::unique_ptr<Cell>> cells_ STELLAR_GUARDED_BY(mutex_);
+  // identity -> cell
+  std::vector<std::pair<std::string, std::size_t>> index_ STELLAR_GUARDED_BY(mutex_);
 };
 
 }  // namespace stellar::obs

@@ -1109,9 +1109,9 @@ void ClientRuntime::flushObservability(obs::CounterRegistry& registry) const {
   add("pfs.cache.page_hit_bytes", static_cast<double>(counters_.pageCacheHitBytes));
   add("pfs.meta.statahead_served", static_cast<double>(counters_.stataheadServed));
   add("pfs.lock.extent_conflicts", static_cast<double>(counters_.extentConflicts));
-  add("rpc.timeouts", static_cast<double>(counters_.rpcTimeouts));
-  add("rpc.retries", static_cast<double>(counters_.rpcRetries));
-  add("rpc.gave_up", static_cast<double>(counters_.rpcGaveUp));
+  add("pfs.rpc.timeouts", static_cast<double>(counters_.rpcTimeouts));
+  add("pfs.rpc.retries", static_cast<double>(counters_.rpcRetries));
+  add("pfs.rpc.gave_up", static_cast<double>(counters_.rpcGaveUp));
 
   // Per-OST disk service split: positioning (seek/setup) vs serialized
   // media transfer. Their ratio is the seek-bound vs bandwidth-bound

@@ -29,6 +29,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -293,8 +294,12 @@ class ClientRuntime {
     std::unique_ptr<sim::FlowLimiter> modLimiter;
     LockLru locks;
     ReadAheadCache readahead;
-    std::unordered_map<FileId, std::uint32_t> flushInFlight;
-    std::unordered_map<FileId, std::vector<std::function<void()>>> fsyncWaiters;
+    /// Ordered maps, not unordered: fsync completion drains waiters per
+    /// file, and any future whole-map drain (close-all, unlink sweeps)
+    /// must visit files in FileId order for bit-identical replay
+    /// (stellar-lint DET-UNORDERED-ITER; pinned by the ML-DET law).
+    std::map<FileId, std::uint32_t> flushInFlight;
+    std::map<FileId, std::vector<std::function<void()>>> fsyncWaiters;
     std::unordered_map<FileId, std::uint32_t> openCount;  // open FDs on node
     /// Files whose written pages are still cached on this node. Set on
     /// write; cleared when the protecting DLM lock leaves the LRU (via

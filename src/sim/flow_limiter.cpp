@@ -65,16 +65,15 @@ void FlowLimiterBank::release(std::size_t lane) {
 
 void FlowLimiterBank::setLimit(std::uint32_t limit) {
   limit_ = std::max<std::uint32_t>(1, limit);
-  // Snapshot and sort the backlogged lanes: admitWaiters erases drained
-  // queues, and unordered_map iteration order is not part of the
-  // determinism contract.
+  // waiting_ is ordered by lane id, so draining in iteration order is
+  // deterministic. Snapshot the backlogged lanes first because
+  // admitWaiters erases queues that drain completely.
   std::vector<std::size_t> lanes;
   lanes.reserve(waiting_.size());
   for (const auto& [lane, queue] : waiting_) {
     (void)queue;
     lanes.push_back(lane);
   }
-  std::sort(lanes.begin(), lanes.end());
   for (const std::size_t lane : lanes) {
     admitWaiters(lane);
   }

@@ -14,7 +14,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <unordered_map>
+#include <map>
 #include <utility>
 #include <vector>
 
@@ -92,8 +92,11 @@ class FlowLimiterBank {
   SimEngine& engine_;
   std::uint32_t limit_;
   std::vector<std::uint32_t> inFlight_;
-  // Waiter queues exist only for backlogged lanes.
-  std::unordered_map<std::size_t, std::deque<Callback>> waiting_;
+  // Waiter queues exist only for backlogged lanes. Ordered map, not
+  // unordered: setLimit drains backlogged lanes in iteration order, and
+  // wakeup order must be a pure function of lane ids (stellar-lint
+  // DET-UNORDERED-ITER; pinned by the testkit ML-DET law).
+  std::map<std::size_t, std::deque<Callback>> waiting_;
 };
 
 }  // namespace stellar::sim

@@ -276,9 +276,9 @@ std::vector<Violation> checkObsConsistency(const obs::CounterRegistry& registry,
       {"pfs.cache.page_hit_bytes", static_cast<double>(c.pageCacheHitBytes)},
       {"pfs.meta.statahead_served", static_cast<double>(c.stataheadServed)},
       {"pfs.lock.extent_conflicts", static_cast<double>(c.extentConflicts)},
-      {"rpc.timeouts", static_cast<double>(c.rpcTimeouts)},
-      {"rpc.retries", static_cast<double>(c.rpcRetries)},
-      {"rpc.gave_up", static_cast<double>(c.rpcGaveUp)},
+      {"pfs.rpc.timeouts", static_cast<double>(c.rpcTimeouts)},
+      {"pfs.rpc.retries", static_cast<double>(c.rpcRetries)},
+      {"pfs.rpc.gave_up", static_cast<double>(c.rpcGaveUp)},
   };
   for (const auto& [name, want] : expected) {
     const double got = lookup(name);

@@ -1,0 +1,80 @@
+// Clang thread-safety annotations plus annotated mutex wrappers.
+//
+// The repo's shared mutable state (ThreadPool queue, experience store
+// records, counter registry cells, LLM circuit breakers) is guarded by
+// mutexes whose locking discipline was, until stellar-lint (DESIGN.md §7),
+// enforced only by convention and TSan's luck. These macros let clang's
+// -Wthread-safety analysis prove the discipline at compile time; on GCC
+// (which has no such analysis) they expand to nothing, so the annotations
+// are free documentation.
+//
+// libstdc++'s std::mutex carries no capability attributes, so annotating
+// members GUARDED_BY(std::mutex) would make every std::lock_guard use
+// appear unlocked to the analysis. util::Mutex / util::MutexLock are thin
+// annotated wrappers (the Abseil pattern) that the analysis understands;
+// they cost nothing over the raw types.
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define STELLAR_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define STELLAR_THREAD_ANNOTATION(x)  // no-op on GCC/MSVC
+#endif
+
+#define STELLAR_CAPABILITY(x) STELLAR_THREAD_ANNOTATION(capability(x))
+#define STELLAR_SCOPED_CAPABILITY STELLAR_THREAD_ANNOTATION(scoped_lockable)
+#define STELLAR_GUARDED_BY(x) STELLAR_THREAD_ANNOTATION(guarded_by(x))
+#define STELLAR_PT_GUARDED_BY(x) STELLAR_THREAD_ANNOTATION(pt_guarded_by(x))
+#define STELLAR_REQUIRES(...) \
+  STELLAR_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define STELLAR_EXCLUDES(...) \
+  STELLAR_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define STELLAR_ACQUIRE(...) \
+  STELLAR_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define STELLAR_RELEASE(...) \
+  STELLAR_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define STELLAR_TRY_ACQUIRE(...) \
+  STELLAR_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define STELLAR_RETURN_CAPABILITY(x) STELLAR_THREAD_ANNOTATION(lock_returned(x))
+#define STELLAR_NO_THREAD_SAFETY_ANALYSIS \
+  STELLAR_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace stellar::util {
+
+/// std::mutex with capability annotations the analysis can track.
+class STELLAR_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() STELLAR_ACQUIRE() { m_.lock(); }
+  void unlock() STELLAR_RELEASE() { m_.unlock(); }
+  bool try_lock() STELLAR_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+  /// Escape hatch for condition-variable waits (std::condition_variable_any
+  /// needs a BasicLockable; the waiting function opts out of analysis).
+  [[nodiscard]] std::mutex& native() noexcept { return m_; }
+
+ private:
+  std::mutex m_;
+};
+
+/// RAII lock the analysis tracks like std::lock_guard.
+class STELLAR_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) STELLAR_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() STELLAR_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+}  // namespace stellar::util

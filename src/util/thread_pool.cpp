@@ -16,7 +16,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock{mutex_};
+    const MutexLock lock{mutex_};
     stopping_ = true;
   }
   available_.notify_all();
@@ -29,7 +29,7 @@ void ThreadPool::workerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock{mutex_};
+      std::unique_lock<std::mutex> lock{mutex_.native()};
       available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) {
         return;  // stopping and drained

@@ -1,0 +1,15 @@
+// Fixture: RES-COUNTER-NAME (never compiled; consumed by test_lint).
+namespace fixture {
+
+void bad(obs::CounterRegistry& registry) {
+  registry.counter("core.not.registered").add();  // finding: not in catalogue
+}
+
+void ok(obs::CounterRegistry& registry, bool hit) {
+  registry.counter("core.registered.name").add();  // in catalogue: legal
+  registry.counter(hit ? "core.registered.name" : "sim.other.name").add();
+  registry.counter(kDynamicName).add();       // non-literal: out of scope
+  transcript.add("tuning-agent", "attempt");  // hyphenated: not metric-shaped
+}
+
+}  // namespace fixture

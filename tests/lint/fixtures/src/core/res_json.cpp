@@ -1,0 +1,29 @@
+// Fixture: RES-JSON-AT (never compiled; consumed by test_lint).
+namespace fixture {
+
+void bad(const util::Json& cfg) {
+  auto v = cfg.at("mode");  // finding: unguarded, not a parse scope
+}
+
+void guarded(const util::Json& cfg) {
+  if (cfg.contains("mode")) {
+    auto v = cfg.at("mode");  // contains() guard in scope: legal
+  }
+}
+
+void tryScoped(const util::Json& cfg) {
+  try {
+    auto v = cfg.at("mode");  // try scope: legal
+  } catch (const util::JsonError&) {
+  }
+}
+
+Thing fromJson(const util::Json& cfg) {
+  return Thing{cfg.at("mode")};  // parse-shaped function name: legal
+}
+
+void dataframe(const df::DataFrame& frame) {
+  auto cell = frame.at("column", 3);  // two args: not a Json lookup
+}
+
+}  // namespace fixture

@@ -1,0 +1,28 @@
+// Fixture: RES-THROW-TASK (never compiled; consumed by test_lint).
+namespace fixture {
+
+void bad(util::ThreadPool& pool) {
+  pool.submit([] {
+    if (failed()) {
+      throw std::runtime_error("boom");  // finding: escapes onto the worker
+    }
+    return 0;
+  });
+}
+
+void ok(util::ThreadPool& pool) {
+  pool.submit([] {
+    try {
+      risky();
+      throw std::runtime_error("caught below");  // legal: caught in-task
+    } catch (const std::exception& e) {
+      return Result::error(e.what());
+    }
+    return Result::ok();
+  });
+  if (outside) {
+    throw std::runtime_error("not in a task");  // outside submit(): out of scope
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,8 @@
+// Fixture catalogue mirroring src/obs/metric_names.hpp (never compiled).
+#pragma once
+namespace fixture {
+inline constexpr const char* kMetricNames[] = {
+    "core.registered.name",
+    "sim.other.name",
+};
+}  // namespace fixture

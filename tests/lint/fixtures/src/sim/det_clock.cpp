@@ -1,0 +1,18 @@
+// Fixture: DET-CLOCK violations (never compiled; consumed by test_lint).
+#include <chrono>  // the include itself must NOT be a finding
+namespace fixture {
+
+void bad() {
+  auto wall = std::chrono::system_clock::now();    // finding
+  auto mono = std::chrono::steady_clock::now();    // finding
+  auto unixSeconds = std::time(nullptr);           // finding
+  auto alsoBad = time(0);                          // finding
+}
+
+void ok(sim::Engine& engine) {
+  auto now = engine.now();        // simulated time is fine
+  auto t = event.time();          // member named `time` with args is fine
+  record.time = now;              // field access is fine
+}
+
+}  // namespace fixture

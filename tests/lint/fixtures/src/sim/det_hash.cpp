@@ -1,0 +1,13 @@
+// Fixture: DET-HASH violations (never compiled; consumed by test_lint).
+namespace fixture {
+
+void bad() {
+  auto h = std::hash<std::string>{}("key");  // finding
+}
+
+void ok() {
+  auto h = util::hash64("key");  // FNV-1a: deterministic across platforms
+  auto mine = my::hash(3);       // non-std hash is fine
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Fixture: DET-RANDOM violations (never compiled; consumed by test_lint).
+namespace fixture {
+
+void bad() {
+  std::mt19937 gen(std::random_device{}());  // two findings on this line
+  int r = rand();                            // one finding
+  srand(42);                                 // one finding
+}
+
+void ok() {
+  util::Rng rng{opts.seed};  // sanctioned source of randomness
+  auto strand = rng.fork();  // `strand` must not match the `rand` rule
+}
+
+}  // namespace fixture

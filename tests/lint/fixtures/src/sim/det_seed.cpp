@@ -1,0 +1,18 @@
+// Fixture: DET-SEED-LITERAL violations (never compiled; consumed by test_lint).
+namespace fixture {
+
+struct Options {
+  unsigned long seed = 42;  // the sanctioned single source of defaults: legal
+};
+
+void bad(util::Rng& rng) {
+  rng.seed(12345);    // finding
+  reseed(0xBEEF);     // finding
+}
+
+void ok(util::Rng& rng, const Options& opts) {
+  rng.seed(opts.seed);          // threaded from options: legal
+  rng.seed(derive(opts.seed));  // derived: legal
+}
+
+}  // namespace fixture

@@ -1,0 +1,36 @@
+// Fixture: DET-UNORDERED-ITER / DET-FLOAT-ACCUM (never compiled).
+#include <unordered_map>
+namespace fixture {
+
+std::unordered_map<int, double> table;
+std::map<int, double> orderedTable;
+double total = 0.0;
+
+void bad() {
+  for (const auto& [k, v] : table) {  // DET-UNORDERED-ITER finding
+    use(k, v);
+  }
+}
+
+void badFloat() {
+  // lint: order-insensitive -- counts commute (claim is WRONG for floats)
+  for (const auto& [k, v] : table) {  // waived by the marker...
+    total += v;                       // ...but DET-FLOAT-ACCUM still fires
+  }
+}
+
+void waived() {
+  long count = 0;
+  // lint: order-insensitive -- integer count is commutative
+  for (const auto& [k, v] : table) {
+    ++count;
+  }
+}
+
+void ok() {
+  for (const auto& [k, v] : orderedTable) {  // std::map: deterministic
+    use(k, v);
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Fixture: iterating a member whose unordered declaration lives in the
+// same-stem header (never compiled; consumed by test_lint).
+#include "paired.hpp"
+namespace fixture {
+
+void Tracker::drain() {
+  for (const int id : pendingIds_) {  // DET-UNORDERED-ITER via paired header
+    handle(id);
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Fixture: header half of the paired-declaration case (never compiled).
+#pragma once
+#include <unordered_set>
+namespace fixture {
+
+class Tracker {
+ public:
+  void drain();
+
+ private:
+  std::unordered_set<int> pendingIds_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,26 @@
+// Fixture: suppression grammar round-trip (never compiled).
+// lint-file: suppress(DET-HASH) -- fixture exercises file-wide suppression
+namespace fixture {
+
+void lineSuppressed() {
+  // lint: suppress(DET-CLOCK) -- fixture exercises next-line suppression
+  auto wall = std::chrono::system_clock::now();
+  auto mono = std::chrono::steady_clock::now();  // lint: suppress(DET-CLOCK) -- same-line form
+}
+
+void fileSuppressed() {
+  auto a = std::hash<int>{}(1);  // covered by the lint-file directive
+  auto b = std::hash<int>{}(2);  // covered by the lint-file directive
+}
+
+void stillCaught() {
+  auto wall = std::chrono::system_clock::now();  // unsuppressed finding
+}
+
+// lint: suppress(NO-SUCH-RULE) -- unknown rule id
+// lint: suppress(DET-CLOCK)
+// lint: order-insensitive
+// lint: gibberish directive
+// lint: suppress(LINT-SUPPRESS) -- nice try
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Fixture: determinism rules must NOT fire outside sim-critical dirs
+// (src/util is support code; wall clocks are allowed in e.g. tracing).
+#include <unordered_map>
+namespace fixture {
+
+std::unordered_map<int, int> table;
+
+void allowedHere() {
+  auto wall = std::chrono::system_clock::now();
+  auto h = std::hash<int>{}(3);
+  std::mt19937 gen(std::random_device{}());
+  for (const auto& [k, v] : table) {
+    use(k, v);
+  }
+}
+
+}  // namespace fixture

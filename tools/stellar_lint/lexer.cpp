@@ -1,0 +1,224 @@
+// Tokenizer for stellar-lint: identifiers, numbers, string/char literals,
+// and a small set of multi-character punctuators. Comments are captured
+// for the suppression grammar; preprocessor lines are dropped wholesale
+// (an `#include <random>` is not a *use* of randomness).
+
+#include <cctype>
+#include <utility>
+
+#include "lint.hpp"
+
+namespace stellar::lint {
+namespace {
+
+bool isIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool isIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Two-character punctuators worth keeping atomic. `::` matters (so a
+/// range-for `:` is unambiguous), the compound assignments matter for
+/// DET-FLOAT-ACCUM; the rest avoid misleading single-char splits.
+bool isTwoCharPunct(char a, char b) {
+  switch (a) {
+    case ':': return b == ':';
+    case '-': return b == '>' || b == '-' || b == '=';
+    case '+': return b == '+' || b == '=';
+    case '=': return b == '=';
+    case '!': return b == '=';
+    case '<': return b == '=' || b == '<';
+    case '>': return b == '=';  // NOT '>>': template closers must stay single
+    case '&': return b == '&';
+    case '|': return b == '|';
+    default: return false;
+  }
+}
+
+}  // namespace
+
+SourceFile lex(std::string path, const std::string& contents) {
+  SourceFile file;
+  file.path = std::move(path);
+
+  // Split raw lines for snippets.
+  std::string current;
+  for (const char c : contents) {
+    if (c == '\n') {
+      file.lines.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) {
+    file.lines.push_back(current);
+  }
+
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = contents.size();
+  bool atLineStart = true;  // only whitespace seen since the last newline
+
+  while (i < n) {
+    const char c = contents[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      atLineStart = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+
+    // Preprocessor directive: skip to end of line, honouring continuations.
+    if (c == '#' && atLineStart) {
+      while (i < n) {
+        if (contents[i] == '\\' && i + 1 < n && contents[i + 1] == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        if (contents[i] == '\n') {
+          break;
+        }
+        ++i;
+      }
+      continue;
+    }
+    atLineStart = false;
+
+    // Line comment.
+    if (c == '/' && i + 1 < n && contents[i + 1] == '/') {
+      i += 2;
+      std::string text;
+      while (i < n && contents[i] != '\n') {
+        text += contents[i++];
+      }
+      file.comments.push_back(Comment{line, std::move(text)});
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && contents[i + 1] == '*') {
+      i += 2;
+      std::string text;
+      while (i + 1 < n && !(contents[i] == '*' && contents[i + 1] == '/')) {
+        if (contents[i] == '\n') {
+          ++line;
+        }
+        text += contents[i++];
+      }
+      i = (i + 1 < n) ? i + 2 : n;
+      file.comments.push_back(Comment{line, std::move(text)});
+      continue;
+    }
+
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && contents[i + 1] == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && contents[j] != '(') {
+        delim += contents[j++];
+      }
+      const std::string closer = ")" + delim + "\"";
+      std::string value;
+      ++j;  // past '('
+      while (j < n && contents.compare(j, closer.size(), closer) != 0) {
+        if (contents[j] == '\n') {
+          ++line;
+        }
+        value += contents[j++];
+      }
+      i = (j < n) ? j + closer.size() : n;
+      file.tokens.push_back(Token{Token::Kind::String, std::move(value), line});
+      continue;
+    }
+
+    // String literal.
+    if (c == '"') {
+      ++i;
+      std::string value;
+      while (i < n && contents[i] != '"') {
+        if (contents[i] == '\\' && i + 1 < n) {
+          value += contents[i + 1];
+          i += 2;
+          continue;
+        }
+        if (contents[i] == '\n') {
+          ++line;  // unterminated; keep scanning to stay robust
+        }
+        value += contents[i++];
+      }
+      if (i < n) {
+        ++i;  // closing quote
+      }
+      file.tokens.push_back(Token{Token::Kind::String, std::move(value), line});
+      continue;
+    }
+
+    // Char literal. Heuristic guard: only when it plausibly starts one
+    // (digit separators like 1'000'000 are handled in the number path).
+    if (c == '\'') {
+      ++i;
+      std::string value;
+      while (i < n && contents[i] != '\'') {
+        if (contents[i] == '\\' && i + 1 < n) {
+          value += contents[i + 1];
+          i += 2;
+          continue;
+        }
+        value += contents[i++];
+      }
+      if (i < n) {
+        ++i;
+      }
+      file.tokens.push_back(Token{Token::Kind::CharLit, std::move(value), line});
+      continue;
+    }
+
+    // Number (also eats hex/binary prefixes, suffixes, digit separators).
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      std::string value;
+      while (i < n && (isIdentChar(contents[i]) || contents[i] == '\'' ||
+                       contents[i] == '.' ||
+                       ((contents[i] == '+' || contents[i] == '-') && i > 0 &&
+                        (contents[i - 1] == 'e' || contents[i - 1] == 'E' ||
+                         contents[i - 1] == 'p' || contents[i - 1] == 'P')))) {
+        if (contents[i] != '\'') {
+          value += contents[i];
+        }
+        ++i;
+      }
+      file.tokens.push_back(Token{Token::Kind::Number, std::move(value), line});
+      continue;
+    }
+
+    // Identifier / keyword.
+    if (isIdentStart(c)) {
+      std::string value;
+      while (i < n && isIdentChar(contents[i])) {
+        value += contents[i++];
+      }
+      file.tokens.push_back(Token{Token::Kind::Identifier, std::move(value), line});
+      continue;
+    }
+
+    // Punctuation.
+    if (i + 1 < n && isTwoCharPunct(c, contents[i + 1])) {
+      file.tokens.push_back(
+          Token{Token::Kind::Punct, std::string{c, contents[i + 1]}, line});
+      i += 2;
+      continue;
+    }
+    file.tokens.push_back(Token{Token::Kind::Punct, std::string(1, c), line});
+    ++i;
+  }
+
+  return file;
+}
+
+}  // namespace stellar::lint

@@ -1,0 +1,214 @@
+// Driver for stellar-lint: tree walk, header pairing, suppression
+// application, and report serialisation.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "lint.hpp"
+
+namespace stellar::lint {
+namespace fs = std::filesystem;
+
+namespace {
+
+bool isSourceFile(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc";
+}
+
+std::string readFile(const fs::path& p) {
+  std::ifstream in{p, std::ios::binary};
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Forward-slashed path of `p` relative to `root` (falls back to `p` when
+/// not nested — e.g. an explicit file outside the root).
+std::string relPath(const fs::path& p, const fs::path& root) {
+  std::error_code ec;
+  const fs::path rel = fs::relative(p, root, ec);
+  const fs::path& use = (ec || rel.empty()) ? p : rel;
+  return use.generic_string();
+}
+
+void jsonEscape(std::ostringstream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      case '\r': out << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xF]
+              << "0123456789abcdef"[c & 0xF];
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+std::size_t Report::suppressedCount() const {
+  std::size_t n = 0;
+  for (const Finding& f : findings) {
+    n += f.suppressed ? 1U : 0U;
+  }
+  return n;
+}
+
+std::size_t Report::unsuppressedCount() const {
+  return findings.size() - suppressedCount();
+}
+
+Report run(const Options& options) {
+  const fs::path root = options.repoRoot;
+  Report report;
+
+  // Metric-name catalogue (RES-COUNTER-NAME is skipped when absent).
+  RuleContext ctx;
+  const fs::path cataloguePath = root / "src" / "obs" / "metric_names.hpp";
+  if (fs::exists(cataloguePath)) {
+    const SourceFile catalogue =
+        lex(relPath(cataloguePath, root), readFile(cataloguePath));
+    for (const Token& t : catalogue.tokens) {
+      if (t.kind == Token::Kind::String && !t.text.empty()) {
+        ctx.metricNames.insert(t.text);
+      }
+    }
+    ctx.haveCatalogue = !ctx.metricNames.empty();
+  }
+
+  // Collect candidate files, sorted by repo-relative path so the report —
+  // and therefore CI diffs — are stable across filesystems.
+  std::vector<fs::path> paths = {};
+  const std::vector<std::string>& roots =
+      options.paths.empty() ? std::vector<std::string>{"src"} : options.paths;
+  for (const std::string& p : roots) {
+    const fs::path abs = root / p;
+    if (fs::is_regular_file(abs)) {
+      paths.push_back(abs);
+      continue;
+    }
+    if (!fs::is_directory(abs)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(abs)) {
+      if (entry.is_regular_file() && isSourceFile(entry.path())) {
+        paths.push_back(entry.path());
+      }
+    }
+  }
+  std::sort(paths.begin(), paths.end(),
+            [&](const fs::path& a, const fs::path& b) {
+              return relPath(a, root) < relPath(b, root);
+            });
+  paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
+
+  // Lex everything once; .cpp files get their same-stem header as context
+  // for member declarations.
+  std::map<std::string, SourceFile> lexed;
+  for (const fs::path& p : paths) {
+    const std::string rel = relPath(p, root);
+    lexed.emplace(rel, lex(rel, readFile(p)));
+  }
+
+  for (const fs::path& p : paths) {
+    const std::string rel = relPath(p, root);
+    const SourceFile& file = lexed.at(rel);
+    ++report.filesScanned;
+
+    const SourceFile* paired = nullptr;
+    SourceFile pairedStorage;
+    if (p.extension() == ".cpp" || p.extension() == ".cc") {
+      for (const char* ext : {".hpp", ".h"}) {
+        fs::path header = p;
+        header.replace_extension(ext);
+        const std::string headerRel = relPath(header, root);
+        const auto it = lexed.find(headerRel);
+        if (it != lexed.end()) {
+          paired = &it->second;
+          break;
+        }
+        if (fs::exists(header)) {  // header exists but was outside the scan set
+          pairedStorage = lex(headerRel, readFile(header));
+          paired = &pairedStorage;
+          break;
+        }
+      }
+    }
+
+    const Suppressions sup = parseSuppressions(file);
+    std::vector<Finding> fileFindings;
+    checkFile(file, paired, ctx, sup, fileFindings);
+    for (Finding& f : fileFindings) {
+      sup.apply(f);
+      report.findings.push_back(std::move(f));
+    }
+    for (const Finding& f : sup.malformed) {
+      report.findings.push_back(f);
+    }
+  }
+
+  std::sort(report.findings.begin(), report.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return report;
+}
+
+std::string toJson(const Report& report) {
+  std::ostringstream out;
+  out << "{\"schema\":1,\"files_scanned\":" << report.filesScanned
+      << ",\"summary\":{\"total\":" << report.findings.size()
+      << ",\"suppressed\":" << report.suppressedCount()
+      << ",\"unsuppressed\":" << report.unsuppressedCount() << "},\"findings\":[";
+  bool first = true;
+  for (const Finding& f : report.findings) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"file\":";
+    jsonEscape(out, f.file);
+    out << ",\"line\":" << f.line << ",\"rule\":";
+    jsonEscape(out, f.rule);
+    out << ",\"message\":";
+    jsonEscape(out, f.message);
+    out << ",\"snippet\":";
+    jsonEscape(out, f.snippet);
+    out << ",\"suppressed\":" << (f.suppressed ? "true" : "false")
+        << ",\"justification\":";
+    jsonEscape(out, f.justification);
+    out << '}';
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string toText(const Report& report, bool includeSuppressed) {
+  std::ostringstream out;
+  for (const Finding& f : report.findings) {
+    if (f.suppressed && !includeSuppressed) continue;
+    out << f.file << ':' << f.line << ": [" << f.rule << ']'
+        << (f.suppressed ? " (suppressed)" : "") << ' ' << f.message << '\n';
+    if (!f.snippet.empty()) {
+      out << "  | " << f.snippet << '\n';
+    }
+    if (f.suppressed && !f.justification.empty()) {
+      out << "  suppressed: " << f.justification << '\n';
+    }
+  }
+  out << report.filesScanned << " files scanned, " << report.unsuppressedCount()
+      << " finding(s), " << report.suppressedCount() << " suppressed\n";
+  return out.str();
+}
+
+}  // namespace stellar::lint

@@ -1,0 +1,77 @@
+// stellar-lint CLI.
+//
+//   stellar_lint [--root DIR] [--json] [--include-suppressed] [--list-rules]
+//                [PATH...]
+//
+// PATHs are files or directories relative to --root (default: src).
+// Exit codes: 0 clean, 1 unsuppressed findings, 2 usage error.
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "lint.hpp"
+
+namespace {
+
+void printUsage(std::ostream& out) {
+  out << "usage: stellar_lint [--root DIR] [--json] [--include-suppressed]\n"
+         "                    [--list-rules] [PATH...]\n"
+         "\n"
+         "Determinism & concurrency lint for the STELLAR tree (DESIGN.md §7).\n"
+         "PATHs are files or directories relative to --root; default: src.\n"
+         "Exit codes: 0 clean, 1 unsuppressed findings, 2 usage error.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  stellar::lint::Options options;
+  options.paths.clear();
+  bool json = false;
+  bool includeSuppressed = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      printUsage(std::cout);
+      return 0;
+    }
+    if (arg == "--list-rules") {
+      for (const auto& rule : stellar::lint::ruleCatalogue()) {
+        std::cout << rule.id << "\t" << rule.summary << "\n";
+      }
+      return 0;
+    }
+    if (arg == "--json") {
+      json = true;
+      continue;
+    }
+    if (arg == "--include-suppressed") {
+      includeSuppressed = true;
+      continue;
+    }
+    if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::cerr << "stellar_lint: --root needs a directory\n";
+        return 2;
+      }
+      options.repoRoot = argv[++i];
+      continue;
+    }
+    if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "stellar_lint: unknown option `" << arg << "`\n";
+      printUsage(std::cerr);
+      return 2;
+    }
+    options.paths.push_back(arg);
+  }
+
+  const stellar::lint::Report report = stellar::lint::run(options);
+  if (json) {
+    std::cout << stellar::lint::toJson(report) << "\n";
+  } else {
+    std::cout << stellar::lint::toText(report, includeSuppressed);
+  }
+  return report.unsuppressedCount() == 0 ? 0 : 1;
+}
