@@ -47,6 +47,12 @@
 //                       journaled measurements — deterministic kill testing
 //   --store <file>      persistent experience store (JSONL); completed runs
 //                       are filed into it
+//   --tenant <id>       file completed runs under this tenant, sharing the
+//                       stellard service layout: records (tenant-tagged,
+//                       keyed by their cell) land in the per-tenant shard
+//                       journal `<store>.tenant-<id>` and the session
+//                       journal defaults to `<store>.sessions/<cell>.jsonl`,
+//                       so a later stellard commit absorbs them
 //   --warm-start        recall prior experience from --store to warm-start
 //                       the tuning agent on similar workloads
 //   --campaign <spec>   run the campaign described by this JSON spec file
@@ -68,6 +74,7 @@
 #include "exp/experience_store.hpp"
 #include "faults/fault_plan.hpp"
 #include "obs/export.hpp"
+#include "service/session.hpp"
 #include "util/file.hpp"
 #include "util/units.hpp"
 #include "workloads/workloads.hpp"
@@ -88,6 +95,7 @@ struct CliOptions {
   bool json = false;
   std::string faultsSpec;
   std::string storePath;
+  std::string tenant;
   bool warmStart = false;
   std::string campaignSpec;
   std::string manifestPath;
@@ -106,12 +114,13 @@ struct CliOptions {
                "  tune <workload> [--scale S] [--seed N] [--model NAME]\n"
                "       [--rules FILE] [--scope user|system] [--transcript]\n"
                "       [--trace FILE] [--metrics] [--json] [--faults SPEC]\n"
-               "       [--store FILE] [--warm-start] [--sanitize observe|enforce]\n"
+               "       [--store FILE] [--tenant ID] [--warm-start]\n"
+               "       [--sanitize observe|enforce]\n"
                "       [--fallback-model NAME] [--session-journal FILE]\n"
                "       [--max-measurements N]\n"
                "  suite [--scale S] [--seed N] [--rules FILE]\n"
                "        [--trace FILE] [--metrics] [--faults SPEC]\n"
-               "        [--store FILE] [--warm-start]\n"
+               "        [--store FILE] [--tenant ID] [--warm-start]\n"
                "  campaign SPEC.json [--store FILE] [--manifest FILE]\n"
                "           [--jobs N] [--max-cells N] [--metrics]\n"
                "           (--campaign=SPEC.json is accepted as a command too)\n"
@@ -170,6 +179,13 @@ CliOptions parseOptions(const std::vector<std::string>& args, std::size_t start)
       opts.faultsSpec = value();
     } else if (arg == "--store") {
       opts.storePath = value();
+    } else if (arg == "--tenant") {
+      opts.tenant = value();
+      if (!service::validTenantId(opts.tenant)) {
+        std::fprintf(stderr, "invalid --tenant id: %s ([a-z0-9_-] only)\n",
+                     opts.tenant.c_str());
+        usage();
+      }
     } else if (arg == "--warm-start") {
       opts.warmStart = true;
     } else if (arg == "--campaign") {
@@ -261,13 +277,49 @@ std::unique_ptr<exp::ExperienceStore> openStore(const CliOptions& cli,
   return store;
 }
 
+/// The cell identity stellard would assign this run — shared so a CLI run
+/// and a service session of the same work dedup to one record.
+std::string cellKeyFor(const CliOptions& cli, const std::string& workload) {
+  service::SubmitOptions request;
+  request.tenant = cli.tenant;
+  request.workload = workload;
+  request.seed = cli.seed;
+  request.model = cli.model;
+  request.faults = cli.faultsSpec;
+  request.scale = cli.scale;
+  request.ranks = 50;
+  return service::cellKey(request);
+}
+
 void fileRun(const CliOptions& cli, exp::ExperienceStore* store,
-             const core::TuningRunResult& run) {
+             obs::CounterRegistry* counters, const core::TuningRunResult& run) {
   if (store == nullptr) {
     return;
   }
-  const std::string id = store->append(
-      exp::recordFromRun(run, cli.seed, cli.model, cli.faultsSpec));
+  exp::ExperienceRecord record =
+      exp::recordFromRun(run, cli.seed, cli.model, cli.faultsSpec);
+  if (!cli.tenant.empty()) {
+    // Tenanted runs share the stellard service layout: the record is
+    // tenant-tagged, keyed by its cell (re-runs dedup last-wins), and lands
+    // in the per-tenant shard journal next to the base store, where the
+    // next stellard/FleetStore commit absorbs it into the recall set.
+    record.tenant = cli.tenant;
+    record.id = cellKeyFor(cli, run.workload);
+    exp::StoreOptions shardOptions;
+    shardOptions.counters = counters;
+    exp::ExperienceStore shard{cli.storePath + ".tenant-" + cli.tenant,
+                               shardOptions};
+    const std::string id = shard.append(std::move(record));
+    if (counters != nullptr) {
+      counters->counter("service.store.shard_appends", {{"tenant", cli.tenant}})
+          .add(1.0);
+    }
+    std::fprintf(cli.json ? stderr : stdout,
+                 "experience:    filed %s for tenant %s in %s\n", id.c_str(),
+                 cli.tenant.c_str(), shard.path().c_str());
+    return;
+  }
+  const std::string id = store->append(std::move(record));
   store->compact();
   std::fprintf(cli.json ? stderr : stdout, "experience:    filed %s (%zu records)\n",
                id.c_str(), store->size());
@@ -412,12 +464,20 @@ int cmdTune(const std::string& workload, const CliOptions& cli) {
   if (cli.warmStart && store != nullptr) {
     opts.warmStart = store.get();
   }
+  std::string journalPath = cli.sessionJournal;
+  if (journalPath.empty() && !cli.tenant.empty() && !cli.storePath.empty()) {
+    // Tenanted runs default to the stellard session-journal layout, so a
+    // CLI run killed mid-session resumes under either front end.
+    journalPath = cli.storePath + ".sessions/" +
+                  service::cellFileStem(cellKeyFor(cli, workload)) + ".jsonl";
+  }
   std::unique_ptr<core::SessionJournal> journal;
-  if (!cli.sessionJournal.empty()) {
-    journal = std::make_unique<core::SessionJournal>(cli.sessionJournal);
+  if (!journalPath.empty()) {
+    util::ensureParentDir(journalPath);
+    journal = std::make_unique<core::SessionJournal>(journalPath);
     std::fprintf(cli.json ? stderr : stdout,
                  "journal:       %s (%zu measurements, %zu corrupt lines skipped%s)\n",
-                 cli.sessionJournal.c_str(), journal->measurementCount(),
+                 journalPath.c_str(), journal->measurementCount(),
                  journal->corruptLinesSkipped(),
                  journal->complete() ? ", complete" : "");
     opts.journal = journal.get();
@@ -434,7 +494,7 @@ int cmdTune(const std::string& workload, const CliOptions& cli) {
     bundle.finish(cli);
     return 3;
   }
-  fileRun(cli, store.get(), run);
+  fileRun(cli, store.get(), &bundle.registry, run);
   // Re-measure the winning configuration under the harness protocol —
   // the validation numbers the paper reports, and the "harness" spans of
   // the trace.
@@ -478,7 +538,7 @@ int cmdSuite(const CliOptions& cli) {
     core::StellarEngine engine{simulator, opts};
     const core::TuningRunResult run =
         engine.tune(workloads::byName(name, wopts), &global);
-    fileRun(cli, store.get(), run);
+    fileRun(cli, store.get(), &bundle.registry, run);
     std::printf("%-16s %.2fx in %zu attempts (rules now: %zu)%s\n", name.c_str(),
                 run.bestSpeedup(), run.attempts.size(), global.size(),
                 run.warmStarted ? "  [warm]" : "");

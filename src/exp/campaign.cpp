@@ -491,8 +491,17 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec) {
 
   if (out.complete && !options_.storePath.empty()) {
     // Single-writer commit: absorb shards (dedup by id, compact), then fold
-    // in the deferred warm-start outcomes collected during the run.
-    (void)store.absorbShards(shardPaths);
+    // in the deferred warm-start outcomes collected during the run. The
+    // shard set is re-listed by prefix under the store lock rather than
+    // taken from `shardPaths`, so a shard another invocation is still
+    // writing next to this store is absorbed, not silently skipped.
+    const std::size_t slash = options_.storePath.find_last_of('/');
+    const std::string storeDir =
+        slash == std::string::npos ? "." : options_.storePath.substr(0, slash);
+    const std::string storeName = slash == std::string::npos
+                                      ? options_.storePath
+                                      : options_.storePath.substr(slash + 1);
+    (void)store.absorbShardDir(storeDir, storeName + ".shard-");
     for (const SnapshotProvider::Outcome& outcome : snapshot.drainOutcomes()) {
       store.observeWarmStartOutcome(outcome.sourceIds, outcome.regressed,
                                     outcome.confirmed);

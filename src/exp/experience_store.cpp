@@ -43,6 +43,7 @@ util::Json ExperienceRecord::toJson() const {
   root.set("attempts", static_cast<std::int64_t>(attempts));
   root.set("end_reason", endReason);
   root.set("faults", faults);
+  root.set("tenant", tenant);
   root.set("model", model);
   root.set("seed", static_cast<std::int64_t>(seed));
   root.set("confirmations", static_cast<std::int64_t>(confirmations));
@@ -62,6 +63,7 @@ ExperienceRecord ExperienceRecord::fromJson(const util::Json& json) {
   rec.attempts = static_cast<std::size_t>(json.getNumber("attempts", 0.0));
   rec.endReason = json.getString("end_reason");
   rec.faults = json.getString("faults");
+  rec.tenant = json.getString("tenant");
   rec.model = json.getString("model");
   rec.seed = static_cast<std::uint64_t>(json.getNumber("seed", 0.0));
   rec.confirmations = static_cast<std::int32_t>(json.getNumber("confirmations", 1.0));
@@ -313,42 +315,79 @@ void ExperienceStore::compact(const CompactionHooks& hooks) {
   }
 }
 
+std::size_t ExperienceStore::absorbShardLocked(const std::string& shard) {
+  if (!util::fileExists(shard)) {
+    return 0;
+  }
+  std::size_t absorbed = 0;
+  const std::string contents = util::readFile(shard);
+  std::size_t lineNo = 0;
+  for (const std::string& line : util::split(contents, '\n')) {
+    ++lineNo;
+    if (util::trim(line).empty()) {
+      continue;
+    }
+    try {
+      ExperienceRecord rec = ExperienceRecord::fromJson(util::Json::parse(line));
+      appendLineLocked(rec.toJson());
+      if (ExperienceRecord* existing = findLocked(rec.id)) {
+        *existing = std::move(rec);  // re-run of a cell: last wins
+      } else {
+        records_.push_back(std::move(rec));
+      }
+      ++absorbed;
+    } catch (const util::JsonError& e) {
+      util::logLine(util::LogLevel::Warn, kComponent,
+                    shard + ":" + std::to_string(lineNo) +
+                        ": skipping corrupt shard line (" + e.what() + ")");
+    }
+  }
+  return absorbed;
+}
+
 std::size_t ExperienceStore::absorbShards(const std::vector<std::string>& shardPaths) {
   std::size_t absorbed = 0;
   {
     const util::MutexLock lock{mutex_};
     for (const std::string& shard : shardPaths) {
-      if (!util::fileExists(shard)) {
-        continue;
-      }
-      const std::string contents = util::readFile(shard);
-      std::size_t lineNo = 0;
-      for (const std::string& line : util::split(contents, '\n')) {
-        ++lineNo;
-        if (util::trim(line).empty()) {
-          continue;
-        }
-        try {
-          ExperienceRecord rec = ExperienceRecord::fromJson(util::Json::parse(line));
-          appendLineLocked(rec.toJson());
-          if (ExperienceRecord* existing = findLocked(rec.id)) {
-            *existing = std::move(rec);  // re-run of a cell: last wins
-          } else {
-            records_.push_back(std::move(rec));
-          }
-          ++absorbed;
-        } catch (const util::JsonError& e) {
-          util::logLine(util::LogLevel::Warn, kComponent,
-                        shard + ":" + std::to_string(lineNo) +
-                            ": skipping corrupt shard line (" + e.what() + ")");
-        }
-      }
+      absorbed += absorbShardLocked(shard);
     }
   }
   // Single writer: dedup + journal fold happen in one atomic compaction,
   // after which the shard files are dead weight.
   compact();
   for (const std::string& shard : shardPaths) {
+    if (util::fileExists(shard)) {
+      (void)std::remove(shard.c_str());
+    }
+  }
+  noteCounter("exp.store.shards_absorbed", static_cast<double>(absorbed));
+  return absorbed;
+}
+
+std::size_t ExperienceStore::absorbShardDir(const std::string& dir,
+                                            const std::string& filePrefix) {
+  std::size_t absorbed = 0;
+  std::vector<std::string> scanned;
+  {
+    const util::MutexLock lock{mutex_};
+    // The listing happens here, under the lock, NOT in the caller: a shard
+    // journal that a concurrent writer finished creating any time before
+    // this point is part of the scan instead of silently missing until the
+    // next compaction. listDir returns sorted paths, so absorb order (and
+    // therefore last-wins dedup) is deterministic.
+    for (const std::string& path : util::listDir(dir)) {
+      const std::size_t slash = path.find_last_of('/');
+      const std::string base =
+          slash == std::string::npos ? path : path.substr(slash + 1);
+      if (util::startsWith(base, filePrefix)) {
+        absorbed += absorbShardLocked(path);
+        scanned.push_back(path);
+      }
+    }
+  }
+  compact();
+  for (const std::string& shard : scanned) {
     if (util::fileExists(shard)) {
       (void)std::remove(shard.c_str());
     }

@@ -46,6 +46,10 @@ struct ExperienceRecord {
   /// Fault scenario/spec active while the experience was gathered ("" =
   /// clean weather) — recalls can tell tuned-under-fire configs apart.
   std::string faults;
+  /// Tenant that filed the experience ("" = untagged single-user runs).
+  /// Provenance only: recall is deliberately cross-tenant, so one tenant's
+  /// first session warm-starts from the whole fleet's history.
+  std::string tenant;
   std::string model;  ///< tuning-agent model profile name
   std::uint64_t seed = 0;
   /// Outcome ledger: recalls that held up / regressed (journal-updated).
@@ -133,6 +137,14 @@ class ExperienceStore final : public core::WarmStartProvider {
   /// files, and compacts. Returns how many records were absorbed.
   std::size_t absorbShards(const std::vector<std::string>& shardPaths);
 
+  /// Like absorbShards, but the shard set is every regular file in `dir`
+  /// whose basename starts with `filePrefix` — and the directory listing
+  /// happens *under the store lock*, so a shard journal a concurrent
+  /// writer creates right up to the scan is absorbed instead of silently
+  /// skipped until the next compaction (the pre-fix behaviour when callers
+  /// computed the path list before locking).
+  std::size_t absorbShardDir(const std::string& dir, const std::string& filePrefix);
+
   // --- core::WarmStartProvider ---------------------------------------------
   [[nodiscard]] std::optional<core::WarmStartHint> warmStart(
       const agents::IoReport& report) const override;
@@ -142,6 +154,7 @@ class ExperienceStore final : public core::WarmStartProvider {
  private:
   [[nodiscard]] bool stale(const ExperienceRecord& record) const noexcept;
   void loadLocked() STELLAR_REQUIRES(mutex_);
+  std::size_t absorbShardLocked(const std::string& shard) STELLAR_REQUIRES(mutex_);
   void appendLineLocked(const util::Json& line) STELLAR_REQUIRES(mutex_);
   [[nodiscard]] ExperienceRecord* findLocked(const std::string& id)
       STELLAR_REQUIRES(mutex_);

@@ -74,6 +74,19 @@ inline constexpr std::string_view kMetricNames[] = {
     "pfs.rpc.retries",
     "pfs.rpc.timeouts",
     "pfs.sim.config_rejected",
+    "service.commits",
+    "service.dispatch.fresh_runs",
+    "service.queue.peak_depth",
+    "service.sessions.coalesced",
+    "service.sessions.completed",
+    "service.sessions.failed",
+    "service.sessions.interrupted",
+    "service.sessions.rejected",
+    "service.sessions.replayed",
+    "service.sessions.submitted",
+    "service.store.absorbed",
+    "service.store.shard_appends",
+    "service.store.snapshot_swaps",
     "sim.drains",
     "sim.events_dispatched",
 };

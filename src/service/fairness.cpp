@@ -1,0 +1,116 @@
+#include "service/fairness.hpp"
+
+#include <algorithm>
+
+namespace stellar::service {
+
+DrrScheduler::DrrScheduler(double quantum)
+    : quantum_(std::max(quantum, 0.01)) {}
+
+void DrrScheduler::setPolicy(const std::string& tenant, TenantPolicy policy) {
+  policy.weight = std::max(policy.weight, 0.01);
+  lanes_[tenant].policy = policy;
+}
+
+TenantPolicy DrrScheduler::policy(const std::string& tenant) const {
+  const auto it = lanes_.find(tenant);
+  return it == lanes_.end() ? TenantPolicy{} : it->second.policy;
+}
+
+void DrrScheduler::push(const std::string& tenant, SessionId primary) {
+  lanes_[tenant].fifo.push_back(primary);
+  ++queued_;
+}
+
+std::optional<SessionId> DrrScheduler::next() {
+  if (queued_ == 0 || lanes_.empty()) {
+    return std::nullopt;
+  }
+  // A lane can only be served if it has work and a free running slot; when
+  // no lane qualifies the loop below would spin forever, so answer first.
+  bool eligible = false;
+  for (const auto& [name, lane] : lanes_) {
+    if (!lane.fifo.empty() && lane.running < lane.policy.maxRunning) {
+      eligible = true;
+      break;
+    }
+  }
+  if (!eligible) {
+    return std::nullopt;  // every queued tenant is at its running cap
+  }
+  // Textbook DRR adapted to serve-one-per-call: a lane is credited
+  // quantum * weight once on ENTRY (when the cursor advances onto it) and
+  // keeps serving on subsequent calls while its deficit lasts — so a
+  // weight-2 tenant drains twice as fast as a weight-1 tenant, instead of
+  // strict alternation. Each full wrap credits every eligible lane, so
+  // some deficit reaches 1.0 after finitely many wraps (low-weight tenants
+  // just take more) and the loop terminates.
+  auto it = lanes_.find(cursor_);
+  if (it == lanes_.end()) {
+    it = lanes_.begin();
+    TenantLane& entered = it->second;
+    if (!entered.fifo.empty() && entered.running < entered.policy.maxRunning) {
+      entered.deficit += quantum_ * entered.policy.weight;
+    }
+  }
+  while (true) {
+    TenantLane& lane = it->second;
+    if (!lane.fifo.empty() && lane.running < lane.policy.maxRunning &&
+        lane.deficit >= 1.0) {
+      lane.deficit -= 1.0;
+      const SessionId primary = lane.fifo.front();
+      lane.fifo.pop_front();
+      --queued_;
+      ++lane.running;
+      cursor_ = it->first;  // stay on this lane while its deficit lasts
+      return primary;
+    }
+    if (lane.fifo.empty()) {
+      // An idle tenant keeps no deficit: credit must not accumulate while
+      // there is nothing to serve, or a long-idle tenant would later burst
+      // past its weight share.
+      lane.deficit = 0.0;
+    }
+    ++it;
+    if (it == lanes_.end()) {
+      it = lanes_.begin();
+    }
+    TenantLane& entered = it->second;
+    if (!entered.fifo.empty() && entered.running < entered.policy.maxRunning) {
+      // Credit on entry only — capped or idle lanes earn nothing.
+      entered.deficit += quantum_ * entered.policy.weight;
+    }
+  }
+}
+
+std::vector<SessionId> DrrScheduler::drain() {
+  std::vector<SessionId> out;
+  for (auto& [tenant, lane] : lanes_) {  // std::map: tenant-sorted
+    for (const SessionId primary : lane.fifo) {
+      out.push_back(primary);
+    }
+    lane.fifo.clear();
+    lane.deficit = 0.0;
+  }
+  queued_ = 0;
+  return out;
+}
+
+void DrrScheduler::release(const std::string& tenant) {
+  const auto it = lanes_.find(tenant);
+  if (it != lanes_.end() && it->second.running > 0) {
+    --it->second.running;
+  }
+}
+
+std::size_t DrrScheduler::queuedFor(const std::string& tenant) const {
+  const auto it = lanes_.find(tenant);
+  return it == lanes_.end() ? 0 : it->second.fifo.size();
+}
+
+std::size_t DrrScheduler::runningFor(const std::string& tenant) const {
+  const auto it = lanes_.find(tenant);
+  return it == lanes_.end() ? 0 : it->second.running;
+}
+
+}  // namespace stellar::service

@@ -1,0 +1,83 @@
+// Weighted per-tenant fairness for the stellard dispatch queue.
+//
+// Classic deficit round robin over per-tenant FIFOs: each visit of the
+// rotating cursor credits a tenant `quantum * weight` deficit; serving one
+// queued cell costs one unit. A tenant with weight 2 therefore drains twice
+// as fast as a weight-1 tenant under contention, and a greedy tenant that
+// floods the queue cannot starve the others — every tenant with queued work
+// is visited once per round, bounding its wait by the round length, not by
+// the greedy tenant's backlog.
+//
+// Determinism: tenants live in a std::map (sorted iteration), the cursor
+// advances by tenant name, and next() has no time or randomness inputs —
+// the same push/next/release call sequence always yields the same dispatch
+// order, which the 1-vs-8-worker byte-compare law depends on.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "service/session.hpp"
+
+namespace stellar::service {
+
+/// Per-tenant fairness knobs (service-level defaults apply when a tenant
+/// was never configured explicitly).
+struct TenantPolicy {
+  double weight = 1.0;  ///< relative drain rate; clamped to >= 0.01
+  /// Admission bound: queued + running + unclaimed-result sessions.
+  std::size_t maxOutstanding = 64;
+  /// Concurrency cap: cells of this tenant running at once.
+  std::size_t maxRunning = 4;
+};
+
+/// Deficit-round-robin queue of dispatchable cells. Not thread-safe; the
+/// owning TuningService calls it under its own mutex.
+class DrrScheduler {
+ public:
+  explicit DrrScheduler(double quantum = 1.0);
+
+  void setPolicy(const std::string& tenant, TenantPolicy policy);
+  [[nodiscard]] TenantPolicy policy(const std::string& tenant) const;
+
+  /// Enqueue a cell (identified by its primary session id) for `tenant`.
+  void push(const std::string& tenant, SessionId primary);
+
+  /// Pick the next cell to dispatch, honouring weights and per-tenant
+  /// running caps. Returns nothing when every queued tenant is at its cap
+  /// (or the queue is empty). The served tenant's running count is bumped;
+  /// the caller must pair it with release() when the cell finishes.
+  [[nodiscard]] std::optional<SessionId> next();
+
+  /// A cell of `tenant` finished; frees one running slot.
+  void release(const std::string& tenant);
+
+  /// Empties every queue (tenant-sorted, FIFO within a tenant) without
+  /// touching running counts — stop() interrupts the drained cells.
+  [[nodiscard]] std::vector<SessionId> drain();
+
+  [[nodiscard]] std::size_t queued() const noexcept { return queued_; }
+  [[nodiscard]] std::size_t queuedFor(const std::string& tenant) const;
+  [[nodiscard]] std::size_t runningFor(const std::string& tenant) const;
+
+ private:
+  struct TenantLane {
+    TenantPolicy policy;
+    std::deque<SessionId> fifo;
+    double deficit = 0.0;
+    std::size_t running = 0;
+  };
+
+  double quantum_;
+  std::map<std::string, TenantLane> lanes_;  // sorted: deterministic rounds
+  /// Lane currently holding the serve (credited on entry, kept while its
+  /// deficit lasts); "" before the first dispatch.
+  std::string cursor_;
+  std::size_t queued_ = 0;
+};
+
+}  // namespace stellar::service

@@ -1,0 +1,143 @@
+#include "service/fleet_store.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+#include "util/file.hpp"
+
+namespace stellar::service {
+
+namespace {
+
+void appendJsonLine(const std::string& path, const util::Json& doc) {
+  util::ensureParentDir(path);
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) {
+    throw std::runtime_error("cannot open for append: " + path);
+  }
+  const std::string text = doc.dump() + "\n";
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  std::fclose(f);
+  if (!ok) {
+    throw std::runtime_error("short write appending to " + path);
+  }
+}
+
+void splitPath(const std::string& path, std::string& dir, std::string& name) {
+  const std::size_t slash = path.find_last_of('/');
+  dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  name = slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+}  // namespace
+
+FleetStore::FleetStore(std::string basePath, exp::StoreOptions options)
+    : basePath_(std::move(basePath)), options_(options),
+      base_(basePath_, options) {
+  publishSnapshot();
+}
+
+std::shared_ptr<const exp::ExperienceStore> FleetStore::snapshot() const {
+  return snapshot_.load(std::memory_order_acquire);
+}
+
+std::string FleetStore::tenantShardPath(const std::string& tenant) const {
+  return basePath_ + ".tenant-" + tenant;
+}
+
+void FleetStore::appendRecord(const std::string& tenant,
+                              exp::ExperienceRecord record) {
+  record.tenant = tenant;
+  if (basePath_.empty()) {
+    const util::MutexLock lock{mutex_};
+    pending_[tenant].push_back(std::move(record));
+  } else {
+    const util::Json line = record.toJson();
+    const util::MutexLock lock{mutex_};
+    appendJsonLine(tenantShardPath(tenant), line);
+  }
+  noteCounter("service.store.shard_appends");
+}
+
+void FleetStore::deferOutcome(std::vector<std::string> sourceIds, bool regressed,
+                              bool confirmed) {
+  const util::MutexLock lock{mutex_};
+  outcomes_.push_back(Outcome{std::move(sourceIds), regressed, confirmed});
+}
+
+std::size_t FleetStore::commit() {
+  std::size_t absorbed = 0;
+  if (basePath_.empty()) {
+    std::map<std::string, std::vector<exp::ExperienceRecord>> pending;
+    {
+      const util::MutexLock lock{mutex_};
+      pending.swap(pending_);
+    }
+    for (auto& [tenant, records] : pending) {  // std::map: tenant-sorted
+      std::sort(records.begin(), records.end(),
+                [](const exp::ExperienceRecord& a, const exp::ExperienceRecord& b) {
+                  return a.id < b.id;
+                });
+      for (exp::ExperienceRecord& record : records) {
+        (void)base_.append(std::move(record));
+        ++absorbed;
+      }
+    }
+    base_.compact();
+  } else {
+    std::string dir;
+    std::string name;
+    splitPath(basePath_, dir, name);
+    absorbed = base_.absorbShardDir(dir, name + ".tenant-");
+  }
+
+  std::vector<Outcome> outcomes;
+  {
+    const util::MutexLock lock{mutex_};
+    outcomes.swap(outcomes_);
+  }
+  // Deterministic order: penalize/confirm are commutative increments, but a
+  // sorted journal keeps the base-store file reproducible too.
+  std::sort(outcomes.begin(), outcomes.end(),
+            [](const Outcome& a, const Outcome& b) {
+              if (a.sourceIds != b.sourceIds) {
+                return a.sourceIds < b.sourceIds;
+              }
+              if (a.regressed != b.regressed) {
+                return a.regressed < b.regressed;
+              }
+              return a.confirmed < b.confirmed;
+            });
+  for (const Outcome& outcome : outcomes) {
+    base_.observeWarmStartOutcome(outcome.sourceIds, outcome.regressed,
+                                  outcome.confirmed);
+  }
+  if (!outcomes.empty()) {
+    base_.compact();
+  }
+
+  publishSnapshot();
+  noteCounter("service.store.absorbed", static_cast<double>(absorbed));
+  return absorbed;
+}
+
+void FleetStore::publishSnapshot() {
+  exp::StoreOptions snapOptions = options_;
+  auto snap = std::make_shared<exp::ExperienceStore>("", snapOptions);
+  for (exp::ExperienceRecord& record : base_.records()) {
+    (void)snap->append(std::move(record));
+  }
+  snapshot_.store(std::shared_ptr<const exp::ExperienceStore>(std::move(snap)),
+                  std::memory_order_release);
+  noteCounter("service.store.snapshot_swaps");
+}
+
+void FleetStore::noteCounter(const char* name, double delta) const {
+  if (options_.counters != nullptr) {
+    options_.counters->counter(name).add(delta);
+  }
+}
+
+}  // namespace stellar::service

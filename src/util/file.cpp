@@ -1,5 +1,6 @@
 #include "util/file.hpp"
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -33,6 +34,22 @@ void writeFile(const std::string& path, const std::string& contents) {
 
 bool fileExists(const std::string& path) {
   return std::ifstream{path}.good();
+}
+
+std::vector<std::string> listDir(const std::string& dir) {
+  std::vector<std::string> out;
+  std::error_code ec;
+  std::filesystem::directory_iterator it{dir, ec};
+  if (ec) {
+    return out;  // missing/unreadable directory: nothing to list
+  }
+  for (const std::filesystem::directory_entry& entry : it) {
+    if (entry.is_regular_file(ec) && !ec) {
+      out.push_back(entry.path().string());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 void ensureParentDir(const std::string& path) {

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 namespace stellar::util {
 
@@ -16,5 +17,10 @@ void writeFile(const std::string& path, const std::string& contents);
 /// Creates the parent directory of `path` (and any missing ancestors).
 /// No-op when the parent already exists or the path has no directory part.
 void ensureParentDir(const std::string& path);
+
+/// Full paths of the regular files directly inside `dir`, sorted by name
+/// for deterministic iteration. A missing directory yields an empty list
+/// (callers treat "no shards yet" and "no directory yet" the same).
+[[nodiscard]] std::vector<std::string> listDir(const std::string& dir);
 
 }  // namespace stellar::util

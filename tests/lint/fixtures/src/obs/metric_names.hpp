@@ -3,6 +3,7 @@
 namespace fixture {
 inline constexpr const char* kMetricNames[] = {
     "core.registered.name",
+    "service.sessions.submitted",
     "sim.other.name",
 };
 }  // namespace fixture

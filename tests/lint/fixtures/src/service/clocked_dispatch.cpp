@@ -1,0 +1,17 @@
+// Fixture: src/service is sim-critical (never compiled; consumed by
+// test_lint). The service determinism law forbids wall clocks in dispatch
+// decisions — latency stamps come from the injected ServiceOptions clock —
+// and every service.* metric literal must be in the catalogue.
+namespace fixture {
+
+void bad(obs::CounterRegistry& registry) {
+  auto wall = std::chrono::steady_clock::now();          // finding: DET-CLOCK
+  registry.counter("service.not.registered").add();      // finding: RES-COUNTER-NAME
+}
+
+void ok(obs::CounterRegistry& registry, const Options& options) {
+  auto stamp = options.clock();                          // injected clock: legal
+  registry.counter("service.sessions.submitted").add();  // in catalogue: legal
+}
+
+}  // namespace fixture

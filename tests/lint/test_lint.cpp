@@ -135,6 +135,16 @@ TEST(Rules, DeterminismRulesScopeToSimCriticalDirs) {
 
 // ---- resilience rules ------------------------------------------------------
 
+TEST(Rules, ServiceDirIsSimCritical) {
+  // The stellard dispatch path (src/service) joined the sim-critical set:
+  // wall clocks there would break the 1-vs-8-worker byte-compare law.
+  const Report report = runOn({"src/service/clocked_dispatch.cpp"});
+  const auto got = locations(report, /*suppressed=*/false);
+  const std::multiset<std::pair<std::string, int>> want = {
+      {"DET-CLOCK", 8}, {"RES-COUNTER-NAME", 9}};
+  EXPECT_EQ(got, want);  // injected clock + catalogued service.* name stay legal
+}
+
 TEST(Rules, ResJsonAtRequiresGuardOrParseScope) {
   const Report report = runOn({"src/core/res_json.cpp"});
   const auto got = locations(report, /*suppressed=*/false);

@@ -1,0 +1,135 @@
+// Admission control: typed rejections for malformed requests, global
+// overload, per-tenant quotas, and a stopped service — and slot recycling
+// once sessions are retired via wait().
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "service/service.hpp"
+
+namespace stellar::service {
+namespace {
+
+// Unknown workloads fail fast inside the worker (no engine run), which
+// keeps admission tests quick while still exercising the full queue path.
+SubmitOptions fastRequest(const std::string& tenant, std::uint64_t seed = 1) {
+  SubmitOptions request;
+  request.tenant = tenant;
+  request.workload = "no-such-workload";
+  request.seed = seed;
+  request.warmStart = false;
+  return request;
+}
+
+TEST(Admission, BadRequestsAreTypedNotThrown) {
+  TuningService service{ServiceOptions{}};
+  SubmitOptions empty;
+  empty.workload = "";
+  const SubmitResult noWorkload = service.submit(empty);
+  ASSERT_FALSE(noWorkload.accepted());
+  EXPECT_EQ(noWorkload.rejection->reason, RejectReason::BadRequest);
+
+  const SubmitResult badTenant = service.submit(fastRequest("Not/A/Tenant"));
+  ASSERT_FALSE(badTenant.accepted());
+  EXPECT_EQ(badTenant.rejection->reason, RejectReason::BadRequest);
+  EXPECT_NE(badTenant.rejection->detail.find("tenant"), std::string::npos);
+  EXPECT_EQ(service.stats().rejected, 2U);
+  EXPECT_EQ(service.stats().submitted, 0U);
+}
+
+TEST(Admission, GlobalBoundRejectsAndWaitRecyclesTheSlot) {
+  ServiceOptions options;
+  options.maxOutstanding = 2;
+  TuningService service{options};
+
+  const SubmitResult a = service.submit(fastRequest("t", 1));
+  const SubmitResult b = service.submit(fastRequest("t", 2));
+  ASSERT_TRUE(a.accepted() && b.accepted());
+  const SubmitResult c = service.submit(fastRequest("t", 3));
+  ASSERT_FALSE(c.accepted());
+  EXPECT_EQ(c.rejection->reason, RejectReason::QueueFull);
+
+  // Retiring a session frees its admission slot deterministically.
+  (void)service.wait(*a.id);
+  const SubmitResult d = service.submit(fastRequest("t", 4));
+  EXPECT_TRUE(d.accepted());
+  EXPECT_EQ(service.stats().rejected, 1U);
+}
+
+TEST(Admission, PerTenantQuotaIsIndependentOfOtherTenants) {
+  ServiceOptions options;
+  options.defaultPolicy.maxOutstanding = 1;
+  TuningService service{options};
+
+  const SubmitResult a1 = service.submit(fastRequest("alice", 1));
+  ASSERT_TRUE(a1.accepted());
+  const SubmitResult a2 = service.submit(fastRequest("alice", 2));
+  ASSERT_FALSE(a2.accepted());
+  EXPECT_EQ(a2.rejection->reason, RejectReason::TenantQuota);
+  EXPECT_NE(a2.rejection->detail.find("alice"), std::string::npos);
+
+  // Another tenant is not affected by alice's quota.
+  const SubmitResult b1 = service.submit(fastRequest("bob", 1));
+  EXPECT_TRUE(b1.accepted());
+}
+
+TEST(Admission, ExplicitTenantPolicyOverridesTheDefault) {
+  ServiceOptions options;
+  options.defaultPolicy.maxOutstanding = 1;
+  TenantPolicy vip;
+  vip.maxOutstanding = 3;
+  options.tenants["vip"] = vip;
+  TuningService service{options};
+
+  ASSERT_TRUE(service.submit(fastRequest("vip", 1)).accepted());
+  ASSERT_TRUE(service.submit(fastRequest("vip", 2)).accepted());
+  ASSERT_TRUE(service.submit(fastRequest("vip", 3)).accepted());
+  const SubmitResult fourth = service.submit(fastRequest("vip", 4));
+  ASSERT_FALSE(fourth.accepted());
+  EXPECT_EQ(fourth.rejection->reason, RejectReason::TenantQuota);
+}
+
+TEST(Admission, StoppedServiceRejectsAndInterruptsQueued) {
+  ServiceOptions options;
+  options.workers = 1;
+  TuningService service{options};
+  // Queue more fast-failing cells than one worker can have started.
+  std::vector<SessionId> ids;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const SubmitResult submitted = service.submit(fastRequest("t", seed));
+    ASSERT_TRUE(submitted.accepted());
+    ids.push_back(*submitted.id);
+  }
+  service.stop();
+  const SubmitResult late = service.submit(fastRequest("t", 99));
+  ASSERT_FALSE(late.accepted());
+  EXPECT_EQ(late.rejection->reason, RejectReason::Stopped);
+
+  // Every accepted session still reaches a terminal state: dispatched
+  // cells finish (here: fail fast), undispatched ones are interrupted.
+  std::size_t terminal = 0;
+  for (const SessionId id : ids) {
+    const SessionResult result = service.wait(id);
+    EXPECT_TRUE(result.state == SessionState::Failed ||
+                result.state == SessionState::Interrupted);
+    ++terminal;
+  }
+  EXPECT_EQ(terminal, ids.size());
+  EXPECT_GT(service.stats().interrupted, 0U);
+}
+
+TEST(Admission, CoalescedDuplicatesStillCountAgainstQuotas) {
+  ServiceOptions options;
+  options.maxOutstanding = 2;
+  TuningService service{options};
+  // Two submissions of the SAME cell occupy two outstanding slots: the
+  // bound is on sessions (client-visible work), not on engine runs.
+  ASSERT_TRUE(service.submit(fastRequest("t", 1)).accepted());
+  ASSERT_TRUE(service.submit(fastRequest("t", 1)).accepted());
+  const SubmitResult third = service.submit(fastRequest("t", 1));
+  ASSERT_FALSE(third.accepted());
+  EXPECT_EQ(third.rejection->reason, RejectReason::QueueFull);
+}
+
+}  // namespace
+}  // namespace stellar::service

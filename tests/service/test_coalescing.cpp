@@ -1,0 +1,98 @@
+// Coalescing correctness: duplicate-cell submissions share one engine run
+// and every fan-out member receives a byte-identical result document.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "service/service.hpp"
+
+namespace stellar::service {
+namespace {
+
+SubmitOptions request(const std::string& tenant, std::uint64_t seed = 7) {
+  SubmitOptions r;
+  r.tenant = tenant;
+  r.workload = "IOR_64K";
+  r.seed = seed;
+  r.scale = 0.05;
+  r.warmStart = false;
+  return r;
+}
+
+TEST(Coalescing, DuplicateCellsShareOneRunAcrossTenants) {
+  ServiceOptions options;
+  options.workers = 4;
+  TuningService service{options};
+
+  // Same cell from three tenants plus one distinct cell.
+  const SubmitResult a = service.submit(request("alice"));
+  const SubmitResult b = service.submit(request("bob"));
+  const SubmitResult c = service.submit(request("carol"));
+  const SubmitResult d = service.submit(request("alice", 8));
+  ASSERT_TRUE(a.accepted() && b.accepted() && c.accepted() && d.accepted());
+
+  const SessionResult ra = service.wait(*a.id);
+  const SessionResult rb = service.wait(*b.id);
+  const SessionResult rc = service.wait(*c.id);
+  const SessionResult rd = service.wait(*d.id);
+
+  EXPECT_FALSE(ra.coalesced);  // first submission of the key owns the run
+  EXPECT_TRUE(rb.coalesced);
+  EXPECT_TRUE(rc.coalesced);
+  EXPECT_FALSE(rd.coalesced);  // different seed = different cell
+
+  ASSERT_FALSE(ra.cellDoc.isNull());
+  EXPECT_EQ(ra.cellDoc.dump(), rb.cellDoc.dump());  // fan-out: same bytes
+  EXPECT_EQ(ra.cellDoc.dump(), rc.cellDoc.dump());
+  EXPECT_NE(ra.cellDoc.dump(), rd.cellDoc.dump());
+  EXPECT_EQ(ra.key, rb.key);
+  EXPECT_EQ(rb.tenant, "bob");  // tenancy is per session, not per cell
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, 4U);
+  EXPECT_EQ(stats.coalesced, 2U);
+  EXPECT_EQ(stats.freshRuns, 2U);  // one run per distinct cell
+  EXPECT_EQ(stats.completed, 4U);  // every member completed
+}
+
+TEST(Coalescing, LateDuplicateJoinsASettledCellWithoutRerunning) {
+  TuningService service{ServiceOptions{}};
+  const SubmitResult first = service.submit(request("alice"));
+  ASSERT_TRUE(first.accepted());
+  const SessionResult early = service.wait(*first.id);
+
+  // The cell is terminal by now; a late duplicate completes immediately.
+  const SubmitResult late = service.submit(request("bob"));
+  ASSERT_TRUE(late.accepted());
+  EXPECT_EQ(service.poll(*late.id), SessionState::Completed);
+  const SessionResult result = service.wait(*late.id);
+  EXPECT_TRUE(result.coalesced);
+  EXPECT_EQ(result.cellDoc.dump(), early.cellDoc.dump());
+  EXPECT_EQ(service.stats().freshRuns, 1U);
+}
+
+TEST(Coalescing, ResultsAreByteIdenticalAcrossWorkerCounts) {
+  // The service determinism law at test scale: the same submission
+  // schedule yields the same per-session documents at 1 and 4 workers.
+  const auto runSchedule = [](std::size_t workers) {
+    ServiceOptions options;
+    options.workers = workers;
+    TuningService service{options};
+    for (const auto& [tenant, seed] :
+         std::vector<std::pair<std::string, std::uint64_t>>{
+             {"alice", 7}, {"bob", 7}, {"alice", 8}, {"carol", 9}}) {
+      const SubmitResult submitted = service.submit(request(tenant, seed));
+      EXPECT_TRUE(submitted.accepted());
+    }
+    std::string all;
+    for (const SessionResult& result : service.drainAll()) {
+      all += result.toJson().dump() + "\n";
+    }
+    return all;
+  };
+  EXPECT_EQ(runSchedule(1), runSchedule(4));
+}
+
+}  // namespace
+}  // namespace stellar::service

@@ -1,0 +1,150 @@
+// Deficit-round-robin scheduler: weighted drain rates, the starved-tenant
+// bound under a greedy tenant, and per-tenant running caps.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "service/fairness.hpp"
+
+namespace stellar::service {
+namespace {
+
+TenantPolicy policy(double weight, std::size_t maxRunning = 1000) {
+  TenantPolicy p;
+  p.weight = weight;
+  p.maxRunning = maxRunning;
+  return p;
+}
+
+TEST(DrrScheduler, WeightsSetTheDrainRatio) {
+  DrrScheduler drr;
+  drr.setPolicy("heavy", policy(2.0));
+  drr.setPolicy("light", policy(1.0));
+  SessionId id = 1;
+  std::map<SessionId, std::string> owner;
+  for (int i = 0; i < 30; ++i) {
+    owner[id] = "heavy";
+    drr.push("heavy", id++);
+    owner[id] = "light";
+    drr.push("light", id++);
+  }
+  std::map<std::string, int> served;
+  for (int i = 0; i < 30; ++i) {
+    const auto primary = drr.next();
+    ASSERT_TRUE(primary.has_value());
+    const std::string tenant = owner.at(*primary);
+    ++served[tenant];
+    drr.release(tenant);  // completion frees the slot immediately
+  }
+  // Weight 2 drains twice as fast as weight 1 (±1 for round boundaries).
+  EXPECT_NEAR(served["heavy"], 20, 1);
+  EXPECT_NEAR(served["light"], 10, 1);
+}
+
+TEST(DrrScheduler, GreedyTenantCannotStarveALateArrival) {
+  DrrScheduler drr;
+  drr.setPolicy("greedy", policy(1.0));
+  drr.setPolicy("meek", policy(1.0));
+  for (SessionId id = 1; id <= 100; ++id) {
+    drr.push("greedy", id);
+  }
+  // Serve a few greedy cells, then the meek tenant shows up with one.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(drr.next().has_value());
+    drr.release("greedy");
+  }
+  drr.push("meek", 999);
+  // Starvation bound: the meek session is served within one full round —
+  // at most one pick per other tenant — not after the greedy backlog.
+  std::vector<SessionId> nextTwo;
+  for (int i = 0; i < 2; ++i) {
+    const auto primary = drr.next();
+    ASSERT_TRUE(primary.has_value());
+    nextTwo.push_back(*primary);
+    drr.release(*primary == 999 ? "meek" : "greedy");
+  }
+  EXPECT_TRUE(nextTwo[0] == 999 || nextTwo[1] == 999)
+      << "meek session waited longer than one round";
+}
+
+TEST(DrrScheduler, PerTenantRunningCapHoldsSlots) {
+  DrrScheduler drr;
+  drr.setPolicy("a", policy(1.0, /*maxRunning=*/1));
+  drr.push("a", 1);
+  drr.push("a", 2);
+  ASSERT_TRUE(drr.next().has_value());
+  EXPECT_EQ(drr.runningFor("a"), 1U);
+  // Second cell must wait for the running slot, not for deficit.
+  EXPECT_FALSE(drr.next().has_value());
+  drr.release("a");
+  const auto second = drr.next();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(*second, 2U);
+}
+
+TEST(DrrScheduler, LowWeightTenantStillProgressesWhenAlone) {
+  DrrScheduler drr;
+  drr.setPolicy("slow", policy(0.05));
+  drr.push("slow", 1);
+  // next() must accumulate deficit across rounds instead of giving up.
+  const auto primary = drr.next();
+  ASSERT_TRUE(primary.has_value());
+  EXPECT_EQ(*primary, 1U);
+}
+
+TEST(DrrScheduler, ServesFifoWithinATenantAndCountsQueues) {
+  DrrScheduler drr;
+  for (SessionId id = 1; id <= 3; ++id) {
+    drr.push("t", id);
+  }
+  EXPECT_EQ(drr.queued(), 3U);
+  EXPECT_EQ(drr.queuedFor("t"), 3U);
+  for (SessionId expect = 1; expect <= 3; ++expect) {
+    const auto primary = drr.next();
+    ASSERT_TRUE(primary.has_value());
+    EXPECT_EQ(*primary, expect);
+    drr.release("t");
+  }
+  EXPECT_EQ(drr.queued(), 0U);
+}
+
+TEST(DrrScheduler, DrainEmptiesEveryLaneTenantSorted) {
+  DrrScheduler drr;
+  drr.push("b", 10);
+  drr.push("a", 20);
+  drr.push("b", 11);
+  const std::vector<SessionId> drained = drr.drain();
+  EXPECT_EQ(drained, (std::vector<SessionId>{20, 10, 11}));
+  EXPECT_EQ(drr.queued(), 0U);
+  EXPECT_FALSE(drr.next().has_value());
+}
+
+TEST(DrrScheduler, IdleTenantsDoNotBankDeficit) {
+  DrrScheduler drr;
+  drr.setPolicy("idle", policy(5.0));
+  drr.setPolicy("busy", policy(1.0));
+  // idle has no work for many rounds while busy drains.
+  for (SessionId id = 1; id <= 10; ++id) {
+    drr.push("busy", id);
+  }
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(drr.next().has_value());
+    drr.release("busy");
+  }
+  // When idle finally queues, it gets its weight share, not a burst of
+  // banked credit — one serve per visit is indistinguishable here, but the
+  // deficit must start from zero (<= one quantum * weight).
+  drr.push("idle", 100);
+  drr.push("busy", 101);
+  const auto first = drr.next();
+  ASSERT_TRUE(first.has_value());
+  // Both orders are fair; the point is no crash and both eventually serve.
+  const auto second = drr.next();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_NE(*first, *second);
+}
+
+}  // namespace
+}  // namespace stellar::service

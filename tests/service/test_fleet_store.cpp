@@ -1,0 +1,173 @@
+// FleetStore: concurrent-writer shard appends, the immutable recall
+// snapshot, commit-time absorption (including shards that appear behind the
+// service's back), and memory-only mode.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exp/experience_store.hpp"
+#include "service/fleet_store.hpp"
+#include "util/file.hpp"
+
+namespace stellar::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path freshDir(const std::string& name) {
+  const fs::path dir = fs::path{::testing::TempDir()} / ("fleet_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+exp::ExperienceRecord makeRecord(const std::string& id,
+                                 const std::string& workload,
+                                 double readShare) {
+  rules::WorkloadContext ctx;
+  ctx.metaOpShare = 0.1;
+  ctx.readShare = readShare;
+  ctx.sequentialShare = 0.8;
+  ctx.sharedFileShare = 0.5;
+  ctx.smallFileShare = 0.2;
+  ctx.dominantAccessSize = 1 << 16;
+  ctx.fileCount = 100;
+  ctx.totalBytes = 1 << 30;
+
+  exp::ExperienceRecord rec;
+  rec.id = id;
+  rec.workload = workload;
+  rec.fingerprint = exp::fingerprintOf(ctx);
+  EXPECT_TRUE(rec.bestConfig.set("lov.stripe_count", 4));
+  rec.defaultSeconds = 2.0;
+  rec.bestSeconds = 1.0;
+  rec.attempts = 3;
+  rec.endReason = "low expected gain";
+  rec.model = "claude-3.7-sonnet";
+  rec.seed = 7;
+  return rec;
+}
+
+TEST(FleetStore, ShardAppendsAreInvisibleUntilCommit) {
+  const fs::path dir = freshDir("shards");
+  FleetStore fleet{(dir / "store.jsonl").string()};
+
+  fleet.appendRecord("alice", makeRecord("cell-a", "IOR_64K", 0.5));
+  fleet.appendRecord("bob", makeRecord("cell-b", "IOR_16M", 0.6));
+
+  // Durable immediately in the per-tenant shard journals...
+  EXPECT_TRUE(util::fileExists(fleet.tenantShardPath("alice")));
+  EXPECT_TRUE(util::fileExists(fleet.tenantShardPath("bob")));
+  // ...but not yet visible to the base generation or the recall snapshot.
+  EXPECT_EQ(fleet.baseSize(), 0U);
+  EXPECT_EQ(fleet.snapshot()->size(), 0U);
+
+  EXPECT_EQ(fleet.commit(), 2U);
+  EXPECT_EQ(fleet.baseSize(), 2U);
+  EXPECT_EQ(fleet.snapshot()->size(), 2U);
+  // Absorbed shards are consumed, not re-absorbed on the next commit.
+  EXPECT_FALSE(util::fileExists(fleet.tenantShardPath("alice")));
+  EXPECT_EQ(fleet.commit(), 0U);
+}
+
+TEST(FleetStore, OldSnapshotsStayImmutableAcrossCommits) {
+  const fs::path dir = freshDir("immutable");
+  FleetStore fleet{(dir / "store.jsonl").string()};
+  const std::shared_ptr<const exp::ExperienceStore> pinned = fleet.snapshot();
+  ASSERT_EQ(pinned->size(), 0U);
+
+  fleet.appendRecord("alice", makeRecord("cell-a", "IOR_64K", 0.5));
+  (void)fleet.commit();
+
+  // A run that pinned the old generation keeps reading it unchanged while
+  // new runs see the new one — the lock-free swap never mutates in place.
+  EXPECT_EQ(pinned->size(), 0U);
+  EXPECT_EQ(fleet.snapshot()->size(), 1U);
+  EXPECT_NE(pinned.get(), fleet.snapshot().get());
+}
+
+TEST(FleetStore, CommitAbsorbsShardsThatAppearedMidScan) {
+  const fs::path dir = freshDir("midscan");
+  const std::string base = (dir / "store.jsonl").string();
+  FleetStore fleet{base};
+  fleet.appendRecord("alice", makeRecord("cell-a", "IOR_64K", 0.5));
+
+  // A shard journal the FleetStore never heard of (e.g. written by a
+  // stellar_cli --tenant run sharing the layout, finishing between "decide
+  // to commit" and "scan the directory"): the commit re-lists the directory
+  // under the base-store lock, so the shard is absorbed, not skipped.
+  exp::ExperienceStore foreign{base + ".tenant-ghost", {}};
+  exp::ExperienceRecord rec = makeRecord("cell-g", "IO500", 0.4);
+  rec.tenant = "ghost";
+  (void)foreign.append(rec);
+
+  EXPECT_EQ(fleet.commit(), 2U);
+  EXPECT_EQ(fleet.baseSize(), 2U);
+
+  bool sawGhost = false;
+  for (const exp::ExperienceRecord& record : fleet.snapshot()->records()) {
+    sawGhost = sawGhost || record.tenant == "ghost";
+  }
+  EXPECT_TRUE(sawGhost);
+}
+
+TEST(FleetStore, MemoryOnlyModeCommitsTenantSortedThenIdSorted) {
+  FleetStore fleet{""};
+  fleet.appendRecord("zed", makeRecord("cell-z2", "IOR_64K", 0.5));
+  fleet.appendRecord("ann", makeRecord("cell-a", "IOR_16M", 0.6));
+  fleet.appendRecord("zed", makeRecord("cell-z1", "IO500", 0.4));
+  EXPECT_EQ(fleet.snapshot()->size(), 0U);
+
+  EXPECT_EQ(fleet.commit(), 3U);
+  const std::vector<exp::ExperienceRecord> records =
+      fleet.snapshot()->records();
+  ASSERT_EQ(records.size(), 3U);
+  EXPECT_EQ(records[0].id, "cell-a");   // ann first (tenant-sorted)
+  EXPECT_EQ(records[1].id, "cell-z1");  // then zed's, id-sorted
+  EXPECT_EQ(records[2].id, "cell-z2");
+}
+
+TEST(FleetStore, TenantProvenanceSurvivesTheJournalRoundTrip) {
+  const fs::path dir = freshDir("roundtrip");
+  const std::string base = (dir / "store.jsonl").string();
+  {
+    FleetStore fleet{base};
+    fleet.appendRecord("alice", makeRecord("cell-a", "IOR_64K", 0.5));
+    (void)fleet.commit();
+  }
+  // Reopen from disk: the tenant field persisted through shard journal,
+  // absorption, and compaction.
+  FleetStore reopened{base};
+  const std::vector<exp::ExperienceRecord> records =
+      reopened.snapshot()->records();
+  ASSERT_EQ(records.size(), 1U);
+  EXPECT_EQ(records[0].tenant, "alice");
+  EXPECT_EQ(records[0].id, "cell-a");
+}
+
+TEST(FleetStore, RepeatedCellCommitsDedupLastWins) {
+  FleetStore fleet{""};
+  exp::ExperienceRecord first = makeRecord("cell-a", "IOR_64K", 0.5);
+  first.bestSeconds = 1.5;
+  fleet.appendRecord("alice", first);
+  (void)fleet.commit();
+
+  // A re-run of the same cell (same id = cell key) replaces the old record
+  // instead of growing the store without bound.
+  exp::ExperienceRecord rerun = makeRecord("cell-a", "IOR_64K", 0.5);
+  rerun.bestSeconds = 0.9;
+  fleet.appendRecord("bob", rerun);
+  (void)fleet.commit();
+
+  const std::vector<exp::ExperienceRecord> records =
+      fleet.snapshot()->records();
+  ASSERT_EQ(records.size(), 1U);
+  EXPECT_EQ(records[0].bestSeconds, 0.9);
+  EXPECT_EQ(records[0].tenant, "bob");
+}
+
+}  // namespace
+}  // namespace stellar::service

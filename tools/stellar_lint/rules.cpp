@@ -494,8 +494,8 @@ bool isKnownRule(const std::string& id) {
 }
 
 bool isSimCritical(const std::string& repoRelPath) {
-  static const char* kDirs[] = {"src/sim/", "src/pfs/", "src/core/", "src/faults/",
-                                "src/agents/"};
+  static const char* kDirs[] = {"src/sim/",    "src/pfs/",    "src/core/",
+                                "src/faults/", "src/agents/", "src/service/"};
   for (const char* dir : kDirs) {
     if (repoRelPath.rfind(dir, 0) == 0) return true;
   }
