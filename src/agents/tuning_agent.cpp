@@ -103,6 +103,29 @@ void TuningAgent::observeInitialRun(const IoReport* report, double defaultSecond
   }
 
   buildPlan();
+
+  // §4.4.2 outcome safety: when matched rules seeded the first hypothesis,
+  // the first playbook group re-tests its moves from the *default*
+  // configuration instead of stacking on the rule-derived best. A rule
+  // bundle that wins by a hair (learned on a merely similar workload) no
+  // longer drags every later attempt through its knob choices: the run
+  // keeps one cold-style exploration path, and the best-of comparison
+  // decides which base deserved to win.
+  bool ruleLed = false;
+  for (MoveGroup& group : plan_) {
+    if (group.warmStart) {
+      continue;
+    }
+    const bool ruleGroup = std::any_of(
+        group.moves.begin(), group.moves.end(),
+        [](const Move& move) { return move.fromRule; });
+    if (ruleGroup) {
+      ruleLed = true;
+    } else if (ruleLed) {
+      group.fromDefaults = true;
+      break;
+    }
+  }
 }
 
 // ------------------------------------------------------------- planning --
@@ -552,7 +575,7 @@ void TuningAgent::buildPlan() {
 
 pfs::PfsConfig TuningAgent::synthesize(const MoveGroup& group,
                                        std::string& rationaleOut) const {
-  pfs::PfsConfig cfg = bestConfig_;
+  pfs::PfsConfig cfg = group.fromDefaults ? defaultConfig_ : bestConfig_;
   rationaleOut = group.hypothesis + "\n";
   for (const Move& move : group.moves) {
     std::int64_t value = move.value;

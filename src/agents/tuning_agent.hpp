@@ -178,7 +178,8 @@ class TuningAgent {
   struct MoveGroup {
     std::vector<Move> moves;
     std::string hypothesis;
-    bool warmStart = false;  ///< trials a config recalled from experience
+    bool warmStart = false;     ///< trials a config recalled from experience
+    bool fromDefaults = false;  ///< synthesize from the default config, not best
   };
 
   void buildPlan();

@@ -68,6 +68,13 @@ inline constexpr std::string_view kMetricNames[] = {
     "pfs.ost.seek_seconds",
     "pfs.ost.seeks",
     "pfs.ost.transfer_seconds",
+    "pfs.reada.consumed_bytes",
+    "pfs.reada.discarded_bytes",
+    "pfs.reada.prefetched_bytes",
+    "pfs.reada.resident_bytes",
+    "pfs.reada.windows_grown",
+    "pfs.reada.windows_opened",
+    "pfs.reada.windows_reset",
     "pfs.rpc.data",
     "pfs.rpc.gave_up",
     "pfs.rpc.meta",

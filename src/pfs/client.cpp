@@ -11,9 +11,6 @@ namespace stellar::pfs {
 
 namespace {
 
-/// Initial readahead window before doubling (Linux/Lustre-style ramp-up).
-constexpr std::uint64_t kInitialRaWindow = 256 * 1024;
-
 /// Extent-lock conflict probability scale for shared-file writes.
 constexpr double kConflictAlphaRandom = 0.25;
 constexpr double kConflictAlphaSequential = 0.04;
@@ -49,8 +46,17 @@ ClientRuntime::ClientRuntime(sim::SimEngine& engine, const ClusterSpec& cluster,
   const std::size_t lanes = static_cast<std::size_t>(cluster.clientNodes) * totalOsts_;
   dirty_.configure(lanes,
                    static_cast<std::uint64_t>(config_.osc_max_dirty_mb) * util::kMiB);
-  pending_.resize(lanes);
-  pendingBytes_.assign(lanes, 0);
+  writeback_.configure(lanes);
+
+  readaKnobs_.clientBudgetBytes =
+      static_cast<std::uint64_t>(config_.llite_max_read_ahead_mb) * util::kMiB;
+  readaKnobs_.perFileBytes =
+      static_cast<std::uint64_t>(config_.llite_max_read_ahead_per_file_mb) *
+      util::kMiB;
+  readaKnobs_.wholeFileBytes =
+      static_cast<std::uint64_t>(config_.llite_max_read_ahead_whole_mb) *
+      util::kMiB;
+  readaKnobs_.alignBytes = rpcBytes();
 
   const std::uint64_t nodeStreamSeed = util::mix64(scope.runSeed, kNodeRngTag);
   nodeRng_.reserve(cluster.clientNodes);
@@ -350,17 +356,8 @@ bool ClientRuntime::execMeta(RankState& r, const IoOp& op) {
       // Discard this node's pending dirty segments for the file.
       for (std::uint32_t ost = 0; ost < totalOsts_; ++ost) {
         const std::size_t l = lane(r.node, ost);
-        auto& vec = pending_[l];
-        std::uint64_t discarded = 0;
-        std::erase_if(vec, [&](const PendingSeg& seg) {
-          if (seg.file == op.file) {
-            discarded += seg.length;
-            return true;
-          }
-          return false;
-        });
+        const std::uint64_t discarded = writeback_.discardFile(l, op.file);
         if (discarded > 0) {
-          pendingBytes_[l] -= std::min(pendingBytes_[l], discarded);
           dirty_.release(l, discarded);
           counters_.dirtyDiscardedBytes += discarded;
         }
@@ -697,16 +694,15 @@ bool ClientRuntime::execWrite(RankState& r, const IoOp& op) {
     const std::size_t l = lane(r.node, seg.ost);
     if (r.reservedSegment || dirty_.tryReserve(l, seg.length)) {
       r.reservedSegment = false;
-      pending_[l].push_back(PendingSeg{op.file, seg.objectOffset, seg.length});
-      pendingBytes_[l] += seg.length;
+      writeback_.append(l, op.file, seg.objectOffset, seg.length);
       ++r.segIndex;
       // Flush at the RPC coalescing threshold — or immediately when other
       // ranks are queued on this lane's dirty budget. Without the second
       // condition a rank admitted from the wait queue can park its segment
-      // in `pending` forever (close never flushes), starving the remaining
-      // waiters once its program ends: a real deadlock whenever
+      // in the write-back bank forever (close never flushes), starving the
+      // remaining waiters once its program ends: a real deadlock whenever
       // osc_max_dirty_mb is smaller than the RPC size.
-      if (pendingBytes_[l] >= rpcBytes() || dirty_.waiterCount(l) > 0) {
+      if (writeback_.pendingBytes(l) >= rpcBytes() || dirty_.waiterCount(l) > 0) {
         flushPending(r.node, seg.ost);
       }
       continue;
@@ -729,64 +725,12 @@ bool ClientRuntime::execWrite(RankState& r, const IoOp& op) {
 
 void ClientRuntime::flushPending(std::uint32_t nodeIdx, std::uint32_t ost, FileId onlyFile) {
   const std::size_t l = lane(nodeIdx, ost);
-  auto& pendingVec = pending_[l];
-  if (pendingVec.empty()) {
-    return;
-  }
-
-  std::vector<PendingSeg> selected;
-  if (onlyFile == kInvalidFile) {
-    selected = std::move(pendingVec);
-    pendingVec.clear();
-    pendingBytes_[l] = 0;
-  } else {
-    std::uint64_t taken = 0;
-    std::vector<PendingSeg> keep;
-    keep.reserve(pendingVec.size());
-    for (PendingSeg& seg : pendingVec) {
-      if (seg.file == onlyFile) {
-        taken += seg.length;
-        selected.push_back(seg);
-      } else {
-        keep.push_back(seg);
-      }
-    }
-    pendingVec = std::move(keep);
-    pendingBytes_[l] -= std::min(pendingBytes_[l], taken);
-  }
-  if (selected.empty()) {
-    return;
-  }
-
-  // Coalesce contiguous same-file segments, then cut into RPC-sized bulks.
-  std::sort(selected.begin(), selected.end(), [](const PendingSeg& a, const PendingSeg& b) {
-    if (a.file != b.file) {
-      return a.file < b.file;
-    }
-    return a.objectOffset < b.objectOffset;
-  });
-
-  const std::uint64_t maxRpc = rpcBytes();
-  std::size_t i = 0;
-  while (i < selected.size()) {
-    FileId file = selected[i].file;
-    std::uint64_t begin = selected[i].objectOffset;
-    std::uint64_t end = begin + selected[i].length;
-    std::size_t j = i + 1;
-    while (j < selected.size() && selected[j].file == file &&
-           selected[j].objectOffset == end) {
-      end += selected[j].length;
-      ++j;
-    }
-    // Emit RPCs for [begin, end).
-    std::uint64_t pos = begin;
-    while (pos < end) {
-      const std::uint64_t len = std::min(maxRpc, end - pos);
-      issueWriteRpc(nodeIdx, ost, file, pos, len);
-      pos += len;
-    }
-    i = j;
-  }
+  (void)writeback_.drain(
+      l, onlyFile != kInvalidFile, onlyFile, rpcBytes(),
+      [this, nodeIdx, ost](FileId file, std::uint64_t objectOffset,
+                           std::uint64_t bytes) {
+        issueWriteRpc(nodeIdx, ost, file, objectOffset, bytes);
+      });
 }
 
 void ClientRuntime::flushAllNodes() {
@@ -940,12 +884,6 @@ bool ClientRuntime::execRead(RankState& r, const IoOp& op) {
     return true;
   }
 
-  const std::uint64_t wholeBytes =
-      static_cast<std::uint64_t>(config_.llite_max_read_ahead_whole_mb) * util::kMiB;
-  const std::uint64_t perFileBytes =
-      static_cast<std::uint64_t>(config_.llite_max_read_ahead_per_file_mb) * util::kMiB;
-  const bool raEnabled = config_.llite_max_read_ahead_mb > 0 && perFileBytes > 0;
-
   const std::uint64_t readEnd = op.offset + op.size;
   const std::uint64_t knownSize = std::max(f.size, fs.maxOffset);
 
@@ -958,22 +896,21 @@ bool ClientRuntime::execRead(RankState& r, const IoOp& op) {
   counters_.readaheadHitBytes += op.size - std::min(op.size, missingBytes);
   counters_.readaheadMissBytes += missingBytes;
 
-  if (raEnabled && (sequential || !fd.everRead)) {
-    std::uint64_t desiredEnd = readEnd;
-    if (!fd.everRead && knownSize > 0 && knownSize <= wholeBytes) {
-      desiredEnd = std::max(desiredEnd, knownSize);
-    } else if (sequential) {
-      fd.raWindow = std::min(std::max<std::uint64_t>(kInitialRaWindow, fd.raWindow * 2),
-                             perFileBytes);
-      desiredEnd = readEnd + fd.raWindow;
-    } else {
-      fd.raWindow = kInitialRaWindow;
-      desiredEnd = readEnd + fd.raWindow;
-    }
-    if (knownSize > 0) {
-      desiredEnd = std::min(desiredEnd, std::max(knownSize, readEnd));
-    }
-    prefetchRange(r, op.file, op.offset, desiredEnd);
+  // Advance this fd's sliding window. Whole-file mode additionally requires
+  // the client to actually know the file size — a cached DLM lock, which an
+  // open or a statahead scan primes (the statahead interaction).
+  const bool sizeKnown = node.locks.contains(op.file, engine_.now());
+  const ReadaDecision decision =
+      advanceWindow(fd.ra, readaKnobs_, sequential, !fd.everRead, sizeKnown,
+                    op.offset, readEnd, knownSize);
+  switch (decision.event) {
+    case ReadaEvent::Opened: ++readaOpened_; break;
+    case ReadaEvent::Grown: ++readaGrown_; break;
+    case ReadaEvent::Reset: ++readaReset_; break;
+    case ReadaEvent::None: break;
+  }
+  if (decision.wantsPrefetch()) {
+    prefetchRange(r, op.file, decision.prefetchBegin, decision.prefetchEnd);
   }
 
   // Whatever remains uncovered after prefetch goes out as sync reads.
@@ -1055,7 +992,7 @@ void ClientRuntime::execCloseLocal(RankState& r, const IoOp& op) {
 
   FdState& fd = r.fds[op.file];
   fd.open = false;
-  fd.raWindow = 0;
+  fd.ra.close();
 
   auto it = node.openCount.find(op.file);
   if (it != node.openCount.end() && it->second > 0) {
@@ -1109,6 +1046,27 @@ void ClientRuntime::flushObservability(obs::CounterRegistry& registry) const {
   add("pfs.cache.page_hit_bytes", static_cast<double>(counters_.pageCacheHitBytes));
   add("pfs.meta.statahead_served", static_cast<double>(counters_.stataheadServed));
   add("pfs.lock.extent_conflicts", static_cast<double>(counters_.extentConflicts));
+
+  // Readahead window machine activity and the fate of every prefetched byte
+  // (the same numbers RunAudit carries; INV-READA cross-checks both).
+  std::uint64_t prefetched = 0;
+  std::uint64_t consumed = 0;
+  std::uint64_t discarded = 0;
+  std::uint64_t resident = 0;
+  for (const NodeState& node : nodes_) {
+    prefetched += node.readahead.prefetchedBytes();
+    consumed += node.readahead.consumedBytes();
+    discarded += node.readahead.discardedBytes();
+    resident += node.readahead.residentBytes();
+  }
+  add("pfs.reada.windows_opened", static_cast<double>(readaOpened_));
+  add("pfs.reada.windows_grown", static_cast<double>(readaGrown_));
+  add("pfs.reada.windows_reset", static_cast<double>(readaReset_));
+  add("pfs.reada.prefetched_bytes", static_cast<double>(prefetched));
+  add("pfs.reada.consumed_bytes", static_cast<double>(consumed));
+  add("pfs.reada.discarded_bytes", static_cast<double>(discarded));
+  add("pfs.reada.resident_bytes", static_cast<double>(resident));
+
   add("pfs.rpc.timeouts", static_cast<double>(counters_.rpcTimeouts));
   add("pfs.rpc.retries", static_cast<double>(counters_.rpcRetries));
   add("pfs.rpc.gave_up", static_cast<double>(counters_.rpcGaveUp));
@@ -1158,7 +1116,14 @@ RunAudit ClientRuntime::audit() const {
     a.lockInserts += node.locks.inserts();
     a.lockEvictions += node.locks.evictions();
     a.lockResident += node.locks.size();
+    a.readaPrefetchedBytes += node.readahead.prefetchedBytes();
+    a.readaConsumedBytes += node.readahead.consumedBytes();
+    a.readaDiscardedBytes += node.readahead.discardedBytes();
+    a.readaResidentBytes += node.readahead.residentBytes();
   }
+  a.readaWindowsOpened = readaOpened_;
+  a.readaWindowsGrown = readaGrown_;
+  a.readaWindowsReset = readaReset_;
   a.mdsOps = mds_.opsServed();
   a.mdsBusySeconds = mds_.busyTime();
   return a;

@@ -7,8 +7,10 @@
 //  - RPC formation: pending dirty segments are coalesced into bulk RPCs of
 //    at most osc.max_pages_per_rpc pages
 //  - per-(node,OST) in-flight caps (osc.max_rpcs_in_flight)
-//  - sequential readahead with window doubling, per-file cap, whole-file
-//    prefetch, and a per-node budget (llite.max_read_ahead_*)
+//  - sliding-window readahead (pfs/readahead.hpp): per-fd window state
+//    machine with growth on sequential hits, shrink/reset on misses,
+//    RPC-aligned prefetch edges, whole-file mode for small files, and a
+//    per-node budget arbitrating across files (llite.max_read_ahead_*)
 //  - metadata RPCs through per-node caps (mdc.max_rpcs_in_flight /
 //    max_mod_rpcs_in_flight) to the MDS model
 //  - stat-ahead pipelining of directory stat scans (llite.statahead_max)
@@ -44,6 +46,7 @@
 #include "pfs/mds.hpp"
 #include "pfs/ost.hpp"
 #include "pfs/params.hpp"
+#include "pfs/readahead.hpp"
 #include "pfs/topology.hpp"
 #include "sim/callback.hpp"
 #include "sim/engine.hpp"
@@ -179,6 +182,16 @@ struct RunAudit {
   std::uint64_t lockResident = 0;
   std::uint64_t mdsOps = 0;
   double mdsBusySeconds = 0.0;
+  /// Readahead window machine activity plus the fate of every prefetched
+  /// byte. INV-READA pins the exact conservation law
+  /// prefetched == consumed + discarded + resident on every run.
+  std::uint64_t readaWindowsOpened = 0;
+  std::uint64_t readaWindowsGrown = 0;
+  std::uint64_t readaWindowsReset = 0;
+  std::uint64_t readaPrefetchedBytes = 0;
+  std::uint64_t readaConsumedBytes = 0;
+  std::uint64_t readaDiscardedBytes = 0;
+  std::uint64_t readaResidentBytes = 0;
 };
 
 /// Placement of one runtime inside a (possibly federated) run: the run's
@@ -249,7 +262,7 @@ class ClientRuntime {
     bool everRead = false;
     std::uint64_t lastReadEnd = 0;
     std::uint64_t lastWriteEnd = 0;
-    std::uint64_t raWindow = 0;
+    ReadaWindow ra;  ///< sliding readahead window (pfs/readahead.hpp)
   };
 
   struct StataheadScan {
@@ -278,12 +291,6 @@ class ClientRuntime {
     std::unordered_map<std::size_t, bool> statEntries;
     std::optional<StataheadScan> scan;
     std::optional<std::size_t> waitingOnStat;
-  };
-
-  struct PendingSeg {
-    FileId file;
-    std::uint64_t objectOffset;
-    std::uint64_t length;
   };
 
   /// Per-node state that is genuinely per node (not per node x OST): the
@@ -402,9 +409,8 @@ class ClientRuntime {
   sim::FlowLimiterBank oscFlow_;
   /// Per-(node,OST) osc.max_dirty_mb budgets, lane-indexed.
   DirtyBank dirty_;
-  /// Pending dirty segments and their byte totals, lane-indexed.
-  std::vector<std::vector<PendingSeg>> pending_;
-  std::vector<std::uint64_t> pendingBytes_;
+  /// Pending dirty segments awaiting RPC formation, lane-indexed.
+  WritebackBank writeback_;
   /// Per-node streams for extent-conflict sampling, keyed by (run seed,
   /// global node id).
   std::vector<util::Rng> nodeRng_;
@@ -416,6 +422,14 @@ class ClientRuntime {
   std::vector<FileStats> fileStats_;
   std::vector<RankStats> rankStats_;
   RunCounters counters_;
+
+  /// Knob snapshot the readahead window machine decides against, resolved
+  /// once at construction.
+  ReadaheadKnobs readaKnobs_;
+  /// Window machine event tallies (RunAudit / pfs.reada.*).
+  std::uint64_t readaOpened_ = 0;
+  std::uint64_t readaGrown_ = 0;
+  std::uint64_t readaReset_ = 0;
 
   std::uint32_t barrierArrived_ = 0;
   std::uint32_t doneRanks_ = 0;

@@ -160,6 +160,7 @@ CacheChunk* ReadAheadCache::insertPending(FileId file, std::uint64_t begin,
   chunk.begin = begin;
   chunk.end = end;
   outstanding_ += end - begin;
+  prefetchedTotal_ += end - begin;
   auto [it, inserted] = files_[file].emplace(begin, std::move(chunk));
   assert(inserted);
   (void)inserted;
@@ -195,6 +196,7 @@ void ReadAheadCache::consume(FileId file, std::uint64_t begin, std::uint64_t end
       const std::uint64_t delta = newConsumed - chunk.consumed;
       chunk.consumed = newConsumed;
       outstanding_ = delta >= outstanding_ ? 0 : outstanding_ - delta;
+      consumedTotal_ += delta;
     }
     if (chunk.ready && chunk.consumed >= chunk.end - chunk.begin) {
       it = chunks.erase(it);
@@ -218,6 +220,7 @@ std::vector<std::function<void()>> ReadAheadCache::dropFile(FileId file) {
     const std::uint64_t span = chunk.end - chunk.begin;
     const std::uint64_t unconsumed = span - std::min(span, chunk.consumed);
     outstanding_ = unconsumed >= outstanding_ ? 0 : outstanding_ - unconsumed;
+    discardedTotal_ += unconsumed;
     for (auto& waiter : chunk.waiters) {
       orphans.push_back(std::move(waiter));
     }
@@ -238,6 +241,94 @@ CacheChunk* ReadAheadCache::find(FileId file, std::uint64_t begin) {
 std::size_t ReadAheadCache::chunkCount(FileId file) const {
   const auto it = files_.find(file);
   return it == files_.end() ? 0 : it->second.size();
+}
+
+// ------------------------------------------------------------ Writeback --
+
+void WritebackBank::configure(std::size_t lanes) {
+  pending_.assign(lanes, {});
+  bytes_.assign(lanes, 0);
+  scratch_.clear();
+}
+
+void WritebackBank::append(std::size_t lane, FileId file,
+                           std::uint64_t objectOffset, std::uint64_t length) {
+  pending_[lane].push_back(Segment{file, objectOffset, length});
+  bytes_[lane] += length;
+}
+
+std::uint64_t WritebackBank::drain(
+    std::size_t lane, bool fileOnly, FileId onlyFile, std::uint64_t maxRpcBytes,
+    const std::function<void(FileId, std::uint64_t, std::uint64_t)>& emit) {
+  std::vector<Segment>& queue = pending_[lane];
+  scratch_.clear();
+  if (fileOnly) {
+    // Fsync of one file: pull its segments out, leave the rest queued.
+    std::size_t keep = 0;
+    for (Segment& seg : queue) {
+      if (seg.file == onlyFile) {
+        scratch_.push_back(seg);
+      } else {
+        queue[keep++] = seg;
+      }
+    }
+    queue.resize(keep);
+  } else {
+    scratch_.swap(queue);
+    queue.clear();
+  }
+  if (scratch_.empty()) {
+    return 0;
+  }
+
+  // Elevator order per file, then merge contiguous runs so neighbouring
+  // dirty segments share one bulk RPC.
+  std::sort(scratch_.begin(), scratch_.end(),
+            [](const Segment& a, const Segment& b) {
+              if (a.file != b.file) {
+                return a.file < b.file;
+              }
+              return a.objectOffset < b.objectOffset;
+            });
+
+  std::uint64_t drained = 0;
+  std::size_t i = 0;
+  while (i < scratch_.size()) {
+    const FileId file = scratch_[i].file;
+    const std::uint64_t runBegin = scratch_[i].objectOffset;
+    std::uint64_t runEnd = runBegin + scratch_[i].length;
+    ++i;
+    while (i < scratch_.size() && scratch_[i].file == file &&
+           scratch_[i].objectOffset == runEnd) {
+      runEnd += scratch_[i].length;
+      ++i;
+    }
+    std::uint64_t cursor = runBegin;
+    while (cursor < runEnd) {
+      const std::uint64_t len = std::min(maxRpcBytes, runEnd - cursor);
+      emit(file, cursor, len);
+      cursor += len;
+      drained += len;
+    }
+  }
+  bytes_[lane] -= std::min(bytes_[lane], drained);
+  return drained;
+}
+
+std::uint64_t WritebackBank::discardFile(std::size_t lane, FileId file) {
+  std::vector<Segment>& queue = pending_[lane];
+  std::uint64_t dropped = 0;
+  std::size_t keep = 0;
+  for (Segment& seg : queue) {
+    if (seg.file == file) {
+      dropped += seg.length;
+    } else {
+      queue[keep++] = seg;
+    }
+  }
+  queue.resize(keep);
+  bytes_[lane] -= std::min(bytes_[lane], dropped);
+  return dropped;
 }
 
 // ----------------------------------------------------------------- Lock --
@@ -285,6 +376,11 @@ bool LockLru::touch(FileId file, double now) {
   it->second->acquiredAt = now;
   ++hits_;
   return true;
+}
+
+bool LockLru::contains(FileId file, double now) const {
+  const auto it = index_.find(file);
+  return it != index_.end() && now - it->second->acquiredAt <= maxAge_;
 }
 
 void LockLru::insert(FileId file, double now) {

@@ -158,6 +158,13 @@ struct Coverage {
 
 /// Per-client readahead store. `outstanding` counts prefetched bytes not
 /// yet consumed; prefetch admission is bounded by the budget.
+///
+/// Besides the live budget accounting the cache keeps lifetime totals of
+/// every prefetched byte's fate — consumed by a read, discarded with its
+/// file, or still resident. The testkit INV-READA law holds the four to an
+/// exact conservation equation (prefetched == consumed + discarded +
+/// resident), so any drift in the high-water-mark consume math or the drop
+/// refunds shows up as a violation instead of a silent budget leak.
 class ReadAheadCache {
  public:
   explicit ReadAheadCache(std::uint64_t budgetBytes = 0) : budget_(budgetBytes) {}
@@ -168,6 +175,14 @@ class ReadAheadCache {
   [[nodiscard]] std::uint64_t freeBudget() const noexcept {
     return outstanding_ >= budget_ ? 0 : budget_ - outstanding_;
   }
+
+  /// Lifetime totals for the INV-READA conservation law and pfs.reada.*.
+  [[nodiscard]] std::uint64_t prefetchedBytes() const noexcept { return prefetchedTotal_; }
+  [[nodiscard]] std::uint64_t consumedBytes() const noexcept { return consumedTotal_; }
+  [[nodiscard]] std::uint64_t discardedBytes() const noexcept { return discardedTotal_; }
+  /// Bytes still held (ready or in flight) — `outstanding` by another name,
+  /// exposed so the conservation law reads naturally at the call site.
+  [[nodiscard]] std::uint64_t residentBytes() const noexcept { return outstanding_; }
 
   /// Coverage of [begin,end) for `file`.
   [[nodiscard]] Coverage query(FileId file, std::uint64_t begin, std::uint64_t end);
@@ -200,6 +215,52 @@ class ReadAheadCache {
   std::unordered_map<FileId, ChunkMap> files_;
   std::uint64_t budget_ = 0;
   std::uint64_t outstanding_ = 0;
+  std::uint64_t prefetchedTotal_ = 0;
+  std::uint64_t consumedTotal_ = 0;
+  std::uint64_t discardedTotal_ = 0;
+};
+
+/// Pending write-back segments for every (client node, OST) lane, factored
+/// out of the client model so the coalescing policy is unit-testable and the
+/// flush path reuses one scratch buffer instead of allocating per flush.
+/// Append is O(1) push_back on a flat per-lane vector; drain sorts the
+/// selected segments by (file, object offset), merges contiguous same-file
+/// runs, and cuts the merged extents into RPC-sized bulks.
+class WritebackBank {
+ public:
+  struct Segment {
+    FileId file = 0;
+    std::uint64_t objectOffset = 0;
+    std::uint64_t length = 0;
+  };
+
+  void configure(std::size_t lanes);
+
+  [[nodiscard]] std::size_t laneCount() const noexcept { return pending_.size(); }
+  [[nodiscard]] std::uint64_t pendingBytes(std::size_t lane) const {
+    return bytes_[lane];
+  }
+
+  void append(std::size_t lane, FileId file, std::uint64_t objectOffset,
+              std::uint64_t length);
+
+  /// Removes the lane's pending segments — all of them, or only `onlyFile`'s
+  /// when `fileOnly` is set — coalesces, cuts at `maxRpcBytes`, and invokes
+  /// `emit(file, objectOffset, bytes)` once per write RPC, in (file, offset)
+  /// order. Returns the total bytes drained.
+  std::uint64_t drain(std::size_t lane, bool fileOnly, FileId onlyFile,
+                      std::uint64_t maxRpcBytes,
+                      const std::function<void(FileId, std::uint64_t,
+                                               std::uint64_t)>& emit);
+
+  /// Discards a file's pending segments without writing them (unlink).
+  /// Returns the bytes dropped.
+  std::uint64_t discardFile(std::size_t lane, FileId file);
+
+ private:
+  std::vector<std::vector<Segment>> pending_;
+  std::vector<std::uint64_t> bytes_;
+  std::vector<Segment> scratch_;  ///< drain working set, reused across flushes
 };
 
 /// DLM lock LRU with capacity and TTL semantics. Losing a lock (capacity
@@ -224,6 +285,12 @@ class LockLru {
   /// recency and timestamp on hit. On miss the caller pays the lock RPC
   /// and then calls `insert`.
   [[nodiscard]] bool touch(FileId file, double now);
+
+  /// Non-mutating probe: a valid, unexpired lock is cached. No recency
+  /// refresh, no hit/miss accounting, no expiry eviction — the readahead
+  /// window machine uses this to ask "does this client know the file size"
+  /// (statahead-primed locks make it true) without perturbing lock state.
+  [[nodiscard]] bool contains(FileId file, double now) const;
 
   /// Caches a lock acquired at `now`, evicting LRU entries over capacity.
   void insert(FileId file, double now);

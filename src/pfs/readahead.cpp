@@ -1,0 +1,75 @@
+#include "pfs/readahead.hpp"
+
+#include <algorithm>
+
+namespace stellar::pfs {
+
+namespace {
+
+std::uint64_t alignUp(std::uint64_t value, std::uint64_t align) noexcept {
+  if (align == 0) {
+    return value;
+  }
+  const std::uint64_t rem = value % align;
+  return rem == 0 ? value : value + (align - rem);
+}
+
+}  // namespace
+
+ReadaDecision advanceWindow(ReadaWindow& window, const ReadaheadKnobs& knobs,
+                            bool sequential, bool firstRead,
+                            bool sizeKnownLocally, std::uint64_t offset,
+                            std::uint64_t readEnd,
+                            std::uint64_t knownSize) noexcept {
+  ReadaDecision decision;
+  decision.prefetchBegin = offset;
+  decision.prefetchEnd = offset;
+  if (!knobs.enabled()) {
+    return decision;
+  }
+
+  const std::uint64_t initial =
+      std::min(ReadaWindow::kInitialBytes, knobs.perFileBytes);
+
+  if (firstRead) {
+    if (sizeKnownLocally && knownSize > 0 && knownSize <= knobs.wholeFileBytes) {
+      // Whole-file shot: fetch the file in one speculative burst and park the
+      // window — later sequential reads are served from cache without ever
+      // re-entering the ramp. Exact EOF, no alignment rounding.
+      window.wholeMode = true;
+      window.length = 0;
+      decision.event = ReadaEvent::Opened;
+      decision.prefetchEnd = std::max(readEnd, knownSize);
+      return decision;
+    }
+    window.wholeMode = false;
+    window.length = initial;
+    decision.event = ReadaEvent::Opened;
+  } else if (window.wholeMode) {
+    // Parked: the whole file is resident or in flight.
+    return decision;
+  } else if (sequential) {
+    const std::uint64_t doubled =
+        window.length == 0 ? initial : window.length * 2;
+    const std::uint64_t grown = std::min(doubled, knobs.perFileBytes);
+    decision.event =
+        grown > window.length ? ReadaEvent::Grown : ReadaEvent::None;
+    window.length = grown;
+  } else {
+    // Miss: shrink back to the initial ramp and skip the prefetch entirely —
+    // a non-sequential reader gains nothing from speculation, and not
+    // fetching is what separates the warm and cold response surfaces.
+    window.length = initial;
+    decision.event = ReadaEvent::Reset;
+    return decision;
+  }
+
+  std::uint64_t end = alignUp(readEnd + window.length, knobs.alignBytes);
+  if (knownSize > 0) {
+    end = std::min(end, std::max(knownSize, readEnd));
+  }
+  decision.prefetchEnd = std::max(end, offset);
+  return decision;
+}
+
+}  // namespace stellar::pfs

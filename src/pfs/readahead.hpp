@@ -1,0 +1,79 @@
+// Per-file sliding-window readahead state machine, modeled on production
+// readahead designs (reada-style): sequential detection grows the window,
+// a miss shrinks it back to the initial ramp, small files get one-shot
+// whole-file prefetch, and window edges round up to RPC-payload multiples so
+// steady-state prefetch RPCs are full-sized.
+//
+// The machine is deliberately pure: `advanceWindow` maps (window state, read,
+// knobs) -> (new window state, prefetch range, event) with no allocation and
+// no loops, so the event hot path pays O(1) per read and unit tests can pin
+// every transition without a simulator.
+#pragma once
+
+#include <cstdint>
+
+namespace stellar::pfs {
+
+/// Knob snapshot the window machine decides against. Resolved once per run
+/// from PfsConfig (all byte-denominated).
+struct ReadaheadKnobs {
+  std::uint64_t clientBudgetBytes = 0;  ///< llite.max_read_ahead_mb
+  std::uint64_t perFileBytes = 0;       ///< llite.max_read_ahead_per_file_mb
+  std::uint64_t wholeFileBytes = 0;     ///< llite.max_read_ahead_whole_mb
+  std::uint64_t alignBytes = 0;         ///< RPC payload size; 0 = no rounding
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return clientBudgetBytes > 0 && perFileBytes > 0;
+  }
+};
+
+/// What a single advance did to the window, for the RunAudit tallies.
+enum class ReadaEvent : std::uint8_t {
+  None,    ///< readahead disabled, or window parked in whole-file mode
+  Opened,  ///< first read of the fd activated a window (or whole-file shot)
+  Grown,   ///< sequential hit doubled the window (saturates at per-file cap)
+  Reset,   ///< non-sequential read shrank the window back to the initial ramp
+};
+
+/// Sliding window for one open file descriptor. Two words of state; embeds
+/// directly in FdState so advancing it never allocates.
+struct ReadaWindow {
+  static constexpr std::uint64_t kInitialBytes = 256 * 1024;
+
+  std::uint64_t length = 0;  ///< current window length in bytes; 0 = closed
+  bool wholeMode = false;    ///< whole-file shot issued; window stays parked
+
+  void close() noexcept {
+    length = 0;
+    wholeMode = false;
+  }
+};
+
+/// The prefetch range a window advance asks for. Empty (`end <= begin`) when
+/// the read should not speculate: disabled knobs, a miss, or a parked
+/// whole-file window.
+struct ReadaDecision {
+  std::uint64_t prefetchBegin = 0;
+  std::uint64_t prefetchEnd = 0;  ///< exclusive
+  ReadaEvent event = ReadaEvent::None;
+
+  [[nodiscard]] bool wantsPrefetch() const noexcept {
+    return prefetchEnd > prefetchBegin;
+  }
+};
+
+/// Advances `window` for a read of [offset, readEnd) and returns the range to
+/// prefetch. `firstRead` marks the fd's first read; `sequential` means the
+/// read starts exactly at the previous read's end. `sizeKnownLocally` gates
+/// whole-file mode on the client actually holding the file size (a cached
+/// DLM lock — which is what a statahead scan primes), and `knownSize` caps
+/// speculation at EOF when it is non-zero.
+[[nodiscard]] ReadaDecision advanceWindow(ReadaWindow& window,
+                                          const ReadaheadKnobs& knobs,
+                                          bool sequential, bool firstRead,
+                                          bool sizeKnownLocally,
+                                          std::uint64_t offset,
+                                          std::uint64_t readEnd,
+                                          std::uint64_t knownSize) noexcept;
+
+}  // namespace stellar::pfs

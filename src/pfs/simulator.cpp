@@ -327,6 +327,13 @@ RunResult PfsSimulator::runFederated(const JobSpec& job, const PfsConfig& config
       into.lockInserts += a.lockInserts;
       into.lockEvictions += a.lockEvictions;
       into.lockResident += a.lockResident;
+      into.readaWindowsOpened += a.readaWindowsOpened;
+      into.readaWindowsGrown += a.readaWindowsGrown;
+      into.readaWindowsReset += a.readaWindowsReset;
+      into.readaPrefetchedBytes += a.readaPrefetchedBytes;
+      into.readaConsumedBytes += a.readaConsumedBytes;
+      into.readaDiscardedBytes += a.readaDiscardedBytes;
+      into.readaResidentBytes += a.readaResidentBytes;
       into.mdsOps += a.mdsOps;
       into.mdsBusySeconds += a.mdsBusySeconds;
     }

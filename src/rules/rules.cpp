@@ -21,19 +21,24 @@ double logCloseness(double a, double b, double decadesToZero) {
 }  // namespace
 
 double WorkloadContext::similarity(const WorkloadContext& other) const {
-  // Weighted mix: the shares define the workload's character; the scale
-  // features refine it. Weights sum to 1.
+  // Weighted mix: the access pattern (sequentiality, dominant transfer
+  // size) carries the most weight because it decides which knob guidance
+  // transfers — stripe/RPC/readahead advice learned on a sequential
+  // large-transfer workload actively hurts a random small-transfer one,
+  // so those two must land below the 0.7 match threshold. The remaining
+  // shares define the workload's character; the scale features refine it.
+  // Weights sum to 1.
   double score = 0.0;
-  score += 0.22 * (1.0 - std::fabs(metaOpShare - other.metaOpShare));
-  score += 0.14 * (1.0 - std::fabs(readShare - other.readShare));
-  score += 0.16 * (1.0 - std::fabs(sequentialShare - other.sequentialShare));
-  score += 0.14 * (1.0 - std::fabs(sharedFileShare - other.sharedFileShare));
-  score += 0.12 * (1.0 - std::fabs(smallFileShare - other.smallFileShare));
-  score += 0.12 * logCloseness(static_cast<double>(dominantAccessSize),
+  score += 0.18 * (1.0 - std::fabs(metaOpShare - other.metaOpShare));
+  score += 0.10 * (1.0 - std::fabs(readShare - other.readShare));
+  score += 0.28 * (1.0 - std::fabs(sequentialShare - other.sequentialShare));
+  score += 0.10 * (1.0 - std::fabs(sharedFileShare - other.sharedFileShare));
+  score += 0.10 * (1.0 - std::fabs(smallFileShare - other.smallFileShare));
+  score += 0.18 * logCloseness(static_cast<double>(dominantAccessSize),
                                static_cast<double>(other.dominantAccessSize), 4.0);
-  score += 0.05 * logCloseness(static_cast<double>(fileCount),
+  score += 0.03 * logCloseness(static_cast<double>(fileCount),
                                static_cast<double>(other.fileCount), 5.0);
-  score += 0.05 * logCloseness(static_cast<double>(totalBytes),
+  score += 0.03 * logCloseness(static_cast<double>(totalBytes),
                                static_cast<double>(other.totalBytes), 6.0);
   return std::clamp(score, 0.0, 1.0);
 }

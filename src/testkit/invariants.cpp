@@ -30,6 +30,7 @@ const std::vector<std::string>& mutationNames() {
   static const std::vector<std::string> names = {
       "write-conservation", "read-partition", "rpc-balance",
       "dirty-bound",        "lock-balance",   "disk-bandwidth",
+      "reada-conservation",
   };
   return names;
 }
@@ -49,6 +50,8 @@ void applyMutation(const std::string& name, pfs::RunResult& result) {
     result.audit.lockInserts += 1;
   } else if (name == "disk-bandwidth" && !result.audit.osts.empty()) {
     result.audit.osts[0].bytesWritten += 100ULL * 1024 * 1024;
+  } else if (name == "reada-conservation") {
+    result.audit.readaPrefetchedBytes += 4096;
   }
 }
 
@@ -229,6 +232,20 @@ std::vector<Violation> checkRun(const GeneratedCase& cse, const pfs::RunResult& 
                          std::to_string(a.maxDirtyReservationBytes) + ")");
   }
 
+  // --- INV-READA: prefetched-byte conservation -----------------------------
+  // Every prefetched byte is consumed by a read, discarded with its file, or
+  // still resident in the cache — exactly, on every run (the cache keeps
+  // integer lifetime totals, so timeouts and faults don't excuse drift).
+  if (a.readaPrefetchedBytes !=
+      a.readaConsumedBytes + a.readaDiscardedBytes + a.readaResidentBytes) {
+    add(v, "INV-READA",
+        "readahead conservation broken: prefetched=" +
+            std::to_string(a.readaPrefetchedBytes) +
+            " != consumed=" + std::to_string(a.readaConsumedBytes) +
+            " + discarded=" + std::to_string(a.readaDiscardedBytes) +
+            " + resident=" + std::to_string(a.readaResidentBytes));
+  }
+
   // --- INV-L1: DLM lock lifecycle balance ----------------------------------
   if (a.lockInserts != a.lockEvictions + a.lockResident) {
     add(v, "INV-L1", "lock balance broken: inserts=" + std::to_string(a.lockInserts) +
@@ -255,6 +272,7 @@ std::vector<Violation> checkObsConsistency(const obs::CounterRegistry& registry,
                                            const pfs::RunResult& result) {
   std::vector<Violation> v;
   const pfs::RunCounters& c = result.counters;
+  const pfs::RunAudit& a = result.audit;
   // counter() is find-or-create, so a const registry cannot be queried
   // directly; snapshot() is the read-only view.
   const auto samples = registry.snapshot();
@@ -279,6 +297,13 @@ std::vector<Violation> checkObsConsistency(const obs::CounterRegistry& registry,
       {"pfs.rpc.timeouts", static_cast<double>(c.rpcTimeouts)},
       {"pfs.rpc.retries", static_cast<double>(c.rpcRetries)},
       {"pfs.rpc.gave_up", static_cast<double>(c.rpcGaveUp)},
+      {"pfs.reada.windows_opened", static_cast<double>(a.readaWindowsOpened)},
+      {"pfs.reada.windows_grown", static_cast<double>(a.readaWindowsGrown)},
+      {"pfs.reada.windows_reset", static_cast<double>(a.readaWindowsReset)},
+      {"pfs.reada.prefetched_bytes", static_cast<double>(a.readaPrefetchedBytes)},
+      {"pfs.reada.consumed_bytes", static_cast<double>(a.readaConsumedBytes)},
+      {"pfs.reada.discarded_bytes", static_cast<double>(a.readaDiscardedBytes)},
+      {"pfs.reada.resident_bytes", static_cast<double>(a.readaResidentBytes)},
   };
   for (const auto& [name, want] : expected) {
     const double got = lookup(name);

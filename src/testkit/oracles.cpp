@@ -162,6 +162,122 @@ OracleOutcome readOracle(std::uint64_t seed) {
   return OracleOutcome{"ORA-READ", expected, phase, 0.12};
 }
 
+// ----------------------------------------------------------- ORA-READA --
+//
+// The readahead oracles model the window machine's *byte accounting*, not
+// wall time: coverage decisions happen synchronously at read-issue time, so
+// hit/prefetch/discard totals are exact integers independent of service
+// jitter. Every scenario is a writer on node 0 publishing a file and a
+// reader on node 1 (cold page cache) applying one access pattern.
+
+struct ReadaScenario {
+  pfs::RunResult result;
+  std::uint64_t fileBytes = 0;
+};
+
+constexpr std::uint64_t kReadaChunk = 256 * 1024;
+constexpr std::uint64_t kReadaRpc = 256 * 4096;  // serializedConfig payload
+
+/// Runs writer-then-reader where the reader issues `readOffsets` reads of
+/// kReadaChunk bytes each, in order, then closes.
+ReadaScenario runReadaScenario(std::uint64_t seed, std::uint64_t fileBytes,
+                               const std::vector<std::uint64_t>& readOffsets) {
+  const pfs::ClusterSpec cluster = degenerateCluster(2, 1);
+  pfs::PfsConfig cfg = serializedConfig();
+  cfg.llite_max_read_ahead_mb = 64;
+  cfg.llite_max_read_ahead_per_file_mb = 32;
+  cfg.llite_max_read_ahead_whole_mb = 2;
+
+  pfs::JobSpec job;
+  job.name = "oracle_reada";
+  job.ranks.resize(2);
+  const pfs::FileId f = job.addFile("/oracle/reada");
+  job.ranks[0].push_back(IoOp::create(f));
+  for (std::uint64_t off = 0; off < fileBytes; off += kReadaRpc) {
+    job.ranks[0].push_back(
+        IoOp::write(f, off, std::min(kReadaRpc, fileBytes - off)));
+  }
+  job.ranks[0].push_back(IoOp::fsync(f));
+  job.ranks[0].push_back(IoOp::barrier());
+  job.ranks[0].push_back(IoOp::close(f));
+  job.ranks[1].push_back(IoOp::barrier());
+  job.ranks[1].push_back(IoOp::open(f));
+  for (const std::uint64_t off : readOffsets) {
+    job.ranks[1].push_back(IoOp::read(f, off, kReadaChunk));
+  }
+  job.ranks[1].push_back(IoOp::close(f));
+
+  const pfs::PfsSimulator sim{pfs::SimulatorOptions{.cluster = cluster}};
+  return ReadaScenario{sim.run(job, cfg, seed), fileBytes};
+}
+
+OracleOutcome readaColdOracle(std::uint64_t seed) {
+  // Cold sequential scan: the window opens on the first read and the ramp
+  // (doubling, RPC-aligned edges) keeps prefetch ahead of consumption from
+  // then on, so exactly one chunk misses.
+  constexpr std::uint64_t kChunks = 32;
+  std::vector<std::uint64_t> offsets;
+  for (std::uint64_t i = 0; i < kChunks; ++i) {
+    offsets.push_back(i * kReadaChunk);
+  }
+  const ReadaScenario s =
+      runReadaScenario(seed, kChunks * kReadaChunk, offsets);
+  const double hitRate =
+      static_cast<double>(s.result.counters.readaheadHitBytes) /
+      static_cast<double>(s.fileBytes);
+  const double expected =
+      static_cast<double>(kChunks - 1) / static_cast<double>(kChunks);
+  return OracleOutcome{"ORA-READA-COLD", expected, hitRate, 1e-9};
+}
+
+OracleOutcome readaWarmOracle(std::uint64_t seed) {
+  // Whole-file mode at exactly the llite_max_read_ahead_whole_mb cutover:
+  // the first read warms the entire file in one shot; reading only half and
+  // closing must discard exactly the other half.
+  constexpr std::uint64_t kFileBytes = 2 * 1024 * 1024;  // == whole_mb
+  std::vector<std::uint64_t> offsets;
+  for (std::uint64_t off = 0; off < kFileBytes / 2; off += kReadaChunk) {
+    offsets.push_back(off);
+  }
+  const ReadaScenario s = runReadaScenario(seed, kFileBytes, offsets);
+  const double expected = static_cast<double>(kFileBytes / 2);
+  const double actual =
+      static_cast<double>(s.result.audit.readaDiscardedBytes);
+  return OracleOutcome{"ORA-READA-WARM", expected, actual, 1e-9};
+}
+
+OracleOutcome readaStridedOracle(std::uint64_t seed) {
+  // Stride far beyond the window: every read after the first resets the
+  // window and fetches nothing speculative, so the only waste is the first
+  // read's RPC-aligned initial window minus the chunk it served.
+  constexpr std::uint64_t kFileBytes = 16 * 1024 * 1024;
+  constexpr std::uint64_t kStride = 4 * 1024 * 1024;
+  const std::vector<std::uint64_t> offsets = {0, kStride, 2 * kStride,
+                                              3 * kStride};
+  const ReadaScenario s = runReadaScenario(seed, kFileBytes, offsets);
+  const double expected = static_cast<double>(kReadaRpc - kReadaChunk);
+  const double actual =
+      static_cast<double>(s.result.audit.readaDiscardedBytes);
+  return OracleOutcome{"ORA-READA-STRIDED", expected, actual, 1e-9};
+}
+
+OracleOutcome readaRandomOracle(std::uint64_t seed) {
+  // Descending offsets: no read is ever sequential, and the first read sits
+  // at EOF so its speculation clamps to the chunk itself. Total prefetched
+  // bytes == one chunk — the engine stays out of a random reader's way.
+  constexpr std::uint64_t kChunks = 32;
+  std::vector<std::uint64_t> offsets;
+  for (std::uint64_t i = kChunks; i-- > 0;) {
+    offsets.push_back(i * kReadaChunk);
+  }
+  const ReadaScenario s =
+      runReadaScenario(seed, kChunks * kReadaChunk, offsets);
+  const double expected = static_cast<double>(kReadaChunk);
+  const double actual =
+      static_cast<double>(s.result.audit.readaPrefetchedBytes);
+  return OracleOutcome{"ORA-READA-RANDOM", expected, actual, 1e-9};
+}
+
 }  // namespace
 
 std::vector<OracleOutcome> runOracles(std::uint64_t seed) {
@@ -170,6 +286,10 @@ std::vector<OracleOutcome> runOracles(std::uint64_t seed) {
       metaOracle(util::mix64(seed, 2)),
       writeOracle(util::mix64(seed, 3)),
       readOracle(util::mix64(seed, 4)),
+      readaColdOracle(util::mix64(seed, 5)),
+      readaWarmOracle(util::mix64(seed, 6)),
+      readaStridedOracle(util::mix64(seed, 7)),
+      readaRandomOracle(util::mix64(seed, 8)),
   };
 }
 
@@ -179,8 +299,8 @@ std::vector<Violation> checkOracles(std::uint64_t seed) {
     if (!o.pass()) {
       v.push_back(Violation{
           o.id, "analytic model predicts " + std::to_string(o.expected) +
-                    "s, simulator produced " + std::to_string(o.actual) +
-                    "s (tolerance " + std::to_string(o.tolerance * 100.0) + "%)"});
+                    ", simulator produced " + std::to_string(o.actual) +
+                    " (tolerance " + std::to_string(o.tolerance * 100.0) + "%)"});
     }
   }
   return v;

@@ -12,6 +12,22 @@
 //                transfer), first RPC paying the seek penalty
 //   ORA-READ     same shape read back from a different node with
 //                readahead off ⇒ read phase ≈ serialized round trips
+//
+// The ORA-READA family pins the sliding-window readahead engine itself.
+// Here the modelled quantity is not seconds but the byte accounting of the
+// window machine — prefetch hit rate and wasted-prefetch bytes — which is
+// exactly computable per access pattern (integer bookkeeping, no jitter):
+//
+//   ORA-READA-COLD     cold sequential scan of an N-chunk file ⇒ only the
+//                      first chunk misses: hit rate == (N-1)/N
+//   ORA-READA-WARM     whole-file mode: a file of exactly the whole-file
+//                      cutover size, half-read then closed ⇒ discarded
+//                      bytes == size/2
+//   ORA-READA-STRIDED  strided reads (stride >> window) ⇒ waste is exactly
+//                      the first read's RPC-aligned window remainder
+//   ORA-READA-RANDOM   descending (never-sequential) reads ⇒ the engine
+//                      speculates only on the first read, clamped at EOF:
+//                      prefetched bytes == one chunk
 #pragma once
 
 #include <string>
@@ -23,8 +39,9 @@ namespace stellar::testkit {
 
 struct OracleOutcome {
   std::string id;        ///< ORA-*
-  double expected = 0.0;  ///< analytic seconds
-  double actual = 0.0;    ///< simulated seconds
+  double expected = 0.0;  ///< analytic value (seconds; bytes or a hit rate
+                          ///< for the ORA-READA byte-accounting family)
+  double actual = 0.0;    ///< simulated value in the same unit
   double tolerance = 0.0; ///< relative
   [[nodiscard]] bool pass() const noexcept {
     const double err = expected == 0.0 ? actual : (actual - expected) / expected;

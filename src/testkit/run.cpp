@@ -88,6 +88,15 @@ std::optional<std::string> describeDifference(const pfs::RunResult& a,
       aa.mdsBusySeconds != ab.mdsBusySeconds) {
     return diff("audit totals");
   }
+  if (aa.readaWindowsOpened != ab.readaWindowsOpened ||
+      aa.readaWindowsGrown != ab.readaWindowsGrown ||
+      aa.readaWindowsReset != ab.readaWindowsReset ||
+      aa.readaPrefetchedBytes != ab.readaPrefetchedBytes ||
+      aa.readaConsumedBytes != ab.readaConsumedBytes ||
+      aa.readaDiscardedBytes != ab.readaDiscardedBytes ||
+      aa.readaResidentBytes != ab.readaResidentBytes) {
+    return diff("readahead audit totals");
+  }
   return std::nullopt;
 }
 

@@ -268,6 +268,56 @@ TEST(TuningAgent, RuleSetDrivesFirstConfiguration) {
   EXPECT_NE(action.rationale.find("rule"), std::string::npos);
 }
 
+TEST(TuningAgent, PlaybookRetestsFromDefaultsAfterMarginalRuleWin) {
+  Fixture fx;
+
+  // Random small-record shape: no analysis follow-ups, small-random playbook.
+  IoReport report;
+  report.context.metaOpShare = 0.02;
+  report.context.readShare = 0.5;
+  report.context.sequentialShare = 0.02;
+  report.context.sharedFileShare = 1.0;
+  report.context.smallFileShare = 0.0;
+  report.context.dominantAccessSize = 64 * 1024;
+  report.context.fileCount = 1;
+  report.context.totalBytes = 1ULL << 30;
+  report.fileCount = 1;
+  report.totalBytes = 1ULL << 30;
+  report.text = "random small records";
+
+  // A matched rule (context identical to the report) seeds attempt 1 with a
+  // large stripe — harmful guidance carried over from a merely similar
+  // workload.
+  rules::RuleSet rules;
+  rules::Rule rule;
+  rule.parameter = "lov.stripe_size";
+  rule.description = "use wide stripes for high aggregate bandwidth";
+  rule.context = report.context;
+  rule.direction = rules::Direction::SetValue;
+  rule.value = static_cast<std::int64_t>(16 * util::kMiB);
+  rules.add(rule);
+
+  TuningAgent agent = fx.make(&rules);
+  agent.observeInitialRun(&report, 10.0, pfs::PfsConfig{});
+  TuningAgent::Action first = agent.decide();
+  while (first.kind == TuningAgent::ActionKind::AskAnalysis) {
+    agent.observeAnalysisAnswer(first.question, "a");
+    first = agent.decide();
+  }
+  ASSERT_EQ(first.kind, TuningAgent::ActionKind::RunConfig);
+  EXPECT_EQ(first.config.stripe_size, static_cast<std::int64_t>(16 * util::kMiB));
+
+  // The rule attempt wins by a hair, so it becomes the best config...
+  agent.observeRunResult(9.9, true, {});
+
+  TuningAgent::Action second = agent.decide();
+  ASSERT_EQ(second.kind, TuningAgent::ActionKind::RunConfig);
+  // ...but the playbook hypothesis is still synthesized from the *default*
+  // configuration: a marginal rule win must not drag every later attempt
+  // through its knob choices (§4.4.2 outcome safety).
+  EXPECT_EQ(second.config.stripe_size, pfs::PfsConfig{}.stripe_size);
+}
+
 TEST(TuningAgent, ReflectionEmitsRulesOnlyAfterRealGains) {
   Fixture fx;
   TuningAgent agent = fx.make();

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "pfs/client_cache.hpp"
+#include "pfs/readahead.hpp"
 
 namespace stellar::pfs {
 namespace {
@@ -292,6 +293,238 @@ TEST(LockLru, ReconfigureShrinksToCapacity) {
   }
   lru.configure(3, 100.0);
   EXPECT_EQ(lru.size(), 3u);
+}
+
+// ------------------------------------------------------------ ReadaWindow
+
+namespace {
+
+constexpr std::uint64_t kKiB = 1024;
+constexpr std::uint64_t kMiB = 1024 * 1024;
+
+ReadaheadKnobs defaultKnobs() {
+  ReadaheadKnobs k;
+  k.clientBudgetBytes = 64 * kMiB;
+  k.perFileBytes = 32 * kMiB;
+  k.wholeFileBytes = 2 * kMiB;
+  k.alignBytes = kMiB;
+  return k;
+}
+
+}  // namespace
+
+TEST(ReadaWindow, OpensAtInitialSizeWithAlignedEdge) {
+  ReadaWindow w;
+  const ReadaheadKnobs k = defaultKnobs();
+  // First read of 256 KiB at offset 0 on a 16 MiB file.
+  const ReadaDecision d = advanceWindow(w, k, /*sequential=*/false,
+                                        /*firstRead=*/true,
+                                        /*sizeKnownLocally=*/true, 0,
+                                        256 * kKiB, 16 * kMiB);
+  EXPECT_EQ(d.event, ReadaEvent::Opened);
+  EXPECT_EQ(w.length, ReadaWindow::kInitialBytes);
+  EXPECT_FALSE(w.wholeMode);
+  EXPECT_EQ(d.prefetchBegin, 0u);
+  // readEnd + window = 512 KiB, rounded up to the 1 MiB RPC edge.
+  EXPECT_EQ(d.prefetchEnd, kMiB);
+}
+
+TEST(ReadaWindow, DoublesOnSequentialHitsUpToPerFileCap) {
+  ReadaWindow w;
+  ReadaheadKnobs k = defaultKnobs();
+  k.perFileBytes = kMiB;
+  (void)advanceWindow(w, k, false, true, true, 0, 256 * kKiB, 16 * kMiB);
+  std::uint64_t readEnd = 512 * kKiB;
+  ReadaDecision d =
+      advanceWindow(w, k, true, false, true, 256 * kKiB, readEnd, 16 * kMiB);
+  EXPECT_EQ(d.event, ReadaEvent::Grown);
+  EXPECT_EQ(w.length, 512 * kKiB);
+  d = advanceWindow(w, k, true, false, true, readEnd, readEnd + 256 * kKiB,
+                    16 * kMiB);
+  EXPECT_EQ(d.event, ReadaEvent::Grown);
+  EXPECT_EQ(w.length, kMiB);  // saturated at the per-file cap
+  // Saturated growth is no longer a Grown event, but still prefetches.
+  d = advanceWindow(w, k, true, false, true, readEnd + 256 * kKiB,
+                    readEnd + 512 * kKiB, 16 * kMiB);
+  EXPECT_EQ(d.event, ReadaEvent::None);
+  EXPECT_EQ(w.length, kMiB);
+  EXPECT_TRUE(d.wantsPrefetch());
+}
+
+TEST(ReadaWindow, MissResetsWindowAndSkipsPrefetch) {
+  ReadaWindow w;
+  const ReadaheadKnobs k = defaultKnobs();
+  (void)advanceWindow(w, k, false, true, true, 0, 256 * kKiB, 16 * kMiB);
+  (void)advanceWindow(w, k, true, false, true, 256 * kKiB, 512 * kKiB,
+                      16 * kMiB);
+  ASSERT_GT(w.length, ReadaWindow::kInitialBytes);
+  const ReadaDecision d =
+      advanceWindow(w, k, false, false, true, 8 * kMiB, 8 * kMiB + 256 * kKiB,
+                    16 * kMiB);
+  EXPECT_EQ(d.event, ReadaEvent::Reset);
+  EXPECT_EQ(w.length, ReadaWindow::kInitialBytes);
+  EXPECT_FALSE(d.wantsPrefetch());
+}
+
+TEST(ReadaWindow, WholeFileModeTriggersAtCutoverAndParks) {
+  ReadaWindow w;
+  const ReadaheadKnobs k = defaultKnobs();
+  // Exactly at the cutover: whole-file shot covering the file, no rounding.
+  ReadaDecision d =
+      advanceWindow(w, k, false, true, true, 0, 256 * kKiB, 2 * kMiB);
+  EXPECT_EQ(d.event, ReadaEvent::Opened);
+  EXPECT_TRUE(w.wholeMode);
+  EXPECT_EQ(d.prefetchEnd, 2 * kMiB);
+  // Parked: later sequential reads neither grow nor prefetch.
+  d = advanceWindow(w, k, true, false, true, 256 * kKiB, 512 * kKiB, 2 * kMiB);
+  EXPECT_EQ(d.event, ReadaEvent::None);
+  EXPECT_FALSE(d.wantsPrefetch());
+}
+
+TEST(ReadaWindow, OneByteOverCutoverStaysWindowed) {
+  ReadaWindow w;
+  const ReadaheadKnobs k = defaultKnobs();
+  const ReadaDecision d =
+      advanceWindow(w, k, false, true, true, 0, 256 * kKiB, 2 * kMiB + 1);
+  EXPECT_EQ(d.event, ReadaEvent::Opened);
+  EXPECT_FALSE(w.wholeMode);
+  EXPECT_EQ(d.prefetchEnd, kMiB);  // windowed ramp, not the whole file
+}
+
+TEST(ReadaWindow, WholeFileModeRequiresLocallyKnownSize) {
+  ReadaWindow w;
+  const ReadaheadKnobs k = defaultKnobs();
+  // Without a cached lock (statahead/open would prime one) the client
+  // cannot trust the size: fall back to the windowed ramp.
+  const ReadaDecision d =
+      advanceWindow(w, k, false, true, /*sizeKnownLocally=*/false, 0,
+                    256 * kKiB, 2 * kMiB);
+  EXPECT_FALSE(w.wholeMode);
+  EXPECT_EQ(w.length, ReadaWindow::kInitialBytes);
+  EXPECT_EQ(d.prefetchEnd, kMiB);
+}
+
+TEST(ReadaWindow, SpeculationClampsAtKnownEof) {
+  ReadaWindow w;
+  const ReadaheadKnobs k = defaultKnobs();
+  // First read of the final chunk: nothing beyond EOF to speculate on.
+  const ReadaDecision d = advanceWindow(w, k, false, true, true,
+                                        16 * kMiB - 256 * kKiB, 16 * kMiB,
+                                        16 * kMiB);
+  EXPECT_EQ(d.prefetchEnd, 16 * kMiB);
+}
+
+TEST(ReadaWindow, DisabledKnobsNeverPrefetch) {
+  ReadaWindow w;
+  ReadaheadKnobs k = defaultKnobs();
+  k.clientBudgetBytes = 0;
+  const ReadaDecision d =
+      advanceWindow(w, k, false, true, true, 0, 256 * kKiB, 16 * kMiB);
+  EXPECT_EQ(d.event, ReadaEvent::None);
+  EXPECT_FALSE(d.wantsPrefetch());
+  EXPECT_EQ(w.length, 0u);
+}
+
+// --------------------------------------------------- ReadAheadCache totals
+
+TEST(ReadAheadCache, LifetimeTotalsObeyConservation) {
+  ReadAheadCache ra{10 * kMiB};
+  const auto conserved = [&ra] {
+    return ra.prefetchedBytes() ==
+           ra.consumedBytes() + ra.discardedBytes() + ra.residentBytes();
+  };
+
+  CacheChunk* a = ra.insertPending(1, 0, kMiB);
+  CacheChunk* b = ra.insertPending(1, kMiB, 2 * kMiB);
+  (void)ra.insertPending(2, 0, 512 * kKiB);
+  EXPECT_EQ(ra.prefetchedBytes(), 2 * kMiB + 512 * kKiB);
+  EXPECT_EQ(ra.residentBytes(), ra.prefetchedBytes());
+  EXPECT_TRUE(conserved());
+
+  ra.markReady(a);
+  ra.markReady(b);
+  ra.consume(1, 0, kMiB + 256 * kKiB);  // all of a, a quarter of b
+  EXPECT_EQ(ra.consumedBytes(), kMiB + 256 * kKiB);
+  EXPECT_TRUE(conserved());
+
+  // Re-consuming the same range is idempotent (high-water-mark math).
+  ra.consume(1, kMiB, kMiB + 256 * kKiB);
+  EXPECT_EQ(ra.consumedBytes(), kMiB + 256 * kKiB);
+  EXPECT_TRUE(conserved());
+
+  // Dropping file 1 discards b's unconsumed remainder; file 2's pending
+  // chunk is untouched and stays resident.
+  (void)ra.dropFile(1);
+  EXPECT_EQ(ra.discardedBytes(), 768 * kKiB);
+  EXPECT_EQ(ra.residentBytes(), 512 * kKiB);
+  EXPECT_TRUE(conserved());
+
+  (void)ra.dropFile(2);
+  EXPECT_EQ(ra.residentBytes(), 0u);
+  EXPECT_TRUE(conserved());
+}
+
+// ---------------------------------------------------------- WritebackBank
+
+TEST(WritebackBank, DrainCoalescesContiguousRunsIntoRpcCuts) {
+  WritebackBank wb;
+  wb.configure(1);
+  // Out-of-order contiguous segments of one file plus a stray second file.
+  wb.append(0, /*file=*/5, 2 * kMiB, kMiB);
+  wb.append(0, 5, 0, kMiB);
+  wb.append(0, 5, kMiB, kMiB);
+  wb.append(0, 9, 0, 256 * kKiB);
+  EXPECT_EQ(wb.pendingBytes(0), 3 * kMiB + 256 * kKiB);
+
+  std::vector<std::tuple<FileId, std::uint64_t, std::uint64_t>> rpcs;
+  const std::uint64_t drained =
+      wb.drain(0, /*fileOnly=*/false, 0, /*maxRpcBytes=*/2 * kMiB,
+               [&rpcs](FileId f, std::uint64_t off, std::uint64_t len) {
+                 rpcs.emplace_back(f, off, len);
+               });
+  EXPECT_EQ(drained, 3 * kMiB + 256 * kKiB);
+  EXPECT_EQ(wb.pendingBytes(0), 0u);
+  // File 5's three segments coalesce into one 3 MiB run cut at 2 MiB.
+  ASSERT_EQ(rpcs.size(), 3u);
+  EXPECT_EQ(rpcs[0], std::make_tuple(FileId{5}, std::uint64_t{0}, 2 * kMiB));
+  EXPECT_EQ(rpcs[1], std::make_tuple(FileId{5}, 2 * kMiB, kMiB));
+  EXPECT_EQ(rpcs[2], std::make_tuple(FileId{9}, std::uint64_t{0}, 256 * kKiB));
+}
+
+TEST(WritebackBank, FileOnlyDrainLeavesOtherFilesQueued) {
+  WritebackBank wb;
+  wb.configure(2);
+  wb.append(1, 5, 0, kMiB);
+  wb.append(1, 9, 0, 512 * kKiB);
+  wb.append(1, 5, kMiB, kMiB);
+
+  std::vector<FileId> drainedFiles;
+  const std::uint64_t drained =
+      wb.drain(1, /*fileOnly=*/true, 5, 4 * kMiB,
+               [&drainedFiles](FileId f, std::uint64_t, std::uint64_t) {
+                 drainedFiles.push_back(f);
+               });
+  EXPECT_EQ(drained, 2 * kMiB);
+  EXPECT_EQ(drainedFiles, (std::vector<FileId>{5}));  // one coalesced RPC
+  EXPECT_EQ(wb.pendingBytes(1), 512 * kKiB);
+
+  // The stray file is still there and drains later.
+  drainedFiles.clear();
+  (void)wb.drain(1, false, 0, 4 * kMiB,
+                 [&drainedFiles](FileId f, std::uint64_t, std::uint64_t) {
+                   drainedFiles.push_back(f);
+                 });
+  EXPECT_EQ(drainedFiles, (std::vector<FileId>{9}));
+}
+
+TEST(WritebackBank, DiscardFileDropsOnlyThatFile) {
+  WritebackBank wb;
+  wb.configure(1);
+  wb.append(0, 5, 0, kMiB);
+  wb.append(0, 9, 0, 512 * kKiB);
+  EXPECT_EQ(wb.discardFile(0, 5), kMiB);
+  EXPECT_EQ(wb.pendingBytes(0), 512 * kKiB);
+  EXPECT_EQ(wb.discardFile(0, 5), 0u);
 }
 
 }  // namespace

@@ -54,6 +54,35 @@ TEST(WorkloadContext, DissimilarWorkloadsScoreLow) {
   EXPECT_LT(sim, 0.6);
 }
 
+TEST(WorkloadContext, AccessPatternSeparatesRandomFromSequentialStreams) {
+  // A random 64 KiB scan and a sequential 16 MiB stream over the same kind
+  // of shared file must stay below the 0.7 rule-match threshold: stripe /
+  // RPC-size / readahead guidance learned on the stream actively hurts the
+  // random reader, so those rules must not transfer. Contexts mirror the
+  // IOR_64K / IOR_16M benchmark reports.
+  WorkloadContext randomSmall;
+  randomSmall.metaOpShare = 0.016;
+  randomSmall.readShare = 0.5;
+  randomSmall.sequentialShare = 0.017;
+  randomSmall.sharedFileShare = 1.0;
+  randomSmall.smallFileShare = 0.0;
+  randomSmall.dominantAccessSize = 64 * 1024;
+  randomSmall.fileCount = 1;
+  randomSmall.totalBytes = 400ULL << 20;
+
+  WorkloadContext seqLarge;
+  seqLarge.metaOpShare = 0.077;
+  seqLarge.readShare = 0.5;
+  seqLarge.sequentialShare = 0.751;
+  seqLarge.sharedFileShare = 1.0;
+  seqLarge.smallFileShare = 0.0;
+  seqLarge.dominantAccessSize = 16 << 20;
+  seqLarge.fileCount = 1;
+  seqLarge.totalBytes = 20ULL << 30;
+
+  EXPECT_LT(randomSmall.similarity(seqLarge), 0.7);
+}
+
 TEST(WorkloadContext, SimilarityIsSymmetric) {
   const WorkloadContext a = metadataContext();
   const WorkloadContext b = streamingContext();

@@ -55,7 +55,8 @@ TEST(Invariants, MutationNamesAreStable) {
   // DESIGN.md §6 and the CI mutation job both reference these names.
   const std::vector<std::string> expected = {
       "write-conservation", "read-partition", "rpc-balance",
-      "dirty-bound",        "lock-balance",   "disk-bandwidth"};
+      "dirty-bound",        "lock-balance",   "disk-bandwidth",
+      "reada-conservation"};
   EXPECT_EQ(mutationNames(), expected);
 }
 

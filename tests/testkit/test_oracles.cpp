@@ -32,16 +32,33 @@ TEST(Oracles, ComputeOracleIsExact) {
   FAIL() << "ORA-COMPUTE missing from runOracles";
 }
 
-TEST(Oracles, OutcomesCarryAllFourScenarios) {
+TEST(Oracles, OutcomesCarryAllScenarios) {
   const auto outcomes = runOracles(42);
-  ASSERT_EQ(outcomes.size(), 4u);
+  ASSERT_EQ(outcomes.size(), 8u);
   EXPECT_EQ(outcomes[0].id, "ORA-COMPUTE");
   EXPECT_EQ(outcomes[1].id, "ORA-META");
   EXPECT_EQ(outcomes[2].id, "ORA-WRITE");
   EXPECT_EQ(outcomes[3].id, "ORA-READ");
+  EXPECT_EQ(outcomes[4].id, "ORA-READA-COLD");
+  EXPECT_EQ(outcomes[5].id, "ORA-READA-WARM");
+  EXPECT_EQ(outcomes[6].id, "ORA-READA-STRIDED");
+  EXPECT_EQ(outcomes[7].id, "ORA-READA-RANDOM");
   for (const OracleOutcome& o : outcomes) {
     EXPECT_GT(o.expected, 0.0) << o.id;
     EXPECT_GT(o.actual, 0.0) << o.id;
+  }
+}
+
+TEST(Oracles, ReadaheadModelsAreExact) {
+  // The ORA-READA family models integer byte accounting, not jittered wall
+  // time — the simulator must match the closed forms exactly, on any seed.
+  for (const std::uint64_t seed : {42ULL, 7ULL, 0xFEEDULL}) {
+    for (const OracleOutcome& o : runOracles(seed)) {
+      if (o.id.rfind("ORA-READA", 0) != 0) {
+        continue;
+      }
+      EXPECT_DOUBLE_EQ(o.expected, o.actual) << o.id << " seed " << seed;
+    }
   }
 }
 
